@@ -1,0 +1,29 @@
+//! Fig. 10 bench: how the schedulers scale with the number of tasks —
+//! the axis where "lightweight" matters most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esched_bench::paper_tasks;
+use esched_core::{der_schedule, optimal_energy};
+use esched_opt::SolveOptions;
+use esched_types::PolynomialPower;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let power = PolynomialPower::paper(3.0, 0.2);
+    let mut g = c.benchmark_group("fig10_tasks");
+    for n in [5usize, 10, 20, 40] {
+        let tasks = paper_tasks(n, 2014);
+        g.bench_with_input(BenchmarkId::new("der_f2", n), &n, |b, _| {
+            b.iter(|| black_box(der_schedule(&tasks, 4, &power).final_energy))
+        });
+        g.bench_with_input(BenchmarkId::new("optimal", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(optimal_energy(&tasks, 4, &power, &SolveOptions::fast()).energy)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 11 bench: the practical-processor pipeline — continuous schedule
+//! under the fitted XScale model plus quantization to the level table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use esched_bench::xscale_tasks;
+use esched_core::{der_schedule, even_schedule, quantize_schedule, QuantizePolicy};
+use esched_workload::{xscale_discrete, xscale_paper_fit};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let tasks = xscale_tasks(20, 2014);
+    let power = xscale_paper_fit();
+    let table = xscale_discrete();
+    let der = der_schedule(&tasks, 4, &power);
+
+    let mut g = c.benchmark_group("fig11_xscale");
+    g.bench_function("der_f2_continuous", |b| {
+        b.iter(|| black_box(der_schedule(&tasks, 4, &power).final_energy))
+    });
+    g.bench_function("even_f1_continuous", |b| {
+        b.iter(|| black_box(even_schedule(&tasks, 4, &power).final_energy))
+    });
+    g.bench_function("quantize_next_up", |b| {
+        b.iter(|| black_box(quantize_schedule(&der.schedule, &table, QuantizePolicy::NextUp)))
+    });
+    g.bench_function("quantize_best_efficiency", |b| {
+        b.iter(|| {
+            black_box(quantize_schedule(
+                &der.schedule,
+                &table,
+                QuantizePolicy::BestEfficiency,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

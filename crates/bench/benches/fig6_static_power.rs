@@ -1,0 +1,32 @@
+//! Fig. 6 bench: one NEC-evaluation point (all five schedules + optimum)
+//! per static-power setting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esched_bench::paper_tasks;
+use esched_core::{der_schedule, even_schedule, optimal_energy};
+use esched_opt::SolveOptions;
+use esched_types::PolynomialPower;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let tasks = paper_tasks(20, 2014);
+    let mut g = c.benchmark_group("fig6_static_power");
+    for p0 in [0.0, 0.1, 0.2] {
+        let power = PolynomialPower::paper(3.0, p0);
+        g.bench_with_input(BenchmarkId::new("der_f2", p0), &p0, |b, _| {
+            b.iter(|| black_box(der_schedule(&tasks, 4, &power).final_energy))
+        });
+        g.bench_with_input(BenchmarkId::new("even_f1", p0), &p0, |b, _| {
+            b.iter(|| black_box(even_schedule(&tasks, 4, &power).final_energy))
+        });
+        g.bench_with_input(BenchmarkId::new("optimal", p0), &p0, |b, _| {
+            b.iter(|| {
+                black_box(optimal_energy(&tasks, 4, &power, &SolveOptions::fast()).energy)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 7 bench: NEC-evaluation point per dynamic exponent `α` (p₀ = 0).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esched_bench::paper_tasks;
+use esched_core::{der_schedule, even_schedule, optimal_energy};
+use esched_opt::SolveOptions;
+use esched_types::PolynomialPower;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let tasks = paper_tasks(20, 2014);
+    let mut g = c.benchmark_group("fig7_alpha");
+    for alpha in [2.0, 2.5, 3.0] {
+        let power = PolynomialPower::paper(alpha, 0.0);
+        g.bench_with_input(BenchmarkId::new("der_f2", alpha), &alpha, |b, _| {
+            b.iter(|| black_box(der_schedule(&tasks, 4, &power).final_energy))
+        });
+        g.bench_with_input(BenchmarkId::new("even_f1", alpha), &alpha, |b, _| {
+            b.iter(|| black_box(even_schedule(&tasks, 4, &power).final_energy))
+        });
+        g.bench_with_input(BenchmarkId::new("optimal", alpha), &alpha, |b, _| {
+            b.iter(|| {
+                black_box(optimal_energy(&tasks, 4, &power, &SolveOptions::fast()).energy)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

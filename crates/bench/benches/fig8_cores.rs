@@ -1,0 +1,29 @@
+//! Fig. 8 bench: NEC-evaluation point per core count
+//! (`α = 3`, `p₀ = 0.2`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esched_bench::paper_tasks;
+use esched_core::{der_schedule, optimal_energy};
+use esched_opt::SolveOptions;
+use esched_types::PolynomialPower;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let tasks = paper_tasks(20, 2014);
+    let power = PolynomialPower::paper(3.0, 0.2);
+    let mut g = c.benchmark_group("fig8_cores");
+    for m in [2usize, 4, 8, 12] {
+        g.bench_with_input(BenchmarkId::new("der_f2", m), &m, |b, &m| {
+            b.iter(|| black_box(der_schedule(&tasks, m, &power).final_energy))
+        });
+        g.bench_with_input(BenchmarkId::new("optimal", m), &m, |b, &m| {
+            b.iter(|| {
+                black_box(optimal_energy(&tasks, m, &power, &SolveOptions::fast()).energy)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

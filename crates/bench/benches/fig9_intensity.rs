@@ -1,0 +1,26 @@
+//! Fig. 9 bench: NEC-evaluation point per intensity generation range
+//! (`α = 3`, `p₀ = 0.2`, `m = 4`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esched_bench::intensity_tasks;
+use esched_core::{der_schedule, even_schedule};
+use esched_types::PolynomialPower;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let power = PolynomialPower::paper(3.0, 0.2);
+    let mut g = c.benchmark_group("fig9_intensity");
+    for lo in [0.1, 0.5, 1.0] {
+        let tasks = intensity_tasks(20, lo, 2014);
+        g.bench_with_input(BenchmarkId::new("der_f2", lo), &lo, |b, _| {
+            b.iter(|| black_box(der_schedule(&tasks, 4, &power).final_energy))
+        });
+        g.bench_with_input(BenchmarkId::new("even_f1", lo), &lo, |b, _| {
+            b.iter(|| black_box(even_schedule(&tasks, 4, &power).final_energy))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Microbenchmarks of the building blocks: timeline construction,
+//! capped-simplex projection, the LMO, Algorithm 1 packing, Algorithm 2
+//! allocation, and schedule validation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esched_bench::paper_tasks;
+use esched_core::{allocate_der, ideal_schedule, pack_subinterval, PackItem};
+use esched_opt::{lmo_capped_simplex, project_capped_simplex};
+use esched_subinterval::Timeline;
+use esched_types::{validate_schedule, PolynomialPower, Schedule};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_primitives");
+
+    for n in [20usize, 80] {
+        let tasks = paper_tasks(n, 3);
+        g.bench_with_input(BenchmarkId::new("timeline_build", n), &n, |b, _| {
+            b.iter(|| black_box(Timeline::build(&tasks)))
+        });
+        let tl = Timeline::build(&tasks);
+        let ideal = ideal_schedule(&tasks, &PolynomialPower::paper(3.0, 0.1));
+        g.bench_with_input(BenchmarkId::new("algorithm2_der_alloc", n), &n, |b, _| {
+            b.iter(|| black_box(allocate_der(&tasks, &tl, 4, &ideal)))
+        });
+    }
+
+    // Projection / LMO on a representative block size.
+    for dim in [16usize, 128] {
+        let z: Vec<f64> = (0..dim).map(|k| (k as f64 * 0.37).sin() + 1.0).collect();
+        let u = vec![1.0; dim];
+        let cap = dim as f64 * 0.3;
+        let mut out = vec![0.0; dim];
+        g.bench_with_input(BenchmarkId::new("projection", dim), &dim, |b, _| {
+            b.iter(|| {
+                project_capped_simplex(black_box(&z), &u, cap, &mut out);
+                black_box(&out);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lmo", dim), &dim, |b, _| {
+            b.iter(|| {
+                lmo_capped_simplex(black_box(&z), &u, cap, &mut out);
+                black_box(&out);
+            })
+        });
+    }
+
+    // Algorithm 1 packing.
+    let items: Vec<PackItem> = (0..24)
+        .map(|i| PackItem {
+            task: i,
+            duration: 0.2 + 0.4 * (i as f64 * 0.23).fract(),
+            freq: 1.0,
+        })
+        .collect();
+    g.bench_function("algorithm1_pack_24", |b| {
+        b.iter(|| {
+            let mut s = Schedule::new(8);
+            pack_subinterval(black_box(&items), 0.0, 2.0, 8, &mut s).unwrap();
+            black_box(s)
+        })
+    });
+
+    // Validation of a real schedule.
+    let tasks = paper_tasks(40, 17);
+    let out = esched_core::der_schedule(&tasks, 4, &PolynomialPower::paper(3.0, 0.1));
+    g.bench_function("validate_schedule_40tasks", |b| {
+        b.iter(|| black_box(validate_schedule(&out.schedule, &tasks)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! The "lightweight" claim, measured: heuristic runtime vs. the convex
+//! solver as the task count grows. The paper's argument for the
+//! subinterval heuristics is exactly this gap — the optimum costs a large
+//! iterative solve over `O(n²)` variables, while the heuristics are a few
+//! passes over the timeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esched_bench::paper_tasks;
+use esched_core::{der_schedule, even_schedule, optimal_energy, yds_schedule};
+use esched_opt::SolveOptions;
+use esched_types::PolynomialPower;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let power = PolynomialPower::paper(3.0, 0.1);
+    let mut g = c.benchmark_group("runtime_scaling");
+    g.sample_size(20);
+    for n in [10usize, 20, 40, 80, 160] {
+        let tasks = paper_tasks(n, 99);
+        g.bench_with_input(BenchmarkId::new("heuristic_der", n), &n, |b, _| {
+            b.iter(|| black_box(der_schedule(&tasks, 4, &power).final_energy))
+        });
+        g.bench_with_input(BenchmarkId::new("heuristic_even", n), &n, |b, _| {
+            b.iter(|| black_box(even_schedule(&tasks, 4, &power).final_energy))
+        });
+        // The solver gets expensive fast; cap it to the sizes the paper
+        // actually simulates.
+        if n <= 40 {
+            g.bench_with_input(BenchmarkId::new("convex_optimum", n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(optimal_energy(&tasks, 4, &power, &SolveOptions::fast()).energy)
+                })
+            });
+            g.bench_with_input(BenchmarkId::new("yds_uniprocessor", n), &n, |b, _| {
+                b.iter(|| black_box(yds_schedule(&tasks, &PolynomialPower::cubic()).energy))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

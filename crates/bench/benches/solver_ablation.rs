@@ -1,0 +1,43 @@
+//! Solver ablation: the three first-order methods on the same energy
+//! program. DESIGN.md calls out the solver choice as a design decision —
+//! this bench is the evidence (PGD is the default because it wins or ties
+//! on these instance sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esched_bench::paper_tasks;
+use esched_opt::{
+    solve_barrier, solve_fista, solve_frank_wolfe, solve_pgd, EnergyProgram, SolveOptions,
+};
+use esched_subinterval::Timeline;
+use esched_types::PolynomialPower;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver_ablation");
+    g.sample_size(20);
+    for n in [10usize, 20, 40] {
+        let tasks = paper_tasks(n, 7);
+        let tl = Timeline::build(&tasks);
+        let ep = EnergyProgram::new(&tasks, &tl, 4, PolynomialPower::paper(3.0, 0.1));
+        let opts = SolveOptions::fast();
+        g.bench_with_input(BenchmarkId::new("pgd", n), &n, |b, _| {
+            b.iter(|| black_box(solve_pgd(&ep, ep.initial_point(), &opts).objective))
+        });
+        g.bench_with_input(BenchmarkId::new("fista", n), &n, |b, _| {
+            b.iter(|| black_box(solve_fista(&ep, ep.initial_point(), &opts).objective))
+        });
+        g.bench_with_input(BenchmarkId::new("frank_wolfe", n), &n, |b, _| {
+            b.iter(|| black_box(solve_frank_wolfe(&ep, ep.initial_point(), &opts).objective))
+        });
+        g.bench_with_input(BenchmarkId::new("interior_point", n), &n, |b, _| {
+            b.iter(|| black_box(solve_barrier(&ep, &opts).objective))
+        });
+        g.bench_with_input(BenchmarkId::new("block_descent", n), &n, |b, _| {
+            b.iter(|| black_box(esched_opt::solve_block_descent(&ep, &opts).objective))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

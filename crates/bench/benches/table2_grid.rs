@@ -1,0 +1,26 @@
+//! Table II bench: one full five-schedule NEC evaluation (the unit of
+//! work each of the paper's 121 grid cells repeats 100 times).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use esched_bench::paper_tasks;
+use esched_core::evaluate_nec;
+use esched_opt::SolveOptions;
+use esched_types::PolynomialPower;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let tasks = paper_tasks(20, 2014);
+    let mut g = c.benchmark_group("table2_grid");
+    g.sample_size(20);
+    for (alpha, p0) in [(2.0, 0.0), (2.5, 0.1), (3.0, 0.2)] {
+        let power = PolynomialPower::paper(alpha, p0);
+        let id = format!("a{alpha}_p{p0}");
+        g.bench_with_input(BenchmarkId::new("nec_cell", id), &power, |b, power| {
+            b.iter(|| black_box(evaluate_nec(&tasks, 4, power, &SolveOptions::fast())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,506 @@
+//! Available-execution-time allocation (Sections V.B and V.C).
+//!
+//! Both heuristics share the same skeleton:
+//!
+//! * **lightly overlapped** subintervals (`n_j ≤ m`): every overlapping
+//!   task is valid to occupy a core for the whole subinterval
+//!   (Observation 2) — allocate `Δ_j` to each;
+//! * **heavily overlapped** subintervals (`n_j > m`): the `m·Δ_j` core
+//!   time must be divided. The *evenly allocating* rule gives each task
+//!   `m·Δ_j/n_j`; the *DER-based* rule (Algorithm 2) divides it in
+//!   proportion to each task's Desired Execution Requirement, greatest
+//!   first, capping shares at `Δ_j` and redistributing the remainder.
+//!
+//! The result is an [`AvailMatrix`] of available times `a_{i,j}` — an
+//! upper bound on how long task `i` may occupy a core during subinterval
+//! `j`. Final frequencies and schedules are derived from it in
+//! [`crate::refine`].
+
+use crate::ideal::IdealSolution;
+use esched_subinterval::Timeline;
+use esched_types::time::EPS;
+use esched_types::{TaskId, TaskSet};
+use serde::{Deserialize, Serialize};
+
+/// Available execution time per (task, subinterval) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailMatrix {
+    /// Row `i` holds task `i`'s available times, aligned with
+    /// `timeline.span(i)`.
+    rows: Vec<Vec<f64>>,
+    /// `(start, end)` of each task's span, for index translation.
+    spans: Vec<(usize, usize)>,
+}
+
+impl AvailMatrix {
+    /// All-zero matrix shaped by `timeline`.
+    pub fn zeros(timeline: &Timeline, n_tasks: usize) -> Self {
+        let mut rows = Vec::with_capacity(n_tasks);
+        let mut spans = Vec::with_capacity(n_tasks);
+        for i in 0..n_tasks {
+            let r = timeline.span(i);
+            spans.push((r.start, r.end));
+            rows.push(vec![0.0; r.len()]);
+        }
+        Self { rows, spans }
+    }
+
+    /// Available time of task `i` during subinterval `j` (0 when the
+    /// window does not cover `j`).
+    pub fn get(&self, task: TaskId, j: usize) -> f64 {
+        let (a, b) = self.spans[task];
+        if (a..b).contains(&j) {
+            self.rows[task][j - a]
+        } else {
+            0.0
+        }
+    }
+
+    /// Set the available time of task `i` during subinterval `j`.
+    ///
+    /// # Panics
+    /// If the task's window does not cover `j`.
+    pub fn set(&mut self, task: TaskId, j: usize, value: f64) {
+        let (a, b) = self.spans[task];
+        assert!(
+            (a..b).contains(&j),
+            "task {task} not available in subinterval {j}"
+        );
+        self.rows[task][j - a] = value;
+    }
+
+    /// Total available time `A_i = Σ_j a_{i,j}` of task `i`.
+    pub fn total(&self, task: TaskId) -> f64 {
+        esched_types::time::compensated_sum(self.rows[task].iter().copied())
+    }
+
+    /// Totals for every task.
+    pub fn totals(&self) -> Vec<f64> {
+        (0..self.rows.len()).map(|i| self.total(i)).collect()
+    }
+
+    /// Number of tasks (rows).
+    pub fn task_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Iterate `(subinterval, avail)` pairs of one task's row.
+    pub fn row(&self, task: TaskId) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (a, _) = self.spans[task];
+        self.rows[task]
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (a + k, v))
+    }
+}
+
+/// Fill every *light* subinterval of `avail`: each overlapping task gets
+/// the full `Δ_j` (Observation 2). Heavy subintervals are left untouched.
+fn allocate_light(timeline: &Timeline, cores: usize, avail: &mut AvailMatrix) {
+    for sub in timeline.subintervals() {
+        if !sub.is_heavy(cores) {
+            for &i in &sub.overlapping {
+                avail.set(i, sub.index, sub.delta());
+            }
+        }
+    }
+}
+
+/// The evenly allocating method (Section V.B): heavy subintervals divide
+/// core time equally, `a_{i,j} = m·Δ_j / n_j`.
+pub fn allocate_even(tasks: &TaskSet, timeline: &Timeline, cores: usize) -> AvailMatrix {
+    let mut avail = AvailMatrix::zeros(timeline, tasks.len());
+    allocate_light(timeline, cores, &mut avail);
+    for sub in timeline.subintervals() {
+        if sub.is_heavy(cores) {
+            let share = cores as f64 * sub.delta() / sub.overlap_count() as f64;
+            for &i in &sub.overlapping {
+                avail.set(i, sub.index, share);
+            }
+        }
+    }
+    avail
+}
+
+/// Desired Execution Requirement of task `i` during subinterval `j`
+/// (Eq. 24): `c(τ) = |U_i^O ∩ [t_j, t_{j+1}]| · f_i^O`.
+pub fn der(ideal: &IdealSolution, task: TaskId, timeline: &Timeline, j: usize) -> f64 {
+    ideal.exec_overlap(task, &timeline.get(j).interval) * ideal.freq[task]
+}
+
+/// The DER-based allocating method (Section V.C, Algorithm 2).
+///
+/// In each heavy subinterval, tasks are considered in order of decreasing
+/// DER. Each is offered the fraction `c(τ)/C` of the remaining pool (where
+/// `C` is the remaining DER total); a share exceeding `Δ_j` is capped at
+/// `Δ_j`, and the pool and DER total shrink as tasks are processed — so a
+/// cap's surplus is redistributed over the tasks that follow.
+pub fn allocate_der(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    ideal: &IdealSolution,
+) -> AvailMatrix {
+    let mut avail = AvailMatrix::zeros(timeline, tasks.len());
+    allocate_light(timeline, cores, &mut avail);
+    for sub in timeline.subintervals() {
+        if !sub.is_heavy(cores) {
+            continue;
+        }
+        let delta = sub.delta();
+        // (task, DER), sorted by DER descending; ties broken by id so the
+        // algorithm is deterministic.
+        let mut ders: Vec<(TaskId, f64)> = sub
+            .overlapping
+            .iter()
+            .map(|&i| (i, der(ideal, i, timeline, sub.index)))
+            .collect();
+        ders.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite DERs")
+                .then(a.0.cmp(&b.0))
+        });
+        let mut pool = cores as f64 * delta;
+        let mut ctot: f64 = ders.iter().map(|&(_, c)| c).sum();
+        for (i, c) in ders {
+            if ctot <= EPS || pool <= EPS || c <= 0.0 {
+                avail.set(i, sub.index, 0.0);
+                // ctot still shrinks so later (zero-DER) tasks behave the
+                // same.
+                ctot -= c;
+                continue;
+            }
+            let share = c * pool / ctot;
+            let alloc = share.min(delta);
+            avail.set(i, sub.index, alloc);
+            pool -= alloc;
+            ctot -= c;
+        }
+    }
+    avail
+}
+
+/// Ablation variant of Algorithm 2: shares are proportional to DERs
+/// against the *original* totals, capped at `Δ_j`, with **no
+/// redistribution** of a cap's surplus. Used by the `ablate` experiment to
+/// show that the cap-and-redistribute loop is load-bearing: without it,
+/// capped subintervals strand core time and the final frequencies rise.
+pub fn allocate_der_no_redistribution(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    ideal: &IdealSolution,
+) -> AvailMatrix {
+    let mut avail = AvailMatrix::zeros(timeline, tasks.len());
+    allocate_light(timeline, cores, &mut avail);
+    for sub in timeline.subintervals() {
+        if !sub.is_heavy(cores) {
+            continue;
+        }
+        let delta = sub.delta();
+        let pool = cores as f64 * delta;
+        let ctot: f64 = sub
+            .overlapping
+            .iter()
+            .map(|&i| der(ideal, i, timeline, sub.index))
+            .sum();
+        for &i in &sub.overlapping {
+            let c = der(ideal, i, timeline, sub.index);
+            let share = if ctot > EPS { c * pool / ctot } else { 0.0 };
+            avail.set(i, sub.index, share.min(delta));
+        }
+    }
+    avail
+}
+
+/// Ablation variant: shares proportional to the *total execution
+/// requirement* `C_i` instead of the DER (cap-and-redistribute retained).
+/// This is the naive "bigger task, bigger share" rule; the DER weights it
+/// by what the ideal schedule actually wants *inside this subinterval*,
+/// which matters when windows and static power differ across tasks.
+pub fn allocate_work_proportional(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+) -> AvailMatrix {
+    let mut avail = AvailMatrix::zeros(timeline, tasks.len());
+    allocate_light(timeline, cores, &mut avail);
+    for sub in timeline.subintervals() {
+        if !sub.is_heavy(cores) {
+            continue;
+        }
+        let delta = sub.delta();
+        let mut weights: Vec<(TaskId, f64)> = sub
+            .overlapping
+            .iter()
+            .map(|&i| (i, tasks.get(i).wcec))
+            .collect();
+        weights.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite works")
+                .then(a.0.cmp(&b.0))
+        });
+        let mut pool = cores as f64 * delta;
+        let mut wtot: f64 = weights.iter().map(|&(_, w)| w).sum();
+        for (i, w) in weights {
+            if wtot <= EPS || pool <= EPS {
+                avail.set(i, sub.index, 0.0);
+                wtot -= w;
+                continue;
+            }
+            let share = w * pool / wtot;
+            let alloc = share.min(delta);
+            avail.set(i, sub.index, alloc);
+            pool -= alloc;
+            wtot -= w;
+        }
+    }
+    avail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::ideal_schedule;
+    use esched_types::PolynomialPower;
+
+    fn vd_tasks() -> TaskSet {
+        TaskSet::from_triples(&[
+            (0.0, 10.0, 8.0),
+            (2.0, 18.0, 14.0),
+            (4.0, 16.0, 8.0),
+            (6.0, 14.0, 4.0),
+            (8.0, 20.0, 10.0),
+            (12.0, 22.0, 6.0),
+        ])
+    }
+
+    #[test]
+    fn even_allocation_matches_paper_vd_numbers() {
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        let avail = allocate_even(&ts, &tl, 4);
+        // Heavy subintervals are index 4 ([8,10]) and 6 ([12,14]); each
+        // overlapping task gets (4/5)·2 = 8/5.
+        for &i in &[0usize, 1, 2, 3, 4] {
+            assert!((avail.get(i, 4) - 1.6).abs() < 1e-12, "task {i}");
+        }
+        for &i in &[1usize, 2, 3, 4, 5] {
+            assert!((avail.get(i, 6) - 1.6).abs() < 1e-12, "task {i}");
+        }
+        // Light subintervals give the full Δ = 2.
+        assert_eq!(avail.get(0, 0), 2.0);
+        assert_eq!(avail.get(1, 5), 2.0);
+        // Totals reproduce the paper's final-frequency denominators:
+        // A_1 = 8 + 8/5, A_2 = 12 + 16/5, A_6 = 8 + 8/5.
+        assert!((avail.total(0) - (8.0 + 1.6)).abs() < 1e-9);
+        assert!((avail.total(1) - (12.0 + 3.2)).abs() < 1e-9);
+        assert!((avail.total(2) - (8.0 + 3.2)).abs() < 1e-9);
+        assert!((avail.total(3) - (4.0 + 3.2)).abs() < 1e-9);
+        assert!((avail.total(4) - (8.0 + 3.2)).abs() < 1e-9);
+        assert!((avail.total(5) - (8.0 + 1.6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn der_values_match_paper_vd_numbers() {
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        let ideal = ideal_schedule(&ts, &PolynomialPower::cubic());
+        // DERs during [8,10] (index 4): 8/5, 7/4, 4/3, 1, 5/3.
+        let expect4 = [1.6, 1.75, 4.0 / 3.0, 1.0, 5.0 / 3.0];
+        for (i, &e) in expect4.iter().enumerate() {
+            assert!(
+                (der(&ideal, i, &tl, 4) - e).abs() < 1e-12,
+                "task {i}: {} vs {e}",
+                der(&ideal, i, &tl, 4)
+            );
+        }
+        // DERs during [12,14] (index 6) for τ2..τ6: 7/4, 4/3, 1, 5/3, 6/5.
+        let expect6 = [1.75, 4.0 / 3.0, 1.0, 5.0 / 3.0, 1.2];
+        for (k, &e) in expect6.iter().enumerate() {
+            let i = k + 1;
+            assert!(
+                (der(&ideal, i, &tl, 6) - e).abs() < 1e-12,
+                "task {i}: {} vs {e}",
+                der(&ideal, i, &tl, 6)
+            );
+        }
+    }
+
+    #[test]
+    fn algorithm2_matches_paper_vd_allocations() {
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        let ideal = ideal_schedule(&ts, &PolynomialPower::cubic());
+        let avail = allocate_der(&ts, &tl, 4, &ideal);
+        // Paper, interval [8,10]: τ1..τ5 get
+        // 1.7415, 1.9048, 1.4512, 1.0884, 1.8141 (4 decimals).
+        let expect4 = [1.7415, 1.9048, 1.4512, 1.0884, 1.8141];
+        for (i, &e) in expect4.iter().enumerate() {
+            assert!(
+                (avail.get(i, 4) - e).abs() < 5e-5,
+                "task {i} in [8,10]: {} vs {e}",
+                avail.get(i, 4)
+            );
+        }
+        // Paper, interval [12,14]: τ2..τ6 get
+        // 2, 1.5385, 1.1538, 1.9231, 1.3846 — τ2's share caps at Δ = 2 and
+        // the surplus is redistributed.
+        let expect6 = [2.0, 1.5385, 1.1538, 1.9231, 1.3846];
+        for (k, &e) in expect6.iter().enumerate() {
+            let i = k + 1;
+            assert!(
+                (avail.get(i, 6) - e).abs() < 5e-5,
+                "task {i} in [12,14]: {} vs {e}",
+                avail.get(i, 6)
+            );
+        }
+    }
+
+    #[test]
+    fn allocations_never_exceed_capacity() {
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        let ideal = ideal_schedule(&ts, &PolynomialPower::paper(3.0, 0.2));
+        for avail in [
+            allocate_even(&ts, &tl, 4),
+            allocate_der(&ts, &tl, 4, &ideal),
+        ] {
+            for sub in tl.subintervals() {
+                let total: f64 = sub.overlapping.iter().map(|&i| avail.get(i, sub.index)).sum();
+                let cap = if sub.is_heavy(4) {
+                    4.0 * sub.delta()
+                } else {
+                    sub.overlap_count() as f64 * sub.delta()
+                };
+                assert!(
+                    total <= cap + 1e-9,
+                    "subinterval {}: {total} > {cap}",
+                    sub.index
+                );
+                for &i in &sub.overlapping {
+                    assert!(avail.get(i, sub.index) <= sub.delta() + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn positive_der_implies_positive_allocation() {
+        // Skewed DERs: caps can consume at most (m−1)·Δ of the pool, so
+        // every positive-DER task keeps a positive share.
+        let ts = TaskSet::from_triples(&[
+            (0.0, 4.0, 8.0),  // very dense
+            (0.0, 4.0, 7.0),  // very dense
+            (0.0, 4.0, 0.5),  // light
+            (0.0, 4.0, 0.25), // lighter
+        ]);
+        let tl = Timeline::build(&ts);
+        let ideal = ideal_schedule(&ts, &PolynomialPower::cubic());
+        let avail = allocate_der(&ts, &tl, 2, &ideal);
+        for i in 0..4 {
+            assert!(avail.get(i, 0) > 0.0, "task {i} starved");
+        }
+    }
+
+    #[test]
+    fn zero_der_task_gets_zero_in_that_subinterval() {
+        // With high static power, an early task's ideal execution finishes
+        // before a later heavy subinterval → its DER there is 0.
+        let ts = TaskSet::from_triples(&[
+            (0.0, 20.0, 1.0), // f_crit ≫ 1/20: ideal exec ends early
+            (10.0, 20.0, 8.0),
+            (10.0, 20.0, 8.0),
+        ]);
+        let p = PolynomialPower::paper(2.0, 1.0); // f_crit = 1
+        let tl = Timeline::build(&ts);
+        let ideal = ideal_schedule(&ts, &p);
+        // τ0 ideal: runs [0, 1] at f = 1. Subinterval [10, 20] gets DER 0.
+        let j = tl
+            .subintervals()
+            .iter()
+            .find(|s| s.interval.start == 10.0)
+            .unwrap()
+            .index;
+        assert_eq!(der(&ideal, 0, &tl, j), 0.0);
+        let avail = allocate_der(&ts, &tl, 2, &ideal);
+        assert_eq!(avail.get(0, j), 0.0);
+        // But τ0 still has available time elsewhere (its light span).
+        assert!(avail.total(0) > 0.0);
+    }
+
+    #[test]
+    fn avail_matrix_accessors() {
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        let mut m = AvailMatrix::zeros(&tl, ts.len());
+        assert_eq!(m.task_count(), 6);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(0, 7), 0.0); // outside τ0's span
+        m.set(0, 2, 1.5);
+        assert_eq!(m.get(0, 2), 1.5);
+        assert_eq!(m.total(0), 1.5);
+        let row: Vec<(usize, f64)> = m.row(0).collect();
+        assert_eq!(row.len(), 5);
+        assert_eq!(row[2], (2, 1.5));
+    }
+
+    #[test]
+    fn no_redistribution_strands_capacity_when_caps_bind() {
+        // Interval [12,14] of the V.D example: τ2's proportional share
+        // exceeds Δ = 2 and is capped. With redistribution the surplus
+        // flows to the others (totals sum to 8); without it the surplus is
+        // stranded.
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        let ideal = ideal_schedule(&ts, &PolynomialPower::cubic());
+        let with = allocate_der(&ts, &tl, 4, &ideal);
+        let without = allocate_der_no_redistribution(&ts, &tl, 4, &ideal);
+        let sum_with: f64 = (1..=5).map(|i| with.get(i, 6)).sum();
+        let sum_without: f64 = (1..=5).map(|i| without.get(i, 6)).sum();
+        assert!((sum_with - 8.0).abs() < 1e-9, "with = {sum_with}");
+        assert!(
+            sum_without < sum_with - 1e-3,
+            "no-redistribution did not strand capacity: {sum_without}"
+        );
+        // In the uncapped interval [8,10] the two rules agree.
+        for i in 0..5 {
+            assert!((with.get(i, 4) - without.get(i, 4)).abs() < 1e-9, "task {i}");
+        }
+    }
+
+    #[test]
+    fn work_proportional_differs_from_der_when_windows_differ() {
+        // Two tasks with equal work but very different windows: DER favors
+        // the tight one (higher ideal frequency), work-proportional splits
+        // evenly.
+        let ts = TaskSet::from_triples(&[(0.0, 4.0, 3.0), (0.0, 12.0, 3.0), (0.0, 4.0, 1.0)]);
+        let tl = Timeline::build(&ts);
+        let ideal = ideal_schedule(&ts, &PolynomialPower::cubic());
+        let der_alloc = allocate_der(&ts, &tl, 1, &ideal);
+        let work_alloc = allocate_work_proportional(&ts, &tl, 1);
+        // Subinterval [0,4] is heavy on one core.
+        let j = 0;
+        assert!(
+            der_alloc.get(0, j) > work_alloc.get(0, j) + 1e-9,
+            "DER should favor the tight task: {} vs {}",
+            der_alloc.get(0, j),
+            work_alloc.get(0, j)
+        );
+        // Both respect capacity.
+        let cap = tl.delta(j);
+        for alloc in [&der_alloc, &work_alloc] {
+            let total: f64 = (0..3).map(|i| alloc.get(i, j)).sum();
+            assert!(total <= cap + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not available")]
+    fn set_outside_span_panics() {
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        let mut m = AvailMatrix::zeros(&tl, ts.len());
+        m.set(5, 0, 1.0); // τ5 starts at subinterval 6
+    }
+}

@@ -1,0 +1,125 @@
+//! Core-count selection (Section VI.D, "Additional Remarks").
+//!
+//! The paper notes that using *all* available cores is not always best:
+//! before running, simulate the chosen scheduling method with 1, 2, …, m
+//! cores and pick the configuration with minimal predicted energy. With
+//! zero static power more cores never hurt (more parallel slack → lower
+//! frequencies); with high static power the heuristics' allocation
+//! granularity can make fewer cores competitive, and this sweep finds
+//! that out.
+
+use crate::der::der_schedule;
+use crate::even::even_schedule;
+use esched_types::{PolynomialPower, TaskSet};
+use serde::{Deserialize, Serialize};
+
+/// Which heuristic the sweep evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// Evenly allocating method (`S^F1`).
+    Even,
+    /// DER-based allocating method (`S^F2`).
+    Der,
+}
+
+/// Result of the core-count sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreCountChoice {
+    /// The energy-minimal core count.
+    pub best: usize,
+    /// Final energy at the best core count.
+    pub best_energy: f64,
+    /// `(cores, final_energy)` for every candidate, ascending core count.
+    pub sweep: Vec<(usize, f64)>,
+}
+
+/// Sweep core counts `1..=max_cores` under `method` and pick the best.
+///
+/// # Panics
+/// If `max_cores == 0`.
+pub fn select_core_count(
+    tasks: &TaskSet,
+    max_cores: usize,
+    power: &PolynomialPower,
+    method: Method,
+) -> CoreCountChoice {
+    assert!(max_cores > 0);
+    let mut sweep = Vec::with_capacity(max_cores);
+    for m in 1..=max_cores {
+        let energy = match method {
+            Method::Even => even_schedule(tasks, m, power).final_energy,
+            Method::Der => der_schedule(tasks, m, power).final_energy,
+        };
+        sweep.push((m, energy));
+    }
+    let &(best, best_energy) = sweep
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite energies"))
+        .expect("non-empty sweep");
+    CoreCountChoice {
+        best,
+        best_energy,
+        sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vd_tasks() -> TaskSet {
+        TaskSet::from_triples(&[
+            (0.0, 10.0, 8.0),
+            (2.0, 18.0, 14.0),
+            (4.0, 16.0, 8.0),
+            (6.0, 14.0, 4.0),
+            (8.0, 20.0, 10.0),
+            (12.0, 22.0, 6.0),
+        ])
+    }
+
+    #[test]
+    fn sweep_covers_all_counts() {
+        let choice = select_core_count(&vd_tasks(), 6, &PolynomialPower::cubic(), Method::Der);
+        assert_eq!(choice.sweep.len(), 6);
+        assert!(choice.best >= 1 && choice.best <= 6);
+        let min = choice
+            .sweep
+            .iter()
+            .map(|&(_, e)| e)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(choice.best_energy, min);
+    }
+
+    #[test]
+    fn zero_static_power_prefers_more_cores() {
+        // With p0 = 0, parallel slack only helps: energy is non-increasing
+        // in m for the DER heuristic on this instance, so the sweep picks
+        // the maximum.
+        let choice = select_core_count(&vd_tasks(), 6, &PolynomialPower::cubic(), Method::Der);
+        for w in choice.sweep.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-9,
+                "energy increased from m={} to m={}",
+                w[0].0,
+                w[1].0
+            );
+        }
+        // Peak overlap is 5, so m = 5 already removes every heavy
+        // subinterval; m = 6 ties and the sweep keeps the smaller count.
+        assert!(choice.best == 5 || choice.best == 6, "best = {}", choice.best);
+        let e5 = choice.sweep[4].1;
+        let e6 = choice.sweep[5].1;
+        assert!((e5 - e6).abs() < 1e-9, "m=5 and m=6 should tie: {e5} vs {e6}");
+    }
+
+    #[test]
+    fn both_methods_produce_choices() {
+        let p = PolynomialPower::paper(3.0, 0.2);
+        let a = select_core_count(&vd_tasks(), 4, &p, Method::Even);
+        let b = select_core_count(&vd_tasks(), 4, &p, Method::Der);
+        assert!(a.best_energy > 0.0 && b.best_energy > 0.0);
+        // DER's best is never worse than even's best on this instance.
+        assert!(b.best_energy <= a.best_energy + 1e-9);
+    }
+}

@@ -1,0 +1,511 @@
+//! Practical (discrete-frequency) mode — Section VI.C.
+//!
+//! Real cores run at a finite set of operating points. A continuous
+//! schedule is executed on such a processor by *quantizing* every
+//! segment's frequency to an available level at least as fast; the work of
+//! the segment then completes early, so the schedule stays legal — unless
+//! the required frequency exceeds the top level, in which case the task
+//! cannot meet its deadline and a **deadline miss** is recorded (the
+//! segment is accounted at the top level, the miss reported).
+//!
+//! Two quantization policies are provided:
+//!
+//! * [`QuantizePolicy::NextUp`] — the next level ≥ the requested frequency
+//!   (what a naive governor does, and what the paper's evaluation implies);
+//! * [`QuantizePolicy::BestEfficiency`] — among feasible levels
+//!   (`f_k ≥` requested) pick the one minimizing energy-per-work `p_k/f_k`;
+//!   on tables like the Intel XScale, where the lowest level is *less*
+//!   efficient than the second, this strictly improves energy.
+//!
+//! A third option, [`two_level_split`], emulates any intermediate
+//! frequency exactly by time-sharing the two bracketing levels — the
+//! classic discrete-DVFS trick (see its caveat), provided as an extension
+//! beyond the paper's evaluation, with [`best_discrete_split`] as the
+//! truly optimal per-task policy.
+
+use esched_types::{DiscretePower, FreqLevel, Schedule, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// How to map a requested continuous frequency to an operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuantizePolicy {
+    /// Smallest level ≥ requested.
+    NextUp,
+    /// Among levels ≥ requested, the one with minimal `p/f`.
+    BestEfficiency,
+}
+
+/// Result of executing a continuous schedule on a discrete processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscreteOutcome {
+    /// Total energy with quantized levels.
+    pub energy: f64,
+    /// Tasks that missed their deadline (required > max level), sorted.
+    pub misses: Vec<TaskId>,
+    /// True when no task missed.
+    pub feasible: bool,
+}
+
+/// Pick a level for `required` under `policy`.
+fn pick_level(table: &DiscretePower, required: f64, policy: QuantizePolicy) -> Option<FreqLevel> {
+    match policy {
+        QuantizePolicy::NextUp => table.quantize_up(required),
+        QuantizePolicy::BestEfficiency => {
+            let feasible: Vec<FreqLevel> = table
+                .levels()
+                .iter()
+                .filter(|l| l.freq >= required * (1.0 - 1e-12))
+                .copied()
+                .collect();
+            feasible
+                .into_iter()
+                .min_by(|a, b| {
+                    (a.power / a.freq)
+                        .partial_cmp(&(b.power / b.freq))
+                        .expect("finite table")
+                })
+        }
+    }
+}
+
+/// Execute `schedule` on the discrete processor `table`.
+///
+/// Every segment's frequency is quantized under `policy`; the segment's
+/// *work* is preserved (it finishes early at the faster level). Segments
+/// whose frequency exceeds the top level run at the top level and mark
+/// their task as missed.
+pub fn quantize_schedule(
+    schedule: &Schedule,
+    table: &DiscretePower,
+    policy: QuantizePolicy,
+) -> DiscreteOutcome {
+    let mut energy = 0.0;
+    let mut missed: Vec<TaskId> = Vec::new();
+    for seg in schedule.segments() {
+        let work = seg.work();
+        match pick_level(table, seg.freq, policy) {
+            Some(level) => {
+                energy += level.power * work / level.freq;
+            }
+            None => {
+                let top = table.levels()[table.levels().len() - 1];
+                energy += top.power * work / top.freq;
+                missed.push(seg.task);
+            }
+        }
+    }
+    missed.sort_unstable();
+    missed.dedup();
+    DiscreteOutcome {
+        energy,
+        feasible: missed.is_empty(),
+        misses: missed,
+    }
+}
+
+/// Result of the two-level emulation for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoLevelSplit {
+    /// The lower operating point.
+    pub low: FreqLevel,
+    /// The higher operating point (equal to `low` when the requested
+    /// frequency matches a level exactly).
+    pub high: FreqLevel,
+    /// Time spent at `low`.
+    pub t_low: f64,
+    /// Time spent at `high`.
+    pub t_high: f64,
+    /// Energy of the split.
+    pub energy: f64,
+}
+
+/// *Two-level emulation* of a continuous frequency: when a task wants
+/// frequency `f` strictly between two adjacent operating points, run part
+/// of its work at the level below and part at the level above so that
+/// exactly `avail` time is used:
+///
+/// ```text
+/// t_lo·f_lo + t_hi·f_hi = work,   t_lo + t_hi = avail
+/// ```
+///
+/// **Caveat** (and a finding this workspace surfaces): with zero-power
+/// sleep this mix is *not* always better than a single faster level. On
+/// tables with an interior energy-per-work minimum (the XScale's is
+/// 400 MHz), requested frequencies *below* the sweet spot are served
+/// cheapest by running at the sweet spot and sleeping — mixing in an
+/// inefficient low level only helps when the platform cannot sleep.
+/// [`best_discrete_split`] takes the minimum over both strategies.
+/// Returns `None` when even the top level cannot deliver the work in
+/// `avail` time (a deadline miss).
+pub fn two_level_split(table: &DiscretePower, work: f64, avail: f64) -> Option<TwoLevelSplit> {
+    assert!(work > 0.0 && avail > 0.0);
+    let f_req = work / avail;
+    let levels = table.levels();
+    let top = levels[levels.len() - 1];
+    if f_req > top.freq * (1.0 + 1e-12) {
+        return None;
+    }
+    // Requested at or below the bottom level: the bottom level alone,
+    // finishing early (running slower than the bottom level is not
+    // possible).
+    let bottom = levels[0];
+    if f_req <= bottom.freq {
+        return Some(TwoLevelSplit {
+            low: bottom,
+            high: bottom,
+            t_low: work / bottom.freq,
+            t_high: 0.0,
+            energy: bottom.power * work / bottom.freq,
+        });
+    }
+    // Find the bracketing pair.
+    let hi_idx = levels
+        .iter()
+        .position(|l| f_req <= l.freq * (1.0 + 1e-12))
+        .expect("f_req <= top checked above");
+    let high = levels[hi_idx];
+    if (high.freq - f_req).abs() <= 1e-12 * high.freq {
+        return Some(TwoLevelSplit {
+            low: high,
+            high,
+            t_low: work / high.freq,
+            t_high: 0.0,
+            energy: high.power * work / high.freq,
+        });
+    }
+    let low = levels[hi_idx - 1];
+    // Solve the 2x2 system.
+    let t_high = (work - low.freq * avail) / (high.freq - low.freq);
+    let t_low = avail - t_high;
+    debug_assert!(t_high >= -1e-9 && t_low >= -1e-9);
+    let t_high = t_high.max(0.0);
+    let t_low = t_low.max(0.0);
+    Some(TwoLevelSplit {
+        low,
+        high,
+        t_low,
+        t_high,
+        energy: low.power * t_low + high.power * t_high,
+    })
+}
+
+/// Materialize the quantized execution as a concrete [`Schedule`]:
+/// every segment keeps its start and core but runs at the quantized level
+/// and *shrinks* to the duration that completes the same work
+/// (`work / f_level ≤` original duration since `f_level ≥ f`). The result
+/// therefore stays collision-free and window-contained whenever the input
+/// was — it can be validated and simulated like any other schedule.
+/// Segments whose frequency exceeds the top level run at the top level
+/// for their full original duration (delivering less work — the validator
+/// and simulator then report the miss).
+pub fn requantize_schedule(
+    schedule: &Schedule,
+    table: &DiscretePower,
+    policy: QuantizePolicy,
+) -> Schedule {
+    let mut out = Schedule::new(schedule.cores);
+    let top = table.levels()[table.levels().len() - 1];
+    for seg in schedule.segments() {
+        let work = seg.work();
+        match pick_level(table, seg.freq, policy) {
+            Some(level) => {
+                let dur = work / level.freq;
+                out.push(esched_types::Segment::new(
+                    seg.task,
+                    seg.core,
+                    seg.interval.start,
+                    seg.interval.start + dur,
+                    level.freq,
+                ));
+            }
+            None => {
+                out.push(esched_types::Segment::new(
+                    seg.task,
+                    seg.core,
+                    seg.interval.start,
+                    seg.interval.end,
+                    top.freq,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The energy-optimal discrete execution of `(work, avail)` on a
+/// sleep-capable processor: the cheaper of (a) the best *single* feasible
+/// level (run, then sleep) and (b) the two-level mix of
+/// [`two_level_split`]. `None` on a miss.
+pub fn best_discrete_split(
+    table: &DiscretePower,
+    work: f64,
+    avail: f64,
+) -> Option<TwoLevelSplit> {
+    let f_req = work / avail;
+    let mix = two_level_split(table, work, avail)?;
+    // Best single level among the feasible ones.
+    let single = table
+        .levels()
+        .iter()
+        .filter(|l| l.freq >= f_req * (1.0 - 1e-12))
+        .map(|&l| TwoLevelSplit {
+            low: l,
+            high: l,
+            t_low: work / l.freq,
+            t_high: 0.0,
+            energy: l.power * work / l.freq,
+        })
+        .min_by(|a, b| a.energy.partial_cmp(&b.energy).expect("finite"));
+    match single {
+        Some(s) if s.energy < mix.energy => Some(s),
+        _ => Some(mix),
+    }
+}
+
+/// Execute a final [`esched_types::FrequencyAssignment`] on a discrete
+/// processor using the two-level emulation per task: each task `i` with
+/// requirement `works[i]` and available time `avail[i]` is split across
+/// the two levels bracketing `works[i]/avail[i]`.
+///
+/// Returns total energy and the tasks whose requested frequency exceeds
+/// the top level (misses, accounted at the top level).
+pub fn two_level_assignment(
+    assignment: &esched_types::FrequencyAssignment,
+    works: &[f64],
+    table: &DiscretePower,
+) -> DiscreteOutcome {
+    assert_eq!(works.len(), assignment.freq.len());
+    let mut energy = 0.0;
+    let mut misses = Vec::new();
+    for (i, (&c, &f)) in works.iter().zip(&assignment.freq).enumerate() {
+        // The task's *effective* available time is C/f (its planned
+        // duration); splitting within that window preserves the schedule's
+        // slot structure because the split uses exactly the same total
+        // time.
+        let avail = c / f;
+        match two_level_split(table, c, avail) {
+            Some(split) => energy += split.energy,
+            None => {
+                let top = table.levels()[table.levels().len() - 1];
+                energy += top.power * c / top.freq;
+                misses.push(i);
+            }
+        }
+    }
+    misses.sort_unstable();
+    misses.dedup();
+    DiscreteOutcome {
+        energy,
+        feasible: misses.is_empty(),
+        misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esched_types::{Schedule, Segment};
+
+    fn xscale() -> DiscretePower {
+        DiscretePower::from_pairs(&[
+            (150.0, 80.0),
+            (400.0, 170.0),
+            (600.0, 400.0),
+            (800.0, 900.0),
+            (1000.0, 1600.0),
+        ])
+    }
+
+    #[test]
+    fn next_up_quantization_energy() {
+        // One segment: 10 s at 300 MHz → 3000 M-cycles, quantizes to
+        // 400 MHz: energy = 170 mW · 3000/400 s = 1275.
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(0, 0, 0.0, 10.0, 300.0));
+        let out = quantize_schedule(&s, &xscale(), QuantizePolicy::NextUp);
+        assert!(out.feasible);
+        assert!((out.energy - 170.0 * 3000.0 / 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_efficiency_picks_the_sweet_spot() {
+        // Requested 100 MHz: NextUp takes 150 MHz (p/f ≈ 0.533);
+        // BestEfficiency takes 400 MHz (p/f = 0.425).
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(0, 0, 0.0, 10.0, 100.0));
+        let work = 1000.0;
+        let nu = quantize_schedule(&s, &xscale(), QuantizePolicy::NextUp);
+        let be = quantize_schedule(&s, &xscale(), QuantizePolicy::BestEfficiency);
+        assert!((nu.energy - 80.0 * work / 150.0).abs() < 1e-9);
+        assert!((be.energy - 170.0 * work / 400.0).abs() < 1e-9);
+        assert!(be.energy < nu.energy);
+    }
+
+    #[test]
+    fn over_the_top_frequency_is_a_miss() {
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(7, 0, 0.0, 1.0, 1200.0));
+        let out = quantize_schedule(&s, &xscale(), QuantizePolicy::NextUp);
+        assert!(!out.feasible);
+        assert_eq!(out.misses, vec![7]);
+        // Accounted at the top level.
+        assert!((out.energy - 1600.0 * 1200.0 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misses_deduplicate_per_task() {
+        let mut s = Schedule::new(2);
+        s.push(Segment::new(3, 0, 0.0, 1.0, 1200.0));
+        s.push(Segment::new(3, 1, 2.0, 3.0, 1100.0));
+        s.push(Segment::new(1, 0, 4.0, 5.0, 500.0));
+        let out = quantize_schedule(&s, &xscale(), QuantizePolicy::NextUp);
+        assert_eq!(out.misses, vec![3]);
+    }
+
+    #[test]
+    fn exact_level_frequency_maps_to_itself() {
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(0, 0, 0.0, 2.0, 400.0));
+        let out = quantize_schedule(&s, &xscale(), QuantizePolicy::NextUp);
+        assert!((out.energy - 170.0 * 800.0 / 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requantized_schedule_is_shorter_and_matches_quantize_energy() {
+        use crate::der::der_schedule;
+        use esched_types::{validate_schedule, TaskSet};
+        // XScale-scaled V.D instance.
+        let tasks = TaskSet::from_triples(&[
+            (0.0, 10.0, 8.0 * 300.0),
+            (2.0, 18.0, 14.0 * 300.0),
+            (4.0, 16.0, 8.0 * 300.0),
+            (6.0, 14.0, 4.0 * 300.0),
+            (8.0, 20.0, 10.0 * 300.0),
+            (12.0, 22.0, 6.0 * 300.0),
+        ]);
+        let power = esched_types::PolynomialPower::new(3.855e-6, 2.867, 63.58).unwrap();
+        let table = xscale();
+        let cont = der_schedule(&tasks, 4, &power);
+        validate_schedule(&cont.schedule, &tasks).assert_legal();
+        let disc = requantize_schedule(&cont.schedule, &table, QuantizePolicy::NextUp);
+        // Still legal: faster segments only shrink.
+        validate_schedule(&disc, &tasks).assert_legal();
+        // Its energy under the *table* equals the analytic quantization.
+        let analytic = quantize_schedule(&cont.schedule, &table, QuantizePolicy::NextUp);
+        let materialized = disc.energy(&table);
+        assert!(
+            (materialized - analytic.energy).abs() < 1e-6 * (1.0 + analytic.energy),
+            "{materialized} vs {}",
+            analytic.energy
+        );
+    }
+
+    #[test]
+    fn two_level_split_solves_the_system() {
+        // Request 500 MHz for 1000 Mcycles in 2 s: bracket (400, 600).
+        // t_hi = (1000 − 400·2)/(600 − 400) = 1, t_lo = 1.
+        let split = two_level_split(&xscale(), 1000.0, 2.0).unwrap();
+        assert_eq!(split.low.freq, 400.0);
+        assert_eq!(split.high.freq, 600.0);
+        assert!((split.t_low - 1.0).abs() < 1e-9);
+        assert!((split.t_high - 1.0).abs() < 1e-9);
+        assert!((split.energy - (170.0 + 400.0)).abs() < 1e-9);
+        // Work is preserved.
+        let w = split.low.freq * split.t_low + split.high.freq * split.t_high;
+        assert!((w - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_level_beats_next_up_strictly_between_levels() {
+        // 500 MHz request: NextUp runs at 600 (energy 400·C/600);
+        // two-level uses the (400, 600) mix over the full window.
+        let table = xscale();
+        let (work, avail) = (1000.0, 2.0);
+        let split = two_level_split(&table, work, avail).unwrap();
+        let next_up = table.quantize_up(work / avail).unwrap();
+        let nu_energy = next_up.power * work / next_up.freq;
+        assert!(
+            split.energy < nu_energy,
+            "two-level {} vs next-up {}",
+            split.energy,
+            nu_energy
+        );
+    }
+
+    #[test]
+    fn two_level_exact_level_uses_one_level() {
+        let split = two_level_split(&xscale(), 800.0, 2.0).unwrap(); // 400 MHz
+        assert_eq!(split.low.freq, 400.0);
+        assert_eq!(split.t_high, 0.0);
+        assert!((split.energy - 170.0 * 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_level_below_bottom_finishes_early() {
+        // Request 100 MHz: bottom level 150 runs 100·avail work in less
+        // time.
+        let split = two_level_split(&xscale(), 200.0, 2.0).unwrap();
+        assert_eq!(split.low.freq, 150.0);
+        assert_eq!(split.high.freq, 150.0);
+        assert!((split.t_low - 200.0 / 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_level_over_top_is_none() {
+        assert!(two_level_split(&xscale(), 3000.0, 2.0).is_none());
+    }
+
+    #[test]
+    fn best_discrete_split_prefers_sweet_spot_below_it() {
+        // Request 200 MHz: the 400 MHz level alone (0.425 mJ/Mc) beats the
+        // (150, 400) mix.
+        let table = xscale();
+        let best = best_discrete_split(&table, 400.0, 2.0).unwrap();
+        assert_eq!(best.low.freq, 400.0);
+        assert_eq!(best.t_high, 0.0);
+        assert!((best.energy - 170.0 * 400.0 / 400.0).abs() < 1e-9);
+        // And it is no worse than the raw mix.
+        let mix = two_level_split(&table, 400.0, 2.0).unwrap();
+        assert!(best.energy <= mix.energy);
+    }
+
+    #[test]
+    fn best_discrete_split_prefers_mix_above_sweet_spot() {
+        // Request 500 MHz: the (400, 600) mix (0.57 mJ/Mc) beats 600 alone
+        // (0.667 mJ/Mc).
+        let best = best_discrete_split(&xscale(), 1000.0, 2.0).unwrap();
+        assert_eq!(best.low.freq, 400.0);
+        assert_eq!(best.high.freq, 600.0);
+        assert!(best.t_high > 0.0);
+    }
+
+    #[test]
+    fn best_discrete_never_loses_to_next_up() {
+        let table = xscale();
+        for f_req in [100.0, 200.0, 350.0, 450.0, 550.0, 700.0, 900.0, 1000.0] {
+            let work = f_req * 3.0; // avail = 3
+            let best = best_discrete_split(&table, work, 3.0).unwrap();
+            let nu = table.quantize_up(f_req).unwrap();
+            let nu_energy = nu.power * work / nu.freq;
+            assert!(
+                best.energy <= nu_energy * (1.0 + 1e-12),
+                "f_req {f_req}: best {} vs next-up {nu_energy}",
+                best.energy
+            );
+        }
+    }
+
+    #[test]
+    fn two_level_assignment_aggregates() {
+        let fa = esched_types::FrequencyAssignment {
+            freq: vec![500.0, 2000.0],
+            avail: vec![2.0, 1.0],
+        };
+        let out = two_level_assignment(&fa, &[1000.0, 2000.0], &xscale());
+        assert!(!out.feasible);
+        assert_eq!(out.misses, vec![1]);
+        // Task 0 contributes the split energy, task 1 the top level.
+        let expected = 570.0 + 1600.0 * 2000.0 / 1000.0;
+        assert!((out.energy - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,143 @@
+//! The ideal case `S^O` (Section V.A): unlimited cores.
+//!
+//! With one core per task there are no collisions; each task independently
+//! minimizes `E_i = C_i·(f^{α−1}·γ + p₀/f)` subject to finishing inside
+//! its window (`f ≥ C_i/(D_i−R_i)`). The KKT solution is the closed form
+//! of Eq. 19:
+//!
+//! ```text
+//! f_i^O = max{ (p₀/(γ(α−1)))^{1/α},  C_i/(D_i−R_i) }
+//! ```
+//!
+//! and the execution interval is `U_i^O = [R_i, R_i + C_i/f_i^O]` — start
+//! as early as possible, run at the optimum, stop. `E^O = Σ_i E_i^O` lower-
+//! bounds the *constrained* optimum whenever the core count never binds,
+//! and is the reference from which Desired Execution Requirements (DERs)
+//! are computed.
+
+use esched_types::time::Interval;
+use esched_types::{PolynomialPower, PowerModel, TaskSet};
+use serde::{Deserialize, Serialize};
+
+/// The per-task ideal optimum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdealSolution {
+    /// Optimal frequency `f_i^O` per task.
+    pub freq: Vec<f64>,
+    /// Ideal execution interval `U_i^O = [R_i, R_i + C_i/f_i^O]` per task.
+    pub exec: Vec<Interval>,
+    /// Per-task optimal energy `E_i^O`.
+    pub per_task_energy: Vec<f64>,
+    /// Total `E^O`.
+    pub energy: f64,
+}
+
+impl IdealSolution {
+    /// Execution time of task `i` inside `iv` under the ideal schedule:
+    /// `|U_i^O ∩ iv|`. This feeds the DER of Eq. 24.
+    pub fn exec_overlap(&self, task: usize, iv: &Interval) -> f64 {
+        self.exec[task].overlap_len(iv)
+    }
+}
+
+/// Compute the ideal-case solution `S^O` for every task.
+pub fn ideal_schedule(tasks: &TaskSet, power: &PolynomialPower) -> IdealSolution {
+    let n = tasks.len();
+    let mut freq = Vec::with_capacity(n);
+    let mut exec = Vec::with_capacity(n);
+    let mut per_task_energy = Vec::with_capacity(n);
+    for (_, t) in tasks.iter() {
+        let f = power.optimal_frequency(t.wcec, t.window_len());
+        // `optimal_frequency` returns 0 only when p0 = 0 *and* the window is
+        // unbounded; with finite windows the stretch term keeps it positive.
+        debug_assert!(f > 0.0);
+        let dur = t.wcec / f;
+        freq.push(f);
+        exec.push(Interval::new(t.release, t.release + dur));
+        per_task_energy.push(power.energy_for_work(t.wcec, f));
+    }
+    let energy = esched_types::time::compensated_sum(per_task_energy.iter().copied());
+    IdealSolution {
+        freq,
+        exec,
+        per_task_energy,
+        energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vd_tasks() -> TaskSet {
+        TaskSet::from_triples(&[
+            (0.0, 10.0, 8.0),
+            (2.0, 18.0, 14.0),
+            (4.0, 16.0, 8.0),
+            (6.0, 14.0, 4.0),
+            (8.0, 20.0, 10.0),
+            (12.0, 22.0, 6.0),
+        ])
+    }
+
+    #[test]
+    fn vd_example_ideal_frequencies() {
+        // p(f) = f³ (γ=1, p0=0): f^O = C/(D−R). The paper lists
+        // 4/5, 7/8, 2/3, 1/2, 5/6, 3/5.
+        let sol = ideal_schedule(&vd_tasks(), &PolynomialPower::cubic());
+        let expect = [0.8, 7.0 / 8.0, 2.0 / 3.0, 0.5, 5.0 / 6.0, 0.6];
+        for (i, &e) in expect.iter().enumerate() {
+            assert!(
+                (sol.freq[i] - e).abs() < 1e-12,
+                "task {i}: {} vs {e}",
+                sol.freq[i]
+            );
+        }
+        // With p0 = 0 each ideal execution fills the whole window.
+        for (i, t) in vd_tasks().iter() {
+            assert!((sol.exec[i].start - t.release).abs() < 1e-12);
+            assert!((sol.exec[i].end - t.deadline).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn static_power_raises_frequency_to_critical() {
+        // One lazy task: C = 1, window 100. With p(f) = f² + 0.25,
+        // f_crit = 0.5 ≫ 1/100 → run at 0.5 for 2 time units.
+        let ts = TaskSet::from_triples(&[(0.0, 100.0, 1.0)]);
+        let p = PolynomialPower::paper(2.0, 0.25);
+        let sol = ideal_schedule(&ts, &p);
+        assert!((sol.freq[0] - 0.5).abs() < 1e-12);
+        assert!((sol.exec[0].length() - 2.0).abs() < 1e-12);
+        // Energy: (0.25 + 0.25)·2 = 1.0.
+        assert!((sol.energy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_window_forces_stretch_frequency() {
+        let ts = TaskSet::from_triples(&[(0.0, 2.0, 4.0)]); // needs f = 2
+        let p = PolynomialPower::paper(2.0, 0.25); // f_crit = 0.5
+        let sol = ideal_schedule(&ts, &p);
+        assert!((sol.freq[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exec_overlap_gives_der_numerators() {
+        // The paper's [8,10] DER inputs: |U^O ∩ [8,10]| = 2 for all five
+        // overlapping tasks (p0 = 0 stretches execution over windows).
+        let sol = ideal_schedule(&vd_tasks(), &PolynomialPower::cubic());
+        let iv = Interval::new(8.0, 10.0);
+        for i in 0..5 {
+            assert!((sol.exec_overlap(i, &iv) - 2.0).abs() < 1e-12, "task {i}");
+        }
+        // τ5 = (12, 22) does not overlap [8,10] at all.
+        assert_eq!(sol.exec_overlap(5, &iv), 0.0);
+    }
+
+    #[test]
+    fn ideal_energy_is_sum_of_parts() {
+        let sol = ideal_schedule(&vd_tasks(), &PolynomialPower::paper(3.0, 0.1));
+        let sum: f64 = sol.per_task_energy.iter().sum();
+        assert!((sol.energy - sum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,65 @@
+//! # esched-core
+//!
+//! The scheduling algorithms of Li & Wu, *"Energy-Aware Scheduling for
+//! Aperiodic Tasks on Multi-core Processors"* (ICPP 2014):
+//!
+//! * [`ideal`] — the unlimited-core ideal case `S^O` (Eq. 19),
+//! * [`allocation`] — available-time allocation: light subintervals,
+//!   the evenly allocating rule, and Algorithm 2 (DER-based),
+//! * [`packing`] — Algorithm 1 (wrap-around collision-free packing),
+//! * [`refine`] — intermediate/final schedule construction and the final
+//!   frequency setting (Eq. 22-23),
+//! * [`even`] / [`der`] — the two methods end-to-end (`S^F1`, `S^F2`),
+//! * [`optimal`] — the convex-programming optimum `E^OPT` with schedule
+//!   extraction (Theorem 1),
+//! * [`yds`] — the YDS optimal uniprocessor baseline,
+//! * [`discrete`] — practical discrete-frequency execution and
+//!   deadline-miss accounting (Section VI.C),
+//! * [`core_count`] — the Section VI.D core-count selection sweep,
+//! * [`replan`] — non-clairvoyant event-driven replanning (aperiodic
+//!   arrivals not known in advance),
+//! * [`nec`] — Normalized Energy Consumption evaluation used by every
+//!   experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod baselines;
+pub mod core_count;
+pub mod der;
+pub mod discrete;
+pub mod even;
+pub mod ideal;
+pub mod nec;
+pub mod optimal;
+pub mod packing;
+pub mod quality;
+pub mod reclaim;
+pub mod refine;
+pub mod replan;
+pub mod yds;
+
+pub use allocation::{
+    allocate_der, allocate_der_no_redistribution, allocate_even, allocate_work_proportional,
+    AvailMatrix,
+};
+pub use baselines::{partitioned_yds, uniform_frequency, BaselineOutcome};
+pub use core_count::{select_core_count, CoreCountChoice, Method};
+pub use der::der_schedule;
+pub use discrete::{
+    best_discrete_split, quantize_schedule, requantize_schedule, two_level_assignment,
+    two_level_split, DiscreteOutcome, QuantizePolicy, TwoLevelSplit,
+};
+pub use even::even_schedule;
+pub use ideal::{ideal_schedule, IdealSolution};
+pub use nec::{evaluate_nec, mean_nec, std_nec, NecPoint};
+pub use optimal::{optimal_energy, optimal_energy_with, OptimalSolution, Solver};
+pub use packing::{pack_subinterval, PackError, PackItem};
+pub use quality::{analyze, ScheduleQuality, TaskQuality};
+pub use refine::{
+    build_outcome, final_assignment, final_schedule, intermediate_schedule, HeuristicOutcome,
+};
+pub use reclaim::{no_reclaim_energy, reclaim_der, ReclaimOutcome};
+pub use replan::{replan_der, ReplanOutcome};
+pub use yds::{yds_schedule, YdsSolution};

@@ -1,0 +1,349 @@
+//! Frequency refinement and schedule materialization.
+//!
+//! Given an availability matrix `a_{i,j}`, two schedules are derived:
+//!
+//! * the **intermediate** schedule (`S^I1`/`S^I2`): every task completes,
+//!   in each subinterval, exactly the work the ideal case `S^O` completes
+//!   there. Where the allocation is tighter than the ideal execution time,
+//!   the frequency rises to squeeze the same work into the allocated time
+//!   (Sections V.B.1 / V.C.1);
+//! * the **final** schedule (`S^F1`/`S^F2`): each task's total available
+//!   time `A_i = Σ_j a_{i,j}` feeds the per-task optimum of Eq. 22-23,
+//!   `f_i = max{ f_crit, C_i/A_i }`, and the task's execution time
+//!   `C_i/f_i` is spread over its available slots proportionally.
+//!
+//! Both are materialized into concrete [`Schedule`]s via Algorithm 1
+//! ([`crate::packing`]) so they can be validated and simulated; their
+//! energies are the analytic `E^I`/`E^F` of the paper.
+
+use crate::allocation::AvailMatrix;
+use crate::ideal::IdealSolution;
+use crate::packing::{pack_subinterval, PackItem};
+use esched_subinterval::Timeline;
+use esched_types::time::EPS;
+use esched_types::{FrequencyAssignment, PolynomialPower, Schedule, TaskSet};
+use serde::{Deserialize, Serialize};
+
+/// Everything a heuristic run produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeuristicOutcome {
+    /// Per-(task, subinterval) available times `a_{i,j}`.
+    pub avail: AvailMatrix,
+    /// Per-task totals `A_i`.
+    pub total_avail: Vec<f64>,
+    /// The final per-task frequency assignment (Eq. 22-23).
+    pub assignment: FrequencyAssignment,
+    /// Energy of the intermediate schedule (`E^{I1}` / `E^{I2}`).
+    pub intermediate_energy: f64,
+    /// Energy of the final schedule (`E^{F1}` / `E^{F2}`).
+    pub final_energy: f64,
+    /// The materialized intermediate schedule.
+    pub intermediate_schedule: Schedule,
+    /// The materialized final schedule.
+    pub schedule: Schedule,
+}
+
+/// Build the intermediate schedule: per subinterval, each overlapping task
+/// runs for `min(u, a)` where `u = |U_i^O ∩ sub|`, at frequency `f_i^O`
+/// when `u ≤ a` and at the squeezed `u·f_i^O/a` otherwise. The work
+/// completed per subinterval equals the ideal case's.
+pub fn intermediate_schedule(
+    timeline: &Timeline,
+    cores: usize,
+    ideal: &IdealSolution,
+    avail: &AvailMatrix,
+) -> Schedule {
+    let mut out = Schedule::new(cores);
+    let mut items: Vec<PackItem> = Vec::new();
+    for sub in timeline.subintervals() {
+        items.clear();
+        for &i in &sub.overlapping {
+            let u = ideal.exec_overlap(i, &sub.interval);
+            if u <= EPS {
+                continue;
+            }
+            let a = avail.get(i, sub.index);
+            let (duration, freq) = if u <= a + EPS {
+                (u, ideal.freq[i])
+            } else if a > EPS {
+                (a, u * ideal.freq[i] / a)
+            } else {
+                // No allocation at all in this subinterval: the ideal work
+                // here is lost; the *final* schedule recovers feasibility,
+                // but the intermediate schedule (matching the paper's
+                // analytic construction) simply cannot place it. Skip —
+                // tasks with positive DER always receive positive
+                // allocation (see allocation.rs), so this arises only for
+                // zero allocations where u is also ~0.
+                continue;
+            };
+            items.push(PackItem {
+                task: i,
+                duration,
+                freq,
+            });
+        }
+        pack_subinterval(&items, sub.interval.start, sub.interval.end, cores, &mut out)
+            .expect("intermediate durations respect capacity by construction");
+    }
+    out.coalesce();
+    out
+}
+
+/// Final frequency assignment from per-task available totals:
+/// `f_i = max{ f_crit, C_i / A_i }`.
+pub fn final_assignment(
+    tasks: &TaskSet,
+    total_avail: &[f64],
+    power: &PolynomialPower,
+) -> FrequencyAssignment {
+    assert_eq!(tasks.len(), total_avail.len());
+    let freq = tasks
+        .iter()
+        .map(|(i, t)| {
+            let a = total_avail[i];
+            assert!(
+                a > EPS,
+                "task {i} has no available execution time — allocation bug"
+            );
+            power.optimal_frequency(t.wcec, a)
+        })
+        .collect();
+    FrequencyAssignment {
+        freq,
+        avail: total_avail.to_vec(),
+    }
+}
+
+/// Materialize the final schedule: task `i` needs `d_i = C_i/f_i ≤ A_i`
+/// core time, spread over its available slots in proportion
+/// `x_{i,j} = a_{i,j}·d_i/A_i`, then packed per subinterval by Algorithm 1.
+pub fn final_schedule(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    avail: &AvailMatrix,
+    assignment: &FrequencyAssignment,
+) -> Schedule {
+    let n = tasks.len();
+    // Per-task scale factor d_i / A_i ∈ (0, 1].
+    let mut scale = vec![0.0; n];
+    for (i, t) in tasks.iter() {
+        let d = t.wcec / assignment.freq[i];
+        let a = assignment.avail[i];
+        debug_assert!(d <= a * (1.0 + 1e-9), "duration {d} exceeds avail {a}");
+        scale[i] = (d / a).min(1.0);
+    }
+    let mut out = Schedule::new(cores);
+    let mut items: Vec<PackItem> = Vec::new();
+    for sub in timeline.subintervals() {
+        items.clear();
+        for &i in &sub.overlapping {
+            let used = avail.get(i, sub.index) * scale[i];
+            if used <= EPS {
+                continue;
+            }
+            items.push(PackItem {
+                task: i,
+                duration: used,
+                freq: assignment.freq[i],
+            });
+        }
+        pack_subinterval(&items, sub.interval.start, sub.interval.end, cores, &mut out)
+            .expect("scaled durations respect capacity by construction");
+    }
+    out.coalesce();
+    out
+}
+
+/// Assemble the full [`HeuristicOutcome`] from an availability matrix.
+/// Shared tail of the even and DER pipelines.
+pub fn build_outcome(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    power: &PolynomialPower,
+    ideal: &IdealSolution,
+    avail: AvailMatrix,
+) -> HeuristicOutcome {
+    let total_avail = avail.totals();
+    let assignment = final_assignment(tasks, &total_avail, power);
+    let intermediate = intermediate_schedule(timeline, cores, ideal, &avail);
+    let schedule = final_schedule(tasks, timeline, cores, &avail, &assignment);
+    let works: Vec<f64> = tasks.tasks().iter().map(|t| t.wcec).collect();
+    let final_energy = assignment.energy(&works, power);
+    let intermediate_energy = intermediate.energy(power);
+    HeuristicOutcome {
+        avail,
+        total_avail,
+        assignment,
+        intermediate_energy,
+        final_energy,
+        intermediate_schedule: intermediate,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::{allocate_der, allocate_even};
+    use crate::ideal::ideal_schedule;
+    use esched_types::validate_schedule;
+
+    fn vd_tasks() -> TaskSet {
+        TaskSet::from_triples(&[
+            (0.0, 10.0, 8.0),
+            (2.0, 18.0, 14.0),
+            (4.0, 16.0, 8.0),
+            (6.0, 14.0, 4.0),
+            (8.0, 20.0, 10.0),
+            (12.0, 22.0, 6.0),
+        ])
+    }
+
+    #[test]
+    fn vd_even_final_energy_matches_paper_33_0642() {
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        let p = PolynomialPower::cubic();
+        let ideal = ideal_schedule(&ts, &p);
+        let avail = allocate_even(&ts, &tl, 4);
+        let out = build_outcome(&ts, &tl, 4, &p, &ideal, avail);
+        assert!(
+            (out.final_energy - 33.0642).abs() < 5e-4,
+            "E^F1 = {} vs paper 33.0642",
+            out.final_energy
+        );
+        // Paper's final frequencies.
+        let expect = [
+            8.0 / 9.6,
+            14.0 / 15.2,
+            8.0 / 11.2,
+            4.0 / 7.2,
+            10.0 / 11.2,
+            6.0 / 9.6,
+        ];
+        for (i, &e) in expect.iter().enumerate() {
+            assert!(
+                (out.assignment.freq[i] - e).abs() < 1e-9,
+                "task {i}: {} vs {e}",
+                out.assignment.freq[i]
+            );
+        }
+    }
+
+    #[test]
+    fn vd_der_final_energy_matches_paper_31_8362() {
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        let p = PolynomialPower::cubic();
+        let ideal = ideal_schedule(&ts, &p);
+        let avail = allocate_der(&ts, &tl, 4, &ideal);
+        let out = build_outcome(&ts, &tl, 4, &p, &ideal, avail);
+        assert!(
+            (out.final_energy - 31.8362).abs() < 5e-4,
+            "E^F2 = {} vs paper 31.8362",
+            out.final_energy
+        );
+        // DER beats even allocation on this instance, as the paper shows.
+        let even = build_outcome(
+            &ts,
+            &tl,
+            4,
+            &p,
+            &ideal,
+            allocate_even(&ts, &tl, 4),
+        );
+        assert!(out.final_energy < even.final_energy);
+    }
+
+    #[test]
+    fn both_final_schedules_are_legal() {
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        for p in [PolynomialPower::cubic(), PolynomialPower::paper(3.0, 0.2)] {
+            let ideal = ideal_schedule(&ts, &p);
+            for avail in [
+                allocate_even(&ts, &tl, 4),
+                allocate_der(&ts, &tl, 4, &ideal),
+            ] {
+                let out = build_outcome(&ts, &tl, 4, &p, &ideal, avail);
+                validate_schedule(&out.schedule, &ts).assert_legal();
+            }
+        }
+    }
+
+    #[test]
+    fn intermediate_schedules_are_legal() {
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        let p = PolynomialPower::cubic();
+        let ideal = ideal_schedule(&ts, &p);
+        for avail in [
+            allocate_even(&ts, &tl, 4),
+            allocate_der(&ts, &tl, 4, &ideal),
+        ] {
+            let out = build_outcome(&ts, &tl, 4, &p, &ideal, avail);
+            validate_schedule(&out.intermediate_schedule, &ts).assert_legal();
+        }
+    }
+
+    #[test]
+    fn final_improves_on_intermediate() {
+        // E^F ≤ E^I (final refinement only re-optimizes frequencies).
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        for p in [
+            PolynomialPower::cubic(),
+            PolynomialPower::paper(3.0, 0.1),
+            PolynomialPower::paper(2.0, 0.2),
+        ] {
+            let ideal = ideal_schedule(&ts, &p);
+            for avail in [
+                allocate_even(&ts, &tl, 4),
+                allocate_der(&ts, &tl, 4, &ideal),
+            ] {
+                let out = build_outcome(&ts, &tl, 4, &p, &ideal, avail);
+                assert!(
+                    out.final_energy <= out.intermediate_energy + 1e-9,
+                    "p0={} final {} > intermediate {}",
+                    p.p0,
+                    out.final_energy,
+                    out.intermediate_energy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn final_schedule_energy_matches_analytic_energy() {
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        let p = PolynomialPower::paper(3.0, 0.05);
+        let ideal = ideal_schedule(&ts, &p);
+        let out = build_outcome(&ts, &tl, 4, &p, &ideal, allocate_der(&ts, &tl, 4, &ideal));
+        let sched_energy = out.schedule.energy(&p);
+        assert!(
+            (sched_energy - out.final_energy).abs() < 1e-6 * (1.0 + out.final_energy),
+            "schedule {} vs analytic {}",
+            sched_energy,
+            out.final_energy
+        );
+    }
+
+    #[test]
+    fn high_static_power_leaves_slack_unused() {
+        // With f_crit above the stretch frequency, the final schedule uses
+        // less than the available time.
+        let ts = TaskSet::from_triples(&[(0.0, 100.0, 1.0)]);
+        let tl = Timeline::build(&ts);
+        let p = PolynomialPower::paper(2.0, 0.25); // f_crit = 0.5
+        let ideal = ideal_schedule(&ts, &p);
+        let out = build_outcome(&ts, &tl, 1, &p, &ideal, allocate_even(&ts, &tl, 1));
+        assert!((out.assignment.freq[0] - 0.5).abs() < 1e-12);
+        let busy = out.schedule.busy_time(0);
+        assert!((busy - 2.0).abs() < 1e-9, "busy = {busy}");
+        validate_schedule(&out.schedule, &ts).assert_legal();
+    }
+}

@@ -1,0 +1,199 @@
+//! Event-driven replanning: the paper's offline algorithms in a
+//! *non-clairvoyant* setting.
+//!
+//! The paper assumes the whole aperiodic set is known in advance. Real
+//! aperiodic tasks arrive unannounced, so a practical system would re-run
+//! the lightweight heuristic at every arrival over what it knows: the
+//! remaining work of in-flight tasks plus the newcomers. (This is exactly
+//! the deployment the paper's "low complexity, suitable for real-time
+//! systems" argument enables — replanning is cheap enough to do on every
+//! release.)
+//!
+//! [`replan_der`] implements that loop: at each distinct release time it
+//! plans the *known* tasks with the DER heuristic, executes the plan only
+//! until the next release, and replans. The result quantifies the **price
+//! of non-clairvoyance** — how much energy knowing the future saves — and
+//! is compared against offline `S^F2` in the `ablate` experiment.
+
+use crate::der::der_schedule;
+use esched_types::time::EPS;
+use esched_types::{PolynomialPower, Schedule, Segment, Task, TaskId, TaskSet};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the replanning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanOutcome {
+    /// The executed schedule, stitched from per-epoch plans.
+    pub schedule: Schedule,
+    /// Its total energy.
+    pub energy: f64,
+    /// Tasks left unfinished at their deadline (cannot happen in the
+    /// continuous-frequency model unless a task arrives with an already
+    /// impossible window; reported for completeness).
+    pub misses: Vec<TaskId>,
+    /// Number of planning episodes (distinct release times).
+    pub replans: usize,
+    /// Highest frequency any plan used — the number that decides discrete
+    /// feasibility on a real frequency ladder.
+    pub peak_frequency: f64,
+}
+
+/// Run non-clairvoyant DER replanning of `tasks` on `cores` cores.
+pub fn replan_der(tasks: &TaskSet, cores: usize, power: &PolynomialPower) -> ReplanOutcome {
+    // Distinct release times, ascending — the planning epochs.
+    let mut epochs: Vec<f64> = tasks.tasks().iter().map(|t| t.release).collect();
+    esched_types::time::sort_dedup_times(&mut epochs);
+
+    let n = tasks.len();
+    let mut remaining: Vec<f64> = tasks.tasks().iter().map(|t| t.wcec).collect();
+    let mut schedule = Schedule::new(cores);
+    let mut peak_frequency = 0.0_f64;
+    let mut replans = 0usize;
+
+    for (e, &t_now) in epochs.iter().enumerate() {
+        let t_next = epochs.get(e + 1).copied().unwrap_or(f64::INFINITY);
+
+        // Known, unfinished, still-schedulable tasks.
+        let mut ids: Vec<TaskId> = Vec::new();
+        let mut subtasks: Vec<Task> = Vec::new();
+        for (i, t) in tasks.iter() {
+            if t.release <= t_now + EPS
+                && remaining[i] > EPS
+                && t.deadline > t_now + EPS
+            {
+                ids.push(i);
+                subtasks.push(Task::of(t_now, t.deadline, remaining[i]));
+            }
+        }
+        if ids.is_empty() {
+            continue;
+        }
+        replans += 1;
+        let subset = TaskSet::new(subtasks).expect("subtasks validated");
+        let plan = der_schedule(&subset, cores, power);
+
+        // Execute the plan only until the next arrival.
+        for seg in plan.schedule.segments() {
+            let start = seg.interval.start.max(t_now);
+            let end = seg.interval.end.min(t_next);
+            if end - start > EPS {
+                let task = ids[seg.task];
+                schedule.push(Segment::new(task, seg.core, start, end, seg.freq));
+                remaining[task] -= seg.freq * (end - start);
+                peak_frequency = peak_frequency.max(seg.freq);
+            }
+        }
+    }
+
+    schedule.coalesce();
+    let mut misses: Vec<TaskId> = (0..n)
+        .filter(|&i| remaining[i] > tasks.get(i).wcec * 1e-6 + EPS)
+        .collect();
+    misses.sort_unstable();
+    let energy = schedule.energy(power);
+    ReplanOutcome {
+        schedule,
+        energy,
+        misses,
+        replans,
+        peak_frequency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esched_types::validate_schedule;
+
+    fn vd_tasks() -> TaskSet {
+        TaskSet::from_triples(&[
+            (0.0, 10.0, 8.0),
+            (2.0, 18.0, 14.0),
+            (4.0, 16.0, 8.0),
+            (6.0, 14.0, 4.0),
+            (8.0, 20.0, 10.0),
+            (12.0, 22.0, 6.0),
+        ])
+    }
+
+    #[test]
+    fn replanning_completes_everything_legally() {
+        let ts = vd_tasks();
+        let p = PolynomialPower::cubic();
+        let out = replan_der(&ts, 4, &p);
+        assert!(out.misses.is_empty(), "misses: {:?}", out.misses);
+        validate_schedule(&out.schedule, &ts).assert_legal();
+        // Six distinct release times → six planning episodes.
+        assert_eq!(out.replans, 6);
+    }
+
+    #[test]
+    fn clairvoyance_never_hurts() {
+        // The offline F2 knows the future; replanning must cost at least
+        // as much on every instance (it optimizes myopically).
+        let p = PolynomialPower::cubic();
+        for ts in [vd_tasks(), TaskSet::from_triples(&[(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)])] {
+            let offline = der_schedule(&ts, 4, &p);
+            let online = replan_der(&ts, 4, &p);
+            assert!(
+                online.energy >= offline.final_energy * (1.0 - 1e-9),
+                "replanning {} beat clairvoyant {}",
+                online.energy,
+                offline.final_energy
+            );
+        }
+    }
+
+    #[test]
+    fn simultaneous_releases_reduce_to_offline() {
+        // All tasks released together: one plan, executed in full — the
+        // offline schedule exactly.
+        let ts = TaskSet::from_triples(&[
+            (0.0, 8.0, 4.0),
+            (0.0, 10.0, 3.0),
+            (0.0, 6.0, 5.0),
+        ]);
+        let p = PolynomialPower::paper(3.0, 0.1);
+        let offline = der_schedule(&ts, 2, &p);
+        let online = replan_der(&ts, 2, &p);
+        assert_eq!(online.replans, 1);
+        assert!(
+            (online.energy - offline.final_energy).abs() < 1e-6 * (1.0 + offline.final_energy),
+            "single-epoch replan {} vs offline {}",
+            online.energy,
+            offline.final_energy
+        );
+    }
+
+    #[test]
+    fn late_surprise_arrival_raises_frequencies() {
+        // A lazy plan gets disrupted by a dense late arrival: the replan
+        // must speed up, and the peak frequency exceeds the clairvoyant
+        // plan's.
+        let ts = TaskSet::from_triples(&[
+            (0.0, 20.0, 6.0),   // would idle along at 0.3 if alone
+            (15.0, 18.0, 2.7),  // surprise: needs 0.9 of [15,18]
+        ]);
+        let p = PolynomialPower::cubic();
+        let online = replan_der(&ts, 1, &p);
+        assert!(online.misses.is_empty());
+        validate_schedule(&online.schedule, &ts).assert_legal();
+        let offline = der_schedule(&ts, 1, &p);
+        assert!(
+            online.energy > offline.final_energy,
+            "surprise should cost energy: {} vs {}",
+            online.energy,
+            offline.final_energy
+        );
+    }
+
+    #[test]
+    fn replanning_works_with_static_power() {
+        let ts = vd_tasks();
+        let p = PolynomialPower::paper(3.0, 0.2);
+        let out = replan_der(&ts, 4, &p);
+        assert!(out.misses.is_empty());
+        validate_schedule(&out.schedule, &ts).assert_legal();
+        assert!(out.peak_frequency >= p.critical_frequency() - 1e-9);
+    }
+}

@@ -1,0 +1,437 @@
+//! The YDS algorithm (Yao, Demers & Shenker) — the optimal offline
+//! uniprocessor speed-scaling schedule, used by the paper as related work
+//! and as the worked example of Section I.B.
+//!
+//! The algorithm repeatedly finds the *critical interval* — the event-point
+//! pair `[t1, t2]` maximizing intensity `C(t1,t2)/(t2−t1)` — runs the tasks
+//! contained in it at exactly that intensity (EDF order inside the
+//! interval), then deletes the interval from the timeline: remaining tasks'
+//! times greater than `t1` shift left by `t2−t1` (clamped at `t1`), and the
+//! process repeats on the compressed instance.
+//!
+//! This implementation keeps an explicit list of *cut* intervals in
+//! original coordinates so that segments scheduled in compressed time can
+//! be mapped back exactly, splitting where they straddle a cut. With
+//! `p(f) = f^ω` and zero static power the result is energy-optimal on one
+//! core — a property the test suite cross-checks against the convex
+//! program with `m = 1`.
+
+use esched_types::time::{approx_le, EPS};
+use esched_types::{PolynomialPower, Schedule, Segment, TaskId, TaskSet};
+use serde::{Deserialize, Serialize};
+
+/// YDS output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YdsSolution {
+    /// The single-core schedule in original time.
+    pub schedule: Schedule,
+    /// Energy under the provided power model.
+    pub energy: f64,
+    /// Per-task assigned speed (the intensity of its critical interval).
+    pub speed: Vec<f64>,
+    /// Number of critical-interval rounds.
+    pub rounds: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WorkTask {
+    id: TaskId,
+    release: f64,
+    deadline: f64,
+    work: f64,
+}
+
+/// One removed interval, in original coordinates.
+#[derive(Debug, Clone, Copy)]
+struct Cut {
+    start: f64,
+    len: f64,
+}
+
+/// Map a compressed-time segment `[cs, ce]` to original-time pieces, given
+/// the cuts (sorted by original start).
+///
+/// The compressed axis is the original axis with the cuts removed and the
+/// remainder glued; a compressed point `c` therefore maps to
+/// `c + Σ {len of cuts whose compressed position ≤ c}`. A compressed
+/// *interval* may straddle cut positions, in which case it splits into one
+/// original piece per gap. The per-piece offset is decided by the piece's
+/// midpoint — strictly interior, so no epsilon nudging is needed and piece
+/// lengths are preserved exactly.
+fn map_to_original(cuts: &[Cut], cs: f64, ce: f64) -> Vec<(f64, f64)> {
+    // Compressed positions of the cut points, with cumulative cut length
+    // before each.
+    let mut cut_positions: Vec<(f64, f64)> = Vec::with_capacity(cuts.len()); // (pos, len)
+    let mut acc = 0.0;
+    for c in cuts {
+        cut_positions.push((c.start - acc, c.len));
+        acc += c.len;
+    }
+
+    let mut bounds = Vec::with_capacity(cut_positions.len() + 2);
+    bounds.push(cs);
+    for &(pos, _) in &cut_positions {
+        if pos > cs + EPS && pos < ce - EPS {
+            bounds.push(pos);
+        }
+    }
+    bounds.push(ce);
+
+    bounds
+        .windows(2)
+        .filter(|w| w[1] - w[0] > EPS)
+        .map(|w| {
+            let mid = 0.5 * (w[0] + w[1]);
+            let offset: f64 = cut_positions
+                .iter()
+                .take_while(|&&(pos, _)| pos <= mid)
+                .map(|&(_, len)| len)
+                .sum();
+            (w[0] + offset, w[1] + offset)
+        })
+        .collect()
+}
+
+/// Find the maximum-intensity interval over the working tasks. Returns
+/// `(t1, t2, intensity, member indices)`.
+fn critical_interval(tasks: &[WorkTask]) -> (f64, f64, f64, Vec<usize>) {
+    let mut pts: Vec<f64> = tasks
+        .iter()
+        .flat_map(|t| [t.release, t.deadline])
+        .collect();
+    esched_types::time::sort_dedup_times(&mut pts);
+    let mut best = (0.0, 0.0, -1.0);
+    for (a, &t1) in pts.iter().enumerate() {
+        for &t2 in &pts[a + 1..] {
+            let len = t2 - t1;
+            if len <= EPS {
+                continue;
+            }
+            let demand: f64 = tasks
+                .iter()
+                .filter(|t| approx_le(t1, t.release) && approx_le(t.deadline, t2))
+                .map(|t| t.work)
+                .sum();
+            let intensity = demand / len;
+            if intensity > best.2 {
+                best = (t1, t2, intensity);
+            }
+        }
+    }
+    let (t1, t2, g) = best;
+    let members: Vec<usize> = tasks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| approx_le(t1, t.release) && approx_le(t.deadline, t2))
+        .map(|(k, _)| k)
+        .collect();
+    (t1, t2, g, members)
+}
+
+/// EDF-simulate `members` (windows inside `[t1, t2]`) at constant speed
+/// `g`, returning `(task, start, end)` segments in the *compressed* time
+/// axis.
+fn edf_in_interval(tasks: &[WorkTask], t1: f64, t2: f64, g: f64) -> Vec<(TaskId, f64, f64)> {
+    #[derive(Clone, Copy)]
+    struct Job {
+        id: TaskId,
+        release: f64,
+        deadline: f64,
+        remaining: f64, // remaining duration at speed g
+    }
+    let mut jobs: Vec<Job> = tasks
+        .iter()
+        .map(|t| Job {
+            id: t.id,
+            release: t.release,
+            deadline: t.deadline,
+            remaining: t.work / g,
+        })
+        .collect();
+    jobs.sort_by(|a, b| a.release.partial_cmp(&b.release).expect("finite"));
+
+    let mut segs: Vec<(TaskId, f64, f64)> = Vec::new();
+    let mut now = t1;
+    loop {
+        // Pick the earliest-deadline job that is released and unfinished.
+        let pick = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.remaining > EPS && approx_le(j.release, now))
+            .min_by(|a, b| a.1.deadline.partial_cmp(&b.1.deadline).expect("finite"))
+            .map(|(k, _)| k);
+        match pick {
+            Some(k) => {
+                // Run until the job completes or the next release preempts.
+                let next_release = jobs
+                    .iter()
+                    .filter(|j| j.remaining > EPS && j.release > now + EPS)
+                    .map(|j| j.release)
+                    .fold(f64::INFINITY, f64::min);
+                let end = (now + jobs[k].remaining).min(next_release).min(t2);
+                if end > now + EPS {
+                    segs.push((jobs[k].id, now, end));
+                    jobs[k].remaining -= end - now;
+                    now = end;
+                } else {
+                    now = end.max(now + EPS);
+                }
+            }
+            None => {
+                // Idle: jump to the next release, or stop when none left.
+                let next_release = jobs
+                    .iter()
+                    .filter(|j| j.remaining > EPS)
+                    .map(|j| j.release)
+                    .fold(f64::INFINITY, f64::min);
+                if !next_release.is_finite() || next_release >= t2 - EPS {
+                    break;
+                }
+                now = next_release;
+            }
+        }
+        if now >= t2 - EPS {
+            break;
+        }
+    }
+    debug_assert!(
+        jobs.iter().all(|j| j.remaining <= 1e-6),
+        "EDF left work unfinished inside a critical interval"
+    );
+    // Merge back-to-back pieces of the same task.
+    let mut merged: Vec<(TaskId, f64, f64)> = Vec::new();
+    for s in segs {
+        if let Some(last) = merged.last_mut() {
+            if last.0 == s.0 && (last.2 - s.1).abs() < EPS {
+                last.2 = s.2;
+                continue;
+            }
+        }
+        merged.push(s);
+    }
+    merged
+}
+
+/// Insert a batch of original-time pieces into the cut list, keeping it
+/// sorted and disjoint.
+fn add_cuts(cuts: &mut Vec<Cut>, pieces: &[(f64, f64)]) {
+    for &(s, e) in pieces {
+        if e - s > EPS {
+            cuts.push(Cut { start: s, len: e - s });
+        }
+    }
+    cuts.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite"));
+    // Merge adjacent/overlapping cuts (overlap cannot happen by
+    // construction, adjacency can).
+    let mut merged: Vec<Cut> = Vec::with_capacity(cuts.len());
+    for &c in cuts.iter() {
+        if let Some(last) = merged.last_mut() {
+            if c.start <= last.start + last.len + EPS {
+                let end = (c.start + c.len).max(last.start + last.len);
+                last.len = end - last.start;
+                continue;
+            }
+        }
+        merged.push(c);
+    }
+    *cuts = merged;
+}
+
+/// Run YDS on `tasks` for a uniprocessor, computing energy under `power`.
+///
+/// With `p(f) = γf^α` (zero static power) the schedule is energy-optimal.
+/// With `p₀ > 0` YDS remains a *legal* schedule but is no longer optimal —
+/// the energy is still reported under the full model so it can serve as a
+/// baseline.
+///
+/// # Examples
+///
+/// ```
+/// use esched_core::yds_schedule;
+/// use esched_types::{PolynomialPower, TaskSet};
+///
+/// // The paper's Fig. 1 instance: peak interval [4,8] at speed 1, then
+/// // the rest at 0.75.
+/// let tasks = TaskSet::from_triples(&[
+///     (0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0),
+/// ]);
+/// let yds = yds_schedule(&tasks, &PolynomialPower::cubic());
+/// assert_eq!(yds.rounds, 2);
+/// assert!((yds.speed[2] - 1.0).abs() < 1e-9);
+/// assert!((yds.energy - 7.375).abs() < 1e-9);
+/// ```
+pub fn yds_schedule(tasks: &TaskSet, power: &PolynomialPower) -> YdsSolution {
+    let mut working: Vec<WorkTask> = tasks
+        .iter()
+        .map(|(id, t)| WorkTask {
+            id,
+            release: t.release,
+            deadline: t.deadline,
+            work: t.wcec,
+        })
+        .collect();
+
+    let mut schedule = Schedule::new(1);
+    let mut cuts: Vec<Cut> = Vec::new();
+    let mut speed = vec![0.0; tasks.len()];
+    let mut rounds = 0usize;
+
+    while !working.is_empty() {
+        rounds += 1;
+        let (t1, t2, g, members) = critical_interval(&working);
+        debug_assert!(g > 0.0, "critical interval with zero intensity");
+
+        let member_tasks: Vec<WorkTask> = members.iter().map(|&k| working[k]).collect();
+        for t in &member_tasks {
+            speed[t.id] = g;
+        }
+
+        // EDF inside the compressed critical interval, then map pieces back
+        // to original time.
+        let segs = edf_in_interval(&member_tasks, t1, t2, g);
+        for (id, cs, ce) in &segs {
+            for (os, oe) in map_to_original(&cuts, *cs, *ce) {
+                schedule.push(Segment::new(*id, 0, os, oe, g));
+            }
+        }
+
+        // The whole critical interval becomes a cut (in original coords).
+        let interval_pieces = map_to_original(&cuts, t1, t2);
+        add_cuts(&mut cuts, &interval_pieces);
+
+        // Remove members; compress remaining tasks.
+        let member_set: std::collections::HashSet<usize> = members.into_iter().collect();
+        let len = t2 - t1;
+        working = working
+            .into_iter()
+            .enumerate()
+            .filter(|(k, _)| !member_set.contains(k))
+            .map(|(_, mut t)| {
+                t.release = compress_point(t.release, t1, t2, len);
+                t.deadline = compress_point(t.deadline, t1, t2, len);
+                t
+            })
+            .collect();
+    }
+
+    schedule.coalesce();
+    let energy = schedule.energy(power);
+    YdsSolution {
+        schedule,
+        energy,
+        speed,
+        rounds,
+    }
+}
+
+/// Shift a time point left past a removed interval `[t1, t2]`.
+fn compress_point(t: f64, t1: f64, t2: f64, len: f64) -> f64 {
+    if t >= t2 - EPS {
+        t - len
+    } else if t > t1 {
+        t1
+    } else {
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esched_opt::SolveOptions;
+    use esched_types::validate_schedule;
+
+    fn intro() -> TaskSet {
+        TaskSet::from_triples(&[(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)])
+    }
+
+    #[test]
+    fn paper_intro_example_speeds() {
+        // Round 1: [4,8] at speed 1 (τ3). Round 2: [0,8] compressed at
+        // speed 0.75 (τ1, τ2).
+        let sol = yds_schedule(&intro(), &PolynomialPower::cubic());
+        assert_eq!(sol.rounds, 2);
+        assert!((sol.speed[2] - 1.0).abs() < 1e-9);
+        assert!((sol.speed[0] - 0.75).abs() < 1e-9);
+        assert!((sol.speed[1] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_intro_example_schedule_fig2a() {
+        // Fig. 2(a): τ1 [0,2] & [8.667,12] (speed .75), τ2 [2,4] &
+        // [8,8.667], τ3 [4,8] at speed 1.
+        let sol = yds_schedule(&intro(), &PolynomialPower::cubic());
+        validate_schedule(&sol.schedule, &intro()).assert_legal();
+        let t2_segs = sol.schedule.task_segments(1);
+        assert_eq!(t2_segs.len(), 2);
+        assert!((t2_segs[0].interval.start - 2.0).abs() < 1e-9);
+        assert!((t2_segs[0].interval.end - 4.0).abs() < 1e-9);
+        assert!((t2_segs[1].interval.start - 8.0).abs() < 1e-9);
+        assert!((t2_segs[1].interval.end - (8.0 + 2.0 / 3.0)).abs() < 1e-6);
+        let t3_segs = sol.schedule.task_segments(2);
+        assert_eq!(t3_segs.len(), 1);
+        assert!((t3_segs[0].interval.start - 4.0).abs() < 1e-9);
+        assert!((t3_segs[0].interval.end - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn yds_matches_convex_optimum_on_uniprocessor() {
+        // With p(f) = f^α and p0 = 0, YDS is optimal; the convex program
+        // with m = 1 must agree.
+        for (alpha, tasks) in [
+            (3.0, intro()),
+            (
+                2.0,
+                TaskSet::from_triples(&[(0.0, 5.0, 2.0), (1.0, 4.0, 1.5), (3.0, 9.0, 2.5)]),
+            ),
+        ] {
+            let p = PolynomialPower::paper(alpha, 0.0);
+            let yds = yds_schedule(&tasks, &p);
+            let opt = crate::optimal::optimal_energy(&tasks, 1, &p, &SolveOptions::precise());
+            assert!(
+                (yds.energy - opt.energy).abs() < 1e-4 * (1.0 + opt.energy),
+                "alpha={alpha}: yds {} vs opt {}",
+                yds.energy,
+                opt.energy
+            );
+        }
+    }
+
+    #[test]
+    fn single_task_runs_at_its_intensity() {
+        let ts = TaskSet::from_triples(&[(2.0, 10.0, 4.0)]);
+        let sol = yds_schedule(&ts, &PolynomialPower::cubic());
+        assert_eq!(sol.rounds, 1);
+        assert!((sol.speed[0] - 0.5).abs() < 1e-12);
+        validate_schedule(&sol.schedule, &ts).assert_legal();
+    }
+
+    #[test]
+    fn disjoint_tasks_each_get_their_own_interval() {
+        let ts = TaskSet::from_triples(&[(0.0, 2.0, 1.0), (4.0, 8.0, 1.0)]);
+        let sol = yds_schedule(&ts, &PolynomialPower::cubic());
+        validate_schedule(&sol.schedule, &ts).assert_legal();
+        assert!((sol.speed[0] - 0.5).abs() < 1e-9);
+        assert!((sol.speed[1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_critical_intervals_resolve() {
+        // An intense inner task nested in a lax outer one.
+        let ts = TaskSet::from_triples(&[(0.0, 10.0, 2.0), (4.0, 6.0, 2.0)]);
+        let sol = yds_schedule(&ts, &PolynomialPower::cubic());
+        validate_schedule(&sol.schedule, &ts).assert_legal();
+        assert!((sol.speed[1] - 1.0).abs() < 1e-9);
+        // Outer task: 2 work over the remaining 8 time units.
+        assert!((sol.speed[0] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_tasks_share_the_interval() {
+        let ts = TaskSet::from_triples(&[(0.0, 4.0, 2.0), (0.0, 4.0, 2.0)]);
+        let sol = yds_schedule(&ts, &PolynomialPower::cubic());
+        validate_schedule(&sol.schedule, &ts).assert_legal();
+        assert!((sol.speed[0] - 1.0).abs() < 1e-9);
+        assert!((sol.speed[1] - 1.0).abs() < 1e-9);
+    }
+}

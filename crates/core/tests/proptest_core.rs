@@ -1,0 +1,217 @@
+//! Property tests for the core scheduling algorithms.
+
+use esched_core::{
+    allocate_der, allocate_der_no_redistribution, allocate_even, allocate_work_proportional,
+    der_schedule, even_schedule, ideal_schedule, partitioned_yds, select_core_count,
+    yds_schedule, Method,
+};
+use esched_subinterval::Timeline;
+use esched_types::{validate_schedule, PolynomialPower, PowerModel, Task, TaskSet};
+use proptest::prelude::*;
+
+fn arb_task_set(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec((0.0_f64..40.0, 0.5_f64..30.0, 0.05_f64..1.2), 1..=max_tasks)
+        .prop_map(|v| {
+            TaskSet::new(
+                v.into_iter()
+                    .map(|(r, len, i)| Task::of(r, r + len, (len * i).max(1e-3)))
+                    .collect(),
+            )
+            .unwrap()
+        })
+}
+
+fn arb_power() -> impl Strategy<Value = PolynomialPower> {
+    (2.0_f64..3.0, 0.0_f64..0.4).prop_map(|(a, p0)| PolynomialPower::paper(a, p0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn ideal_frequency_is_pointwise_optimal(tasks in arb_task_set(8), power in arb_power()) {
+        let sol = ideal_schedule(&tasks, &power);
+        for (i, t) in tasks.iter() {
+            let f = sol.freq[i];
+            // No other feasible frequency does better for this task alone.
+            for scale in [1.01_f64, 1.2, 2.0] {
+                let alt = f * scale;
+                prop_assert!(
+                    power.energy_for_work(t.wcec, alt)
+                        >= power.energy_for_work(t.wcec, f) - 1e-9,
+                    "task {i}: faster frequency {alt} beat {f}"
+                );
+            }
+            // Slower is either infeasible (misses window) or worse.
+            let slower = f * 0.99;
+            if t.wcec / slower <= t.window_len() {
+                prop_assert!(
+                    power.energy_for_work(t.wcec, slower)
+                        >= power.energy_for_work(t.wcec, f) - 1e-9,
+                    "task {i}: slower frequency beat the optimum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_allocation_rule_respects_capacity(
+        tasks in arb_task_set(10),
+        cores in 1_usize..5,
+        power in arb_power(),
+    ) {
+        let tl = Timeline::build(&tasks);
+        let ideal = ideal_schedule(&tasks, &power);
+        let mats = [
+            allocate_even(&tasks, &tl, cores),
+            allocate_der(&tasks, &tl, cores, &ideal),
+            allocate_der_no_redistribution(&tasks, &tl, cores, &ideal),
+            allocate_work_proportional(&tasks, &tl, cores),
+        ];
+        for (mk, m) in mats.iter().enumerate() {
+            for sub in tl.subintervals() {
+                let delta = sub.delta();
+                let mut sum = 0.0;
+                for &i in &sub.overlapping {
+                    let a = m.get(i, sub.index);
+                    prop_assert!(a >= -1e-12, "rule {mk}: negative allocation");
+                    prop_assert!(a <= delta + 1e-9, "rule {mk}: allocation beyond delta");
+                    sum += a;
+                }
+                if sub.is_heavy(cores) {
+                    prop_assert!(
+                        sum <= cores as f64 * delta + 1e-7,
+                        "rule {mk}: heavy subinterval {j} overcommitted: {sum}",
+                        j = sub.index
+                    );
+                }
+            }
+            // Every task ends with positive total availability.
+            for i in 0..tasks.len() {
+                prop_assert!(m.total(i) > 0.0, "rule {mk}: task {i} starved");
+            }
+        }
+    }
+
+    #[test]
+    fn der_beats_even_in_aggregate(
+        sets in prop::collection::vec(arb_task_set(10), 3),
+        power in arb_power(),
+    ) {
+        // Per-instance DER can occasionally lose to even allocation; the
+        // paper's claim is about the aggregate, so test the sum over a few
+        // instances.
+        let mut sum_der = 0.0;
+        let mut sum_even = 0.0;
+        for tasks in &sets {
+            sum_der += der_schedule(tasks, 3, &power).final_energy;
+            sum_even += even_schedule(tasks, 3, &power).final_energy;
+        }
+        prop_assert!(
+            sum_der <= sum_even * 1.05 + 1e-9,
+            "DER aggregate {sum_der} much worse than even {sum_even}"
+        );
+    }
+
+    #[test]
+    fn yds_energy_never_below_convex_bound_intuition(
+        tasks in arb_task_set(6),
+    ) {
+        // YDS (m = 1) energy is at least the unlimited-core ideal energy
+        // with p0 = 0 (relaxing the single-core constraint only helps).
+        let p = PolynomialPower::cubic();
+        let yds = yds_schedule(&tasks, &p);
+        let ideal = ideal_schedule(&tasks, &p);
+        prop_assert!(
+            yds.energy >= ideal.energy - 1e-7 * (1.0 + ideal.energy),
+            "yds {} below the ideal lower bound {}",
+            yds.energy,
+            ideal.energy
+        );
+        validate_schedule(&yds.schedule, &tasks).assert_legal();
+    }
+
+    #[test]
+    fn partitioned_yds_assignment_is_balanced_enough(
+        tasks in arb_task_set(12),
+        cores in 2_usize..5,
+    ) {
+        let p = PolynomialPower::cubic();
+        let out = partitioned_yds(&tasks, cores, &p);
+        validate_schedule(&out.schedule, &tasks).assert_legal();
+        // Worst-fit-decreasing: no core's intensity load exceeds the
+        // total/(cores) by more than the largest single intensity.
+        let mut loads = vec![0.0_f64; cores];
+        for (i, t) in tasks.iter() {
+            loads[out.assignment[i]] += t.intensity();
+        }
+        let total: f64 = loads.iter().sum();
+        let max_single = tasks
+            .iter()
+            .map(|(_, t)| t.intensity())
+            .fold(0.0_f64, f64::max);
+        for &l in &loads {
+            prop_assert!(
+                l <= total / cores as f64 + max_single + 1e-9,
+                "load {l} too far above average"
+            );
+        }
+    }
+
+    #[test]
+    fn core_count_sweep_contains_single_core_yds_energy_scale(
+        tasks in arb_task_set(8),
+        power in arb_power(),
+    ) {
+        let choice = select_core_count(&tasks, 4, &power, Method::Der);
+        prop_assert_eq!(choice.sweep.len(), 4);
+        // Best is genuinely the minimum of the sweep.
+        let min = choice.sweep.iter().map(|&(_, e)| e).fold(f64::INFINITY, f64::min);
+        prop_assert!((choice.best_energy - min).abs() < 1e-12);
+        // All energies at least the ideal bound when p0 = 0.
+        if power.p0 == 0.0 {
+            let ideal = ideal_schedule(&tasks, &power).energy;
+            for &(m, e) in &choice.sweep {
+                prop_assert!(e >= ideal - 1e-7 * (1.0 + ideal), "m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn even_intermediate_satisfies_paper_approximation_bound(
+        tasks in arb_task_set(10),
+        cores in 1_usize..5,
+        alpha in 2.0_f64..3.0,
+    ) {
+        // Section V.B: E^{I1} ≤ (n_max/m)^{α−1} · E^O with
+        // n_max = max(m, max_j n_j). The argument assumes the dominant
+        // cost is dynamic; with p0 = 0 the bound is exact.
+        let power = PolynomialPower::paper(alpha, 0.0);
+        let tl = Timeline::build(&tasks);
+        let n_max = tl.peak_overlap().max(cores);
+        let ideal = ideal_schedule(&tasks, &power);
+        let even = even_schedule(&tasks, cores, &power);
+        let bound = (n_max as f64 / cores as f64).powf(alpha - 1.0) * ideal.energy;
+        prop_assert!(
+            even.intermediate_energy <= bound * (1.0 + 1e-7),
+            "E^I1 {} exceeds the paper bound {bound} (n_max={n_max}, m={cores})",
+            even.intermediate_energy
+        );
+    }
+
+    #[test]
+    fn final_frequencies_are_at_least_critical(
+        tasks in arb_task_set(8),
+        power in arb_power(),
+        cores in 1_usize..4,
+    ) {
+        let out = der_schedule(&tasks, cores, &power);
+        let fc = power.critical_frequency();
+        for (i, &f) in out.assignment.freq.iter().enumerate() {
+            prop_assert!(f >= fc - 1e-12, "task {i}: f {f} below critical {fc}");
+            // And at least the availability-stretch frequency.
+            let need = tasks.get(i).wcec / out.total_avail[i];
+            prop_assert!(f >= need - 1e-9, "task {i}: f {f} below stretch {need}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 10 — NEC vs. number of tasks `n ∈ {5, 10, 15, 20, 25, 30, 35,
+//! 40}` (`α = 3`, `p₀ = 0.2`, `m = 4`, intensity uniform `[0.1, 1]`,
+//! 100 trials/point).
+
+use crate::harness::{nec_stats_for, TrialSpec};
+use crate::report::{nec_csv_with_std, nec_table, write_artifact};
+use esched_core::NecPoint;
+use esched_types::PolynomialPower;
+use esched_workload::{GeneratorConfig, IntensityDist};
+use std::path::Path;
+
+/// The swept task counts.
+pub const TASK_COUNTS: [usize; 8] = [5, 10, 15, 20, 25, 30, 35, 40];
+
+/// Run the sweep; returns `(x labels, NEC rows)`.
+pub fn run_stats(
+    trials: usize,
+    base_seed: u64,
+) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
+    let mut xs = Vec::new();
+    let mut rows = Vec::new();
+    let mut stds = Vec::new();
+    for n in TASK_COUNTS {
+        let spec = TrialSpec {
+            cores: 4,
+            power: PolynomialPower::paper(3.0, 0.2),
+            config: GeneratorConfig::paper_default()
+                .with_tasks(n)
+                .with_intensity(IntensityDist::Uniform { lo: 0.1, hi: 1.0 }),
+            trials,
+            base_seed,
+        };
+        xs.push(n.to_string());
+        let (mean, std) = nec_stats_for(&spec);
+        rows.push(mean);
+        stds.push(std);
+    }
+    (xs, rows, stds)
+}
+
+/// Run the sweep; returns `(x labels, mean NEC rows)`.
+pub fn run(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>) {
+    let (xs, rows, _) = run_stats(trials, base_seed);
+    (xs, rows)
+}
+
+/// Run, print, and write artifacts.
+pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
+    let (xs, rows, stds) = run_stats(trials, base_seed);
+    let table = nec_table("tasks", &xs, &rows);
+    let _ = write_artifact(outdir, "fig10.csv", &nec_csv_with_std("tasks", &xs, &rows, &stds));
+    format!("Figure 10 — NEC vs task count (alpha=3, p0=0.2, m=4, {trials} trials)\n{table}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_counts_are_swept() {
+        assert_eq!(TASK_COUNTS.len(), 8);
+    }
+
+    #[test]
+    fn few_tasks_mean_few_heavy_intervals() {
+        // With n = 5 on 4 cores almost nothing is heavy → every method is
+        // near the ideal; with n = 40 contention appears and F2 still
+        // tracks the optimum.
+        let (_, rows) = run(3, 77);
+        assert!(rows[0].f2 < 1.1, "n=5 f2 = {}", rows[0].f2);
+        assert!(rows[7].f2 < 1.5, "n=40 f2 = {}", rows[7].f2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 6 — NEC vs. static power `p₀ ∈ {0, 0.02, …, 0.20}`
+//! (`α = 3`, `m = 4`, `n = 20`, intensity ladder, 100 trials/point).
+
+use crate::harness::{nec_stats_for, TrialSpec};
+use crate::report::{nec_csv_with_std, nec_table, write_artifact};
+use esched_core::NecPoint;
+use esched_types::PolynomialPower;
+use esched_workload::GeneratorConfig;
+use std::path::Path;
+
+/// The swept static-power values.
+pub fn p0_values() -> Vec<f64> {
+    (0..=10).map(|k| 0.02 * k as f64).collect()
+}
+
+/// Run the sweep; returns `(x labels, NEC rows)`.
+pub fn run_stats(
+    trials: usize,
+    base_seed: u64,
+) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
+    let mut xs = Vec::new();
+    let mut rows = Vec::new();
+    let mut stds = Vec::new();
+    for p0 in p0_values() {
+        let spec = TrialSpec {
+            cores: 4,
+            power: PolynomialPower::paper(3.0, p0),
+            config: GeneratorConfig::paper_default(),
+            trials,
+            base_seed,
+        };
+        xs.push(format!("{p0:.2}"));
+        let (mean, std) = nec_stats_for(&spec);
+        rows.push(mean);
+        stds.push(std);
+    }
+    (xs, rows, stds)
+}
+
+/// Run the sweep; returns `(x labels, mean NEC rows)`.
+pub fn run(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>) {
+    let (xs, rows, _) = run_stats(trials, base_seed);
+    (xs, rows)
+}
+
+/// Run, print, and write artifacts.
+pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
+    let (xs, rows, stds) = run_stats(trials, base_seed);
+    let table = nec_table("p0", &xs, &rows);
+    let _ = write_artifact(outdir, "fig6.csv", &nec_csv_with_std("p0", &xs, &rows, &stds));
+    format!("Figure 6 — NEC vs static power (alpha=3, m=4, n=20, {trials} trials)\n{table}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_eleven_points() {
+        assert_eq!(p0_values().len(), 11);
+        assert_eq!(p0_values()[0], 0.0);
+        assert!((p0_values()[10] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduced_run_shows_paper_shape() {
+        // Small trial count for test speed; the qualitative claims of
+        // Fig. 6 must already hold: F2 near-optimal, F1 worse than F2,
+        // finals no worse than intermediates.
+        let (_, rows) = run(3, 2024);
+        for p in &rows {
+            assert!(p.f2 <= p.i2 + 1e-9);
+            assert!(p.f1 <= p.i1 + 1e-9);
+            assert!(p.f2 < 1.5, "f2 = {}", p.f2);
+        }
+        let mean_f1: f64 = rows.iter().map(|p| p.f1).sum::<f64>() / rows.len() as f64;
+        let mean_f2: f64 = rows.iter().map(|p| p.f2).sum::<f64>() / rows.len() as f64;
+        assert!(mean_f2 <= mean_f1 + 1e-9, "f2 {mean_f2} vs f1 {mean_f1}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 7 — NEC vs. dynamic exponent `α ∈ {2.0, 2.1, …, 3.0}`
+//! (`p₀ = 0`, `m = 4`, `n = 20`, intensity ladder, 100 trials/point).
+
+use crate::harness::{nec_stats_for, TrialSpec};
+use crate::report::{nec_csv_with_std, nec_table, write_artifact};
+use esched_core::NecPoint;
+use esched_types::PolynomialPower;
+use esched_workload::GeneratorConfig;
+use std::path::Path;
+
+/// The swept exponents.
+pub fn alpha_values() -> Vec<f64> {
+    (0..=10).map(|k| 2.0 + 0.1 * k as f64).collect()
+}
+
+/// Run the sweep; returns `(x labels, NEC rows)`.
+pub fn run_stats(
+    trials: usize,
+    base_seed: u64,
+) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
+    let mut xs = Vec::new();
+    let mut rows = Vec::new();
+    let mut stds = Vec::new();
+    for alpha in alpha_values() {
+        let spec = TrialSpec {
+            cores: 4,
+            power: PolynomialPower::paper(alpha, 0.0),
+            config: GeneratorConfig::paper_default(),
+            trials,
+            base_seed,
+        };
+        xs.push(format!("{alpha:.1}"));
+        let (mean, std) = nec_stats_for(&spec);
+        rows.push(mean);
+        stds.push(std);
+    }
+    (xs, rows, stds)
+}
+
+/// Run the sweep; returns `(x labels, mean NEC rows)`.
+pub fn run(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>) {
+    let (xs, rows, _) = run_stats(trials, base_seed);
+    (xs, rows)
+}
+
+/// Run, print, and write artifacts.
+pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
+    let (xs, rows, stds) = run_stats(trials, base_seed);
+    let table = nec_table("alpha", &xs, &rows);
+    let _ = write_artifact(outdir, "fig7.csv", &nec_csv_with_std("alpha", &xs, &rows, &stds));
+    format!("Figure 7 — NEC vs alpha (p0=0, m=4, n=20, {trials} trials)\n{table}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_eleven_points() {
+        let a = alpha_values();
+        assert_eq!(a.len(), 11);
+        assert_eq!(a[0], 2.0);
+        assert!((a[10] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_method_degrades_as_alpha_grows() {
+        // Fig. 7's headline: I1/F1 blow up with α while I2/F2 stay low.
+        // Check the endpoints with a reduced trial count.
+        let (_, rows) = run(3, 7);
+        let first = &rows[0]; // α = 2.0
+        let last = &rows[10]; // α = 3.0
+        assert!(
+            last.i1 >= first.i1 - 0.05,
+            "I1 did not grow: {} -> {}",
+            first.i1,
+            last.i1
+        );
+        // DER finals stay near optimal everywhere.
+        for p in &rows {
+            assert!(p.f2 < 1.4, "f2 = {}", p.f2);
+        }
+        // With p0 = 0 the ideal is a true lower bound.
+        for p in &rows {
+            assert!(p.ideal <= 1.0 + 1e-6, "ideal NEC {}", p.ideal);
+        }
+    }
+}

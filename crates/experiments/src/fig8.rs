@@ -1,0 +1,69 @@
+//! Figure 8 — NEC vs. number of cores `m ∈ {2, 4, 6, 8, 10, 12}`
+//! (`α = 3`, `p₀ = 0.2`, `n = 20`, intensity ladder, 100 trials/point).
+
+use crate::harness::{nec_stats_for, TrialSpec};
+use crate::report::{nec_csv_with_std, nec_table, write_artifact};
+use esched_core::NecPoint;
+use esched_types::PolynomialPower;
+use esched_workload::GeneratorConfig;
+use std::path::Path;
+
+/// The swept core counts.
+pub const CORE_COUNTS: [usize; 6] = [2, 4, 6, 8, 10, 12];
+
+/// Run the sweep; returns `(x labels, NEC rows)`.
+pub fn run_stats(
+    trials: usize,
+    base_seed: u64,
+) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
+    let mut xs = Vec::new();
+    let mut rows = Vec::new();
+    let mut stds = Vec::new();
+    for m in CORE_COUNTS {
+        let spec = TrialSpec {
+            cores: m,
+            power: PolynomialPower::paper(3.0, 0.2),
+            config: GeneratorConfig::paper_default(),
+            trials,
+            base_seed,
+        };
+        xs.push(m.to_string());
+        let (mean, std) = nec_stats_for(&spec);
+        rows.push(mean);
+        stds.push(std);
+    }
+    (xs, rows, stds)
+}
+
+/// Run the sweep; returns `(x labels, mean NEC rows)`.
+pub fn run(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>) {
+    let (xs, rows, _) = run_stats(trials, base_seed);
+    (xs, rows)
+}
+
+/// Run, print, and write artifacts.
+pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
+    let (xs, rows, stds) = run_stats(trials, base_seed);
+    let table = nec_table("cores", &xs, &rows);
+    let _ = write_artifact(outdir, "fig8.csv", &nec_csv_with_std("cores", &xs, &rows, &stds));
+    format!("Figure 8 — NEC vs cores (alpha=3, p0=0.2, n=20, {trials} trials)\n{table}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f2_improves_sharply_after_two_cores() {
+        // The paper: F2 is worst at m = 2 and drops sharply as m grows.
+        let (_, rows) = run(3, 31);
+        let at2 = rows[0].f2;
+        let at12 = rows[5].f2;
+        assert!(
+            at12 <= at2 + 1e-9,
+            "F2 did not improve with cores: {at2} -> {at12}"
+        );
+        // With many cores almost nothing is heavy → near optimal.
+        assert!(at12 < 1.2, "f2 at 12 cores = {at12}");
+    }
+}

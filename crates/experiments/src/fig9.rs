@@ -1,0 +1,80 @@
+//! Figure 9 — NEC vs. task-intensity generation range
+//! `[0.1,1], [0.2,1], …, [1.0,1.0]` (`α = 3`, `p₀ = 0.2`, `m = 4`,
+//! `n = 20`, 100 trials/point).
+
+use crate::harness::{nec_stats_for, TrialSpec};
+use crate::report::{nec_csv_with_std, nec_table, write_artifact};
+use esched_core::NecPoint;
+use esched_types::PolynomialPower;
+use esched_workload::{GeneratorConfig, IntensityDist};
+use std::path::Path;
+
+/// The swept lower bounds of the intensity range.
+pub fn intensity_lows() -> Vec<f64> {
+    (1..=10).map(|k| 0.1 * k as f64).collect()
+}
+
+/// Run the sweep; returns `(x labels, NEC rows)`.
+pub fn run_stats(
+    trials: usize,
+    base_seed: u64,
+) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
+    let mut xs = Vec::new();
+    let mut rows = Vec::new();
+    let mut stds = Vec::new();
+    for lo in intensity_lows() {
+        let spec = TrialSpec {
+            cores: 4,
+            power: PolynomialPower::paper(3.0, 0.2),
+            config: GeneratorConfig::paper_default()
+                .with_intensity(IntensityDist::Uniform { lo, hi: 1.0 }),
+            trials,
+            base_seed,
+        };
+        xs.push(format!("[{lo:.1},1]"));
+        let (mean, std) = nec_stats_for(&spec);
+        rows.push(mean);
+        stds.push(std);
+    }
+    (xs, rows, stds)
+}
+
+/// Run the sweep; returns `(x labels, mean NEC rows)`.
+pub fn run(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>) {
+    let (xs, rows, _) = run_stats(trials, base_seed);
+    (xs, rows)
+}
+
+/// Run, print, and write artifacts.
+pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
+    let (xs, rows, stds) = run_stats(trials, base_seed);
+    let table = nec_table("intensity", &xs, &rows);
+    let _ = write_artifact(outdir, "fig9.csv", &nec_csv_with_std("intensity_lo", &xs, &rows, &stds));
+    format!(
+        "Figure 9 — NEC vs intensity range (alpha=3, p0=0.2, m=4, n=20, {trials} trials)\n{table}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_ranges_are_swept() {
+        assert_eq!(intensity_lows().len(), 10);
+    }
+
+    #[test]
+    fn f2_is_stable_across_ranges() {
+        // The paper: F2 stays flat while others fluctuate.
+        let (_, rows) = run(3, 555);
+        let f2s: Vec<f64> = rows.iter().map(|p| p.f2).collect();
+        let min = f2s.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = f2s.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(
+            max - min < 0.35,
+            "F2 fluctuates too much: [{min}, {max}]"
+        );
+        assert!(max < 1.5, "F2 max {max}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Monte-Carlo driver shared by every experiment.
+//!
+//! Each figure point is the mean of `trials` independent task sets
+//! (the paper uses 100). Trials are embarrassingly parallel and run on the
+//! rayon pool; the per-trial seed is `base_seed + trial_index`, so results
+//! are bit-identical regardless of thread interleaving.
+
+use esched_core::{evaluate_nec, mean_nec, NecPoint};
+use esched_opt::SolveOptions;
+use esched_types::PolynomialPower;
+use esched_workload::{GeneratorConfig, WorkloadGenerator};
+use rayon::prelude::*;
+
+/// One experiment setting: a platform plus a workload distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialSpec {
+    /// Number of cores.
+    pub cores: usize,
+    /// Platform power model.
+    pub power: PolynomialPower,
+    /// Workload distribution.
+    pub config: GeneratorConfig,
+    /// Monte-Carlo repetitions.
+    pub trials: usize,
+    /// Base RNG seed; trial `k` uses `base_seed + k`.
+    pub base_seed: u64,
+}
+
+/// Mean NEC over the spec's trials (parallel).
+pub fn mean_nec_for(spec: &TrialSpec) -> NecPoint {
+    nec_stats_for(spec).0
+}
+
+/// `(mean, sample std)` of the NEC over the spec's trials (parallel).
+pub fn nec_stats_for(spec: &TrialSpec) -> (NecPoint, NecPoint) {
+    let opts = SolveOptions::fast();
+    let points: Vec<NecPoint> = (0..spec.trials)
+        .into_par_iter()
+        .map(|k| {
+            let mut gen = WorkloadGenerator::new(spec.config, spec.base_seed + k as u64);
+            let tasks = gen.generate();
+            evaluate_nec(&tasks, spec.cores, &spec.power, &opts)
+        })
+        .collect();
+    (mean_nec(&points), esched_core::std_nec(&points))
+}
+
+/// Run a closure once per trial in parallel and collect the results —
+/// for experiments that measure more than NEC (e.g. deadline misses).
+pub fn per_trial<T: Send>(
+    config: GeneratorConfig,
+    trials: usize,
+    base_seed: u64,
+    f: impl Fn(u64, esched_types::TaskSet) -> T + Sync,
+) -> Vec<T> {
+    (0..trials)
+        .into_par_iter()
+        .map(|k| {
+            let seed = base_seed + k as u64;
+            let mut gen = WorkloadGenerator::new(config, seed);
+            let tasks = gen.generate();
+            f(seed, tasks)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_nec_is_deterministic_and_sane() {
+        let spec = TrialSpec {
+            cores: 4,
+            power: PolynomialPower::paper(3.0, 0.1),
+            config: GeneratorConfig::paper_default().with_tasks(8),
+            trials: 4,
+            base_seed: 99,
+        };
+        let a = mean_nec_for(&spec);
+        let b = mean_nec_for(&spec);
+        assert_eq!(a, b);
+        // NECs of heuristics ≥ ~1.
+        assert!(a.f2 >= 0.999, "f2 = {}", a.f2);
+        assert!(a.f1 >= 0.999, "f1 = {}", a.f1);
+        assert!(a.i1 >= a.f1 - 1e-9);
+        assert!(a.i2 >= a.f2 - 1e-9);
+    }
+
+    #[test]
+    fn per_trial_passes_distinct_seeds() {
+        let seeds = per_trial(
+            GeneratorConfig::paper_default().with_tasks(3),
+            5,
+            1000,
+            |seed, _tasks| seed,
+        );
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1000, 1001, 1002, 1003, 1004]);
+    }
+}

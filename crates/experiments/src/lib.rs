@@ -1,0 +1,35 @@
+//! # esched-experiments
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! (Section VI):
+//!
+//! | module     | paper artifact |
+//! |------------|----------------|
+//! | [`worked`] | Fig. 1-2 (YDS + two-core optimum), Section V.D example, Section VI.D core-count sweep |
+//! | [`fig6`]   | Fig. 6 — NEC vs static power |
+//! | [`fig7`]   | Fig. 7 — NEC vs dynamic exponent α |
+//! | [`fig8`]   | Fig. 8 — NEC vs core count |
+//! | [`fig9`]   | Fig. 9 — NEC vs intensity range |
+//! | [`fig10`]  | Fig. 10 — NEC vs task count |
+//! | [`fig11`]  | Fig. 11 — XScale discrete-frequency NEC + deadline misses |
+//! | [`table2`] | Table II — F1/F2 NEC over the (α, p₀) grid |
+//! | [`ablate`] | design-choice ablations (allocation rule, baselines, online dispatch, quantization) |
+//!
+//! The `esched-experiments` binary exposes each as a subcommand; every run
+//! prints an aligned table and writes a CSV artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablate;
+pub mod fig10;
+pub mod fig11;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod harness;
+pub mod report;
+pub mod solvers;
+pub mod table2;
+pub mod worked;

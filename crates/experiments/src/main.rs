@@ -1,0 +1,122 @@
+//! CLI for regenerating the paper's tables and figures.
+//!
+//! ```text
+//! esched-experiments <command> [--trials N] [--seed N] [--out DIR] [--stride N]
+//!
+//! commands:
+//!   fig2       Fig. 1-2 worked example (YDS + two-core optimum)
+//!   example    Section V.D worked example (allocations, 33.0642 / 31.8362)
+//!   corecount  Section VI.D core-count selection sweep
+//!   fig6       NEC vs static power
+//!   fig7       NEC vs alpha
+//!   fig8       NEC vs core count
+//!   fig9       NEC vs intensity range
+//!   fig10     NEC vs task count
+//!   fig11     XScale practical mode (NEC + deadline misses)
+//!   table2    F1/F2 NEC over the (alpha, p0) grid
+//!   all       everything above
+//! ```
+
+use esched_experiments::*;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    trials: usize,
+    seed: u64,
+    out: PathBuf,
+    stride: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut parsed = Args {
+        command,
+        trials: 100,
+        seed: 2014,
+        out: PathBuf::from("results"),
+        stride: 1,
+    };
+    while let Some(flag) = args.next() {
+        let value = args
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--trials" => {
+                parsed.trials = value.parse().map_err(|e| format!("--trials: {e}"))?
+            }
+            "--seed" => parsed.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => parsed.out = PathBuf::from(value),
+            "--stride" => {
+                parsed.stride = value.parse().map_err(|e| format!("--stride: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if parsed.trials == 0 {
+        return Err("--trials must be positive".into());
+    }
+    Ok(parsed)
+}
+
+fn usage() -> String {
+    "usage: esched-experiments <fig2|example|corecount|fig6|fig7|fig8|fig9|fig10|fig11|table2|ablate|solvers|all> \
+     [--trials N] [--seed N] [--out DIR] [--stride N]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run_one = |cmd: &str| -> Option<String> {
+        match cmd {
+            "fig2" => Some(worked::fig2_report()),
+            "example" => Some(worked::example_vd_report()),
+            "corecount" => Some(worked::corecount_report()),
+            "fig6" => Some(fig6::run_and_report(args.trials, args.seed, &args.out)),
+            "fig7" => Some(fig7::run_and_report(args.trials, args.seed, &args.out)),
+            "fig8" => Some(fig8::run_and_report(args.trials, args.seed, &args.out)),
+            "fig9" => Some(fig9::run_and_report(args.trials, args.seed, &args.out)),
+            "fig10" => Some(fig10::run_and_report(args.trials, args.seed, &args.out)),
+            "fig11" => Some(fig11::run_and_report(args.trials, args.seed, &args.out)),
+            "table2" => Some(table2::run_and_report(
+                args.trials,
+                args.seed,
+                args.stride,
+                &args.out,
+            )),
+            "ablate" => Some(ablate::run_and_report(args.trials, args.seed, &args.out)),
+            "solvers" => Some(solvers::run_and_report(args.seed, &args.out)),
+            _ => None,
+        }
+    };
+    match args.command.as_str() {
+        "all" => {
+            for cmd in [
+                "fig2", "example", "corecount", "fig6", "fig7", "fig8", "fig9", "fig10",
+                "fig11", "table2", "ablate", "solvers",
+            ] {
+                println!("==== {cmd} ====");
+                println!("{}", run_one(cmd).expect("known command"));
+            }
+            ExitCode::SUCCESS
+        }
+        cmd => match run_one(cmd) {
+            Some(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown command {cmd}\n{}", usage());
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

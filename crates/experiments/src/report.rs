@@ -1,0 +1,135 @@
+//! Table and CSV emission for experiment results.
+
+use esched_core::NecPoint;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Column labels used by every NEC sweep, in the paper's legend order.
+pub const NEC_LABELS: [&str; 5] = ["Idl", "I1", "F1", "I2", "F2"];
+
+/// Render a sweep (`x` values + NEC rows) as an aligned text table.
+pub fn nec_table(x_label: &str, xs: &[String], rows: &[NecPoint]) -> String {
+    assert_eq!(xs.len(), rows.len());
+    let mut out = String::new();
+    let _ = write!(out, "{:>12}", x_label);
+    for l in NEC_LABELS {
+        let _ = write!(out, "{:>10}", format!("NEC {l}"));
+    }
+    out.push('\n');
+    for (x, p) in xs.iter().zip(rows) {
+        let _ = write!(out, "{x:>12}");
+        for v in p.as_array() {
+            let _ = write!(out, "{v:>10.4}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the same sweep as CSV (header + data rows).
+pub fn nec_csv(x_label: &str, xs: &[String], rows: &[NecPoint]) -> String {
+    assert_eq!(xs.len(), rows.len());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{x_label},nec_idl,nec_i1,nec_f1,nec_i2,nec_f2,opt_energy"
+    );
+    for (x, p) in xs.iter().zip(rows) {
+        let a = p.as_array();
+        let _ = writeln!(
+            out,
+            "{x},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            a[0], a[1], a[2], a[3], a[4], p.opt_energy
+        );
+    }
+    out
+}
+
+/// CSV with both means and sample standard deviations per column — the
+/// dispersion the paper's figures omit but reviewers ask for.
+pub fn nec_csv_with_std(
+    x_label: &str,
+    xs: &[String],
+    means: &[NecPoint],
+    stds: &[NecPoint],
+) -> String {
+    assert_eq!(xs.len(), means.len());
+    assert_eq!(xs.len(), stds.len());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{x_label},nec_idl,nec_i1,nec_f1,nec_i2,nec_f2,opt_energy,\
+         std_idl,std_i1,std_f1,std_i2,std_f2"
+    );
+    for ((x, m), s) in xs.iter().zip(means).zip(stds) {
+        let a = m.as_array();
+        let b = s.as_array();
+        let _ = writeln!(
+            out,
+            "{x},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            a[0], a[1], a[2], a[3], a[4], m.opt_energy, b[0], b[1], b[2], b[3], b[4]
+        );
+    }
+    out
+}
+
+/// Write `content` to `dir/name`, creating `dir` if needed.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_artifact(dir: &Path, name: &str, content: &str) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(name), content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(v: f64) -> NecPoint {
+        NecPoint {
+            ideal: v,
+            i1: v + 1.0,
+            f1: v + 0.5,
+            i2: v + 0.2,
+            f2: v + 0.1,
+            opt_energy: 10.0 * v,
+        }
+    }
+
+    #[test]
+    fn table_has_header_and_rows() {
+        let t = nec_table(
+            "p0",
+            &["0.00".into(), "0.02".into()],
+            &[point(1.0), point(0.9)],
+        );
+        let lines: Vec<&str> = t.trim_end().split('\n').collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("NEC F2"));
+        assert!(lines[1].contains("1.1000")); // f2 of first row
+    }
+
+    #[test]
+    fn csv_is_machine_readable() {
+        let c = nec_csv("alpha", &["2.0".into()], &[point(1.0)]);
+        let mut lines = c.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "alpha,nec_idl,nec_i1,nec_f1,nec_i2,nec_f2,opt_energy"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("2.0,1.000000,2.000000,1.500000,"));
+    }
+
+    #[test]
+    fn artifacts_land_on_disk() {
+        let dir = std::env::temp_dir().join("esched-report-test");
+        write_artifact(&dir, "x.csv", "a,b\n1,2\n").unwrap();
+        let back = fs::read_to_string(dir.join("x.csv")).unwrap();
+        assert_eq!(back, "a,b\n1,2\n");
+        fs::remove_file(dir.join("x.csv")).ok();
+    }
+}

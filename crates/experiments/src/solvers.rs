@@ -1,0 +1,153 @@
+//! Solver study: convergence and agreement of the five solvers on the
+//! energy program, at several instance sizes — three first-order methods
+//! (projected gradient, FISTA, Frank–Wolfe), the structure-exploiting
+//! interior point, and exact block-coordinate descent.
+//!
+//! This is the evidence behind choosing projected gradient as the default
+//! `E^OPT` solver and behind trusting the NEC normalizations: all five
+//! methods must agree to well below the margins the figures report, with
+//! certified duality gaps.
+
+use crate::report::write_artifact;
+use esched_opt::{
+    kkt_report, solve_barrier, solve_block_descent, solve_fista, solve_frank_wolfe, solve_pgd,
+    EnergyProgram, SolveOptions,
+};
+use esched_subinterval::Timeline;
+use esched_types::PolynomialPower;
+use esched_workload::{GeneratorConfig, WorkloadGenerator};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// One solver's run record.
+#[derive(Debug, Clone)]
+pub struct SolverRun {
+    /// Solver name.
+    pub name: &'static str,
+    /// Instance size (tasks).
+    pub tasks: usize,
+    /// Final objective.
+    pub objective: f64,
+    /// Certified duality gap.
+    pub gap: f64,
+    /// Iterations used.
+    pub iters: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Projected-gradient KKT residual (solver-independent certificate).
+    pub kkt_residual: f64,
+}
+
+/// Run all five solvers on instances of each size.
+pub fn run(sizes: &[usize], seed: u64) -> Vec<SolverRun> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        let tasks =
+            WorkloadGenerator::new(GeneratorConfig::paper_default().with_tasks(n), seed)
+                .generate();
+        let tl = Timeline::build(&tasks);
+        let ep = EnergyProgram::new(&tasks, &tl, 4, PolynomialPower::paper(3.0, 0.1));
+        let opts = SolveOptions::default();
+        type SolverFn = fn(&EnergyProgram, Vec<f64>, &SolveOptions) -> esched_opt::SolveResult;
+        fn barrier_adapter(
+            ep: &EnergyProgram,
+            _x0: Vec<f64>,
+            opts: &SolveOptions,
+        ) -> esched_opt::SolveResult {
+            solve_barrier(ep, opts)
+        }
+        fn block_adapter(
+            ep: &EnergyProgram,
+            _x0: Vec<f64>,
+            opts: &SolveOptions,
+        ) -> esched_opt::SolveResult {
+            solve_block_descent(ep, opts)
+        }
+        let solvers: [(&'static str, SolverFn); 5] = [
+            ("pgd", solve_pgd),
+            ("fista", solve_fista),
+            ("frank_wolfe", solve_frank_wolfe),
+            ("interior_point", barrier_adapter),
+            ("block_descent", block_adapter),
+        ];
+        for (name, solver) in solvers {
+            let t0 = Instant::now();
+            let r = solver(&ep, ep.initial_point(), &opts);
+            let seconds = t0.elapsed().as_secs_f64();
+            let kkt = kkt_report(&ep, &r.x);
+            out.push(SolverRun {
+                name,
+                tasks: n,
+                objective: r.objective,
+                gap: r.gap,
+                iters: r.iters,
+                seconds,
+                kkt_residual: kkt.projected_gradient_residual,
+            });
+        }
+    }
+    out
+}
+
+/// Render and persist the study.
+pub fn run_and_report(seed: u64, outdir: &Path) -> String {
+    let runs = run(&[10, 20, 40], seed);
+    let mut out = String::from("Solver study (m=4, alpha=3, p0=0.1; default tolerances)\n");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>14} {:>11} {:>8} {:>9} {:>11}",
+        "tasks", "solver", "objective", "gap", "iters", "seconds", "kkt_resid"
+    );
+    let mut csv = String::from("tasks,solver,objective,gap,iters,seconds,kkt_residual\n");
+    for r in &runs {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12} {:>14.6} {:>11.2e} {:>8} {:>9.4} {:>11.2e}",
+            r.tasks, r.name, r.objective, r.gap, r.iters, r.seconds, r.kkt_residual
+        );
+        let _ = writeln!(
+            csv,
+            "{},{},{:.9},{:.3e},{},{:.5},{:.3e}",
+            r.tasks, r.name, r.objective, r.gap, r.iters, r.seconds, r.kkt_residual
+        );
+    }
+    // Agreement check line.
+    for &n in &[10usize, 20, 40] {
+        let objs: Vec<f64> = runs
+            .iter()
+            .filter(|r| r.tasks == n)
+            .map(|r| r.objective)
+            .collect();
+        let lo = objs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = objs.iter().cloned().fold(0.0_f64, f64::max);
+        let _ = writeln!(
+            out,
+            "n = {n}: solver agreement spread = {:.2e} (relative)",
+            (hi - lo) / lo
+        );
+    }
+    let _ = write_artifact(outdir, "solvers.csv", &csv);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_solvers_agree_within_tolerance() {
+        let runs = run(&[10], 77);
+        assert_eq!(runs.len(), 5);
+        let lo = runs.iter().map(|r| r.objective).fold(f64::INFINITY, f64::min);
+        let hi = runs.iter().map(|r| r.objective).fold(0.0_f64, f64::max);
+        assert!(
+            (hi - lo) / lo < 2e-3,
+            "solver spread too large: {lo} vs {hi}"
+        );
+        for r in &runs {
+            assert!(r.gap >= -1e-9, "{}: negative gap {}", r.name, r.gap);
+            assert!(r.seconds >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Table II — NEC of the two *final* schedules `F1` and `F2` over the
+//! `(α, p₀)` grid (`α ∈ {2.0, …, 3.0}`, `p₀ ∈ {0, 0.02, …, 0.20}`,
+//! `m = 4`, `n = 20`, intensity ladder, 100 trials/cell).
+
+use crate::harness::{mean_nec_for, TrialSpec};
+use crate::report::write_artifact;
+use esched_types::PolynomialPower;
+use esched_workload::GeneratorConfig;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One grid cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Exponent.
+    pub alpha: f64,
+    /// Static power.
+    pub p0: f64,
+    /// Mean NEC of `S^F1`.
+    pub f1: f64,
+    /// Mean NEC of `S^F2`.
+    pub f2: f64,
+}
+
+/// Grid axes. The full paper grid is 11×11 = 121 cells; `stride` lets
+/// quick runs sample every other value (stride 2 → 6×6).
+pub fn run(trials: usize, base_seed: u64, stride: usize) -> Vec<Cell> {
+    let alphas: Vec<f64> = (0..=10)
+        .step_by(stride.max(1))
+        .map(|k| 2.0 + 0.1 * k as f64)
+        .collect();
+    let p0s: Vec<f64> = (0..=10)
+        .step_by(stride.max(1))
+        .map(|k| 0.02 * k as f64)
+        .collect();
+    let mut cells = Vec::with_capacity(alphas.len() * p0s.len());
+    for &alpha in &alphas {
+        for &p0 in &p0s {
+            let spec = TrialSpec {
+                cores: 4,
+                power: PolynomialPower::paper(alpha, p0),
+                config: GeneratorConfig::paper_default(),
+                trials,
+                base_seed,
+            };
+            let nec = mean_nec_for(&spec);
+            cells.push(Cell {
+                alpha,
+                p0,
+                f1: nec.f1,
+                f2: nec.f2,
+            });
+        }
+    }
+    cells
+}
+
+/// Render the grid in the paper's layout: for each α row, the F1 and F2
+/// NECs across the p₀ columns.
+pub fn render(cells: &[Cell]) -> String {
+    let mut alphas: Vec<f64> = cells.iter().map(|c| c.alpha).collect();
+    alphas.dedup();
+    let mut p0s: Vec<f64> = cells
+        .iter()
+        .filter(|c| (c.alpha - alphas[0]).abs() < 1e-12)
+        .map(|c| c.p0)
+        .collect();
+    p0s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let mut out = String::new();
+    let _ = write!(out, "{:>6} {:>4}", "alpha", "NEC");
+    for p0 in &p0s {
+        let _ = write!(out, "{:>9}", format!("p0={p0:.2}"));
+    }
+    out.push('\n');
+    for &alpha in &alphas {
+        for (label, pick) in [("F1", 0), ("F2", 1)] {
+            let _ = write!(out, "{alpha:>6.1} {label:>4}");
+            for &p0 in &p0s {
+                let cell = cells
+                    .iter()
+                    .find(|c| (c.alpha - alpha).abs() < 1e-12 && (c.p0 - p0).abs() < 1e-12)
+                    .expect("grid is complete");
+                let v = if pick == 0 { cell.f1 } else { cell.f2 };
+                let _ = write!(out, "{v:>9.4}");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// CSV form of the grid.
+pub fn csv(cells: &[Cell]) -> String {
+    let mut out = String::from("alpha,p0,nec_f1,nec_f2\n");
+    for c in cells {
+        let _ = writeln!(out, "{},{},{:.6},{:.6}", c.alpha, c.p0, c.f1, c.f2);
+    }
+    out
+}
+
+/// Run, print, and write artifacts.
+pub fn run_and_report(trials: usize, base_seed: u64, stride: usize, outdir: &Path) -> String {
+    let cells = run(trials, base_seed, stride);
+    let _ = write_artifact(outdir, "table2.csv", &csv(&cells));
+    format!(
+        "Table II — NEC of F1/F2 over the (alpha, p0) grid ({} cells, {trials} trials each)\n{}",
+        cells.len(),
+        render(&cells)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_grid_shape() {
+        let cells = run(2, 5, 5); // alphas {2.0, 2.5, 3.0} × p0 {0, .1, .2}
+        assert_eq!(cells.len(), 9);
+    }
+
+    #[test]
+    fn f2_beats_f1_on_average() {
+        let cells = run(3, 11, 5);
+        let mean_f1: f64 = cells.iter().map(|c| c.f1).sum::<f64>() / cells.len() as f64;
+        let mean_f2: f64 = cells.iter().map(|c| c.f2).sum::<f64>() / cells.len() as f64;
+        assert!(
+            mean_f2 <= mean_f1 + 1e-9,
+            "F2 {mean_f2} worse than F1 {mean_f1}"
+        );
+        // The paper's Table II keeps F2 near 1.0-1.15 across the grid.
+        assert!(mean_f2 < 1.3, "mean F2 = {mean_f2}");
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let cells = run(1, 1, 5);
+        let text = render(&cells);
+        assert!(text.contains("2.0"));
+        assert!(text.contains("3.0"));
+        assert!(text.contains("F1"));
+        assert!(text.contains("F2"));
+    }
+}

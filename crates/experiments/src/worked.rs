@@ -1,0 +1,175 @@
+//! The paper's worked examples, reproduced end-to-end:
+//!
+//! * Section I.B / Fig. 1-2 — YDS on the three-task instance, and the
+//!   Section II two-core KKT optimum,
+//! * Section V.D / Fig. 4-5 — the six-task quad-core example with both
+//!   allocation methods,
+//! * Section VI.D — core-count selection.
+
+use esched_core::{
+    allocate_der, der_schedule, even_schedule, ideal_schedule, optimal_energy,
+    select_core_count, yds_schedule, Method,
+};
+use esched_opt::SolveOptions;
+use esched_sim::{ascii_gantt, simulate, task_summary};
+use esched_subinterval::Timeline;
+use esched_types::PolynomialPower;
+use esched_workload::{intro_three_tasks, section_vd_six_tasks};
+use std::fmt::Write as _;
+
+/// Reproduce Fig. 1-2: YDS on the introductory tasks plus the two-core
+/// optimum of Section II.
+pub fn fig2_report() -> String {
+    let tasks = intro_three_tasks();
+    let mut out = String::new();
+
+    let _ = writeln!(out, "Fig. 2(a) — YDS on a uniprocessor, p(f) = f^3:");
+    let yds = yds_schedule(&tasks, &PolynomialPower::cubic());
+    let _ = writeln!(
+        out,
+        "  rounds = {}, speeds = {:?}",
+        yds.rounds,
+        yds.speed
+            .iter()
+            .map(|f| (f * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    out.push_str(&ascii_gantt(&yds.schedule, 0.0, 12.0, 48));
+    out.push_str(&task_summary(&yds.schedule));
+
+    let _ = writeln!(
+        out,
+        "\nFig. 2(b) — optimal two-core schedule, p(f) = f^3 + 0.01:"
+    );
+    let p = PolynomialPower::paper(3.0, 0.01);
+    let opt = optimal_energy(&tasks, 2, &p, &SolveOptions::precise());
+    let _ = writeln!(
+        out,
+        "  E^OPT = {:.6} (paper: 155/32 + 0.2 = {:.6}), per-task X = {:?}",
+        opt.energy,
+        155.0 / 32.0 + 0.2,
+        opt.total_times
+            .iter()
+            .map(|x| (x * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    out.push_str(&ascii_gantt(&opt.schedule, 0.0, 12.0, 48));
+
+    // Execute the optimal schedule on the simulator as a cross-check.
+    let sim = simulate(&opt.schedule, &tasks, &p);
+    let _ = writeln!(
+        out,
+        "  simulator: energy = {:.6}, clean = {}",
+        sim.energy,
+        sim.is_clean()
+    );
+    out
+}
+
+/// Reproduce the Section V.D example: allocations, final frequencies, and
+/// the energies 33.0642 / 31.8362.
+pub fn example_vd_report() -> String {
+    let tasks = section_vd_six_tasks();
+    let p = PolynomialPower::cubic();
+    let timeline = Timeline::build(&tasks);
+    let ideal = ideal_schedule(&tasks, &p);
+    let mut out = String::new();
+
+    let _ = writeln!(out, "Section V.D — six tasks on a quad-core, p(f) = f^3");
+    let heavy = timeline.heavy_indices(4);
+    let _ = writeln!(
+        out,
+        "  heavy subintervals: {:?}",
+        heavy
+            .iter()
+            .map(|&j| {
+                let iv = &timeline.get(j).interval;
+                (iv.start, iv.end)
+            })
+            .collect::<Vec<_>>()
+    );
+
+    let avail = allocate_der(&tasks, &timeline, 4, &ideal);
+    for &j in &heavy {
+        let iv = &timeline.get(j).interval;
+        let _ = writeln!(out, "  DER allocations in [{}, {}]:", iv.start, iv.end);
+        for &i in &timeline.get(j).overlapping {
+            let _ = writeln!(out, "    task {i}: {:.4}", avail.get(i, j));
+        }
+    }
+
+    let even = even_schedule(&tasks, 4, &p);
+    let der = der_schedule(&tasks, 4, &p);
+    let _ = writeln!(
+        out,
+        "  E^F1 = {:.4} (paper 33.0642)   E^F2 = {:.4} (paper 31.8362)",
+        even.final_energy, der.final_energy
+    );
+    let _ = writeln!(
+        out,
+        "  final F2 frequencies: {:?}",
+        der.assignment
+            .freq
+            .iter()
+            .map(|f| (f * 10000.0).round() / 10000.0)
+            .collect::<Vec<_>>()
+    );
+    out.push_str("  final F2 schedule:\n");
+    out.push_str(&ascii_gantt(&der.schedule, 0.0, 22.0, 66));
+
+    // Cross-check on the simulator.
+    let sim = simulate(&der.schedule, &tasks, &p);
+    let _ = writeln!(
+        out,
+        "  simulator: energy = {:.4}, clean = {}",
+        sim.energy,
+        sim.is_clean()
+    );
+    out
+}
+
+/// Section VI.D — core-count selection on the V.D instance with static
+/// power (where fewer cores can win).
+pub fn corecount_report() -> String {
+    let tasks = section_vd_six_tasks();
+    let mut out = String::new();
+    for (label, p) in [
+        ("p(f) = f^3 (no static power)", PolynomialPower::cubic()),
+        ("p(f) = f^3 + 0.2", PolynomialPower::paper(3.0, 0.2)),
+    ] {
+        let choice = select_core_count(&tasks, 8, &p, Method::Der);
+        let _ = writeln!(out, "Core-count sweep, {label}:");
+        for (m, e) in &choice.sweep {
+            let marker = if *m == choice.best { "  <-- best" } else { "" };
+            let _ = writeln!(out, "  m = {m}: E^F2 = {e:.4}{marker}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_report_contains_key_numbers() {
+        let r = fig2_report();
+        assert!(r.contains("rounds = 2"));
+        assert!(r.contains("E^OPT = 5.04"), "{r}");
+        assert!(r.contains("clean = true"));
+    }
+
+    #[test]
+    fn vd_report_contains_paper_energies() {
+        let r = example_vd_report();
+        assert!(r.contains("E^F1 = 33.06"), "{r}");
+        assert!(r.contains("E^F2 = 31.83"), "{r}");
+        assert!(r.contains("clean = true"));
+    }
+
+    #[test]
+    fn corecount_report_runs() {
+        let r = corecount_report();
+        assert!(r.contains("<-- best"));
+    }
+}

@@ -1,0 +1,132 @@
+//! KKT residual certification for the energy program.
+//!
+//! Theorem 1 rests on the reformulated problem being convex; a candidate
+//! `x` is therefore globally optimal iff the KKT conditions hold. This
+//! module measures how far a point is from satisfying them, giving the
+//! test suite and the experiment harness an *independent* optimality
+//! certificate that does not trust the solver that produced the point.
+//!
+//! For the program
+//! `min E(x) s.t. 0 ≤ x_{i,j} ≤ Δ_j, Σ_i x_{i,j} ≤ m·Δ_j`,
+//! stationarity requires, for each variable `k` in subinterval block `j`
+//! (with `g = ∇E(x)` and block multiplier `μ_j ≥ 0`):
+//!
+//! * `x_k` interior (0 < x_k < Δ_j, block slack): `g_k = 0`
+//! * interior but block tight: `g_k = −μ_j`
+//! * `x_k = 0`: `g_k + μ_j ≥ 0`
+//! * `x_k = Δ_j`: `g_k + μ_j ≤ 0`
+//!
+//! Instead of reconstructing multipliers explicitly, we use the equivalent
+//! *projected-gradient residual* `‖x − P(x − ∇E(x))‖∞` (zero iff KKT
+//! holds) plus the Frank–Wolfe duality gap as a function-value bound.
+
+use crate::energy_program::EnergyProgram;
+use serde::{Deserialize, Serialize};
+
+/// Optimality certificate for a feasible point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KktReport {
+    /// `‖x − P(x − ∇E(x))‖∞`: zero exactly at KKT points.
+    pub projected_gradient_residual: f64,
+    /// Frank–Wolfe duality gap `⟨∇E(x), x − s_LMO⟩ ≥ E(x) − E*`.
+    pub duality_gap: f64,
+    /// Worst primal constraint violation (should be ~0 for feasible input).
+    pub feasibility_violation: f64,
+    /// Objective at the point.
+    pub objective: f64,
+}
+
+impl KktReport {
+    /// Is the point optimal within `tol` (relative)?
+    pub fn is_optimal(&self, tol: f64) -> bool {
+        let scale = 1.0 + self.objective.abs();
+        self.feasibility_violation <= tol * scale
+            && (self.duality_gap <= tol * scale
+                || self.projected_gradient_residual <= tol)
+    }
+}
+
+/// Compute the KKT certificate of `x` for program `ep`.
+pub fn kkt_report(ep: &EnergyProgram, x: &[f64]) -> KktReport {
+    let dim = ep.dim();
+    assert_eq!(x.len(), dim);
+
+    let mut g = vec![0.0; dim];
+    ep.gradient(x, &mut g);
+
+    // Projected-gradient residual.
+    let mut shifted = vec![0.0; dim];
+    for k in 0..dim {
+        shifted[k] = x[k] - g[k];
+    }
+    let mut proj = vec![0.0; dim];
+    ep.project(&shifted, &mut proj);
+    let residual = x
+        .iter()
+        .zip(&proj)
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+
+    // Feasibility violation: project x itself and measure displacement.
+    let mut pfeas = vec![0.0; dim];
+    ep.project(x, &mut pfeas);
+    let feas = x
+        .iter()
+        .zip(&pfeas)
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0_f64, f64::max);
+
+    KktReport {
+        projected_gradient_residual: residual,
+        duality_gap: ep.duality_gap(x),
+        feasibility_violation: feas,
+        objective: ep.objective(x),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient::solve_pgd;
+    use crate::solver::SolveOptions;
+    use esched_subinterval::Timeline;
+    use esched_types::{PolynomialPower, TaskSet};
+
+    fn intro() -> (EnergyProgram, TaskSet) {
+        let ts = TaskSet::from_triples(&[(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)]);
+        let tl = Timeline::build(&ts);
+        let ep = EnergyProgram::new(&ts, &tl, 2, PolynomialPower::paper(3.0, 0.01));
+        (ep, ts)
+    }
+
+    #[test]
+    fn solver_output_passes_kkt() {
+        let (ep, _) = intro();
+        let r = solve_pgd(&ep, ep.initial_point(), &SolveOptions::precise());
+        let report = kkt_report(&ep, &r.x);
+        assert!(
+            report.is_optimal(1e-5),
+            "residual {}, gap {}",
+            report.projected_gradient_residual,
+            report.duality_gap
+        );
+    }
+
+    #[test]
+    fn non_optimal_point_fails_kkt() {
+        let (ep, _) = intro();
+        let x0 = ep.initial_point();
+        let report = kkt_report(&ep, &x0);
+        assert!(!report.is_optimal(1e-6));
+        assert!(report.duality_gap > 1e-3);
+    }
+
+    #[test]
+    fn infeasible_point_is_flagged() {
+        let (ep, _) = intro();
+        let x = vec![100.0; ep.dim()];
+        let report = kkt_report(&ep, &x);
+        assert!(report.feasibility_violation > 1.0);
+        assert!(!report.is_optimal(1e-6));
+    }
+}

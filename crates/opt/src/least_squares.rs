@@ -1,0 +1,213 @@
+//! Nonlinear least-squares fit of the power curve `p(f) = γ·f^α + p₀`
+//! to a measured frequency/power table (Section VI.C).
+//!
+//! For fixed `α` the model is *linear* in `(γ, p₀)`, so the fit decomposes
+//! into an inner 2×2 linear least-squares solve and an outer 1-D search
+//! over `α`. The outer problem is smooth and, for real processor tables,
+//! unimodal over the physically sensible range `α ∈ [1.5, 4]`; a coarse
+//! grid scan followed by golden-section refinement finds it reliably
+//! without Jacobian bookkeeping.
+
+use crate::scalar::golden_min;
+use esched_types::{FreqLevel, PolynomialPower};
+
+/// Result of a curve fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerFit {
+    /// Fitted `γ`.
+    pub gamma: f64,
+    /// Fitted `α`.
+    pub alpha: f64,
+    /// Fitted `p₀`.
+    pub p0: f64,
+    /// Residual sum of squares at the fit.
+    pub rss: f64,
+}
+
+impl PowerFit {
+    /// Convert to a [`PolynomialPower`] model. `α` is clamped up to 2 and
+    /// `p₀` down to 0 if the unconstrained fit strayed (Theorem 1 needs
+    /// `α ≥ 2`; negative static power is unphysical).
+    pub fn into_model(self) -> PolynomialPower {
+        PolynomialPower::new(self.gamma.max(1e-30), self.alpha.max(2.0), self.p0.max(0.0))
+            .expect("fit produced invalid model")
+    }
+}
+
+/// Solve the inner problem: best `(γ, p₀)` and RSS for fixed `α`.
+///
+/// Minimizes `Σ_k (γ·f_k^α + p₀ − p_k)²` — normal equations of a 2-column
+/// design matrix `[f^α, 1]`.
+fn fit_linear_given_alpha(points: &[FreqLevel], alpha: f64) -> (f64, f64, f64) {
+    let n = points.len() as f64;
+    let mut sx = 0.0; // Σ f^α
+    let mut sxx = 0.0; // Σ f^2α
+    let mut sy = 0.0; // Σ p
+    let mut sxy = 0.0; // Σ f^α·p
+    for l in points {
+        let xa = l.freq.powf(alpha);
+        sx += xa;
+        sxx += xa * xa;
+        sy += l.power;
+        sxy += xa * l.power;
+    }
+    let det = n * sxx - sx * sx;
+    let (gamma, p0) = if det.abs() < 1e-300 {
+        (0.0, sy / n)
+    } else {
+        ((n * sxy - sx * sy) / det, (sxx * sy - sx * sxy) / det)
+    };
+    let rss: f64 = points
+        .iter()
+        .map(|l| {
+            let r = gamma * l.freq.powf(alpha) + p0 - l.power;
+            r * r
+        })
+        .sum();
+    (gamma, p0, rss)
+}
+
+/// Fit `p(f) = γ·f^α + p₀` to the measured `points`.
+///
+/// `alpha_range` bounds the exponent search (use `(2.0, 3.5)` to respect
+/// the paper's convexity requirement, or `(1.5, 4.0)` for an unconstrained
+/// diagnostic fit).
+///
+/// # Panics
+/// If fewer than 3 points are given (the model has 3 parameters).
+pub fn fit_power_curve(points: &[FreqLevel], alpha_range: (f64, f64)) -> PowerFit {
+    assert!(
+        points.len() >= 3,
+        "need at least 3 points to fit a 3-parameter model"
+    );
+    let (lo, hi) = alpha_range;
+    assert!(lo < hi && lo > 0.0);
+
+    // Coarse grid to bracket the best alpha.
+    let grid_steps = 60;
+    let mut best_a = lo;
+    let mut best_rss = f64::INFINITY;
+    for k in 0..=grid_steps {
+        let a = lo + (hi - lo) * k as f64 / grid_steps as f64;
+        let (_, _, rss) = fit_linear_given_alpha(points, a);
+        if rss < best_rss {
+            best_rss = rss;
+            best_a = a;
+        }
+    }
+    // Golden-section refinement around the best grid cell.
+    let width = (hi - lo) / grid_steps as f64;
+    let a_lo = (best_a - 2.0 * width).max(lo);
+    let a_hi = (best_a + 2.0 * width).min(hi);
+    let alpha = golden_min(
+        |a| fit_linear_given_alpha(points, a).2,
+        a_lo,
+        a_hi,
+        1e-12,
+    );
+    let (gamma, p0, rss) = fit_linear_given_alpha(points, alpha);
+    PowerFit {
+        gamma,
+        alpha,
+        p0,
+        rss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(pairs: &[(f64, f64)]) -> Vec<FreqLevel> {
+        pairs
+            .iter()
+            .map(|&(freq, power)| FreqLevel { freq, power })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exact_synthetic_parameters() {
+        // Generate from p(f) = 2·f^2.5 + 7 and fit back.
+        let pts: Vec<FreqLevel> = [0.5, 1.0, 1.5, 2.0, 3.0]
+            .iter()
+            .map(|&f: &f64| FreqLevel {
+                freq: f,
+                power: 2.0 * f.powf(2.5) + 7.0,
+            })
+            .collect();
+        let fit = fit_power_curve(&pts, (1.5, 4.0));
+        assert!((fit.alpha - 2.5).abs() < 1e-6, "alpha = {}", fit.alpha);
+        assert!((fit.gamma - 2.0).abs() < 1e-5, "gamma = {}", fit.gamma);
+        assert!((fit.p0 - 7.0).abs() < 1e-5, "p0 = {}", fit.p0);
+        assert!(fit.rss < 1e-10);
+    }
+
+    #[test]
+    fn xscale_fit_matches_paper_ballpark() {
+        // The paper reports p(f) = 3.855e-6·f^2.867 + 63.58 for the XScale
+        // table. Exact agreement depends on their fitting procedure; ours
+        // must land in the same neighbourhood and predict the measured
+        // powers well.
+        let pts = table(&[
+            (150.0, 80.0),
+            (400.0, 170.0),
+            (600.0, 400.0),
+            (800.0, 900.0),
+            (1000.0, 1600.0),
+        ]);
+        let fit = fit_power_curve(&pts, (2.0, 3.5));
+        assert!(
+            (2.5..=3.2).contains(&fit.alpha),
+            "alpha = {} out of paper neighbourhood",
+            fit.alpha
+        );
+        assert!(fit.p0 > 0.0 && fit.p0 < 150.0, "p0 = {}", fit.p0);
+        // Predicted power within 20% at every level.
+        let model = fit.into_model();
+        use esched_types::PowerModel;
+        for l in &pts {
+            let pred = model.power(l.freq);
+            assert!(
+                (pred - l.power).abs() / l.power < 0.25,
+                "f={}: predicted {pred}, measured {}",
+                l.freq,
+                l.power
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_constraint_is_respected() {
+        // Nearly linear data would prefer alpha < 2; the constrained range
+        // must clamp to its boundary.
+        let pts: Vec<FreqLevel> = [1.0, 2.0, 3.0, 4.0]
+            .iter()
+            .map(|&f| FreqLevel {
+                freq: f,
+                power: 10.0 * f + 1.0,
+            })
+            .collect();
+        let fit = fit_power_curve(&pts, (2.0, 3.5));
+        assert!(fit.alpha >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 points")]
+    fn rejects_underdetermined_input() {
+        let pts = table(&[(1.0, 1.0), (2.0, 2.0)]);
+        let _ = fit_power_curve(&pts, (2.0, 3.0));
+    }
+
+    #[test]
+    fn into_model_clamps_unphysical_values() {
+        let fit = PowerFit {
+            gamma: 1.0,
+            alpha: 1.7,
+            p0: -0.5,
+            rss: 0.0,
+        };
+        let m = fit.into_model();
+        assert_eq!(m.alpha, 2.0);
+        assert_eq!(m.p0, 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Minimal dense linear algebra: LU factorization with partial pivoting
+//! and triangular solves — just enough to back the interior-point
+//! method's Woodbury-reduced Newton systems (tens of unknowns), with no
+//! external dependency.
+
+// Indexed loops below walk several parallel arrays at once; iterator
+// zips would obscure the numerics. Silence clippy's range-loop lint here.
+#![allow(clippy::needless_range_loop)]
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for k in 0..n {
+            m[(k, k)] = 1.0;
+        }
+        m
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols);
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            out[r] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Solve `A x = b` by LU with partial pivoting. Returns `None` when the
+/// matrix is numerically singular.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows, a.cols);
+    assert_eq!(b.len(), a.rows);
+    let n = a.rows;
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for k in 0..n {
+        // Pivot.
+        let (pivot_row, pivot_val) = (k..n)
+            .map(|r| (r, lu[(r, k)].abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+            .expect("non-empty range");
+        if pivot_val < 1e-300 {
+            return None;
+        }
+        if pivot_row != k {
+            for c in 0..n {
+                let tmp = lu[(k, c)];
+                lu[(k, c)] = lu[(pivot_row, c)];
+                lu[(pivot_row, c)] = tmp;
+            }
+            perm.swap(k, pivot_row);
+        }
+        // Eliminate below.
+        for r in (k + 1)..n {
+            let factor = lu[(r, k)] / lu[(k, k)];
+            lu[(r, k)] = factor;
+            for c in (k + 1)..n {
+                let sub = factor * lu[(k, c)];
+                lu[(r, c)] -= sub;
+            }
+        }
+    }
+
+    // Forward substitution with permuted b.
+    let mut y = vec![0.0; n];
+    for r in 0..n {
+        let mut s = b[perm[r]];
+        for c in 0..r {
+            s -= lu[(r, c)] * y[c];
+        }
+        y[r] = s;
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut s = y[r];
+        for c in (r + 1)..n {
+            s -= lu[(r, c)] * x[c];
+        }
+        x[r] = s / lu[(r, r)];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(lu_solve(&a, &b).unwrap(), b);
+    }
+
+    #[test]
+    fn known_3x3_system() {
+        // A = [[2,1,1],[1,3,2],[1,0,0]], b = [4,5,6] → x = [6,15,-23].
+        let mut a = Matrix::zeros(3, 3);
+        let vals = [[2.0, 1.0, 1.0], [1.0, 3.0, 2.0], [1.0, 0.0, 0.0]];
+        for r in 0..3 {
+            for c in 0..3 {
+                a[(r, c)] = vals[r][c];
+            }
+        }
+        let x = lu_solve(&a, &[4.0, 5.0, 6.0]).unwrap();
+        let expect = [6.0, 15.0, -23.0];
+        for (got, want) in x.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn residual_is_tiny_on_random_like_systems() {
+        // Deterministic pseudo-random matrix; check ‖Ax − b‖ ≈ 0.
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                a[(r, c)] = ((r * 31 + c * 17 + 7) % 23) as f64 / 7.0 - 1.5;
+            }
+            a[(r, r)] += 5.0; // diagonal dominance for conditioning
+        }
+        let b: Vec<f64> = (0..n).map(|k| (k as f64 * 0.7).sin()).collect();
+        let x = lu_solve(&a, &b).unwrap();
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let x = lu_solve(&a, &[3.0, 4.0]).unwrap();
+        assert!((x[0] - 4.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        assert!(lu_solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let mut a = Matrix::zeros(2, 3);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = 2.0;
+        a[(0, 2)] = 3.0;
+        a[(1, 0)] = 4.0;
+        a[(1, 1)] = 5.0;
+        a[(1, 2)] = 6.0;
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+}

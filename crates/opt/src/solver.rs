@@ -1,0 +1,74 @@
+//! Shared solver options and result types for the energy-program solvers.
+
+use serde::{Deserialize, Serialize};
+
+/// Options shared by all first-order solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolveOptions {
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Stop when the certified duality gap falls below
+    /// `gap_tol · (1 + |E(x)|)`.
+    pub gap_tol: f64,
+    /// Additional stop: relative objective decrease below this for
+    /// `stall_iters` consecutive iterations.
+    pub rel_tol: f64,
+    /// Consecutive stalled iterations before declaring convergence on
+    /// `rel_tol`.
+    pub stall_iters: usize,
+    /// How often (in iterations) to evaluate the duality gap; the gap costs
+    /// a gradient + LMO, so checking every iteration is wasteful.
+    pub gap_check_every: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 20_000,
+            gap_tol: 1e-7,
+            rel_tol: 1e-12,
+            stall_iters: 25,
+            gap_check_every: 10,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// A faster, looser preset for Monte-Carlo experiment baselines where
+    /// 1e-4-relative accuracy on `E^OPT` is ample.
+    pub fn fast() -> Self {
+        Self {
+            max_iters: 5_000,
+            gap_tol: 1e-5,
+            rel_tol: 1e-10,
+            stall_iters: 15,
+            gap_check_every: 10,
+        }
+    }
+
+    /// A tight preset for golden-value tests.
+    pub fn precise() -> Self {
+        Self {
+            max_iters: 200_000,
+            gap_tol: 1e-10,
+            rel_tol: 1e-15,
+            stall_iters: 50,
+            gap_check_every: 20,
+        }
+    }
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveResult {
+    /// The final (feasible) iterate.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// Certified duality gap at `x` (upper bound on suboptimality).
+    pub gap: f64,
+    /// Iterations used.
+    pub iters: usize,
+    /// Whether a stopping criterion (not the iteration cap) fired.
+    pub converged: bool,
+}

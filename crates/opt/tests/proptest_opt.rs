@@ -1,0 +1,133 @@
+//! Property tests for the optimization substrate.
+
+use esched_opt::{
+    feasible_at_frequency, lmo_capped_simplex, min_frequency_by_flow, project_capped_simplex,
+    solve_pgd, EnergyProgram, SolveOptions,
+};
+use esched_subinterval::Timeline;
+use esched_types::{PolynomialPower, Task, TaskSet};
+use proptest::prelude::*;
+
+fn arb_task_set(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec((0.0_f64..30.0, 0.5_f64..25.0, 0.05_f64..1.2), 1..=max_tasks)
+        .prop_map(|v| {
+            TaskSet::new(
+                v.into_iter()
+                    .map(|(r, len, intensity)| Task::of(r, r + len, (len * intensity).max(1e-3)))
+                    .collect(),
+            )
+            .unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn projection_is_idempotent(
+        z in prop::collection::vec(-3.0_f64..5.0, 1..12),
+        cap_frac in 0.05_f64..1.2,
+    ) {
+        let u = vec![1.0; z.len()];
+        let cap = cap_frac * z.len() as f64 * 0.5;
+        let mut p1 = vec![0.0; z.len()];
+        project_capped_simplex(&z, &u, cap, &mut p1);
+        let mut p2 = vec![0.0; z.len()];
+        project_capped_simplex(&p1, &u, cap, &mut p2);
+        for (a, b) in p1.iter().zip(&p2) {
+            prop_assert!((a - b).abs() < 1e-7, "projection not idempotent: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn projection_is_nonexpansive(
+        z1 in prop::collection::vec(-3.0_f64..5.0, 4..10),
+        shift in prop::collection::vec(-1.0_f64..1.0, 10),
+        cap_frac in 0.05_f64..1.2,
+    ) {
+        let n = z1.len();
+        let z2: Vec<f64> = z1.iter().zip(&shift).map(|(a, b)| a + b).collect();
+        let u = vec![1.0; n];
+        let cap = cap_frac * n as f64 * 0.5;
+        let mut p1 = vec![0.0; n];
+        let mut p2 = vec![0.0; n];
+        project_capped_simplex(&z1, &u, cap, &mut p1);
+        project_capped_simplex(&z2, &u, cap, &mut p2);
+        let dp: f64 = p1.iter().zip(&p2).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+        let dz: f64 = z1.iter().zip(&z2).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+        prop_assert!(dp <= dz + 1e-6, "expansive projection: {dp} > {dz}");
+    }
+
+    #[test]
+    fn lmo_beats_random_feasible_points(
+        g in prop::collection::vec(-2.0_f64..2.0, 2..10),
+        mix in prop::collection::vec(0.0_f64..1.0, 10),
+        cap_frac in 0.1_f64..1.0,
+    ) {
+        let n = g.len();
+        let u = vec![1.0; n];
+        let cap = cap_frac * n as f64 * 0.6;
+        let mut s = vec![0.0; n];
+        lmo_capped_simplex(&g, &u, cap, &mut s);
+        let s_val: f64 = g.iter().zip(&s).map(|(a, b)| a * b).sum();
+        // Candidate: scaled mix kept feasible.
+        let mut y: Vec<f64> = mix[..n].to_vec();
+        let ysum: f64 = y.iter().sum();
+        if ysum > cap {
+            for v in &mut y { *v *= cap / ysum; }
+        }
+        let y_val: f64 = g.iter().zip(&y).map(|(a, b)| a * b).sum();
+        prop_assert!(s_val <= y_val + 1e-9, "LMO {s_val} beaten by {y_val}");
+    }
+
+    #[test]
+    fn solver_respects_feasibility_and_certifies(
+        tasks in arb_task_set(8),
+        cores in 1_usize..4,
+        p0 in 0.0_f64..0.3,
+    ) {
+        let tl = Timeline::build(&tasks);
+        let ep = EnergyProgram::new(&tasks, &tl, cores, PolynomialPower::paper(3.0, p0));
+        let r = solve_pgd(&ep, ep.initial_point(), &SolveOptions::fast());
+        prop_assert!(ep.is_feasible(&r.x, 1e-6));
+        prop_assert!(r.objective.is_finite() && r.objective > 0.0);
+        prop_assert!(r.gap >= -1e-9);
+        // The certified gap bounds suboptimality vs. the initial point.
+        let f0 = ep.objective(&ep.initial_point());
+        prop_assert!(r.objective <= f0 + 1e-9);
+    }
+
+    #[test]
+    fn flow_minimum_frequency_is_consistent(
+        tasks in arb_task_set(6),
+        cores in 1_usize..4,
+    ) {
+        let tl = Timeline::build(&tasks);
+        let f = min_frequency_by_flow(&tasks, &tl, cores, 1e-9);
+        prop_assert!(f > 0.0 && f.is_finite());
+        prop_assert!(feasible_at_frequency(&tasks, &tl, cores, f * (1.0 + 1e-6)));
+        prop_assert!(!feasible_at_frequency(&tasks, &tl, cores, f * 0.95));
+        // More cores never raise the minimum frequency.
+        let f_more = min_frequency_by_flow(&tasks, &tl, cores + 1, 1e-9);
+        prop_assert!(f_more <= f * (1.0 + 1e-6), "more cores raised f*: {f_more} > {f}");
+    }
+
+    #[test]
+    fn energy_program_objective_is_convex_along_segments(
+        tasks in arb_task_set(6),
+        lambda in 0.0_f64..1.0,
+    ) {
+        // Convexity spot-check: f(λx + (1−λ)y) ≤ λf(x) + (1−λ)f(y) for the
+        // initial point and a projected random-ish perturbation.
+        let tl = Timeline::build(&tasks);
+        let ep = EnergyProgram::new(&tasks, &tl, 2, PolynomialPower::paper(2.5, 0.1));
+        let x = ep.initial_point();
+        let z: Vec<f64> = x.iter().enumerate().map(|(k, &v)| v * (0.3 + (k % 3) as f64 * 0.35)).collect();
+        let mut y = vec![0.0; ep.dim()];
+        ep.project(&z, &mut y);
+        let mid: Vec<f64> = x.iter().zip(&y).map(|(a, b)| lambda * a + (1.0 - lambda) * b).collect();
+        let lhs = ep.objective(&mid);
+        let rhs = lambda * ep.objective(&x) + (1.0 - lambda) * ep.objective(&y);
+        prop_assert!(lhs <= rhs + 1e-7 * (1.0 + rhs.abs()), "convexity violated: {lhs} > {rhs}");
+    }
+}

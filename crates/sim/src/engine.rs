@@ -1,0 +1,366 @@
+//! The discrete-event simulation engine.
+//!
+//! [`simulate`] plays a [`Schedule`] against a [`TaskSet`] under a power
+//! model: segment boundaries become events, per-core state machines
+//! integrate energy, work is credited to tasks as segments complete, and
+//! deadline events check that every task received its requirement in time.
+//!
+//! The engine deliberately re-measures everything the analytic layer
+//! already "knows" — energy, work, legality — so the two can be
+//! cross-checked: if the algebra in `esched-core` and the event mechanics
+//! here ever disagree, a test fails.
+
+use crate::event::{Event, EventKind, EventQueue};
+use crate::machine::Core;
+use crate::metrics::{Conflict, SimReport};
+use esched_types::{PowerModel, Schedule, TaskSet};
+
+/// Tolerance on delivered work at a deadline, matching the validator's.
+const WORK_TOL: f64 = 1e-6;
+
+/// One entry of the execution log collected by [`simulate_traced`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoggedEvent {
+    /// When it happened.
+    pub time: f64,
+    /// Human/machine-readable kind: `start`, `end`, `release`, `deadline`,
+    /// `conflict`, `miss`.
+    pub kind: String,
+    /// The task involved.
+    pub task: usize,
+    /// The core involved (usize::MAX when not core-specific).
+    pub core: usize,
+}
+
+/// Render a log as CSV (`time,kind,task,core`).
+pub fn log_to_csv(log: &[LoggedEvent]) -> String {
+    let mut out = String::from("time,kind,task,core\n");
+    for e in log {
+        let core = if e.core == usize::MAX {
+            String::new()
+        } else {
+            e.core.to_string()
+        };
+        out.push_str(&format!("{:.9},{},{},{}\n", e.time, e.kind, e.task, core));
+    }
+    out
+}
+
+/// Execute `schedule` for `tasks` under `model` and measure the outcome.
+///
+/// # Examples
+///
+/// ```
+/// use esched_sim::simulate;
+/// use esched_types::{PolynomialPower, Schedule, Segment, TaskSet};
+///
+/// let tasks = TaskSet::from_triples(&[(0.0, 4.0, 2.0)]);
+/// let mut s = Schedule::new(1);
+/// s.push(Segment::new(0, 0, 0.0, 4.0, 0.5));
+/// let report = simulate(&s, &tasks, &PolynomialPower::cubic());
+/// assert!(report.is_clean());
+/// assert!((report.energy - 0.5_f64.powi(3) * 4.0).abs() < 1e-12);
+/// ```
+pub fn simulate<P: PowerModel>(schedule: &Schedule, tasks: &TaskSet, model: &P) -> SimReport {
+    run(schedule, tasks, model, None)
+}
+
+/// [`simulate`], additionally returning the time-ordered execution log —
+/// every start/end/release/deadline/conflict/miss as it was processed.
+pub fn simulate_traced<P: PowerModel>(
+    schedule: &Schedule,
+    tasks: &TaskSet,
+    model: &P,
+) -> (SimReport, Vec<LoggedEvent>) {
+    let mut log = Vec::new();
+    let report = run(schedule, tasks, model, Some(&mut log));
+    (report, log)
+}
+
+fn run<P: PowerModel>(
+    schedule: &Schedule,
+    tasks: &TaskSet,
+    model: &P,
+    mut log: Option<&mut Vec<LoggedEvent>>,
+) -> SimReport {
+    let mut queue = EventQueue::new();
+    for (idx, seg) in schedule.segments().iter().enumerate() {
+        queue.push(Event {
+            time: seg.interval.start,
+            kind: EventKind::SegmentStart {
+                core: seg.core,
+                task: seg.task,
+                segment: idx,
+                freq: seg.freq,
+            },
+        });
+        queue.push(Event {
+            time: seg.interval.end,
+            kind: EventKind::SegmentEnd {
+                core: seg.core,
+                task: seg.task,
+                segment: idx,
+            },
+        });
+    }
+    for (id, t) in tasks.iter() {
+        queue.push(Event {
+            time: t.release,
+            kind: EventKind::Release { task: id },
+        });
+        queue.push(Event {
+            time: t.deadline,
+            kind: EventKind::Deadline { task: id },
+        });
+    }
+
+    let mut cores: Vec<Core> = (0..schedule.cores).map(|_| Core::default()).collect();
+    let mut work_done = vec![0.0_f64; tasks.len()];
+    let mut released = vec![false; tasks.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    let mut conflicts: Vec<Conflict> = Vec::new();
+    // Starts the engine rejected; their matching end events must not stop
+    // the victim that is legitimately running.
+    let mut rejected_segments: Vec<usize> = Vec::new();
+
+    let horizon = tasks.horizon();
+    // Events are processed in *batches* of approximately equal timestamps:
+    // segment boundaries produced by different arithmetic paths (e.g. YDS
+    // timeline compression vs. direct packing) can differ by a few ulps,
+    // and a start must not race ahead of the end it hands over from. Within
+    // a batch the EventKind rank (ends → deadlines → releases → starts)
+    // decides the order; `EventQueue` already pops in that order for
+    // *exactly* equal times, so batching only needs to collect the
+    // near-equal ones and re-sort by rank.
+    let mut batch: Vec<Event> = Vec::new();
+    'outer: loop {
+        batch.clear();
+        match queue.pop() {
+            Some(first) => batch.push(first),
+            None => break 'outer,
+        }
+        let batch_time = batch[0].time;
+        while let Some(next) = queue.pop() {
+            if esched_types::time::approx_eq(next.time, batch_time) {
+                batch.push(next);
+            } else {
+                // Not part of the batch; push back and stop collecting.
+                queue.push(next);
+                break;
+            }
+        }
+        // Rank first: an end one ulp *after* a start at the "same" instant
+        // must still be processed before it.
+        batch.sort_by(|a, b| {
+            a.kind
+                .rank()
+                .cmp(&b.kind.rank())
+                .then(a.time.partial_cmp(&b.time).expect("finite"))
+        });
+        for &ev in batch.iter() {
+        let mut emit = |kind: &str, task: usize, core: usize| {
+            if let Some(l) = log.as_deref_mut() {
+                l.push(LoggedEvent {
+                    time: ev.time,
+                    kind: kind.to_string(),
+                    task,
+                    core,
+                });
+            }
+        };
+        match ev.kind {
+            EventKind::SegmentEnd { core, segment, task } => {
+                if rejected_segments.contains(&segment) {
+                    continue;
+                }
+                emit("end", task, core);
+                if let Some((t, w)) = cores[core].stop(ev.time, model) {
+                    debug_assert_eq!(t, task, "segment end for a different task");
+                    if t < work_done.len() {
+                        work_done[t] += w;
+                    }
+                }
+            }
+            EventKind::Deadline { task } => {
+                emit("deadline", task, usize::MAX);
+                let required = tasks.get(task).wcec;
+                if work_done[task] < required * (1.0 - WORK_TOL) - WORK_TOL {
+                    emit("miss", task, usize::MAX);
+                    misses.push(task);
+                }
+            }
+            EventKind::Release { task } => {
+                emit("release", task, usize::MAX);
+                released[task] = true;
+            }
+            EventKind::SegmentStart {
+                core,
+                task,
+                segment,
+                freq,
+            } => {
+                if task < released.len() && !released[task] {
+                    // Running before release is a window violation the
+                    // validator reports; the simulator executes it anyway
+                    // (hardware would) — deadline accounting still works.
+                }
+                match cores[core].start(task, freq, ev.time) {
+                    Ok(()) => emit("start", task, core),
+                    Err(running) => {
+                        emit("conflict", task, core);
+                        conflicts.push(Conflict {
+                            time: ev.time,
+                            core,
+                            running,
+                            rejected: task,
+                        });
+                        rejected_segments.push(segment);
+                    }
+                }
+            }
+        }
+        }
+    }
+
+    // Flush any cores still active (segments ending exactly at horizon end
+    // have been processed; this guards malformed schedules).
+    let end_time = schedule.makespan().max(horizon.end);
+    for c in &mut cores {
+        if let Some((t, w)) = c.stop(end_time, model) {
+            if t < work_done.len() {
+                work_done[t] += w;
+            }
+        }
+    }
+
+    misses.sort_unstable();
+    misses.dedup();
+    SimReport {
+        energy: cores.iter().map(|c| c.energy).sum(),
+        core_energy: cores.iter().map(|c| c.energy).collect(),
+        core_busy: cores.iter().map(|c| c.busy).collect(),
+        work_done,
+        deadline_misses: misses,
+        conflicts,
+        activations: cores.iter().map(|c| c.activations).collect(),
+        horizon: (horizon.start, horizon.end),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esched_types::{PolynomialPower, Schedule, Segment, TaskSet};
+
+    fn tasks3() -> TaskSet {
+        TaskSet::from_triples(&[(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)])
+    }
+
+    #[test]
+    fn clean_schedule_simulates_cleanly() {
+        // τ2 exclusively on core 1 during [4,8] at f = 1; τ0, τ1 on core 0.
+        let mut s = Schedule::new(2);
+        s.push(Segment::new(0, 0, 0.0, 4.0, 0.5));
+        s.push(Segment::new(0, 0, 8.0, 12.0, 0.5));
+        s.push(Segment::new(1, 0, 4.0, 8.0, 0.5));
+        s.push(Segment::new(2, 1, 4.0, 8.0, 1.0));
+        let p = PolynomialPower::cubic();
+        let r = simulate(&s, &tasks3(), &p);
+        assert!(r.is_clean(), "{:?}", r);
+        assert!((r.work_done[0] - 4.0).abs() < 1e-9);
+        assert!((r.work_done[1] - 2.0).abs() < 1e-9);
+        assert!((r.work_done[2] - 4.0).abs() < 1e-9);
+        // Energy agrees with the analytic sum.
+        assert!((r.energy - s.energy(&p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_underserved_deadline() {
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(0, 0, 0.0, 2.0, 1.0)); // 2 of 4 work
+        let ts = TaskSet::from_triples(&[(0.0, 12.0, 4.0)]);
+        let r = simulate(&s, &ts, &PolynomialPower::cubic());
+        assert_eq!(r.deadline_misses, vec![0]);
+    }
+
+    #[test]
+    fn work_after_deadline_does_not_count() {
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(0, 0, 0.0, 2.0, 1.0));
+        s.push(Segment::new(0, 0, 12.0, 14.0, 1.0)); // too late
+        let ts = TaskSet::from_triples(&[(0.0, 12.0, 4.0)]);
+        let r = simulate(&s, &ts, &PolynomialPower::cubic());
+        assert_eq!(r.deadline_misses, vec![0]);
+        // Both segments still consumed energy.
+        assert!((r.work_done[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conflicting_starts_are_rejected_and_reported() {
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(0, 0, 0.0, 4.0, 1.0));
+        s.push(Segment::new(1, 0, 2.0, 5.0, 1.0)); // overlaps on core 0
+        let ts = TaskSet::from_triples(&[(0.0, 12.0, 4.0), (0.0, 12.0, 3.0)]);
+        let r = simulate(&s, &ts, &PolynomialPower::cubic());
+        assert_eq!(r.conflicts.len(), 1);
+        assert_eq!(r.conflicts[0].running, 0);
+        assert_eq!(r.conflicts[0].rejected, 1);
+        // The victim keeps running its full segment.
+        assert!((r.work_done[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn back_to_back_handover_works() {
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(0, 0, 0.0, 4.0, 1.0));
+        s.push(Segment::new(1, 0, 4.0, 8.0, 0.5));
+        let ts = TaskSet::from_triples(&[(0.0, 12.0, 4.0), (0.0, 12.0, 2.0)]);
+        let r = simulate(&s, &ts, &PolynomialPower::cubic());
+        assert!(r.is_clean(), "{:?}", r.conflicts);
+        assert_eq!(r.activations[0], 2);
+    }
+
+    #[test]
+    fn traced_run_logs_events_in_order() {
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(0, 0, 0.0, 4.0, 1.0));
+        let ts = TaskSet::from_triples(&[(0.0, 4.0, 4.0)]);
+        let (report, log) = super::simulate_traced(&s, &ts, &PolynomialPower::cubic());
+        assert!(report.is_clean());
+        let kinds: Vec<&str> = log.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["release", "start", "end", "deadline"]);
+        // Timestamps non-decreasing.
+        for w in log.windows(2) {
+            assert!(w[0].time <= w[1].time + 1e-9);
+        }
+        // CSV renders with a header and one row per event.
+        let csv = super::log_to_csv(&log);
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("time,kind,task,core\n"));
+        // Deadline rows leave the core column empty.
+        assert!(csv.lines().last().unwrap().ends_with(','));
+    }
+
+    #[test]
+    fn traced_run_logs_misses_and_conflicts() {
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(0, 0, 0.0, 2.0, 1.0)); // half the work
+        s.push(Segment::new(1, 0, 1.0, 3.0, 1.0)); // conflicts with task 0
+        let ts = TaskSet::from_triples(&[(0.0, 4.0, 4.0), (0.0, 4.0, 2.0)]);
+        let (_, log) = super::simulate_traced(&s, &ts, &PolynomialPower::cubic());
+        assert!(log.iter().any(|e| e.kind == "miss"));
+        assert!(log.iter().any(|e| e.kind == "conflict"));
+    }
+
+    #[test]
+    fn utilization_and_core_accounting() {
+        let mut s = Schedule::new(2);
+        s.push(Segment::new(0, 0, 0.0, 6.0, 1.0));
+        s.push(Segment::new(1, 1, 0.0, 3.0, 1.0));
+        let ts = TaskSet::from_triples(&[(0.0, 6.0, 6.0), (0.0, 6.0, 3.0)]);
+        let r = simulate(&s, &ts, &PolynomialPower::cubic());
+        assert!((r.core_busy[0] - 6.0).abs() < 1e-9);
+        assert!((r.core_busy[1] - 3.0).abs() < 1e-9);
+        assert!((r.utilization() - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Event types and the time-ordered event queue.
+//!
+//! The simulator is event-driven: every segment boundary, task release,
+//! and task deadline becomes an [`Event`], processed in global time order
+//! with a deterministic tie-break (ends before starts at the same instant,
+//! so back-to-back segments hand over cleanly).
+
+use esched_types::TaskId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens at an event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A segment stops executing on a core (processed first at an instant).
+    SegmentEnd {
+        /// Core the segment ran on.
+        core: usize,
+        /// The task.
+        task: TaskId,
+        /// Index of the segment in the schedule's segment list.
+        segment: usize,
+    },
+    /// A task's deadline passes (work check happens here).
+    Deadline {
+        /// The task.
+        task: TaskId,
+    },
+    /// A task becomes available.
+    Release {
+        /// The task.
+        task: TaskId,
+    },
+    /// A segment starts executing on a core (processed last at an instant).
+    SegmentStart {
+        /// Core the segment runs on.
+        core: usize,
+        /// The task.
+        task: TaskId,
+        /// Index of the segment in the schedule's segment list.
+        segment: usize,
+        /// Execution frequency.
+        freq: f64,
+    },
+}
+
+impl EventKind {
+    /// Processing priority at equal timestamps (lower first).
+    pub(crate) fn rank(&self) -> u8 {
+        match self {
+            EventKind::SegmentEnd { .. } => 0,
+            EventKind::Deadline { .. } => 1,
+            EventKind::Release { .. } => 2,
+            EventKind::SegmentStart { .. } => 3,
+        }
+    }
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// When the event fires.
+    pub time: f64,
+    /// What it is.
+    pub kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap via reversed comparison happens in the queue; here we
+        // define the natural ascending order: time, then kind rank.
+        self.time
+            .partial_cmp(&other.time)
+            .expect("finite event times")
+            .then(self.kind.rank().cmp(&other.kind.rank()))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-queue of events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<std::cmp::Reverse<Event>>,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an event.
+    pub fn push(&mut self, e: Event) {
+        assert!(e.time.is_finite(), "event time must be finite");
+        self.heap.push(std::cmp::Reverse(e));
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|r| r.0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Event {
+            time: 2.0,
+            kind: EventKind::Release { task: 0 },
+        });
+        q.push(Event {
+            time: 1.0,
+            kind: EventKind::Release { task: 1 },
+        });
+        q.push(Event {
+            time: 3.0,
+            kind: EventKind::Release { task: 2 },
+        });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_process_ends_before_starts() {
+        let mut q = EventQueue::new();
+        q.push(Event {
+            time: 5.0,
+            kind: EventKind::SegmentStart {
+                core: 0,
+                task: 1,
+                segment: 1,
+                freq: 1.0,
+            },
+        });
+        q.push(Event {
+            time: 5.0,
+            kind: EventKind::SegmentEnd {
+                core: 0,
+                task: 0,
+                segment: 0,
+            },
+        });
+        let first = q.pop().unwrap();
+        assert!(matches!(first.kind, EventKind::SegmentEnd { .. }));
+        let second = q.pop().unwrap();
+        assert!(matches!(second.kind, EventKind::SegmentStart { .. }));
+    }
+
+    #[test]
+    fn deadline_checked_before_new_releases_and_starts() {
+        let mut q = EventQueue::new();
+        q.push(Event {
+            time: 5.0,
+            kind: EventKind::Release { task: 2 },
+        });
+        q.push(Event {
+            time: 5.0,
+            kind: EventKind::Deadline { task: 1 },
+        });
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Deadline { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_times() {
+        let mut q = EventQueue::new();
+        q.push(Event {
+            time: f64::NAN,
+            kind: EventKind::Release { task: 0 },
+        });
+    }
+}

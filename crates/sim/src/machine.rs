@@ -1,0 +1,140 @@
+//! Per-core state machines with energy integration.
+//!
+//! A core is either asleep (zero power — the paper's platform model puts a
+//! core to sleep the moment it has nothing to execute) or actively running
+//! one task at one frequency. Energy integrates on every state transition.
+
+use esched_types::{PowerModel, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Activity state of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CoreState {
+    /// Sleeping: zero power.
+    Sleep,
+    /// Executing `task` at `freq` since `since`.
+    Active {
+        /// Running task.
+        task: TaskId,
+        /// Frequency.
+        freq: f64,
+        /// When this activity began.
+        since: f64,
+    },
+}
+
+/// One simulated core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Core {
+    /// Current state.
+    pub state: CoreState,
+    /// Energy consumed so far.
+    pub energy: f64,
+    /// Accumulated busy time.
+    pub busy: f64,
+    /// Number of activations (sleep → active transitions).
+    pub activations: usize,
+}
+
+impl Default for Core {
+    fn default() -> Self {
+        Self {
+            state: CoreState::Sleep,
+            energy: 0.0,
+            busy: 0.0,
+            activations: 0,
+        }
+    }
+}
+
+impl Core {
+    /// Begin executing `task` at `freq` at time `now`.
+    ///
+    /// Returns `Err(current_task)` when the core is already busy — the
+    /// engine reports this as a schedule conflict.
+    pub fn start(&mut self, task: TaskId, freq: f64, now: f64) -> Result<(), TaskId> {
+        match self.state {
+            CoreState::Sleep => {
+                self.state = CoreState::Active {
+                    task,
+                    freq,
+                    since: now,
+                };
+                self.activations += 1;
+                Ok(())
+            }
+            CoreState::Active { task: cur, .. } => Err(cur),
+        }
+    }
+
+    /// Stop executing at time `now`, integrating energy under `model`.
+    ///
+    /// Returns the `(task, work_done)` pair, or `None` if the core was
+    /// already asleep (an end event for a conflicting start the engine
+    /// rejected).
+    pub fn stop<P: PowerModel>(&mut self, now: f64, model: &P) -> Option<(TaskId, f64)> {
+        match self.state {
+            CoreState::Sleep => None,
+            CoreState::Active { task, freq, since } => {
+                let dt = (now - since).max(0.0);
+                self.energy += model.energy_for_duration(freq, dt);
+                self.busy += dt;
+                self.state = CoreState::Sleep;
+                Some((task, freq * dt))
+            }
+        }
+    }
+
+    /// Is the core currently running `task`?
+    pub fn is_running(&self, task: TaskId) -> bool {
+        matches!(self.state, CoreState::Active { task: t, .. } if t == task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esched_types::PolynomialPower;
+
+    #[test]
+    fn start_stop_accumulates_energy_and_work() {
+        let p = PolynomialPower::paper(3.0, 0.01);
+        let mut c = Core::default();
+        c.start(0, 0.5, 1.0).unwrap();
+        assert!(c.is_running(0));
+        let (task, work) = c.stop(3.0, &p).unwrap();
+        assert_eq!(task, 0);
+        assert!((work - 1.0).abs() < 1e-12);
+        assert!((c.energy - (0.125 + 0.01) * 2.0).abs() < 1e-12);
+        assert!((c.busy - 2.0).abs() < 1e-12);
+        assert_eq!(c.activations, 1);
+    }
+
+    #[test]
+    fn double_start_is_a_conflict() {
+        let mut c = Core::default();
+        c.start(0, 1.0, 0.0).unwrap();
+        assert_eq!(c.start(1, 1.0, 0.5), Err(0));
+    }
+
+    #[test]
+    fn stop_when_asleep_returns_none() {
+        let p = PolynomialPower::cubic();
+        let mut c = Core::default();
+        assert!(c.stop(1.0, &p).is_none());
+    }
+
+    #[test]
+    fn sleep_draws_no_energy() {
+        // Energy only integrates over active periods; gaps contribute 0.
+        let p = PolynomialPower::paper(2.0, 5.0); // huge static power
+        let mut c = Core::default();
+        c.start(0, 1.0, 0.0).unwrap();
+        c.stop(1.0, &p).unwrap();
+        // 10 time units of sleep…
+        c.start(0, 1.0, 11.0).unwrap();
+        c.stop(12.0, &p).unwrap();
+        assert!((c.energy - 2.0 * (1.0 + 5.0)).abs() < 1e-12);
+        assert_eq!(c.activations, 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! SVG Gantt-chart export.
+//!
+//! Renders a [`Schedule`] as a self-contained SVG document: one row per
+//! core, one rectangle per segment, color-coded by task, with a time axis
+//! and a legend. Useful for inspecting packing behaviour in a browser and
+//! for figures in reports.
+
+use esched_types::Schedule;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Total chart width in pixels (excluding margins).
+    pub width: f64,
+    /// Height of one core row in pixels.
+    pub row_height: f64,
+    /// Whether to print the task id inside each segment (skipped for
+    /// segments too narrow to fit a label).
+    pub labels: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width: 900.0,
+            row_height: 36.0,
+            labels: true,
+        }
+    }
+}
+
+/// A categorical palette (12 distinguishable hues); tasks cycle through
+/// it by id.
+const PALETTE: [&str; 12] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac", "#86bcb6", "#d37295",
+];
+
+fn color_of(task: usize) -> &'static str {
+    PALETTE[task % PALETTE.len()]
+}
+
+/// Render `schedule` over the time range `[t0, t1]` as an SVG string.
+///
+/// # Panics
+/// If `t1 ≤ t0`.
+pub fn render_svg(schedule: &Schedule, t0: f64, t1: f64, opts: &SvgOptions) -> String {
+    assert!(t1 > t0, "empty time range [{t0}, {t1}]");
+    let margin_left = 46.0;
+    let margin_top = 18.0;
+    let axis_height = 26.0;
+    let span = t1 - t0;
+    let scale = opts.width / span;
+    let chart_h = opts.row_height * schedule.cores as f64;
+    let total_w = margin_left + opts.width + 12.0;
+    let total_h = margin_top + chart_h + axis_height + 24.0;
+
+    let mut s = String::with_capacity(4096);
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{total_w:.0}" height="{total_h:.0}" viewBox="0 0 {total_w:.0} {total_h:.0}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = write!(
+        s,
+        r#"<rect x="0" y="0" width="{total_w:.0}" height="{total_h:.0}" fill="white"/>"#
+    );
+
+    // Core rows and labels.
+    for core in 0..schedule.cores {
+        let y = margin_top + core as f64 * opts.row_height;
+        let fill = if core % 2 == 0 { "#f7f7f7" } else { "#efefef" };
+        let _ = write!(
+            s,
+            r#"<rect x="{margin_left}" y="{y:.1}" width="{:.1}" height="{:.1}" fill="{fill}"/>"#,
+            opts.width, opts.row_height
+        );
+        let _ = write!(
+            s,
+            r#"<text x="6" y="{:.1}" dominant-baseline="middle">M{core}</text>"#,
+            y + opts.row_height / 2.0
+        );
+    }
+
+    // Segments.
+    for seg in schedule.segments() {
+        let clipped_start = seg.interval.start.max(t0);
+        let clipped_end = seg.interval.end.min(t1);
+        if clipped_end <= clipped_start {
+            continue;
+        }
+        let x = margin_left + (clipped_start - t0) * scale;
+        let w = (clipped_end - clipped_start) * scale;
+        let y = margin_top + seg.core as f64 * opts.row_height + 3.0;
+        let h = opts.row_height - 6.0;
+        let color = color_of(seg.task);
+        let _ = write!(
+            s,
+            r##"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{color}" stroke="#333" stroke-width="0.5"><title>task {} on M{} [{:.3}, {:.3}] @ f={:.3}</title></rect>"##,
+            seg.task, seg.core, seg.interval.start, seg.interval.end, seg.freq
+        );
+        if opts.labels && w >= 16.0 {
+            let _ = write!(
+                s,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" dominant-baseline="middle" fill="white">{}</text>"#,
+                x + w / 2.0,
+                y + h / 2.0,
+                seg.task
+            );
+        }
+    }
+
+    // Time axis: ~8 ticks at round-ish positions.
+    let axis_y = margin_top + chart_h + 4.0;
+    let _ = write!(
+        s,
+        r##"<line x1="{margin_left}" y1="{axis_y:.1}" x2="{:.1}" y2="{axis_y:.1}" stroke="#333"/>"##,
+        margin_left + opts.width
+    );
+    let ticks = 8;
+    for k in 0..=ticks {
+        let t = t0 + span * k as f64 / ticks as f64;
+        let x = margin_left + (t - t0) * scale;
+        let _ = write!(
+            s,
+            r##"<line x1="{x:.1}" y1="{axis_y:.1}" x2="{x:.1}" y2="{:.1}" stroke="#333"/>"##,
+            axis_y + 4.0
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{t:.1}</text>"#,
+            axis_y + 16.0
+        );
+    }
+
+    s.push_str("</svg>");
+    s
+}
+
+/// Write the SVG for `schedule` to `path`.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_svg(
+    schedule: &Schedule,
+    t0: f64,
+    t1: f64,
+    opts: &SvgOptions,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    std::fs::write(path, render_svg(schedule, t0, t1, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esched_types::{Schedule, Segment};
+
+    fn fixture() -> Schedule {
+        let mut s = Schedule::new(2);
+        s.push(Segment::new(0, 0, 0.0, 4.0, 1.0));
+        s.push(Segment::new(1, 1, 2.0, 6.0, 0.5));
+        s.push(Segment::new(2, 0, 5.0, 8.0, 0.8));
+        s
+    }
+
+    #[test]
+    fn svg_is_well_formed_ish() {
+        let svg = render_svg(&fixture(), 0.0, 8.0, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One rect per segment plus rows plus background.
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, 1 + 2 + 3);
+        // Tooltips carry the frequencies.
+        assert!(svg.contains("f=0.500"));
+        assert!(svg.contains("M0"));
+        assert!(svg.contains("M1"));
+    }
+
+    #[test]
+    fn segments_outside_range_are_clipped_away() {
+        let svg = render_svg(&fixture(), 6.5, 8.0, &SvgOptions::default());
+        // Only task 2's tail remains.
+        assert!(svg.contains("task 2"));
+        assert!(!svg.contains("task 0"));
+    }
+
+    #[test]
+    fn labels_can_be_disabled() {
+        let opts = SvgOptions {
+            labels: false,
+            ..SvgOptions::default()
+        };
+        let svg = render_svg(&fixture(), 0.0, 8.0, &opts);
+        assert!(!svg.contains(r#"fill="white">0</text>"#));
+    }
+
+    #[test]
+    fn colors_cycle_deterministically() {
+        assert_eq!(color_of(0), color_of(12));
+        assert_ne!(color_of(0), color_of(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty time range")]
+    fn rejects_empty_range() {
+        let _ = render_svg(&fixture(), 3.0, 3.0, &SvgOptions::default());
+    }
+
+    #[test]
+    fn save_svg_writes_file() {
+        let dir = std::env::temp_dir().join("esched-svg-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gantt.svg");
+        save_svg(&fixture(), 0.0, 8.0, &SvgOptions::default(), &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("<svg"));
+        std::fs::remove_file(&path).ok();
+    }
+}

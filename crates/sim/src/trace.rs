@@ -1,0 +1,105 @@
+//! Execution traces and ASCII Gantt rendering.
+//!
+//! Turns a schedule into a human-readable per-core timeline — handy in
+//! examples and when debugging packing behaviour.
+
+use esched_types::Schedule;
+
+/// Render `schedule` as an ASCII Gantt chart with `width` columns spanning
+/// `[t0, t1]`. Each core is one row; each column shows the task id (mod 10)
+/// occupying that time slice, or `.` for idle. Columns where multiple
+/// segments meet show the segment covering the column's midpoint.
+pub fn ascii_gantt(schedule: &Schedule, t0: f64, t1: f64, width: usize) -> String {
+    assert!(t1 > t0 && width > 0);
+    let mut out = String::new();
+    let dt = (t1 - t0) / width as f64;
+    for core in 0..schedule.cores {
+        let segs = schedule.core_segments(core);
+        out.push_str(&format!("M{core}: "));
+        for col in 0..width {
+            let mid = t0 + (col as f64 + 0.5) * dt;
+            let cell = segs
+                .iter()
+                .find(|s| s.interval.start <= mid && mid < s.interval.end)
+                .map(|s| char::from_digit((s.task % 10) as u32, 10).unwrap_or('?'))
+                .unwrap_or('.');
+            out.push(cell);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Per-task execution summary lines: segments, spans, frequencies.
+pub fn task_summary(schedule: &Schedule) -> String {
+    let mut out = String::new();
+    for task in schedule.task_ids() {
+        let segs = schedule.task_segments(task);
+        let total: f64 = segs.iter().map(|s| s.duration()).sum();
+        let work: f64 = segs.iter().map(|s| s.work()).sum();
+        out.push_str(&format!(
+            "task {task}: {} segment(s), {:.4} time, {:.4} work —",
+            segs.len(),
+            total,
+            work
+        ));
+        for s in &segs {
+            out.push_str(&format!(
+                " [{:.2},{:.2}]@M{}/f={:.3}",
+                s.interval.start, s.interval.end, s.core, s.freq
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esched_types::{Schedule, Segment};
+
+    fn fixture() -> Schedule {
+        let mut s = Schedule::new(2);
+        s.push(Segment::new(0, 0, 0.0, 4.0, 1.0));
+        s.push(Segment::new(1, 1, 2.0, 6.0, 0.5));
+        s.push(Segment::new(2, 0, 5.0, 8.0, 1.0));
+        s
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_core() {
+        let g = ascii_gantt(&fixture(), 0.0, 8.0, 16);
+        let lines: Vec<&str> = g.trim_end().split('\n').collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("M0: "));
+        assert!(lines[1].starts_with("M1: "));
+        // Core 0: task 0 for the first half of its row.
+        assert!(lines[0].contains('0'));
+        assert!(lines[0].contains('2'));
+        assert!(lines[1].contains('1'));
+    }
+
+    #[test]
+    fn gantt_shows_idle_as_dots() {
+        let g = ascii_gantt(&fixture(), 0.0, 8.0, 8);
+        // Core 0 idle in [4,5) → at least one dot on row 0.
+        let row0 = g.lines().next().unwrap();
+        assert!(row0.contains('.'));
+    }
+
+    #[test]
+    fn summary_lists_every_task() {
+        let s = task_summary(&fixture());
+        assert!(s.contains("task 0:"));
+        assert!(s.contains("task 1:"));
+        assert!(s.contains("task 2:"));
+        assert!(s.contains("1 segment(s)"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn gantt_rejects_bad_window() {
+        let _ = ascii_gantt(&fixture(), 5.0, 5.0, 10);
+    }
+}

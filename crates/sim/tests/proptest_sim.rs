@@ -1,0 +1,126 @@
+//! Property tests for the simulator: energy/work conservation, conflict
+//! detection soundness, and online-dispatch sanity.
+
+use esched_sim::{dispatch, simulate, DispatchPolicy};
+use esched_types::{PolynomialPower, PowerModel, Schedule, Segment, Task, TaskSet};
+use proptest::prelude::*;
+
+/// Disjoint single-core schedule + tasks that exactly match it.
+fn chain_schedule(lens: &[f64], freq: f64) -> (Schedule, TaskSet) {
+    let mut s = Schedule::new(1);
+    let mut tasks = Vec::new();
+    let mut t = 0.0;
+    for (i, &len) in lens.iter().enumerate() {
+        s.push(Segment::new(i, 0, t, t + len, freq));
+        tasks.push(Task::of(t, t + len, len * freq));
+        t += len;
+    }
+    (s, TaskSet::new(tasks).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulated_energy_matches_analytic_for_clean_chains(
+        lens in prop::collection::vec(0.1_f64..4.0, 1..10),
+        freq in 0.1_f64..2.0,
+        alpha in 2.0_f64..3.0,
+        p0 in 0.0_f64..0.3,
+    ) {
+        let (s, ts) = chain_schedule(&lens, freq);
+        let p = PolynomialPower::paper(alpha, p0);
+        let r = simulate(&s, &ts, &p);
+        prop_assert!(r.is_clean(), "{:?} {:?}", r.conflicts, r.deadline_misses);
+        prop_assert!(
+            (r.energy - s.energy(&p)).abs() < 1e-7 * (1.0 + s.energy(&p)),
+            "sim {} vs analytic {}", r.energy, s.energy(&p)
+        );
+        // Work conservation per task.
+        for (i, t) in ts.iter() {
+            prop_assert!((r.work_done[i] - t.wcec).abs() < 1e-6 * (1.0 + t.wcec));
+        }
+        let _ = p.power(1.0);
+    }
+
+    #[test]
+    fn truncating_any_segment_causes_a_miss(
+        lens in prop::collection::vec(0.5_f64..4.0, 2..8),
+        victim_frac in 0.05_f64..0.9,
+    ) {
+        let (s, ts) = chain_schedule(&lens, 1.0);
+        // Rebuild with the first segment truncated.
+        let mut broken = Schedule::new(1);
+        for (k, seg) in s.segments().iter().enumerate() {
+            if k == 0 {
+                let end = seg.interval.start
+                    + seg.interval.length() * victim_frac;
+                broken.push(Segment::new(seg.task, seg.core, seg.interval.start, end, seg.freq));
+            } else {
+                broken.push(*seg);
+            }
+        }
+        let r = simulate(&broken, &ts, &PolynomialPower::cubic());
+        prop_assert!(r.deadline_misses.contains(&0), "truncation not detected");
+    }
+
+    #[test]
+    fn overlapping_injection_is_detected(
+        lens in prop::collection::vec(0.5_f64..4.0, 2..8),
+    ) {
+        let (s, ts) = chain_schedule(&lens, 1.0);
+        // Inject a segment overlapping the first on the same core.
+        let mut broken = s.clone();
+        let first = s.segments()[0];
+        broken.push(Segment::new(
+            1,
+            0,
+            first.interval.start + 0.1 * first.interval.length(),
+            first.interval.start + 0.6 * first.interval.length(),
+            1.0,
+        ));
+        let r = simulate(&broken, &ts, &PolynomialPower::cubic());
+        prop_assert!(!r.conflicts.is_empty(), "injected overlap not detected");
+    }
+
+    #[test]
+    fn online_dispatch_work_is_conserved_up_to_misses(
+        tasks in prop::collection::vec((0.0_f64..20.0, 1.0_f64..15.0, 0.05_f64..1.0), 1..8),
+        cores in 1_usize..4,
+    ) {
+        let ts = TaskSet::new(
+            tasks.iter().map(|&(r, len, i)| Task::of(r, r + len, len * i)).collect()
+        ).unwrap();
+        let freqs: Vec<f64> = ts.tasks().iter().map(|t| t.intensity().max(0.01) * 1.5).collect();
+        let out = dispatch(&ts, cores, &freqs, DispatchPolicy::Edf, &[]);
+        for (i, t) in ts.iter() {
+            let got = out.schedule.work_of(i);
+            if out.misses.contains(&i) {
+                prop_assert!(got < t.wcec + 1e-6);
+            } else {
+                prop_assert!(
+                    (got - t.wcec).abs() < 1e-6 * (1.0 + t.wcec),
+                    "task {i}: {got} vs {}", t.wcec
+                );
+            }
+        }
+        // Never more cores in use than exist: per-time accounting via
+        // busy time bound.
+        let horizon = ts.horizon();
+        for c in 0..cores {
+            prop_assert!(out.schedule.busy_time(c) <= horizon.length() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn activations_bound_segments(
+        lens in prop::collection::vec(0.1_f64..3.0, 1..10),
+    ) {
+        let (s, ts) = chain_schedule(&lens, 1.0);
+        let r = simulate(&s, &ts, &PolynomialPower::cubic());
+        let total_act: usize = r.activations.iter().sum();
+        // Back-to-back handovers still stop/start: one activation per
+        // segment on this chain.
+        prop_assert_eq!(total_act, s.len());
+    }
+}

@@ -1,0 +1,237 @@
+//! Load analysis and feasibility pre-checks on a [`Timeline`].
+//!
+//! Before running any scheduler it is useful to know whether the instance
+//! is schedulable at all under a frequency cap, and how loaded each
+//! subinterval is. With continuous unbounded frequencies (the paper's ideal
+//! core model) every instance is trivially feasible; the checks here matter
+//! for the practical discrete-frequency mode (Section VI.C) where the top
+//! level caps achievable work.
+
+use crate::timeline::Timeline;
+use esched_types::task::TaskSet;
+use esched_types::time::EPS;
+use serde::{Deserialize, Serialize};
+
+/// Per-subinterval load statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadProfile {
+    /// For each subinterval `j`: the *ideal density* — total intensity of
+    /// the overlapping tasks, `Σ_{i ∈ over(j)} C_i/(D_i−R_i)`. Values above
+    /// `m` indicate a subinterval where even perfectly stretched tasks
+    /// demand more than the platform provides.
+    pub density: Vec<f64>,
+    /// For each subinterval `j`: overlap count `n_j`.
+    pub overlap: Vec<usize>,
+}
+
+/// Compute the [`LoadProfile`] of a task set over its timeline.
+pub fn load_profile(tasks: &TaskSet, timeline: &Timeline) -> LoadProfile {
+    let density = timeline
+        .subintervals()
+        .iter()
+        .map(|s| {
+            s.overlapping
+                .iter()
+                .map(|&i| tasks.get(i).intensity())
+                .sum()
+        })
+        .collect();
+    let overlap = timeline
+        .subintervals()
+        .iter()
+        .map(|s| s.overlap_count())
+        .collect();
+    LoadProfile { density, overlap }
+}
+
+/// Why an instance cannot be scheduled at frequency cap `f_max`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Infeasibility {
+    /// A single task cannot finish even running alone flat-out:
+    /// `C_i > f_max · (D_i − R_i)`.
+    TaskTooDense {
+        /// The task.
+        task: usize,
+        /// Its required minimum frequency `C_i/(D_i−R_i)`.
+        required: f64,
+    },
+    /// An interval of event points demands more work than `m` cores at
+    /// `f_max` can deliver: `C(t1,t2) > m·f_max·(t2−t1)`.
+    IntervalOverloaded {
+        /// Interval start.
+        t1: f64,
+        /// Interval end.
+        t2: f64,
+        /// Work released and due inside the interval.
+        demand: f64,
+        /// Capacity `m·f_max·(t2−t1)`.
+        capacity: f64,
+    },
+}
+
+/// Check the two classical *necessary* feasibility conditions for
+/// preemptive, migratable scheduling of `tasks` on `m` cores capped at
+/// `f_max`:
+///
+/// 1. per-task: `C_i ≤ f_max·(D_i−R_i)`,
+/// 2. per-interval: for every pair of event points `t1 < t2`,
+///    `C(t1,t2) ≤ m·f_max·(t2−t1)`.
+///
+/// On a *uniprocessor* these conditions are also sufficient. On `m > 1`
+/// cores they are **necessary only**: the per-task parallelism limit (a
+/// task cannot use two cores at once) can make an instance infeasible even
+/// though every contained-demand interval fits — e.g. two full-window jobs
+/// saturating both cores of `[0,2]` while a third job's window offers too
+/// little room outside it. The exact test is the max-flow oracle in
+/// `esched-opt::flow::feasible_at_frequency`.
+///
+/// Returns all violations found (empty ⇒ no *necessary* condition fails).
+pub fn feasibility_at(tasks: &TaskSet, cores: usize, f_max: f64) -> Vec<Infeasibility> {
+    let mut out = Vec::new();
+    for (i, t) in tasks.iter() {
+        if t.wcec > f_max * t.window_len() * (1.0 + EPS) {
+            out.push(Infeasibility::TaskTooDense {
+                task: i,
+                required: t.intensity(),
+            });
+        }
+    }
+    let pts = tasks.event_points();
+    for (a, &t1) in pts.iter().enumerate() {
+        for &t2 in &pts[a + 1..] {
+            let demand = tasks.demand(t1, t2);
+            let capacity = cores as f64 * f_max * (t2 - t1);
+            if demand > capacity * (1.0 + EPS) + EPS {
+                out.push(Infeasibility::IntervalOverloaded {
+                    t1,
+                    t2,
+                    demand,
+                    capacity,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The minimum uniform frequency cap at which the instance passes
+/// [`feasibility_at`]: `max( max_i C_i/(D_i−R_i), max_{t1<t2}
+/// C(t1,t2)/(m·(t2−t1)) )` — the multiprocessor generalization of the YDS
+/// peak intensity. On `m > 1` cores this is a *lower bound* on the true
+/// minimum feasible frequency (see [`feasibility_at`]'s caveat); the exact
+/// value comes from binary search over the flow oracle
+/// (`esched-opt::flow::min_frequency_by_flow`).
+pub fn min_feasible_frequency(tasks: &TaskSet, cores: usize) -> f64 {
+    let per_task = tasks
+        .iter()
+        .map(|(_, t)| t.intensity())
+        .fold(0.0_f64, f64::max);
+    let pts = tasks.event_points();
+    let mut per_interval: f64 = 0.0;
+    for (a, &t1) in pts.iter().enumerate() {
+        for &t2 in &pts[a + 1..] {
+            let len = t2 - t1;
+            if len > EPS {
+                per_interval = per_interval.max(tasks.demand(t1, t2) / (cores as f64 * len));
+            }
+        }
+    }
+    per_task.max(per_interval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::Timeline;
+    use esched_types::task::TaskSet;
+
+    fn intro() -> TaskSet {
+        TaskSet::from_triples(&[(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)])
+    }
+
+    #[test]
+    fn load_profile_shapes() {
+        let ts = intro();
+        let tl = Timeline::build(&ts);
+        let lp = load_profile(&ts, &tl);
+        assert_eq!(lp.density.len(), tl.len());
+        assert_eq!(lp.overlap, vec![1, 2, 3, 2, 1]);
+        // During [4,8]: intensities 4/12 + 2/8 + 4/4.
+        let expect = 4.0 / 12.0 + 0.25 + 1.0;
+        assert!((lp.density[2] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intro_example_feasible_at_unit_frequency_on_two_cores() {
+        let ts = intro();
+        assert!(feasibility_at(&ts, 2, 1.0).is_empty());
+    }
+
+    #[test]
+    fn task_too_dense_detected() {
+        let ts = TaskSet::from_triples(&[(0.0, 2.0, 4.0)]); // needs f = 2
+        let v = feasibility_at(&ts, 4, 1.0);
+        assert!(matches!(v[0], Infeasibility::TaskTooDense { task: 0, .. }));
+        assert!(feasibility_at(&ts, 4, 2.0).is_empty());
+    }
+
+    #[test]
+    fn interval_overload_detected() {
+        // Three unit-window tasks of work 1 each in [0,1] on one core.
+        let ts = TaskSet::from_triples(&[
+            (0.0, 1.0, 1.0),
+            (0.0, 1.0, 1.0),
+            (0.0, 1.0, 1.0),
+        ]);
+        let v = feasibility_at(&ts, 1, 1.0);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Infeasibility::IntervalOverloaded { .. })));
+        // Three cores fix it.
+        assert!(feasibility_at(&ts, 3, 1.0).is_empty());
+    }
+
+    #[test]
+    fn min_feasible_frequency_matches_peak_demand() {
+        let ts = intro();
+        // Uniprocessor: YDS peak intensity is 1.0 (interval [4,8]).
+        assert!((min_feasible_frequency(&ts, 1) - 1.0).abs() < 1e-12);
+        // Two cores: per-task bound dominates: τ3 needs 4/4 = 1.
+        assert!((min_feasible_frequency(&ts, 2) - 1.0).abs() < 1e-12);
+        // Many cores: still 1 because of τ3 alone.
+        assert!((min_feasible_frequency(&ts, 16) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_feasible_frequency_is_tight_for_the_interval_conditions() {
+        let ts = TaskSet::from_triples(&[
+            (0.0, 4.0, 6.0),
+            (1.0, 5.0, 3.0),
+            (0.0, 8.0, 2.0),
+            (2.0, 6.0, 5.0),
+        ]);
+        for m in [1usize, 2, 3] {
+            let f = min_feasible_frequency(&ts, m);
+            assert!(
+                feasibility_at(&ts, m, f * (1.0 + 1e-12)).is_empty(),
+                "m={m} f={f}"
+            );
+            // And strictly below it, some necessary condition fails.
+            assert!(!feasibility_at(&ts, m, f * 0.99).is_empty(), "m={m}");
+        }
+    }
+
+    #[test]
+    fn interval_conditions_are_not_sufficient_on_multiprocessors() {
+        // Two full-window jobs saturate both cores of [0,2]; the third job
+        // then has only [2,4] (2 time units) for 3 units of work. Every
+        // contained-demand interval fits, yet the instance is infeasible
+        // at f = 1 — the exact flow oracle in esched-opt catches it.
+        let ts = TaskSet::from_triples(&[
+            (0.0, 2.0, 2.0),
+            (0.0, 2.0, 2.0),
+            (0.0, 4.0, 3.0),
+        ]);
+        assert!(feasibility_at(&ts, 2, 1.0).is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Subinterval boundary construction.
+//!
+//! Section IV of the paper: sort all distinct release times and deadlines
+//! ascending into `t_1 < t_2 < … < t_N` (`N ≤ 2n`); the `N−1` gaps
+//! `[t_j, t_{j+1}]` are the *subintervals*. Because every boundary is some
+//! task's release or deadline, each task's window is exactly a union of
+//! consecutive subintervals — the property all allocation algorithms rely
+//! on.
+
+use esched_types::task::TaskSet;
+use esched_types::time::{approx_le, Interval};
+
+/// Compute the sorted, deduplicated boundary points `t_1 … t_N` of a task
+/// set. Always contains at least two points (`R̄` and `D̄`) because task
+/// windows are non-empty.
+pub fn boundary_points(tasks: &TaskSet) -> Vec<f64> {
+    tasks.event_points()
+}
+
+/// Turn boundary points into the list of subintervals `[t_j, t_{j+1}]`.
+pub fn subintervals_of(points: &[f64]) -> Vec<Interval> {
+    points
+        .windows(2)
+        .map(|w| Interval::new(w[0], w[1]))
+        .collect()
+}
+
+/// Locate the contiguous range of subinterval indices covered by
+/// `[start, end]`, where both endpoints are boundary points. Returns
+/// `first..last+1` as a `std::ops::Range`.
+///
+/// # Panics
+/// If `start`/`end` are not boundary points (they always are for task
+/// windows, by construction).
+pub fn covering_range(points: &[f64], start: f64, end: f64) -> std::ops::Range<usize> {
+    let first = points
+        .iter()
+        .position(|&p| esched_types::time::approx_eq(p, start))
+        .expect("window start must be a boundary point");
+    let last = points
+        .iter()
+        .position(|&p| esched_types::time::approx_eq(p, end))
+        .expect("window end must be a boundary point");
+    debug_assert!(approx_le(points[first], points[last]));
+    first..last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esched_types::task::TaskSet;
+
+    fn vd_example() -> TaskSet {
+        // Section V.D: τ = (R, C, D) = (0,8,10), (2,14,18), (4,8,16),
+        // (6,4,14), (8,10,20), (12,6,22). Stored as (R, D, C).
+        TaskSet::from_triples(&[
+            (0.0, 10.0, 8.0),
+            (2.0, 18.0, 14.0),
+            (4.0, 16.0, 8.0),
+            (6.0, 14.0, 4.0),
+            (8.0, 20.0, 10.0),
+            (12.0, 22.0, 6.0),
+        ])
+    }
+
+    #[test]
+    fn vd_example_has_twelve_boundaries_eleven_subintervals() {
+        let ts = vd_example();
+        let pts = boundary_points(&ts);
+        // The paper: 12 distinct values t_j = 2(j−1), j = 1..12.
+        assert_eq!(pts.len(), 12);
+        for (j, &p) in pts.iter().enumerate() {
+            assert_eq!(p, 2.0 * j as f64);
+        }
+        let subs = subintervals_of(&pts);
+        assert_eq!(subs.len(), 11);
+        assert!(subs.iter().all(|iv| iv.length() == 2.0));
+    }
+
+    #[test]
+    fn duplicate_event_points_collapse() {
+        let ts = TaskSet::from_triples(&[(0.0, 8.0, 2.0), (0.0, 8.0, 3.0), (4.0, 8.0, 1.0)]);
+        assert_eq!(boundary_points(&ts), vec![0.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn covering_range_maps_windows_to_subinterval_spans() {
+        let ts = vd_example();
+        let pts = boundary_points(&ts);
+        // τ4 = (8, 20): boundaries index 4 (t=8) .. 10 (t=20) → subs 4..10.
+        assert_eq!(covering_range(&pts, 8.0, 20.0), 4..10);
+        // τ0 = (0, 10): subs 0..5.
+        assert_eq!(covering_range(&pts, 0.0, 10.0), 0..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary point")]
+    fn covering_range_rejects_non_boundary() {
+        let ts = vd_example();
+        let pts = boundary_points(&ts);
+        let _ = covering_range(&pts, 1.0, 10.0);
+    }
+}

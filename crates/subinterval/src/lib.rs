@@ -1,0 +1,20 @@
+//! # esched-subinterval
+//!
+//! Timeline decomposition for aperiodic task sets: the subinterval
+//! construction of Section IV of Li & Wu (ICPP 2014), plus overlap
+//! analysis and feasibility pre-checks.
+//!
+//! The [`Timeline`] built here is the index space shared by every
+//! allocation algorithm in `esched-core` and by the convex program in
+//! `esched-opt`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod boundaries;
+pub mod timeline;
+
+pub use analysis::{feasibility_at, load_profile, min_feasible_frequency, Infeasibility, LoadProfile};
+pub use boundaries::{boundary_points, covering_range, subintervals_of};
+pub use timeline::{Subinterval, Timeline};

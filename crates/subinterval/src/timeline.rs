@@ -1,0 +1,288 @@
+//! The [`Timeline`]: a task set's horizon decomposed into subintervals,
+//! with per-subinterval overlap information.
+//!
+//! This is the central data structure of the paper's approach. Everything
+//! downstream — even allocation, DER-based allocation, the convex program's
+//! variable layout — is indexed by `(task, subinterval)` pairs taken from a
+//! `Timeline`.
+
+use crate::boundaries::{boundary_points, covering_range, subintervals_of};
+use esched_types::task::{TaskId, TaskSet};
+use esched_types::time::Interval;
+use serde::{Deserialize, Serialize};
+
+/// One subinterval `[t_j, t_{j+1}]` together with its overlapping tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subinterval {
+    /// Index `j` in the timeline.
+    pub index: usize,
+    /// The interval itself.
+    pub interval: Interval,
+    /// Ids of tasks whose window fully covers this subinterval, ascending.
+    /// (The paper's *overlapping tasks*, `n_j = overlapping.len()`.)
+    pub overlapping: Vec<TaskId>,
+}
+
+impl Subinterval {
+    /// Subinterval length `Δ_j = t_{j+1} − t_j`.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.interval.length()
+    }
+
+    /// Number of overlapping tasks `n_j`.
+    #[inline]
+    pub fn overlap_count(&self) -> usize {
+        self.overlapping.len()
+    }
+
+    /// Is this subinterval *heavily overlapped* for `m` cores
+    /// (`n_j > m`)?
+    #[inline]
+    pub fn is_heavy(&self, cores: usize) -> bool {
+        self.overlap_count() > cores
+    }
+}
+
+/// The full decomposition of a task set's horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    boundaries: Vec<f64>,
+    subintervals: Vec<Subinterval>,
+    /// For each task, the contiguous range of subinterval indices its
+    /// window covers (`start..end` into `subintervals`).
+    spans: Vec<(usize, usize)>,
+}
+
+impl Timeline {
+    /// Decompose `tasks` into subintervals and compute overlap sets.
+    ///
+    /// Runs in `O(n log n + n·N)` for `n` tasks and `N ≤ 2n` boundaries.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use esched_subinterval::Timeline;
+    /// use esched_types::TaskSet;
+    ///
+    /// let tasks = TaskSet::from_triples(&[
+    ///     (0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0),
+    /// ]);
+    /// let tl = Timeline::build(&tasks);
+    /// assert_eq!(tl.len(), 5);
+    /// // On 2 cores, only [4, 8] (all three tasks ready) is heavy.
+    /// assert_eq!(tl.heavy_indices(2), vec![2]);
+    /// ```
+    pub fn build(tasks: &TaskSet) -> Self {
+        let boundaries = boundary_points(tasks);
+        let intervals = subintervals_of(&boundaries);
+        let mut subintervals: Vec<Subinterval> = intervals
+            .into_iter()
+            .enumerate()
+            .map(|(index, interval)| Subinterval {
+                index,
+                interval,
+                overlapping: Vec::new(),
+            })
+            .collect();
+        let mut spans = Vec::with_capacity(tasks.len());
+        for (id, t) in tasks.iter() {
+            let range = covering_range(&boundaries, t.release, t.deadline);
+            spans.push((range.start, range.end));
+            for j in range {
+                subintervals[j].overlapping.push(id);
+            }
+        }
+        Self {
+            boundaries,
+            subintervals,
+            spans,
+        }
+    }
+
+    /// The boundary points `t_1 … t_N`.
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// All subintervals, in time order.
+    pub fn subintervals(&self) -> &[Subinterval] {
+        &self.subintervals
+    }
+
+    /// Number of subintervals `N − 1`.
+    pub fn len(&self) -> usize {
+        self.subintervals.len()
+    }
+
+    /// True when there are no subintervals (impossible for a validated task
+    /// set; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.subintervals.is_empty()
+    }
+
+    /// Subinterval by index.
+    pub fn get(&self, j: usize) -> &Subinterval {
+        &self.subintervals[j]
+    }
+
+    /// `Δ_j` of subinterval `j`.
+    pub fn delta(&self, j: usize) -> f64 {
+        self.subintervals[j].delta()
+    }
+
+    /// The contiguous subinterval index range covered by task `i`'s window.
+    pub fn span(&self, task: TaskId) -> std::ops::Range<usize> {
+        let (a, b) = self.spans[task];
+        a..b
+    }
+
+    /// Does task `i`'s window cover subinterval `j`? (The availability
+    /// predicate behind the box constraints `0 ≤ x_{i,j} ≤ Δ_j`.)
+    pub fn available(&self, task: TaskId, j: usize) -> bool {
+        let (a, b) = self.spans[task];
+        (a..b).contains(&j)
+    }
+
+    /// Indices of heavily overlapped subintervals for `m` cores.
+    pub fn heavy_indices(&self, cores: usize) -> Vec<usize> {
+        self.subintervals
+            .iter()
+            .filter(|s| s.is_heavy(cores))
+            .map(|s| s.index)
+            .collect()
+    }
+
+    /// Indices of lightly overlapped subintervals for `m` cores.
+    pub fn light_indices(&self, cores: usize) -> Vec<usize> {
+        self.subintervals
+            .iter()
+            .filter(|s| !s.is_heavy(cores))
+            .map(|s| s.index)
+            .collect()
+    }
+
+    /// Maximum overlap count over all subintervals (`max_j n_j`) — bounds
+    /// the evenly-allocating method's approximation factor
+    /// `(n_max/m)^{α−1}`.
+    pub fn peak_overlap(&self) -> usize {
+        self.subintervals
+            .iter()
+            .map(Subinterval::overlap_count)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The number of (task, subinterval) pairs with availability — the
+    /// variable count of the reformulated convex program.
+    pub fn variable_count(&self) -> usize {
+        self.spans.iter().map(|(a, b)| b - a).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esched_types::task::TaskSet;
+
+    fn vd_example() -> TaskSet {
+        TaskSet::from_triples(&[
+            (0.0, 10.0, 8.0),
+            (2.0, 18.0, 14.0),
+            (4.0, 16.0, 8.0),
+            (6.0, 14.0, 4.0),
+            (8.0, 20.0, 10.0),
+            (12.0, 22.0, 6.0),
+        ])
+    }
+
+    #[test]
+    fn vd_example_heavy_subintervals_are_8_10_and_12_14() {
+        // The paper: on a quad-core only [8,10] and [12,14] are heavy.
+        let tl = Timeline::build(&vd_example());
+        assert_eq!(tl.len(), 11);
+        let heavy = tl.heavy_indices(4);
+        assert_eq!(heavy.len(), 2);
+        let h0 = tl.get(heavy[0]);
+        let h1 = tl.get(heavy[1]);
+        assert_eq!((h0.interval.start, h0.interval.end), (8.0, 10.0));
+        assert_eq!((h1.interval.start, h1.interval.end), (12.0, 14.0));
+        // Five overlapping tasks in each.
+        assert_eq!(h0.overlapping, vec![0, 1, 2, 3, 4]);
+        assert_eq!(h1.overlapping, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn light_indices_complement_heavy() {
+        let tl = Timeline::build(&vd_example());
+        let mut all = tl.heavy_indices(4);
+        all.extend(tl.light_indices(4));
+        all.sort_unstable();
+        assert_eq!(all, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spans_and_availability() {
+        let tl = Timeline::build(&vd_example());
+        // τ0 = (0, 10): subintervals 0..5.
+        assert_eq!(tl.span(0), 0..5);
+        assert!(tl.available(0, 0));
+        assert!(tl.available(0, 4));
+        assert!(!tl.available(0, 5));
+        // τ5 = (12, 22): subintervals 6..11.
+        assert_eq!(tl.span(5), 6..11);
+        assert!(!tl.available(5, 5));
+        assert!(tl.available(5, 10));
+    }
+
+    #[test]
+    fn peak_overlap_and_variable_count() {
+        let tl = Timeline::build(&vd_example());
+        assert_eq!(tl.peak_overlap(), 5);
+        // Spans: 5 + 8 + 6 + 4 + 6 + 5 = 34 variables.
+        assert_eq!(tl.variable_count(), 34);
+    }
+
+    #[test]
+    fn single_task_timeline() {
+        let ts = TaskSet::from_triples(&[(1.0, 5.0, 2.0)]);
+        let tl = Timeline::build(&ts);
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl.get(0).overlapping, vec![0]);
+        assert!(!tl.get(0).is_heavy(1));
+        assert_eq!(tl.heavy_indices(1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn heavy_definition_is_strictly_greater() {
+        // Two tasks overlapping, two cores: n_j == m is *light*.
+        let ts = TaskSet::from_triples(&[(0.0, 4.0, 1.0), (0.0, 4.0, 1.0)]);
+        let tl = Timeline::build(&ts);
+        assert!(!tl.get(0).is_heavy(2));
+        assert!(tl.get(0).is_heavy(1));
+    }
+
+    #[test]
+    fn disjoint_windows_never_overlap() {
+        let ts = TaskSet::from_triples(&[(0.0, 2.0, 1.0), (2.0, 4.0, 1.0), (4.0, 6.0, 1.0)]);
+        let tl = Timeline::build(&ts);
+        assert_eq!(tl.len(), 3);
+        for j in 0..3 {
+            assert_eq!(tl.get(j).overlapping, vec![j]);
+        }
+        assert_eq!(tl.peak_overlap(), 1);
+    }
+
+    #[test]
+    fn intro_example_timeline() {
+        // Fig. 1(a) tasks on 2 cores: only [4, 8] is heavy.
+        let ts =
+            TaskSet::from_triples(&[(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)]);
+        let tl = Timeline::build(&ts);
+        assert_eq!(tl.len(), 5);
+        assert_eq!(tl.heavy_indices(2), vec![2]);
+        let h = tl.get(2);
+        assert_eq!((h.interval.start, h.interval.end), (4.0, 8.0));
+        assert_eq!(h.overlapping, vec![0, 1, 2]);
+    }
+}

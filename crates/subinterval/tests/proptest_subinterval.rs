@@ -1,0 +1,113 @@
+//! Property tests for the timeline decomposition.
+
+use esched_subinterval::{boundary_points, load_profile, min_feasible_frequency, Timeline};
+use esched_types::{Task, TaskSet};
+use proptest::prelude::*;
+
+fn arb_task_set(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec((0.0_f64..40.0, 0.5_f64..30.0, 0.1_f64..15.0), 1..=max_tasks)
+        .prop_map(|v| {
+            TaskSet::new(
+                v.into_iter()
+                    .map(|(r, len, c)| Task::of(r, r + len, c))
+                    .collect(),
+            )
+            .unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn subintervals_partition_the_horizon(tasks in arb_task_set(12)) {
+        let tl = Timeline::build(&tasks);
+        let horizon = tasks.horizon();
+        let total: f64 = tl.subintervals().iter().map(|s| s.delta()).sum();
+        prop_assert!((total - horizon.length()).abs() < 1e-7 * (1.0 + horizon.length()));
+        // Consecutive subintervals abut exactly.
+        for w in tl.subintervals().windows(2) {
+            prop_assert!((w[0].interval.end - w[1].interval.start).abs() < 1e-9);
+        }
+        prop_assert!((tl.subintervals()[0].interval.start - horizon.start).abs() < 1e-9);
+        prop_assert!(
+            (tl.subintervals().last().unwrap().interval.end - horizon.end).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn spans_agree_with_window_coverage(tasks in arb_task_set(10)) {
+        let tl = Timeline::build(&tasks);
+        for (i, t) in tasks.iter() {
+            let span = tl.span(i);
+            prop_assert!(!span.is_empty(), "task {i} has an empty span");
+            // Span endpoints align with the window.
+            let first = tl.get(span.start);
+            let last = tl.get(span.end - 1);
+            prop_assert!((first.interval.start - t.release).abs() < 1e-9);
+            prop_assert!((last.interval.end - t.deadline).abs() < 1e-9);
+            // Availability matches span membership for every subinterval.
+            for j in 0..tl.len() {
+                let in_span = span.contains(&j);
+                prop_assert_eq!(tl.available(i, j), in_span);
+                let listed = tl.get(j).overlapping.contains(&i);
+                prop_assert_eq!(listed, in_span);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_counts_sum_to_variable_count(tasks in arb_task_set(10)) {
+        let tl = Timeline::build(&tasks);
+        let by_subinterval: usize = tl.subintervals().iter().map(|s| s.overlap_count()).sum();
+        prop_assert_eq!(by_subinterval, tl.variable_count());
+        prop_assert!(tl.peak_overlap() <= tasks.len());
+    }
+
+    #[test]
+    fn boundaries_are_exactly_event_points(tasks in arb_task_set(10)) {
+        let tl = Timeline::build(&tasks);
+        prop_assert_eq!(tl.boundaries().to_vec(), boundary_points(&tasks));
+        prop_assert_eq!(tl.len() + 1, tl.boundaries().len());
+    }
+
+    #[test]
+    fn heavy_light_partition_is_total(tasks in arb_task_set(10), cores in 1_usize..6) {
+        let tl = Timeline::build(&tasks);
+        let mut all = tl.heavy_indices(cores);
+        all.extend(tl.light_indices(cores));
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..tl.len()).collect::<Vec<_>>());
+        // More cores never create more heavy subintervals.
+        prop_assert!(tl.heavy_indices(cores + 1).len() <= tl.heavy_indices(cores).len());
+    }
+
+    #[test]
+    fn load_profile_density_bounds(tasks in arb_task_set(10)) {
+        let tl = Timeline::build(&tasks);
+        let lp = load_profile(&tasks, &tl);
+        let total_intensity: f64 = tasks.iter().map(|(_, t)| t.intensity()).sum();
+        for &d in &lp.density {
+            prop_assert!(d >= -1e-12 && d <= total_intensity + 1e-9);
+        }
+        prop_assert_eq!(lp.density.len(), tl.len());
+        prop_assert_eq!(lp.overlap.len(), tl.len());
+    }
+
+    #[test]
+    fn min_feasible_frequency_dominates_every_task_intensity(
+        tasks in arb_task_set(10),
+        cores in 1_usize..5,
+    ) {
+        let f = min_feasible_frequency(&tasks, cores);
+        for (_, t) in tasks.iter() {
+            prop_assert!(f >= t.intensity() - 1e-9);
+        }
+        // Monotone in core count.
+        prop_assert!(min_feasible_frequency(&tasks, cores + 1) <= f + 1e-12);
+        // On one core it equals the YDS peak intensity.
+        if cores == 1 {
+            prop_assert!((f - tasks.peak_intensity()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # esched-types
+//!
+//! Foundation types for the `esched` workspace — an implementation of
+//! Li & Wu, *"Energy-Aware Scheduling for Aperiodic Tasks on Multi-core
+//! Processors"* (ICPP 2014).
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * [`task`] — aperiodic tasks `τ = (R, D, C)` and validated task sets,
+//! * [`power`] — the continuous `γf^α + p₀` and discrete (table-driven)
+//!   power models,
+//! * [`schedule`] — execution segments, multi-core schedules, frequency
+//!   assignments,
+//! * [`validate`] — legality checking of schedules against task sets,
+//! * [`transform`] — unit rescaling, shifting, merging, and filtering of
+//!   task sets,
+//! * [`time`] — tolerant floating-point comparisons and interval
+//!   arithmetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod power;
+pub mod schedule;
+pub mod task;
+pub mod time;
+pub mod transform;
+pub mod validate;
+
+pub use power::{DiscretePower, FreqLevel, PolynomialPower, PowerError, PowerModel};
+pub use schedule::{FrequencyAssignment, Schedule, Segment};
+pub use task::{Task, TaskError, TaskId, TaskSet};
+pub use transform::{filter_window, merge, normalize_origin, rescale_time, rescale_work, shift_time};
+pub use time::{Interval, EPS};
+pub use validate::{validate_schedule, ValidationReport, Violation};

@@ -1,0 +1,467 @@
+//! Power-consumption models.
+//!
+//! The paper's platform model: a core in active mode at frequency `f`
+//! consumes `p(f) = f^α + p₀` (generalized here to `γ·f^α + p₀` so that the
+//! curve fitted to a real processor's measured table — Section VI.C — uses
+//! the same type). An idle core sleeps at zero power, so *energy only
+//! accrues while executing*.
+//!
+//! Two model families are provided:
+//!
+//! * [`PolynomialPower`] — the continuous ideal model with closed-form
+//!   critical frequency,
+//! * [`DiscretePower`] — a measured frequency/power table (e.g. Intel
+//!   XScale) supporting only a finite set of operating points.
+
+use crate::time::approx_le;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Anything that can report active power at a frequency.
+///
+/// Frequencies are in the same (arbitrary but consistent) unit as task
+/// intensities; energy is `power × time`.
+pub trait PowerModel {
+    /// Active power drawn at frequency `f > 0`.
+    fn power(&self, f: f64) -> f64;
+
+    /// Energy to complete `work` units entirely at frequency `f`:
+    /// `p(f) · work / f`.
+    fn energy_for_work(&self, work: f64, f: f64) -> f64 {
+        debug_assert!(f > 0.0, "frequency must be positive");
+        self.power(f) * work / f
+    }
+
+    /// Energy drawn running at `f` for `duration` time units.
+    fn energy_for_duration(&self, f: f64, duration: f64) -> f64 {
+        self.power(f) * duration
+    }
+
+    /// Energy per unit of work at frequency `f` (`p(f)/f`). Minimizing this
+    /// over `f` yields the *critical frequency*: below it, static power
+    /// dominates and running slower wastes energy.
+    fn energy_per_work(&self, f: f64) -> f64 {
+        self.power(f) / f
+    }
+}
+
+/// The continuous model `p(f) = γ·f^α + p₀` with `α ≥ 2`, `γ > 0`, `p₀ ≥ 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolynomialPower {
+    /// Dynamic-power coefficient `γ` (1 in the paper's analytic model).
+    pub gamma: f64,
+    /// Dynamic-power exponent `α ≥ 2`.
+    pub alpha: f64,
+    /// Static power `p₀ ≥ 0`, drawn whenever the core is active.
+    pub p0: f64,
+}
+
+/// Validation errors for [`PolynomialPower::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PowerError {
+    /// `α < 2` breaks convexity of the reformulated energy program
+    /// (Theorem 1 requires `α ≥ 2`).
+    AlphaTooSmall,
+    /// `γ ≤ 0` or non-finite parameter.
+    InvalidCoefficient,
+    /// Negative static power.
+    NegativeStatic,
+    /// A discrete table was empty or not strictly increasing.
+    MalformedTable,
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::AlphaTooSmall => write!(f, "alpha must be >= 2"),
+            PowerError::InvalidCoefficient => write!(f, "gamma must be positive and finite"),
+            PowerError::NegativeStatic => write!(f, "static power must be >= 0"),
+            PowerError::MalformedTable => {
+                write!(f, "frequency table must be non-empty, strictly increasing, finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+impl PolynomialPower {
+    /// Validated constructor.
+    ///
+    /// # Errors
+    /// [`PowerError`] when `α < 2`, `γ ≤ 0`, `p₀ < 0`, or any parameter is
+    /// non-finite.
+    pub fn new(gamma: f64, alpha: f64, p0: f64) -> Result<Self, PowerError> {
+        if !(gamma.is_finite() && alpha.is_finite() && p0.is_finite()) {
+            return Err(PowerError::InvalidCoefficient);
+        }
+        if alpha < 2.0 {
+            return Err(PowerError::AlphaTooSmall);
+        }
+        if gamma <= 0.0 {
+            return Err(PowerError::InvalidCoefficient);
+        }
+        if p0 < 0.0 {
+            return Err(PowerError::NegativeStatic);
+        }
+        Ok(Self { gamma, alpha, p0 })
+    }
+
+    /// The paper's analytic model `p(f) = f^α + p₀` (`γ = 1`).
+    ///
+    /// # Panics
+    /// If parameters are invalid.
+    pub fn paper(alpha: f64, p0: f64) -> Self {
+        Self::new(1.0, alpha, p0).expect("invalid power parameters")
+    }
+
+    /// Cubic, zero-static-power model `p(f) = f³` used in the Section V.D
+    /// worked example.
+    pub fn cubic() -> Self {
+        Self::paper(3.0, 0.0)
+    }
+
+    /// The *critical frequency* `f_crit = (p₀ / (γ·(α−1)))^{1/α}` at which
+    /// energy per unit work `p(f)/f` is minimized. Running any task slower
+    /// than this can never save energy (Eq. 19's first argument).
+    ///
+    /// Zero static power gives `f_crit = 0`: with no static cost, slower is
+    /// always at least as good.
+    pub fn critical_frequency(&self) -> f64 {
+        if self.p0 == 0.0 {
+            0.0
+        } else {
+            (self.p0 / (self.gamma * (self.alpha - 1.0))).powf(1.0 / self.alpha)
+        }
+    }
+
+    /// The per-task optimal frequency given total available execution time
+    /// `avail` for requirement `work` (Eq. 19 / Eq. 22-23):
+    /// `f = max{ f_crit, work / avail }`.
+    ///
+    /// `avail = +∞` (unlimited time) yields `f_crit` directly when static
+    /// power is positive; with `p₀ = 0` it degenerates to 0, which callers
+    /// must treat as "stretch over the entire window".
+    pub fn optimal_frequency(&self, work: f64, avail: f64) -> f64 {
+        debug_assert!(work > 0.0);
+        let stretch = if avail.is_finite() && avail > 0.0 {
+            work / avail
+        } else {
+            0.0
+        };
+        self.critical_frequency().max(stretch)
+    }
+
+    /// Energy of executing `work` at the optimal frequency for available
+    /// time `avail` — the `E_i` of the final schedules `S^F1` / `S^F2`.
+    pub fn optimal_energy(&self, work: f64, avail: f64) -> f64 {
+        let f = self.optimal_frequency(work, avail);
+        self.energy_for_work(work, f)
+    }
+
+    /// Time actually used when executing `work` at the optimal frequency for
+    /// available time `avail` (`work / f ≤ avail`).
+    pub fn optimal_duration(&self, work: f64, avail: f64) -> f64 {
+        work / self.optimal_frequency(work, avail)
+    }
+
+    /// Split the energy of executing `work` at frequency `f` into its
+    /// `(dynamic, static)` components: `(γf^α·work/f, p₀·work/f)`.
+    /// Useful for understanding *why* a schedule costs what it costs —
+    /// low-frequency schedules are static-dominated, high-frequency ones
+    /// dynamic-dominated.
+    pub fn energy_breakdown(&self, work: f64, f: f64) -> (f64, f64) {
+        debug_assert!(f > 0.0);
+        let duration = work / f;
+        (self.gamma * f.powf(self.alpha) * duration, self.p0 * duration)
+    }
+}
+
+impl PowerModel for PolynomialPower {
+    fn power(&self, f: f64) -> f64 {
+        self.gamma * f.powf(self.alpha) + self.p0
+    }
+}
+
+/// One operating point of a discrete-DVFS processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FreqLevel {
+    /// Operating frequency.
+    pub freq: f64,
+    /// Measured active power at that frequency.
+    pub power: f64,
+}
+
+/// A processor supporting a finite, strictly increasing set of frequency
+/// levels with measured power at each (Section VI.C).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscretePower {
+    levels: Vec<FreqLevel>,
+}
+
+impl DiscretePower {
+    /// Validated constructor: levels must be non-empty, finite, positive,
+    /// and strictly increasing in both frequency and power.
+    ///
+    /// # Errors
+    /// [`PowerError::MalformedTable`] otherwise.
+    pub fn new(levels: Vec<FreqLevel>) -> Result<Self, PowerError> {
+        if levels.is_empty() {
+            return Err(PowerError::MalformedTable);
+        }
+        for w in levels.windows(2) {
+            if !(w[0].freq < w[1].freq && w[0].power < w[1].power) {
+                return Err(PowerError::MalformedTable);
+            }
+        }
+        if levels
+            .iter()
+            .any(|l| !(l.freq.is_finite() && l.power.is_finite() && l.freq > 0.0 && l.power > 0.0))
+        {
+            return Err(PowerError::MalformedTable);
+        }
+        Ok(Self { levels })
+    }
+
+    /// Build from `(freq, power)` pairs, panicking on malformed input.
+    ///
+    /// # Panics
+    /// If the table is malformed.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        Self::new(
+            pairs
+                .iter()
+                .map(|&(freq, power)| FreqLevel { freq, power })
+                .collect(),
+        )
+        .expect("malformed frequency table")
+    }
+
+    /// The operating points, ascending.
+    pub fn levels(&self) -> &[FreqLevel] {
+        &self.levels
+    }
+
+    /// Lowest available frequency.
+    pub fn min_freq(&self) -> f64 {
+        self.levels[0].freq
+    }
+
+    /// Highest available frequency.
+    pub fn max_freq(&self) -> f64 {
+        self.levels[self.levels.len() - 1].freq
+    }
+
+    /// Smallest level with frequency ≥ `f` (how a continuous schedule is
+    /// quantized onto real hardware). `None` when `f` exceeds the maximum
+    /// level — the schedule is infeasible on this processor and the caller
+    /// records a deadline miss.
+    pub fn quantize_up(&self, f: f64) -> Option<FreqLevel> {
+        self.levels
+            .iter()
+            .find(|l| approx_le(f, l.freq))
+            .copied()
+    }
+
+    /// Largest level with frequency ≤ `f`, if any.
+    pub fn quantize_down(&self, f: f64) -> Option<FreqLevel> {
+        self.levels
+            .iter()
+            .rev()
+            .find(|l| approx_le(l.freq, f))
+            .copied()
+    }
+
+    /// The level minimizing energy-per-work `p_k/f_k` — the discrete
+    /// analogue of the critical frequency.
+    pub fn critical_level(&self) -> FreqLevel {
+        *self
+            .levels
+            .iter()
+            .min_by(|a, b| {
+                (a.power / a.freq)
+                    .partial_cmp(&(b.power / b.freq))
+                    .expect("finite table")
+            })
+            .expect("non-empty table")
+    }
+}
+
+impl PowerModel for DiscretePower {
+    /// Power at `f`: the table value if `f` matches a level, otherwise the
+    /// power of the smallest level ≥ `f` (a core asked for an unsupported
+    /// frequency must run at the next one up). Frequencies above the table
+    /// are clamped to the top level's power.
+    fn power(&self, f: f64) -> f64 {
+        match self.quantize_up(f) {
+            Some(l) => l.power,
+            None => self.levels[self.levels.len() - 1].power,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_power_values() {
+        let p = PolynomialPower::paper(3.0, 0.01);
+        assert!((p.power(1.0) - 1.01).abs() < 1e-12);
+        assert!((p.power(0.5) - (0.125 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert_eq!(
+            PolynomialPower::new(1.0, 1.5, 0.0),
+            Err(PowerError::AlphaTooSmall)
+        );
+        assert_eq!(
+            PolynomialPower::new(0.0, 2.0, 0.0),
+            Err(PowerError::InvalidCoefficient)
+        );
+        assert_eq!(
+            PolynomialPower::new(1.0, 2.0, -0.1),
+            Err(PowerError::NegativeStatic)
+        );
+        assert_eq!(
+            PolynomialPower::new(f64::NAN, 2.0, 0.1),
+            Err(PowerError::InvalidCoefficient)
+        );
+    }
+
+    #[test]
+    fn energy_for_work_matches_definition() {
+        // E = (f^3 + p0) * C / f, the paper's Section II expression.
+        let p = PolynomialPower::paper(3.0, 0.01);
+        let (c, f): (f64, f64) = (4.0, 0.8);
+        let expect = (f.powi(3) + 0.01) * c / f;
+        assert!((p.energy_for_work(c, f) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_frequency_closed_form() {
+        // fig. 3 example: p(f) = f^2 + 0.25 → f_crit = (0.25/1)^(1/2) = 0.5.
+        let p = PolynomialPower::paper(2.0, 0.25);
+        assert!((p.critical_frequency() - 0.5).abs() < 1e-12);
+        // Zero static power → zero critical frequency.
+        assert_eq!(PolynomialPower::cubic().critical_frequency(), 0.0);
+        // Gamma scales it: p = 2 f^3 + 0.02 → (0.02/(2*2))^(1/3).
+        let p = PolynomialPower::new(2.0, 3.0, 0.02).unwrap();
+        assert!((p.critical_frequency() - (0.005_f64).powf(1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_frequency_minimizes_energy_per_work() {
+        let p = PolynomialPower::paper(3.0, 0.2);
+        let fc = p.critical_frequency();
+        let e = p.energy_per_work(fc);
+        for f in [fc * 0.5, fc * 0.9, fc * 1.1, fc * 2.0] {
+            assert!(p.energy_per_work(f) >= e - 1e-12, "f={f}");
+        }
+    }
+
+    #[test]
+    fn fig3_example_using_partial_time_is_better() {
+        // The paper's Fig. 3: work 2.0, window of 5 time units,
+        // p(f) = f^2 + 0.25. Full stretch (f = 0.4) costs 2.05; the optimal
+        // frequency is f_crit = 0.5 (4 time units) costing 2.00.
+        let p = PolynomialPower::paper(2.0, 0.25);
+        let full = p.energy_for_work(2.0, 2.0 / 5.0);
+        assert!((full - 2.05).abs() < 1e-12);
+        let opt = p.optimal_energy(2.0, 5.0);
+        assert!((opt - 2.0).abs() < 1e-12);
+        assert!((p.optimal_frequency(2.0, 5.0) - 0.5).abs() < 1e-12);
+        assert!((p.optimal_duration(2.0, 5.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_frequency_binds_to_stretch_when_time_is_scarce() {
+        let p = PolynomialPower::paper(2.0, 0.25); // f_crit = 0.5
+        // Only 2 time units for 2 work units → must run at 1.0 > f_crit.
+        assert!((p.optimal_frequency(2.0, 2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_breakdown_sums_to_total() {
+        let p = PolynomialPower::paper(3.0, 0.2);
+        let (c, f) = (5.0, 0.7);
+        let (dynamic, stat) = p.energy_breakdown(c, f);
+        assert!((dynamic + stat - p.energy_for_work(c, f)).abs() < 1e-12);
+        assert!(dynamic > 0.0 && stat > 0.0);
+        // At the critical frequency the two components relate by
+        // dynamic = static/(α−1).
+        let fc = p.critical_frequency();
+        let (d2, s2) = p.energy_breakdown(c, fc);
+        assert!((d2 - s2 / (p.alpha - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discrete_table_validation() {
+        assert!(DiscretePower::new(vec![]).is_err());
+        // Non-increasing power.
+        assert!(DiscretePower::new(vec![
+            FreqLevel { freq: 1.0, power: 2.0 },
+            FreqLevel { freq: 2.0, power: 2.0 },
+        ])
+        .is_err());
+        // Non-increasing frequency.
+        assert!(DiscretePower::new(vec![
+            FreqLevel { freq: 2.0, power: 1.0 },
+            FreqLevel { freq: 1.0, power: 2.0 },
+        ])
+        .is_err());
+    }
+
+    fn xscale() -> DiscretePower {
+        DiscretePower::from_pairs(&[
+            (150.0, 80.0),
+            (400.0, 170.0),
+            (600.0, 400.0),
+            (800.0, 900.0),
+            (1000.0, 1600.0),
+        ])
+    }
+
+    #[test]
+    fn quantization() {
+        let d = xscale();
+        assert_eq!(d.quantize_up(100.0).unwrap().freq, 150.0);
+        assert_eq!(d.quantize_up(150.0).unwrap().freq, 150.0);
+        assert_eq!(d.quantize_up(401.0).unwrap().freq, 600.0);
+        assert!(d.quantize_up(1200.0).is_none());
+        assert_eq!(d.quantize_down(399.0).unwrap().freq, 150.0);
+        assert_eq!(d.quantize_down(1200.0).unwrap().freq, 1000.0);
+        assert!(d.quantize_down(100.0).is_none());
+        assert_eq!(d.min_freq(), 150.0);
+        assert_eq!(d.max_freq(), 1000.0);
+    }
+
+    #[test]
+    fn xscale_critical_level_is_400mhz() {
+        // Energy per cycle: 80/150 ≈ .533, 170/400 = .425, 400/600 ≈ .667,
+        // 900/800 = 1.125, 1600/1000 = 1.6 → minimum at 400 MHz.
+        assert_eq!(xscale().critical_level().freq, 400.0);
+    }
+
+    #[test]
+    fn discrete_power_model_quantizes_up() {
+        let d = xscale();
+        assert_eq!(d.power(300.0), 170.0);
+        assert_eq!(d.power(1000.0), 1600.0);
+        assert_eq!(d.power(2000.0), 1600.0); // clamped
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = PolynomialPower::paper(2.5, 0.1);
+        let back: PolynomialPower =
+            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(p, back);
+        let d = xscale();
+        let back: DiscretePower =
+            serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+        assert_eq!(d, back);
+    }
+}

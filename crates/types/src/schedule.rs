@@ -1,0 +1,406 @@
+//! Schedule representation.
+//!
+//! A [`Schedule`] is the concrete object every algorithm in this workspace
+//! produces: a set of execution [`Segment`]s, each placing one task on one
+//! core over a time interval at a fixed frequency. The paper's abstract
+//! solution (`x_{i,j}` execution times plus per-task frequencies) is always
+//! materialized into this form so that it can be validated, simulated, and
+//! measured uniformly.
+
+use crate::power::PowerModel;
+use crate::task::TaskId;
+use crate::time::{approx_eq, compensated_sum, Interval, EPS};
+use serde::{Deserialize, Serialize};
+
+/// One contiguous execution of a task on a core at a fixed frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// The task being executed.
+    pub task: TaskId,
+    /// Core index in `0..m`.
+    pub core: usize,
+    /// Execution interval.
+    pub interval: Interval,
+    /// Execution frequency (positive).
+    pub freq: f64,
+}
+
+impl Segment {
+    /// Construct a segment.
+    ///
+    /// # Panics
+    /// If the frequency is not positive and finite.
+    pub fn new(task: TaskId, core: usize, start: f64, end: f64, freq: f64) -> Self {
+        assert!(
+            freq.is_finite() && freq > 0.0,
+            "segment frequency must be positive and finite, got {freq}"
+        );
+        Self {
+            task,
+            core,
+            interval: Interval::new(start, end),
+            freq,
+        }
+    }
+
+    /// Work completed by this segment: `f · (end − start)`.
+    #[inline]
+    pub fn work(&self) -> f64 {
+        self.freq * self.interval.length()
+    }
+
+    /// Segment duration.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.interval.length()
+    }
+
+    /// Energy drawn by this segment under `model`.
+    #[inline]
+    pub fn energy<P: PowerModel>(&self, model: &P) -> f64 {
+        model.energy_for_duration(self.freq, self.duration())
+    }
+}
+
+/// A complete multi-core schedule: `m` cores plus a list of segments.
+///
+/// The structure itself does not enforce legality (that is
+/// [`crate::validate::validate_schedule`]'s job) but provides the
+/// accounting primitives legality checks and metrics are built from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Number of cores `m`.
+    pub cores: usize,
+    segments: Vec<Segment>,
+}
+
+impl Schedule {
+    /// An empty schedule on `cores` cores.
+    ///
+    /// # Panics
+    /// If `cores == 0`.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "a schedule needs at least one core");
+        Self {
+            cores,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Append a segment. Zero-length segments are silently dropped — they
+    /// arise naturally from boundary cases in wrap-around packing and carry
+    /// no work. Out-of-range core/task indices are accepted here and
+    /// reported by [`crate::validate::validate_schedule`], so that
+    /// deserialized or hand-built schedules can be diagnosed rather than
+    /// crashed on.
+    pub fn push(&mut self, seg: Segment) {
+        if seg.duration() > EPS {
+            self.segments.push(seg);
+        }
+    }
+
+    /// All segments, in insertion order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when no segments have been scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Segments of one task, sorted by start time.
+    pub fn task_segments(&self, task: TaskId) -> Vec<Segment> {
+        let mut v: Vec<Segment> = self
+            .segments
+            .iter()
+            .filter(|s| s.task == task)
+            .copied()
+            .collect();
+        v.sort_by(|a, b| {
+            a.interval
+                .start
+                .partial_cmp(&b.interval.start)
+                .expect("finite segment times")
+        });
+        v
+    }
+
+    /// Segments on one core, sorted by start time.
+    pub fn core_segments(&self, core: usize) -> Vec<Segment> {
+        let mut v: Vec<Segment> = self
+            .segments
+            .iter()
+            .filter(|s| s.core == core)
+            .copied()
+            .collect();
+        v.sort_by(|a, b| {
+            a.interval
+                .start
+                .partial_cmp(&b.interval.start)
+                .expect("finite segment times")
+        });
+        v
+    }
+
+    /// Total work completed for `task` across all its segments.
+    pub fn work_of(&self, task: TaskId) -> f64 {
+        compensated_sum(
+            self.segments
+                .iter()
+                .filter(|s| s.task == task)
+                .map(Segment::work),
+        )
+    }
+
+    /// Total busy time of `core`.
+    pub fn busy_time(&self, core: usize) -> f64 {
+        compensated_sum(
+            self.segments
+                .iter()
+                .filter(|s| s.core == core)
+                .map(Segment::duration),
+        )
+    }
+
+    /// Total energy of the schedule under `model`
+    /// (`Σ_segments p(f)·duration`; idle cores sleep at zero power).
+    pub fn energy<P: PowerModel>(&self, model: &P) -> f64 {
+        compensated_sum(self.segments.iter().map(|s| s.energy(model)))
+    }
+
+    /// Latest segment end time (0 for an empty schedule).
+    pub fn makespan(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.interval.end)
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of migrations: per task, count consecutive-segment pairs
+    /// (in time order) that change core.
+    pub fn migrations(&self) -> usize {
+        let mut count = 0;
+        for task in self.task_ids() {
+            let segs = self.task_segments(task);
+            count += segs
+                .windows(2)
+                .filter(|w| w[0].core != w[1].core)
+                .count();
+        }
+        count
+    }
+
+    /// Number of preemptions: per task, count consecutive-segment pairs with
+    /// a gap between them (the task was set aside and resumed).
+    pub fn preemptions(&self) -> usize {
+        let mut count = 0;
+        for task in self.task_ids() {
+            let segs = self.task_segments(task);
+            count += segs
+                .windows(2)
+                .filter(|w| !approx_eq(w[0].interval.end, w[1].interval.start))
+                .count();
+        }
+        count
+    }
+
+    /// Distinct task ids appearing in the schedule, ascending.
+    pub fn task_ids(&self) -> Vec<TaskId> {
+        let mut ids: Vec<TaskId> = self.segments.iter().map(|s| s.task).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Merge adjacent segments of the same task on the same core at the same
+    /// frequency into single segments. Cosmetic, but keeps segment counts
+    /// (and preemption metrics) meaningful after subinterval-by-subinterval
+    /// construction.
+    ///
+    /// Adjacency is judged with an *absolute* tolerance of [`EPS`]: two
+    /// pieces merge only when the gap between them is at most `EPS` time
+    /// units. A relative comparison would be wrong here — on long horizons
+    /// it can bridge genuine micro-gaps occupied by other tasks, turning a
+    /// legal schedule into an overlapping one.
+    pub fn coalesce(&mut self) {
+        let mut merged: Vec<Segment> = Vec::with_capacity(self.segments.len());
+        let mut segs = std::mem::take(&mut self.segments);
+        segs.sort_by(|a, b| {
+            (a.core, a.task)
+                .cmp(&(b.core, b.task))
+                .then(a.interval.start.partial_cmp(&b.interval.start).expect("finite"))
+        });
+        for seg in segs {
+            if let Some(last) = merged.last_mut() {
+                if last.core == seg.core
+                    && last.task == seg.task
+                    && approx_eq(last.freq, seg.freq)
+                    && (seg.interval.start - last.interval.end).abs() <= EPS
+                {
+                    last.interval.end = seg.interval.end.max(last.interval.end);
+                    continue;
+                }
+            }
+            merged.push(seg);
+        }
+        merged.sort_by(|a, b| {
+            a.interval
+                .start
+                .partial_cmp(&b.interval.start)
+                .expect("finite")
+                .then(a.core.cmp(&b.core))
+        });
+        self.segments = merged;
+    }
+
+    /// Average core utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = (0..self.cores).map(|c| self.busy_time(c)).sum();
+        busy / (self.cores as f64 * horizon)
+    }
+}
+
+/// A per-task constant frequency assignment plus per-task available time —
+/// the *analytic* form of the paper's final schedules (`S^F1`, `S^F2`),
+/// before materialization into segments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyAssignment {
+    /// `f_i` for each task.
+    pub freq: Vec<f64>,
+    /// Total available execution time `A_i` for each task.
+    pub avail: Vec<f64>,
+}
+
+impl FrequencyAssignment {
+    /// Analytic energy `Σ_i p(f_i)·C_i/f_i` of executing requirements
+    /// `works[i]` at the assigned frequencies.
+    pub fn energy<P: PowerModel>(&self, works: &[f64], model: &P) -> f64 {
+        assert_eq!(works.len(), self.freq.len());
+        compensated_sum(
+            works
+                .iter()
+                .zip(&self.freq)
+                .map(|(&c, &f)| model.energy_for_work(c, f)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PolynomialPower;
+
+    fn two_core_fixture() -> Schedule {
+        let mut s = Schedule::new(2);
+        s.push(Segment::new(0, 0, 0.0, 4.0, 0.75)); // τ0 on M0
+        s.push(Segment::new(1, 1, 2.0, 4.0, 0.75)); // τ1 on M1
+        s.push(Segment::new(2, 0, 4.0, 8.0, 1.0)); // τ2 on M0
+        s.push(Segment::new(0, 1, 8.0, 12.0, 0.75)); // τ0 migrates to M1
+        s
+    }
+
+    #[test]
+    fn segment_work_and_energy() {
+        let seg = Segment::new(0, 0, 0.0, 4.0, 0.5);
+        assert_eq!(seg.work(), 2.0);
+        assert_eq!(seg.duration(), 4.0);
+        let p = PolynomialPower::paper(3.0, 0.01);
+        assert!((seg.energy(&p) - (0.125 + 0.01) * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn segment_rejects_zero_frequency() {
+        let _ = Segment::new(0, 0, 0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn work_accounting() {
+        let s = two_core_fixture();
+        assert!((s.work_of(0) - (4.0 * 0.75 + 4.0 * 0.75)).abs() < 1e-12);
+        assert!((s.work_of(1) - 1.5).abs() < 1e-12);
+        assert!((s.work_of(2) - 4.0).abs() < 1e-12);
+        assert_eq!(s.work_of(99), 0.0);
+    }
+
+    #[test]
+    fn busy_time_and_utilization() {
+        let s = two_core_fixture();
+        assert_eq!(s.busy_time(0), 8.0);
+        assert_eq!(s.busy_time(1), 6.0);
+        assert!((s.utilization(12.0) - 14.0 / 24.0).abs() < 1e-12);
+        assert_eq!(s.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn migrations_and_preemptions() {
+        let s = two_core_fixture();
+        // τ0 runs [0,4] on M0 then [8,12] on M1: one migration, one gap.
+        assert_eq!(s.migrations(), 1);
+        assert_eq!(s.preemptions(), 1);
+    }
+
+    #[test]
+    fn makespan_and_ids() {
+        let s = two_core_fixture();
+        assert_eq!(s.makespan(), 12.0);
+        assert_eq!(s.task_ids(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_length_segments_are_dropped() {
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(0, 0, 3.0, 3.0, 1.0));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn coalesce_merges_contiguous_equal_frequency_runs() {
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(0, 0, 0.0, 2.0, 0.5));
+        s.push(Segment::new(0, 0, 2.0, 4.0, 0.5));
+        s.push(Segment::new(0, 0, 4.0, 6.0, 0.8)); // different frequency
+        s.push(Segment::new(1, 0, 6.0, 7.0, 0.8)); // different task
+        s.coalesce();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.segments()[0].interval.end, 4.0);
+        // Work is preserved by coalescing.
+        assert!((s.work_of(0) - (2.0 + 1.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_energy_sums_segments() {
+        let s = two_core_fixture();
+        let p = PolynomialPower::paper(3.0, 0.0);
+        let by_hand: f64 = s.segments().iter().map(|seg| seg.energy(&p)).sum();
+        assert!((s.energy(&p) - by_hand).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_assignment_energy() {
+        let fa = FrequencyAssignment {
+            freq: vec![0.5, 1.0],
+            avail: vec![8.0, 2.0],
+        };
+        let p = PolynomialPower::paper(3.0, 0.0);
+        // E = C·f² for p0=0, α=3.
+        let e = fa.energy(&[4.0, 2.0], &p);
+        assert!((e - (4.0 * 0.25 + 2.0 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = two_core_fixture();
+        let back: Schedule = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,173 @@
+//! Task-set transformations.
+//!
+//! Utilities downstream users need when massaging real workloads into the
+//! scheduler: time/work rescaling (unit changes — e.g. megacycles and
+//! seconds ↔ the paper's dimensionless units), horizon shifting and
+//! normalization, merging of independent sets, and window-based filtering.
+//! All transformations preserve validity by construction and are tested
+//! for the invariants they claim.
+
+use crate::task::{Task, TaskSet};
+
+/// Scale all times by `time_factor` (> 0): releases, deadlines — and
+/// execution requirements by the *same* factor, so intensities (hence
+/// required frequencies) are unchanged. This is a pure unit change.
+pub fn rescale_time(tasks: &TaskSet, time_factor: f64) -> TaskSet {
+    assert!(time_factor > 0.0 && time_factor.is_finite());
+    TaskSet::new(
+        tasks
+            .tasks()
+            .iter()
+            .map(|t| {
+                Task::of(
+                    t.release * time_factor,
+                    t.deadline * time_factor,
+                    t.wcec * time_factor,
+                )
+            })
+            .collect(),
+    )
+    .expect("scaling a valid set preserves validity")
+}
+
+/// Scale execution requirements by `work_factor` (> 0), keeping windows
+/// fixed — intensities (and all required frequencies) scale by the same
+/// factor. This is a frequency unit change (e.g. dimensionless → MHz).
+pub fn rescale_work(tasks: &TaskSet, work_factor: f64) -> TaskSet {
+    assert!(work_factor > 0.0 && work_factor.is_finite());
+    TaskSet::new(
+        tasks
+            .tasks()
+            .iter()
+            .map(|t| Task::of(t.release, t.deadline, t.wcec * work_factor))
+            .collect(),
+    )
+    .expect("scaling works preserves validity")
+}
+
+/// Shift all times by `offset` (releases and deadlines move together).
+pub fn shift_time(tasks: &TaskSet, offset: f64) -> TaskSet {
+    assert!(offset.is_finite());
+    TaskSet::new(
+        tasks
+            .tasks()
+            .iter()
+            .map(|t| Task::of(t.release + offset, t.deadline + offset, t.wcec))
+            .collect(),
+    )
+    .expect("shifting preserves validity")
+}
+
+/// Shift so the earliest release lands at time 0.
+pub fn normalize_origin(tasks: &TaskSet) -> TaskSet {
+    shift_time(tasks, -tasks.earliest_release())
+}
+
+/// Concatenate two independent task sets (ids of `b` are appended after
+/// `a`'s).
+pub fn merge(a: &TaskSet, b: &TaskSet) -> TaskSet {
+    let mut v = a.tasks().to_vec();
+    v.extend_from_slice(b.tasks());
+    TaskSet::new(v).expect("merging valid sets is valid")
+}
+
+/// Keep only the tasks whose window lies entirely inside `[t0, t1]`.
+/// Returns `None` when nothing survives.
+pub fn filter_window(tasks: &TaskSet, t0: f64, t1: f64) -> Option<TaskSet> {
+    let v: Vec<Task> = tasks
+        .tasks()
+        .iter()
+        .filter(|t| t.release >= t0 - crate::time::EPS && t.deadline <= t1 + crate::time::EPS)
+        .copied()
+        .collect();
+    TaskSet::new(v).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> TaskSet {
+        TaskSet::from_triples(&[(2.0, 10.0, 4.0), (4.0, 8.0, 2.0), (6.0, 14.0, 6.0)])
+    }
+
+    #[test]
+    fn rescale_time_preserves_intensities() {
+        let ts = fixture();
+        let scaled = rescale_time(&ts, 3.5);
+        for (i, t) in ts.iter() {
+            let s = scaled.get(i);
+            assert!((s.intensity() - t.intensity()).abs() < 1e-12);
+            assert!((s.release - t.release * 3.5).abs() < 1e-12);
+            assert!((s.window_len() - t.window_len() * 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rescale_work_scales_intensities() {
+        let ts = fixture();
+        let scaled = rescale_work(&ts, 400.0);
+        for (i, t) in ts.iter() {
+            let s = scaled.get(i);
+            assert!((s.intensity() - t.intensity() * 400.0).abs() < 1e-9);
+            assert_eq!(s.release, t.release);
+            assert_eq!(s.deadline, t.deadline);
+        }
+    }
+
+    #[test]
+    fn shift_and_normalize() {
+        let ts = fixture();
+        let shifted = shift_time(&ts, 100.0);
+        assert_eq!(shifted.earliest_release(), 102.0);
+        assert_eq!(shifted.latest_deadline(), 114.0);
+        let normalized = normalize_origin(&shifted);
+        assert_eq!(normalized.earliest_release(), 0.0);
+        // Windows and works unchanged.
+        for (i, t) in ts.iter() {
+            assert!((normalized.get(i).window_len() - t.window_len()).abs() < 1e-12);
+            assert_eq!(normalized.get(i).wcec, t.wcec);
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_with_stable_ids() {
+        let a = fixture();
+        let b = TaskSet::from_triples(&[(0.0, 5.0, 1.0)]);
+        let m = merge(&a, &b);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.get(0).wcec, 4.0);
+        assert_eq!(m.get(3).wcec, 1.0);
+        assert!((m.total_work() - a.total_work() - b.total_work()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_window_keeps_contained_tasks() {
+        let ts = fixture();
+        let f = filter_window(&ts, 3.0, 9.0).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.get(0).wcec, 2.0);
+        // Nothing inside an empty range.
+        assert!(filter_window(&ts, 100.0, 101.0).is_none());
+        // Everything inside the full horizon.
+        assert_eq!(filter_window(&ts, 0.0, 20.0).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn unit_round_trip_is_identity() {
+        let ts = fixture();
+        let back = rescale_time(&rescale_time(&ts, 7.0), 1.0 / 7.0);
+        for (i, t) in ts.iter() {
+            let b = back.get(i);
+            assert!((b.release - t.release).abs() < 1e-9);
+            assert!((b.deadline - t.deadline).abs() < 1e-9);
+            assert!((b.wcec - t.wcec).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rescale_rejects_nonpositive_factor() {
+        let _ = rescale_time(&fixture(), 0.0);
+    }
+}

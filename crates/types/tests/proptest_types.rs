@@ -1,0 +1,160 @@
+//! Property tests for the foundation types: interval algebra, task-set
+//! demand, schedule accounting, and validator soundness.
+
+use esched_types::time::{approx_eq, compensated_sum, Interval};
+use esched_types::{validate_schedule, PolynomialPower, PowerModel, Schedule, Segment, Task, TaskSet};
+use proptest::prelude::*;
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0.0_f64..100.0, 0.01_f64..50.0).prop_map(|(s, len)| Interval::new(s, s + len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn overlap_is_symmetric_and_bounded(a in arb_interval(), b in arb_interval()) {
+        let ab = a.overlap_len(&b);
+        let ba = b.overlap_len(&a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!(ab <= a.length() + 1e-12);
+        prop_assert!(ab <= b.length() + 1e-12);
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn intersection_agrees_with_overlap_len(a in arb_interval(), b in arb_interval()) {
+        match a.intersect(&b) {
+            Some(i) => prop_assert!((i.length() - a.overlap_len(&b)).abs() < 1e-9),
+            None => prop_assert!(a.overlap_len(&b) < 1e-9),
+        }
+    }
+
+    #[test]
+    fn covers_implies_overlap_equals_inner_length(a in arb_interval(), b in arb_interval()) {
+        if a.covers(&b) {
+            prop_assert!((a.overlap_len(&b) - b.length()).abs() < 1e-7 * (1.0 + b.length()));
+        }
+    }
+
+    #[test]
+    fn contains_midpoint(a in arb_interval()) {
+        prop_assert!(a.contains(a.midpoint()));
+        prop_assert!(a.contains(a.start));
+        prop_assert!(a.contains(a.end));
+    }
+
+    #[test]
+    fn demand_is_monotone_in_the_interval(
+        tasks in prop::collection::vec((0.0_f64..50.0, 0.1_f64..30.0, 0.1_f64..20.0), 1..12),
+        t1 in 0.0_f64..40.0,
+        width in 1.0_f64..60.0,
+        widen in 0.0_f64..20.0,
+    ) {
+        let ts = TaskSet::new(
+            tasks.iter().map(|&(r, len, c)| Task::of(r, r + len, c)).collect()
+        ).unwrap();
+        let t2 = t1 + width;
+        let narrow = ts.demand(t1, t2);
+        let wide = ts.demand(t1 - widen, t2 + widen);
+        prop_assert!(wide >= narrow - 1e-9, "widening decreased demand");
+        prop_assert!(narrow >= 0.0);
+        // Demand over everything equals total work.
+        let all = ts.demand(f64::NEG_INFINITY, f64::INFINITY);
+        prop_assert!((all - ts.total_work()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_points_are_sorted_and_within_horizon(
+        tasks in prop::collection::vec((0.0_f64..50.0, 0.1_f64..30.0, 0.1_f64..20.0), 1..12),
+    ) {
+        let ts = TaskSet::new(
+            tasks.iter().map(|&(r, len, c)| Task::of(r, r + len, c)).collect()
+        ).unwrap();
+        let pts = ts.event_points();
+        prop_assert!(pts.len() >= 2);
+        for w in pts.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(approx_eq(pts[0], ts.earliest_release()));
+        prop_assert!(approx_eq(*pts.last().unwrap(), ts.latest_deadline()));
+    }
+
+    #[test]
+    fn schedule_work_and_energy_accounting(
+        segs in prop::collection::vec(
+            (0_usize..4, 0_usize..3, 0.0_f64..20.0, 0.05_f64..5.0, 0.1_f64..2.0),
+            0..16,
+        ),
+    ) {
+        let mut s = Schedule::new(3);
+        for &(task, core, start, len, freq) in &segs {
+            s.push(Segment::new(task, core, start, start + len, freq));
+        }
+        // Total work = Σ per-task work.
+        let total: f64 = (0..4).map(|t| s.work_of(t)).sum();
+        let by_segment: f64 = s.segments().iter().map(|x| x.work()).sum();
+        prop_assert!((total - by_segment).abs() < 1e-9 * (1.0 + by_segment));
+        // Energy under two models is consistent with per-segment sums.
+        for p in [PolynomialPower::cubic(), PolynomialPower::paper(2.0, 0.3)] {
+            let e = s.energy(&p);
+            let by_seg: f64 = s.segments().iter().map(|x| x.energy(&p)).sum();
+            prop_assert!((e - by_seg).abs() < 1e-9 * (1.0 + by_seg));
+            prop_assert!(e >= 0.0);
+            let _ = p.power(1.0);
+        }
+        // Busy time splits across cores.
+        let busy: f64 = (0..3).map(|c| s.busy_time(c)).sum();
+        let dur: f64 = s.segments().iter().map(|x| x.duration()).sum();
+        prop_assert!((busy - dur).abs() < 1e-9 * (1.0 + dur));
+    }
+
+    #[test]
+    fn coalesce_preserves_work_and_legality_status(
+        segs in prop::collection::vec(
+            (0_usize..3, 0_usize..2, 0.0_f64..20.0, 0.05_f64..5.0),
+            0..12,
+        ),
+    ) {
+        let mut s = Schedule::new(2);
+        for &(task, core, start, len) in &segs {
+            s.push(Segment::new(task, core, start, start + len, 1.0));
+        }
+        let works_before: Vec<f64> = (0..3).map(|t| s.work_of(t)).collect();
+        let mut t = s.clone();
+        t.coalesce();
+        for (k, &w) in works_before.iter().enumerate() {
+            prop_assert!((t.work_of(k) - w).abs() < 1e-7 * (1.0 + w),
+                "task {k}: {} vs {w}", t.work_of(k));
+        }
+        prop_assert!(t.len() <= s.len());
+    }
+
+    #[test]
+    fn compensated_sum_matches_naive_on_benign_inputs(
+        xs in prop::collection::vec(-100.0_f64..100.0, 0..64),
+    ) {
+        let a = compensated_sum(xs.iter().copied());
+        let b: f64 = xs.iter().sum();
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+    }
+
+    #[test]
+    fn validator_accepts_disjoint_single_core_schedules(
+        lens in prop::collection::vec(0.1_f64..3.0, 1..8),
+    ) {
+        // Build a chain of back-to-back segments and matching tasks: must
+        // always validate.
+        let mut s = Schedule::new(1);
+        let mut tasks = Vec::new();
+        let mut t = 0.0;
+        for (i, &len) in lens.iter().enumerate() {
+            s.push(Segment::new(i, 0, t, t + len, 1.0));
+            tasks.push(Task::of(t, t + len, len));
+            t += len;
+        }
+        let ts = TaskSet::new(tasks).unwrap();
+        let report = validate_schedule(&s, &ts);
+        prop_assert!(report.is_legal(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,264 @@
+//! Random aperiodic task-set generation — Section VI's simulation design.
+//!
+//! The paper generates tasks by drawing release times uniformly on
+//! `[0, 200]`, execution requirements uniformly on `[10, 30]`, and an
+//! *intensity* per task (either from the discrete ladder
+//! `{0.1, 0.2, …, 1.0}` or a continuous range `[lo, 1.0]`), then derives
+//! the deadline as `D_i = R_i + C_i / intensity_i`. Every knob is a field
+//! of [`GeneratorConfig`]; generation is deterministic given a seed
+//! (ChaCha8), so every experiment in this workspace is reproducible
+//! bit-for-bit.
+
+use esched_types::{Task, TaskSet};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// How task intensities are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IntensityDist {
+    /// Uniform over the discrete ladder `{lo, lo+step, …, hi}` — the
+    /// paper's `{0.1, 0.2, …, 1.0}` uses `ladder(0.1, 1.0, 0.1)`.
+    Ladder {
+        /// Smallest intensity.
+        lo: f64,
+        /// Largest intensity.
+        hi: f64,
+        /// Ladder step.
+        step: f64,
+    },
+    /// Continuous uniform on `[lo, hi]` — the Fig. 9 intensity-range sweep.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl IntensityDist {
+    fn sample(&self, rng: &mut impl Rng) -> f64 {
+        match *self {
+            IntensityDist::Ladder { lo, hi, step } => {
+                let rungs = ((hi - lo) / step).round() as usize + 1;
+                let k = rng.gen_range(0..rungs);
+                (lo + k as f64 * step).min(hi)
+            }
+            IntensityDist::Uniform { lo, hi } => {
+                if (hi - lo).abs() < 1e-15 {
+                    lo
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            }
+        }
+    }
+}
+
+/// All generation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of tasks `n`.
+    pub tasks: usize,
+    /// Release times uniform on `[0, release_span]` (paper: 200).
+    pub release_span: f64,
+    /// Execution requirements uniform on `[wcec_lo, wcec_hi]`
+    /// (paper: `[10, 30]`; the XScale experiment uses `[4000, 8000]`).
+    pub wcec_lo: f64,
+    /// Upper bound of the requirement range.
+    pub wcec_hi: f64,
+    /// Intensity distribution.
+    pub intensity: IntensityDist,
+    /// Frequency scale in the deadline formula:
+    /// `D = R + C/(intensity · freq_scale)`. The analytic experiments use
+    /// 1.0; the XScale experiment uses the second frequency level
+    /// (400 MHz), per Section VI.C.
+    pub freq_scale: f64,
+}
+
+impl GeneratorConfig {
+    /// The paper's default analytic-model configuration: `n = 20`,
+    /// releases on `[0, 200]`, work on `[10, 30]`, intensity ladder
+    /// `{0.1, …, 1.0}`, `freq_scale = 1`.
+    pub fn paper_default() -> Self {
+        Self {
+            tasks: 20,
+            release_span: 200.0,
+            wcec_lo: 10.0,
+            wcec_hi: 30.0,
+            intensity: IntensityDist::Ladder {
+                lo: 0.1,
+                hi: 1.0,
+                step: 0.1,
+            },
+            freq_scale: 1.0,
+        }
+    }
+
+    /// Section VI.C's XScale configuration: work on `[4000, 8000]`
+    /// megacycles, intensity uniform `[0.1, 1.0]`, deadlines scaled by
+    /// `f₂ = 400 MHz`.
+    pub fn xscale_default() -> Self {
+        Self {
+            tasks: 20,
+            release_span: 200.0,
+            wcec_lo: 4000.0,
+            wcec_hi: 8000.0,
+            intensity: IntensityDist::Uniform { lo: 0.1, hi: 1.0 },
+            freq_scale: 400.0,
+        }
+    }
+
+    /// Builder-style: set the number of tasks.
+    pub fn with_tasks(mut self, n: usize) -> Self {
+        self.tasks = n;
+        self
+    }
+
+    /// Builder-style: set the intensity distribution.
+    pub fn with_intensity(mut self, d: IntensityDist) -> Self {
+        self.intensity = d;
+        self
+    }
+}
+
+/// Deterministic task-set generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    config: GeneratorConfig,
+    rng: ChaCha8Rng,
+}
+
+impl WorkloadGenerator {
+    /// Create a generator with `config`, seeded by `seed`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use esched_workload::{GeneratorConfig, WorkloadGenerator};
+    ///
+    /// let mut gen = WorkloadGenerator::new(GeneratorConfig::paper_default(), 2014);
+    /// let tasks = gen.generate();
+    /// assert_eq!(tasks.len(), 20);
+    /// // Same seed → same tasks.
+    /// let same = WorkloadGenerator::new(GeneratorConfig::paper_default(), 2014).generate();
+    /// assert_eq!(tasks, same);
+    /// ```
+    pub fn new(config: GeneratorConfig, seed: u64) -> Self {
+        Self {
+            config,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Draw one task set.
+    pub fn generate(&mut self) -> TaskSet {
+        let c = &self.config;
+        assert!(c.tasks > 0, "cannot generate an empty task set");
+        assert!(c.wcec_lo > 0.0 && c.wcec_hi >= c.wcec_lo);
+        let mut tasks = Vec::with_capacity(c.tasks);
+        for _ in 0..c.tasks {
+            let release = if c.release_span > 0.0 {
+                self.rng.gen_range(0.0..c.release_span)
+            } else {
+                0.0
+            };
+            let wcec = if (c.wcec_hi - c.wcec_lo).abs() < 1e-15 {
+                c.wcec_lo
+            } else {
+                self.rng.gen_range(c.wcec_lo..c.wcec_hi)
+            };
+            let intensity = c.intensity.sample(&mut self.rng);
+            debug_assert!(intensity > 0.0);
+            let deadline = release + wcec / (intensity * c.freq_scale);
+            tasks.push(Task::of(release, deadline, wcec));
+        }
+        TaskSet::new(tasks).expect("generated tasks are valid by construction")
+    }
+
+    /// Draw `count` independent task sets.
+    pub fn generate_many(&mut self, count: usize) -> Vec<TaskSet> {
+        (0..count).map(|_| self.generate()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GeneratorConfig::paper_default();
+        let a = WorkloadGenerator::new(cfg, 42).generate();
+        let b = WorkloadGenerator::new(cfg, 42).generate();
+        let c = WorkloadGenerator::new(cfg, 43).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fields_respect_configured_ranges() {
+        let cfg = GeneratorConfig::paper_default().with_tasks(200);
+        let ts = WorkloadGenerator::new(cfg, 7).generate();
+        assert_eq!(ts.len(), 200);
+        for (_, t) in ts.iter() {
+            assert!((0.0..200.0).contains(&t.release));
+            assert!((10.0..30.0).contains(&t.wcec));
+            // intensity = C/(D−R) ∈ [0.1, 1.0] on the ladder.
+            let intensity = t.intensity();
+            assert!(
+                (0.1 - 1e-9..=1.0 + 1e-9).contains(&intensity),
+                "intensity {intensity}"
+            );
+            // Ladder values land on multiples of 0.1.
+            let rung = (intensity * 10.0).round() / 10.0;
+            assert!((intensity - rung).abs() < 1e-9, "intensity {intensity}");
+        }
+    }
+
+    #[test]
+    fn uniform_intensity_range_is_respected() {
+        let cfg = GeneratorConfig::paper_default()
+            .with_intensity(IntensityDist::Uniform { lo: 0.5, hi: 1.0 })
+            .with_tasks(100);
+        let ts = WorkloadGenerator::new(cfg, 11).generate();
+        for (_, t) in ts.iter() {
+            assert!(t.intensity() >= 0.5 - 1e-9 && t.intensity() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform_range_pins_intensity() {
+        let cfg = GeneratorConfig::paper_default()
+            .with_intensity(IntensityDist::Uniform { lo: 1.0, hi: 1.0 })
+            .with_tasks(30);
+        let ts = WorkloadGenerator::new(cfg, 3).generate();
+        for (_, t) in ts.iter() {
+            assert!((t.intensity() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn xscale_config_deadline_scaling() {
+        // D = R + C/(i·400): with C ≤ 8000 and i ≥ 0.1, windows are at most
+        // 8000/(0.1·400) = 200 s long.
+        let ts = WorkloadGenerator::new(GeneratorConfig::xscale_default(), 5).generate();
+        for (_, t) in ts.iter() {
+            assert!(t.window_len() <= 200.0 + 1e-9);
+            assert!((4000.0..8000.0).contains(&t.wcec));
+        }
+    }
+
+    #[test]
+    fn generate_many_yields_distinct_sets() {
+        let mut g = WorkloadGenerator::new(GeneratorConfig::paper_default(), 1);
+        let sets = g.generate_many(5);
+        assert_eq!(sets.len(), 5);
+        assert_ne!(sets[0], sets[1]);
+    }
+}

@@ -1,0 +1,185 @@
+//! JSON import/export of task sets and experiment artifacts.
+
+use esched_types::TaskSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Save a task set as pretty-printed JSON.
+///
+/// # Errors
+/// Propagates filesystem and serialization errors as [`io::Error`].
+pub fn save_task_set(tasks: &TaskSet, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(tasks)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Load a task set from JSON.
+///
+/// # Errors
+/// Propagates filesystem errors; malformed JSON or invalid tasks map to
+/// [`io::ErrorKind::InvalidData`].
+pub fn load_task_set(path: &Path) -> io::Result<TaskSet> {
+    let json = fs::read_to_string(path)?;
+    let ts: TaskSet =
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    // Re-validate: serde bypasses TaskSet::new.
+    TaskSet::new(ts.tasks().to_vec())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Serialize any serde value to a JSON file (used by the experiment
+/// harness for results).
+///
+/// # Errors
+/// Propagates filesystem and serialization errors.
+pub fn save_json<T: serde::Serialize>(value: &T, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Render a task set as CSV (`release,deadline,wcec`, one row per task).
+pub fn task_set_to_csv(tasks: &TaskSet) -> String {
+    let mut out = String::from("release,deadline,wcec\n");
+    for t in tasks.tasks() {
+        out.push_str(&format!("{},{},{}\n", t.release, t.deadline, t.wcec));
+    }
+    out
+}
+
+/// Parse a task set from CSV text (header `release,deadline,wcec`
+/// required; blank lines ignored).
+///
+/// # Errors
+/// [`io::ErrorKind::InvalidData`] on a malformed header, unparsable
+/// numbers, or invalid tasks.
+pub fn task_set_from_csv(text: &str) -> io::Result<TaskSet> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| bad("empty CSV".into()))?;
+    if header.trim() != "release,deadline,wcec" {
+        return Err(bad(format!("unexpected header: {header:?}")));
+    }
+    let mut tasks = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 3 {
+            return Err(bad(format!("row {}: expected 3 fields", lineno + 2)));
+        }
+        let parse = |s: &str| -> io::Result<f64> {
+            s.parse::<f64>()
+                .map_err(|e| bad(format!("row {}: {e}", lineno + 2)))
+        };
+        let (r, d, c) = (parse(fields[0])?, parse(fields[1])?, parse(fields[2])?);
+        tasks.push(
+            esched_types::Task::new(r, d, c)
+                .map_err(|e| bad(format!("row {}: {e}", lineno + 2)))?,
+        );
+    }
+    TaskSet::new(tasks).map_err(|e| bad(e.to_string()))
+}
+
+/// Save a task set as CSV.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_task_set_csv(tasks: &TaskSet, path: &Path) -> io::Result<()> {
+    fs::write(path, task_set_to_csv(tasks))
+}
+
+/// Load a task set from a CSV file.
+///
+/// # Errors
+/// Propagates filesystem errors; malformed content maps to
+/// [`io::ErrorKind::InvalidData`].
+pub fn load_task_set_csv(path: &Path) -> io::Result<TaskSet> {
+    task_set_from_csv(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::intro_three_tasks;
+
+    #[test]
+    fn round_trip_through_disk() {
+        let dir = std::env::temp_dir().join("esched-io-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tasks.json");
+        let ts = intro_three_tasks();
+        save_task_set(&ts, &path).unwrap();
+        let back = load_task_set(&path).unwrap();
+        assert_eq!(ts, back);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_json_is_rejected() {
+        let dir = std::env::temp_dir().join("esched-io-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        fs::write(&path, "{not json").unwrap();
+        assert!(load_task_set(&path).is_err());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_tasks_are_rejected_on_load() {
+        let dir = std::env::temp_dir().join("esched-io-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("invalid-tasks.json");
+        // Deadline before release: parses as JSON but fails re-validation.
+        fs::write(
+            &path,
+            r#"{"tasks":[{"release":5.0,"deadline":1.0,"wcec":2.0}]}"#,
+        )
+        .unwrap();
+        assert!(load_task_set(&path).is_err());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(load_task_set(Path::new("/nonexistent/esched.json")).is_err());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let ts = intro_three_tasks();
+        let csv = task_set_to_csv(&ts);
+        assert!(csv.starts_with("release,deadline,wcec\n"));
+        let back = task_set_from_csv(&csv).unwrap();
+        assert_eq!(ts, back);
+    }
+
+    #[test]
+    fn csv_rejects_malformed_input() {
+        assert!(task_set_from_csv("").is_err());
+        assert!(task_set_from_csv("a,b,c\n1,2,3\n").is_err()); // bad header
+        assert!(task_set_from_csv("release,deadline,wcec\n1,2\n").is_err()); // short row
+        assert!(task_set_from_csv("release,deadline,wcec\n1,zz,3\n").is_err()); // NaN field
+        assert!(task_set_from_csv("release,deadline,wcec\n5,1,2\n").is_err()); // inverted window
+    }
+
+    #[test]
+    fn csv_file_round_trip() {
+        let dir = std::env::temp_dir().join("esched-io-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tasks.csv");
+        let ts = intro_three_tasks();
+        save_task_set_csv(&ts, &path).unwrap();
+        let back = load_task_set_csv(&path).unwrap();
+        assert_eq!(ts, back);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_tolerates_blank_lines_and_spaces() {
+        let csv = "release,deadline,wcec\n\n 0 , 12 , 4 \n\n2,10,2\n";
+        let ts = task_set_from_csv(csv).unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.get(0).wcec, 4.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # esched-workload
+//!
+//! Workload generation and platform configurations for the experiments:
+//!
+//! * [`generator`] — the paper's random aperiodic task generator
+//!   (uniform releases/requirements, intensity-derived deadlines),
+//!   deterministic per seed,
+//! * [`periodic`] — periodic and frame-based task systems expanded into
+//!   aperiodic job sets (the classical special cases),
+//! * [`scenarios`] — the paper's worked examples and domain-flavoured
+//!   fixed workloads,
+//! * [`xscale`] — the Intel XScale frequency/power table and its fitted
+//!   continuous model (Section VI.C),
+//! * [`io`] — JSON import/export of task sets and results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod io;
+pub mod periodic;
+pub mod scenarios;
+pub mod xscale;
+
+pub use generator::{GeneratorConfig, IntensityDist, WorkloadGenerator};
+pub use periodic::{expand_periodic, frame_based, hyperperiod, PeriodicTask};
+pub use io::{
+    load_task_set, load_task_set_csv, save_json, save_task_set, save_task_set_csv,
+    task_set_from_csv, task_set_to_csv,
+};
+pub use scenarios::{intro_three_tasks, media_server_burst, mixed_criticality, section_vd_six_tasks};
+pub use xscale::{xscale_discrete, xscale_fitted, xscale_paper_fit, XSCALE_F2, XSCALE_TABLE};

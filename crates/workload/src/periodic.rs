@@ -1,0 +1,236 @@
+//! Periodic and frame-based task adapters.
+//!
+//! The paper situates aperiodic scheduling among the classical models —
+//! frame-based and periodic task systems are special cases where every
+//! job's window is implied by a period. These adapters expand such
+//! systems into explicit aperiodic job sets over a horizon so the entire
+//! `esched` pipeline (heuristics, optimum, simulator) applies unchanged,
+//! and so the aperiodic algorithms can be sanity-checked against the
+//! well-understood periodic special case.
+
+use esched_types::{Task, TaskSet};
+use serde::{Deserialize, Serialize};
+
+/// A periodic task: a job of `wcet` work is released every `period` time
+/// units starting at `offset`, due `deadline` after its release
+/// (constrained deadline: `deadline ≤ period`; `None` means implicit
+/// deadline = period).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicTask {
+    /// Inter-arrival time.
+    pub period: f64,
+    /// Work per job.
+    pub wcet: f64,
+    /// Release of the first job.
+    pub offset: f64,
+    /// Relative deadline (`None` ⇒ the period).
+    pub deadline: Option<f64>,
+}
+
+impl PeriodicTask {
+    /// Implicit-deadline task at offset 0.
+    ///
+    /// # Panics
+    /// If parameters are non-positive or non-finite.
+    pub fn new(period: f64, wcet: f64) -> Self {
+        assert!(period > 0.0 && period.is_finite());
+        assert!(wcet > 0.0 && wcet.is_finite());
+        Self {
+            period,
+            wcet,
+            offset: 0.0,
+            deadline: None,
+        }
+    }
+
+    /// Builder: set the offset.
+    pub fn with_offset(mut self, offset: f64) -> Self {
+        assert!(offset >= 0.0 && offset.is_finite());
+        self.offset = offset;
+        self
+    }
+
+    /// Builder: set a constrained relative deadline.
+    ///
+    /// # Panics
+    /// If `d` is not in `(0, period]`.
+    pub fn with_deadline(mut self, d: f64) -> Self {
+        assert!(d > 0.0 && d <= self.period);
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Utilization `wcet / period`.
+    pub fn utilization(&self) -> f64 {
+        self.wcet / self.period
+    }
+}
+
+/// The hyperperiod (LCM of periods) of a periodic system whose periods
+/// are close to integer multiples of `resolution` — `None` when a period
+/// is not representable at that resolution (e.g. irrational ratios).
+pub fn hyperperiod(tasks: &[PeriodicTask], resolution: f64) -> Option<f64> {
+    assert!(resolution > 0.0);
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    let mut lcm: u64 = 1;
+    for t in tasks {
+        let scaled = t.period / resolution;
+        let rounded = scaled.round();
+        if (scaled - rounded).abs() > 1e-6 * scaled.max(1.0) || rounded <= 0.0 {
+            return None;
+        }
+        let p = rounded as u64;
+        lcm = lcm / gcd(lcm, p) * p;
+        if lcm > u64::MAX / 2 {
+            return None; // overflow guard; hyperperiod is impractical anyway
+        }
+    }
+    Some(lcm as f64 * resolution)
+}
+
+/// Expand a periodic system into the aperiodic jobs released in
+/// `[0, horizon)`. Jobs whose *deadline* falls beyond the horizon are
+/// excluded, so the expansion is schedulable iff the original system is
+/// over that span.
+///
+/// # Panics
+/// If the expansion is empty (horizon too short) — schedule something.
+pub fn expand_periodic(tasks: &[PeriodicTask], horizon: f64) -> TaskSet {
+    assert!(horizon > 0.0);
+    let mut jobs = Vec::new();
+    for t in tasks {
+        let rel_deadline = t.deadline.unwrap_or(t.period);
+        let mut release = t.offset;
+        while release < horizon {
+            let deadline = release + rel_deadline;
+            if deadline <= horizon + 1e-12 {
+                jobs.push(Task::of(release, deadline, t.wcet));
+            }
+            release += t.period;
+        }
+    }
+    TaskSet::new(jobs).expect("horizon too short: no complete jobs")
+}
+
+/// A frame-based system: all `works` share synchronized frames of length
+/// `frame`, repeated `frames` times — every job in frame `k` has window
+/// `[k·frame, (k+1)·frame]`.
+pub fn frame_based(works: &[f64], frame: f64, frames: usize) -> TaskSet {
+    assert!(frame > 0.0 && frames > 0 && !works.is_empty());
+    let mut jobs = Vec::with_capacity(works.len() * frames);
+    for k in 0..frames {
+        let start = k as f64 * frame;
+        for &w in works {
+            jobs.push(Task::of(start, start + frame, w));
+        }
+    }
+    TaskSet::new(jobs).expect("validated inputs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyperperiod_of_integer_periods() {
+        let ts = [
+            PeriodicTask::new(4.0, 1.0),
+            PeriodicTask::new(6.0, 1.0),
+            PeriodicTask::new(10.0, 1.0),
+        ];
+        assert_eq!(hyperperiod(&ts, 1.0), Some(60.0));
+    }
+
+    #[test]
+    fn hyperperiod_with_fractional_resolution() {
+        let ts = [PeriodicTask::new(0.5, 0.1), PeriodicTask::new(0.75, 0.1)];
+        assert_eq!(hyperperiod(&ts, 0.25), Some(1.5));
+    }
+
+    #[test]
+    fn hyperperiod_rejects_unrepresentable_periods() {
+        let ts = [PeriodicTask::new(std::f64::consts::PI, 1.0)];
+        assert_eq!(hyperperiod(&ts, 1.0), None);
+    }
+
+    #[test]
+    fn expansion_counts_and_windows() {
+        let ts = [
+            PeriodicTask::new(4.0, 1.0),
+            PeriodicTask::new(6.0, 2.0).with_offset(1.0),
+        ];
+        let jobs = expand_periodic(&ts, 12.0);
+        // Task 0: releases 0,4,8 → deadlines 4,8,12 (all fit): 3 jobs.
+        // Task 1: releases 1,7 → deadlines 7,13; 13 > 12 excluded: 1 job.
+        assert_eq!(jobs.len(), 4);
+        let windows: Vec<(f64, f64)> = jobs
+            .tasks()
+            .iter()
+            .map(|t| (t.release, t.deadline))
+            .collect();
+        assert!(windows.contains(&(0.0, 4.0)));
+        assert!(windows.contains(&(8.0, 12.0)));
+        assert!(windows.contains(&(1.0, 7.0)));
+    }
+
+    #[test]
+    fn constrained_deadlines_shrink_windows() {
+        let ts = [PeriodicTask::new(10.0, 2.0).with_deadline(5.0)];
+        let jobs = expand_periodic(&ts, 20.0);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs.get(0).deadline, 5.0);
+        assert_eq!(jobs.get(1).release, 10.0);
+        assert_eq!(jobs.get(1).deadline, 15.0);
+    }
+
+    #[test]
+    fn frame_based_structure() {
+        let jobs = frame_based(&[1.0, 2.0, 3.0], 5.0, 2);
+        assert_eq!(jobs.len(), 6);
+        // All frame-0 jobs share the window [0,5].
+        for i in 0..3 {
+            assert_eq!(jobs.get(i).release, 0.0);
+            assert_eq!(jobs.get(i).deadline, 5.0);
+        }
+        for i in 3..6 {
+            assert_eq!(jobs.get(i).release, 5.0);
+        }
+    }
+
+    #[test]
+    fn periodic_expansion_schedules_cleanly() {
+        use esched_types::validate_schedule;
+        // A 3-task implicit-deadline system at utilization 1.3 on 2 cores.
+        let ts = [
+            PeriodicTask::new(4.0, 2.0),
+            PeriodicTask::new(6.0, 3.0),
+            PeriodicTask::new(12.0, 3.6),
+        ];
+        let jobs = expand_periodic(&ts, 12.0);
+        // We can't depend on esched-core here (circular); just check the
+        // expansion is well-formed and feasibility holds at f = 1 via the
+        // opt crate's flow test.
+        use esched_opt::feasible_at_frequency;
+        use esched_subinterval::Timeline;
+        let tl = Timeline::build(&jobs);
+        assert!(feasible_at_frequency(&jobs, &tl, 2, 1.0));
+        // And any legal schedule of the expansion respects the periodic
+        // windows by construction of the tasks (checked by the validator
+        // elsewhere; here we at least validate an empty-schedule failure
+        // path exercises the right task count).
+        let empty = esched_types::Schedule::new(2);
+        let report = validate_schedule(&empty, &jobs);
+        assert_eq!(report.violations.len(), jobs.len()); // all underserved
+    }
+
+    #[test]
+    fn utilization_accessor() {
+        assert!((PeriodicTask::new(4.0, 1.0).utilization() - 0.25).abs() < 1e-12);
+    }
+}

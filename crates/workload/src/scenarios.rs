@@ -1,0 +1,99 @@
+//! Named task-set scenarios: the paper's worked examples plus a few
+//! domain-flavoured workloads used by the runnable examples.
+
+use esched_types::TaskSet;
+
+/// Fig. 1(a) / Section I.B — the three-task YDS introductory example:
+/// `R = (0, 2, 4)`, `D = (12, 10, 8)`, `C = (4, 2, 4)`.
+pub fn intro_three_tasks() -> TaskSet {
+    TaskSet::from_triples(&[(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)])
+}
+
+/// Section V.D — the six-task quad-core worked example
+/// (`τ_i = (R, C, D)`: (0,8,10), (2,14,18), (4,8,16), (6,4,14), (8,10,20),
+/// (12,6,22)).
+pub fn section_vd_six_tasks() -> TaskSet {
+    TaskSet::from_triples(&[
+        (0.0, 10.0, 8.0),
+        (2.0, 18.0, 14.0),
+        (4.0, 16.0, 8.0),
+        (6.0, 14.0, 4.0),
+        (8.0, 20.0, 10.0),
+        (12.0, 22.0, 6.0),
+    ])
+}
+
+/// A bursty "media server" workload: three waves of decode jobs arriving
+/// close together, each wave tighter than the last. Exercises heavily
+/// overlapped subintervals at several points of the horizon.
+pub fn media_server_burst() -> TaskSet {
+    TaskSet::from_triples(&[
+        // Wave 1 (t ≈ 0): relaxed deadlines.
+        (0.0, 40.0, 12.0),
+        (1.0, 42.0, 10.0),
+        (2.0, 38.0, 14.0),
+        (3.0, 44.0, 8.0),
+        // Wave 2 (t ≈ 20): moderate.
+        (20.0, 45.0, 10.0),
+        (21.0, 48.0, 12.0),
+        (22.0, 50.0, 9.0),
+        (23.0, 46.0, 11.0),
+        (24.0, 52.0, 7.0),
+        // Wave 3 (t ≈ 40): tight burst.
+        (40.0, 52.0, 8.0),
+        (41.0, 53.0, 9.0),
+        (42.0, 54.0, 8.0),
+        (43.0, 55.0, 7.0),
+    ])
+}
+
+/// A "periodic-ish maintenance" workload: long-horizon background jobs
+/// plus short urgent jobs sprinkled through. Exercises the DER rule's
+/// preference for dense tasks.
+pub fn mixed_criticality() -> TaskSet {
+    TaskSet::from_triples(&[
+        // Background sweepers: huge windows, low intensity.
+        (0.0, 100.0, 15.0),
+        (0.0, 100.0, 18.0),
+        (0.0, 100.0, 12.0),
+        // Urgent jobs: intensity near 1.
+        (10.0, 16.0, 5.5),
+        (30.0, 37.0, 6.5),
+        (50.0, 55.0, 4.5),
+        (70.0, 78.0, 7.0),
+        // Medium jobs.
+        (15.0, 45.0, 12.0),
+        (40.0, 80.0, 16.0),
+        (60.0, 95.0, 14.0),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intro_matches_fig1a() {
+        let ts = intro_three_tasks();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.get(2).release, 4.0);
+        assert_eq!(ts.get(2).deadline, 8.0);
+        assert_eq!(ts.get(2).wcec, 4.0);
+    }
+
+    #[test]
+    fn vd_has_eleven_subintervals() {
+        let ts = section_vd_six_tasks();
+        assert_eq!(ts.event_points().len(), 12);
+    }
+
+    #[test]
+    fn scenario_sets_are_valid_and_nontrivial() {
+        for ts in [media_server_burst(), mixed_criticality()] {
+            assert!(ts.len() >= 10);
+            assert!(ts.total_work() > 0.0);
+            // Some overlap exists (peak intensity meaningful).
+            assert!(ts.peak_intensity() > 0.0);
+        }
+    }
+}

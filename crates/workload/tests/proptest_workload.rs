@@ -1,0 +1,101 @@
+//! Property tests for workload generation and the periodic adapters.
+
+use esched_workload::{
+    expand_periodic, frame_based, hyperperiod, GeneratorConfig, IntensityDist, PeriodicTask,
+    WorkloadGenerator,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_sets_respect_every_knob(
+        tasks in 1_usize..40,
+        span in 1.0_f64..500.0,
+        wc_lo in 0.5_f64..50.0,
+        wc_span in 0.0_f64..100.0,
+        int_lo in 0.05_f64..0.9,
+        seed in 0_u64..1000,
+    ) {
+        let cfg = GeneratorConfig {
+            tasks,
+            release_span: span,
+            wcec_lo: wc_lo,
+            wcec_hi: wc_lo + wc_span,
+            intensity: IntensityDist::Uniform { lo: int_lo, hi: 1.0 },
+            freq_scale: 1.0,
+        };
+        let ts = WorkloadGenerator::new(cfg, seed).generate();
+        prop_assert_eq!(ts.len(), tasks);
+        for (_, t) in ts.iter() {
+            prop_assert!(t.release >= 0.0 && t.release <= span);
+            prop_assert!(t.wcec >= wc_lo - 1e-9 && t.wcec <= wc_lo + wc_span + 1e-9);
+            let i = t.intensity();
+            prop_assert!(i >= int_lo - 1e-9 && i <= 1.0 + 1e-9, "intensity {i}");
+        }
+    }
+
+    #[test]
+    fn generation_is_pure_in_the_seed(
+        seed in 0_u64..500,
+        tasks in 1_usize..20,
+    ) {
+        let cfg = GeneratorConfig::paper_default().with_tasks(tasks);
+        let a = WorkloadGenerator::new(cfg, seed).generate();
+        let b = WorkloadGenerator::new(cfg, seed).generate();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn periodic_expansion_invariants(
+        period in 1_usize..12,
+        wcet_frac in 0.05_f64..0.95,
+        reps in 1_usize..6,
+    ) {
+        let period = period as f64;
+        let task = PeriodicTask::new(period, period * wcet_frac);
+        let horizon = period * reps as f64;
+        let jobs = expand_periodic(&[task], horizon);
+        // Exactly `reps` complete jobs fit.
+        prop_assert_eq!(jobs.len(), reps);
+        for (k, t) in jobs.iter() {
+            prop_assert!((t.release - k as f64 * period).abs() < 1e-9);
+            prop_assert!((t.deadline - (k as f64 + 1.0) * period).abs() < 1e-9);
+            prop_assert!((t.intensity() - wcet_frac).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hyperperiod_is_a_common_multiple(
+        p1 in 1_u32..20,
+        p2 in 1_u32..20,
+        p3 in 1_u32..20,
+    ) {
+        let tasks = [
+            PeriodicTask::new(p1 as f64, 0.1),
+            PeriodicTask::new(p2 as f64, 0.1),
+            PeriodicTask::new(p3 as f64, 0.1),
+        ];
+        let h = hyperperiod(&tasks, 1.0).unwrap();
+        for p in [p1, p2, p3] {
+            let k = h / p as f64;
+            prop_assert!((k - k.round()).abs() < 1e-9, "{h} not a multiple of {p}");
+        }
+        // Minimality: h/2, h/3, h/5, h/7 each fail for at least one period
+        // unless they are themselves common multiples — skip strict
+        // minimality (LCM is well-tested at unit level) and just bound it.
+        prop_assert!(h <= (p1 as f64) * (p2 as f64) * (p3 as f64) + 1e-9);
+    }
+
+    #[test]
+    fn frame_based_total_work_scales(
+        works in prop::collection::vec(0.1_f64..5.0, 1..6),
+        frames in 1_usize..5,
+    ) {
+        let jobs = frame_based(&works, 10.0, frames);
+        let per_frame: f64 = works.iter().sum();
+        prop_assert!((jobs.total_work() - per_frame * frames as f64).abs() < 1e-9);
+        prop_assert_eq!(jobs.len(), works.len() * frames);
+    }
+}

@@ -1,0 +1,68 @@
+//! Domain scenario: a media server handling bursty decode jobs.
+//!
+//! Three waves of jobs arrive over the horizon; the third is tight.
+//! The example shows how the DER-based allocator shares heavily
+//! contended bursts, how much energy that saves over the even split, and
+//! how many cores the Section VI.D sweep would actually power on.
+//!
+//! ```text
+//! cargo run --example media_server
+//! ```
+
+use esched::core::{select_core_count, Method};
+use esched::prelude::*;
+use esched::sim::ascii_gantt;
+use esched::workload::media_server_burst;
+
+fn main() {
+    let tasks = media_server_burst();
+    let power = PolynomialPower::paper(3.0, 0.1);
+    let cores = 4;
+
+    println!(
+        "media server burst: {} jobs, total work {:.1}, horizon [{:.0}, {:.0}]",
+        tasks.len(),
+        tasks.total_work(),
+        tasks.horizon().start,
+        tasks.horizon().end
+    );
+
+    let timeline = Timeline::build(&tasks);
+    let heavy = timeline.heavy_indices(cores);
+    println!(
+        "{} subintervals, {} heavily overlapped on {cores} cores",
+        timeline.len(),
+        heavy.len()
+    );
+
+    let even = even_schedule(&tasks, cores, &power);
+    let der = der_schedule(&tasks, cores, &power);
+    let opt = optimal_energy(&tasks, cores, &power, &SolveOptions::default());
+    println!("energy: even = {:.3}, DER = {:.3}, optimal = {:.3}", even.final_energy, der.final_energy, opt.energy);
+    println!(
+        "DER saves {:.1}% over even allocation; gap to optimal {:.1}%",
+        100.0 * (even.final_energy - der.final_energy) / even.final_energy,
+        100.0 * (der.final_energy - opt.energy) / opt.energy
+    );
+
+    validate_schedule(&der.schedule, &tasks).assert_legal();
+    let sim = simulate(&der.schedule, &tasks, &power);
+    assert!(sim.is_clean());
+    println!(
+        "utilization = {:.2}, activations per core = {:?}",
+        sim.utilization(),
+        sim.activations
+    );
+
+    // How many cores should we even use? (Section VI.D)
+    let choice = select_core_count(&tasks, 8, &power, Method::Der);
+    println!("core-count sweep (DER):");
+    for (m, e) in &choice.sweep {
+        let marker = if *m == choice.best { "  <-- chosen" } else { "" };
+        println!("  m = {m}: {e:.3}{marker}");
+    }
+
+    println!("\nDER schedule on {cores} cores:");
+    let horizon = tasks.horizon();
+    print!("{}", ascii_gantt(&der.schedule, horizon.start, horizon.end, 72));
+}

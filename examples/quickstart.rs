@@ -1,0 +1,70 @@
+//! Quickstart: schedule a handful of aperiodic tasks on a multi-core
+//! processor and compare the heuristics against the optimum.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use esched::prelude::*;
+use esched::sim::ascii_gantt;
+
+fn main() {
+    // Six aperiodic tasks (release, deadline, work) — the paper's
+    // Section V.D worked example.
+    let tasks = TaskSet::from_triples(&[
+        (0.0, 10.0, 8.0),
+        (2.0, 18.0, 14.0),
+        (4.0, 16.0, 8.0),
+        (6.0, 14.0, 4.0),
+        (8.0, 20.0, 10.0),
+        (12.0, 22.0, 6.0),
+    ]);
+    // A quad-core processor with power p(f) = f³ per core.
+    let cores = 4;
+    let power = PolynomialPower::cubic();
+
+    // The paper's headline heuristic: DER-based allocation + final
+    // frequency refinement.
+    let der = der_schedule(&tasks, cores, &power);
+    println!("DER-based schedule (S^F2): energy = {:.4}", der.final_energy);
+    println!("{}", ascii_gantt(&der.schedule, 0.0, 22.0, 66));
+
+    // The simpler evenly allocating method.
+    let even = even_schedule(&tasks, cores, &power);
+    println!("Even-allocation schedule (S^F1): energy = {:.4}", even.final_energy);
+
+    // The convex-programming optimum (Theorem 1) as the yardstick.
+    let opt = optimal_energy(&tasks, cores, &power, &SolveOptions::default());
+    println!("Optimal energy (E^OPT):          energy = {:.4}", opt.energy);
+    println!(
+        "NEC: F2 = {:.4}, F1 = {:.4}",
+        der.final_energy / opt.energy,
+        even.final_energy / opt.energy
+    );
+
+    // Both schedules are legal…
+    validate_schedule(&der.schedule, &tasks).assert_legal();
+    validate_schedule(&even.schedule, &tasks).assert_legal();
+
+    // …and the discrete-event simulator agrees with the analytic energy.
+    let sim = simulate(&der.schedule, &tasks, &power);
+    assert!(sim.is_clean());
+    println!(
+        "simulator cross-check: energy = {:.4} ({} segments, {} migrations)",
+        sim.energy,
+        der.schedule.len(),
+        der.schedule.migrations()
+    );
+
+    // Export an SVG Gantt chart for a closer look.
+    let svg_path = std::env::temp_dir().join("esched-quickstart.svg");
+    esched::sim::save_svg(
+        &der.schedule,
+        0.0,
+        22.0,
+        &esched::sim::SvgOptions::default(),
+        &svg_path,
+    )
+    .expect("write SVG");
+    println!("SVG Gantt chart written to {}", svg_path.display());
+}

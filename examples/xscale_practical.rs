@@ -1,0 +1,64 @@
+//! Domain scenario: running on a real processor's power table
+//! (Intel XScale, Section VI.C).
+//!
+//! Fits the continuous model to the measured table, schedules a random
+//! workload under the fitted model, quantizes the result to the
+//! processor's five frequency levels, and reports energy and deadline
+//! misses for both quantization policies.
+//!
+//! ```text
+//! cargo run --example xscale_practical
+//! ```
+
+use esched::core::{quantize_schedule, QuantizePolicy};
+use esched::opt::fit_power_curve;
+use esched::prelude::*;
+use esched::types::PowerModel;
+use esched::workload::{xscale_discrete, XSCALE_TABLE};
+
+fn main() {
+    // 1. The measured table.
+    let table = xscale_discrete();
+    println!("Intel XScale operating points (MHz, mW):");
+    for l in table.levels() {
+        println!("  {:>6.0} MHz  {:>6.0} mW  ({:.3} mJ/Mcycle)", l.freq, l.power, l.power / l.freq);
+    }
+
+    // 2. Fit p(f) = γ·f^α + p0 ourselves (the paper reports
+    //    3.855e-6·f^2.867 + 63.58).
+    let fit = fit_power_curve(table.levels(), (2.0, 3.5));
+    println!(
+        "\nfitted: p(f) = {:.3e}·f^{:.3} + {:.2}  (rss = {:.1})",
+        fit.gamma, fit.alpha, fit.p0, fit.rss
+    );
+    let power = fit.into_model();
+    for (f, p) in XSCALE_TABLE {
+        println!("  {f:>6.0} MHz: measured {p:>6.0}, fitted {:>7.1}", power.power(f));
+    }
+
+    // 3. A random workload in the paper's XScale configuration.
+    let mut gen = WorkloadGenerator::new(GeneratorConfig::xscale_default(), 2014);
+    let tasks = gen.generate();
+    println!("\nworkload: {} tasks, work in megacycles", tasks.len());
+
+    // 4. Continuous schedule under the fitted model, then quantization.
+    let der = der_schedule(&tasks, 4, &power);
+    validate_schedule(&der.schedule, &tasks).assert_legal();
+    println!("continuous S^F2 energy: {:.1} (mW·s)", der.final_energy);
+
+    for policy in [QuantizePolicy::NextUp, QuantizePolicy::BestEfficiency] {
+        let q = quantize_schedule(&der.schedule, &table, policy);
+        println!(
+            "quantized ({policy:?}): energy = {:.1}, misses = {:?}",
+            q.energy, q.misses
+        );
+    }
+
+    // 5. Compare against the continuous optimum.
+    let opt = optimal_energy(&tasks, 4, &power, &SolveOptions::default());
+    let q = quantize_schedule(&der.schedule, &table, QuantizePolicy::NextUp);
+    println!(
+        "\nNEC of quantized S^F2 vs continuous optimum: {:.4}",
+        q.energy / opt.energy
+    );
+}

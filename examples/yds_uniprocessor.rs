@@ -1,0 +1,47 @@
+//! The YDS optimal uniprocessor schedule on the paper's introductory
+//! example (Fig. 1-2), cross-checked against the convex program.
+//!
+//! ```text
+//! cargo run --example yds_uniprocessor
+//! ```
+
+use esched::core::yds_schedule;
+use esched::prelude::*;
+use esched::sim::{ascii_gantt, task_summary};
+use esched::workload::intro_three_tasks;
+
+fn main() {
+    let tasks = intro_three_tasks();
+    let power = PolynomialPower::cubic();
+
+    let yds = yds_schedule(&tasks, &power);
+    println!(
+        "YDS: {} rounds, per-task speeds = {:?}",
+        yds.rounds,
+        yds.speed
+            .iter()
+            .map(|f| (f * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    println!("{}", ascii_gantt(&yds.schedule, 0.0, 12.0, 60));
+    println!("{}", task_summary(&yds.schedule));
+    println!("YDS energy: {:.4}", yds.energy);
+
+    validate_schedule(&yds.schedule, &tasks).assert_legal();
+
+    // YDS is provably optimal for p(f) = f^α on one core; the convex
+    // program with m = 1 must agree.
+    let opt = optimal_energy(&tasks, 1, &power, &SolveOptions::precise());
+    println!("convex-program optimum (m = 1): {:.4}", opt.energy);
+    assert!((yds.energy - opt.energy).abs() < 1e-3 * opt.energy);
+
+    // On two cores the optimum is cheaper — parallel slack lowers
+    // frequencies (the paper's Section II motivation).
+    let power2 = PolynomialPower::paper(3.0, 0.01);
+    let opt2 = optimal_energy(&tasks, 2, &power2, &SolveOptions::precise());
+    println!(
+        "two-core optimum with p(f) = f³ + 0.01: {:.4} (paper: {:.4})",
+        opt2.energy,
+        155.0 / 32.0 + 0.2
+    );
+}

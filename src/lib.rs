@@ -1,0 +1,69 @@
+//! # esched
+//!
+//! Energy-aware DVFS scheduling for aperiodic tasks on multi-core
+//! processors — a from-scratch Rust implementation of Li & Wu,
+//! *"Energy-Aware Scheduling for Aperiodic Tasks on Multi-core
+//! Processors"* (ICPP 2014).
+//!
+//! This umbrella crate re-exports the workspace's public API so examples
+//! and downstream users can depend on a single crate:
+//!
+//! * [`types`] — tasks, power models, schedules, legality checking,
+//! * [`subinterval`] — timeline decomposition and overlap analysis,
+//! * [`opt`] — convex solvers for the optimal baseline `E^OPT`,
+//! * [`core`] — the paper's scheduling algorithms (ideal case, even and
+//!   DER-based allocation, YDS, discrete-frequency mode),
+//! * [`sim`] — a discrete-event multicore simulator for executing and
+//!   cross-checking schedules,
+//! * [`workload`] — task-set generators and the Intel XScale processor
+//!   configuration.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use esched::prelude::*;
+//!
+//! // Three tasks (release, deadline, work) on a 2-core processor with
+//! // p(f) = f³ + 0.01 — the paper's Section II example.
+//! let tasks = TaskSet::from_triples(&[
+//!     (0.0, 12.0, 4.0),
+//!     (2.0, 10.0, 2.0),
+//!     (4.0, 8.0, 4.0),
+//! ]);
+//! let power = PolynomialPower::paper(3.0, 0.01);
+//!
+//! // Run the paper's headline heuristic (DER-based allocation, final
+//! // frequency refinement) and check the schedule is legal.
+//! let out = der_schedule(&tasks, 2, &power);
+//! validate_schedule(&out.schedule, &tasks).assert_legal();
+//!
+//! // Compare against the convex-programming optimum.
+//! let opt = optimal_energy(&tasks, 2, &power, &SolveOptions::default());
+//! assert!(out.final_energy >= opt.energy - 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use esched_core as core;
+pub use esched_opt as opt;
+pub use esched_sim as sim;
+pub use esched_subinterval as subinterval;
+pub use esched_types as types;
+pub use esched_workload as workload;
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use esched_core::{
+        der_schedule, even_schedule, ideal_schedule, optimal_energy, yds_schedule,
+        DiscreteOutcome, HeuristicOutcome, IdealSolution, OptimalSolution,
+    };
+    pub use esched_opt::{SolveOptions, SolveResult};
+    pub use esched_sim::{simulate, SimReport};
+    pub use esched_subinterval::Timeline;
+    pub use esched_types::{
+        validate_schedule, DiscretePower, PolynomialPower, PowerModel, Schedule, Segment, Task,
+        TaskSet,
+    };
+    pub use esched_workload::{GeneratorConfig, WorkloadGenerator};
+}

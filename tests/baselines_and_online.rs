@@ -1,0 +1,137 @@
+//! Integration tests for the baseline schedulers and the online
+//! dispatchers, across random instances.
+
+use esched::core::{der_schedule, optimal_energy, partitioned_yds, uniform_frequency};
+use esched::opt::SolveOptions;
+use esched::sim::{dispatch, simulate, DispatchPolicy};
+use esched::subinterval::Timeline;
+use esched::types::{validate_schedule, PolynomialPower, TaskSet};
+use esched::workload::{GeneratorConfig, WorkloadGenerator};
+
+fn random_sets(n_sets: usize, tasks: usize, seed: u64) -> Vec<TaskSet> {
+    WorkloadGenerator::new(GeneratorConfig::paper_default().with_tasks(tasks), seed)
+        .generate_many(n_sets)
+}
+
+#[test]
+fn partitioned_yds_legal_and_bounded_by_optimum() {
+    let power = PolynomialPower::cubic();
+    for (k, tasks) in random_sets(5, 12, 808).into_iter().enumerate() {
+        let out = partitioned_yds(&tasks, 4, &power);
+        validate_schedule(&out.schedule, &tasks).assert_legal();
+        let sim = simulate(&out.schedule, &tasks, &power);
+        assert!(sim.is_clean(), "set {k}: {:?}", sim.conflicts);
+        let opt = optimal_energy(&tasks, 4, &power, &SolveOptions::fast());
+        assert!(
+            opt.energy <= out.energy * (1.0 + 1e-4),
+            "set {k}: optimum {} above partitioned {}",
+            opt.energy,
+            out.energy
+        );
+        // Simulated energy equals the analytic sum of per-core YDS runs.
+        assert!(
+            (sim.energy - out.energy).abs() < 1e-6 * (1.0 + out.energy),
+            "set {k}: sim {} vs analytic {}",
+            sim.energy,
+            out.energy
+        );
+    }
+}
+
+#[test]
+fn uniform_frequency_legal_and_dominated() {
+    let power = PolynomialPower::paper(3.0, 0.05);
+    for (k, tasks) in random_sets(5, 10, 909).into_iter().enumerate() {
+        let uni = uniform_frequency(&tasks, 4, &power);
+        validate_schedule(&uni.schedule, &tasks).assert_legal();
+        let der = der_schedule(&tasks, 4, &power);
+        assert!(
+            der.final_energy <= uni.energy * (1.0 + 1e-6),
+            "set {k}: der {} above uniform {}",
+            der.final_energy,
+            uni.energy
+        );
+    }
+}
+
+#[test]
+fn online_dispatch_never_overruns_windows_or_cores() {
+    // Even when greedy dispatch misses deadlines, the schedule it emits
+    // must be physically sane: no core overlap, no self-overlap, no
+    // execution outside windows.
+    let power = PolynomialPower::paper(3.0, 0.1);
+    for tasks in random_sets(6, 14, 606) {
+        let der = der_schedule(&tasks, 4, &power);
+        let epochs = Timeline::build(&tasks).boundaries().to_vec();
+        for policy in [DispatchPolicy::Edf, DispatchPolicy::Llf] {
+            let out = dispatch(&tasks, 4, &der.assignment.freq, policy, &epochs);
+            let report = validate_schedule(&out.schedule, &tasks);
+            for v in &report.violations {
+                assert!(
+                    matches!(v, esched::types::Violation::Underserved { .. }),
+                    "{policy:?}: physical violation {v:?}"
+                );
+            }
+            // Underserved tasks are exactly the reported misses.
+            let underserved: Vec<usize> = report
+                .violations
+                .iter()
+                .filter_map(|v| match v {
+                    esched::types::Violation::Underserved { task, .. } => Some(*task),
+                    _ => None,
+                })
+                .collect();
+            for t in &underserved {
+                assert!(
+                    out.misses.contains(t),
+                    "{policy:?}: task {t} underserved but not reported missed"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn online_dispatch_with_generous_frequencies_always_succeeds() {
+    // Give every task its full-window stretch frequency times two: the
+    // slack is enormous and both policies must meet every deadline.
+    let power = PolynomialPower::cubic();
+    for tasks in random_sets(4, 8, 1001) {
+        let freqs: Vec<f64> = tasks
+            .tasks()
+            .iter()
+            .map(|t| 2.0 * t.intensity().max(0.05))
+            .collect();
+        for policy in [DispatchPolicy::Edf, DispatchPolicy::Llf] {
+            let out = dispatch(&tasks, 4, &freqs, policy, &[]);
+            assert!(
+                out.misses.is_empty(),
+                "{policy:?} missed with 2x frequencies: {:?}",
+                out.misses
+            );
+            validate_schedule(&out.schedule, &tasks).assert_legal();
+        }
+        let _ = power.p0;
+    }
+}
+
+#[test]
+fn baseline_ordering_holds_on_average() {
+    // Over a handful of instances: optimal ≤ der ≤ partitioned-YDS and
+    // optimal ≤ der ≤ uniform (averages — individual instances may flip
+    // the baselines among themselves).
+    let power = PolynomialPower::cubic();
+    let sets = random_sets(6, 12, 2020);
+    let mut sum_der = 0.0;
+    let mut sum_part = 0.0;
+    let mut sum_uni = 0.0;
+    for tasks in &sets {
+        let opt = optimal_energy(tasks, 4, &power, &SolveOptions::fast()).energy;
+        sum_der += der_schedule(tasks, 4, &power).final_energy / opt;
+        sum_part += partitioned_yds(tasks, 4, &power).energy / opt;
+        sum_uni += uniform_frequency(tasks, 4, &power).energy / opt;
+    }
+    assert!(sum_der <= sum_part, "der {sum_der} vs partitioned {sum_part}");
+    assert!(sum_der <= sum_uni, "der {sum_der} vs uniform {sum_uni}");
+    assert!(sum_der / sets.len() as f64 >= 0.999);
+}

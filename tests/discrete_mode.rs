@@ -1,0 +1,107 @@
+//! Integration tests for the practical discrete-frequency mode
+//! (Section VI.C) across the whole pipeline: generator → continuous
+//! schedule under the fitted XScale model → quantization → energy and
+//! deadline-miss accounting.
+
+use esched::core::{
+    der_schedule, even_schedule, optimal_energy, quantize_schedule, QuantizePolicy,
+};
+use esched::opt::SolveOptions;
+use esched::types::{validate_schedule, PowerModel, TaskSet};
+use esched::workload::{
+    xscale_discrete, xscale_fitted, xscale_paper_fit, GeneratorConfig, WorkloadGenerator,
+};
+
+fn xscale_sets(n_sets: usize, seed: u64) -> Vec<TaskSet> {
+    WorkloadGenerator::new(GeneratorConfig::xscale_default(), seed).generate_many(n_sets)
+}
+
+#[test]
+fn quantization_energy_is_finite_and_ordered() {
+    let power = xscale_paper_fit();
+    let table = xscale_discrete();
+    for tasks in xscale_sets(4, 42) {
+        let der = der_schedule(&tasks, 4, &power);
+        validate_schedule(&der.schedule, &tasks).assert_legal();
+        let nu = quantize_schedule(&der.schedule, &table, QuantizePolicy::NextUp);
+        let be = quantize_schedule(&der.schedule, &table, QuantizePolicy::BestEfficiency);
+        assert!(nu.energy.is_finite() && nu.energy > 0.0);
+        // Best-efficiency never loses to next-up.
+        assert!(be.energy <= nu.energy * (1.0 + 1e-12));
+        // Quantizing up wastes some energy vs the continuous schedule…
+        let cont = der.schedule.energy(&power);
+        assert!(nu.energy >= cont * 0.8, "nu {} vs continuous {cont}", nu.energy);
+    }
+}
+
+#[test]
+fn quantized_f2_stays_near_continuous_optimum() {
+    let power = xscale_paper_fit();
+    let table = xscale_discrete();
+    for tasks in xscale_sets(4, 77) {
+        let opt = optimal_energy(&tasks, 4, &power, &SolveOptions::fast());
+        let der = der_schedule(&tasks, 4, &power);
+        let q = quantize_schedule(&der.schedule, &table, QuantizePolicy::NextUp);
+        let nec = q.energy / opt.energy;
+        assert!(
+            nec < 1.6,
+            "quantized F2 NEC {nec} too far from continuous optimum"
+        );
+        assert!(q.feasible, "F2 missed deadlines: {:?}", q.misses);
+    }
+}
+
+#[test]
+fn intermediate_schedules_miss_more_than_finals() {
+    // Over several instances, count misses: I1 ≥ F1 and I2 ≥ F2 in
+    // aggregate (the squeezed intermediate frequencies are the risky
+    // ones).
+    let power = xscale_paper_fit();
+    let table = xscale_discrete();
+    let mut misses = [0usize; 4]; // i1, f1, i2, f2
+    for tasks in xscale_sets(20, 1234) {
+        let even = even_schedule(&tasks, 4, &power);
+        let der = der_schedule(&tasks, 4, &power);
+        let q = |s: &esched::types::Schedule| {
+            !quantize_schedule(s, &table, QuantizePolicy::NextUp).feasible as usize
+        };
+        misses[0] += q(&even.intermediate_schedule);
+        misses[1] += q(&even.schedule);
+        misses[2] += q(&der.intermediate_schedule);
+        misses[3] += q(&der.schedule);
+    }
+    assert!(misses[0] >= misses[1], "I1 {} vs F1 {}", misses[0], misses[1]);
+    assert!(misses[2] >= misses[3], "I2 {} vs F2 {}", misses[2], misses[3]);
+    assert_eq!(misses[3], 0, "F2 should never miss on this distribution");
+}
+
+#[test]
+fn our_fit_and_paper_fit_agree_on_schedules() {
+    // Scheduling under our own fitted model vs the paper's reported fit
+    // should produce energies within a few percent (both are fits of the
+    // same five points).
+    let ours = xscale_fitted();
+    let paper = xscale_paper_fit();
+    for tasks in xscale_sets(3, 5) {
+        let a = der_schedule(&tasks, 4, &ours).final_energy;
+        let b = der_schedule(&tasks, 4, &paper).final_energy;
+        assert!(
+            (a - b).abs() / b < 0.20,
+            "fit disagreement: ours {a} vs paper {b}"
+        );
+    }
+}
+
+#[test]
+fn critical_frequency_matches_energy_per_work_minimum_on_fitted_model() {
+    let m = xscale_paper_fit();
+    let fc = m.critical_frequency();
+    // Scan a grid: no frequency beats f_crit on energy-per-work.
+    let best = m.energy_per_work(fc);
+    for k in 1..=100 {
+        let f = 10.0 * k as f64;
+        assert!(m.energy_per_work(f) >= best - 1e-9, "f = {f}");
+    }
+    // And it lies strictly inside the XScale range.
+    assert!(fc > 150.0 && fc < 1000.0, "f_crit = {fc}");
+}

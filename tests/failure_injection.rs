@@ -1,0 +1,210 @@
+//! Failure injection: take a known-good schedule, corrupt it in every way
+//! the legality model distinguishes, and verify that both the static
+//! validator and the dynamic simulator flag exactly the injected fault.
+
+use esched::core::der_schedule;
+use esched::sim::simulate;
+use esched::types::{
+    validate_schedule, PolynomialPower, Schedule, Segment, TaskSet, Violation,
+};
+use esched::workload::section_vd_six_tasks;
+
+fn good() -> (Schedule, TaskSet, PolynomialPower) {
+    let tasks = section_vd_six_tasks();
+    let p = PolynomialPower::cubic();
+    let out = der_schedule(&tasks, 4, &p);
+    (out.schedule, tasks, p)
+}
+
+/// Rebuild a schedule applying `f` to each segment (returning None drops
+/// the segment).
+fn map_segments(s: &Schedule, f: impl Fn(usize, &Segment) -> Option<Segment>) -> Schedule {
+    let mut out = Schedule::new(s.cores);
+    for (k, seg) in s.segments().iter().enumerate() {
+        if let Some(n) = f(k, seg) {
+            out.push(n);
+        }
+    }
+    out
+}
+
+#[test]
+fn baseline_is_clean() {
+    let (s, tasks, p) = good();
+    validate_schedule(&s, &tasks).assert_legal();
+    assert!(simulate(&s, &tasks, &p).is_clean());
+}
+
+#[test]
+fn dropping_a_segment_is_underserved_and_missed() {
+    let (s, tasks, p) = good();
+    // Drop the longest segment so the work loss is far above tolerance.
+    let victim = s
+        .segments()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.duration().partial_cmp(&b.1.duration()).unwrap())
+        .map(|(k, _)| k)
+        .unwrap();
+    let victim_task = s.segments()[victim].task;
+    let broken = map_segments(&s, |k, seg| (k != victim).then_some(*seg));
+    let report = validate_schedule(&broken, &tasks);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Underserved { task, .. } if *task == victim_task)));
+    let sim = simulate(&broken, &tasks, &p);
+    assert!(sim.deadline_misses.contains(&victim_task));
+}
+
+#[test]
+fn shifting_a_segment_outside_the_window_is_flagged() {
+    let (s, tasks, _) = good();
+    // Move some segment of task 5 (window [12, 22]) to start before 12.
+    let victim = s
+        .segments()
+        .iter()
+        .position(|seg| seg.task == 5)
+        .expect("task 5 has segments");
+    let broken = map_segments(&s, |k, seg| {
+        if k == victim {
+            Some(Segment::new(
+                seg.task,
+                seg.core,
+                seg.interval.start - 6.0,
+                seg.interval.end - 6.0,
+                seg.freq,
+            ))
+        } else {
+            Some(*seg)
+        }
+    });
+    let report = validate_schedule(&broken, &tasks);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::OutsideWindow { task: 5, .. })));
+}
+
+#[test]
+fn duplicating_a_segment_on_another_core_is_self_overlap() {
+    let (s, tasks, p) = good();
+    let seg0 = s.segments()[0];
+    let other_core = (seg0.core + 1) % s.cores;
+    let mut broken = s.clone();
+    broken.push(Segment::new(
+        seg0.task,
+        other_core,
+        seg0.interval.start,
+        seg0.interval.end,
+        seg0.freq,
+    ));
+    let report = validate_schedule(&broken, &tasks);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SelfOverlap { task, .. } if *task == seg0.task))
+            || report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::CoreOverlap { .. })),
+        "{:?}",
+        report.violations
+    );
+    let _ = p;
+}
+
+#[test]
+fn slowing_a_segment_underserves() {
+    let (s, tasks, p) = good();
+    // Halve the frequency of task 0's first segment: work drops.
+    let victim = s.segments().iter().position(|seg| seg.task == 0).unwrap();
+    let broken = map_segments(&s, |k, seg| {
+        if k == victim {
+            Some(Segment::new(
+                seg.task,
+                seg.core,
+                seg.interval.start,
+                seg.interval.end,
+                seg.freq * 0.5,
+            ))
+        } else {
+            Some(*seg)
+        }
+    });
+    let report = validate_schedule(&broken, &tasks);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Underserved { task: 0, .. })));
+    let sim = simulate(&broken, &tasks, &p);
+    assert!(sim.deadline_misses.contains(&0));
+}
+
+#[test]
+fn moving_to_a_nonexistent_core_is_flagged() {
+    let (s, tasks, _) = good();
+    let broken = map_segments(&s, |k, seg| {
+        if k == 0 {
+            Some(Segment::new(
+                seg.task,
+                99,
+                seg.interval.start,
+                seg.interval.end,
+                seg.freq,
+            ))
+        } else {
+            Some(*seg)
+        }
+    });
+    let report = validate_schedule(&broken, &tasks);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::BadCore { core: 99, .. })));
+}
+
+#[test]
+fn piling_everything_on_core_zero_creates_conflicts() {
+    let (s, tasks, p) = good();
+    let broken = map_segments(&s, |_, seg| {
+        Some(Segment::new(
+            seg.task,
+            0,
+            seg.interval.start,
+            seg.interval.end,
+            seg.freq,
+        ))
+    });
+    let report = validate_schedule(&broken, &tasks);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::CoreOverlap { core: 0, .. })));
+    let sim = simulate(&broken, &tasks, &p);
+    assert!(!sim.conflicts.is_empty());
+}
+
+#[test]
+fn energy_of_corrupted_schedule_still_integrates() {
+    // The simulator must keep producing finite, consistent numbers on
+    // garbage input — diagnostics depend on it.
+    let (s, tasks, p) = good();
+    let broken = map_segments(&s, |k, seg| {
+        if k % 2 == 0 {
+            Some(Segment::new(
+                seg.task,
+                0,
+                seg.interval.start,
+                seg.interval.end,
+                seg.freq,
+            ))
+        } else {
+            None
+        }
+    });
+    let sim = simulate(&broken, &tasks, &p);
+    assert!(sim.energy.is_finite() && sim.energy >= 0.0);
+    assert!(sim.energy <= s.energy(&p) + 1e-9);
+}

@@ -1,0 +1,112 @@
+//! Golden tests: every concrete number the paper's text reports,
+//! reproduced end-to-end through the public API.
+
+use esched::core::{
+    der_schedule, even_schedule, ideal_schedule, optimal_energy, yds_schedule,
+};
+use esched::opt::SolveOptions;
+use esched::subinterval::Timeline;
+use esched::types::PolynomialPower;
+use esched::workload::{intro_three_tasks, section_vd_six_tasks, xscale_fitted, xscale_paper_fit};
+
+/// Section I.B: YDS picks [4,8] at f=1, then [0,8] at f=0.75.
+#[test]
+fn yds_intro_speeds() {
+    let yds = yds_schedule(&intro_three_tasks(), &PolynomialPower::cubic());
+    assert!((yds.speed[2] - 1.0).abs() < 1e-9);
+    assert!((yds.speed[0] - 0.75).abs() < 1e-9);
+    assert!((yds.speed[1] - 0.75).abs() < 1e-9);
+}
+
+/// Section II: two cores, p(f) = f³ + 0.01 — optimal x = (8/3, 4/3, 4),
+/// y = (8, 4), dynamic energy 155/32.
+#[test]
+fn section_ii_two_core_optimum() {
+    let opt = optimal_energy(
+        &intro_three_tasks(),
+        2,
+        &PolynomialPower::paper(3.0, 0.01),
+        &SolveOptions::precise(),
+    );
+    assert!((opt.energy - (155.0 / 32.0 + 0.2)).abs() < 1e-5);
+    assert!((opt.total_times[0] - 32.0 / 3.0).abs() < 1e-3);
+    assert!((opt.total_times[1] - 16.0 / 3.0).abs() < 1e-3);
+    assert!((opt.total_times[2] - 4.0).abs() < 1e-3);
+}
+
+/// Section V.D: ideal frequencies 4/5, 7/8, 2/3, 1/2, 5/6, 3/5.
+#[test]
+fn vd_ideal_frequencies() {
+    let sol = ideal_schedule(&section_vd_six_tasks(), &PolynomialPower::cubic());
+    let expect = [0.8, 0.875, 2.0 / 3.0, 0.5, 5.0 / 6.0, 0.6];
+    for (i, &e) in expect.iter().enumerate() {
+        assert!((sol.freq[i] - e).abs() < 1e-12, "task {i}");
+    }
+}
+
+/// Section V.D: heavy subintervals are exactly [8,10] and [12,14] on a
+/// quad-core.
+#[test]
+fn vd_heavy_subintervals() {
+    let tl = Timeline::build(&section_vd_six_tasks());
+    let heavy = tl.heavy_indices(4);
+    let spans: Vec<(f64, f64)> = heavy
+        .iter()
+        .map(|&j| (tl.get(j).interval.start, tl.get(j).interval.end))
+        .collect();
+    assert_eq!(spans, vec![(8.0, 10.0), (12.0, 14.0)]);
+}
+
+/// Section V.D final energies: E^F1 = 33.0642, E^F2 = 31.8362.
+#[test]
+fn vd_final_energies() {
+    let tasks = section_vd_six_tasks();
+    let p = PolynomialPower::cubic();
+    let even = even_schedule(&tasks, 4, &p);
+    let der = der_schedule(&tasks, 4, &p);
+    assert!((even.final_energy - 33.0642).abs() < 5e-4, "{}", even.final_energy);
+    assert!((der.final_energy - 31.8362).abs() < 5e-4, "{}", der.final_energy);
+}
+
+/// Section V.D: the even method's final frequency denominators
+/// (8 + 8/5, 12 + 16/5, 8 + 16/5, 4 + 16/5, 8 + 16/5, 8 + 8/5).
+#[test]
+fn vd_even_final_frequencies() {
+    let tasks = section_vd_six_tasks();
+    let even = even_schedule(&tasks, 4, &PolynomialPower::cubic());
+    let expect = [
+        8.0 / (8.0 + 1.6),
+        14.0 / (12.0 + 3.2),
+        8.0 / (8.0 + 3.2),
+        4.0 / (4.0 + 3.2),
+        10.0 / (8.0 + 3.2),
+        6.0 / (8.0 + 1.6),
+    ];
+    for (i, &e) in expect.iter().enumerate() {
+        assert!((even.assignment.freq[i] - e).abs() < 1e-9, "task {i}");
+    }
+}
+
+/// Section VI.C: our least-squares fit of the XScale table lands near the
+/// paper's γ = 3.855e-6, α = 2.867, p₀ = 63.58.
+#[test]
+fn xscale_fit_neighbourhood() {
+    let ours = xscale_fitted();
+    let paper = xscale_paper_fit();
+    assert!((ours.alpha - paper.alpha).abs() < 0.4);
+    use esched::types::PowerModel;
+    // Both predict the measured top-level power within 15%.
+    assert!((ours.power(1000.0) - 1600.0).abs() / 1600.0 < 0.15);
+    assert!((paper.power(1000.0) - 1600.0).abs() / 1600.0 < 0.15);
+}
+
+/// Fig. 3's lesson: with p(f) = f² + 0.25, using 4 of 5 available time
+/// units (f = 0.5) beats the full stretch (f = 0.4) — energies 2.00 vs
+/// 2.05.
+#[test]
+fn fig3_partial_time_usage() {
+    let p = PolynomialPower::paper(2.0, 0.25);
+    assert!((p.optimal_energy(2.0, 5.0) - 2.0).abs() < 1e-12);
+    use esched::types::PowerModel;
+    assert!((p.energy_for_work(2.0, 0.4) - 2.05).abs() < 1e-12);
+}

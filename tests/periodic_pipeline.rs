@@ -1,0 +1,93 @@
+//! The classical special cases through the aperiodic pipeline: periodic
+//! and frame-based systems expanded into jobs, scheduled, validated, and
+//! sanity-checked against known structure.
+
+use esched::core::{der_schedule, even_schedule, optimal_energy, yds_schedule};
+use esched::opt::SolveOptions;
+use esched::sim::simulate;
+use esched::subinterval::Timeline;
+use esched::types::{validate_schedule, PolynomialPower};
+use esched::workload::{expand_periodic, frame_based, hyperperiod, PeriodicTask};
+
+#[test]
+fn implicit_deadline_system_schedules_over_its_hyperperiod() {
+    let system = [
+        PeriodicTask::new(4.0, 1.0),
+        PeriodicTask::new(6.0, 2.0),
+        PeriodicTask::new(12.0, 4.0),
+    ];
+    let h = hyperperiod(&system, 1.0).unwrap();
+    assert_eq!(h, 12.0);
+    let jobs = expand_periodic(&system, h);
+    // 3 + 2 + 1 jobs.
+    assert_eq!(jobs.len(), 6);
+    let p = PolynomialPower::paper(3.0, 0.05);
+    for cores in [1usize, 2] {
+        let out = der_schedule(&jobs, cores, &p);
+        validate_schedule(&out.schedule, &jobs).assert_legal();
+        assert!(simulate(&out.schedule, &jobs, &p).is_clean());
+    }
+}
+
+#[test]
+fn frame_based_is_one_heavy_subinterval_per_frame() {
+    // k jobs per frame on fewer cores: every frame is a heavy subinterval
+    // and nothing else exists.
+    let jobs = frame_based(&[1.0, 1.5, 2.0, 0.5, 1.0], 4.0, 3);
+    let tl = Timeline::build(&jobs);
+    assert_eq!(tl.len(), 3);
+    assert_eq!(tl.heavy_indices(2), vec![0, 1, 2]);
+    // All five jobs of a frame overlap exactly their frame.
+    for sub in tl.subintervals() {
+        assert_eq!(sub.overlap_count(), 5);
+    }
+}
+
+#[test]
+fn frame_based_even_equals_der_under_symmetric_work() {
+    // Identical works in every frame: DER weights are equal, so the two
+    // allocation rules coincide.
+    let jobs = frame_based(&[2.0, 2.0, 2.0], 4.0, 2);
+    let p = PolynomialPower::cubic();
+    let even = even_schedule(&jobs, 2, &p);
+    let der = der_schedule(&jobs, 2, &p);
+    assert!(
+        (even.final_energy - der.final_energy).abs() < 1e-9,
+        "even {} vs der {}",
+        even.final_energy,
+        der.final_energy
+    );
+}
+
+#[test]
+fn single_periodic_task_on_one_core_matches_yds() {
+    // One implicit-deadline periodic task: each job runs at its intensity;
+    // YDS and DER agree with the closed form C/T per job.
+    let system = [PeriodicTask::new(5.0, 2.0)];
+    let jobs = expand_periodic(&system, 15.0);
+    let p = PolynomialPower::cubic();
+    let yds = yds_schedule(&jobs, &p);
+    let der = der_schedule(&jobs, 1, &p);
+    let expect = 3.0 * p_energy(2.0, 0.4); // 3 jobs at f = 0.4
+    assert!((yds.energy - expect).abs() < 1e-9, "yds {}", yds.energy);
+    assert!((der.final_energy - expect).abs() < 1e-9, "der {}", der.final_energy);
+
+    fn p_energy(work: f64, f: f64) -> f64 {
+        f.powi(3) * work / f
+    }
+}
+
+#[test]
+fn periodic_optimum_is_periodic_per_job() {
+    // With p0 = 0 and one job class, the optimum gives every job the same
+    // total time (symmetry), hence the same frequency.
+    let system = [PeriodicTask::new(4.0, 1.5), PeriodicTask::new(4.0, 1.5)];
+    let jobs = expand_periodic(&system, 8.0); // 4 identical-shape jobs
+    let p = PolynomialPower::cubic();
+    let sol = optimal_energy(&jobs, 2, &p, &SolveOptions::precise());
+    let f0 = sol.freq[0];
+    for (i, &f) in sol.freq.iter().enumerate() {
+        assert!((f - f0).abs() < 1e-4, "job {i}: {f} vs {f0}");
+    }
+    validate_schedule(&sol.schedule, &jobs).assert_legal();
+}

@@ -1,0 +1,134 @@
+//! End-to-end pipeline tests: generator → timeline → heuristics/optimum →
+//! validation → simulation, across random instances and power models.
+
+use esched::core::{
+    der_schedule, even_schedule, ideal_schedule, optimal_energy, yds_schedule,
+};
+use esched::opt::SolveOptions;
+use esched::sim::simulate;
+use esched::types::{validate_schedule, PolynomialPower, TaskSet};
+use esched::workload::{GeneratorConfig, WorkloadGenerator};
+
+fn random_sets(n_sets: usize, tasks: usize, seed: u64) -> Vec<TaskSet> {
+    WorkloadGenerator::new(GeneratorConfig::paper_default().with_tasks(tasks), seed)
+        .generate_many(n_sets)
+}
+
+#[test]
+fn heuristic_schedules_are_legal_and_simulate_cleanly() {
+    let powers = [
+        PolynomialPower::cubic(),
+        PolynomialPower::paper(2.0, 0.0),
+        PolynomialPower::paper(3.0, 0.2),
+        PolynomialPower::paper(2.5, 0.05),
+    ];
+    for (k, tasks) in random_sets(6, 12, 100).into_iter().enumerate() {
+        let power = powers[k % powers.len()];
+        for cores in [2usize, 4] {
+            for out in [
+                even_schedule(&tasks, cores, &power),
+                der_schedule(&tasks, cores, &power),
+            ] {
+                validate_schedule(&out.schedule, &tasks).assert_legal();
+                validate_schedule(&out.intermediate_schedule, &tasks).assert_legal();
+                let sim = simulate(&out.schedule, &tasks, &power);
+                assert!(sim.is_clean(), "set {k} cores {cores}: {:?}", sim.conflicts);
+                // Simulated energy equals analytic final energy.
+                assert!(
+                    (sim.energy - out.final_energy).abs()
+                        < 1e-6 * (1.0 + out.final_energy),
+                    "set {k}: sim {} vs analytic {}",
+                    sim.energy,
+                    out.final_energy
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn optimal_schedules_are_legal_and_beat_heuristics() {
+    for (k, tasks) in random_sets(4, 10, 777).into_iter().enumerate() {
+        let power = PolynomialPower::paper(3.0, 0.1);
+        let cores = 4;
+        let opt = optimal_energy(&tasks, cores, &power, &SolveOptions::fast());
+        validate_schedule(&opt.schedule, &tasks).assert_legal();
+        let der = der_schedule(&tasks, cores, &power);
+        let even = even_schedule(&tasks, cores, &power);
+        assert!(
+            opt.energy <= der.final_energy * (1.0 + 1e-4),
+            "set {k}: opt {} > der {}",
+            opt.energy,
+            der.final_energy
+        );
+        assert!(
+            opt.energy <= even.final_energy * (1.0 + 1e-4),
+            "set {k}: opt {} > even {}",
+            opt.energy,
+            even.final_energy
+        );
+    }
+}
+
+#[test]
+fn ideal_lower_bounds_optimum_when_static_power_is_zero() {
+    for tasks in random_sets(4, 10, 4242) {
+        let power = PolynomialPower::cubic();
+        let ideal = ideal_schedule(&tasks, &power);
+        let opt = optimal_energy(&tasks, 4, &power, &SolveOptions::fast());
+        assert!(
+            ideal.energy <= opt.energy * (1.0 + 1e-6),
+            "ideal {} > opt {}",
+            ideal.energy,
+            opt.energy
+        );
+    }
+}
+
+#[test]
+fn yds_schedules_random_instances_legally() {
+    for tasks in random_sets(6, 8, 31415) {
+        let power = PolynomialPower::cubic();
+        let yds = yds_schedule(&tasks, &power);
+        validate_schedule(&yds.schedule, &tasks).assert_legal();
+        let sim = simulate(&yds.schedule, &tasks, &power);
+        assert!(sim.is_clean());
+        // YDS is optimal on a uniprocessor with zero static power.
+        let opt = optimal_energy(&tasks, 1, &power, &SolveOptions::default());
+        assert!(
+            (yds.energy - opt.energy).abs() < 5e-3 * (1.0 + opt.energy),
+            "yds {} vs opt {}",
+            yds.energy,
+            opt.energy
+        );
+    }
+}
+
+#[test]
+fn final_never_worse_than_intermediate_across_random_instances() {
+    for tasks in random_sets(8, 15, 2718) {
+        for p0 in [0.0, 0.1, 0.3] {
+            let power = PolynomialPower::paper(3.0, p0);
+            let even = even_schedule(&tasks, 4, &power);
+            let der = der_schedule(&tasks, 4, &power);
+            assert!(even.final_energy <= even.intermediate_energy * (1.0 + 1e-9));
+            assert!(der.final_energy <= der.intermediate_energy * (1.0 + 1e-9));
+        }
+    }
+}
+
+#[test]
+fn more_cores_never_hurt_the_optimum() {
+    let tasks = random_sets(1, 14, 555).pop().unwrap();
+    let power = PolynomialPower::paper(3.0, 0.05);
+    let mut last = f64::INFINITY;
+    for m in [1usize, 2, 4, 8] {
+        let opt = optimal_energy(&tasks, m, &power, &SolveOptions::fast());
+        assert!(
+            opt.energy <= last * (1.0 + 1e-4),
+            "m={m}: {} > {last}",
+            opt.energy
+        );
+        last = opt.energy;
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration tests for the tooling surface: quality analysis, task-set
+//! transforms, SVG export, traced simulation, and two-level quantization —
+//! all through the umbrella public API.
+
+use esched::core::{analyze, best_discrete_split, der_schedule, two_level_split};
+use esched::sim::{log_to_csv, render_svg, simulate_traced, SvgOptions};
+use esched::types::{
+    normalize_origin, rescale_time, rescale_work, validate_schedule, PolynomialPower,
+};
+use esched::workload::{section_vd_six_tasks, xscale_discrete, GeneratorConfig, WorkloadGenerator};
+
+#[test]
+fn quality_report_round_trips_through_the_public_api() {
+    let tasks = section_vd_six_tasks();
+    let p = PolynomialPower::paper(3.0, 0.1);
+    let out = der_schedule(&tasks, 4, &p);
+    let q = analyze(&out.schedule, &tasks, &p);
+    assert_eq!(q.tasks.len(), 6);
+    assert!((q.energy - out.schedule.energy(&p)).abs() < 1e-7 * (1.0 + q.energy));
+    assert!(q.utilization > 0.0 && q.utilization <= 1.0 + 1e-9);
+    let text = q.render();
+    assert!(text.contains("total: E ="));
+}
+
+#[test]
+fn scaling_a_task_set_scales_schedule_energy_predictably() {
+    // rescale_time by k: frequencies unchanged, durations ×k → energy ×k.
+    let tasks = section_vd_six_tasks();
+    let p = PolynomialPower::cubic();
+    let base = der_schedule(&tasks, 4, &p).final_energy;
+    let scaled = rescale_time(&tasks, 2.0);
+    let e2 = der_schedule(&scaled, 4, &p).final_energy;
+    assert!((e2 - 2.0 * base).abs() < 1e-6 * (1.0 + base), "{e2} vs {}", 2.0 * base);
+
+    // rescale_work by k with p = f^3: frequencies ×k, energy ×k³.
+    let scaled_w = rescale_work(&tasks, 2.0);
+    let e3 = der_schedule(&scaled_w, 4, &p).final_energy;
+    assert!(
+        (e3 - 8.0 * base).abs() < 1e-6 * (1.0 + 8.0 * base),
+        "{e3} vs {}",
+        8.0 * base
+    );
+}
+
+#[test]
+fn normalized_sets_schedule_identically() {
+    let mut gen = WorkloadGenerator::new(GeneratorConfig::paper_default().with_tasks(10), 55);
+    let tasks = gen.generate();
+    let p = PolynomialPower::paper(3.0, 0.1);
+    let base = der_schedule(&tasks, 4, &p).final_energy;
+    let norm = normalize_origin(&tasks);
+    let e = der_schedule(&norm, 4, &p).final_energy;
+    assert!((e - base).abs() < 1e-9 * (1.0 + base));
+}
+
+#[test]
+fn svg_export_of_a_real_schedule() {
+    let tasks = section_vd_six_tasks();
+    let p = PolynomialPower::cubic();
+    let out = der_schedule(&tasks, 4, &p);
+    let svg = render_svg(&out.schedule, 0.0, 22.0, &SvgOptions::default());
+    assert!(svg.starts_with("<svg"));
+    // One rect per segment + 4 row backgrounds + 1 canvas.
+    assert_eq!(
+        svg.matches("<rect").count(),
+        out.schedule.len() + 4 + 1,
+        "unexpected rect count"
+    );
+}
+
+#[test]
+fn traced_simulation_logs_complete_lifecycles() {
+    let tasks = section_vd_six_tasks();
+    let p = PolynomialPower::cubic();
+    let out = der_schedule(&tasks, 4, &p);
+    let (report, log) = simulate_traced(&out.schedule, &tasks, &p);
+    assert!(report.is_clean());
+    // Every task has exactly one release and one deadline event and at
+    // least one start.
+    for i in 0..6 {
+        let releases = log.iter().filter(|e| e.kind == "release" && e.task == i).count();
+        let deadlines = log.iter().filter(|e| e.kind == "deadline" && e.task == i).count();
+        let starts = log.iter().filter(|e| e.kind == "start" && e.task == i).count();
+        assert_eq!(releases, 1, "task {i}");
+        assert_eq!(deadlines, 1, "task {i}");
+        assert!(starts >= 1, "task {i}");
+    }
+    // Starts and ends balance.
+    let starts = log.iter().filter(|e| e.kind == "start").count();
+    let ends = log.iter().filter(|e| e.kind == "end").count();
+    assert_eq!(starts, ends);
+    let csv = log_to_csv(&log);
+    assert_eq!(csv.lines().count(), log.len() + 1);
+}
+
+#[test]
+fn best_discrete_execution_beats_next_up_on_the_f2_assignment() {
+    // On the XScale table, the per-task optimal discrete execution
+    // (best single level vs. bracketing two-level mix — see the caveat on
+    // `two_level_split`) never costs more than naive next-level-up
+    // rounding.
+    let mut gen = WorkloadGenerator::new(GeneratorConfig::xscale_default(), 9);
+    let tasks = gen.generate();
+    let power = esched::workload::xscale_paper_fit();
+    let table = xscale_discrete();
+    let out = der_schedule(&tasks, 4, &power);
+    validate_schedule(&out.schedule, &tasks).assert_legal();
+    let works: Vec<f64> = tasks.tasks().iter().map(|t| t.wcec).collect();
+
+    let mut best_total = 0.0;
+    for (i, &c) in works.iter().enumerate() {
+        let avail = c / out.assignment.freq[i];
+        let best = best_discrete_split(&table, c, avail).expect("feasible");
+        best_total += best.energy;
+        // The raw two-level split conserves work exactly.
+        let split = two_level_split(&table, c, avail).unwrap();
+        let w = split.low.freq * split.t_low + split.high.freq * split.t_high;
+        assert!((w - c).abs() < 1e-6 * (1.0 + c), "task {i}");
+        // best is the min of the two strategies.
+        assert!(best.energy <= split.energy * (1.0 + 1e-12));
+    }
+    let nu = esched::core::quantize_schedule(
+        &out.schedule,
+        &table,
+        esched::core::QuantizePolicy::NextUp,
+    );
+    assert!(
+        best_total <= nu.energy * (1.0 + 1e-9),
+        "best discrete {} vs next-up {}",
+        best_total,
+        nu.energy
+    );
+}
