@@ -17,9 +17,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(der_schedule(&tasks, 4, &power).final_energy))
         });
         g.bench_with_input(BenchmarkId::new("optimal", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(optimal_energy(&tasks, 4, &power, &SolveOptions::fast()).energy)
-            })
+            b.iter(|| black_box(optimal_energy(&tasks, 4, &power, &SolveOptions::fast()).energy))
         });
     }
     g.finish();

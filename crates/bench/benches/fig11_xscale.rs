@@ -21,7 +21,13 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(even_schedule(&tasks, 4, &power).final_energy))
     });
     g.bench_function("quantize_next_up", |b| {
-        b.iter(|| black_box(quantize_schedule(&der.schedule, &table, QuantizePolicy::NextUp)))
+        b.iter(|| {
+            black_box(quantize_schedule(
+                &der.schedule,
+                &table,
+                QuantizePolicy::NextUp,
+            ))
+        })
     });
     g.bench_function("quantize_best_efficiency", |b| {
         b.iter(|| {

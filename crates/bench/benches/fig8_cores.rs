@@ -17,9 +17,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(der_schedule(&tasks, m, &power).final_energy))
         });
         g.bench_with_input(BenchmarkId::new("optimal", m), &m, |b, &m| {
-            b.iter(|| {
-                black_box(optimal_energy(&tasks, m, &power, &SolveOptions::fast()).energy)
-            })
+            b.iter(|| black_box(optimal_energy(&tasks, m, &power, &SolveOptions::fast()).energy))
         });
     }
     g.finish();

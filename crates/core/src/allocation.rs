@@ -17,13 +17,23 @@
 //! [`crate::refine`].
 
 use crate::ideal::IdealSolution;
+use esched_obs::{event, span, Level};
 use esched_subinterval::Timeline;
 use esched_types::time::EPS;
 use esched_types::{TaskId, TaskSet};
-use serde::{Deserialize, Serialize};
+
+/// Number of heavy subintervals (`n_j > m`) — used for span fields only,
+/// so it is computed lazily inside the `span!` guard.
+fn heavy_count(timeline: &Timeline, cores: usize) -> usize {
+    timeline
+        .subintervals()
+        .iter()
+        .filter(|s| s.is_heavy(cores))
+        .count()
+}
 
 /// Available execution time per (task, subinterval) pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AvailMatrix {
     /// Row `i` holds task `i`'s available times, aligned with
     /// `timeline.span(i)`.
@@ -109,6 +119,13 @@ fn allocate_light(timeline: &Timeline, cores: usize, avail: &mut AvailMatrix) {
 /// The evenly allocating method (Section V.B): heavy subintervals divide
 /// core time equally, `a_{i,j} = m·Δ_j / n_j`.
 pub fn allocate_even(tasks: &TaskSet, timeline: &Timeline, cores: usize) -> AvailMatrix {
+    let _span = span!(
+        Level::Debug,
+        "allocate_even",
+        n_tasks = tasks.len(),
+        n_subintervals = timeline.len(),
+        n_heavy = heavy_count(timeline, cores),
+    );
     let mut avail = AvailMatrix::zeros(timeline, tasks.len());
     allocate_light(timeline, cores, &mut avail);
     for sub in timeline.subintervals() {
@@ -141,8 +158,17 @@ pub fn allocate_der(
     cores: usize,
     ideal: &IdealSolution,
 ) -> AvailMatrix {
+    let _span = span!(
+        Level::Debug,
+        "allocate_der",
+        n_tasks = tasks.len(),
+        n_subintervals = timeline.len(),
+        n_heavy = heavy_count(timeline, cores),
+    );
     let mut avail = AvailMatrix::zeros(timeline, tasks.len());
     allocate_light(timeline, cores, &mut avail);
+    // Shares capped at Δ_j, i.e. surplus-redistribution steps of Alg. 2.
+    let mut redistributions = 0usize;
     for sub in timeline.subintervals() {
         if !sub.is_heavy(cores) {
             continue;
@@ -172,11 +198,19 @@ pub fn allocate_der(
             }
             let share = c * pool / ctot;
             let alloc = share.min(delta);
+            if share > delta {
+                redistributions += 1;
+            }
             avail.set(i, sub.index, alloc);
             pool -= alloc;
             ctot -= c;
         }
     }
+    event!(
+        Level::Debug,
+        "der allocation done",
+        redistributions = redistributions,
+    );
     avail
 }
 
@@ -367,7 +401,11 @@ mod tests {
             allocate_der(&ts, &tl, 4, &ideal),
         ] {
             for sub in tl.subintervals() {
-                let total: f64 = sub.overlapping.iter().map(|&i| avail.get(i, sub.index)).sum();
+                let total: f64 = sub
+                    .overlapping
+                    .iter()
+                    .map(|&i| avail.get(i, sub.index))
+                    .sum();
                 let cap = if sub.is_heavy(4) {
                     4.0 * sub.delta()
                 } else {
@@ -465,7 +503,10 @@ mod tests {
         );
         // In the uncapped interval [8,10] the two rules agree.
         for i in 0..5 {
-            assert!((with.get(i, 4) - without.get(i, 4)).abs() < 1e-9, "task {i}");
+            assert!(
+                (with.get(i, 4) - without.get(i, 4)).abs() < 1e-9,
+                "task {i}"
+            );
         }
     }
 

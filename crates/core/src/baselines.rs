@@ -21,10 +21,9 @@ use crate::yds::yds_schedule;
 use esched_subinterval::{min_feasible_frequency, Timeline};
 use esched_types::time::EPS;
 use esched_types::{PolynomialPower, Schedule, Segment, TaskId, TaskSet};
-use serde::{Deserialize, Serialize};
 
 /// Outcome of a baseline scheduler.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BaselineOutcome {
     /// Total energy.
     pub energy: f64,
@@ -40,11 +39,7 @@ pub struct BaselineOutcome {
 ///
 /// Worst-fit (least-loaded core first) balances the per-core intensity
 /// sums, which is what matters for YDS energy on each core.
-pub fn partitioned_yds(
-    tasks: &TaskSet,
-    cores: usize,
-    power: &PolynomialPower,
-) -> BaselineOutcome {
+pub fn partitioned_yds(tasks: &TaskSet, cores: usize, power: &PolynomialPower) -> BaselineOutcome {
     assert!(cores > 0);
     // Sort tasks by intensity descending.
     let mut order: Vec<TaskId> = (0..tasks.len()).collect();
@@ -72,7 +67,9 @@ pub fn partitioned_yds(
     let mut schedule = Schedule::new(cores);
     let mut energy = 0.0;
     for core in 0..cores {
-        let ids: Vec<TaskId> = (0..tasks.len()).filter(|&i| assignment[i] == core).collect();
+        let ids: Vec<TaskId> = (0..tasks.len())
+            .filter(|&i| assignment[i] == core)
+            .collect();
         if ids.is_empty() {
             continue;
         }
@@ -139,8 +136,14 @@ pub fn uniform_frequency(
                 });
             }
         }
-        pack_subinterval(&items, sub.interval.start, sub.interval.end, cores, &mut schedule)
-            .expect("repaired spread is packable");
+        pack_subinterval(
+            &items,
+            sub.interval.start,
+            sub.interval.end,
+            cores,
+            &mut schedule,
+        )
+        .expect("repaired spread is packable");
     }
     schedule.coalesce();
     let energy = schedule.energy(power);
@@ -241,11 +244,7 @@ mod tests {
         // A task whose window is mostly covered by a busy region: the
         // proportional spread overloads the contested subinterval and the
         // repair pass must rebalance.
-        let ts = TaskSet::from_triples(&[
-            (0.0, 4.0, 4.0),
-            (0.0, 4.0, 4.0),
-            (0.0, 8.0, 4.0),
-        ]);
+        let ts = TaskSet::from_triples(&[(0.0, 4.0, 4.0), (0.0, 4.0, 4.0), (0.0, 8.0, 4.0)]);
         let p = PolynomialPower::cubic();
         let uni = uniform_frequency(&ts, 2, &p);
         validate_schedule(&uni.schedule, &ts).assert_legal();

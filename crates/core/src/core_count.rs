@@ -11,10 +11,9 @@
 use crate::der::der_schedule;
 use crate::even::even_schedule;
 use esched_types::{PolynomialPower, TaskSet};
-use serde::{Deserialize, Serialize};
 
 /// Which heuristic the sweep evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {
     /// Evenly allocating method (`S^F1`).
     Even,
@@ -23,7 +22,7 @@ pub enum Method {
 }
 
 /// Result of the core-count sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreCountChoice {
     /// The energy-minimal core count.
     pub best: usize,
@@ -107,10 +106,17 @@ mod tests {
         }
         // Peak overlap is 5, so m = 5 already removes every heavy
         // subinterval; m = 6 ties and the sweep keeps the smaller count.
-        assert!(choice.best == 5 || choice.best == 6, "best = {}", choice.best);
+        assert!(
+            choice.best == 5 || choice.best == 6,
+            "best = {}",
+            choice.best
+        );
         let e5 = choice.sweep[4].1;
         let e6 = choice.sweep[5].1;
-        assert!((e5 - e6).abs() < 1e-9, "m=5 and m=6 should tie: {e5} vs {e6}");
+        assert!(
+            (e5 - e6).abs() < 1e-9,
+            "m=5 and m=6 should tie: {e5} vs {e6}"
+        );
     }
 
     #[test]

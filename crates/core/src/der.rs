@@ -28,6 +28,12 @@ use esched_types::{PolynomialPower, TaskSet};
 /// validate_schedule(&out.schedule, &tasks).assert_legal();
 /// ```
 pub fn der_schedule(tasks: &TaskSet, cores: usize, power: &PolynomialPower) -> HeuristicOutcome {
+    let _span = esched_obs::span!(
+        esched_obs::Level::Info,
+        "der_schedule",
+        n_tasks = tasks.len(),
+        cores = cores,
+    );
     let timeline = Timeline::build(tasks);
     let ideal = ideal_schedule(tasks, power);
     let avail = allocate_der(tasks, &timeline, cores, &ideal);
@@ -65,11 +71,7 @@ mod tests {
     fn der_never_loses_to_even_on_skewed_instances() {
         // A dense task fighting a lazy one: DER should allocate the dense
         // task more time and win (or tie) on energy.
-        let ts = TaskSet::from_triples(&[
-            (0.0, 8.0, 7.0),
-            (0.0, 8.0, 1.0),
-            (0.0, 8.0, 7.0),
-        ]);
+        let ts = TaskSet::from_triples(&[(0.0, 8.0, 7.0), (0.0, 8.0, 1.0), (0.0, 8.0, 7.0)]);
         let p = PolynomialPower::cubic();
         let der = der_schedule(&ts, 2, &p);
         let even = crate::even::even_schedule(&ts, 2, &p);

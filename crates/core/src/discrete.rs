@@ -24,10 +24,9 @@
 //! truly optimal per-task policy.
 
 use esched_types::{DiscretePower, FreqLevel, Schedule, TaskId};
-use serde::{Deserialize, Serialize};
 
 /// How to map a requested continuous frequency to an operating point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QuantizePolicy {
     /// Smallest level ≥ requested.
     NextUp,
@@ -36,7 +35,7 @@ pub enum QuantizePolicy {
 }
 
 /// Result of executing a continuous schedule on a discrete processor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiscreteOutcome {
     /// Total energy with quantized levels.
     pub energy: f64,
@@ -57,13 +56,11 @@ fn pick_level(table: &DiscretePower, required: f64, policy: QuantizePolicy) -> O
                 .filter(|l| l.freq >= required * (1.0 - 1e-12))
                 .copied()
                 .collect();
-            feasible
-                .into_iter()
-                .min_by(|a, b| {
-                    (a.power / a.freq)
-                        .partial_cmp(&(b.power / b.freq))
-                        .expect("finite table")
-                })
+            feasible.into_iter().min_by(|a, b| {
+                (a.power / a.freq)
+                    .partial_cmp(&(b.power / b.freq))
+                    .expect("finite table")
+            })
         }
     }
 }
@@ -79,6 +76,12 @@ pub fn quantize_schedule(
     table: &DiscretePower,
     policy: QuantizePolicy,
 ) -> DiscreteOutcome {
+    let _span = esched_obs::span!(
+        esched_obs::Level::Debug,
+        "quantize_schedule",
+        n_segments = schedule.len(),
+        n_levels = table.levels().len(),
+    );
     let mut energy = 0.0;
     let mut missed: Vec<TaskId> = Vec::new();
     for seg in schedule.segments() {
@@ -104,7 +107,7 @@ pub fn quantize_schedule(
 }
 
 /// Result of the two-level emulation for one task.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwoLevelSplit {
     /// The lower operating point.
     pub low: FreqLevel,
@@ -236,11 +239,7 @@ pub fn requantize_schedule(
 /// sleep-capable processor: the cheaper of (a) the best *single* feasible
 /// level (run, then sleep) and (b) the two-level mix of
 /// [`two_level_split`]. `None` on a miss.
-pub fn best_discrete_split(
-    table: &DiscretePower,
-    work: f64,
-    avail: f64,
-) -> Option<TwoLevelSplit> {
+pub fn best_discrete_split(table: &DiscretePower, work: f64, avail: f64) -> Option<TwoLevelSplit> {
     let f_req = work / avail;
     let mix = two_level_split(table, work, avail)?;
     // Best single level among the feasible ones.

@@ -28,6 +28,12 @@ use esched_types::{PolynomialPower, TaskSet};
 /// assert!(out.final_energy <= out.intermediate_energy);
 /// ```
 pub fn even_schedule(tasks: &TaskSet, cores: usize, power: &PolynomialPower) -> HeuristicOutcome {
+    let _span = esched_obs::span!(
+        esched_obs::Level::Info,
+        "even_schedule",
+        n_tasks = tasks.len(),
+        cores = cores,
+    );
     let timeline = Timeline::build(tasks);
     let ideal = ideal_schedule(tasks, power);
     let avail = allocate_even(tasks, &timeline, cores);

@@ -17,10 +17,9 @@
 
 use esched_types::time::Interval;
 use esched_types::{PolynomialPower, PowerModel, TaskSet};
-use serde::{Deserialize, Serialize};
 
 /// The per-task ideal optimum.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IdealSolution {
     /// Optimal frequency `f_i^O` per task.
     pub freq: Vec<f64>,
@@ -42,6 +41,11 @@ impl IdealSolution {
 
 /// Compute the ideal-case solution `S^O` for every task.
 pub fn ideal_schedule(tasks: &TaskSet, power: &PolynomialPower) -> IdealSolution {
+    let _span = esched_obs::span!(
+        esched_obs::Level::Debug,
+        "ideal_schedule",
+        n_tasks = tasks.len()
+    );
     let n = tasks.len();
     let mut freq = Vec::with_capacity(n);
     let mut exec = Vec::with_capacity(n);

@@ -20,6 +20,14 @@
 //!   arrivals not known in advance),
 //! * [`nec`] — Normalized Energy Consumption evaluation used by every
 //!   experiment.
+//!
+//! The pipeline is instrumented with `esched-obs` tracing spans:
+//! `der_schedule`/`even_schedule` at INFO, and `timeline_build`,
+//! `ideal_schedule`, `allocate_even`/`allocate_der`,
+//! `refine_frequencies`, `reclaim_der`, and `quantize_schedule` at
+//! DEBUG. All of it is off (one atomic load per call site) unless a
+//! subscriber is installed via `esched_obs::trace::init_from_env`
+//! (`ESCHED_LOG=debug`, or per-crate like `esched_core=debug,info`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,13 +61,13 @@ pub use discrete::{
 };
 pub use even::even_schedule;
 pub use ideal::{ideal_schedule, IdealSolution};
-pub use nec::{evaluate_nec, mean_nec, std_nec, NecPoint};
+pub use nec::{evaluate_nec, evaluate_nec_full, mean_nec, std_nec, NecEvaluation, NecPoint};
 pub use optimal::{optimal_energy, optimal_energy_with, OptimalSolution, Solver};
 pub use packing::{pack_subinterval, PackError, PackItem};
 pub use quality::{analyze, ScheduleQuality, TaskQuality};
+pub use reclaim::{no_reclaim_energy, reclaim_der, ReclaimOutcome};
 pub use refine::{
     build_outcome, final_assignment, final_schedule, intermediate_schedule, HeuristicOutcome,
 };
-pub use reclaim::{no_reclaim_energy, reclaim_der, ReclaimOutcome};
 pub use replan::{replan_der, ReplanOutcome};
 pub use yds::{yds_schedule, YdsSolution};

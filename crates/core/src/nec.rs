@@ -15,12 +15,11 @@ use crate::der::der_schedule;
 use crate::even::even_schedule;
 use crate::ideal::ideal_schedule;
 use crate::optimal::optimal_energy;
-use esched_opt::SolveOptions;
-use esched_types::{PolynomialPower, TaskSet};
-use serde::{Deserialize, Serialize};
+use esched_opt::{SolveOptions, SolverTelemetry};
+use esched_types::{PolynomialPower, Schedule, TaskSet};
 
 /// The five normalized energies of one evaluation, plus the normalizer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NecPoint {
     /// `E^O / E^OPT` — "NEC of Idl".
     pub ideal: f64,
@@ -43,6 +42,19 @@ impl NecPoint {
     }
 }
 
+/// One NEC evaluation plus the observability by-products: the convex
+/// solver's telemetry and the materialized `S^F2` schedule (so callers can
+/// simulate it and record a clean-sim verdict without re-running DER).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NecEvaluation {
+    /// The five normalized energies.
+    pub nec: NecPoint,
+    /// Telemetry of the `E^OPT` solve that produced the normalizer.
+    pub opt_telemetry: SolverTelemetry,
+    /// The DER-based final schedule `S^F2`.
+    pub f2_schedule: Schedule,
+}
+
 /// Run every scheduler on `tasks` over `cores` cores under `power` and
 /// normalize by the convex optimum.
 pub fn evaluate_nec(
@@ -51,18 +63,33 @@ pub fn evaluate_nec(
     power: &PolynomialPower,
     opts: &SolveOptions,
 ) -> NecPoint {
+    evaluate_nec_full(tasks, cores, power, opts).nec
+}
+
+/// [`evaluate_nec`], additionally returning solver telemetry and the `S^F2`
+/// schedule for run-report and simulation cross-checks.
+pub fn evaluate_nec_full(
+    tasks: &TaskSet,
+    cores: usize,
+    power: &PolynomialPower,
+    opts: &SolveOptions,
+) -> NecEvaluation {
     let ideal = ideal_schedule(tasks, power);
     let even = even_schedule(tasks, cores, power);
     let der = der_schedule(tasks, cores, power);
     let opt = optimal_energy(tasks, cores, power, opts);
     let e = opt.energy;
-    NecPoint {
-        ideal: ideal.energy / e,
-        i1: even.intermediate_energy / e,
-        f1: even.final_energy / e,
-        i2: der.intermediate_energy / e,
-        f2: der.final_energy / e,
-        opt_energy: e,
+    NecEvaluation {
+        nec: NecPoint {
+            ideal: ideal.energy / e,
+            i1: even.intermediate_energy / e,
+            f1: even.final_energy / e,
+            i2: der.intermediate_energy / e,
+            f2: der.final_energy / e,
+            opt_energy: e,
+        },
+        opt_telemetry: opt.telemetry,
+        f2_schedule: der.schedule,
     }
 }
 
@@ -146,7 +173,12 @@ mod tests {
     fn heuristic_necs_are_at_least_one() {
         let p = PolynomialPower::cubic();
         let nec = evaluate_nec(&vd_tasks(), 4, &p, &SolveOptions::default());
-        for (label, v) in [("i1", nec.i1), ("f1", nec.f1), ("i2", nec.i2), ("f2", nec.f2)] {
+        for (label, v) in [
+            ("i1", nec.i1),
+            ("f1", nec.f1),
+            ("i2", nec.i2),
+            ("f2", nec.f2),
+        ] {
             assert!(v >= 1.0 - 1e-4, "{label} = {v} below 1");
         }
         // Finals improve on intermediates.

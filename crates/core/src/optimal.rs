@@ -9,17 +9,15 @@
 
 use crate::packing::{pack_subinterval, PackItem};
 use esched_opt::{
-    solve_barrier, solve_block_descent, solve_fista, solve_frank_wolfe, solve_pgd,
-    EnergyProgram, SolveOptions, SolveResult,
+    solve_barrier, solve_block_descent, solve_fista, solve_frank_wolfe, solve_pgd, EnergyProgram,
+    SolveOptions, SolveResult, SolverTelemetry,
 };
 use esched_subinterval::Timeline;
 use esched_types::time::EPS;
 use esched_types::{PolynomialPower, Schedule, TaskSet};
-use serde::{Deserialize, Serialize};
 
 /// Which first-order method solves the convex program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Solver {
     /// Projected gradient descent with backtracking (default).
     #[default]
@@ -35,9 +33,8 @@ pub enum Solver {
     BlockDescent,
 }
 
-
 /// The optimal solution: energy, certificate, and a legal schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OptimalSolution {
     /// Optimal energy `E^OPT` (the experiment normalizer).
     pub energy: f64,
@@ -45,6 +42,10 @@ pub struct OptimalSolution {
     pub gap: f64,
     /// Solver iterations used.
     pub iters: usize,
+    /// Full solver telemetry (iterations, stalls, gap evaluations, wall
+    /// time) — what [`crate::nec::evaluate_nec_full`] forwards into run
+    /// reports.
+    pub telemetry: SolverTelemetry,
     /// Per-task total execution times `X_i` at the optimum.
     pub total_times: Vec<f64>,
     /// Per-task frequencies `C_i / X_i`.
@@ -112,6 +113,7 @@ pub fn optimal_energy_with(
         energy: result.objective,
         gap: result.gap,
         iters: result.iters,
+        telemetry: result.telemetry,
         total_times,
         freq,
         schedule,
@@ -173,8 +175,14 @@ fn extract_schedule(
                 }
             }
         }
-        pack_subinterval(&items, sub.interval.start, sub.interval.end, cores, &mut out)
-            .expect("solver iterates are feasible");
+        pack_subinterval(
+            &items,
+            sub.interval.start,
+            sub.interval.end,
+            cores,
+            &mut out,
+        )
+        .expect("solver iterates are feasible");
     }
     out.coalesce();
     out
@@ -212,7 +220,13 @@ mod tests {
     fn all_solvers_agree() {
         let ts = intro();
         let p = PolynomialPower::paper(3.0, 0.05);
-        let a = optimal_energy_with(&ts, 2, &p, &SolveOptions::default(), Solver::ProjectedGradient);
+        let a = optimal_energy_with(
+            &ts,
+            2,
+            &p,
+            &SolveOptions::default(),
+            Solver::ProjectedGradient,
+        );
         let b = optimal_energy_with(&ts, 2, &p, &SolveOptions::default(), Solver::Fista);
         let c = optimal_energy_with(&ts, 2, &p, &SolveOptions::default(), Solver::FrankWolfe);
         let d = optimal_energy_with(&ts, 2, &p, &SolveOptions::default(), Solver::InteriorPoint);

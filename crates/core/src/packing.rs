@@ -52,7 +52,10 @@ impl std::fmt::Display for PackError {
                 task,
                 duration,
                 delta,
-            } => write!(f, "task {task}: duration {duration} exceeds subinterval {delta}"),
+            } => write!(
+                f,
+                "task {task}: duration {duration} exceeds subinterval {delta}"
+            ),
             PackError::Overcommitted { total, capacity } => {
                 write!(f, "total duration {total} exceeds capacity {capacity}")
             }
@@ -117,7 +120,13 @@ pub fn pack_subinterval(
             if k + 1 >= cores {
                 // Capacity says this cannot happen; guard against
                 // accumulated rounding by clamping onto the last core.
-                out.push(Segment::new(it.task, k, cursor, t1.min(cursor + d), it.freq));
+                out.push(Segment::new(
+                    it.task,
+                    k,
+                    cursor,
+                    t1.min(cursor + d),
+                    it.freq,
+                ));
                 cursor = t1;
                 continue;
             }
@@ -127,7 +136,13 @@ pub fn pack_subinterval(
             k += 1;
             cursor = t0 + spill;
         } else {
-            out.push(Segment::new(it.task, k, cursor, (cursor + d).min(t1), it.freq));
+            out.push(Segment::new(
+                it.task,
+                k,
+                cursor,
+                (cursor + d).min(t1),
+                it.freq,
+            ));
             cursor += d;
             if cursor >= t1 - tol {
                 k += 1;

@@ -8,11 +8,10 @@
 
 use esched_types::time::compensated_sum;
 use esched_types::{PolynomialPower, Schedule, TaskId, TaskSet};
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// Per-task diagnostics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskQuality {
     /// The task.
     pub task: TaskId,
@@ -31,7 +30,7 @@ pub struct TaskQuality {
 }
 
 /// Whole-schedule diagnostics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleQuality {
     /// Per-task rows, by task id.
     pub tasks: Vec<TaskQuality>,
@@ -56,7 +55,11 @@ pub fn analyze(schedule: &Schedule, tasks: &TaskSet, power: &PolynomialPower) ->
         let segs = schedule.task_segments(id);
         let exec_time: f64 = compensated_sum(segs.iter().map(|s| s.duration()));
         let work: f64 = compensated_sum(segs.iter().map(|s| s.work()));
-        let mean_freq = if exec_time > 0.0 { work / exec_time } else { 0.0 };
+        let mean_freq = if exec_time > 0.0 {
+            work / exec_time
+        } else {
+            0.0
+        };
         let mut dynamic = 0.0;
         let mut stat = 0.0;
         for s in &segs {
@@ -100,8 +103,13 @@ impl ScheduleQuality {
             let _ = writeln!(
                 out,
                 "{:>5} {:>5} {:>9.3} {:>8.3} {:>8.3} {:>10.4} {:>10.4}",
-                r.task, r.segments, r.exec_time, r.window_usage, r.mean_freq,
-                r.dynamic_energy, r.static_energy
+                r.task,
+                r.segments,
+                r.exec_time,
+                r.window_usage,
+                r.mean_freq,
+                r.dynamic_energy,
+                r.static_energy
             );
         }
         let _ = writeln!(

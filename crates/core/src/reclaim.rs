@@ -26,10 +26,9 @@
 use crate::der::der_schedule;
 use esched_types::time::EPS;
 use esched_types::{PolynomialPower, Schedule, Segment, Task, TaskId, TaskSet};
-use serde::{Deserialize, Serialize};
 
 /// Outcome of a reclamation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReclaimOutcome {
     /// The executed schedule (actual-work truncated).
     pub schedule: Schedule,
@@ -64,6 +63,12 @@ pub fn reclaim_der(
         );
     }
 
+    let _span = esched_obs::span!(
+        esched_obs::Level::Debug,
+        "reclaim_der",
+        n_tasks = tasks.len(),
+        cores = cores,
+    );
     let n = tasks.len();
     // Scheduler's belief: remaining WCEC. Ground truth: remaining actual.
     let mut est_remaining: Vec<f64> = tasks.tasks().iter().map(|t| t.wcec).collect();
@@ -85,10 +90,7 @@ pub fn reclaim_der(
         let mut ids: Vec<TaskId> = Vec::new();
         let mut subtasks: Vec<Task> = Vec::new();
         for (i, t) in tasks.iter() {
-            if t.release <= t_now + EPS
-                && act_remaining[i] > EPS
-                && t.deadline > t_now + EPS
-            {
+            if t.release <= t_now + EPS && act_remaining[i] > EPS && t.deadline > t_now + EPS {
                 ids.push(i);
                 subtasks.push(Task::of(t_now, t.deadline, est_remaining[i].max(EPS)));
             }
@@ -156,6 +158,12 @@ pub fn reclaim_der(
     schedule.coalesce();
     let mut misses: Vec<TaskId> = (0..n).filter(|&i| act_remaining[i] > 1e-6).collect();
     misses.sort_unstable();
+    esched_obs::event!(
+        esched_obs::Level::Debug,
+        "reclaim done",
+        replans = replans,
+        misses = misses.len(),
+    );
     let energy = schedule.energy(power);
     ReclaimOutcome {
         schedule,
@@ -248,7 +256,11 @@ mod tests {
         )
         .unwrap();
         let clair = der_schedule(&clair_tasks, 4, &p).final_energy;
-        assert!(clair <= with.energy * (1.0 + 1e-6), "clairvoyant {clair} vs reclaim {}", with.energy);
+        assert!(
+            clair <= with.energy * (1.0 + 1e-6),
+            "clairvoyant {clair} vs reclaim {}",
+            with.energy
+        );
     }
 
     #[test]

@@ -19,13 +19,13 @@
 use crate::allocation::AvailMatrix;
 use crate::ideal::IdealSolution;
 use crate::packing::{pack_subinterval, PackItem};
+use esched_obs::{span, Level};
 use esched_subinterval::Timeline;
 use esched_types::time::EPS;
 use esched_types::{FrequencyAssignment, PolynomialPower, Schedule, TaskSet};
-use serde::{Deserialize, Serialize};
 
 /// Everything a heuristic run produces.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeuristicOutcome {
     /// Per-(task, subinterval) available times `a_{i,j}`.
     pub avail: AvailMatrix,
@@ -83,8 +83,14 @@ pub fn intermediate_schedule(
                 freq,
             });
         }
-        pack_subinterval(&items, sub.interval.start, sub.interval.end, cores, &mut out)
-            .expect("intermediate durations respect capacity by construction");
+        pack_subinterval(
+            &items,
+            sub.interval.start,
+            sub.interval.end,
+            cores,
+            &mut out,
+        )
+        .expect("intermediate durations respect capacity by construction");
     }
     out.coalesce();
     out
@@ -149,8 +155,14 @@ pub fn final_schedule(
                 freq: assignment.freq[i],
             });
         }
-        pack_subinterval(&items, sub.interval.start, sub.interval.end, cores, &mut out)
-            .expect("scaled durations respect capacity by construction");
+        pack_subinterval(
+            &items,
+            sub.interval.start,
+            sub.interval.end,
+            cores,
+            &mut out,
+        )
+        .expect("scaled durations respect capacity by construction");
     }
     out.coalesce();
     out
@@ -166,6 +178,13 @@ pub fn build_outcome(
     ideal: &IdealSolution,
     avail: AvailMatrix,
 ) -> HeuristicOutcome {
+    let _span = span!(
+        Level::Debug,
+        "refine_frequencies",
+        n_tasks = tasks.len(),
+        n_subintervals = timeline.len(),
+        cores = cores,
+    );
     let total_avail = avail.totals();
     let assignment = final_assignment(tasks, &total_avail, power);
     let intermediate = intermediate_schedule(timeline, cores, ideal, &avail);
@@ -247,14 +266,7 @@ mod tests {
             out.final_energy
         );
         // DER beats even allocation on this instance, as the paper shows.
-        let even = build_outcome(
-            &ts,
-            &tl,
-            4,
-            &p,
-            &ideal,
-            allocate_even(&ts, &tl, 4),
-        );
+        let even = build_outcome(&ts, &tl, 4, &p, &ideal, allocate_even(&ts, &tl, 4));
         assert!(out.final_energy < even.final_energy);
     }
 

@@ -18,10 +18,9 @@
 use crate::der::der_schedule;
 use esched_types::time::EPS;
 use esched_types::{PolynomialPower, Schedule, Segment, Task, TaskId, TaskSet};
-use serde::{Deserialize, Serialize};
 
 /// Outcome of the replanning run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplanOutcome {
     /// The executed schedule, stitched from per-epoch plans.
     pub schedule: Schedule,
@@ -57,10 +56,7 @@ pub fn replan_der(tasks: &TaskSet, cores: usize, power: &PolynomialPower) -> Rep
         let mut ids: Vec<TaskId> = Vec::new();
         let mut subtasks: Vec<Task> = Vec::new();
         for (i, t) in tasks.iter() {
-            if t.release <= t_now + EPS
-                && remaining[i] > EPS
-                && t.deadline > t_now + EPS
-            {
+            if t.release <= t_now + EPS && remaining[i] > EPS && t.deadline > t_now + EPS {
                 ids.push(i);
                 subtasks.push(Task::of(t_now, t.deadline, remaining[i]));
             }
@@ -132,7 +128,10 @@ mod tests {
         // The offline F2 knows the future; replanning must cost at least
         // as much on every instance (it optimizes myopically).
         let p = PolynomialPower::cubic();
-        for ts in [vd_tasks(), TaskSet::from_triples(&[(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)])] {
+        for ts in [
+            vd_tasks(),
+            TaskSet::from_triples(&[(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)]),
+        ] {
             let offline = der_schedule(&ts, 4, &p);
             let online = replan_der(&ts, 4, &p);
             assert!(
@@ -148,11 +147,7 @@ mod tests {
     fn simultaneous_releases_reduce_to_offline() {
         // All tasks released together: one plan, executed in full — the
         // offline schedule exactly.
-        let ts = TaskSet::from_triples(&[
-            (0.0, 8.0, 4.0),
-            (0.0, 10.0, 3.0),
-            (0.0, 6.0, 5.0),
-        ]);
+        let ts = TaskSet::from_triples(&[(0.0, 8.0, 4.0), (0.0, 10.0, 3.0), (0.0, 6.0, 5.0)]);
         let p = PolynomialPower::paper(3.0, 0.1);
         let offline = der_schedule(&ts, 2, &p);
         let online = replan_der(&ts, 2, &p);
@@ -171,8 +166,8 @@ mod tests {
         // must speed up, and the peak frequency exceeds the clairvoyant
         // plan's.
         let ts = TaskSet::from_triples(&[
-            (0.0, 20.0, 6.0),   // would idle along at 0.3 if alone
-            (15.0, 18.0, 2.7),  // surprise: needs 0.9 of [15,18]
+            (0.0, 20.0, 6.0),  // would idle along at 0.3 if alone
+            (15.0, 18.0, 2.7), // surprise: needs 0.9 of [15,18]
         ]);
         let p = PolynomialPower::cubic();
         let online = replan_der(&ts, 1, &p);

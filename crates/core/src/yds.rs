@@ -18,10 +18,9 @@
 
 use esched_types::time::{approx_le, EPS};
 use esched_types::{PolynomialPower, Schedule, Segment, TaskId, TaskSet};
-use serde::{Deserialize, Serialize};
 
 /// YDS output.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct YdsSolution {
     /// The single-core schedule in original time.
     pub schedule: Schedule,
@@ -95,10 +94,7 @@ fn map_to_original(cuts: &[Cut], cs: f64, ce: f64) -> Vec<(f64, f64)> {
 /// Find the maximum-intensity interval over the working tasks. Returns
 /// `(t1, t2, intensity, member indices)`.
 fn critical_interval(tasks: &[WorkTask]) -> (f64, f64, f64, Vec<usize>) {
-    let mut pts: Vec<f64> = tasks
-        .iter()
-        .flat_map(|t| [t.release, t.deadline])
-        .collect();
+    let mut pts: Vec<f64> = tasks.iter().flat_map(|t| [t.release, t.deadline]).collect();
     esched_types::time::sort_dedup_times(&mut pts);
     let mut best = (0.0, 0.0, -1.0);
     for (a, &t1) in pts.iter().enumerate() {
@@ -217,7 +213,10 @@ fn edf_in_interval(tasks: &[WorkTask], t1: f64, t2: f64, g: f64) -> Vec<(TaskId,
 fn add_cuts(cuts: &mut Vec<Cut>, pieces: &[(f64, f64)]) {
     for &(s, e) in pieces {
         if e - s > EPS {
-            cuts.push(Cut { start: s, len: e - s });
+            cuts.push(Cut {
+                start: s,
+                len: e - s,
+            });
         }
     }
     cuts.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite"));

@@ -1,51 +1,56 @@
-//! Property tests for the core scheduling algorithms.
+//! Seeded randomized tests for the core scheduling algorithms.
 
 use esched_core::{
     allocate_der, allocate_der_no_redistribution, allocate_even, allocate_work_proportional,
-    der_schedule, even_schedule, ideal_schedule, partitioned_yds, select_core_count,
-    yds_schedule, Method,
+    der_schedule, even_schedule, ideal_schedule, partitioned_yds, select_core_count, yds_schedule,
+    Method,
 };
+use esched_obs::rng::ChaCha8;
 use esched_subinterval::Timeline;
 use esched_types::{validate_schedule, PolynomialPower, PowerModel, Task, TaskSet};
-use proptest::prelude::*;
 
-fn arb_task_set(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
-    prop::collection::vec((0.0_f64..40.0, 0.5_f64..30.0, 0.05_f64..1.2), 1..=max_tasks)
-        .prop_map(|v| {
-            TaskSet::new(
-                v.into_iter()
-                    .map(|(r, len, i)| Task::of(r, r + len, (len * i).max(1e-3)))
-                    .collect(),
-            )
-            .unwrap()
-        })
+const CASES: usize = 40;
+
+fn arb_task_set(rng: &mut ChaCha8, max_tasks: usize) -> TaskSet {
+    let n = rng.gen_range_usize(1, max_tasks + 1);
+    TaskSet::new(
+        (0..n)
+            .map(|_| {
+                let r = rng.gen_range_f64(0.0, 40.0);
+                let len = rng.gen_range_f64(0.5, 30.0);
+                let i = rng.gen_range_f64(0.05, 1.2);
+                Task::of(r, r + len, (len * i).max(1e-3))
+            })
+            .collect(),
+    )
+    .unwrap()
 }
 
-fn arb_power() -> impl Strategy<Value = PolynomialPower> {
-    (2.0_f64..3.0, 0.0_f64..0.4).prop_map(|(a, p0)| PolynomialPower::paper(a, p0))
+fn arb_power(rng: &mut ChaCha8) -> PolynomialPower {
+    PolynomialPower::paper(rng.gen_range_f64(2.0, 3.0), rng.gen_range_f64(0.0, 0.4))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn ideal_frequency_is_pointwise_optimal(tasks in arb_task_set(8), power in arb_power()) {
+#[test]
+fn ideal_frequency_is_pointwise_optimal() {
+    let mut rng = ChaCha8::seed_from_u64(0xc0de_0001);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 8);
+        let power = arb_power(&mut rng);
         let sol = ideal_schedule(&tasks, &power);
         for (i, t) in tasks.iter() {
             let f = sol.freq[i];
             // No other feasible frequency does better for this task alone.
             for scale in [1.01_f64, 1.2, 2.0] {
                 let alt = f * scale;
-                prop_assert!(
-                    power.energy_for_work(t.wcec, alt)
-                        >= power.energy_for_work(t.wcec, f) - 1e-9,
+                assert!(
+                    power.energy_for_work(t.wcec, alt) >= power.energy_for_work(t.wcec, f) - 1e-9,
                     "task {i}: faster frequency {alt} beat {f}"
                 );
             }
             // Slower is either infeasible (misses window) or worse.
             let slower = f * 0.99;
             if t.wcec / slower <= t.window_len() {
-                prop_assert!(
+                assert!(
                     power.energy_for_work(t.wcec, slower)
                         >= power.energy_for_work(t.wcec, f) - 1e-9,
                     "task {i}: slower frequency beat the optimum"
@@ -53,13 +58,15 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn every_allocation_rule_respects_capacity(
-        tasks in arb_task_set(10),
-        cores in 1_usize..5,
-        power in arb_power(),
-    ) {
+#[test]
+fn every_allocation_rule_respects_capacity() {
+    let mut rng = ChaCha8::seed_from_u64(0xc0de_0002);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 10);
+        let cores = rng.gen_range_usize(1, 5);
+        let power = arb_power(&mut rng);
         let tl = Timeline::build(&tasks);
         let ideal = ideal_schedule(&tasks, &power);
         let mats = [
@@ -74,12 +81,12 @@ proptest! {
                 let mut sum = 0.0;
                 for &i in &sub.overlapping {
                     let a = m.get(i, sub.index);
-                    prop_assert!(a >= -1e-12, "rule {mk}: negative allocation");
-                    prop_assert!(a <= delta + 1e-9, "rule {mk}: allocation beyond delta");
+                    assert!(a >= -1e-12, "rule {mk}: negative allocation");
+                    assert!(a <= delta + 1e-9, "rule {mk}: allocation beyond delta");
                     sum += a;
                 }
                 if sub.is_heavy(cores) {
-                    prop_assert!(
+                    assert!(
                         sum <= cores as f64 * delta + 1e-7,
                         "rule {mk}: heavy subinterval {j} overcommitted: {sum}",
                         j = sub.index
@@ -88,41 +95,45 @@ proptest! {
             }
             // Every task ends with positive total availability.
             for i in 0..tasks.len() {
-                prop_assert!(m.total(i) > 0.0, "rule {mk}: task {i} starved");
+                assert!(m.total(i) > 0.0, "rule {mk}: task {i} starved");
             }
         }
     }
+}
 
-    #[test]
-    fn der_beats_even_in_aggregate(
-        sets in prop::collection::vec(arb_task_set(10), 3),
-        power in arb_power(),
-    ) {
+#[test]
+fn der_beats_even_in_aggregate() {
+    let mut rng = ChaCha8::seed_from_u64(0xc0de_0003);
+    for _ in 0..CASES {
         // Per-instance DER can occasionally lose to even allocation; the
         // paper's claim is about the aggregate, so test the sum over a few
         // instances.
+        let sets: Vec<TaskSet> = (0..3).map(|_| arb_task_set(&mut rng, 10)).collect();
+        let power = arb_power(&mut rng);
         let mut sum_der = 0.0;
         let mut sum_even = 0.0;
         for tasks in &sets {
             sum_der += der_schedule(tasks, 3, &power).final_energy;
             sum_even += even_schedule(tasks, 3, &power).final_energy;
         }
-        prop_assert!(
+        assert!(
             sum_der <= sum_even * 1.05 + 1e-9,
             "DER aggregate {sum_der} much worse than even {sum_even}"
         );
     }
+}
 
-    #[test]
-    fn yds_energy_never_below_convex_bound_intuition(
-        tasks in arb_task_set(6),
-    ) {
+#[test]
+fn yds_energy_never_below_convex_bound_intuition() {
+    let mut rng = ChaCha8::seed_from_u64(0xc0de_0004);
+    for _ in 0..CASES {
         // YDS (m = 1) energy is at least the unlimited-core ideal energy
         // with p0 = 0 (relaxing the single-core constraint only helps).
+        let tasks = arb_task_set(&mut rng, 6);
         let p = PolynomialPower::cubic();
         let yds = yds_schedule(&tasks, &p);
         let ideal = ideal_schedule(&tasks, &p);
-        prop_assert!(
+        assert!(
             yds.energy >= ideal.energy - 1e-7 * (1.0 + ideal.energy),
             "yds {} below the ideal lower bound {}",
             yds.energy,
@@ -130,12 +141,14 @@ proptest! {
         );
         validate_schedule(&yds.schedule, &tasks).assert_legal();
     }
+}
 
-    #[test]
-    fn partitioned_yds_assignment_is_balanced_enough(
-        tasks in arb_task_set(12),
-        cores in 2_usize..5,
-    ) {
+#[test]
+fn partitioned_yds_assignment_is_balanced_enough() {
+    let mut rng = ChaCha8::seed_from_u64(0xc0de_0005);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 12);
+        let cores = rng.gen_range_usize(2, 5);
         let p = PolynomialPower::cubic();
         let out = partitioned_yds(&tasks, cores, &p);
         validate_schedule(&out.schedule, &tasks).assert_legal();
@@ -151,67 +164,77 @@ proptest! {
             .map(|(_, t)| t.intensity())
             .fold(0.0_f64, f64::max);
         for &l in &loads {
-            prop_assert!(
+            assert!(
                 l <= total / cores as f64 + max_single + 1e-9,
                 "load {l} too far above average"
             );
         }
     }
+}
 
-    #[test]
-    fn core_count_sweep_contains_single_core_yds_energy_scale(
-        tasks in arb_task_set(8),
-        power in arb_power(),
-    ) {
+#[test]
+fn core_count_sweep_contains_single_core_yds_energy_scale() {
+    let mut rng = ChaCha8::seed_from_u64(0xc0de_0006);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 8);
+        let power = arb_power(&mut rng);
         let choice = select_core_count(&tasks, 4, &power, Method::Der);
-        prop_assert_eq!(choice.sweep.len(), 4);
+        assert_eq!(choice.sweep.len(), 4);
         // Best is genuinely the minimum of the sweep.
-        let min = choice.sweep.iter().map(|&(_, e)| e).fold(f64::INFINITY, f64::min);
-        prop_assert!((choice.best_energy - min).abs() < 1e-12);
+        let min = choice
+            .sweep
+            .iter()
+            .map(|&(_, e)| e)
+            .fold(f64::INFINITY, f64::min);
+        assert!((choice.best_energy - min).abs() < 1e-12);
         // All energies at least the ideal bound when p0 = 0.
         if power.p0 == 0.0 {
             let ideal = ideal_schedule(&tasks, &power).energy;
             for &(m, e) in &choice.sweep {
-                prop_assert!(e >= ideal - 1e-7 * (1.0 + ideal), "m={m}");
+                assert!(e >= ideal - 1e-7 * (1.0 + ideal), "m={m}");
             }
         }
     }
+}
 
-    #[test]
-    fn even_intermediate_satisfies_paper_approximation_bound(
-        tasks in arb_task_set(10),
-        cores in 1_usize..5,
-        alpha in 2.0_f64..3.0,
-    ) {
+#[test]
+fn even_intermediate_satisfies_paper_approximation_bound() {
+    let mut rng = ChaCha8::seed_from_u64(0xc0de_0007);
+    for _ in 0..CASES {
         // Section V.B: E^{I1} ≤ (n_max/m)^{α−1} · E^O with
         // n_max = max(m, max_j n_j). The argument assumes the dominant
         // cost is dynamic; with p0 = 0 the bound is exact.
+        let tasks = arb_task_set(&mut rng, 10);
+        let cores = rng.gen_range_usize(1, 5);
+        let alpha = rng.gen_range_f64(2.0, 3.0);
         let power = PolynomialPower::paper(alpha, 0.0);
         let tl = Timeline::build(&tasks);
         let n_max = tl.peak_overlap().max(cores);
         let ideal = ideal_schedule(&tasks, &power);
         let even = even_schedule(&tasks, cores, &power);
         let bound = (n_max as f64 / cores as f64).powf(alpha - 1.0) * ideal.energy;
-        prop_assert!(
+        assert!(
             even.intermediate_energy <= bound * (1.0 + 1e-7),
             "E^I1 {} exceeds the paper bound {bound} (n_max={n_max}, m={cores})",
             even.intermediate_energy
         );
     }
+}
 
-    #[test]
-    fn final_frequencies_are_at_least_critical(
-        tasks in arb_task_set(8),
-        power in arb_power(),
-        cores in 1_usize..4,
-    ) {
+#[test]
+fn final_frequencies_are_at_least_critical() {
+    let mut rng = ChaCha8::seed_from_u64(0xc0de_0008);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 8);
+        let power = arb_power(&mut rng);
+        let cores = rng.gen_range_usize(1, 4);
         let out = der_schedule(&tasks, cores, &power);
         let fc = power.critical_frequency();
         for (i, &f) in out.assignment.freq.iter().enumerate() {
-            prop_assert!(f >= fc - 1e-12, "task {i}: f {f} below critical {fc}");
+            assert!(f >= fc - 1e-12, "task {i}: f {f} below critical {fc}");
             // And at least the availability-stretch frequency.
             let need = tasks.get(i).wcec / out.total_avail[i];
-            prop_assert!(f >= need - 1e-9, "task {i}: f {f} below stretch {need}");
+            assert!(f >= need - 1e-9, "task {i}: f {f} below stretch {need}");
         }
     }
 }

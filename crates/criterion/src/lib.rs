@@ -1,0 +1,274 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, so `cargo bench` works in offline environments.
+//!
+//! It implements the subset of the criterion 0.5 API this workspace
+//! uses — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId::new`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — with a simple calibrated timing loop instead of criterion's
+//! statistical machinery. Results are printed as median/mean
+//! nanoseconds-per-iteration over a fixed number of measurement batches.
+//!
+//! Not a drop-in replacement: no HTML reports, no outlier analysis, no
+//! baseline comparisons. Good enough to detect order-of-magnitude
+//! regressions and to verify "zero overhead when disabled" claims.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Target wall time per measurement batch.
+const BATCH_TARGET: Duration = Duration::from_millis(20);
+/// Number of measurement batches per benchmark.
+const BATCHES: usize = 15;
+
+/// Top-level harness handle, passed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            group: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the shim's batch count is
+    /// fixed, so this is a no-op.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility; no-op.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.into_benchmark_id(), &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark. The shim passes `input` through
+    /// untouched, matching criterion's call shape.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.into_benchmark_id(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            per_iter: Vec::with_capacity(BATCHES),
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.group, id.label);
+        match summarize(&bencher.per_iter) {
+            Some((median, mean)) => println!(
+                "  {label:<48} median {:>12}  mean {:>12}",
+                fmt_ns(median),
+                fmt_ns(mean)
+            ),
+            None => println!("  {label:<48} (no measurement — Bencher::iter not called)"),
+        }
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per measurement batch.
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, calibrate a batch size to
+    /// [`BATCH_TARGET`], then time [`BATCHES`] batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: grow the batch until it takes long enough to time.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= BATCH_TARGET || batch >= 1 << 30 {
+                break;
+            }
+            // Scale toward the target, at least doubling.
+            let scale = (BATCH_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).min(64.0);
+            batch = (batch as f64 * scale.max(2.0)).ceil() as u64;
+        }
+        self.per_iter.clear();
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.per_iter.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// Identifier for a single benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, matching criterion's display form.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id: a `BenchmarkId` or a plain name.
+pub trait IntoBenchmarkId {
+    /// Convert into the concrete id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+fn summarize(per_iter: &[f64]) -> Option<(f64, f64)> {
+    if per_iter.is_empty() {
+        return None;
+    }
+    let mut xs = per_iter.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = xs[xs.len() / 2];
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    Some((median, mean))
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a benchmark group: `criterion_group!(benches, bench_a, bench_b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the benchmark entry point: `criterion_main!(benches)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_orders_and_averages() {
+        let (median, mean) = summarize(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(median, 2.0);
+        assert_eq!(mean, 2.0);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("solve", 64).label, "solve/64");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+
+    #[test]
+    fn bencher_records_batches() {
+        let mut b = Bencher {
+            per_iter: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.per_iter.len(), super::BATCHES);
+        assert!(b.per_iter.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5_000.0).ends_with("µs"));
+        assert!(fmt_ns(5_000_000.0).ends_with("ms"));
+    }
+}

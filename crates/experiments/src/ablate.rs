@@ -19,8 +19,7 @@ use crate::report::write_artifact;
 use esched_core::{
     allocate_der, allocate_der_no_redistribution, allocate_work_proportional, build_outcome,
     der_schedule, even_schedule, ideal_schedule, no_reclaim_energy, optimal_energy,
-    partitioned_yds, quantize_schedule, reclaim_der, replan_der, uniform_frequency,
-    QuantizePolicy,
+    partitioned_yds, quantize_schedule, reclaim_der, replan_der, uniform_frequency, QuantizePolicy,
 };
 use esched_opt::SolveOptions;
 use esched_subinterval::Timeline;
@@ -166,7 +165,13 @@ pub fn online_ablation(trials: usize, base_seed: u64) -> OnlineAblation {
         |_seed, tasks: TaskSet| {
             let der = der_schedule(&tasks, cores, &power);
             let epochs = Timeline::build(&tasks).boundaries().to_vec();
-            let edf = dispatch(&tasks, cores, &der.assignment.freq, DispatchPolicy::Edf, &[]);
+            let edf = dispatch(
+                &tasks,
+                cores,
+                &der.assignment.freq,
+                DispatchPolicy::Edf,
+                &[],
+            );
             let llf = dispatch(
                 &tasks,
                 cores,
@@ -174,13 +179,8 @@ pub fn online_ablation(trials: usize, base_seed: u64) -> OnlineAblation {
                 DispatchPolicy::Llf,
                 &epochs,
             );
-            let offline_ok =
-                esched_types::validate_schedule(&der.schedule, &tasks).is_legal();
-            (
-                !edf.misses.is_empty(),
-                !llf.misses.is_empty(),
-                !offline_ok,
-            )
+            let offline_ok = esched_types::validate_schedule(&der.schedule, &tasks).is_legal();
+            (!edf.misses.is_empty(), !llf.misses.is_empty(), !offline_ok)
         },
     );
     let n = rows.len() as f64;
@@ -211,8 +211,7 @@ pub fn quantize_ablation(trials: usize, base_seed: u64) -> QuantizeAblation {
         |_seed, tasks| {
             let der = der_schedule(&tasks, 4, &power);
             let a = quantize_schedule(&der.schedule, &table, QuantizePolicy::NextUp).energy;
-            let b =
-                quantize_schedule(&der.schedule, &table, QuantizePolicy::BestEfficiency).energy;
+            let b = quantize_schedule(&der.schedule, &table, QuantizePolicy::BestEfficiency).energy;
             (a, b)
         },
     );
@@ -385,39 +384,108 @@ pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
     let _ = writeln!(out, "Ablations ({trials} trials each, m=4, n=20)");
     let _ = writeln!(out, "\n1. Allocation rule (mean NEC, alpha=3, p0=0.1):");
     let _ = writeln!(out, "   DER (Algorithm 2, S^F2):      {:.4}", alloc.der);
-    let _ = writeln!(out, "   DER without redistribution:   {:.4}", alloc.der_no_redist);
-    let _ = writeln!(out, "   work-proportional shares:     {:.4}", alloc.work_prop);
+    let _ = writeln!(
+        out,
+        "   DER without redistribution:   {:.4}",
+        alloc.der_no_redist
+    );
+    let _ = writeln!(
+        out,
+        "   work-proportional shares:     {:.4}",
+        alloc.work_prop
+    );
     let _ = writeln!(out, "   even split (S^F1):            {:.4}", alloc.even);
     let _ = writeln!(out, "\n2. Deployable baselines (mean NEC, p(f)=f^3):");
     let _ = writeln!(out, "   S^F2 (global, migrating):     {:.4}", base.der);
-    let _ = writeln!(out, "   partitioned YDS:              {:.4}", base.partitioned_yds);
+    let _ = writeln!(
+        out,
+        "   partitioned YDS:              {:.4}",
+        base.partitioned_yds
+    );
     let _ = writeln!(out, "   uniform min-feasible freq:    {:.4}", base.uniform);
-    let _ = writeln!(out, "\n3. Online dispatch of S^F2 frequencies (miss probability):");
-    let _ = writeln!(out, "   offline Algorithm-1 packing:  {:.3}", online.offline_miss_prob);
-    let _ = writeln!(out, "   global EDF:                   {:.3}", online.edf_miss_prob);
-    let _ = writeln!(out, "   LLF @ subinterval epochs:     {:.3}", online.llf_miss_prob);
+    let _ = writeln!(
+        out,
+        "\n3. Online dispatch of S^F2 frequencies (miss probability):"
+    );
+    let _ = writeln!(
+        out,
+        "   offline Algorithm-1 packing:  {:.3}",
+        online.offline_miss_prob
+    );
+    let _ = writeln!(
+        out,
+        "   global EDF:                   {:.3}",
+        online.edf_miss_prob
+    );
+    let _ = writeln!(
+        out,
+        "   LLF @ subinterval epochs:     {:.3}",
+        online.llf_miss_prob
+    );
     let _ = writeln!(out, "\n4. XScale quantization policy (mean energy, mW*s):");
     let _ = writeln!(out, "   next level up:                {:.1}", quant.next_up);
-    let _ = writeln!(out, "   best-efficiency level:        {:.1}", quant.best_efficiency);
-    let _ = writeln!(out, "\n5. Wake-up overhead (mean core activations per run):");
-    let _ = writeln!(out, "   offline F2 packing:           {:.1}", wake.f2_activations);
-    let _ = writeln!(out, "   offline F1 packing:           {:.1}", wake.f1_activations);
-    let _ = writeln!(out, "   online LLF dispatch:          {:.1}", wake.llf_activations);
+    let _ = writeln!(
+        out,
+        "   best-efficiency level:        {:.1}",
+        quant.best_efficiency
+    );
+    let _ = writeln!(
+        out,
+        "\n5. Wake-up overhead (mean core activations per run):"
+    );
+    let _ = writeln!(
+        out,
+        "   offline F2 packing:           {:.1}",
+        wake.f2_activations
+    );
+    let _ = writeln!(
+        out,
+        "   offline F1 packing:           {:.1}",
+        wake.f1_activations
+    );
+    let _ = writeln!(
+        out,
+        "   online LLF dispatch:          {:.1}",
+        wake.llf_activations
+    );
     let _ = writeln!(
         out,
         "   per-wakeup cost worth 5% of F2 base energy: {:.4}",
         wake.breakeven_cost
     );
-    let _ = writeln!(out, "\n6. Price of non-clairvoyance (replanning vs offline F2):");
-    let _ = writeln!(out, "   energy ratio:                 {:.4}", replan.energy_ratio);
-    let _ = writeln!(out, "   peak-frequency ratio:         {:.4}", replan.peak_freq_ratio);
-    let _ = writeln!(out, "   P(miss):                      {:.3}", replan.miss_prob);
+    let _ = writeln!(
+        out,
+        "\n6. Price of non-clairvoyance (replanning vs offline F2):"
+    );
+    let _ = writeln!(
+        out,
+        "   energy ratio:                 {:.4}",
+        replan.energy_ratio
+    );
+    let _ = writeln!(
+        out,
+        "   peak-frequency ratio:         {:.4}",
+        replan.peak_freq_ratio
+    );
+    let _ = writeln!(
+        out,
+        "   P(miss):                      {:.3}",
+        replan.miss_prob
+    );
     let _ = writeln!(
         out,
         "\n7. Slack reclamation (actual work = 50% of WCEC; energy vs clairvoyant-for-actuals):"
     );
-    let _ = writeln!(out, "   WCEC plan, no reclamation:    {:.4}", reclaim.no_reclaim);
-    let _ = writeln!(out, "   completion-driven replanning: {:.4}", reclaim.reclaim);
+    let _ = writeln!(
+        out,
+        "   WCEC plan, no reclamation:    {:.4}",
+        reclaim.no_reclaim
+    );
+    let _ = writeln!(
+        out,
+        "   completion-driven replanning: {:.4}",
+        reclaim.reclaim
+    );
 
     let csv = format!(
         "metric,value\nalloc_der,{:.6}\nalloc_der_no_redist,{:.6}\nalloc_work_prop,{:.6}\n\

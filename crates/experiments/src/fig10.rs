@@ -2,9 +2,10 @@
 //! 40}` (`α = 3`, `p₀ = 0.2`, `m = 4`, intensity uniform `[0.1, 1]`,
 //! 100 trials/point).
 
-use crate::harness::{nec_stats_for, TrialSpec};
+use crate::harness::{nec_stats_reported, TrialSpec};
 use crate::report::{nec_csv_with_std, nec_table, write_artifact};
 use esched_core::NecPoint;
+use esched_obs::{RunReport, Value};
 use esched_types::PolynomialPower;
 use esched_workload::{GeneratorConfig, IntensityDist};
 use std::path::Path;
@@ -13,10 +14,19 @@ use std::path::Path;
 pub const TASK_COUNTS: [usize; 8] = [5, 10, 15, 20, 25, 30, 35, 40];
 
 /// Run the sweep; returns `(x labels, NEC rows)`.
-pub fn run_stats(
+pub fn run_stats(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
+    let (xs, rows, stds, _) = run_stats_reported(trials, base_seed);
+    (xs, rows, stds)
+}
+
+/// [`run_stats`] that also assembles the per-trial [`RunReport`].
+pub fn run_stats_reported(
     trials: usize,
     base_seed: u64,
-) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
+) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>, RunReport) {
+    let mut report = RunReport::new("fig10")
+        .with_meta("trials_per_point", Value::Num(trials as f64))
+        .with_meta("base_seed", Value::Num(base_seed as f64));
     let mut xs = Vec::new();
     let mut rows = Vec::new();
     let mut stds = Vec::new();
@@ -31,11 +41,11 @@ pub fn run_stats(
             base_seed,
         };
         xs.push(n.to_string());
-        let (mean, std) = nec_stats_for(&spec);
+        let (mean, std) = nec_stats_reported(&spec, &format!("tasks={n}"), &mut report);
         rows.push(mean);
         stds.push(std);
     }
-    (xs, rows, stds)
+    (xs, rows, stds, report)
 }
 
 /// Run the sweep; returns `(x labels, mean NEC rows)`.
@@ -46,9 +56,14 @@ pub fn run(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>) {
 
 /// Run, print, and write artifacts.
 pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
-    let (xs, rows, stds) = run_stats(trials, base_seed);
+    let (xs, rows, stds, report) = run_stats_reported(trials, base_seed);
     let table = nec_table("tasks", &xs, &rows);
-    let _ = write_artifact(outdir, "fig10.csv", &nec_csv_with_std("tasks", &xs, &rows, &stds));
+    let _ = write_artifact(
+        outdir,
+        "fig10.csv",
+        &nec_csv_with_std("tasks", &xs, &rows, &stds),
+    );
+    let _ = report.write_to_dir(outdir);
     format!("Figure 10 — NEC vs task count (alpha=3, p0=0.2, m=4, {trials} trials)\n{table}")
 }
 

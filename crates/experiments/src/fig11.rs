@@ -20,8 +20,7 @@
 use crate::harness::per_trial;
 use crate::report::write_artifact;
 use esched_core::{
-    der_schedule, even_schedule, ideal_schedule, optimal_energy, quantize_schedule,
-    QuantizePolicy,
+    der_schedule, even_schedule, ideal_schedule, optimal_energy, quantize_schedule, QuantizePolicy,
 };
 use esched_opt::SolveOptions;
 use esched_types::{DiscretePower, PolynomialPower, TaskSet};
@@ -51,11 +50,7 @@ pub struct Fig11Result {
 
 /// Quantize the *ideal* solution: each task runs at the smallest level ≥
 /// its ideal frequency. Returns `(energy, missed)`.
-fn quantize_ideal(
-    tasks: &TaskSet,
-    power: &PolynomialPower,
-    table: &DiscretePower,
-) -> (f64, bool) {
+fn quantize_ideal(tasks: &TaskSet, power: &PolynomialPower, table: &DiscretePower) -> (f64, bool) {
     let ideal = ideal_schedule(tasks, power);
     let mut energy = 0.0;
     let mut missed = false;
@@ -149,7 +144,11 @@ pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
             "{:>8}{:>12.4}{:>12.3}",
             labels[k], r.mean_nec[k], r.miss_prob[k]
         );
-        let _ = writeln!(csv, "{},{:.6},{:.6}", labels[k], r.mean_nec[k], r.miss_prob[k]);
+        let _ = writeln!(
+            csv,
+            "{},{:.6},{:.6}",
+            labels[k], r.mean_nec[k], r.miss_prob[k]
+        );
     }
     let _ = write_artifact(outdir, "fig11.csv", &csv);
     out

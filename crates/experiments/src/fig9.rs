@@ -2,9 +2,10 @@
 //! `[0.1,1], [0.2,1], …, [1.0,1.0]` (`α = 3`, `p₀ = 0.2`, `m = 4`,
 //! `n = 20`, 100 trials/point).
 
-use crate::harness::{nec_stats_for, TrialSpec};
+use crate::harness::{nec_stats_reported, TrialSpec};
 use crate::report::{nec_csv_with_std, nec_table, write_artifact};
 use esched_core::NecPoint;
+use esched_obs::{RunReport, Value};
 use esched_types::PolynomialPower;
 use esched_workload::{GeneratorConfig, IntensityDist};
 use std::path::Path;
@@ -15,10 +16,19 @@ pub fn intensity_lows() -> Vec<f64> {
 }
 
 /// Run the sweep; returns `(x labels, NEC rows)`.
-pub fn run_stats(
+pub fn run_stats(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
+    let (xs, rows, stds, _) = run_stats_reported(trials, base_seed);
+    (xs, rows, stds)
+}
+
+/// [`run_stats`] that also assembles the per-trial [`RunReport`].
+pub fn run_stats_reported(
     trials: usize,
     base_seed: u64,
-) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
+) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>, RunReport) {
+    let mut report = RunReport::new("fig9")
+        .with_meta("trials_per_point", Value::Num(trials as f64))
+        .with_meta("base_seed", Value::Num(base_seed as f64));
     let mut xs = Vec::new();
     let mut rows = Vec::new();
     let mut stds = Vec::new();
@@ -32,11 +42,11 @@ pub fn run_stats(
             base_seed,
         };
         xs.push(format!("[{lo:.1},1]"));
-        let (mean, std) = nec_stats_for(&spec);
+        let (mean, std) = nec_stats_reported(&spec, &format!("intensity_lo={lo:.1}"), &mut report);
         rows.push(mean);
         stds.push(std);
     }
-    (xs, rows, stds)
+    (xs, rows, stds, report)
 }
 
 /// Run the sweep; returns `(x labels, mean NEC rows)`.
@@ -47,9 +57,14 @@ pub fn run(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>) {
 
 /// Run, print, and write artifacts.
 pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
-    let (xs, rows, stds) = run_stats(trials, base_seed);
+    let (xs, rows, stds, report) = run_stats_reported(trials, base_seed);
     let table = nec_table("intensity", &xs, &rows);
-    let _ = write_artifact(outdir, "fig9.csv", &nec_csv_with_std("intensity_lo", &xs, &rows, &stds));
+    let _ = write_artifact(
+        outdir,
+        "fig9.csv",
+        &nec_csv_with_std("intensity_lo", &xs, &rows, &stds),
+    );
+    let _ = report.write_to_dir(outdir);
     format!(
         "Figure 9 — NEC vs intensity range (alpha=3, p0=0.2, m=4, n=20, {trials} trials)\n{table}"
     )
@@ -71,10 +86,7 @@ mod tests {
         let f2s: Vec<f64> = rows.iter().map(|p| p.f2).collect();
         let min = f2s.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = f2s.iter().cloned().fold(0.0_f64, f64::max);
-        assert!(
-            max - min < 0.35,
-            "F2 fluctuates too much: [{min}, {max}]"
-        );
+        assert!(max - min < 0.35, "F2 fluctuates too much: [{min}, {max}]");
         assert!(max < 1.5, "F2 max {max}");
     }
 }

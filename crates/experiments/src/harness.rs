@@ -1,15 +1,46 @@
 //! Monte-Carlo driver shared by every experiment.
 //!
 //! Each figure point is the mean of `trials` independent task sets
-//! (the paper uses 100). Trials are embarrassingly parallel and run on the
-//! rayon pool; the per-trial seed is `base_seed + trial_index`, so results
-//! are bit-identical regardless of thread interleaving.
+//! (the paper uses 100). Trials are embarrassingly parallel and run on a
+//! scoped thread pool; the per-trial seed is `base_seed + trial_index`,
+//! so results are bit-identical regardless of thread count or
+//! interleaving.
 
-use esched_core::{evaluate_nec, mean_nec, NecPoint};
+use esched_core::{evaluate_nec, evaluate_nec_full, mean_nec, NecPoint};
+use esched_obs::{RunReport, TrialRecord, Value};
 use esched_opt::SolveOptions;
 use esched_types::PolynomialPower;
 use esched_workload::{GeneratorConfig, WorkloadGenerator};
-use rayon::prelude::*;
+
+/// Order-preserving parallel map over `0..n` on scoped threads. Static
+/// chunking is fine here: trials within an experiment have near-uniform
+/// cost.
+pub fn parallel_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        for (c, slots) in results.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                for (j, out) in slots.iter_mut().enumerate() {
+                    *out = Some(f(c * chunk + j));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
 
 /// One experiment setting: a platform plus a workload distribution.
 #[derive(Debug, Clone, Copy)]
@@ -34,14 +65,51 @@ pub fn mean_nec_for(spec: &TrialSpec) -> NecPoint {
 /// `(mean, sample std)` of the NEC over the spec's trials (parallel).
 pub fn nec_stats_for(spec: &TrialSpec) -> (NecPoint, NecPoint) {
     let opts = SolveOptions::fast();
-    let points: Vec<NecPoint> = (0..spec.trials)
-        .into_par_iter()
-        .map(|k| {
-            let mut gen = WorkloadGenerator::new(spec.config, spec.base_seed + k as u64);
-            let tasks = gen.generate();
-            evaluate_nec(&tasks, spec.cores, &spec.power, &opts)
-        })
-        .collect();
+    let points: Vec<NecPoint> = parallel_map(spec.trials, |k| {
+        let mut gen = WorkloadGenerator::new(spec.config, spec.base_seed + k as u64);
+        let tasks = gen.generate();
+        evaluate_nec(&tasks, spec.cores, &spec.power, &opts)
+    });
+    (mean_nec(&points), esched_core::std_nec(&points))
+}
+
+/// [`nec_stats_for`] that also appends one [`TrialRecord`] per trial to
+/// `report`: convex-solver telemetry (iterations, gap evaluations, wall
+/// time, certified gap), a clean-sim verdict from simulating the `S^F2`
+/// schedule, and the trial's F2 NEC. `point` labels which sweep setting
+/// the trials belong to (e.g. `"p0=0.10"`).
+pub fn nec_stats_reported(
+    spec: &TrialSpec,
+    point: &str,
+    report: &mut RunReport,
+) -> (NecPoint, NecPoint) {
+    let opts = SolveOptions::fast();
+    let results: Vec<(NecPoint, TrialRecord)> = parallel_map(spec.trials, |k| {
+        let seed = spec.base_seed + k as u64;
+        let mut gen = WorkloadGenerator::new(spec.config, seed);
+        let tasks = gen.generate();
+        let eval = evaluate_nec_full(&tasks, spec.cores, &spec.power, &opts);
+        let sim = esched_sim::simulate(&eval.f2_schedule, &tasks, &spec.power);
+        let t = &eval.opt_telemetry;
+        let mut rec = TrialRecord::new(k as u64, seed);
+        rec.solver_iters = t.iters as u64;
+        rec.gap_evals = t.gap_evals as u64;
+        rec.converged = t.converged;
+        rec.final_gap = t.final_gap;
+        rec.solve_wall_s = t.wall_s;
+        rec.sim_clean = Some(sim.is_clean());
+        rec.extra
+            .push(("point".to_string(), Value::Str(point.to_string())));
+        rec.extra
+            .push(("nec_f2".to_string(), Value::Num(eval.nec.f2)));
+        (eval.nec, rec)
+    });
+    let points: Vec<NecPoint> = results.iter().map(|(p, _)| *p).collect();
+    let base = report.trials.len() as u64;
+    for (_, mut rec) in results {
+        rec.trial += base;
+        report.push(rec);
+    }
     (mean_nec(&points), esched_core::std_nec(&points))
 }
 
@@ -53,15 +121,12 @@ pub fn per_trial<T: Send>(
     base_seed: u64,
     f: impl Fn(u64, esched_types::TaskSet) -> T + Sync,
 ) -> Vec<T> {
-    (0..trials)
-        .into_par_iter()
-        .map(|k| {
-            let seed = base_seed + k as u64;
-            let mut gen = WorkloadGenerator::new(config, seed);
-            let tasks = gen.generate();
-            f(seed, tasks)
-        })
-        .collect()
+    parallel_map(trials, |k| {
+        let seed = base_seed + k as u64;
+        let mut gen = WorkloadGenerator::new(config, seed);
+        let tasks = gen.generate();
+        f(seed, tasks)
+    })
 }
 
 #[cfg(test)]
@@ -98,5 +163,13 @@ mod tests {
         let mut sorted = seeds.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![1000, 1001, 1002, 1003, 1004]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(37, |i| i * 2);
+        assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, |i| i + 5), vec![5]);
     }
 }

@@ -1,7 +1,7 @@
 //! CLI for regenerating the paper's tables and figures.
 //!
 //! ```text
-//! esched-experiments <command> [--trials N] [--seed N] [--out DIR] [--stride N]
+//! esched-experiments <command> [--trials N] [--seed N] [--out DIR] [--stride N] [--quiet]
 //!
 //! commands:
 //!   fig2       Fig. 1-2 worked example (YDS + two-core optimum)
@@ -27,6 +27,7 @@ struct Args {
     seed: u64,
     out: PathBuf,
     stride: usize,
+    quiet: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,20 +39,21 @@ fn parse_args() -> Result<Args, String> {
         seed: 2014,
         out: PathBuf::from("results"),
         stride: 1,
+        quiet: false,
     };
     while let Some(flag) = args.next() {
+        if flag == "--quiet" {
+            parsed.quiet = true;
+            continue;
+        }
         let value = args
             .next()
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
         match flag.as_str() {
-            "--trials" => {
-                parsed.trials = value.parse().map_err(|e| format!("--trials: {e}"))?
-            }
+            "--trials" => parsed.trials = value.parse().map_err(|e| format!("--trials: {e}"))?,
             "--seed" => parsed.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
             "--out" => parsed.out = PathBuf::from(value),
-            "--stride" => {
-                parsed.stride = value.parse().map_err(|e| format!("--stride: {e}"))?
-            }
+            "--stride" => parsed.stride = value.parse().map_err(|e| format!("--stride: {e}"))?,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -63,7 +65,9 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: esched-experiments <fig2|example|corecount|fig6|fig7|fig8|fig9|fig10|fig11|table2|ablate|solvers|all> \
-     [--trials N] [--seed N] [--out DIR] [--stride N]"
+     [--trials N] [--seed N] [--out DIR] [--stride N] [--quiet]\n\
+     Tracing: set ESCHED_LOG (e.g. ESCHED_LOG=debug or ESCHED_LOG=esched_core=trace,info); \
+     --quiet forces it off."
         .to_string()
 }
 
@@ -75,6 +79,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.quiet {
+        esched_obs::trace::disable();
+    } else {
+        esched_obs::trace::init_from_env();
+    }
     let run_one = |cmd: &str| -> Option<String> {
         match cmd {
             "fig2" => Some(worked::fig2_report()),
@@ -100,8 +109,18 @@ fn main() -> ExitCode {
     match args.command.as_str() {
         "all" => {
             for cmd in [
-                "fig2", "example", "corecount", "fig6", "fig7", "fig8", "fig9", "fig10",
-                "fig11", "table2", "ablate", "solvers",
+                "fig2",
+                "example",
+                "corecount",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "table2",
+                "ablate",
+                "solvers",
             ] {
                 println!("==== {cmd} ====");
                 println!("{}", run_one(cmd).expect("known command"));

@@ -9,9 +9,10 @@
 //! certified duality gaps.
 
 use crate::report::write_artifact;
+use esched_obs::{RunReport, TrialRecord, Value};
 use esched_opt::{
     kkt_report, solve_barrier, solve_block_descent, solve_fista, solve_frank_wolfe, solve_pgd,
-    EnergyProgram, SolveOptions,
+    EnergyProgram, SolveOptions, SolverTelemetry,
 };
 use esched_subinterval::Timeline;
 use esched_types::PolynomialPower;
@@ -37,6 +38,8 @@ pub struct SolverRun {
     pub seconds: f64,
     /// Projected-gradient KKT residual (solver-independent certificate).
     pub kkt_residual: f64,
+    /// The solver's own telemetry (stalls, gap evaluations, backtracks).
+    pub telemetry: SolverTelemetry,
 }
 
 /// Run all five solvers on instances of each size.
@@ -44,8 +47,7 @@ pub fn run(sizes: &[usize], seed: u64) -> Vec<SolverRun> {
     let mut out = Vec::new();
     for &n in sizes {
         let tasks =
-            WorkloadGenerator::new(GeneratorConfig::paper_default().with_tasks(n), seed)
-                .generate();
+            WorkloadGenerator::new(GeneratorConfig::paper_default().with_tasks(n), seed).generate();
         let tl = Timeline::build(&tasks);
         let ep = EnergyProgram::new(&tasks, &tl, 4, PolynomialPower::paper(3.0, 0.1));
         let opts = SolveOptions::default();
@@ -84,6 +86,7 @@ pub fn run(sizes: &[usize], seed: u64) -> Vec<SolverRun> {
                 iters: r.iters,
                 seconds,
                 kkt_residual: kkt.projected_gradient_residual,
+                telemetry: r.telemetry,
             });
         }
     }
@@ -128,6 +131,31 @@ pub fn run_and_report(seed: u64, outdir: &Path) -> String {
         );
     }
     let _ = write_artifact(outdir, "solvers.csv", &csv);
+    // Structured artifact: one trial record per (size, solver) run.
+    let mut report = RunReport::new("solvers").with_meta("seed", Value::Num(seed as f64));
+    for (k, r) in runs.iter().enumerate() {
+        let t = &r.telemetry;
+        let mut rec = TrialRecord::new(k as u64, seed);
+        rec.solver_iters = t.iters as u64;
+        rec.gap_evals = t.gap_evals as u64;
+        rec.converged = t.converged;
+        rec.final_gap = t.final_gap;
+        rec.solve_wall_s = t.wall_s;
+        rec.extra
+            .push(("solver".to_string(), Value::Str(r.name.to_string())));
+        rec.extra
+            .push(("tasks".to_string(), Value::Num(r.tasks as f64)));
+        rec.extra
+            .push(("objective".to_string(), Value::Num(r.objective)));
+        rec.extra
+            .push(("kkt_residual".to_string(), Value::Num(r.kkt_residual)));
+        rec.extra
+            .push(("backtracks".to_string(), Value::Num(t.backtracks as f64)));
+        rec.extra
+            .push(("stalls".to_string(), Value::Num(t.stalls as f64)));
+        report.push(rec);
+    }
+    let _ = report.write_to_dir(outdir);
     out
 }
 
@@ -139,7 +167,10 @@ mod tests {
     fn all_solvers_agree_within_tolerance() {
         let runs = run(&[10], 77);
         assert_eq!(runs.len(), 5);
-        let lo = runs.iter().map(|r| r.objective).fold(f64::INFINITY, f64::min);
+        let lo = runs
+            .iter()
+            .map(|r| r.objective)
+            .fold(f64::INFINITY, f64::min);
         let hi = runs.iter().map(|r| r.objective).fold(0.0_f64, f64::max);
         assert!(
             (hi - lo) / lo < 2e-3,

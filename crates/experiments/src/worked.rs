@@ -7,8 +7,8 @@
 //! * Section VI.D — core-count selection.
 
 use esched_core::{
-    allocate_der, der_schedule, even_schedule, ideal_schedule, optimal_energy,
-    select_core_count, yds_schedule, Method,
+    allocate_der, der_schedule, even_schedule, ideal_schedule, optimal_energy, select_core_count,
+    yds_schedule, Method,
 };
 use esched_opt::SolveOptions;
 use esched_sim::{ascii_gantt, simulate, task_summary};

@@ -1,0 +1,594 @@
+//! Minimal JSON: an insertion-order-preserving value, emitter, parser,
+//! and conversion traits.
+//!
+//! The workspace carries no third-party serialization crates, so every
+//! machine-readable artifact (task sets, run reports, experiment results)
+//! goes through this module. The emitter uses Rust's shortest-round-trip
+//! float formatting, so `parse(to_string(v)) == v` for finite numbers.
+
+use std::fmt;
+
+/// A JSON value. Object keys keep insertion order so emitted artifacts
+/// are stable and diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; non-finite values emit as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (ordered key/value pairs).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Member lookup on objects (`None` elsewhere or when absent).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer view (numbers that are exactly integral).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Pretty serialization (two-space indent). Compact serialization is
+    /// the `Display` impl (`value.to_string()` / `format!("{value}")`).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Value::Obj(pairs) => {
+                write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i, d| {
+                    write_escaped(out, &pairs[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    pairs[i].1.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub position: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            position: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for our artifacts;
+                            // map unpaired surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'[', "expected array")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.eat(b'{', "expected object")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Types that can render themselves as a JSON [`Value`].
+pub trait ToJson {
+    /// The JSON form of `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a JSON [`Value`].
+pub trait FromJson: Sized {
+    /// Parse `self` out of `value`.
+    ///
+    /// # Errors
+    /// [`JsonError`] describing the first structural mismatch.
+    fn from_json(value: &Value) -> Result<Self, JsonError>;
+}
+
+/// Helper for `FromJson` impls: a structural error at position 0.
+pub fn type_error(message: &str) -> JsonError {
+    JsonError {
+        message: message.to_string(),
+        position: 0,
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        value.as_f64().ok_or_else(|| type_error("expected number"))
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_u64()
+            .map(|v| v as usize)
+            .ok_or_else(|| type_error("expected non-negative integer"))
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        value.as_bool().ok_or_else(|| type_error("expected bool"))
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| type_error("expected string"))
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        value
+            .as_array()
+            .ok_or_else(|| type_error("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_and_parse_round_trip() {
+        let v = Value::obj(vec![
+            ("name", Value::Str("fig6".into())),
+            ("trials", Value::Num(100.0)),
+            ("clean", Value::Bool(true)),
+            ("gap", Value::Num(1.25e-8)),
+            ("xs", Value::Arr(vec![Value::Num(1.5), Value::Null])),
+            (
+                "nested",
+                Value::obj(vec![("k", Value::Str("v\"\n".into()))]),
+            ),
+        ]);
+        for text in [v.to_string(), v.to_string_pretty()] {
+            assert_eq!(parse(&text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn integers_emit_without_fraction() {
+        assert_eq!(Value::Num(100.0).to_string(), "100");
+        assert_eq!(Value::Num(0.5).to_string(), "0.5");
+        assert_eq!(Value::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn parse_standard_documents() {
+        let v = parse(r#"{"a": [1, -2.5, 3e2], "b": null, "c": "xA"}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2],
+            Value::Num(300.0)
+        );
+        assert_eq!(v.get("b"), Some(&Value::Null));
+        assert_eq!(v.get("c").unwrap().as_str(), Some("xA"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "{not json",
+            "[1,",
+            "\"open",
+            "{\"a\":}",
+            "[1] trailing",
+            "",
+            "01a",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse(r#"{"n": 3, "s": "x", "f": 1.5, "b": false}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("f").unwrap().as_u64(), None);
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("x"), None);
+    }
+
+    #[test]
+    fn to_json_impls() {
+        assert_eq!(vec![1.0f64, 2.0].to_json().to_string(), "[1,2]");
+        assert_eq!("s".to_json(), Value::Str("s".into()));
+        let back: Vec<f64> = FromJson::from_json(&parse("[1, 2.5]").unwrap()).unwrap();
+        assert_eq!(back, vec![1.0, 2.5]);
+        let err: Result<Vec<f64>, _> = FromJson::from_json(&parse("[1, \"x\"]").unwrap());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for x in [
+            0.1,
+            1.0 / 3.0,
+            1e-300,
+            123456.789012345,
+            -2.2250738585072014e-308,
+        ] {
+            let text = Value::Num(x).to_string();
+            assert_eq!(parse(&text).unwrap().as_f64(), Some(x), "{text}");
+        }
+    }
+}

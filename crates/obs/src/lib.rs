@@ -1,0 +1,53 @@
+//! # esched-obs
+//!
+//! Observability and run-infrastructure layer for the `esched` workspace.
+//!
+//! The workspace is fully self-contained (no third-party crates), so this
+//! crate supplies, from scratch, the substrate every other crate leans on
+//! to *see* what the scheduling pipeline is doing:
+//!
+//! * [`trace`] — a lightweight `tracing`-style span/event layer that is
+//!   **zero-cost when disabled**: every macro call is gated on a single
+//!   relaxed atomic load, and no field values are materialized unless a
+//!   subscriber is installed and the level/target filter passes. Enable it
+//!   with [`trace::init_from_env`] (reads `ESCHED_LOG`, e.g.
+//!   `ESCHED_LOG=debug` or `ESCHED_LOG=esched_core=trace,esched_opt=info`).
+//! * [`json`] — an insertion-order-preserving JSON value, emitter, and
+//!   parser plus the [`json::ToJson`]/[`json::FromJson`] traits used for
+//!   machine-readable artifacts (task sets, run reports).
+//! * [`stats`] — percentile and histogram helpers for aggregating
+//!   per-trial telemetry.
+//! * [`report`] — the [`report::RunReport`] structured artifact the
+//!   experiment harness writes next to figure outputs.
+//! * [`rng`] — a deterministic, seedable ChaCha8 generator so workloads
+//!   and randomized tests are reproducible bit-for-bit without external
+//!   RNG crates.
+//!
+//! The span hierarchy wired through the workspace (see DESIGN.md,
+//! "Observability"):
+//!
+//! ```text
+//! der_schedule / even_schedule          (esched-core, INFO)
+//! ├── timeline_build                    (esched-subinterval, DEBUG)
+//! ├── ideal_schedule                    (esched-core, DEBUG)
+//! ├── allocate_der | allocate_even      (esched-core, DEBUG; n_heavy field)
+//! └── refine_frequencies                (esched-core, DEBUG)
+//! reclaim_der / quantize_schedule       (esched-core, DEBUG)
+//! solve_pgd|fista|frank_wolfe|
+//!   block_descent|barrier               (esched-opt, DEBUG; WARN on cap)
+//! simulate                              (esched-sim, INFO; counter event)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod trace;
+
+pub use json::{FromJson, JsonError, ToJson, Value};
+pub use report::{RunReport, TrialRecord};
+pub use rng::ChaCha8;
+pub use trace::Level;

@@ -1,0 +1,244 @@
+//! Structured run reports: the machine-readable artifact a Monte-Carlo
+//! experiment writes next to its figure outputs.
+//!
+//! A [`RunReport`] collects one [`TrialRecord`] per trial and aggregates
+//! them into wall-time percentiles, solver-iteration histograms, and a
+//! clean-simulation rate. The JSON layout is stable (insertion-ordered
+//! keys) so CI can parse it and assert on its contents.
+
+use crate::json::Value;
+use crate::stats::{Log2Histogram, Summary};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Telemetry of one Monte-Carlo trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Trial index within the run.
+    pub trial: u64,
+    /// RNG seed the trial used.
+    pub seed: u64,
+    /// Total solver iterations spent in this trial.
+    pub solver_iters: u64,
+    /// Number of duality-gap evaluations.
+    pub gap_evals: u64,
+    /// Did every solve in the trial converge (vs. hitting the cap)?
+    pub converged: bool,
+    /// Final certified duality gap (worst across solves in the trial).
+    pub final_gap: f64,
+    /// Wall time spent solving, in seconds.
+    pub solve_wall_s: f64,
+    /// Did the trial's simulated schedules run clean (no misses or
+    /// conflicts)? `None` when the trial did not simulate.
+    pub sim_clean: Option<bool>,
+    /// Experiment-specific extras (e.g. the NEC values of the trial).
+    pub extra: Vec<(String, Value)>,
+}
+
+impl TrialRecord {
+    /// A blank record for `trial`/`seed`, to be filled in.
+    pub fn new(trial: u64, seed: u64) -> Self {
+        Self {
+            trial,
+            seed,
+            solver_iters: 0,
+            gap_evals: 0,
+            converged: true,
+            final_gap: 0.0,
+            solve_wall_s: 0.0,
+            sim_clean: None,
+            extra: Vec::new(),
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        let mut pairs = vec![
+            ("trial".to_string(), Value::Num(self.trial as f64)),
+            ("seed".to_string(), Value::Num(self.seed as f64)),
+            (
+                "solver_iters".to_string(),
+                Value::Num(self.solver_iters as f64),
+            ),
+            ("gap_evals".to_string(), Value::Num(self.gap_evals as f64)),
+            ("converged".to_string(), Value::Bool(self.converged)),
+            ("final_gap".to_string(), Value::Num(self.final_gap)),
+            ("solve_wall_s".to_string(), Value::Num(self.solve_wall_s)),
+            (
+                "sim_clean".to_string(),
+                match self.sim_clean {
+                    Some(b) => Value::Bool(b),
+                    None => Value::Null,
+                },
+            ),
+        ];
+        pairs.extend(self.extra.iter().map(|(k, v)| (k.clone(), v.clone())));
+        Value::Obj(pairs)
+    }
+}
+
+/// A full experiment run: metadata plus per-trial records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Experiment name (`fig6`, `table2`, …).
+    pub name: String,
+    /// Free-form metadata (config echoes, sweep parameters).
+    pub meta: Vec<(String, Value)>,
+    /// One record per trial.
+    pub trials: Vec<TrialRecord>,
+}
+
+impl RunReport {
+    /// An empty report for `name`.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            meta: Vec::new(),
+            trials: Vec::new(),
+        }
+    }
+
+    /// Attach a metadata entry.
+    pub fn with_meta(mut self, key: &str, value: Value) -> Self {
+        self.meta.push((key.to_string(), value));
+        self
+    }
+
+    /// Append one trial.
+    pub fn push(&mut self, record: TrialRecord) {
+        self.trials.push(record);
+    }
+
+    /// Fraction of simulated trials that ran clean (1.0 when none
+    /// simulated, so non-simulating experiments read as trivially clean).
+    pub fn clean_sim_rate(&self) -> f64 {
+        let simulated: Vec<bool> = self.trials.iter().filter_map(|t| t.sim_clean).collect();
+        if simulated.is_empty() {
+            1.0
+        } else {
+            simulated.iter().filter(|&&c| c).count() as f64 / simulated.len() as f64
+        }
+    }
+
+    /// The aggregate block: percentiles, histograms, rates.
+    pub fn aggregate(&self) -> Value {
+        let wall: Vec<f64> = self.trials.iter().map(|t| t.solve_wall_s).collect();
+        let iters: Vec<f64> = self.trials.iter().map(|t| t.solver_iters as f64).collect();
+        let gaps: Vec<f64> = self.trials.iter().map(|t| t.final_gap).collect();
+        let mut hist = Log2Histogram::new();
+        for t in &self.trials {
+            hist.add(t.solver_iters);
+        }
+        let converged = self.trials.iter().filter(|t| t.converged).count();
+        let denom = self.trials.len().max(1) as f64;
+        Value::obj(vec![
+            ("trials", Value::Num(self.trials.len() as f64)),
+            ("solve_wall_s", Summary::of(&wall).to_json()),
+            ("solver_iters", Summary::of(&iters).to_json()),
+            ("iters_histogram", hist.to_json()),
+            ("final_gap", Summary::of(&gaps).to_json()),
+            ("converged_rate", Value::Num(converged as f64 / denom)),
+            ("clean_sim_rate", Value::Num(self.clean_sim_rate())),
+        ])
+    }
+
+    /// Full JSON form: name, meta, aggregate, per-trial records.
+    pub fn to_json(&self) -> Value {
+        let mut pairs = vec![("name".to_string(), Value::Str(self.name.clone()))];
+        if !self.meta.is_empty() {
+            pairs.push(("meta".to_string(), Value::Obj(self.meta.clone())));
+        }
+        pairs.push(("aggregate".to_string(), self.aggregate()));
+        pairs.push((
+            "trials".to_string(),
+            Value::Arr(self.trials.iter().map(TrialRecord::to_json).collect()),
+        ));
+        Value::Obj(pairs)
+    }
+
+    /// Write the report as `<dir>/<name>.report.json` and return the path.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_to_dir(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.report.json", self.name));
+        std::fs::write(&path, self.to_json().to_string_pretty())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample_report() -> RunReport {
+        let mut r = RunReport::new("fig6").with_meta("cores", Value::Num(4.0));
+        for k in 0..4u64 {
+            let mut t = TrialRecord::new(k, 2014 + k);
+            t.solver_iters = 100 * (k + 1);
+            t.gap_evals = 10 * (k + 1);
+            t.converged = k != 3;
+            t.final_gap = 1e-8 * (k + 1) as f64;
+            t.solve_wall_s = 0.01 * (k + 1) as f64;
+            t.sim_clean = Some(k != 2);
+            t.extra.push(("nec_f2".to_string(), Value::Num(1.05)));
+            r.push(t);
+        }
+        r
+    }
+
+    #[test]
+    fn aggregate_rates_and_percentiles() {
+        let r = sample_report();
+        let agg = r.aggregate();
+        assert_eq!(agg.get("trials").unwrap().as_u64(), Some(4));
+        assert_eq!(agg.get("converged_rate").unwrap().as_f64(), Some(0.75));
+        assert_eq!(agg.get("clean_sim_rate").unwrap().as_f64(), Some(0.75));
+        let wall = agg.get("solve_wall_s").unwrap();
+        assert_eq!(wall.get("max").unwrap().as_f64(), Some(0.04));
+        assert_eq!(wall.get("p50").unwrap().as_f64(), Some(0.02));
+        assert!(agg.get("iters_histogram").unwrap().get("le_128").is_some());
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let r = sample_report();
+        let text = r.to_json().to_string_pretty();
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("fig6"));
+        assert_eq!(
+            v.get("meta").unwrap().get("cores").unwrap().as_u64(),
+            Some(4)
+        );
+        let trials = v.get("trials").unwrap().as_array().unwrap();
+        assert_eq!(trials.len(), 4);
+        assert_eq!(trials[1].get("solver_iters").unwrap().as_u64(), Some(200));
+        assert_eq!(trials[0].get("nec_f2").unwrap().as_f64(), Some(1.05));
+    }
+
+    #[test]
+    fn empty_and_unsimulated_reports() {
+        let r = RunReport::new("empty");
+        assert_eq!(r.clean_sim_rate(), 1.0);
+        let agg = r.aggregate();
+        assert_eq!(agg.get("trials").unwrap().as_u64(), Some(0));
+        // No trials → converged_rate 0/1 = 0, but it must not NaN.
+        assert!(agg
+            .get("converged_rate")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .is_finite());
+    }
+
+    #[test]
+    fn write_to_dir_emits_parseable_file() {
+        let dir = std::env::temp_dir().join("esched-report-test");
+        let path = sample_report().write_to_dir(&dir).unwrap();
+        assert!(path.ends_with("fig6.report.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(parse(&text).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,185 @@
+//! Aggregation helpers for per-trial telemetry: percentiles and
+//! histograms.
+
+use crate::json::Value;
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Non-finite values are ignored; an empty (or
+    /// all-non-finite) sample yields zeros.
+    pub fn of(values: &[f64]) -> Summary {
+        let mut xs: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if xs.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let count = xs.len();
+        let mean = xs.iter().sum::<f64>() / count as f64;
+        Summary {
+            count,
+            mean,
+            p50: percentile_sorted(&xs, 50.0),
+            p95: percentile_sorted(&xs, 95.0),
+            min: xs[0],
+            max: xs[count - 1],
+        }
+    }
+
+    /// JSON form with stable key order.
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("count", Value::Num(self.count as f64)),
+            ("mean", Value::Num(self.mean)),
+            ("p50", Value::Num(self.p50)),
+            ("p95", Value::Num(self.p95)),
+            ("min", Value::Num(self.min)),
+            ("max", Value::Num(self.max)),
+        ])
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty sample.
+/// `p` in percent (0–100).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// A power-of-two bucketed histogram of non-negative integer samples
+/// (solver iteration counts): buckets `[0,1], (1,2], (2,4], (4,8], …`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Log2Histogram {
+    /// `counts[k]` = samples in bucket `k` (upper edge `2^k`).
+    counts: Vec<u64>,
+}
+
+impl Log2Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, value: u64) {
+        let bucket = if value <= 1 {
+            0
+        } else {
+            (64 - (value - 1).leading_zeros()) as usize
+        };
+        if self.counts.len() <= bucket {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(upper_edge, count)` pairs for non-empty buckets.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(k, &c)| (1u64 << k, c))
+            .collect()
+    }
+
+    /// JSON form: `{"le_1": n, "le_2": n, "le_4": n, …}`.
+    pub fn to_json(&self) -> Value {
+        Value::Obj(
+            self.buckets()
+                .into_iter()
+                .map(|(edge, count)| (format!("le_{edge}"), Value::Num(count as f64)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p95, 5.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_ignores_non_finite_and_handles_empty() {
+        let s = Summary::of(&[f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50, 2.0);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.max, 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_sorted(&xs, 50.0), 50.0);
+        assert_eq!(percentile_sorted(&xs, 95.0), 95.0);
+        assert_eq!(percentile_sorted(&xs, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&xs, 100.0), 100.0);
+        assert_eq!(percentile_sorted(&[7.0], 95.0), 7.0);
+    }
+
+    #[test]
+    fn log2_histogram_buckets() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 4, 5, 8, 9, 1000] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 9);
+        // 0,1 → le_1; 2 → le_2; 3,4 → le_4; 5,8 → le_8; 9 → le_16;
+        // 1000 → le_1024.
+        assert_eq!(
+            h.buckets(),
+            vec![(1, 2), (2, 1), (4, 2), (8, 2), (16, 1), (1024, 1)]
+        );
+        let json = h.to_json();
+        assert_eq!(json.get("le_4").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let j = Summary::of(&[1.0, 2.0]).to_json();
+        for key in ["count", "mean", "p50", "p95", "min", "max"] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+    }
+}

@@ -27,7 +27,9 @@
 
 use crate::energy_program::EnergyProgram;
 use crate::linalg::{lu_solve, Matrix};
-use crate::solver::{SolveOptions, SolveResult};
+use crate::solver::{SolveOptions, SolveResult, SolverTelemetry};
+use esched_obs::{event, span, Level};
+use std::time::Instant;
 
 /// Fraction-to-boundary rule: never step past 99.5% of the way to any
 /// constraint.
@@ -104,12 +106,7 @@ fn barrier_value(st: &Structure, x: &[f64]) -> f64 {
 
 /// One Newton step of `Φ_μ` at strictly feasible `x`. Returns the descent
 /// direction, or `None` when the reduced system is singular.
-fn newton_direction(
-    ep: &EnergyProgram,
-    st: &Structure,
-    x: &[f64],
-    mu: f64,
-) -> Option<Vec<f64>> {
+fn newton_direction(ep: &EnergyProgram, st: &Structure, x: &[f64], mu: f64) -> Option<Vec<f64>> {
     let dim = st.dim;
     // Slacks per subinterval.
     let mut slack = st.cap.clone();
@@ -210,9 +207,22 @@ fn max_step(st: &Structure, x: &[f64], dir: &[f64]) -> f64 {
 pub fn solve_barrier(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResult {
     let st = structure(ep);
     let dim = st.dim;
+    let _span = span!(
+        Level::Debug,
+        "solve_barrier",
+        dim = dim,
+        n_tasks = st.n_tasks,
+        n_subintervals = st.n_subs,
+    );
+    let t_start = Instant::now();
+    let mut backtracks = 0usize;
 
     // Strictly interior start: 90% of the even-share point.
-    let mut x: Vec<f64> = ep.initial_point().iter().map(|&v| 0.9 * v.max(1e-9)).collect();
+    let mut x: Vec<f64> = ep
+        .initial_point()
+        .iter()
+        .map(|&v| 0.9 * v.max(1e-9))
+        .collect();
     debug_assert!(barrier_value(&st, &x).is_finite(), "start not interior");
 
     // μ schedule: start so the barrier term is comparable to the
@@ -241,8 +251,7 @@ pub fn solve_barrier(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResult {
             let phi0 = ep.objective(&x) + mu * barrier_value(&st, &x);
             let mut accepted = false;
             for _ in 0..40 {
-                let trial: Vec<f64> =
-                    x.iter().zip(&dir).map(|(a, b)| a + step * b).collect();
+                let trial: Vec<f64> = x.iter().zip(&dir).map(|(a, b)| a + step * b).collect();
                 let phi = ep.objective(&trial) + mu * barrier_value(&st, &trial);
                 if phi < phi0 - 1e-12 * phi0.abs() {
                     x = trial;
@@ -250,6 +259,7 @@ pub fn solve_barrier(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResult {
                     break;
                 }
                 step *= 0.5;
+                backtracks += 1;
                 if step < 1e-16 {
                     break;
                 }
@@ -268,12 +278,38 @@ pub fn solve_barrier(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResult {
 
     let objective = ep.objective(&x);
     let gap = ep.duality_gap(&x);
+    if !converged {
+        event!(
+            Level::Warn,
+            "barrier hit iteration cap",
+            iters = iters,
+            gap = gap
+        );
+    }
+    let telemetry = SolverTelemetry {
+        iters,
+        stalls: 0,
+        gap_evals: 1,
+        backtracks,
+        wall_s: t_start.elapsed().as_secs_f64(),
+        final_gap: gap,
+        converged,
+    };
+    event!(
+        Level::Debug,
+        "barrier done",
+        newton_steps = iters,
+        backtracks = backtracks,
+        gap = gap,
+        converged = converged,
+    );
     SolveResult {
         x,
         objective,
         gap,
         iters,
         converged,
+        telemetry,
     }
 }
 

@@ -28,7 +28,9 @@
 
 use crate::energy_program::EnergyProgram;
 use crate::scalar::bisect;
-use crate::solver::{SolveOptions, SolveResult};
+use crate::solver::{SolveOptions, SolveResult, SolverTelemetry};
+use esched_obs::{event, span, Level};
+use std::time::Instant;
 
 /// The closed-form unconstrained block response for one task.
 fn response(c: f64, r: f64, gamma: f64, alpha: f64, p0_plus_lambda: f64) -> f64 {
@@ -88,6 +90,13 @@ pub fn solve_block_descent(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResu
     let (gamma, alpha, p0) = ep.power_parameters();
     let n = ep.task_count();
     let nsub = ep.subinterval_count();
+    let _span = span!(
+        Level::Debug,
+        "solve_block_descent",
+        n_tasks = n,
+        n_subintervals = nsub,
+    );
+    let t_start = Instant::now();
 
     let mut x = ep.initial_point();
     let mut fx = ep.objective(&x);
@@ -95,6 +104,8 @@ pub fn solve_block_descent(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResu
     let mut converged = false;
     let mut gap = f64::INFINITY;
     let mut stalled = 0usize;
+    let mut stalls = 0usize;
+    let mut gap_evals = 0usize;
 
     // Per-block member lists (task, flat index).
     let members: Vec<Vec<(usize, usize)>> = (0..nsub)
@@ -131,6 +142,7 @@ pub fn solve_block_descent(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResu
         fx = f_new;
         if decrease.abs() <= opts.rel_tol * (1.0 + fx.abs()) {
             stalled += 1;
+            stalls += 1;
             if stalled >= 3 {
                 converged = true;
                 break;
@@ -140,6 +152,7 @@ pub fn solve_block_descent(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResu
         }
         if (sweep + 1) % opts.gap_check_every.max(1) == 0 {
             gap = ep.duality_gap(&x);
+            gap_evals += 1;
             if gap <= opts.gap_tol * (1.0 + fx.abs()) {
                 converged = true;
                 break;
@@ -149,13 +162,40 @@ pub fn solve_block_descent(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResu
 
     if !gap.is_finite() || converged {
         gap = ep.duality_gap(&x);
+        gap_evals += 1;
     }
+    if !converged {
+        event!(
+            Level::Warn,
+            "block descent hit sweep cap",
+            sweeps = iters,
+            gap = gap
+        );
+    }
+    let telemetry = SolverTelemetry {
+        iters,
+        stalls,
+        gap_evals,
+        backtracks: 0,
+        wall_s: t_start.elapsed().as_secs_f64(),
+        final_gap: gap,
+        converged,
+    };
+    event!(
+        Level::Debug,
+        "block descent done",
+        sweeps = iters,
+        gap_evals = gap_evals,
+        gap = gap,
+        converged = converged,
+    );
     SolveResult {
         x,
         objective: fx,
         gap,
         iters,
         converged,
+        telemetry,
     }
 }
 

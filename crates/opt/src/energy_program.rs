@@ -67,12 +67,7 @@ pub struct EnergyProgram {
 impl EnergyProgram {
     /// Build the program for `tasks` on `cores` cores under `power`, using
     /// `timeline` for the variable layout.
-    pub fn new(
-        tasks: &TaskSet,
-        timeline: &Timeline,
-        cores: usize,
-        power: PolynomialPower,
-    ) -> Self {
+    pub fn new(tasks: &TaskSet, timeline: &Timeline, cores: usize, power: PolynomialPower) -> Self {
         assert!(cores > 0);
         let works: Vec<f64> = tasks.tasks().iter().map(|t| t.wcec).collect();
         let deltas: Vec<f64> = (0..timeline.len()).map(|j| timeline.delta(j)).collect();
@@ -143,7 +138,9 @@ impl EnergyProgram {
     /// `j`.
     pub fn flat_index(&self, task: usize, sub: usize) -> Option<usize> {
         let (a, b) = self.spans[task];
-        (a..b).contains(&sub).then(|| self.offsets[task] + (sub - a))
+        (a..b)
+            .contains(&sub)
+            .then(|| self.offsets[task] + (sub - a))
     }
 
     /// Total execution time `X_i` of task `i` under `x`.
@@ -263,8 +260,8 @@ impl EnergyProgram {
             if vars.is_empty() {
                 continue;
             }
-            let share = (self.cores as f64 * self.deltas[j] / vars.len() as f64)
-                .min(self.deltas[j]);
+            let share =
+                (self.cores as f64 * self.deltas[j] / vars.len() as f64).min(self.deltas[j]);
             for &k in vars {
                 x[k] = share;
             }

@@ -7,12 +7,21 @@
 //! & Candès) guards against the oscillation momentum can introduce.
 
 use crate::energy_program::EnergyProgram;
-use crate::solver::{SolveOptions, SolveResult};
+use crate::solver::{SolveOptions, SolveResult, SolverTelemetry};
+use esched_obs::{event, span, Level};
+use std::time::Instant;
 
 /// Run FISTA from `x0` (must be feasible).
 pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> SolveResult {
     let dim = ep.dim();
     assert_eq!(x0.len(), dim);
+    let _span = span!(
+        Level::Debug,
+        "solve_fista",
+        dim = dim,
+        max_iters = opts.max_iters
+    );
+    let t_start = Instant::now();
 
     let mut x = x0.clone(); // current iterate
     let mut y = x0; // extrapolated point
@@ -27,6 +36,10 @@ pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Sol
     let mut converged = false;
     let mut iters = 0usize;
     let mut gap = f64::INFINITY;
+    let mut stalls = 0usize;
+    let mut gap_evals = 0usize;
+    let mut backtracks = 0usize;
+    let mut restarts = 0usize;
 
     for it in 0..opts.max_iters {
         iters = it + 1;
@@ -53,6 +66,7 @@ pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Sol
                 break;
             }
             step *= 0.5;
+            backtracks += 1;
             if step < 1e-18 {
                 break;
             }
@@ -72,6 +86,7 @@ pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Sol
         }
         if restart_dot > 0.0 {
             t = 1.0;
+            restarts += 1;
         }
 
         x_prev.copy_from_slice(&x);
@@ -91,6 +106,7 @@ pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Sol
 
         if decrease.abs() <= opts.rel_tol * (1.0 + fx.abs()) {
             stalled += 1;
+            stalls += 1;
             if stalled >= opts.stall_iters {
                 converged = true;
                 break;
@@ -101,6 +117,7 @@ pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Sol
 
         if (it + 1) % opts.gap_check_every == 0 {
             gap = ep.duality_gap(&x);
+            gap_evals += 1;
             if gap <= opts.gap_tol * (1.0 + fx.abs()) {
                 converged = true;
                 break;
@@ -110,7 +127,35 @@ pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Sol
 
     if !gap.is_finite() || converged {
         gap = ep.duality_gap(&x);
+        gap_evals += 1;
     }
+    if !converged {
+        event!(
+            Level::Warn,
+            "fista hit iteration cap",
+            iters = iters,
+            gap = gap
+        );
+    }
+    let telemetry = SolverTelemetry {
+        iters,
+        stalls,
+        gap_evals,
+        backtracks,
+        wall_s: t_start.elapsed().as_secs_f64(),
+        final_gap: gap,
+        converged,
+    };
+    event!(
+        Level::Debug,
+        "fista done",
+        iters = iters,
+        gap_evals = gap_evals,
+        backtracks = backtracks,
+        restarts = restarts,
+        gap = gap,
+        converged = converged,
+    );
     // Momentum is not monotone: make sure we report the better of x and the
     // plain objective (x is always feasible; y need not be).
     let objective = ep.objective(&x);
@@ -120,6 +165,7 @@ pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Sol
         gap,
         iters,
         converged,
+        telemetry,
     }
 }
 

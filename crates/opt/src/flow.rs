@@ -157,7 +157,12 @@ impl Dinic {
 /// Exact schedulability test: can `tasks` be feasibly scheduled on `cores`
 /// cores with every frequency at most `f_cap` (preemption + migration
 /// allowed)?
-pub fn feasible_at_frequency(tasks: &TaskSet, timeline: &Timeline, cores: usize, f_cap: f64) -> bool {
+pub fn feasible_at_frequency(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    f_cap: f64,
+) -> bool {
     assert!(f_cap > 0.0);
     let n = tasks.len();
     let nsub = timeline.len();
@@ -231,12 +236,7 @@ pub fn feasible_allocation(
 
 /// Binary-search the minimum uniform frequency cap at which the instance
 /// is feasible, to relative accuracy `tol` — the ref-[4] scheme.
-pub fn min_frequency_by_flow(
-    tasks: &TaskSet,
-    timeline: &Timeline,
-    cores: usize,
-    tol: f64,
-) -> f64 {
+pub fn min_frequency_by_flow(tasks: &TaskSet, timeline: &Timeline, cores: usize, tol: f64) -> f64 {
     // Upper bound: serialize everything on one core inside the shortest
     // window — crude but safe.
     let mut hi = tasks
@@ -336,11 +336,7 @@ mod tests {
         // The interval conditions accept this, the flow does not: jobs 0
         // and 1 saturate both cores of [0,2], leaving job 2 only 2 time
         // units for 3 units of work (it cannot run on two cores at once).
-        let ts = TaskSet::from_triples(&[
-            (0.0, 2.0, 2.0),
-            (0.0, 2.0, 2.0),
-            (0.0, 4.0, 3.0),
-        ]);
+        let ts = TaskSet::from_triples(&[(0.0, 2.0, 2.0), (0.0, 2.0, 2.0), (0.0, 4.0, 3.0)]);
         let tl = Timeline::build(&ts);
         assert!(min_feasible_frequency(&ts, 2) <= 1.0 + 1e-12);
         assert!(!feasible_at_frequency(&ts, &tl, 2, 1.0));
@@ -353,11 +349,7 @@ mod tests {
 
     #[test]
     fn feasible_allocation_extracts_a_valid_spread() {
-        let ts = TaskSet::from_triples(&[
-            (0.0, 2.0, 2.0),
-            (0.0, 2.0, 2.0),
-            (0.0, 4.0, 3.0),
-        ]);
+        let ts = TaskSet::from_triples(&[(0.0, 2.0, 2.0), (0.0, 2.0, 2.0), (0.0, 4.0, 3.0)]);
         let tl = Timeline::build(&ts);
         let f = min_frequency_by_flow(&ts, &tl, 2, 1e-10) * (1.0 + 1e-9);
         let x = feasible_allocation(&ts, &tl, 2, f).expect("feasible at flow minimum");

@@ -10,12 +10,21 @@
 
 use crate::energy_program::EnergyProgram;
 use crate::scalar::golden_min;
-use crate::solver::{SolveOptions, SolveResult};
+use crate::solver::{SolveOptions, SolveResult, SolverTelemetry};
+use esched_obs::{event, span, Level};
+use std::time::Instant;
 
 /// Run Frank–Wolfe from `x0` (must be feasible).
 pub fn solve_frank_wolfe(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> SolveResult {
     let dim = ep.dim();
     assert_eq!(x0.len(), dim);
+    let _span = span!(
+        Level::Debug,
+        "solve_frank_wolfe",
+        dim = dim,
+        max_iters = opts.max_iters
+    );
+    let t_start = Instant::now();
 
     let mut x = x0;
     let mut fx = ep.objective(&x);
@@ -26,6 +35,7 @@ pub fn solve_frank_wolfe(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) 
     let mut iters = 0usize;
     let mut gap = f64::INFINITY;
     let mut stalled = 0usize;
+    let mut stalls = 0usize;
 
     for it in 0..opts.max_iters {
         iters = it + 1;
@@ -61,6 +71,7 @@ pub fn solve_frank_wolfe(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) 
 
         if decrease.abs() <= opts.rel_tol * (1.0 + fx.abs()) {
             stalled += 1;
+            stalls += 1;
             if stalled >= opts.stall_iters {
                 converged = true;
                 break;
@@ -70,12 +81,38 @@ pub fn solve_frank_wolfe(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) 
         }
     }
 
+    if !converged {
+        event!(
+            Level::Warn,
+            "frank-wolfe hit iteration cap",
+            iters = iters,
+            gap = gap
+        );
+    }
+    let telemetry = SolverTelemetry {
+        iters,
+        stalls,
+        // The FW gap falls out of the LMO, so every iteration evaluates it.
+        gap_evals: iters,
+        backtracks: 0,
+        wall_s: t_start.elapsed().as_secs_f64(),
+        final_gap: gap,
+        converged,
+    };
+    event!(
+        Level::Debug,
+        "frank-wolfe done",
+        iters = iters,
+        gap = gap,
+        converged = converged,
+    );
     SolveResult {
         objective: fx,
         x,
         gap,
         iters,
         converged,
+        telemetry,
     }
 }
 

@@ -16,7 +16,9 @@
 //! the Frank–Wolfe duality gap, not just objective stalling.
 
 use crate::energy_program::EnergyProgram;
-use crate::solver::{SolveOptions, SolveResult};
+use crate::solver::{SolveOptions, SolveResult, SolverTelemetry};
+use esched_obs::{event, span, Level};
+use std::time::Instant;
 
 /// Run projected gradient descent from `x0` (must be feasible;
 /// use [`EnergyProgram::initial_point`]).
@@ -24,6 +26,13 @@ pub fn solve_pgd(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Solve
     let dim = ep.dim();
     assert_eq!(x0.len(), dim);
     debug_assert!(ep.is_feasible(&x0, 1e-6));
+    let _span = span!(
+        Level::Debug,
+        "solve_pgd",
+        dim = dim,
+        max_iters = opts.max_iters
+    );
+    let t_start = Instant::now();
 
     let mut x = x0;
     let mut fx = ep.objective(&x);
@@ -35,6 +44,9 @@ pub fn solve_pgd(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Solve
     let mut converged = false;
     let mut iters = 0usize;
     let mut gap = f64::INFINITY;
+    let mut stalls = 0usize;
+    let mut gap_evals = 0usize;
+    let mut backtracks = 0usize;
 
     for it in 0..opts.max_iters {
         iters = it + 1;
@@ -59,8 +71,7 @@ pub fn solve_pgd(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Solve
             if f_new <= fx + lin + dist2 / (2.0 * step) + 1e-15 * (1.0 + fx.abs()) {
                 accepted = true;
                 // Fixed point of the projected-gradient map → stationary.
-                if dist2.sqrt() <= 1e-14 * (1.0 + x.iter().map(|v| v * v).sum::<f64>().sqrt())
-                {
+                if dist2.sqrt() <= 1e-14 * (1.0 + x.iter().map(|v| v * v).sum::<f64>().sqrt()) {
                     x.copy_from_slice(&cand);
                     fx = f_new;
                     converged = true;
@@ -68,6 +79,7 @@ pub fn solve_pgd(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Solve
                 break;
             }
             step *= 0.5;
+            backtracks += 1;
             if step < 1e-18 {
                 break;
             }
@@ -90,6 +102,7 @@ pub fn solve_pgd(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Solve
 
         if decrease <= opts.rel_tol * (1.0 + fx.abs()) {
             stalled += 1;
+            stalls += 1;
             if stalled >= opts.stall_iters {
                 converged = true;
                 break;
@@ -100,6 +113,7 @@ pub fn solve_pgd(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Solve
 
         if (it + 1) % opts.gap_check_every == 0 {
             gap = ep.duality_gap(&x);
+            gap_evals += 1;
             if gap <= opts.gap_tol * (1.0 + fx.abs()) {
                 converged = true;
                 break;
@@ -109,13 +123,41 @@ pub fn solve_pgd(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Solve
 
     if !gap.is_finite() || converged {
         gap = ep.duality_gap(&x);
+        gap_evals += 1;
     }
+    if !converged {
+        event!(
+            Level::Warn,
+            "pgd hit iteration cap",
+            iters = iters,
+            gap = gap
+        );
+    }
+    let telemetry = SolverTelemetry {
+        iters,
+        stalls,
+        gap_evals,
+        backtracks,
+        wall_s: t_start.elapsed().as_secs_f64(),
+        final_gap: gap,
+        converged,
+    };
+    event!(
+        Level::Debug,
+        "pgd done",
+        iters = iters,
+        gap_evals = gap_evals,
+        backtracks = backtracks,
+        gap = gap,
+        converged = converged,
+    );
     SolveResult {
         objective: fx,
         x,
         gap,
         iters,
         converged,
+        telemetry,
     }
 }
 
@@ -125,7 +167,13 @@ mod tests {
     use esched_subinterval::Timeline;
     use esched_types::{PolynomialPower, TaskSet};
 
-    fn solve(tasks: &TaskSet, cores: usize, alpha: f64, p0: f64, opts: &SolveOptions) -> SolveResult {
+    fn solve(
+        tasks: &TaskSet,
+        cores: usize,
+        alpha: f64,
+        p0: f64,
+        opts: &SolveOptions,
+    ) -> SolveResult {
         let tl = Timeline::build(tasks);
         let ep = EnergyProgram::new(tasks, &tl, cores, PolynomialPower::paper(alpha, p0));
         let x0 = ep.initial_point();
@@ -163,7 +211,11 @@ mod tests {
         let ts = TaskSet::from_triples(&[(0.0, 10.0, 5.0)]);
         let r = solve(&ts, 1, 3.0, 0.0, &SolveOptions::default());
         // E = C³/X² = 125/100 = 1.25.
-        assert!((r.objective - 1.25).abs() < 1e-6, "objective {}", r.objective);
+        assert!(
+            (r.objective - 1.25).abs() < 1e-6,
+            "objective {}",
+            r.objective
+        );
     }
 
     #[test]
@@ -173,7 +225,11 @@ mod tests {
         // (the paper's Fig. 3), energy 2.0.
         let ts = TaskSet::from_triples(&[(0.0, 5.0, 2.0)]);
         let r = solve(&ts, 1, 2.0, 0.25, &SolveOptions::precise());
-        assert!((r.objective - 2.0).abs() < 1e-6, "objective {}", r.objective);
+        assert!(
+            (r.objective - 2.0).abs() < 1e-6,
+            "objective {}",
+            r.objective
+        );
         let tl = Timeline::build(&ts);
         let ep = EnergyProgram::new(&ts, &tl, 1, PolynomialPower::paper(2.0, 0.25));
         assert!((ep.total_time(&r.x, 0) - 4.0).abs() < 1e-4);

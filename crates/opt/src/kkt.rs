@@ -21,10 +21,9 @@
 //! holds) plus the Frank–Wolfe duality gap as a function-value bound.
 
 use crate::energy_program::EnergyProgram;
-use serde::{Deserialize, Serialize};
 
 /// Optimality certificate for a feasible point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KktReport {
     /// `‖x − P(x − ∇E(x))‖∞`: zero exactly at KKT points.
     pub projected_gradient_residual: f64,
@@ -41,8 +40,7 @@ impl KktReport {
     pub fn is_optimal(&self, tol: f64) -> bool {
         let scale = 1.0 + self.objective.abs();
         self.feasibility_violation <= tol * scale
-            && (self.duality_gap <= tol * scale
-                || self.projected_gradient_residual <= tol)
+            && (self.duality_gap <= tol * scale || self.projected_gradient_residual <= tol)
     }
 }
 

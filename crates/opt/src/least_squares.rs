@@ -99,12 +99,7 @@ pub fn fit_power_curve(points: &[FreqLevel], alpha_range: (f64, f64)) -> PowerFi
     let width = (hi - lo) / grid_steps as f64;
     let a_lo = (best_a - 2.0 * width).max(lo);
     let a_hi = (best_a + 2.0 * width).min(hi);
-    let alpha = golden_min(
-        |a| fit_linear_given_alpha(points, a).2,
-        a_lo,
-        a_hi,
-        1e-12,
-    );
+    let alpha = golden_min(|a| fit_linear_given_alpha(points, a).2, a_lo, a_hi, 1e-12);
     let (gamma, p0, rss) = fit_linear_given_alpha(points, alpha);
     PowerFit {
         gamma,

@@ -109,7 +109,10 @@ mod tests {
 
     fn assert_feasible(y: &[f64], u: &[f64], cap: f64) {
         for (&yi, &ui) in y.iter().zip(u) {
-            assert!(yi >= -1e-12 && yi <= ui + 1e-12, "box violated: {yi} vs {ui}");
+            assert!(
+                yi >= -1e-12 && yi <= ui + 1e-12,
+                "box violated: {yi} vs {ui}"
+            );
         }
         assert!(
             y.iter().sum::<f64>() <= cap + 1e-9,

@@ -1,9 +1,7 @@
 //! Shared solver options and result types for the energy-program solvers.
 
-use serde::{Deserialize, Serialize};
-
 /// Options shared by all first-order solvers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveOptions {
     /// Hard iteration cap.
     pub max_iters: usize,
@@ -58,8 +56,38 @@ impl SolveOptions {
     }
 }
 
+/// Counters and timings every solver collects while it runs.
+///
+/// Collection is unconditional — it is a handful of integer increments and
+/// one `Instant` pair per solve, far below measurement noise — so the
+/// telemetry is always present on [`SolveResult`] regardless of whether
+/// tracing is enabled. The experiments harness aggregates these into the
+/// per-run report (`esched_obs::report::RunReport`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolverTelemetry {
+    /// Iterations executed (sweeps for block descent, Newton steps for the
+    /// barrier method). Mirrors [`SolveResult::iters`].
+    pub iters: usize,
+    /// Total iterations whose relative objective decrease fell below
+    /// `rel_tol` (the stall counter's increments, summed over the run).
+    pub stalls: usize,
+    /// Duality-gap evaluations. Each costs a gradient plus an LMO sweep,
+    /// which is why [`SolveOptions::gap_check_every`] exists.
+    pub gap_evals: usize,
+    /// Line-search step halvings across the whole run (backtracking and
+    /// Armijo searches; zero for solvers without one).
+    pub backtracks: usize,
+    /// Wall-clock duration of the solve, in seconds.
+    pub wall_s: f64,
+    /// Certified duality gap at exit. Mirrors [`SolveResult::gap`].
+    pub final_gap: f64,
+    /// Whether a stopping criterion (not the iteration cap) fired.
+    /// Mirrors [`SolveResult::converged`].
+    pub converged: bool,
+}
+
 /// Outcome of a solve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveResult {
     /// The final (feasible) iterate.
     pub x: Vec<f64>,
@@ -71,4 +99,6 @@ pub struct SolveResult {
     pub iters: usize,
     /// Whether a stopping criterion (not the iteration cap) fired.
     pub converged: bool,
+    /// Counters and wall time collected during the solve.
+    pub telemetry: SolverTelemetry,
 }

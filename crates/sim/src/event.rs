@@ -6,12 +6,11 @@
 //! so back-to-back segments hand over cleanly).
 
 use esched_types::TaskId;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// What happens at an event.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
     /// A segment stops executing on a core (processed first at an instant).
     SegmentEnd {
@@ -58,7 +57,7 @@ impl EventKind {
 }
 
 /// A timestamped event.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Event {
     /// When the event fires.
     pub time: f64,

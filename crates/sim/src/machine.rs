@@ -5,10 +5,9 @@
 //! one task at one frequency. Energy integrates on every state transition.
 
 use esched_types::{PowerModel, TaskId};
-use serde::{Deserialize, Serialize};
 
 /// Activity state of one core.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CoreState {
     /// Sleeping: zero power.
     Sleep,
@@ -24,7 +23,7 @@ pub enum CoreState {
 }
 
 /// One simulated core.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Core {
     /// Current state.
     pub state: CoreState,

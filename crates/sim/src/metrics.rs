@@ -1,10 +1,9 @@
 //! Simulation report: what the engine measured.
 
 use esched_types::TaskId;
-use serde::{Deserialize, Serialize};
 
 /// A schedule conflict observed during simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Conflict {
     /// When it happened.
     pub time: f64,
@@ -17,7 +16,7 @@ pub struct Conflict {
 }
 
 /// Everything a simulation run measures.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Total energy integrated over all cores.
     pub energy: f64,
@@ -33,6 +32,16 @@ pub struct SimReport {
     pub conflicts: Vec<Conflict>,
     /// Per-core activation counts (sleep → active transitions).
     pub activations: Vec<usize>,
+    /// Per-core state-transition tallies (both sleep → active and
+    /// active → sleep).
+    pub core_transitions: Vec<usize>,
+    /// High-water mark of the event-queue depth during the run.
+    pub queue_peak: usize,
+    /// Times a task resumed after having already run (its execution was
+    /// split across segments).
+    pub preemptions: usize,
+    /// Times a task resumed on a different core than its previous segment.
+    pub migrations: usize,
     /// Simulated horizon `[start, end]`.
     pub horizon: (f64, f64),
 }
@@ -77,6 +86,10 @@ mod tests {
             deadline_misses: vec![],
             conflicts: vec![],
             activations: vec![1, 1],
+            core_transitions: vec![2, 2],
+            queue_peak: 6,
+            preemptions: 0,
+            migrations: 0,
             horizon: (0.0, 6.0),
         };
         assert!(r.is_clean());
@@ -93,6 +106,10 @@ mod tests {
             deadline_misses: vec![],
             conflicts: vec![],
             activations: vec![3, 2],
+            core_transitions: vec![6, 4],
+            queue_peak: 10,
+            preemptions: 2,
+            migrations: 1,
             horizon: (0.0, 2.0),
         };
         assert!((r.energy_with_wakeup(0.0) - 10.0).abs() < 1e-12);
@@ -109,6 +126,10 @@ mod tests {
             deadline_misses: vec![3],
             conflicts: vec![],
             activations: vec![],
+            core_transitions: vec![],
+            queue_peak: 0,
+            preemptions: 0,
+            migrations: 0,
             horizon: (0.0, 0.0),
         };
         assert!(!r.is_clean());

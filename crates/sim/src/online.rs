@@ -20,10 +20,9 @@
 
 use esched_types::time::EPS;
 use esched_types::{Schedule, Segment, TaskSet};
-use serde::{Deserialize, Serialize};
 
 /// Which ready task runs first.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DispatchPolicy {
     /// Earliest deadline first. Simple, but with heterogeneous per-task
     /// frequencies it can starve a low-frequency task whose deadline is
@@ -38,7 +37,7 @@ pub enum DispatchPolicy {
 }
 
 /// Result of an online dispatch run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OnlineOutcome {
     /// The schedule the dispatcher produced.
     pub schedule: Schedule,
@@ -246,11 +245,7 @@ mod tests {
     #[test]
     fn overload_records_misses() {
         // Three unit jobs due at 1 on one core at f = 1: only one fits.
-        let ts = TaskSet::from_triples(&[
-            (0.0, 1.0, 1.0),
-            (0.0, 1.0, 1.0),
-            (0.0, 1.0, 1.0),
-        ]);
+        let ts = TaskSet::from_triples(&[(0.0, 1.0, 1.0), (0.0, 1.0, 1.0), (0.0, 1.0, 1.0)]);
         let out = dispatch_edf(&ts, 1, &[1.0, 1.0, 1.0]);
         assert_eq!(out.misses.len(), 2);
     }

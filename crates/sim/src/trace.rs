@@ -102,4 +102,57 @@ mod tests {
     fn gantt_rejects_bad_window() {
         let _ = ascii_gantt(&fixture(), 5.0, 5.0, 10);
     }
+
+    #[test]
+    #[should_panic]
+    fn gantt_rejects_inverted_window() {
+        let _ = ascii_gantt(&fixture(), 8.0, 0.0, 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gantt_rejects_zero_width() {
+        let _ = ascii_gantt(&fixture(), 0.0, 8.0, 0);
+    }
+
+    #[test]
+    fn gantt_of_empty_schedule_is_all_idle() {
+        let s = Schedule::new(3);
+        let g = ascii_gantt(&s, 0.0, 4.0, 8);
+        let lines: Vec<&str> = g.trim_end().split('\n').collect();
+        assert_eq!(lines.len(), 3);
+        for (k, line) in lines.iter().enumerate() {
+            assert_eq!(*line, format!("M{k}: ........"));
+        }
+    }
+
+    #[test]
+    fn gantt_wraps_task_ids_mod_ten() {
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(13, 0, 0.0, 2.0, 1.0));
+        s.push(Segment::new(27, 0, 2.0, 4.0, 1.0));
+        let g = ascii_gantt(&s, 0.0, 4.0, 4);
+        // Tasks 13 and 27 render as their last digits.
+        assert_eq!(g.trim_end(), "M0: 3377");
+    }
+
+    #[test]
+    fn summary_of_empty_schedule_is_empty() {
+        let s = Schedule::new(2);
+        assert_eq!(task_summary(&s), "");
+    }
+
+    #[test]
+    fn summary_accumulates_split_segments() {
+        let mut s = Schedule::new(1);
+        s.push(Segment::new(0, 0, 0.0, 2.0, 1.0));
+        s.push(Segment::new(0, 0, 4.0, 6.0, 0.5));
+        let sum = task_summary(&s);
+        assert!(sum.contains("2 segment(s)"), "{sum}");
+        assert!(sum.contains("4.0000 time"), "{sum}");
+        assert!(sum.contains("3.0000 work"), "{sum}");
+        // Both spans listed with their core and frequency.
+        assert!(sum.contains("[0.00,2.00]@M0/f=1.000"), "{sum}");
+        assert!(sum.contains("[4.00,6.00]@M0/f=0.500"), "{sum}");
+    }
 }

@@ -10,10 +10,9 @@
 use crate::timeline::Timeline;
 use esched_types::task::TaskSet;
 use esched_types::time::EPS;
-use serde::{Deserialize, Serialize};
 
 /// Per-subinterval load statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadProfile {
     /// For each subinterval `j`: the *ideal density* — total intensity of
     /// the overlapping tasks, `Σ_{i ∈ over(j)} C_i/(D_i−R_i)`. Values above
@@ -45,7 +44,7 @@ pub fn load_profile(tasks: &TaskSet, timeline: &Timeline) -> LoadProfile {
 }
 
 /// Why an instance cannot be scheduled at frequency cap `f_max`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Infeasibility {
     /// A single task cannot finish even running alone flat-out:
     /// `C_i > f_max · (D_i − R_i)`.
@@ -178,11 +177,7 @@ mod tests {
     #[test]
     fn interval_overload_detected() {
         // Three unit-window tasks of work 1 each in [0,1] on one core.
-        let ts = TaskSet::from_triples(&[
-            (0.0, 1.0, 1.0),
-            (0.0, 1.0, 1.0),
-            (0.0, 1.0, 1.0),
-        ]);
+        let ts = TaskSet::from_triples(&[(0.0, 1.0, 1.0), (0.0, 1.0, 1.0), (0.0, 1.0, 1.0)]);
         let v = feasibility_at(&ts, 1, 1.0);
         assert!(v
             .iter()
@@ -227,11 +222,7 @@ mod tests {
         // then has only [2,4] (2 time units) for 3 units of work. Every
         // contained-demand interval fits, yet the instance is infeasible
         // at f = 1 — the exact flow oracle in esched-opt catches it.
-        let ts = TaskSet::from_triples(&[
-            (0.0, 2.0, 2.0),
-            (0.0, 2.0, 2.0),
-            (0.0, 4.0, 3.0),
-        ]);
+        let ts = TaskSet::from_triples(&[(0.0, 2.0, 2.0), (0.0, 2.0, 2.0), (0.0, 4.0, 3.0)]);
         assert!(feasibility_at(&ts, 2, 1.0).is_empty());
     }
 }

@@ -15,6 +15,8 @@ pub mod analysis;
 pub mod boundaries;
 pub mod timeline;
 
-pub use analysis::{feasibility_at, load_profile, min_feasible_frequency, Infeasibility, LoadProfile};
+pub use analysis::{
+    feasibility_at, load_profile, min_feasible_frequency, Infeasibility, LoadProfile,
+};
 pub use boundaries::{boundary_points, covering_range, subintervals_of};
 pub use timeline::{Subinterval, Timeline};

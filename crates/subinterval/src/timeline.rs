@@ -9,10 +9,9 @@
 use crate::boundaries::{boundary_points, covering_range, subintervals_of};
 use esched_types::task::{TaskId, TaskSet};
 use esched_types::time::Interval;
-use serde::{Deserialize, Serialize};
 
 /// One subinterval `[t_j, t_{j+1}]` together with its overlapping tasks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Subinterval {
     /// Index `j` in the timeline.
     pub index: usize,
@@ -45,7 +44,7 @@ impl Subinterval {
 }
 
 /// The full decomposition of a task set's horizon.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Timeline {
     boundaries: Vec<f64>,
     subintervals: Vec<Subinterval>,
@@ -74,6 +73,11 @@ impl Timeline {
     /// assert_eq!(tl.heavy_indices(2), vec![2]);
     /// ```
     pub fn build(tasks: &TaskSet) -> Self {
+        let _span = esched_obs::span!(
+            esched_obs::Level::Debug,
+            "timeline_build",
+            n_tasks = tasks.len()
+        );
         let boundaries = boundary_points(tasks);
         let intervals = subintervals_of(&boundaries);
         let mut subintervals: Vec<Subinterval> = intervals
@@ -276,8 +280,7 @@ mod tests {
     #[test]
     fn intro_example_timeline() {
         // Fig. 1(a) tasks on 2 cores: only [4, 8] is heavy.
-        let ts =
-            TaskSet::from_triples(&[(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)]);
+        let ts = TaskSet::from_triples(&[(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)]);
         let tl = Timeline::build(&ts);
         assert_eq!(tl.len(), 5);
         assert_eq!(tl.heavy_indices(2), vec![2]);

@@ -1,0 +1,139 @@
+//! Seeded randomized tests for the timeline decomposition.
+
+use esched_obs::rng::ChaCha8;
+use esched_subinterval::{boundary_points, load_profile, min_feasible_frequency, Timeline};
+use esched_types::{Task, TaskSet};
+
+const CASES: usize = 64;
+
+fn arb_task_set(rng: &mut ChaCha8, max_tasks: usize) -> TaskSet {
+    let n = rng.gen_range_usize(1, max_tasks + 1);
+    TaskSet::new(
+        (0..n)
+            .map(|_| {
+                let r = rng.gen_range_f64(0.0, 40.0);
+                let len = rng.gen_range_f64(0.5, 30.0);
+                let c = rng.gen_range_f64(0.1, 15.0);
+                Task::of(r, r + len, c)
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn subintervals_partition_the_horizon() {
+    let mut rng = ChaCha8::seed_from_u64(0x5b10_0001);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 12);
+        let tl = Timeline::build(&tasks);
+        let horizon = tasks.horizon();
+        let total: f64 = tl.subintervals().iter().map(|s| s.delta()).sum();
+        assert!((total - horizon.length()).abs() < 1e-7 * (1.0 + horizon.length()));
+        // Consecutive subintervals abut exactly.
+        for w in tl.subintervals().windows(2) {
+            assert!((w[0].interval.end - w[1].interval.start).abs() < 1e-9);
+        }
+        assert!((tl.subintervals()[0].interval.start - horizon.start).abs() < 1e-9);
+        assert!((tl.subintervals().last().unwrap().interval.end - horizon.end).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn spans_agree_with_window_coverage() {
+    let mut rng = ChaCha8::seed_from_u64(0x5b10_0002);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 10);
+        let tl = Timeline::build(&tasks);
+        for (i, t) in tasks.iter() {
+            let span = tl.span(i);
+            assert!(!span.is_empty(), "task {i} has an empty span");
+            // Span endpoints align with the window.
+            let first = tl.get(span.start);
+            let last = tl.get(span.end - 1);
+            assert!((first.interval.start - t.release).abs() < 1e-9);
+            assert!((last.interval.end - t.deadline).abs() < 1e-9);
+            // Availability matches span membership for every subinterval.
+            for j in 0..tl.len() {
+                let in_span = span.contains(&j);
+                assert_eq!(tl.available(i, j), in_span);
+                let listed = tl.get(j).overlapping.contains(&i);
+                assert_eq!(listed, in_span);
+            }
+        }
+    }
+}
+
+#[test]
+fn overlap_counts_sum_to_variable_count() {
+    let mut rng = ChaCha8::seed_from_u64(0x5b10_0003);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 10);
+        let tl = Timeline::build(&tasks);
+        let by_subinterval: usize = tl.subintervals().iter().map(|s| s.overlap_count()).sum();
+        assert_eq!(by_subinterval, tl.variable_count());
+        assert!(tl.peak_overlap() <= tasks.len());
+    }
+}
+
+#[test]
+fn boundaries_are_exactly_event_points() {
+    let mut rng = ChaCha8::seed_from_u64(0x5b10_0004);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 10);
+        let tl = Timeline::build(&tasks);
+        assert_eq!(tl.boundaries().to_vec(), boundary_points(&tasks));
+        assert_eq!(tl.len() + 1, tl.boundaries().len());
+    }
+}
+
+#[test]
+fn heavy_light_partition_is_total() {
+    let mut rng = ChaCha8::seed_from_u64(0x5b10_0005);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 10);
+        let cores = rng.gen_range_usize(1, 6);
+        let tl = Timeline::build(&tasks);
+        let mut all = tl.heavy_indices(cores);
+        all.extend(tl.light_indices(cores));
+        all.sort_unstable();
+        assert_eq!(all, (0..tl.len()).collect::<Vec<_>>());
+        // More cores never create more heavy subintervals.
+        assert!(tl.heavy_indices(cores + 1).len() <= tl.heavy_indices(cores).len());
+    }
+}
+
+#[test]
+fn load_profile_density_bounds() {
+    let mut rng = ChaCha8::seed_from_u64(0x5b10_0006);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 10);
+        let tl = Timeline::build(&tasks);
+        let lp = load_profile(&tasks, &tl);
+        let total_intensity: f64 = tasks.iter().map(|(_, t)| t.intensity()).sum();
+        for &d in &lp.density {
+            assert!(d >= -1e-12 && d <= total_intensity + 1e-9);
+        }
+        assert_eq!(lp.density.len(), tl.len());
+        assert_eq!(lp.overlap.len(), tl.len());
+    }
+}
+
+#[test]
+fn min_feasible_frequency_dominates_every_task_intensity() {
+    let mut rng = ChaCha8::seed_from_u64(0x5b10_0007);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 10);
+        let cores = rng.gen_range_usize(1, 5);
+        let f = min_feasible_frequency(&tasks, cores);
+        for (_, t) in tasks.iter() {
+            assert!(f >= t.intensity() - 1e-9);
+        }
+        // Monotone in core count.
+        assert!(min_feasible_frequency(&tasks, cores + 1) <= f + 1e-12);
+        // On one core it equals the YDS peak intensity.
+        if cores == 1 {
+            assert!((f - tasks.peak_intensity()).abs() < 1e-9);
+        }
+    }
+}

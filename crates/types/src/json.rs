@@ -1,0 +1,271 @@
+//! JSON conversions for the foundation types, via [`esched_obs::json`].
+//!
+//! Shapes match the field layout of the structs (the layout the previous
+//! serde-derived encoding produced), so existing on-disk artifacts keep
+//! loading: `Task` is `{"release": …, "deadline": …, "wcec": …}`,
+//! `TaskSet` is `{"tasks": […]}`, `Schedule` is
+//! `{"cores": …, "segments": […]}`, and so on.
+//!
+//! `FromJson` impls go through the validated constructors where one
+//! exists, so a hand-edited or corrupted file surfaces a structured
+//! error instead of an invalid in-memory value.
+
+use crate::power::{DiscretePower, FreqLevel, PolynomialPower};
+use crate::schedule::{Schedule, Segment};
+use crate::task::{Task, TaskSet};
+use crate::time::Interval;
+use esched_obs::json::{type_error, FromJson, JsonError, ToJson, Value};
+
+fn field(value: &Value, key: &str, context: &str) -> Result<f64, JsonError> {
+    value
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| type_error(&format!("{context}: missing or non-numeric field `{key}`")))
+}
+
+impl ToJson for Task {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("release", Value::Num(self.release)),
+            ("deadline", Value::Num(self.deadline)),
+            ("wcec", Value::Num(self.wcec)),
+        ])
+    }
+}
+
+impl FromJson for Task {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(Task {
+            release: field(value, "release", "Task")?,
+            deadline: field(value, "deadline", "Task")?,
+            wcec: field(value, "wcec", "Task")?,
+        })
+    }
+}
+
+impl ToJson for TaskSet {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![(
+            "tasks",
+            Value::Arr(self.tasks().iter().map(ToJson::to_json).collect()),
+        )])
+    }
+}
+
+impl FromJson for TaskSet {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let arr = value
+            .get("tasks")
+            .and_then(Value::as_array)
+            .ok_or_else(|| type_error("TaskSet: missing `tasks` array"))?;
+        let tasks = arr.iter().map(Task::from_json).collect::<Result<_, _>>()?;
+        TaskSet::new(tasks).map_err(|e| type_error(&format!("TaskSet: {e}")))
+    }
+}
+
+impl ToJson for Interval {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("start", Value::Num(self.start)),
+            ("end", Value::Num(self.end)),
+        ])
+    }
+}
+
+impl FromJson for Interval {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let start = field(value, "start", "Interval")?;
+        let end = field(value, "end", "Interval")?;
+        if !(start.is_finite() && end.is_finite() && start <= end) {
+            return Err(type_error(&format!(
+                "Interval: endpoints must be finite and ordered, got [{start}, {end}]"
+            )));
+        }
+        Ok(Interval::new(start, end))
+    }
+}
+
+impl ToJson for Segment {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("task", Value::Num(self.task as f64)),
+            ("core", Value::Num(self.core as f64)),
+            ("interval", self.interval.to_json()),
+            ("freq", Value::Num(self.freq)),
+        ])
+    }
+}
+
+impl FromJson for Segment {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let task = value
+            .get("task")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| type_error("Segment: missing or non-integer field `task`"))?;
+        let core = value
+            .get("core")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| type_error("Segment: missing or non-integer field `core`"))?;
+        let interval = Interval::from_json(
+            value
+                .get("interval")
+                .ok_or_else(|| type_error("Segment: missing field `interval`"))?,
+        )?;
+        let freq = field(value, "freq", "Segment")?;
+        if !(freq.is_finite() && freq > 0.0) {
+            return Err(type_error(&format!(
+                "Segment: frequency must be positive, got {freq}"
+            )));
+        }
+        Ok(Segment::new(
+            task as usize,
+            core as usize,
+            interval.start,
+            interval.end,
+            freq,
+        ))
+    }
+}
+
+impl ToJson for Schedule {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("cores", Value::Num(self.cores as f64)),
+            (
+                "segments",
+                Value::Arr(self.segments().iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Schedule {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let cores = value
+            .get("cores")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| type_error("Schedule: missing or non-integer field `cores`"))?;
+        if cores == 0 {
+            return Err(type_error("Schedule: needs at least one core"));
+        }
+        let arr = value
+            .get("segments")
+            .and_then(Value::as_array)
+            .ok_or_else(|| type_error("Schedule: missing `segments` array"))?;
+        let mut schedule = Schedule::new(cores as usize);
+        for seg in arr {
+            schedule.push(Segment::from_json(seg)?);
+        }
+        Ok(schedule)
+    }
+}
+
+impl ToJson for PolynomialPower {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("gamma", Value::Num(self.gamma)),
+            ("alpha", Value::Num(self.alpha)),
+            ("p0", Value::Num(self.p0)),
+        ])
+    }
+}
+
+impl FromJson for PolynomialPower {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        PolynomialPower::new(
+            field(value, "gamma", "PolynomialPower")?,
+            field(value, "alpha", "PolynomialPower")?,
+            field(value, "p0", "PolynomialPower")?,
+        )
+        .map_err(|e| type_error(&format!("PolynomialPower: {e}")))
+    }
+}
+
+impl ToJson for FreqLevel {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("freq", Value::Num(self.freq)),
+            ("power", Value::Num(self.power)),
+        ])
+    }
+}
+
+impl FromJson for FreqLevel {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(FreqLevel {
+            freq: field(value, "freq", "FreqLevel")?,
+            power: field(value, "power", "FreqLevel")?,
+        })
+    }
+}
+
+impl ToJson for DiscretePower {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![(
+            "levels",
+            Value::Arr(self.levels().iter().map(ToJson::to_json).collect()),
+        )])
+    }
+}
+
+impl FromJson for DiscretePower {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let arr = value
+            .get("levels")
+            .and_then(Value::as_array)
+            .ok_or_else(|| type_error("DiscretePower: missing `levels` array"))?;
+        let levels = arr
+            .iter()
+            .map(FreqLevel::from_json)
+            .collect::<Result<_, _>>()?;
+        DiscretePower::new(levels).map_err(|e| type_error(&format!("DiscretePower: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esched_obs::json::parse;
+
+    #[test]
+    fn task_set_shape_is_stable() {
+        let ts = TaskSet::new(vec![Task::new(0.0, 4.0, 2.0).unwrap()]).unwrap();
+        let json = ts.to_json().to_string();
+        assert_eq!(json, r#"{"tasks":[{"release":0,"deadline":4,"wcec":2}]}"#);
+    }
+
+    #[test]
+    fn invalid_task_set_is_rejected_on_load() {
+        let v = parse(r#"{"tasks":[{"release":5,"deadline":1,"wcec":2}]}"#).unwrap();
+        assert!(TaskSet::from_json(&v).is_err());
+        let v = parse(r#"{"tasks":[]}"#).unwrap();
+        assert!(TaskSet::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn schedule_round_trip() {
+        let mut s = Schedule::new(2);
+        s.push(Segment::new(0, 0, 0.0, 2.0, 1.5));
+        s.push(Segment::new(1, 1, 1.0, 3.0, 0.5));
+        let text = s.to_json().to_string();
+        let back = Schedule::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn inverted_interval_is_rejected() {
+        let v = parse(r#"{"start":3,"end":1}"#).unwrap();
+        assert!(Interval::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn power_models_round_trip() {
+        let p = PolynomialPower::new(1.0, 2.5, 0.1).unwrap();
+        let back = PolynomialPower::from_json(&parse(&p.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(p, back);
+
+        let d = DiscretePower::from_pairs(&[(150.0, 80.0), (400.0, 170.0), (600.0, 400.0)]);
+        let back = DiscretePower::from_json(&parse(&d.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -15,11 +15,14 @@
 //! * [`transform`] — unit rescaling, shifting, merging, and filtering of
 //!   task sets,
 //! * [`time`] — tolerant floating-point comparisons and interval
-//!   arithmetic.
+//!   arithmetic,
+//! * [`json`] — JSON conversions via [`esched_obs::json`] (same shapes the
+//!   earlier serde encoding produced).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod power;
 pub mod schedule;
 pub mod task;
@@ -30,6 +33,8 @@ pub mod validate;
 pub use power::{DiscretePower, FreqLevel, PolynomialPower, PowerError, PowerModel};
 pub use schedule::{FrequencyAssignment, Schedule, Segment};
 pub use task::{Task, TaskError, TaskId, TaskSet};
-pub use transform::{filter_window, merge, normalize_origin, rescale_time, rescale_work, shift_time};
 pub use time::{Interval, EPS};
+pub use transform::{
+    filter_window, merge, normalize_origin, rescale_time, rescale_work, shift_time,
+};
 pub use validate::{validate_schedule, ValidationReport, Violation};

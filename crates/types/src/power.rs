@@ -14,7 +14,6 @@
 //!   XScale) supporting only a finite set of operating points.
 
 use crate::time::approx_le;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Anything that can report active power at a frequency.
@@ -46,7 +45,7 @@ pub trait PowerModel {
 }
 
 /// The continuous model `p(f) = γ·f^α + p₀` with `α ≥ 2`, `γ > 0`, `p₀ ≥ 0`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolynomialPower {
     /// Dynamic-power coefficient `γ` (1 in the paper's analytic model).
     pub gamma: f64,
@@ -77,7 +76,10 @@ impl fmt::Display for PowerError {
             PowerError::InvalidCoefficient => write!(f, "gamma must be positive and finite"),
             PowerError::NegativeStatic => write!(f, "static power must be >= 0"),
             PowerError::MalformedTable => {
-                write!(f, "frequency table must be non-empty, strictly increasing, finite")
+                write!(
+                    f,
+                    "frequency table must be non-empty, strictly increasing, finite"
+                )
             }
         }
     }
@@ -173,7 +175,10 @@ impl PolynomialPower {
     pub fn energy_breakdown(&self, work: f64, f: f64) -> (f64, f64) {
         debug_assert!(f > 0.0);
         let duration = work / f;
-        (self.gamma * f.powf(self.alpha) * duration, self.p0 * duration)
+        (
+            self.gamma * f.powf(self.alpha) * duration,
+            self.p0 * duration,
+        )
     }
 }
 
@@ -184,7 +189,7 @@ impl PowerModel for PolynomialPower {
 }
 
 /// One operating point of a discrete-DVFS processor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FreqLevel {
     /// Operating frequency.
     pub freq: f64,
@@ -194,7 +199,7 @@ pub struct FreqLevel {
 
 /// A processor supporting a finite, strictly increasing set of frequency
 /// levels with measured power at each (Section VI.C).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiscretePower {
     levels: Vec<FreqLevel>,
 }
@@ -257,10 +262,7 @@ impl DiscretePower {
     /// level — the schedule is infeasible on this processor and the caller
     /// records a deadline miss.
     pub fn quantize_up(&self, f: f64) -> Option<FreqLevel> {
-        self.levels
-            .iter()
-            .find(|l| approx_le(f, l.freq))
-            .copied()
+        self.levels.iter().find(|l| approx_le(f, l.freq)).copied()
     }
 
     /// Largest level with frequency ≤ `f`, if any.
@@ -379,7 +381,7 @@ mod tests {
     #[test]
     fn optimal_frequency_binds_to_stretch_when_time_is_scarce() {
         let p = PolynomialPower::paper(2.0, 0.25); // f_crit = 0.5
-        // Only 2 time units for 2 work units → must run at 1.0 > f_crit.
+                                                   // Only 2 time units for 2 work units → must run at 1.0 > f_crit.
         assert!((p.optimal_frequency(2.0, 2.0) - 1.0).abs() < 1e-12);
     }
 
@@ -402,14 +404,26 @@ mod tests {
         assert!(DiscretePower::new(vec![]).is_err());
         // Non-increasing power.
         assert!(DiscretePower::new(vec![
-            FreqLevel { freq: 1.0, power: 2.0 },
-            FreqLevel { freq: 2.0, power: 2.0 },
+            FreqLevel {
+                freq: 1.0,
+                power: 2.0
+            },
+            FreqLevel {
+                freq: 2.0,
+                power: 2.0
+            },
         ])
         .is_err());
         // Non-increasing frequency.
         assert!(DiscretePower::new(vec![
-            FreqLevel { freq: 2.0, power: 1.0 },
-            FreqLevel { freq: 1.0, power: 2.0 },
+            FreqLevel {
+                freq: 2.0,
+                power: 1.0
+            },
+            FreqLevel {
+                freq: 1.0,
+                power: 2.0
+            },
         ])
         .is_err());
     }
@@ -454,14 +468,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use esched_obs::json::{parse, FromJson, ToJson};
         let p = PolynomialPower::paper(2.5, 0.1);
-        let back: PolynomialPower =
-            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        let back = PolynomialPower::from_json(&parse(&p.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(p, back);
         let d = xscale();
-        let back: DiscretePower =
-            serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+        let back = DiscretePower::from_json(&parse(&d.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(d, back);
     }
 }

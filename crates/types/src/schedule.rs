@@ -10,10 +10,9 @@
 use crate::power::PowerModel;
 use crate::task::TaskId;
 use crate::time::{approx_eq, compensated_sum, Interval, EPS};
-use serde::{Deserialize, Serialize};
 
 /// One contiguous execution of a task on a core at a fixed frequency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// The task being executed.
     pub task: TaskId,
@@ -67,7 +66,7 @@ impl Segment {
 /// The structure itself does not enforce legality (that is
 /// [`crate::validate::validate_schedule`]'s job) but provides the
 /// accounting primitives legality checks and metrics are built from.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schedule {
     /// Number of cores `m`.
     pub cores: usize,
@@ -188,10 +187,7 @@ impl Schedule {
         let mut count = 0;
         for task in self.task_ids() {
             let segs = self.task_segments(task);
-            count += segs
-                .windows(2)
-                .filter(|w| w[0].core != w[1].core)
-                .count();
+            count += segs.windows(2).filter(|w| w[0].core != w[1].core).count();
         }
         count
     }
@@ -232,9 +228,12 @@ impl Schedule {
         let mut merged: Vec<Segment> = Vec::with_capacity(self.segments.len());
         let mut segs = std::mem::take(&mut self.segments);
         segs.sort_by(|a, b| {
-            (a.core, a.task)
-                .cmp(&(b.core, b.task))
-                .then(a.interval.start.partial_cmp(&b.interval.start).expect("finite"))
+            (a.core, a.task).cmp(&(b.core, b.task)).then(
+                a.interval
+                    .start
+                    .partial_cmp(&b.interval.start)
+                    .expect("finite"),
+            )
         });
         for seg in segs {
             if let Some(last) = merged.last_mut() {
@@ -272,7 +271,7 @@ impl Schedule {
 /// A per-task constant frequency assignment plus per-task available time —
 /// the *analytic* form of the paper's final schedules (`S^F1`, `S^F2`),
 /// before materialization into segments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrequencyAssignment {
     /// `f_i` for each task.
     pub freq: Vec<f64>,
@@ -398,9 +397,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use esched_obs::json::{parse, FromJson, ToJson};
         let s = two_core_fixture();
-        let back: Schedule = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        let back = Schedule::from_json(&parse(&s.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(s, back);
     }
 }

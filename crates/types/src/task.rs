@@ -7,14 +7,13 @@
 //! entirely at frequency `f` occupies a core for `C/f` time.
 
 use crate::time::{approx_le, definitely_lt, sort_dedup_times, Interval};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a task within a [`TaskSet`] (its index).
 pub type TaskId = usize;
 
 /// An independent, preemptive, migratable aperiodic task.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Task {
     /// Release time `R_i`: the task cannot execute before this instant.
     pub release: f64,
@@ -139,7 +138,7 @@ impl Task {
 }
 
 /// An immutable, validated collection of tasks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSet {
     tasks: Vec<Task>,
 }
@@ -165,13 +164,8 @@ impl TaskSet {
     /// # Panics
     /// If any triple is invalid or the list is empty.
     pub fn from_triples(triples: &[(f64, f64, f64)]) -> Self {
-        Self::new(
-            triples
-                .iter()
-                .map(|&(r, d, c)| Task::of(r, d, c))
-                .collect(),
-        )
-        .expect("invalid task set")
+        Self::new(triples.iter().map(|&(r, d, c)| Task::of(r, d, c)).collect())
+            .expect("invalid task set")
     }
 
     /// Number of tasks `n`.
@@ -385,10 +379,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
+        use esched_obs::json::{parse, FromJson, ToJson};
         let ts = paper_intro_tasks();
-        let json = serde_json::to_string(&ts).unwrap();
-        let back: TaskSet = serde_json::from_str(&json).unwrap();
+        let json = ts.to_json().to_string();
+        let back = TaskSet::from_json(&parse(&json).unwrap()).unwrap();
         assert_eq!(ts, back);
     }
 }

@@ -73,7 +73,7 @@ pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
 /// `[t_j, t_{j+1}]` notation) but *open at the right end* for overlap tests,
 /// so that back-to-back segments `[0,1]` and `[1,2]` do not count as
 /// overlapping.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     /// Left endpoint.
     pub start: f64,
@@ -246,7 +246,9 @@ mod tests {
         assert!(!a.overlaps(&c));
         assert_eq!(a.overlap_len(&c), 0.0);
         assert!(a.intersect(&c).unwrap().is_degenerate());
-        assert!(Interval::new(0.0, 1.0).intersect(&Interval::new(2.0, 3.0)).is_none());
+        assert!(Interval::new(0.0, 1.0)
+            .intersect(&Interval::new(2.0, 3.0))
+            .is_none());
     }
 
     #[test]

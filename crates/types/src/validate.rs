@@ -16,11 +16,10 @@
 use crate::schedule::Schedule;
 use crate::task::{TaskId, TaskSet};
 use crate::time::EPS;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single legality violation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Violation {
     /// Two segments on the same core overlap.
     CoreOverlap {
@@ -86,10 +85,16 @@ impl fmt::Display for Violation {
                 "core {core}: tasks {task_a} and {task_b} overlap by {overlap:.6}"
             ),
             Violation::SelfOverlap { task, overlap } => {
-                write!(f, "task {task} runs on two cores simultaneously ({overlap:.6})")
+                write!(
+                    f,
+                    "task {task} runs on two cores simultaneously ({overlap:.6})"
+                )
             }
             Violation::OutsideWindow { task, start, end } => {
-                write!(f, "task {task}: segment [{start:.6}, {end:.6}] outside window")
+                write!(
+                    f,
+                    "task {task}: segment [{start:.6}, {end:.6}] outside window"
+                )
             }
             Violation::Underserved {
                 task,
@@ -157,7 +162,10 @@ pub fn validate_schedule(schedule: &Schedule, tasks: &TaskSet) -> ValidationRepo
         }
     }
     // Don't try window/work checks for out-of-range tasks.
-    if violations.iter().any(|v| matches!(v, Violation::BadTask { .. })) {
+    if violations
+        .iter()
+        .any(|v| matches!(v, Violation::BadTask { .. }))
+    {
         return ValidationReport { violations };
     }
 

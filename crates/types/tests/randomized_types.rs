@@ -1,0 +1,225 @@
+//! Seeded randomized tests for the foundation types: interval algebra,
+//! task-set demand, schedule accounting, and validator soundness.
+//!
+//! Each test draws `CASES` random inputs from a fixed-seed ChaCha8
+//! stream, so failures are reproducible bit-for-bit.
+
+use esched_obs::rng::ChaCha8;
+use esched_types::time::{approx_eq, compensated_sum, Interval};
+use esched_types::{
+    validate_schedule, PolynomialPower, PowerModel, Schedule, Segment, Task, TaskSet,
+};
+
+const CASES: usize = 64;
+
+fn arb_interval(rng: &mut ChaCha8) -> Interval {
+    let s = rng.gen_range_f64(0.0, 100.0);
+    let len = rng.gen_range_f64(0.01, 50.0);
+    Interval::new(s, s + len)
+}
+
+fn arb_tasks(rng: &mut ChaCha8, max_tasks: usize) -> Vec<(f64, f64, f64)> {
+    let n = rng.gen_range_usize(1, max_tasks + 1);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range_f64(0.0, 50.0),
+                rng.gen_range_f64(0.1, 30.0),
+                rng.gen_range_f64(0.1, 20.0),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn overlap_is_symmetric_and_bounded() {
+    let mut rng = ChaCha8::seed_from_u64(0x7970_0001);
+    for _ in 0..CASES {
+        let a = arb_interval(&mut rng);
+        let b = arb_interval(&mut rng);
+        let ab = a.overlap_len(&b);
+        let ba = b.overlap_len(&a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab <= a.length() + 1e-12);
+        assert!(ab <= b.length() + 1e-12);
+        assert!(ab >= 0.0);
+    }
+}
+
+#[test]
+fn intersection_agrees_with_overlap_len() {
+    let mut rng = ChaCha8::seed_from_u64(0x7970_0002);
+    for _ in 0..CASES {
+        let a = arb_interval(&mut rng);
+        let b = arb_interval(&mut rng);
+        match a.intersect(&b) {
+            Some(i) => assert!((i.length() - a.overlap_len(&b)).abs() < 1e-9),
+            None => assert!(a.overlap_len(&b) < 1e-9),
+        }
+    }
+}
+
+#[test]
+fn covers_implies_overlap_equals_inner_length() {
+    let mut rng = ChaCha8::seed_from_u64(0x7970_0003);
+    for _ in 0..CASES {
+        let a = arb_interval(&mut rng);
+        let b = arb_interval(&mut rng);
+        if a.covers(&b) {
+            assert!((a.overlap_len(&b) - b.length()).abs() < 1e-7 * (1.0 + b.length()));
+        }
+    }
+}
+
+#[test]
+fn contains_midpoint() {
+    let mut rng = ChaCha8::seed_from_u64(0x7970_0004);
+    for _ in 0..CASES {
+        let a = arb_interval(&mut rng);
+        assert!(a.contains(a.midpoint()));
+        assert!(a.contains(a.start));
+        assert!(a.contains(a.end));
+    }
+}
+
+#[test]
+fn demand_is_monotone_in_the_interval() {
+    let mut rng = ChaCha8::seed_from_u64(0x7970_0005);
+    for _ in 0..CASES {
+        let tasks = arb_tasks(&mut rng, 12);
+        let t1 = rng.gen_range_f64(0.0, 40.0);
+        let width = rng.gen_range_f64(1.0, 60.0);
+        let widen = rng.gen_range_f64(0.0, 20.0);
+        let ts = TaskSet::new(
+            tasks
+                .iter()
+                .map(|&(r, len, c)| Task::of(r, r + len, c))
+                .collect(),
+        )
+        .unwrap();
+        let t2 = t1 + width;
+        let narrow = ts.demand(t1, t2);
+        let wide = ts.demand(t1 - widen, t2 + widen);
+        assert!(wide >= narrow - 1e-9, "widening decreased demand");
+        assert!(narrow >= 0.0);
+        // Demand over everything equals total work.
+        let all = ts.demand(f64::NEG_INFINITY, f64::INFINITY);
+        assert!((all - ts.total_work()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn event_points_are_sorted_and_within_horizon() {
+    let mut rng = ChaCha8::seed_from_u64(0x7970_0006);
+    for _ in 0..CASES {
+        let tasks = arb_tasks(&mut rng, 12);
+        let ts = TaskSet::new(
+            tasks
+                .iter()
+                .map(|&(r, len, c)| Task::of(r, r + len, c))
+                .collect(),
+        )
+        .unwrap();
+        let pts = ts.event_points();
+        assert!(pts.len() >= 2);
+        for w in pts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(approx_eq(pts[0], ts.earliest_release()));
+        assert!(approx_eq(*pts.last().unwrap(), ts.latest_deadline()));
+    }
+}
+
+#[test]
+fn schedule_work_and_energy_accounting() {
+    let mut rng = ChaCha8::seed_from_u64(0x7970_0007);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(0, 16);
+        let mut s = Schedule::new(3);
+        for _ in 0..n {
+            let task = rng.gen_range_usize(0, 4);
+            let core = rng.gen_range_usize(0, 3);
+            let start = rng.gen_range_f64(0.0, 20.0);
+            let len = rng.gen_range_f64(0.05, 5.0);
+            let freq = rng.gen_range_f64(0.1, 2.0);
+            s.push(Segment::new(task, core, start, start + len, freq));
+        }
+        // Total work = Σ per-task work.
+        let total: f64 = (0..4).map(|t| s.work_of(t)).sum();
+        let by_segment: f64 = s.segments().iter().map(|x| x.work()).sum();
+        assert!((total - by_segment).abs() < 1e-9 * (1.0 + by_segment));
+        // Energy under two models is consistent with per-segment sums.
+        for p in [PolynomialPower::cubic(), PolynomialPower::paper(2.0, 0.3)] {
+            let e = s.energy(&p);
+            let by_seg: f64 = s.segments().iter().map(|x| x.energy(&p)).sum();
+            assert!((e - by_seg).abs() < 1e-9 * (1.0 + by_seg));
+            assert!(e >= 0.0);
+            let _ = p.power(1.0);
+        }
+        // Busy time splits across cores.
+        let busy: f64 = (0..3).map(|c| s.busy_time(c)).sum();
+        let dur: f64 = s.segments().iter().map(|x| x.duration()).sum();
+        assert!((busy - dur).abs() < 1e-9 * (1.0 + dur));
+    }
+}
+
+#[test]
+fn coalesce_preserves_work_and_legality_status() {
+    let mut rng = ChaCha8::seed_from_u64(0x7970_0008);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(0, 12);
+        let mut s = Schedule::new(2);
+        for _ in 0..n {
+            let task = rng.gen_range_usize(0, 3);
+            let core = rng.gen_range_usize(0, 2);
+            let start = rng.gen_range_f64(0.0, 20.0);
+            let len = rng.gen_range_f64(0.05, 5.0);
+            s.push(Segment::new(task, core, start, start + len, 1.0));
+        }
+        let works_before: Vec<f64> = (0..3).map(|t| s.work_of(t)).collect();
+        let mut t = s.clone();
+        t.coalesce();
+        for (k, &w) in works_before.iter().enumerate() {
+            assert!(
+                (t.work_of(k) - w).abs() < 1e-7 * (1.0 + w),
+                "task {k}: {} vs {w}",
+                t.work_of(k)
+            );
+        }
+        assert!(t.len() <= s.len());
+    }
+}
+
+#[test]
+fn compensated_sum_matches_naive_on_benign_inputs() {
+    let mut rng = ChaCha8::seed_from_u64(0x7970_0009);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(0, 64);
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-100.0, 100.0)).collect();
+        let a = compensated_sum(xs.iter().copied());
+        let b: f64 = xs.iter().sum();
+        assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+    }
+}
+
+#[test]
+fn validator_accepts_disjoint_single_core_schedules() {
+    let mut rng = ChaCha8::seed_from_u64(0x7970_000a);
+    for _ in 0..CASES {
+        // Build a chain of back-to-back segments and matching tasks: must
+        // always validate.
+        let n = rng.gen_range_usize(1, 8);
+        let mut s = Schedule::new(1);
+        let mut tasks = Vec::new();
+        let mut t = 0.0;
+        for i in 0..n {
+            let len = rng.gen_range_f64(0.1, 3.0);
+            s.push(Segment::new(i, 0, t, t + len, 1.0));
+            tasks.push(Task::of(t, t + len, len));
+            t += len;
+        }
+        let ts = TaskSet::new(tasks).unwrap();
+        let report = validate_schedule(&s, &ts);
+        assert!(report.is_legal(), "{:?}", report.violations);
+    }
+}

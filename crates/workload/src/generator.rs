@@ -9,13 +9,11 @@
 //! (ChaCha8), so every experiment in this workspace is reproducible
 //! bit-for-bit.
 
+use esched_obs::rng::ChaCha8;
 use esched_types::{Task, TaskSet};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// How task intensities are drawn.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum IntensityDist {
     /// Uniform over the discrete ladder `{lo, lo+step, …, hi}` — the
     /// paper's `{0.1, 0.2, …, 1.0}` uses `ladder(0.1, 1.0, 0.1)`.
@@ -37,18 +35,18 @@ pub enum IntensityDist {
 }
 
 impl IntensityDist {
-    fn sample(&self, rng: &mut impl Rng) -> f64 {
+    fn sample(&self, rng: &mut ChaCha8) -> f64 {
         match *self {
             IntensityDist::Ladder { lo, hi, step } => {
                 let rungs = ((hi - lo) / step).round() as usize + 1;
-                let k = rng.gen_range(0..rungs);
+                let k = rng.gen_range_usize(0, rungs);
                 (lo + k as f64 * step).min(hi)
             }
             IntensityDist::Uniform { lo, hi } => {
                 if (hi - lo).abs() < 1e-15 {
                     lo
                 } else {
-                    rng.gen_range(lo..hi)
+                    rng.gen_range_f64(lo, hi)
                 }
             }
         }
@@ -56,7 +54,7 @@ impl IntensityDist {
 }
 
 /// All generation knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeneratorConfig {
     /// Number of tasks `n`.
     pub tasks: usize,
@@ -126,7 +124,7 @@ impl GeneratorConfig {
 #[derive(Debug, Clone)]
 pub struct WorkloadGenerator {
     config: GeneratorConfig,
-    rng: ChaCha8Rng,
+    rng: ChaCha8,
 }
 
 impl WorkloadGenerator {
@@ -147,7 +145,7 @@ impl WorkloadGenerator {
     pub fn new(config: GeneratorConfig, seed: u64) -> Self {
         Self {
             config,
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            rng: ChaCha8::seed_from_u64(seed),
         }
     }
 
@@ -164,14 +162,14 @@ impl WorkloadGenerator {
         let mut tasks = Vec::with_capacity(c.tasks);
         for _ in 0..c.tasks {
             let release = if c.release_span > 0.0 {
-                self.rng.gen_range(0.0..c.release_span)
+                self.rng.gen_range_f64(0.0, c.release_span)
             } else {
                 0.0
             };
             let wcec = if (c.wcec_hi - c.wcec_lo).abs() < 1e-15 {
                 c.wcec_lo
             } else {
-                self.rng.gen_range(c.wcec_lo..c.wcec_hi)
+                self.rng.gen_range_f64(c.wcec_lo, c.wcec_hi)
             };
             let intensity = c.intensity.sample(&mut self.rng);
             debug_assert!(intensity > 0.0);

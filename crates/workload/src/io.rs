@@ -1,5 +1,7 @@
 //! JSON import/export of task sets and experiment artifacts.
 
+use esched_obs::json::{parse, ToJson};
+use esched_obs::FromJson;
 use esched_types::TaskSet;
 use std::fs;
 use std::io;
@@ -8,36 +10,30 @@ use std::path::Path;
 /// Save a task set as pretty-printed JSON.
 ///
 /// # Errors
-/// Propagates filesystem and serialization errors as [`io::Error`].
+/// Propagates filesystem errors as [`io::Error`].
 pub fn save_task_set(tasks: &TaskSet, path: &Path) -> io::Result<()> {
-    let json = serde_json::to_string_pretty(tasks)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(path, json)
+    fs::write(path, tasks.to_json().to_string_pretty())
 }
 
 /// Load a task set from JSON.
 ///
 /// # Errors
 /// Propagates filesystem errors; malformed JSON or invalid tasks map to
-/// [`io::ErrorKind::InvalidData`].
+/// [`io::ErrorKind::InvalidData`]. (`TaskSet::from_json` goes through
+/// `TaskSet::new`, so loaded sets are always validated.)
 pub fn load_task_set(path: &Path) -> io::Result<TaskSet> {
     let json = fs::read_to_string(path)?;
-    let ts: TaskSet =
-        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    // Re-validate: serde bypasses TaskSet::new.
-    TaskSet::new(ts.tasks().to_vec())
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    let value = parse(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    TaskSet::from_json(&value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
-/// Serialize any serde value to a JSON file (used by the experiment
-/// harness for results).
+/// Serialize any [`ToJson`] value to a pretty-printed JSON file (used by
+/// the experiment harness for results).
 ///
 /// # Errors
-/// Propagates filesystem and serialization errors.
-pub fn save_json<T: serde::Serialize>(value: &T, path: &Path) -> io::Result<()> {
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(path, json)
+/// Propagates filesystem errors.
+pub fn save_json<T: ToJson>(value: &T, path: &Path) -> io::Result<()> {
+    fs::write(path, value.to_json().to_string_pretty())
 }
 
 /// Render a task set as CSV (`release,deadline,wcec`, one row per task).

@@ -23,10 +23,12 @@ pub mod scenarios;
 pub mod xscale;
 
 pub use generator::{GeneratorConfig, IntensityDist, WorkloadGenerator};
-pub use periodic::{expand_periodic, frame_based, hyperperiod, PeriodicTask};
 pub use io::{
     load_task_set, load_task_set_csv, save_json, save_task_set, save_task_set_csv,
     task_set_from_csv, task_set_to_csv,
 };
-pub use scenarios::{intro_three_tasks, media_server_burst, mixed_criticality, section_vd_six_tasks};
+pub use periodic::{expand_periodic, frame_based, hyperperiod, PeriodicTask};
+pub use scenarios::{
+    intro_three_tasks, media_server_burst, mixed_criticality, section_vd_six_tasks,
+};
 pub use xscale::{xscale_discrete, xscale_fitted, xscale_paper_fit, XSCALE_F2, XSCALE_TABLE};

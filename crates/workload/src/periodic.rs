@@ -9,13 +9,12 @@
 //! well-understood periodic special case.
 
 use esched_types::{Task, TaskSet};
-use serde::{Deserialize, Serialize};
 
 /// A periodic task: a job of `wcet` work is released every `period` time
 /// units starting at `offset`, due `deadline` after its release
 /// (constrained deadline: `deadline ≤ period`; `None` means implicit
 /// deadline = period).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeriodicTask {
     /// Inter-arrival time.
     pub period: f64,

@@ -61,7 +61,11 @@ mod tests {
         let ours = xscale_fitted();
         let paper = xscale_paper_fit();
         // Same neighbourhood of parameters…
-        assert!((ours.alpha - paper.alpha).abs() < 0.4, "alpha {}", ours.alpha);
+        assert!(
+            (ours.alpha - paper.alpha).abs() < 0.4,
+            "alpha {}",
+            ours.alpha
+        );
         // …and close predictions at every table point (both are fits of the
         // same five points).
         for (f, _) in XSCALE_TABLE {

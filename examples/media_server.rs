@@ -38,7 +38,10 @@ fn main() {
     let even = even_schedule(&tasks, cores, &power);
     let der = der_schedule(&tasks, cores, &power);
     let opt = optimal_energy(&tasks, cores, &power, &SolveOptions::default());
-    println!("energy: even = {:.3}, DER = {:.3}, optimal = {:.3}", even.final_energy, der.final_energy, opt.energy);
+    println!(
+        "energy: even = {:.3}, DER = {:.3}, optimal = {:.3}",
+        even.final_energy, der.final_energy, opt.energy
+    );
     println!(
         "DER saves {:.1}% over even allocation; gap to optimal {:.1}%",
         100.0 * (even.final_energy - der.final_energy) / even.final_energy,
@@ -58,11 +61,18 @@ fn main() {
     let choice = select_core_count(&tasks, 8, &power, Method::Der);
     println!("core-count sweep (DER):");
     for (m, e) in &choice.sweep {
-        let marker = if *m == choice.best { "  <-- chosen" } else { "" };
+        let marker = if *m == choice.best {
+            "  <-- chosen"
+        } else {
+            ""
+        };
         println!("  m = {m}: {e:.3}{marker}");
     }
 
     println!("\nDER schedule on {cores} cores:");
     let horizon = tasks.horizon();
-    print!("{}", ascii_gantt(&der.schedule, horizon.start, horizon.end, 72));
+    print!(
+        "{}",
+        ascii_gantt(&der.schedule, horizon.start, horizon.end, 72)
+    );
 }

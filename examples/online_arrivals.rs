@@ -14,12 +14,12 @@ fn main() {
     // A day-in-the-life arrival trace: a background job, then a burst, then
     // a late surprise with a tight deadline.
     let tasks = TaskSet::from_triples(&[
-        (0.0, 50.0, 10.0),  // background sweep, lazy
-        (5.0, 25.0, 8.0),   // morning burst…
+        (0.0, 50.0, 10.0), // background sweep, lazy
+        (5.0, 25.0, 8.0),  // morning burst…
         (6.0, 28.0, 9.0),
         (7.0, 24.0, 6.0),
-        (30.0, 36.0, 5.0),  // afternoon surprise, tight
-        (32.0, 48.0, 7.0),  // follow-up work
+        (30.0, 36.0, 5.0), // afternoon surprise, tight
+        (32.0, 48.0, 7.0), // follow-up work
     ]);
     let power = PolynomialPower::paper(3.0, 0.05);
     let cores = 2;
@@ -34,7 +34,10 @@ fn main() {
     assert!(online.misses.is_empty());
 
     let opt = optimal_energy(&tasks, cores, &power, &SolveOptions::default());
-    println!("energy: optimal = {:.3}, offline F2 = {:.3}, replanned = {:.3}", opt.energy, offline.final_energy, online.energy);
+    println!(
+        "energy: optimal = {:.3}, offline F2 = {:.3}, replanned = {:.3}",
+        opt.energy, offline.final_energy, online.energy
+    );
     println!(
         "price of non-clairvoyance: {:.1}% over offline F2 ({} replans)",
         100.0 * (online.energy - offline.final_energy) / offline.final_energy,
@@ -42,18 +45,33 @@ fn main() {
     );
     println!(
         "peak frequency: offline {:.3} vs replanned {:.3}",
-        offline.assignment.freq.iter().cloned().fold(0.0_f64, f64::max),
+        offline
+            .assignment
+            .freq
+            .iter()
+            .cloned()
+            .fold(0.0_f64, f64::max),
         online.peak_frequency
     );
 
     let horizon = tasks.horizon();
     println!("\noffline (clairvoyant) schedule:");
-    print!("{}", ascii_gantt(&offline.schedule, horizon.start, horizon.end, 72));
+    print!(
+        "{}",
+        ascii_gantt(&offline.schedule, horizon.start, horizon.end, 72)
+    );
     println!("replanned (non-clairvoyant) schedule:");
-    print!("{}", ascii_gantt(&online.schedule, horizon.start, horizon.end, 72));
+    print!(
+        "{}",
+        ascii_gantt(&online.schedule, horizon.start, horizon.end, 72)
+    );
 
     // The simulator confirms the replanned schedule executes cleanly.
     let sim = simulate(&online.schedule, &tasks, &power);
     assert!(sim.is_clean());
-    println!("simulator: energy = {:.3}, clean = {}", sim.energy, sim.is_clean());
+    println!(
+        "simulator: energy = {:.3}, clean = {}",
+        sim.energy,
+        sim.is_clean()
+    );
 }

@@ -26,16 +26,25 @@ fn main() {
     // The paper's headline heuristic: DER-based allocation + final
     // frequency refinement.
     let der = der_schedule(&tasks, cores, &power);
-    println!("DER-based schedule (S^F2): energy = {:.4}", der.final_energy);
+    println!(
+        "DER-based schedule (S^F2): energy = {:.4}",
+        der.final_energy
+    );
     println!("{}", ascii_gantt(&der.schedule, 0.0, 22.0, 66));
 
     // The simpler evenly allocating method.
     let even = even_schedule(&tasks, cores, &power);
-    println!("Even-allocation schedule (S^F1): energy = {:.4}", even.final_energy);
+    println!(
+        "Even-allocation schedule (S^F1): energy = {:.4}",
+        even.final_energy
+    );
 
     // The convex-programming optimum (Theorem 1) as the yardstick.
     let opt = optimal_energy(&tasks, cores, &power, &SolveOptions::default());
-    println!("Optimal energy (E^OPT):          energy = {:.4}", opt.energy);
+    println!(
+        "Optimal energy (E^OPT):          energy = {:.4}",
+        opt.energy
+    );
     println!(
         "NEC: F2 = {:.4}, F1 = {:.4}",
         der.final_energy / opt.energy,

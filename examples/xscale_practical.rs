@@ -21,7 +21,12 @@ fn main() {
     let table = xscale_discrete();
     println!("Intel XScale operating points (MHz, mW):");
     for l in table.levels() {
-        println!("  {:>6.0} MHz  {:>6.0} mW  ({:.3} mJ/Mcycle)", l.freq, l.power, l.power / l.freq);
+        println!(
+            "  {:>6.0} MHz  {:>6.0} mW  ({:.3} mJ/Mcycle)",
+            l.freq,
+            l.power,
+            l.power / l.freq
+        );
     }
 
     // 2. Fit p(f) = γ·f^α + p0 ourselves (the paper reports
@@ -33,7 +38,10 @@ fn main() {
     );
     let power = fit.into_model();
     for (f, p) in XSCALE_TABLE {
-        println!("  {f:>6.0} MHz: measured {p:>6.0}, fitted {:>7.1}", power.power(f));
+        println!(
+            "  {f:>6.0} MHz: measured {p:>6.0}, fitted {:>7.1}",
+            power.power(f)
+        );
     }
 
     // 3. A random workload in the paper's XScale configuration.

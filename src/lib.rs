@@ -55,8 +55,8 @@ pub use esched_workload as workload;
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use esched_core::{
-        der_schedule, even_schedule, ideal_schedule, optimal_energy, yds_schedule,
-        DiscreteOutcome, HeuristicOutcome, IdealSolution, OptimalSolution,
+        der_schedule, even_schedule, ideal_schedule, optimal_energy, yds_schedule, DiscreteOutcome,
+        HeuristicOutcome, IdealSolution, OptimalSolution,
     };
     pub use esched_opt::{SolveOptions, SolveResult};
     pub use esched_sim::{simulate, SimReport};

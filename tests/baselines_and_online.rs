@@ -131,7 +131,10 @@ fn baseline_ordering_holds_on_average() {
         sum_part += partitioned_yds(tasks, 4, &power).energy / opt;
         sum_uni += uniform_frequency(tasks, 4, &power).energy / opt;
     }
-    assert!(sum_der <= sum_part, "der {sum_der} vs partitioned {sum_part}");
+    assert!(
+        sum_der <= sum_part,
+        "der {sum_der} vs partitioned {sum_part}"
+    );
     assert!(sum_der <= sum_uni, "der {sum_der} vs uniform {sum_uni}");
     assert!(sum_der / sets.len() as f64 >= 0.999);
 }

@@ -30,7 +30,11 @@ fn quantization_energy_is_finite_and_ordered() {
         assert!(be.energy <= nu.energy * (1.0 + 1e-12));
         // Quantizing up wastes some energy vs the continuous schedule…
         let cont = der.schedule.energy(&power);
-        assert!(nu.energy >= cont * 0.8, "nu {} vs continuous {cont}", nu.energy);
+        assert!(
+            nu.energy >= cont * 0.8,
+            "nu {} vs continuous {cont}",
+            nu.energy
+        );
     }
 }
 
@@ -70,8 +74,18 @@ fn intermediate_schedules_miss_more_than_finals() {
         misses[2] += q(&der.intermediate_schedule);
         misses[3] += q(&der.schedule);
     }
-    assert!(misses[0] >= misses[1], "I1 {} vs F1 {}", misses[0], misses[1]);
-    assert!(misses[2] >= misses[3], "I2 {} vs F2 {}", misses[2], misses[3]);
+    assert!(
+        misses[0] >= misses[1],
+        "I1 {} vs F1 {}",
+        misses[0],
+        misses[1]
+    );
+    assert!(
+        misses[2] >= misses[3],
+        "I2 {} vs F2 {}",
+        misses[2],
+        misses[3]
+    );
     assert_eq!(misses[3], 0, "F2 should never miss on this distribution");
 }
 

@@ -96,7 +96,13 @@ fn solvers_study_runs_on_a_small_instance() {
     let names: Vec<&str> = runs.iter().map(|r| r.name).collect();
     assert_eq!(
         names,
-        vec!["pgd", "fista", "frank_wolfe", "interior_point", "block_descent"]
+        vec![
+            "pgd",
+            "fista",
+            "frank_wolfe",
+            "interior_point",
+            "block_descent"
+        ]
     );
     for r in &runs {
         assert!(r.objective.is_finite() && r.objective > 0.0);

@@ -4,9 +4,7 @@
 
 use esched::core::der_schedule;
 use esched::sim::simulate;
-use esched::types::{
-    validate_schedule, PolynomialPower, Schedule, Segment, TaskSet, Violation,
-};
+use esched::types::{validate_schedule, PolynomialPower, Schedule, Segment, TaskSet, Violation};
 use esched::workload::section_vd_six_tasks;
 
 fn good() -> (Schedule, TaskSet, PolynomialPower) {

@@ -1,9 +1,7 @@
 //! Golden tests: every concrete number the paper's text reports,
 //! reproduced end-to-end through the public API.
 
-use esched::core::{
-    der_schedule, even_schedule, ideal_schedule, optimal_energy, yds_schedule,
-};
+use esched::core::{der_schedule, even_schedule, ideal_schedule, optimal_energy, yds_schedule};
 use esched::opt::SolveOptions;
 use esched::subinterval::Timeline;
 use esched::types::PolynomialPower;
@@ -64,8 +62,16 @@ fn vd_final_energies() {
     let p = PolynomialPower::cubic();
     let even = even_schedule(&tasks, 4, &p);
     let der = der_schedule(&tasks, 4, &p);
-    assert!((even.final_energy - 33.0642).abs() < 5e-4, "{}", even.final_energy);
-    assert!((der.final_energy - 31.8362).abs() < 5e-4, "{}", der.final_energy);
+    assert!(
+        (even.final_energy - 33.0642).abs() < 5e-4,
+        "{}",
+        even.final_energy
+    );
+    assert!(
+        (der.final_energy - 31.8362).abs() < 5e-4,
+        "{}",
+        der.final_energy
+    );
 }
 
 /// Section V.D: the even method's final frequency denominators

@@ -70,7 +70,11 @@ fn single_periodic_task_on_one_core_matches_yds() {
     let der = der_schedule(&jobs, 1, &p);
     let expect = 3.0 * p_energy(2.0, 0.4); // 3 jobs at f = 0.4
     assert!((yds.energy - expect).abs() < 1e-9, "yds {}", yds.energy);
-    assert!((der.final_energy - expect).abs() < 1e-9, "der {}", der.final_energy);
+    assert!(
+        (der.final_energy - expect).abs() < 1e-9,
+        "der {}",
+        der.final_energy
+    );
 
     fn p_energy(work: f64, f: f64) -> f64 {
         f.powi(3) * work / f

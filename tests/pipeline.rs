@@ -1,9 +1,7 @@
 //! End-to-end pipeline tests: generator → timeline → heuristics/optimum →
 //! validation → simulation, across random instances and power models.
 
-use esched::core::{
-    der_schedule, even_schedule, ideal_schedule, optimal_energy, yds_schedule,
-};
+use esched::core::{der_schedule, even_schedule, ideal_schedule, optimal_energy, yds_schedule};
 use esched::opt::SolveOptions;
 use esched::sim::simulate;
 use esched::types::{validate_schedule, PolynomialPower, TaskSet};
@@ -35,8 +33,7 @@ fn heuristic_schedules_are_legal_and_simulate_cleanly() {
                 assert!(sim.is_clean(), "set {k} cores {cores}: {:?}", sim.conflicts);
                 // Simulated energy equals analytic final energy.
                 assert!(
-                    (sim.energy - out.final_energy).abs()
-                        < 1e-6 * (1.0 + out.final_energy),
+                    (sim.energy - out.final_energy).abs() < 1e-6 * (1.0 + out.final_energy),
                     "set {k}: sim {} vs analytic {}",
                     sim.energy,
                     out.final_energy

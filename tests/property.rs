@@ -1,8 +1,9 @@
-//! Property-based tests over randomly generated task systems.
+//! Seeded randomized tests over randomly generated task systems.
 //!
 //! Strategy: generate arbitrary-but-valid task sets (windows and works in
-//! sane ranges) plus platform parameters, and assert the structural
-//! invariants the paper's construction promises:
+//! sane ranges) plus platform parameters from a fixed-seed ChaCha8
+//! stream, and assert the structural invariants the paper's construction
+//! promises:
 //!
 //! * every heuristic emits a *legal* schedule (validator + simulator),
 //! * the final refinement never increases energy,
@@ -14,83 +15,106 @@ use esched::core::{der_schedule, even_schedule, optimal_energy, pack_subinterval
 use esched::opt::{project_capped_simplex, SolveOptions};
 use esched::sim::simulate;
 use esched::types::{validate_schedule, PolynomialPower, Task, TaskSet};
-use proptest::prelude::*;
+use esched_obs::rng::ChaCha8;
+
+const CASES: usize = 48;
 
 /// A valid random task: release in [0, 50], window length in (0.5, 40],
 /// work sized so intensity stays within (0, 1.5].
-fn arb_task() -> impl Strategy<Value = Task> {
-    (0.0_f64..50.0, 0.5_f64..40.0, 0.05_f64..1.5).prop_map(|(r, len, intensity)| {
-        Task::of(r, r + len, (len * intensity).max(1e-3))
-    })
+fn arb_task(rng: &mut ChaCha8) -> Task {
+    let r = rng.gen_range_f64(0.0, 50.0);
+    let len = rng.gen_range_f64(0.5, 40.0);
+    let intensity = rng.gen_range_f64(0.05, 1.5);
+    Task::of(r, r + len, (len * intensity).max(1e-3))
 }
 
-fn arb_task_set(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
-    prop::collection::vec(arb_task(), 1..=max_tasks)
-        .prop_map(|v| TaskSet::new(v).expect("arb tasks valid"))
+fn arb_task_set(rng: &mut ChaCha8, max_tasks: usize) -> TaskSet {
+    let n = rng.gen_range_usize(1, max_tasks + 1);
+    TaskSet::new((0..n).map(|_| arb_task(rng)).collect()).expect("arb tasks valid")
 }
 
-fn arb_power() -> impl Strategy<Value = PolynomialPower> {
-    (2.0_f64..3.0, 0.0_f64..0.3).prop_map(|(alpha, p0)| PolynomialPower::paper(alpha, p0))
+fn arb_power(rng: &mut ChaCha8) -> PolynomialPower {
+    PolynomialPower::paper(rng.gen_range_f64(2.0, 3.0), rng.gen_range_f64(0.0, 0.3))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn heuristics_always_emit_legal_schedules(
-        tasks in arb_task_set(10),
-        power in arb_power(),
-        cores in 1_usize..5,
-    ) {
+#[test]
+fn heuristics_always_emit_legal_schedules() {
+    let mut rng = ChaCha8::seed_from_u64(0x9209_0001);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 10);
+        let power = arb_power(&mut rng);
+        let cores = rng.gen_range_usize(1, 5);
         for out in [
             even_schedule(&tasks, cores, &power),
             der_schedule(&tasks, cores, &power),
         ] {
             let report = validate_schedule(&out.schedule, &tasks);
-            prop_assert!(report.is_legal(), "{:?}", report.violations);
+            assert!(report.is_legal(), "{:?}", report.violations);
             let sim = simulate(&out.schedule, &tasks, &power);
-            prop_assert!(sim.is_clean(), "{:?} / misses {:?}", sim.conflicts, sim.deadline_misses);
+            assert!(
+                sim.is_clean(),
+                "{:?} / misses {:?}",
+                sim.conflicts,
+                sim.deadline_misses
+            );
             // Analytic and simulated energies agree.
-            prop_assert!(
+            assert!(
                 (sim.energy - out.final_energy).abs() < 1e-6 * (1.0 + out.final_energy),
-                "sim {} vs analytic {}", sim.energy, out.final_energy
+                "sim {} vs analytic {}",
+                sim.energy,
+                out.final_energy
             );
         }
     }
+}
 
-    #[test]
-    fn final_refinement_never_increases_energy(
-        tasks in arb_task_set(10),
-        power in arb_power(),
-        cores in 1_usize..5,
-    ) {
+#[test]
+fn final_refinement_never_increases_energy() {
+    let mut rng = ChaCha8::seed_from_u64(0x9209_0002);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 10);
+        let power = arb_power(&mut rng);
+        let cores = rng.gen_range_usize(1, 5);
         let even = even_schedule(&tasks, cores, &power);
         let der = der_schedule(&tasks, cores, &power);
-        prop_assert!(even.final_energy <= even.intermediate_energy * (1.0 + 1e-9) + 1e-12);
-        prop_assert!(der.final_energy <= der.intermediate_energy * (1.0 + 1e-9) + 1e-12);
+        assert!(even.final_energy <= even.intermediate_energy * (1.0 + 1e-9) + 1e-12);
+        assert!(der.final_energy <= der.intermediate_energy * (1.0 + 1e-9) + 1e-12);
     }
+}
 
-    #[test]
-    fn optimum_lower_bounds_heuristics(
-        tasks in arb_task_set(8),
-        power in arb_power(),
-        cores in 1_usize..4,
-    ) {
+#[test]
+fn optimum_lower_bounds_heuristics() {
+    let mut rng = ChaCha8::seed_from_u64(0x9209_0003);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 8);
+        let power = arb_power(&mut rng);
+        let cores = rng.gen_range_usize(1, 4);
         let opt = optimal_energy(&tasks, cores, &power, &SolveOptions::fast());
         let even = even_schedule(&tasks, cores, &power);
         let der = der_schedule(&tasks, cores, &power);
         // Allow the fast solver a small tolerance.
-        prop_assert!(opt.energy <= even.final_energy * (1.0 + 1e-3) + 1e-9,
-            "opt {} vs even {}", opt.energy, even.final_energy);
-        prop_assert!(opt.energy <= der.final_energy * (1.0 + 1e-3) + 1e-9,
-            "opt {} vs der {}", opt.energy, der.final_energy);
+        assert!(
+            opt.energy <= even.final_energy * (1.0 + 1e-3) + 1e-9,
+            "opt {} vs even {}",
+            opt.energy,
+            even.final_energy
+        );
+        assert!(
+            opt.energy <= der.final_energy * (1.0 + 1e-3) + 1e-9,
+            "opt {} vs der {}",
+            opt.energy,
+            der.final_energy
+        );
     }
+}
 
-    #[test]
-    fn packing_never_self_overlaps(
-        durations in prop::collection::vec(0.0_f64..2.0, 1..12),
-        cores in 1_usize..5,
-    ) {
+#[test]
+fn packing_never_self_overlaps() {
+    let mut rng = ChaCha8::seed_from_u64(0x9209_0004);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 12);
+        let durations: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(0.0, 2.0)).collect();
+        let cores = rng.gen_range_usize(1, 5);
         // Scale durations so they fit: d_i ≤ Δ and Σd ≤ m·Δ with Δ = 2.
         let delta = 2.0;
         let total: f64 = durations.iter().sum();
@@ -99,7 +123,11 @@ proptest! {
         let items: Vec<PackItem> = durations
             .iter()
             .enumerate()
-            .map(|(i, &d)| PackItem { task: i, duration: d * scale, freq: 1.0 })
+            .map(|(i, &d)| PackItem {
+                task: i,
+                duration: d * scale,
+                freq: 1.0,
+            })
             .collect();
         let mut sched = esched::types::Schedule::new(cores);
         pack_subinterval(&items, 10.0, 12.0, cores, &mut sched).unwrap();
@@ -107,64 +135,76 @@ proptest! {
         for c in 0..cores {
             let segs = sched.core_segments(c);
             for w in segs.windows(2) {
-                prop_assert!(w[0].interval.overlap_len(&w[1].interval) < 1e-9);
+                assert!(w[0].interval.overlap_len(&w[1].interval) < 1e-9);
             }
         }
         for t in sched.task_ids() {
             let segs = sched.task_segments(t);
             for w in segs.windows(2) {
-                prop_assert!(w[0].interval.overlap_len(&w[1].interval) < 1e-9,
-                    "task {t} self-overlap");
+                assert!(
+                    w[0].interval.overlap_len(&w[1].interval) < 1e-9,
+                    "task {t} self-overlap"
+                );
             }
             // Each task received its full duration.
             let got: f64 = segs.iter().map(|s| s.duration()).sum();
             let want = items[t].duration;
-            prop_assert!((got - want).abs() < 1e-9, "task {t}: {got} vs {want}");
+            assert!((got - want).abs() < 1e-9, "task {t}: {got} vs {want}");
         }
         for s in sched.segments() {
-            prop_assert!(s.interval.start >= 10.0 - 1e-9 && s.interval.end <= 12.0 + 1e-9);
+            assert!(s.interval.start >= 10.0 - 1e-9 && s.interval.end <= 12.0 + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn projection_is_feasible_and_variational(
-        z in prop::collection::vec(-2.0_f64..4.0, 1..10),
-        cap_frac in 0.1_f64..1.5,
-    ) {
+#[test]
+fn projection_is_feasible_and_variational() {
+    let mut rng = ChaCha8::seed_from_u64(0x9209_0005);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 10);
+        let z: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-2.0, 4.0)).collect();
+        let cap_frac = rng.gen_range_f64(0.1, 1.5);
         let u: Vec<f64> = z.iter().map(|_| 1.0).collect();
         let cap = cap_frac * z.len() as f64 * 0.5;
         let mut p = vec![0.0; z.len()];
         project_capped_simplex(&z, &u, cap, &mut p);
         // Feasibility.
         for (&pi, &ui) in p.iter().zip(&u) {
-            prop_assert!(pi >= -1e-9 && pi <= ui + 1e-9);
+            assert!(pi >= -1e-9 && pi <= ui + 1e-9);
         }
-        prop_assert!(p.iter().sum::<f64>() <= cap + 1e-7);
+        assert!(p.iter().sum::<f64>() <= cap + 1e-7);
         // Variational inequality against a few deterministic feasible
         // points: ⟨z − p, y − p⟩ ≤ 0.
         let candidates: Vec<Vec<f64>> = vec![
             vec![0.0; z.len()],
-            u.iter().map(|&ui| ui * (cap / u.iter().sum::<f64>()).min(1.0)).collect(),
+            u.iter()
+                .map(|&ui| ui * (cap / u.iter().sum::<f64>()).min(1.0))
+                .collect(),
         ];
         for y in candidates {
             if y.iter().sum::<f64>() <= cap + 1e-12 {
                 let ip: f64 = (0..z.len()).map(|k| (z[k] - p[k]) * (y[k] - p[k])).sum();
-                prop_assert!(ip <= 1e-6, "variational inequality violated: {ip}");
+                assert!(ip <= 1e-6, "variational inequality violated: {ip}");
             }
         }
     }
+}
 
-    #[test]
-    fn work_conservation_every_task_gets_its_requirement(
-        tasks in arb_task_set(8),
-        power in arb_power(),
-        cores in 1_usize..4,
-    ) {
+#[test]
+fn work_conservation_every_task_gets_its_requirement() {
+    let mut rng = ChaCha8::seed_from_u64(0x9209_0006);
+    for _ in 0..CASES {
+        let tasks = arb_task_set(&mut rng, 8);
+        let power = arb_power(&mut rng);
+        let cores = rng.gen_range_usize(1, 4);
         let out = der_schedule(&tasks, cores, &power);
         for (i, t) in tasks.iter() {
             let got = out.schedule.work_of(i);
-            prop_assert!(got >= t.wcec * (1.0 - 1e-6) - 1e-9,
-                "task {i}: delivered {got} of {}", t.wcec);
+            assert!(
+                got >= t.wcec * (1.0 - 1e-6) - 1e-9,
+                "task {i}: delivered {got} of {}",
+                t.wcec
+            );
         }
     }
 }

@@ -30,7 +30,11 @@ fn scaling_a_task_set_scales_schedule_energy_predictably() {
     let base = der_schedule(&tasks, 4, &p).final_energy;
     let scaled = rescale_time(&tasks, 2.0);
     let e2 = der_schedule(&scaled, 4, &p).final_energy;
-    assert!((e2 - 2.0 * base).abs() < 1e-6 * (1.0 + base), "{e2} vs {}", 2.0 * base);
+    assert!(
+        (e2 - 2.0 * base).abs() < 1e-6 * (1.0 + base),
+        "{e2} vs {}",
+        2.0 * base
+    );
 
     // rescale_work by k with p = f^3: frequencies ×k, energy ×k³.
     let scaled_w = rescale_work(&tasks, 2.0);
@@ -78,9 +82,18 @@ fn traced_simulation_logs_complete_lifecycles() {
     // Every task has exactly one release and one deadline event and at
     // least one start.
     for i in 0..6 {
-        let releases = log.iter().filter(|e| e.kind == "release" && e.task == i).count();
-        let deadlines = log.iter().filter(|e| e.kind == "deadline" && e.task == i).count();
-        let starts = log.iter().filter(|e| e.kind == "start" && e.task == i).count();
+        let releases = log
+            .iter()
+            .filter(|e| e.kind == "release" && e.task == i)
+            .count();
+        let deadlines = log
+            .iter()
+            .filter(|e| e.kind == "deadline" && e.task == i)
+            .count();
+        let starts = log
+            .iter()
+            .filter(|e| e.kind == "start" && e.task == i)
+            .count();
         assert_eq!(releases, 1, "task {i}");
         assert_eq!(deadlines, 1, "task {i}");
         assert!(starts >= 1, "task {i}");
