@@ -1,0 +1,156 @@
+//! The on-disk regression corpus: shrunk minimal repros as JSON.
+//!
+//! Each corpus file is a plain [`Instance`] object plus two metadata keys
+//! (`oracle`, the failing class name; `message`, the violation detail at
+//! the time it was found). `Instance::from_json` ignores the extras, so a
+//! corpus file deserializes straight back into a replayable instance.
+//!
+//! Filenames are `<class>-<fnv64 of the instance JSON>.json`: content
+//! addressing dedups repeated discoveries of the same shrunk instance
+//! across fuzz runs, and the class prefix keeps the directory readable.
+
+use crate::instance::Instance;
+use crate::oracles::OracleViolation;
+use esched_obs::json::{ToJson, Value};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// 64-bit FNV-1a — a dependency-free stable content hash for filenames.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serialize a corpus entry: the instance plus oracle metadata.
+pub fn corpus_entry(inst: &Instance, violation: &OracleViolation) -> String {
+    let mut obj = match inst.to_json() {
+        Value::Obj(pairs) => pairs,
+        _ => unreachable!("Instance serializes to an object"),
+    };
+    obj.insert(
+        0,
+        ("oracle".into(), Value::Str(violation.class.name().into())),
+    );
+    obj.insert(1, ("message".into(), Value::Str(violation.message.clone())));
+    Value::Obj(obj).to_string_pretty()
+}
+
+/// Write a shrunk repro into `dir`, creating the directory if needed.
+/// Returns `Ok(Some(path))` for a new entry, `Ok(None)` when an identical
+/// instance (same content hash for the same class) is already present.
+///
+/// # Errors
+/// Propagates filesystem errors from creating the directory or file.
+pub fn write_corpus(
+    dir: &Path,
+    inst: &Instance,
+    violation: &OracleViolation,
+) -> io::Result<Option<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    // Hash only the instance (not the message) so the same shrunk
+    // instance found via differently-worded violations dedups.
+    let hash = fnv1a(inst.to_json().to_string_pretty().as_bytes());
+    let path = dir.join(format!("{}-{hash:016x}.json", violation.class.name()));
+    if path.exists() {
+        return Ok(None);
+    }
+    fs::write(&path, corpus_entry(inst, violation))?;
+    Ok(Some(path))
+}
+
+/// Load every `*.json` corpus entry under `dir`, sorted by filename for
+/// deterministic replay order. A missing directory is an empty corpus.
+///
+/// # Errors
+/// Propagates filesystem errors; malformed entries surface as
+/// [`io::ErrorKind::InvalidData`] naming the offending file.
+pub fn load_corpus_dir(dir: &Path) -> io::Result<Vec<(PathBuf, Instance)>> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let inst = Instance::from_json_str(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corpus entry {} is malformed: {e}", path.display()),
+            )
+        })?;
+        out.push((path, inst));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracles::OracleClass;
+    use esched_types::{PolynomialPower, TaskSet};
+
+    fn sample() -> Instance {
+        Instance::new(
+            TaskSet::from_triples(&[(0.0, 4.0, 2.0)]),
+            2,
+            PolynomialPower::cubic(),
+        )
+    }
+
+    fn violation() -> OracleViolation {
+        OracleViolation {
+            class: OracleClass::Packing,
+            message: "test repro".into(),
+        }
+    }
+
+    #[test]
+    fn write_then_load_round_trips_and_dedups() {
+        let dir = std::env::temp_dir().join(format!(
+            "esched-check-corpus-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let inst = sample();
+        let first = write_corpus(&dir, &inst, &violation()).unwrap();
+        assert!(first.is_some());
+        let again = write_corpus(&dir, &inst, &violation()).unwrap();
+        assert!(again.is_none(), "identical repro must dedup");
+        let loaded = load_corpus_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1, inst);
+        assert!(loaded[0]
+            .0
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("packing-"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_empty_corpus() {
+        let dir = Path::new("/nonexistent/esched-check-nowhere");
+        assert!(load_corpus_dir(dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn entry_carries_oracle_metadata() {
+        let text = corpus_entry(&sample(), &violation());
+        assert!(text.contains("\"oracle\": \"packing\""));
+        assert!(text.contains("\"message\": \"test repro\""));
+        // And still parses back as a plain instance.
+        assert!(Instance::from_json_str(&text).is_ok());
+    }
+}

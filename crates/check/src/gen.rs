@@ -1,0 +1,190 @@
+//! Adversarial instance generation.
+//!
+//! Uniform random task sets almost never land in the pipeline's hard
+//! regions, so the generator is biased toward them explicitly:
+//!
+//! * **shared and near-duplicate event times** — boundary points are drawn
+//!   from a small grid, and a fraction are jittered by offsets around the
+//!   dedup tolerance (`±EPS/10 … ±10·EPS`), so one task's release
+//!   coincides (exactly or almost) with another's deadline and subinterval
+//!   lengths land near `EPS`/`WORK_TOL`;
+//! * **zero-slack windows** — `C_i` is drawn so the required frequency sits
+//!   at or just below/above 1 (`C_i ≈ D_i − R_i`);
+//! * **contention at the core count** — `n` is chosen around `m` so heavy
+//!   subintervals have `n_j ∈ {m, m+1, m+2}` as often as far beyond;
+//! * **critical-frequency-dominated power** — high `p₀` draws make
+//!   `f_crit` exceed most stretch frequencies, exercising the slack-unused
+//!   paths;
+//! * **degenerates** — single-task and single-core instances appear with
+//!   non-trivial probability.
+
+use crate::instance::Instance;
+use esched_obs::rng::ChaCha8;
+use esched_types::time::EPS;
+use esched_types::{PolynomialPower, Task, TaskSet};
+
+/// Tiny offsets around the comparison tolerance: below it (must merge),
+/// at it, and just above it (must survive as a near-degenerate gap).
+const JITTERS: [f64; 7] = [-1e-6, -2e-7, -1e-8, 0.0, 1e-8, 2e-7, 1e-6];
+
+fn gen_power(rng: &mut ChaCha8) -> PolynomialPower {
+    let alpha = if rng.gen_bool(0.5) { 3.0 } else { 2.0 };
+    // Bias toward high static power: half the draws put f_crit near or
+    // above typical stretch frequencies.
+    let p0 = match rng.gen_range_usize(0, 6) {
+        0 | 1 => 0.0,
+        2 => 0.01,
+        3 => 0.2,
+        4 => 1.0,
+        _ => rng.gen_range_f64(1.0, 5.0),
+    };
+    PolynomialPower::paper(alpha, p0)
+}
+
+/// Draw a boundary grid: a handful of base points, some of which are
+/// duplicated across tasks and some jittered by near-tolerance offsets.
+fn gen_grid(rng: &mut ChaCha8) -> Vec<f64> {
+    let base_span = match rng.gen_range_usize(0, 4) {
+        0 => 10.0,
+        1 => 40.0,
+        2 => 200.0,
+        _ => 1.0,
+    };
+    let points = rng.gen_range_usize(2, 8);
+    let mut grid = Vec::with_capacity(points);
+    for k in 0..points {
+        // Mostly evenly spaced (lots of exact duplicates when tasks pick
+        // the same index), occasionally uniform.
+        let t = if rng.gen_bool(0.7) {
+            base_span * k as f64 / points as f64
+        } else {
+            rng.gen_range_f64(0.0, base_span)
+        };
+        grid.push(t);
+    }
+    grid.sort_by(|a, b| a.partial_cmp(b).expect("finite grid"));
+    grid
+}
+
+fn jitter(rng: &mut ChaCha8, t: f64) -> f64 {
+    if rng.gen_bool(0.25) {
+        t + JITTERS[rng.gen_range_usize(0, JITTERS.len())]
+    } else {
+        t
+    }
+}
+
+/// Draw one adversarial instance. Deterministic given the RNG state; the
+/// fuzz loop seeds a fresh [`ChaCha8`] per iteration so every instance is
+/// reproducible from `(seed, iteration)` alone.
+pub fn gen_instance(rng: &mut ChaCha8) -> Instance {
+    let cores = match rng.gen_range_usize(0, 8) {
+        0 | 1 => 1,
+        2 | 3 => 2,
+        4 | 5 => 4,
+        6 => 3,
+        _ => 8,
+    };
+    // Bias n around m: heavy subintervals with n_j barely above m are the
+    // interesting ones for Algorithm 2's cap-and-redistribute loop.
+    let n = match rng.gen_range_usize(0, 8) {
+        0 => 1,
+        1 => cores.max(1),
+        2 => cores + 1,
+        3 => cores + 2,
+        _ => rng.gen_range_usize(1, 2 * cores + 4),
+    };
+    let power = gen_power(rng);
+    let grid = gen_grid(rng);
+    let mut tasks = Vec::with_capacity(n);
+    let mut attempts = 0;
+    while tasks.len() < n && attempts < 100 * n {
+        attempts += 1;
+        let (release, deadline) = if grid.len() >= 2 && rng.gen_bool(0.8) {
+            let a = rng.gen_range_usize(0, grid.len() - 1);
+            let b = rng.gen_range_usize(a + 1, grid.len());
+            (jitter(rng, grid[a]), jitter(rng, grid[b]))
+        } else {
+            let r = rng.gen_range_f64(0.0, 20.0);
+            (r, r + rng.gen_range_f64(0.1, 20.0))
+        };
+        let window = deadline - release;
+        if window <= 10.0 * EPS * (1.0 + release.abs().max(deadline.abs())) {
+            continue; // would fail task validation or sit inside the dedup band
+        }
+        let wcec = match rng.gen_range_usize(0, 8) {
+            // Zero slack at unit frequency (and ± dust around it).
+            0 => window,
+            1 => window * (1.0 - 1e-9),
+            2 => window * (1.0 + 1e-9),
+            // Over-dense: requires f > 1 even alone (legal in the
+            // continuous model, a deadline miss on a capped table).
+            3 => window * rng.gen_range_f64(1.0, 2.0),
+            // Tiny work near the tolerances.
+            4 => rng.gen_range_f64(0.5 * EPS, 1e-4),
+            // Ordinary draw.
+            _ => window * rng.gen_range_f64(0.05, 1.0),
+        };
+        if let Ok(t) = Task::new(release, deadline, wcec) {
+            tasks.push(t);
+        }
+    }
+    if tasks.is_empty() {
+        // Pathological grid: fall back to a fixed single task so the loop
+        // always yields a valid instance.
+        tasks.push(Task::of(0.0, 1.0, 0.5));
+    }
+    let tasks = TaskSet::new(tasks).expect("tasks validated individually");
+    Instance::new(tasks, cores, power)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_yields_valid_instances() {
+        let mut rng = ChaCha8::seed_from_u64(7);
+        for _ in 0..500 {
+            let inst = gen_instance(&mut rng);
+            assert!(!inst.tasks.is_empty());
+            assert!(inst.cores >= 1);
+            // TaskSet::new validated every window/work.
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gen_instance(&mut ChaCha8::seed_from_u64(42));
+        let b = gen_instance(&mut ChaCha8::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hits_hard_regions() {
+        // Over 500 draws the bias must produce single-core, single-task,
+        // zero-slack, near-duplicate-boundary, and high-p0 instances.
+        let mut rng = ChaCha8::seed_from_u64(1);
+        let (mut single_core, mut single_task, mut zero_slack, mut high_p0, mut near_dup) =
+            (0, 0, 0, 0, 0);
+        for _ in 0..500 {
+            let inst = gen_instance(&mut rng);
+            single_core += usize::from(inst.cores == 1);
+            single_task += usize::from(inst.tasks.len() == 1);
+            high_p0 += usize::from(inst.power.p0 >= 1.0);
+            zero_slack += usize::from(
+                inst.tasks
+                    .tasks()
+                    .iter()
+                    .any(|t| (t.intensity() - 1.0).abs() < 1e-6),
+            );
+            let pts = inst.tasks.event_points();
+            near_dup += usize::from(pts.windows(2).any(|w| w[1] - w[0] < 1e-4));
+        }
+        assert!(single_core > 20, "single-core draws: {single_core}");
+        assert!(single_task > 10, "single-task draws: {single_task}");
+        assert!(zero_slack > 30, "zero-slack draws: {zero_slack}");
+        assert!(high_p0 > 50, "high-p0 draws: {high_p0}");
+        assert!(near_dup > 20, "near-duplicate-boundary draws: {near_dup}");
+    }
+}

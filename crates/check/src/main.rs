@@ -1,0 +1,167 @@
+//! `esched-check` — the differential fuzz driver.
+//!
+//! ```text
+//! cargo run --release -p esched-check -- --iters 1000 --seed 42
+//! ```
+//!
+//! Each iteration seeds a fresh [`ChaCha8`] with `seed + i`, draws one
+//! adversarial instance, and runs the full oracle battery. On a violation
+//! the instance is auto-shrunk per failing oracle class and the minimal
+//! repro is written (content-addressed, deduped) to the corpus directory.
+//! Exit status: 0 when every iteration passed, 1 on any violation, 2 on
+//! bad usage.
+//!
+//! Telemetry: the run is wrapped in a `check_fuzz` INFO span and every
+//! violation emits an `oracle_violation` WARN event, so `ESCHED_LOG=info`
+//! narrates the run through the standard `esched-obs` subscriber.
+
+use esched_check::oracles::violation_classes;
+use esched_check::{check_instance, gen_instance, shrink, write_corpus};
+use esched_obs::rng::ChaCha8;
+use esched_obs::{event, span, Level};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    iters: u64,
+    seed: u64,
+    corpus: PathBuf,
+    max_shrink_evals: usize,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: esched-check [--iters N] [--seed N] [--corpus DIR] \
+                     [--max-shrink-evals N] [--quiet]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        iters: 1000,
+        seed: 42,
+        corpus: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus")),
+        max_shrink_evals: 400,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--iters" => args.iters = parse_num(&grab("--iters")?)?,
+            "--seed" => args.seed = parse_num(&grab("--seed")?)?,
+            "--corpus" => args.corpus = PathBuf::from(grab("--corpus")?),
+            "--max-shrink-evals" => {
+                args.max_shrink_evals = parse_num(&grab("--max-shrink-evals")?)? as usize;
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("not a number: {s}\n{USAGE}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    esched_obs::trace::init_from_env();
+    // The oracle battery converts pipeline panics into violations via
+    // catch_unwind; silence the default hook so a panicking stage doesn't
+    // spray backtraces over the report (RUST_BACKTRACE debugging still
+    // works on the shrunk repro via the replay test).
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let _span = span!(
+        Level::Info,
+        "check_fuzz",
+        iters = args.iters as usize,
+        seed = args.seed as usize,
+    );
+
+    let mut failing_iters = 0_u64;
+    let mut written: Vec<PathBuf> = Vec::new();
+    let mut deduped = 0_usize;
+    for i in 0..args.iters {
+        let mut rng = ChaCha8::seed_from_u64(args.seed.wrapping_add(i));
+        let inst = gen_instance(&mut rng);
+        let violations = check_instance(&inst);
+        if violations.is_empty() {
+            if !args.quiet && (i + 1) % 200 == 0 {
+                eprintln!("  ... {} iterations clean", i + 1);
+            }
+            continue;
+        }
+        failing_iters += 1;
+        eprintln!(
+            "iter {i} (seed {}): {} violation(s) on {}",
+            args.seed.wrapping_add(i),
+            violations.len(),
+            inst.summary()
+        );
+        for v in &violations {
+            eprintln!("    {v}");
+            event!(
+                Level::Warn,
+                "oracle_violation",
+                iter = i as usize,
+                class = v.class.name(),
+            );
+        }
+        // Shrink once per distinct failing class so each corpus entry is
+        // minimal *for its oracle*, then write the repro.
+        for class in violation_classes(&violations) {
+            let shrunk = shrink(&inst, &[class], args.max_shrink_evals);
+            let message = check_instance(&shrunk.instance)
+                .into_iter()
+                .find(|v| v.class == class)
+                .map(|v| v.message)
+                .unwrap_or_else(|| "violation vanished after shrink (flaky)".to_string());
+            let repro = esched_check::OracleViolation { class, message };
+            match write_corpus(&args.corpus, &shrunk.instance, &repro) {
+                Ok(Some(path)) => {
+                    eprintln!(
+                        "    shrunk to {} ({} evals) -> {}",
+                        shrunk.instance.summary(),
+                        shrunk.evals,
+                        path.display()
+                    );
+                    written.push(path);
+                }
+                Ok(None) => deduped += 1,
+                Err(e) => eprintln!("    corpus write failed: {e}"),
+            }
+        }
+    }
+
+    event!(
+        Level::Info,
+        "check_fuzz_done",
+        failing_iters = failing_iters as usize,
+        new_repros = written.len(),
+    );
+    println!(
+        "esched-check: {} iterations, {} failing, {} new corpus repro(s), {} deduped",
+        args.iters,
+        failing_iters,
+        written.len(),
+        deduped
+    );
+    for p in &written {
+        println!("  new repro: {}", p.display());
+    }
+    if failing_iters == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

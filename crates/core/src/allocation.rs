@@ -188,22 +188,31 @@ pub fn allocate_der(
         });
         let mut pool = cores as f64 * delta;
         let mut ctot: f64 = ders.iter().map(|&(_, c)| c).sum();
+        let mut remaining = ders.len();
         for (i, c) in ders {
-            if ctot <= EPS || pool <= EPS || c <= 0.0 {
-                avail.set(i, sub.index, 0.0);
-                // ctot still shrinks so later (zero-DER) tasks behave the
-                // same.
-                ctot -= c;
-                continue;
-            }
-            let share = c * pool / ctot;
-            let alloc = share.min(delta);
-            if share > delta {
-                redistributions += 1;
-            }
+            let alloc = if pool <= EPS {
+                0.0
+            } else if ctot > EPS && c > 0.0 {
+                let share = c * pool / ctot;
+                if share > delta {
+                    redistributions += 1;
+                }
+                share.min(delta)
+            } else if ctot <= EPS {
+                // Degenerate pool: every remaining DER is ~zero (tiny-work
+                // tasks), so proportional shares carry no signal. Split the
+                // remaining pool evenly instead of starving everyone — a
+                // starved task ends up with zero total availability and no
+                // finite final frequency.
+                (pool / remaining as f64).min(delta)
+            } else {
+                // Zero-DER task among tasks with real DERs: no share.
+                0.0
+            };
             avail.set(i, sub.index, alloc);
             pool -= alloc;
             ctot -= c;
+            remaining -= 1;
         }
     }
     event!(
@@ -276,17 +285,21 @@ pub fn allocate_work_proportional(
         });
         let mut pool = cores as f64 * delta;
         let mut wtot: f64 = weights.iter().map(|&(_, w)| w).sum();
+        let mut remaining = weights.len();
         for (i, w) in weights {
-            if wtot <= EPS || pool <= EPS {
-                avail.set(i, sub.index, 0.0);
-                wtot -= w;
-                continue;
-            }
-            let share = w * pool / wtot;
-            let alloc = share.min(delta);
+            // Same degenerate-pool fallback as `allocate_der`: when every
+            // remaining weight is ~zero, split the pool evenly.
+            let alloc = if pool <= EPS {
+                0.0
+            } else if wtot > EPS {
+                (w * pool / wtot).min(delta)
+            } else {
+                (pool / remaining as f64).min(delta)
+            };
             avail.set(i, sub.index, alloc);
             pool -= alloc;
             wtot -= w;
+            remaining -= 1;
         }
     }
     avail

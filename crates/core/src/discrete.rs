@@ -23,6 +23,7 @@
 //! beyond the paper's evaluation, with [`best_discrete_split`] as the
 //! truly optimal per-task policy.
 
+use esched_types::time::{approx_eq, approx_le};
 use esched_types::{DiscretePower, FreqLevel, Schedule, TaskId};
 
 /// How to map a requested continuous frequency to an operating point.
@@ -46,6 +47,12 @@ pub struct DiscreteOutcome {
 }
 
 /// Pick a level for `required` under `policy`.
+///
+/// Feasibility ("is there a level ≥ `required`?") uses the shared
+/// [`approx_le`] comparison — the same one `quantize_up` uses — so every
+/// quantization path agrees about borderline frequencies. A bespoke
+/// `1e-12`-relative cutoff here once made `BestEfficiency` declare a miss
+/// on frequencies like `top·(1 + 1e-9)` that `NextUp` accepted.
 fn pick_level(table: &DiscretePower, required: f64, policy: QuantizePolicy) -> Option<FreqLevel> {
     match policy {
         QuantizePolicy::NextUp => table.quantize_up(required),
@@ -53,7 +60,7 @@ fn pick_level(table: &DiscretePower, required: f64, policy: QuantizePolicy) -> O
             let feasible: Vec<FreqLevel> = table
                 .levels()
                 .iter()
-                .filter(|l| l.freq >= required * (1.0 - 1e-12))
+                .filter(|l| approx_le(required, l.freq))
                 .copied()
                 .collect();
             feasible.into_iter().min_by(|a, b| {
@@ -145,7 +152,9 @@ pub fn two_level_split(table: &DiscretePower, work: f64, avail: f64) -> Option<T
     let f_req = work / avail;
     let levels = table.levels();
     let top = levels[levels.len() - 1];
-    if f_req > top.freq * (1.0 + 1e-12) {
+    // Same tolerant comparison as `quantize_up`: the miss verdict must not
+    // depend on which quantization path the caller took.
+    if !approx_le(f_req, top.freq) {
         return None;
     }
     // Requested at or below the bottom level: the bottom level alone,
@@ -164,10 +173,10 @@ pub fn two_level_split(table: &DiscretePower, work: f64, avail: f64) -> Option<T
     // Find the bracketing pair.
     let hi_idx = levels
         .iter()
-        .position(|l| f_req <= l.freq * (1.0 + 1e-12))
+        .position(|l| approx_le(f_req, l.freq))
         .expect("f_req <= top checked above");
     let high = levels[hi_idx];
-    if (high.freq - f_req).abs() <= 1e-12 * high.freq {
+    if approx_eq(f_req, high.freq) {
         return Some(TwoLevelSplit {
             low: high,
             high,
@@ -212,7 +221,12 @@ pub fn requantize_schedule(
         let work = seg.work();
         match pick_level(table, seg.freq, policy) {
             Some(level) => {
-                let dur = work / level.freq;
+                // `pick_level` may tolerantly accept a level a hair *below*
+                // the segment frequency (approx_le); clamp to the original
+                // slot so the rounding never stretches the segment into its
+                // neighbor on the same core. The work deficit is within the
+                // validator's tolerance by the same approx_le bound.
+                let dur = (work / level.freq).min(seg.duration());
                 out.push(esched_types::Segment::new(
                     seg.task,
                     seg.core,
@@ -242,11 +256,12 @@ pub fn requantize_schedule(
 pub fn best_discrete_split(table: &DiscretePower, work: f64, avail: f64) -> Option<TwoLevelSplit> {
     let f_req = work / avail;
     let mix = two_level_split(table, work, avail)?;
-    // Best single level among the feasible ones.
+    // Best single level among the feasible ones (same tolerant comparison
+    // as `quantize_up` and `two_level_split`).
     let single = table
         .levels()
         .iter()
-        .filter(|l| l.freq >= f_req * (1.0 - 1e-12))
+        .filter(|l| approx_le(f_req, l.freq))
         .map(|&l| TwoLevelSplit {
             low: l,
             high: l,
@@ -349,6 +364,32 @@ mod tests {
         assert_eq!(out.misses, vec![7]);
         // Accounted at the top level.
         assert!((out.energy - 1600.0 * 1200.0 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn borderline_top_frequency_agrees_across_all_paths() {
+        // A frequency one relative ulp-noise above the top level
+        // (top·(1 + 1e-9)) is a rounding artifact, not a real miss: every
+        // quantization path must accept it. One clearly above tolerance
+        // (top·(1 + 1e-3)) must be a miss — again under every path. A
+        // bespoke cutoff in any single path (the old BestEfficiency
+        // 1e-12 filter) makes `quantize_schedule` and `two_level_split`
+        // disagree about feasibility of the same schedule.
+        let table = xscale();
+        let delta = 1.0;
+        for (factor, ok) in [(1.0 + 1e-9, true), (1.0 + 1e-3, false)] {
+            let f = 1000.0 * factor;
+            let mut s = Schedule::new(1);
+            s.push(Segment::new(0, 0, 0.0, delta, f));
+            let nu = quantize_schedule(&s, &table, QuantizePolicy::NextUp);
+            let be = quantize_schedule(&s, &table, QuantizePolicy::BestEfficiency);
+            let split = two_level_split(&table, f * delta, delta);
+            let best = best_discrete_split(&table, f * delta, delta);
+            assert_eq!(nu.feasible, ok, "NextUp at top·{factor}");
+            assert_eq!(be.feasible, ok, "BestEfficiency at top·{factor}");
+            assert_eq!(split.is_some(), ok, "two_level_split at top·{factor}");
+            assert_eq!(best.is_some(), ok, "best_discrete_split at top·{factor}");
+        }
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub fn ideal_schedule(tasks: &TaskSet, power: &PolynomialPower) -> IdealSolution
     let mut exec = Vec::with_capacity(n);
     let mut per_task_energy = Vec::with_capacity(n);
     for (_, t) in tasks.iter() {
-        let f = power.optimal_frequency(t.wcec, t.window_len());
+        // Clamp the window away from ~0: task validation guarantees a
+        // definitely-positive window, but chained rounding can still leave
+        // it near EPS, and `C/window` must stay finite (no inf/NaN).
+        let f = power.optimal_frequency(t.wcec, t.window_len().max(esched_types::time::EPS));
         // `optimal_frequency` returns 0 only when p0 = 0 *and* the window is
         // unbounded; with finite windows the stretch term keeps it positive.
         debug_assert!(f > 0.0);

@@ -13,7 +13,6 @@ use esched_opt::{
     SolveOptions, SolveResult, SolverTelemetry,
 };
 use esched_subinterval::Timeline;
-use esched_types::time::EPS;
 use esched_types::{PolynomialPower, Schedule, TaskSet};
 
 /// Which first-order method solves the convex program.
@@ -103,10 +102,18 @@ pub fn optimal_energy_with(
         Solver::BlockDescent => solve_block_descent(&ep, opts),
     };
     clean_dust(&ep, tasks, &timeline, &mut result.x);
+    repair_starved(&ep, tasks, &timeline, cores, power, &mut result.x);
     let total_times = ep.total_times(&result.x);
+    // Frequency is the exact `C_i/X_i` whenever the solver allocated *any*
+    // time, however small — flooring the denominator at EPS (as this once
+    // did) silently under-delivers tiny tasks: a task with `X_i < EPS`
+    // would run at the diluted `C_i/EPS` over only `X_i` time and miss its
+    // work by nearly all of `C_i`. The clamp below exists solely so a
+    // literal `X_i = 0` yields a huge-but-finite frequency instead of inf
+    // (no segment is emitted in that case anyway).
     let freq: Vec<f64> = tasks
         .iter()
-        .map(|(i, t)| t.wcec / total_times[i].max(EPS))
+        .map(|(i, t)| t.wcec / total_times[i].max(f64::MIN_POSITIVE))
         .collect();
     let schedule = extract_schedule(&timeline, cores, &ep, &result.x, &freq);
     OptimalSolution {
@@ -149,6 +156,98 @@ fn clean_dust(ep: &EnergyProgram, tasks: &TaskSet, timeline: &Timeline, x: &mut 
     }
 }
 
+/// Repair solver starvation: a first-order method can exit with an
+/// (exactly or nearly) zero allocation for a task whose execution
+/// requirement is tiny relative to the instance — the projection clamps
+/// its sliver onto the constraint boundary and the stalled gradient never
+/// pulls it back before the iteration budget runs out. Zero time is not
+/// "approximately optimal": it is infeasible at any finite frequency, and
+/// the extracted schedule would deliver none of the task's work. Top such
+/// tasks back up toward their ideal execution time `C_i/f_i^O` using spare
+/// subinterval capacity; the missing time is below the solver's
+/// resolution, so the spare is essentially always there.
+fn repair_starved(
+    ep: &EnergyProgram,
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    power: &PolynomialPower,
+    x: &mut [f64],
+) {
+    use esched_types::time::EPS;
+    let mut used = vec![0.0; timeline.len()];
+    for i in 0..tasks.len() {
+        for j in timeline.span(i) {
+            if let Some(k) = ep.flat_index(i, j) {
+                used[j] += x[k];
+            }
+        }
+    }
+    for (i, t) in tasks.iter() {
+        let span = timeline.span(i);
+        let have: f64 = span
+            .clone()
+            .filter_map(|j| ep.flat_index(i, j))
+            .map(|k| x[k])
+            .sum();
+        if have > EPS {
+            continue;
+        }
+        let f_ideal = power.optimal_frequency(t.wcec, t.window_len().max(EPS));
+        let mut need = (t.wcec / f_ideal - have).max(0.0);
+        let mut got = have;
+        for j in span.clone() {
+            if need <= 0.0 {
+                break;
+            }
+            let Some(k) = ep.flat_index(i, j) else {
+                continue;
+            };
+            let delta = timeline.delta(j);
+            let spare = (cores as f64 * delta - used[j]).min(delta - x[k]).max(0.0);
+            let take = spare.min(need);
+            x[k] += take;
+            used[j] += take;
+            need -= take;
+            got += take;
+        }
+        // Saturated span (the co-runners soak every instant): shave a
+        // sliver off their allocations instead. A donor that gives up δ
+        // just runs δ·f faster — its delivered work is exact by
+        // construction — while *zero* time for the starved task is
+        // infeasible at any frequency. The target here is the modest
+        // "run at max(1, f_crit)" time, so the donation is at most C_i.
+        let t_min = t.wcec / power.critical_frequency().max(1.0);
+        let mut steal = (t_min - got).max(0.0);
+        if steal <= 0.0 {
+            continue;
+        }
+        for j in span {
+            if steal <= 0.0 {
+                break;
+            }
+            let Some(k) = ep.flat_index(i, j) else {
+                continue;
+            };
+            let delta = timeline.delta(j);
+            for &other in &timeline.subintervals()[j].overlapping {
+                if steal <= 0.0 || other == i {
+                    continue;
+                }
+                let Some(ko) = ep.flat_index(other, j) else {
+                    continue;
+                };
+                // Never take more than half a donor's slot, and respect
+                // the receiver's own per-subinterval cap x ≤ Δ.
+                let take = (x[ko] / 2.0).min(steal).min((delta - x[k]).max(0.0));
+                x[ko] -= take;
+                x[k] += take;
+                steal -= take;
+            }
+        }
+    }
+}
+
 /// Materialize an optimal `x` into a schedule: per subinterval, pack the
 /// per-task execution times with Algorithm 1 at each task's equal
 /// frequency `C_i/X_i` — the constructive step of Theorem 1.
@@ -166,7 +265,11 @@ fn extract_schedule(
         for &i in &sub.overlapping {
             if let Some(k) = ep.flat_index(i, sub.index) {
                 let d = x[k];
-                if d > EPS {
+                // Work-aware dust gate: for a tiny task the solver's whole
+                // allocation can sit below EPS, yet at `C_i/X_i` that
+                // sliver carries the task's entire work — dropping it by
+                // duration alone delivered zero work for such tasks.
+                if d > 0.0 && !crate::packing::negligible(d, freq[i]) {
                     items.push(PackItem {
                         task: i,
                         duration: d,

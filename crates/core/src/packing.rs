@@ -10,7 +10,21 @@
 //! schedule these tasks".
 
 use esched_types::time::EPS;
+use esched_types::validate::WORK_TOL;
 use esched_types::{Schedule, Segment, TaskId};
+
+/// Is a `(duration, freq)` pair too small to matter?
+///
+/// An item is dust only when its *duration* is below `EPS` **and** the
+/// *work* it carries (`duration · freq`) is far below the validator's
+/// `WORK_TOL`. Judging by duration alone is wrong at the boundaries the
+/// fuzzer probes: a `1e-8`-long piece running at frequency `1e3` carries
+/// `1e-5` work — ten times the validation tolerance — and dropping it
+/// turns a legal schedule into an underserved one.
+#[must_use]
+pub fn negligible(duration: f64, freq: f64) -> bool {
+    duration <= EPS && duration * freq <= WORK_TOL * 0.1
+}
 
 /// One task's share of a subinterval: how long it runs and at what
 /// frequency.
@@ -82,7 +96,9 @@ pub fn pack_subinterval(
 ) -> Result<(), PackError> {
     let delta = t1 - t0;
     debug_assert!(delta >= 0.0);
-    let tol = EPS * (1.0 + delta.abs());
+    // Validity gates are time-scale aware: durations are computed from
+    // boundary times, so their rounding noise grows with |t|, not just Δ.
+    let tol = EPS * (1.0 + delta.abs().max(t0.abs()).max(t1.abs()));
 
     let mut total = 0.0;
     for it in items {
@@ -101,14 +117,26 @@ pub fn pack_subinterval(
     }
 
     // Wrap-around fill. `cursor` is the next free instant on core `k`.
+    //
+    // Fill decisions use a *tight* tolerance at arithmetic-rounding scale,
+    // not the loose validity `tol` above: advancing to the next core while
+    // `tol` of capacity remains discards up to `tol` per core, and for
+    // subintervals whose length is near `EPS` that loss compounds until the
+    // leftover items land on core `k == cores` — a nonexistent core.
+    let fill_tol = 1e-12 * (1.0 + t1.abs().max(t0.abs()));
     let mut k = 0usize;
     let mut cursor = t0;
     for it in items {
         let d = it.duration.min(delta).max(0.0);
-        if d <= EPS {
+        if negligible(d, it.freq) {
             continue;
         }
-        if cursor + d > t1 + tol {
+        if k >= cores {
+            // Every core is full to within `fill_tol`; the validity gates
+            // above bound whatever remains by their tolerance slack.
+            break;
+        }
+        if cursor + d > t1 + fill_tol {
             // Split: spill-over goes to the start of the next core…
             let spill = (cursor + d - t1).min(delta).max(0.0);
             debug_assert!(
@@ -120,23 +148,21 @@ pub fn pack_subinterval(
             if k + 1 >= cores {
                 // Capacity says this cannot happen; guard against
                 // accumulated rounding by clamping onto the last core.
-                out.push(Segment::new(
-                    it.task,
-                    k,
-                    cursor,
-                    t1.min(cursor + d),
-                    it.freq,
-                ));
+                let end = t1.min(cursor + d);
+                if end > cursor {
+                    out.push_exact(Segment::new(it.task, k, cursor, end, it.freq));
+                }
                 cursor = t1;
+                k += 1;
                 continue;
             }
-            out.push(Segment::new(it.task, k + 1, t0, t0 + spill, it.freq));
+            out.push_exact(Segment::new(it.task, k + 1, t0, t0 + spill, it.freq));
             // …and the first piece finishes off the current core.
-            out.push(Segment::new(it.task, k, cursor, t1, it.freq));
+            out.push_exact(Segment::new(it.task, k, cursor, t1, it.freq));
             k += 1;
             cursor = t0 + spill;
         } else {
-            out.push(Segment::new(
+            out.push_exact(Segment::new(
                 it.task,
                 k,
                 cursor,
@@ -144,7 +170,7 @@ pub fn pack_subinterval(
                 it.freq,
             ));
             cursor += d;
-            if cursor >= t1 - tol {
+            if cursor >= t1 - fill_tol {
                 k += 1;
                 cursor = t0;
             }
@@ -278,6 +304,44 @@ mod tests {
         check_no_self_overlap(&s);
         let d0: f64 = s.task_segments(0).iter().map(|x| x.duration()).sum();
         assert!((d0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_eps_subinterval_never_emits_nonexistent_core() {
+        // Regression (found by esched-check): with Δ ≈ 1e-6 the old
+        // `EPS·(1+Δ)` advance tolerance was ~10% of the subinterval, so
+        // each core "finished" early and the leftover items were pushed
+        // onto core `k == cores` — a nonexistent core that made the
+        // simulator index out of bounds.
+        let t0 = 100.0;
+        let t1 = 100.0 + 1e-6;
+        let ds = [9e-7, 9e-7, 1.5e-7];
+        let mut s = Schedule::new(2);
+        pack_subinterval(&items(&ds), t0, t1, 2, &mut s).unwrap();
+        for seg in s.segments() {
+            assert!(seg.core < 2, "segment on nonexistent core: {seg:?}");
+        }
+        check_no_core_overlap(&s);
+        check_no_self_overlap(&s);
+        for (t, &d) in ds.iter().enumerate() {
+            let got: f64 = s.task_segments(t).iter().map(|x| x.duration()).sum();
+            assert!((got - d).abs() <= 1e-12, "task {t}: got {got}, want {d}");
+        }
+    }
+
+    #[test]
+    fn tiny_duration_high_frequency_item_is_not_dropped() {
+        // Regression (found by esched-check): a piece shorter than EPS
+        // still matters when the work it carries exceeds WORK_TOL.
+        let its = vec![PackItem {
+            task: 0,
+            duration: 5e-8,
+            freq: 1e3,
+        }];
+        let mut s = Schedule::new(1);
+        pack_subinterval(&its, 0.0, 1.0, 1, &mut s).unwrap();
+        let d: f64 = s.task_segments(0).iter().map(|x| x.duration()).sum();
+        assert!((d - 5e-8).abs() < 1e-15, "duration kept: {d}");
     }
 
     #[test]

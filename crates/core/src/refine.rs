@@ -59,13 +59,17 @@ pub fn intermediate_schedule(
         items.clear();
         for &i in &sub.overlapping {
             let u = ideal.exec_overlap(i, &sub.interval);
-            if u <= EPS {
+            if crate::packing::negligible(u, ideal.freq[i]) {
                 continue;
             }
             let a = avail.get(i, sub.index);
-            let (duration, freq) = if u <= a + EPS {
+            // Strict comparison: running for `u > a` — even by only EPS —
+            // lets tasks collectively overshoot `m·Δ` when Δ is itself
+            // near EPS. A dust-sized overshoot lands in the squeeze branch
+            // instead, where the frequency rises by the same dust factor.
+            let (duration, freq) = if u <= a {
                 (u, ideal.freq[i])
-            } else if a > EPS {
+            } else if a > 0.0 && !crate::packing::negligible(a, u * ideal.freq[i] / a) {
                 (a, u * ideal.freq[i] / a)
             } else {
                 // No allocation at all in this subinterval: the ideal work
@@ -107,11 +111,12 @@ pub fn final_assignment(
     let freq = tasks
         .iter()
         .map(|(i, t)| {
-            let a = total_avail[i];
-            assert!(
-                a > EPS,
-                "task {i} has no available execution time — allocation bug"
-            );
+            // Clamp the denominator away from ~0 so a degenerate timeline
+            // (a task whose only subintervals are near-EPS slivers) yields
+            // a large-but-finite frequency instead of dividing into
+            // NaN/inf. The validator reports the task as underserved if
+            // its work is material; nothing downstream panics.
+            let a = total_avail[i].max(EPS);
             power.optimal_frequency(t.wcec, a)
         })
         .collect();
@@ -137,8 +142,13 @@ pub fn final_schedule(
     for (i, t) in tasks.iter() {
         let d = t.wcec / assignment.freq[i];
         let a = assignment.avail[i];
-        debug_assert!(d <= a * (1.0 + 1e-9), "duration {d} exceeds avail {a}");
-        scale[i] = (d / a).min(1.0);
+        debug_assert!(
+            d <= a.max(EPS) * (1.0 + 1e-9),
+            "duration {d} exceeds avail {a}"
+        );
+        // Guard the ~0-availability degenerate: scale 0 (no time to give)
+        // rather than dividing into inf/NaN.
+        scale[i] = if a > 0.0 { (d / a).min(1.0) } else { 0.0 };
     }
     let mut out = Schedule::new(cores);
     let mut items: Vec<PackItem> = Vec::new();
@@ -146,7 +156,9 @@ pub fn final_schedule(
         items.clear();
         for &i in &sub.overlapping {
             let used = avail.get(i, sub.index) * scale[i];
-            if used <= EPS {
+            // Work-aware dust filter: a sub-EPS slot still matters when the
+            // task's frequency is high enough that it carries real work.
+            if crate::packing::negligible(used, assignment.freq[i]) {
                 continue;
             }
             items.push(PackItem {

@@ -36,6 +36,8 @@
 //! solve_pgd|fista|frank_wolfe|
 //!   block_descent|barrier               (esched-opt, DEBUG; WARN on cap)
 //! simulate                              (esched-sim, INFO; counter event)
+//! check_fuzz                            (esched-check, INFO; per-iteration
+//!                                        violation / shrink counters)
 //! ```
 
 #![forbid(unsafe_code)]

@@ -86,14 +86,30 @@ impl Schedule {
         }
     }
 
-    /// Append a segment. Zero-length segments are silently dropped — they
+    /// Append a segment. Degenerate segments are silently dropped — they
     /// arise naturally from boundary cases in wrap-around packing and carry
-    /// no work. Out-of-range core/task indices are accepted here and
-    /// reported by [`crate::validate::validate_schedule`], so that
-    /// deserialized or hand-built schedules can be diagnosed rather than
-    /// crashed on.
+    /// no work. The gate is work-aware, not duration-only: a sub-EPS sliver
+    /// executed at high frequency can carry work well above the validator's
+    /// per-task tolerance, and dropping it here would silently starve the
+    /// task (timeline subintervals can legitimately be shorter than EPS).
+    /// Out-of-range core/task indices are accepted here and reported by
+    /// [`crate::validate::validate_schedule`], so that deserialized or
+    /// hand-built schedules can be diagnosed rather than crashed on.
     pub fn push(&mut self, seg: Segment) {
-        if seg.duration() > EPS {
+        let d = seg.duration();
+        if d > EPS || (d > 0.0 && seg.work() > crate::validate::WORK_TOL * 0.1) {
+            self.segments.push(seg);
+        }
+    }
+
+    /// Append a segment, dropping only zero-length ones. For producers
+    /// whose inputs are already dust-filtered and whose output must
+    /// conserve work exactly — McNaughton packing splits an item at the
+    /// subinterval boundary, and the head piece can fall under [`push`]'s
+    /// dust gate even though its sibling pieces only add back up to the
+    /// item with it included.
+    pub fn push_exact(&mut self, seg: Segment) {
+        if seg.duration() > 0.0 {
             self.segments.push(seg);
         }
     }
@@ -237,11 +253,23 @@ impl Schedule {
         });
         for seg in segs {
             if let Some(last) = merged.last_mut() {
-                if last.core == seg.core
-                    && last.task == seg.task
-                    && approx_eq(last.freq, seg.freq)
-                    && (seg.interval.start - last.interval.end).abs() <= EPS
-                {
+                // Frequencies must agree *relatively* — merging rewrites
+                // the run's frequency, so the work error is |Δf|·duration.
+                // `approx_eq`'s absolute floor would call any two
+                // frequencies below EPS "equal" and silently lose work for
+                // tiny tasks running at sub-EPS frequencies.
+                let freq_close =
+                    (last.freq - seg.freq).abs() <= EPS * last.freq.abs().max(seg.freq.abs());
+                // Adjacency must be near-exact, not EPS-loose: an EPS-scale
+                // gate would bridge a real sub-EPS gap — time that may hold
+                // another task's sliver segment on this core — and the
+                // merged run would double-book it. Producers chain segment
+                // boundaries exactly (pack cursors, shared subinterval
+                // endpoints), so a few-ulp relative tolerance is all
+                // genuine adjacency needs.
+                let adjacent = (seg.interval.start - last.interval.end).abs()
+                    <= 1e-12 * (1.0 + last.interval.end.abs().max(seg.interval.start.abs()));
+                if last.core == seg.core && last.task == seg.task && freq_close && adjacent {
                     last.interval.end = seg.interval.end.max(last.interval.end);
                     continue;
                 }
