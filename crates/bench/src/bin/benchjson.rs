@@ -1,0 +1,112 @@
+//! `benchjson` — run the curated benchmark suite and emit `BENCH_*.json`,
+//! or compare two such files as a regression gate.
+//!
+//! ```text
+//! benchjson [--out PATH]            run the suite; write BENCH_<sha>.json
+//! benchjson --compare BASE CURRENT  exit 1 if CURRENT regressed >25% p50
+//! benchjson --compare BASE CURRENT --threshold 0.5
+//! ```
+//!
+//! Run mode writes to `--out` if given, otherwise `BENCH_<git-short-sha>.json`
+//! (`BENCH_nogit.json` outside a git checkout) in the current directory —
+//! CI invokes it from the repo root. Designed for release builds:
+//! `cargo run --release -p esched-bench --bin benchjson`.
+
+use esched_bench::harness::{self, DEFAULT_THRESHOLD};
+use esched_obs::{json, report};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: benchjson [--out PATH]\n       benchjson --compare BASELINE CURRENT [--threshold FRACTION]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Result<json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: parse error: {e:?}"))
+}
+
+fn run_compare(baseline: &str, current: &str, threshold: f64) -> ExitCode {
+    let (base, cur) = match (load(baseline), load(current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("benchjson: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match harness::compare(&base, &cur, threshold) {
+        Ok(regs) if regs.is_empty() => {
+            println!(
+                "benchjson: no p50 regression above {:.0}% ({} vs {})",
+                threshold * 100.0,
+                current,
+                baseline
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(regs) => {
+            eprintln!(
+                "benchjson: {} entr{} regressed more than {:.0}% in p50:",
+                regs.len(),
+                if regs.len() == 1 { "y" } else { "ies" },
+                threshold * 100.0
+            );
+            for r in &regs {
+                eprintln!(
+                    "  {}: {:.0} ns -> {:.0} ns ({:.2}x)",
+                    r.name, r.base_p50, r.cur_p50, r.ratio
+                );
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("benchjson: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Compare mode.
+    if let Some(pos) = args.iter().position(|a| a == "--compare") {
+        let (Some(baseline), Some(current)) = (args.get(pos + 1), args.get(pos + 2)) else {
+            usage();
+        };
+        let threshold = match args.iter().position(|a| a == "--threshold") {
+            Some(tp) => match args.get(tp + 1).and_then(|s| s.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => t,
+                _ => usage(),
+            },
+            None => DEFAULT_THRESHOLD,
+        };
+        return run_compare(baseline, current, threshold);
+    }
+
+    // Run mode.
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let out =
+        out.unwrap_or_else(|| format!("BENCH_{}.json", report::git_short_sha().unwrap_or("nogit")));
+
+    let results = harness::run_suite(|name| eprintln!("benchjson: running {name}"));
+    let doc = harness::results_to_json(&results);
+    if let Err(e) = std::fs::write(&out, doc.to_string_pretty()) {
+        eprintln!("benchjson: write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("benchjson: wrote {} ({} entries)", out, results.len());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,424 @@
+//! Deterministic benchmark harness behind the `benchjson` binary.
+//!
+//! Criterion's statistical machinery is great interactively but awkward
+//! for regression gating: sample counts adapt to noise, output lands in
+//! `target/criterion`, and nothing ties a run to a commit. This module
+//! runs a small curated subset of the bench suite with *fixed* iteration
+//! counts, records wall-time percentiles plus a metrics-registry delta
+//! per entry, and serializes everything into the stable `BENCH_*.json`
+//! schema that `benchjson --compare` diffs.
+//!
+//! The curated entries mirror `benches/micro_primitives.rs`,
+//! `benches/runtime_scaling.rs`, and `benches/solver_ablation.rs` — same
+//! fixtures, same seeds — so a regression flagged here reproduces under
+//! `cargo bench` for a closer look.
+
+use crate::paper_tasks;
+use esched_core::{
+    allocate_der, der_schedule, even_schedule, ideal_schedule, optimal_energy, pack_subinterval,
+    PackItem,
+};
+use esched_obs::json::Value;
+use esched_obs::stats::Summary;
+use esched_obs::{metrics, report};
+use esched_opt::{solve_fista, solve_frank_wolfe, solve_pgd, EnergyProgram, SolveOptions};
+use esched_subinterval::Timeline;
+use esched_types::{validate_schedule, PolynomialPower, Schedule};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Version of the `BENCH_*.json` schema this harness writes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default regression threshold for [`compare`]: a current p50 more than
+/// 25% above the baseline p50 fails the gate.
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// One curated benchmark: a name, a fixed iteration count, and the
+/// closure to time.
+pub struct CuratedBench {
+    /// Stable entry name (`suite/case/size`), the join key for compares.
+    pub name: &'static str,
+    /// Timed iterations (fixed, so runs are comparable).
+    pub iters: usize,
+    /// The workload; timed once per iteration.
+    pub run: Box<dyn FnMut()>,
+}
+
+/// Measured outcome of one curated entry.
+pub struct BenchResult {
+    /// Entry name.
+    pub name: &'static str,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Per-iteration wall time in nanoseconds.
+    pub wall_ns: Summary,
+    /// Metrics-registry delta over the timed iterations.
+    pub metrics: metrics::Snapshot,
+}
+
+/// The curated suite: a fast-running subset of the criterion benches
+/// (micro-primitives, runtime scaling, solver ablation) with fixed seeds
+/// and iteration counts. Ten entries, a few seconds total in release.
+pub fn curated_suite() -> Vec<CuratedBench> {
+    let power = PolynomialPower::paper(3.0, 0.1);
+    let mut suite: Vec<CuratedBench> = Vec::new();
+
+    // --- micro_primitives subset ---
+    let tasks80 = paper_tasks(80, 3);
+    let tl80 = Timeline::build(&tasks80);
+    let ideal80 = ideal_schedule(&tasks80, &power);
+    {
+        let tasks = tasks80.clone();
+        suite.push(CuratedBench {
+            name: "micro/timeline_build/80",
+            iters: 200,
+            run: Box::new(move || {
+                black_box(Timeline::build(&tasks));
+            }),
+        });
+    }
+    {
+        let (tasks, tl, ideal) = (tasks80.clone(), tl80.clone(), ideal80.clone());
+        suite.push(CuratedBench {
+            name: "micro/der_alloc/80",
+            iters: 200,
+            run: Box::new(move || {
+                black_box(allocate_der(&tasks, &tl, 4, &ideal));
+            }),
+        });
+    }
+    {
+        let items: Vec<PackItem> = (0..24)
+            .map(|i| PackItem {
+                task: i,
+                duration: 0.2 + 0.4 * (i as f64 * 0.23).fract(),
+                freq: 1.0,
+            })
+            .collect();
+        suite.push(CuratedBench {
+            name: "micro/pack/24",
+            iters: 400,
+            run: Box::new(move || {
+                let mut s = Schedule::new(8);
+                pack_subinterval(black_box(&items), 0.0, 2.0, 8, &mut s).unwrap();
+                black_box(s);
+            }),
+        });
+    }
+    {
+        let tasks = paper_tasks(40, 17);
+        let out = der_schedule(&tasks, 4, &power);
+        suite.push(CuratedBench {
+            name: "micro/validate/40",
+            iters: 200,
+            run: Box::new(move || {
+                black_box(validate_schedule(&out.schedule, &tasks));
+            }),
+        });
+    }
+
+    // --- runtime_scaling subset ---
+    {
+        let tasks = paper_tasks(80, 99);
+        let p = power;
+        suite.push(CuratedBench {
+            name: "scaling/heuristic_der/80",
+            iters: 60,
+            run: Box::new(move || {
+                black_box(der_schedule(&tasks, 4, &p).final_energy);
+            }),
+        });
+    }
+    {
+        let tasks = paper_tasks(80, 99);
+        let p = power;
+        suite.push(CuratedBench {
+            name: "scaling/heuristic_even/80",
+            iters: 60,
+            run: Box::new(move || {
+                black_box(even_schedule(&tasks, 4, &p).final_energy);
+            }),
+        });
+    }
+    {
+        let tasks = paper_tasks(20, 99);
+        let p = power;
+        suite.push(CuratedBench {
+            name: "scaling/convex_optimum/20",
+            iters: 12,
+            run: Box::new(move || {
+                black_box(optimal_energy(&tasks, 4, &p, &SolveOptions::fast()).energy);
+            }),
+        });
+    }
+
+    // --- solver_ablation subset (same program, three first-order methods) ---
+    let tasks20 = paper_tasks(20, 7);
+    let tl20 = Timeline::build(&tasks20);
+    for (name, which) in [
+        ("ablation/pgd/20", 0usize),
+        ("ablation/fista/20", 1),
+        ("ablation/frank_wolfe/20", 2),
+    ] {
+        let (tasks, tl, p) = (tasks20.clone(), tl20.clone(), power);
+        suite.push(CuratedBench {
+            name,
+            iters: 15,
+            run: Box::new(move || {
+                let ep = EnergyProgram::new(&tasks, &tl, 4, p);
+                let opts = SolveOptions::fast();
+                let obj = match which {
+                    0 => solve_pgd(&ep, ep.initial_point(), &opts).objective,
+                    1 => solve_fista(&ep, ep.initial_point(), &opts).objective,
+                    _ => solve_frank_wolfe(&ep, ep.initial_point(), &opts).objective,
+                };
+                black_box(obj);
+            }),
+        });
+    }
+
+    suite
+}
+
+/// Run one curated entry: a short warmup, then `iters` timed iterations
+/// bracketed by metrics snapshots.
+pub fn run_entry(bench: &mut CuratedBench) -> BenchResult {
+    let warmup = (bench.iters / 10).max(1);
+    for _ in 0..warmup {
+        (bench.run)();
+    }
+    let before = metrics::snapshot();
+    let mut samples = Vec::with_capacity(bench.iters);
+    for _ in 0..bench.iters {
+        let t0 = Instant::now();
+        (bench.run)();
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    let delta = metrics::snapshot().delta_since(&before);
+    BenchResult {
+        name: bench.name,
+        iters: bench.iters,
+        wall_ns: Summary::of(&samples),
+        metrics: delta,
+    }
+}
+
+/// Run the whole curated suite, reporting progress through `progress`
+/// (called with each entry name before it runs; pass `|_| {}` to
+/// silence).
+pub fn run_suite(mut progress: impl FnMut(&str)) -> Vec<BenchResult> {
+    curated_suite()
+        .iter_mut()
+        .map(|b| {
+            progress(b.name);
+            run_entry(b)
+        })
+        .collect()
+}
+
+/// Serialize results into the `BENCH_*.json` document: a header tying
+/// the run to a commit plus one object per entry.
+pub fn results_to_json(results: &[BenchResult]) -> Value {
+    let entries: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            Value::obj(vec![
+                ("name", Value::Str(r.name.to_string())),
+                ("iters", Value::Num(r.iters as f64)),
+                ("wall_ns", r.wall_ns.to_json()),
+                ("metrics", r.metrics.to_json()),
+            ])
+        })
+        .collect();
+    Value::obj(vec![
+        ("schema_version", Value::Num(SCHEMA_VERSION as f64)),
+        (
+            "git_sha",
+            match report::git_short_sha() {
+                Some(sha) => Value::Str(sha.to_string()),
+                None => Value::Null,
+            },
+        ),
+        (
+            "esched_version",
+            Value::Str(report::esched_version().to_string()),
+        ),
+        ("entries", Value::Arr(entries)),
+    ])
+}
+
+/// One entry whose current p50 exceeds the baseline p50 by more than the
+/// threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Entry name.
+    pub name: String,
+    /// Baseline p50 wall time, nanoseconds.
+    pub base_p50: f64,
+    /// Current p50 wall time, nanoseconds.
+    pub cur_p50: f64,
+    /// `cur_p50 / base_p50`.
+    pub ratio: f64,
+}
+
+fn entry_p50s(doc: &Value) -> Result<Vec<(String, f64)>, String> {
+    let entries = doc
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or("missing \"entries\" array")?;
+    entries
+        .iter()
+        .map(|e| {
+            let name = e
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("entry missing \"name\"")?;
+            let p50 = e
+                .get("wall_ns")
+                .and_then(|w| w.get("p50"))
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("entry {name:?} missing wall_ns.p50"))?;
+            Ok((name.to_string(), p50))
+        })
+        .collect()
+}
+
+/// Compare two `BENCH_*.json` documents. Returns the entries present in
+/// both whose current p50 regressed by more than `threshold` (0.25 =
+/// 25%). Entries only in one document are ignored — the suite is allowed
+/// to grow. Errors on malformed documents.
+pub fn compare(
+    baseline: &Value,
+    current: &Value,
+    threshold: f64,
+) -> Result<Vec<Regression>, String> {
+    let base = entry_p50s(baseline)?;
+    let cur = entry_p50s(current)?;
+    let mut regressions = Vec::new();
+    for (name, cur_p50) in &cur {
+        let Some((_, base_p50)) = base.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        if *base_p50 > 0.0 && *cur_p50 > base_p50 * (1.0 + threshold) {
+            regressions.push(Regression {
+                name: name.clone(),
+                base_p50: *base_p50,
+                cur_p50: *cur_p50,
+                ratio: cur_p50 / base_p50,
+            });
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: &[(&str, f64)]) -> Value {
+        Value::obj(vec![
+            ("schema_version", Value::Num(1.0)),
+            ("git_sha", Value::Str("abc1234".into())),
+            ("esched_version", Value::Str("0.1.0".into())),
+            (
+                "entries",
+                Value::Arr(
+                    entries
+                        .iter()
+                        .map(|(n, p50)| {
+                            Value::obj(vec![
+                                ("name", Value::Str(n.to_string())),
+                                ("iters", Value::Num(10.0)),
+                                (
+                                    "wall_ns",
+                                    Value::obj(vec![
+                                        ("count", Value::Num(10.0)),
+                                        ("mean", Value::Num(*p50)),
+                                        ("p50", Value::Num(*p50)),
+                                        ("p95", Value::Num(*p50 * 1.2)),
+                                        ("min", Value::Num(*p50 * 0.8)),
+                                        ("max", Value::Num(*p50 * 1.5)),
+                                    ]),
+                                ),
+                                ("metrics", Value::obj(vec![])),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn compare_flags_a_synthetic_2x_regression() {
+        let base = doc(&[("a", 100.0), ("b", 100.0)]);
+        let cur = doc(&[("a", 200.0), ("b", 110.0)]);
+        let regs = compare(&base, &cur, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "a");
+        assert!((regs[0].ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compare_tolerates_below_threshold_noise_and_new_entries() {
+        let base = doc(&[("a", 100.0)]);
+        let cur = doc(&[("a", 124.0), ("brand_new", 9999.0)]);
+        assert!(compare(&base, &cur, DEFAULT_THRESHOLD).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compare_rejects_malformed_documents() {
+        let good = doc(&[("a", 100.0)]);
+        let bad = Value::obj(vec![("nope", Value::Null)]);
+        assert!(compare(&bad, &good, 0.25).is_err());
+        assert!(compare(&good, &bad, 0.25).is_err());
+    }
+
+    #[test]
+    fn suite_has_at_least_six_entries_with_stable_unique_names() {
+        let suite = curated_suite();
+        assert!(suite.len() >= 6, "only {} entries", suite.len());
+        let mut names: Vec<&str> = suite.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len(), "duplicate entry names");
+    }
+
+    #[test]
+    fn run_entry_produces_samples_and_metric_deltas() {
+        let mut bench = curated_suite()
+            .into_iter()
+            .find(|b| b.name == "micro/timeline_build/80")
+            .unwrap();
+        bench.iters = 5;
+        let r = run_entry(&mut bench);
+        assert_eq!(r.wall_ns.count, 5);
+        assert!(r.wall_ns.p50 > 0.0);
+        assert!(r.wall_ns.p95 >= r.wall_ns.p50);
+        // Timeline::build increments its build counter once per iteration
+        // (warmup is outside the snapshot bracket).
+        assert_eq!(
+            r.metrics.counter("esched.subinterval.timeline_builds"),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn results_json_has_header_and_entry_shape() {
+        let mut bench = curated_suite().swap_remove(0);
+        bench.iters = 3;
+        let results = vec![run_entry(&mut bench)];
+        let doc = results_to_json(&results);
+        assert_eq!(doc.get("schema_version").and_then(Value::as_u64), Some(1));
+        assert!(doc.get("esched_version").and_then(Value::as_str).is_some());
+        let entries = doc.get("entries").and_then(Value::as_array).unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert!(e.get("wall_ns").and_then(|w| w.get("p50")).is_some());
+        assert!(e.get("metrics").is_some());
+        // Round-trips through the parser.
+        let reparsed = esched_obs::json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(entry_p50s(&reparsed).unwrap().len(), 1);
+    }
+}

@@ -10,6 +10,8 @@
 use esched_types::TaskSet;
 use esched_workload::{GeneratorConfig, IntensityDist, WorkloadGenerator};
 
+pub mod harness;
+
 /// A deterministic paper-style task set with `n` tasks.
 pub fn paper_tasks(n: usize, seed: u64) -> TaskSet {
     WorkloadGenerator::new(GeneratorConfig::paper_default().with_tasks(n), seed).generate()

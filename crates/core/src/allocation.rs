@@ -17,7 +17,7 @@
 //! [`crate::refine`].
 
 use crate::ideal::IdealSolution;
-use esched_obs::{event, span, Level};
+use esched_obs::{event, metric_counter, span, Level};
 use esched_subinterval::Timeline;
 use esched_types::time::EPS;
 use esched_types::{TaskId, TaskSet};
@@ -165,6 +165,7 @@ pub fn allocate_der(
         n_subintervals = timeline.len(),
         n_heavy = heavy_count(timeline, cores),
     );
+    metric_counter!("esched.core.der_alloc_calls").inc();
     let mut avail = AvailMatrix::zeros(timeline, tasks.len());
     allocate_light(timeline, cores, &mut avail);
     // Shares capped at Δ_j, i.e. surplus-redistribution steps of Alg. 2.
@@ -173,6 +174,7 @@ pub fn allocate_der(
         if !sub.is_heavy(cores) {
             continue;
         }
+        metric_counter!("esched.core.der_alloc_rounds").inc();
         let delta = sub.delta();
         // (task, DER), sorted by DER descending; ties broken by id so the
         // algorithm is deterministic.
@@ -215,6 +217,7 @@ pub fn allocate_der(
             remaining -= 1;
         }
     }
+    metric_counter!("esched.core.der_redistributions").add(redistributions as u64);
     event!(
         Level::Debug,
         "der allocation done",

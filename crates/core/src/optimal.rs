@@ -175,6 +175,7 @@ fn repair_starved(
     x: &mut [f64],
 ) {
     use esched_types::time::EPS;
+    esched_obs::metric_counter!("esched.core.repair_starved_calls").inc();
     let mut used = vec![0.0; timeline.len()];
     for i in 0..tasks.len() {
         for j in timeline.span(i) {
@@ -193,6 +194,7 @@ fn repair_starved(
         if have > EPS {
             continue;
         }
+        esched_obs::metric_counter!("esched.core.repair_starved_tasks").inc();
         let f_ideal = power.optimal_frequency(t.wcec, t.window_len().max(EPS));
         let mut need = (t.wcec / f_ideal - have).max(0.0);
         let mut got = have;

@@ -115,6 +115,8 @@ pub fn pack_subinterval(
     if total > capacity + tol * cores as f64 {
         return Err(PackError::Overcommitted { total, capacity });
     }
+    esched_obs::metric_counter!("esched.core.pack_calls").inc();
+    esched_obs::metric_counter!("esched.core.pack_items").add(items.len() as u64);
 
     // Wrap-around fill. `cursor` is the next free instant on core `k`.
     //
@@ -138,6 +140,7 @@ pub fn pack_subinterval(
         }
         if cursor + d > t1 + fill_tol {
             // Split: spill-over goes to the start of the next core…
+            esched_obs::metric_counter!("esched.core.pack_splits").inc();
             let spill = (cursor + d - t1).min(delta).max(0.0);
             debug_assert!(
                 t0 + spill <= cursor + tol,

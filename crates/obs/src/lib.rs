@@ -12,6 +12,16 @@
 //!   subscriber is installed and the level/target filter passes. Enable it
 //!   with [`trace::init_from_env`] (reads `ESCHED_LOG`, e.g.
 //!   `ESCHED_LOG=debug` or `ESCHED_LOG=esched_core=trace,esched_opt=info`).
+//! * [`metrics`] — a process-global metrics registry (lock-cheap
+//!   counters/gauges/histograms, `esched.<crate>.<quantity>` naming, a
+//!   name-ordered [`metrics::snapshot`]) wired into the solver, packing,
+//!   and simulator hot paths; the benchmark harness attaches per-entry
+//!   snapshot deltas to `BENCH_*.json`.
+//! * [`chrome`] — Chrome-trace (`chrome://tracing` / Perfetto) export: a
+//!   [`chrome::ChromeTraceSink`] that renders the span hierarchy as
+//!   `trace_event` JSON, and [`chrome::schedule_trace`] which renders a
+//!   finished schedule as one trace thread per core with a frequency
+//!   counter track.
 //! * [`json`] — an insertion-order-preserving JSON value, emitter, and
 //!   parser plus the [`json::ToJson`]/[`json::FromJson`] traits used for
 //!   machine-readable artifacts (task sets, run reports).
@@ -43,7 +53,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,619 @@
+//! Process-global metrics registry: lock-cheap counters, gauges, and
+//! histograms with static registration and a stable [`snapshot`] API.
+//!
+//! Complements the [`crate::trace`] span layer: spans answer *where the
+//! time went in this run*, metrics answer *how much work the process has
+//! done so far* — allocation rounds, packing passes, solver iterations,
+//! simulator event-loop steps. Instruments are registered once by name
+//! and live for the process lifetime; updating one is a handful of
+//! relaxed atomic operations, cheap enough to sit on the solver and
+//! simulator hot paths unconditionally (the same argument as
+//! `SolverTelemetry`: integer increments far below measurement noise).
+//!
+//! Names follow the `esched.<crate>.<quantity>[_<unit>]` convention
+//! documented in DESIGN.md §Observability, e.g.
+//! `esched.core.der_redistributions` or `esched.opt.solve_wall_ns`.
+//! Registration is keyed by name: the first call creates the instrument,
+//! later calls return the same one. Re-registering a name as a different
+//! instrument kind panics — that is a naming bug, not a runtime
+//! condition.
+//!
+//! Hot call sites should use the [`crate::metric_counter!`],
+//! [`crate::metric_gauge!`], and [`crate::metric_histogram!`] macros,
+//! which cache the registry lookup in a per-call-site `OnceLock` so the
+//! steady state is one atomic load plus the update itself — the registry
+//! mutex is only touched the first time each call site runs.
+//!
+//! [`snapshot`] returns every instrument's current value ordered by name
+//! (the registry is a `BTreeMap`, so the ordering is stable across runs);
+//! [`Snapshot::delta_since`] subtracts an earlier snapshot to scope
+//! counters and histograms to a region of interest (the benchmark harness
+//! does this per entry), and [`reset`] zeroes all instruments for
+//! callers that prefer absolute values.
+
+use crate::json::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of power-of-two histogram buckets: bucket `k` counts samples in
+/// `(2^(k-1), 2^k]` (bucket 0 holds `0` and `1`), enough for any `u64`.
+const HIST_BUCKETS: usize = 64;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value (or high-water-mark) instrument holding one `f64`.
+#[derive(Debug)]
+pub struct Gauge {
+    /// The value's IEEE-754 bits; `f64` has no atomic type, so the gauge
+    /// stores `to_bits()` and CAS-loops where read-modify-write is needed.
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if `v` is larger (high-water mark).
+    /// Non-finite `v` is ignored.
+    #[inline]
+    pub fn set_max(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// A log2-bucketed histogram of non-negative integer samples (iteration
+/// counts, nanosecond durations) with total count and sum.
+///
+/// Buckets mirror [`crate::stats::Log2Histogram`] — `[0,1], (1,2], (2,4],
+/// …` — but every cell is an atomic, so recording from many threads is
+/// lock-free.
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[Self::bucket(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    fn bucket(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            (64 - (value - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wraps on overflow; callers recording
+    /// nanoseconds would need ~585 years of measured time to wrap).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The registry's view of one instrument.
+enum Instrument {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Instrument>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Instrument>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Lock the registry, recovering from poisoning: the map is structurally
+/// consistent at every point a holder can panic (the kind-mismatch panic
+/// fires after the entry lookup completes), so the poison flag carries no
+/// information here.
+fn lock_registry() -> std::sync::MutexGuard<'static, BTreeMap<String, Instrument>> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Get or create the counter named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different instrument kind.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Instrument::Counter(Box::leak(Box::new(Counter::default()))))
+    {
+        Instrument::Counter(c) => c,
+        other => panic!("metric {name:?} already registered as a {}", other.kind()),
+    }
+}
+
+/// Get or create the gauge named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different instrument kind.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Instrument::Gauge(Box::leak(Box::new(Gauge::default()))))
+    {
+        Instrument::Gauge(g) => g,
+        other => panic!("metric {name:?} already registered as a {}", other.kind()),
+    }
+}
+
+/// Get or create the histogram named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a different instrument kind.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Instrument::Histogram(Box::leak(Box::new(Histogram::default()))))
+    {
+        Instrument::Histogram(h) => h,
+        other => panic!("metric {name:?} already registered as a {}", other.kind()),
+    }
+}
+
+/// Counter with the registry lookup cached at the call site: after the
+/// first execution, the cost is one atomic load plus the update.
+#[macro_export]
+macro_rules! metric_counter {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+/// Gauge with the registry lookup cached at the call site.
+#[macro_export]
+macro_rules! metric_gauge {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::metrics::gauge($name))
+    }};
+}
+
+/// Histogram with the registry lookup cached at the call site.
+#[macro_export]
+macro_rules! metric_histogram {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::metrics::histogram($name))
+    }};
+}
+
+/// One instrument's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state: sample count, sample sum, and per-bucket counts
+    /// (`buckets[k]` has upper edge `2^k`; trailing zero buckets trimmed).
+    Histogram {
+        /// Samples recorded.
+        count: u64,
+        /// Sum of samples.
+        sum: u64,
+        /// Count per log2 bucket.
+        buckets: Vec<u64>,
+    },
+}
+
+impl Metric {
+    /// JSON form. Counters and gauges are bare numbers; histograms are
+    /// `{count, sum, mean, le_*...}` objects matching
+    /// [`crate::stats::Log2Histogram::to_json`]'s bucket naming.
+    pub fn to_json(&self) -> Value {
+        match self {
+            Metric::Counter(v) => Value::Num(*v as f64),
+            Metric::Gauge(v) => Value::Num(*v),
+            Metric::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                let mean = if *count > 0 {
+                    *sum as f64 / *count as f64
+                } else {
+                    0.0
+                };
+                let mut pairs = vec![
+                    ("count".to_string(), Value::Num(*count as f64)),
+                    ("sum".to_string(), Value::Num(*sum as f64)),
+                    ("mean".to_string(), Value::Num(mean)),
+                ];
+                for (k, &c) in buckets.iter().enumerate() {
+                    if c > 0 {
+                        pairs.push((format!("le_{}", 1u64 << k), Value::Num(c as f64)));
+                    }
+                }
+                Value::Obj(pairs)
+            }
+        }
+    }
+}
+
+/// A point-in-time copy of every registered instrument, ordered by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` pairs in ascending name order.
+    pub entries: Vec<(String, Metric)>,
+}
+
+impl Snapshot {
+    /// Look up one instrument by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    /// Counter value by name (`None` for absent or non-counter entries).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            Metric::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The change since `earlier`: counters and histograms subtract
+    /// (saturating, in case of an interleaved [`reset`]); gauges keep
+    /// their current value. Entries absent from `earlier` pass through
+    /// unchanged; entries only in `earlier` are dropped.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(name, m)| {
+                let d = match (m, earlier.get(name)) {
+                    (Metric::Counter(now), Some(Metric::Counter(then))) => {
+                        Metric::Counter(now.saturating_sub(*then))
+                    }
+                    (
+                        Metric::Histogram {
+                            count,
+                            sum,
+                            buckets,
+                        },
+                        Some(Metric::Histogram {
+                            count: c0,
+                            sum: s0,
+                            buckets: b0,
+                        }),
+                    ) => Metric::Histogram {
+                        count: count.saturating_sub(*c0),
+                        sum: sum.saturating_sub(*s0),
+                        buckets: buckets
+                            .iter()
+                            .enumerate()
+                            .map(|(k, &b)| b.saturating_sub(b0.get(k).copied().unwrap_or(0)))
+                            .collect(),
+                    },
+                    _ => m.clone(),
+                };
+                (name.clone(), d)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// JSON object keyed by metric name, in snapshot (= name) order.
+    pub fn to_json(&self) -> Value {
+        Value::Obj(
+            self.entries
+                .iter()
+                .map(|(n, m)| (n.clone(), m.to_json()))
+                .collect(),
+        )
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Copy every registered instrument's current value, ordered by name.
+/// The copy is per-instrument atomic, not globally atomic: concurrent
+/// updates may land between reading two instruments, which is fine for
+/// the reporting this feeds.
+pub fn snapshot() -> Snapshot {
+    let reg = lock_registry();
+    let entries = reg
+        .iter()
+        .map(|(name, inst)| {
+            let m = match inst {
+                Instrument::Counter(c) => Metric::Counter(c.get()),
+                Instrument::Gauge(g) => Metric::Gauge(g.get()),
+                Instrument::Histogram(h) => {
+                    let mut buckets = h.bucket_counts();
+                    while buckets.last() == Some(&0) {
+                        buckets.pop();
+                    }
+                    Metric::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets,
+                    }
+                }
+            };
+            (name.clone(), m)
+        })
+        .collect();
+    Snapshot { entries }
+}
+
+/// Zero every registered instrument. Intended for harnesses that measure
+/// a region in isolation (the benchmark runner calls this before each
+/// entry); concurrent updaters keep working, their increments simply land
+/// in the fresh epoch.
+pub fn reset() {
+    let reg = lock_registry();
+    for inst in reg.values() {
+        match inst {
+            Instrument::Counter(c) => c.reset(),
+            Instrument::Gauge(g) => g.reset(),
+            Instrument::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and other tests in this crate touch
+    // it too; every name used here is unique to its test so the tests
+    // stay order- and concurrency-independent.
+
+    #[test]
+    fn counter_basics_and_identity() {
+        let c = counter("esched.test.counter_basics");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same instrument.
+        assert_eq!(counter("esched.test.counter_basics").get(), 5);
+    }
+
+    #[test]
+    fn gauge_set_and_high_water() {
+        let g = gauge("esched.test.gauge_basics");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 2.5);
+        g.set_max(7.25);
+        assert_eq!(g.get(), 7.25);
+        g.set_max(f64::NAN);
+        assert_eq!(g.get(), 7.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = histogram("esched.test.hist_basics");
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        let snap = snapshot();
+        let Some(Metric::Histogram { count, buckets, .. }) = snap.get("esched.test.hist_basics")
+        else {
+            panic!("histogram missing from snapshot");
+        };
+        assert_eq!(*count, 5);
+        // 0,1 → bucket 0; 2 → bucket 1; 3 → bucket 2; 1000 → bucket 10.
+        assert_eq!(buckets[0], 2);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[2], 1);
+        assert_eq!(buckets[10], 1);
+    }
+
+    #[test]
+    fn concurrent_increments_lose_nothing_and_snapshot_order_is_stable() {
+        // 8 threads × 10_000 increments against one counter and one
+        // histogram, racing registration through the macros on the same
+        // call sites, must account for every update.
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                s.spawn(move || {
+                    for k in 0..PER_THREAD {
+                        metric_counter!("esched.test.stress_counter").inc();
+                        metric_histogram!("esched.test.stress_hist").record(k % 7);
+                        metric_gauge!("esched.test.stress_gauge")
+                            .set_max((t as u64 * PER_THREAD + k) as f64);
+                    }
+                });
+            }
+        });
+        let total = THREADS as u64 * PER_THREAD;
+        assert_eq!(counter("esched.test.stress_counter").get(), total);
+        assert_eq!(histogram("esched.test.stress_hist").count(), total);
+        assert_eq!(gauge("esched.test.stress_gauge").get(), (total - 1) as f64);
+        // Snapshots taken before and after more writes keep the same
+        // (name-sorted) entry order.
+        let a = snapshot();
+        counter("esched.test.stress_counter").inc();
+        let b = snapshot();
+        let names = |s: &Snapshot| s.entries.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+        assert_eq!(names(&a), names(&b));
+        let mut sorted = names(&a);
+        sorted.sort();
+        assert_eq!(names(&a), sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        counter("esched.test.kind_clash");
+        gauge("esched.test.kind_clash");
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_and_delta_subtracts() {
+        counter("esched.test.delta_b").add(10);
+        counter("esched.test.delta_a").add(3);
+        let before = snapshot();
+        // Ordering: strictly ascending names.
+        for w in before.entries.windows(2) {
+            assert!(w[0].0 < w[1].0, "snapshot out of order: {w:?}");
+        }
+        counter("esched.test.delta_a").add(2);
+        let delta = snapshot().delta_since(&before);
+        assert_eq!(delta.counter("esched.test.delta_a"), Some(2));
+        assert_eq!(delta.counter("esched.test.delta_b"), Some(0));
+    }
+
+    #[test]
+    fn macros_cache_and_update() {
+        for _ in 0..3 {
+            metric_counter!("esched.test.macro_counter").inc();
+        }
+        metric_gauge!("esched.test.macro_gauge").set(1.5);
+        metric_histogram!("esched.test.macro_hist").record(7);
+        let s = snapshot();
+        assert_eq!(s.counter("esched.test.macro_counter"), Some(3));
+        assert_eq!(s.get("esched.test.macro_gauge"), Some(&Metric::Gauge(1.5)));
+    }
+
+    #[test]
+    fn json_shape() {
+        counter("esched.test.json_counter").add(2);
+        histogram("esched.test.json_hist").record(5);
+        let j = snapshot().to_json();
+        assert_eq!(j.get("esched.test.json_counter").unwrap().as_u64(), Some(2));
+        let h = j.get("esched.test.json_hist").unwrap();
+        assert!(h.get("count").is_some() && h.get("le_8").is_some());
+    }
+}

@@ -10,6 +10,33 @@ use crate::json::Value;
 use crate::stats::{Log2Histogram, Summary};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// The git short SHA of the working tree, if `git` is available and the
+/// process runs inside a repository. Cached for the process lifetime —
+/// every report and benchmark artifact in one run should carry the same
+/// stamp. Report files and `BENCH_<sha>.json` entries join on this key.
+pub fn git_short_sha() -> Option<&'static str> {
+    static SHA: OnceLock<Option<String>> = OnceLock::new();
+    SHA.get_or_init(|| {
+        let out = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        let sha = String::from_utf8(out.stdout).ok()?.trim().to_string();
+        (!sha.is_empty()).then_some(sha)
+    })
+    .as_deref()
+}
+
+/// The workspace version baked into this build (all `esched-*` crates
+/// share the workspace version, so this is "the esched version").
+pub fn esched_version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
 
 /// Telemetry of one Monte-Carlo trial.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,9 +168,24 @@ impl RunReport {
         ])
     }
 
-    /// Full JSON form: name, meta, aggregate, per-trial records.
+    /// Full JSON form: name, build identity (git short SHA and esched
+    /// version, so report files join against `BENCH_<sha>.json` entries),
+    /// meta, aggregate, per-trial records.
     pub fn to_json(&self) -> Value {
-        let mut pairs = vec![("name".to_string(), Value::Str(self.name.clone()))];
+        let mut pairs = vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            (
+                "git_sha".to_string(),
+                match git_short_sha() {
+                    Some(sha) => Value::Str(sha.to_string()),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "esched_version".to_string(),
+                Value::Str(esched_version().to_string()),
+            ),
+        ];
         if !self.meta.is_empty() {
             pairs.push(("meta".to_string(), Value::Obj(self.meta.clone())));
         }
@@ -207,6 +249,13 @@ mod tests {
         let text = r.to_json().to_string_pretty();
         let v = parse(&text).unwrap();
         assert_eq!(v.get("name").unwrap().as_str(), Some("fig6"));
+        // Header carries the build identity keys (git SHA may be null in
+        // a non-repo environment, but the key must exist).
+        assert!(v.get("git_sha").is_some());
+        assert_eq!(
+            v.get("esched_version").unwrap().as_str(),
+            Some(esched_version())
+        );
         assert_eq!(
             v.get("meta").unwrap().get("cores").unwrap().as_u64(),
             Some(4)

@@ -196,6 +196,21 @@ impl Sink for StderrSink {
 
 /// A sink that buffers records in memory — used by tests and by the
 /// harness when assembling run reports.
+///
+/// # Consumer contract
+///
+/// [`MemorySink::drain`] is an atomic swap: the buffer is emptied and its
+/// contents returned in one step under the sink's lock, so **every record
+/// is observed by exactly one `drain` call** even with concurrent
+/// producers and multiple draining threads. What is *not* atomic is any
+/// composition with [`MemorySink::len`]/[`MemorySink::is_empty`]: a
+/// `len()`-then-`drain()` sequence can see more (producers appended) or
+/// fewer (another consumer drained) records than `len()` reported. Treat
+/// `len()` as advisory and size nothing off it; use the length of the
+/// `Vec` that `drain()` returns, or [`MemorySink::snapshot`] for a
+/// consistent read-only copy. The intended topology is a single consumer;
+/// multiple consumers are safe (no loss, no duplication) but partition
+/// the records between them.
 #[derive(Default, Clone)]
 pub struct MemorySink {
     records: Arc<Mutex<Vec<Record>>>,
@@ -207,17 +222,29 @@ impl MemorySink {
         Self::default()
     }
 
-    /// Snapshot of everything recorded so far.
+    /// Take everything recorded so far, leaving the buffer empty. Atomic:
+    /// concurrent producers either land in the returned batch or in the
+    /// fresh buffer, never both and never neither (see the type-level
+    /// consumer contract).
     pub fn drain(&self) -> Vec<Record> {
         std::mem::take(&mut *self.records.lock().expect("sink poisoned"))
     }
 
-    /// Number of buffered records.
+    /// Copy of everything recorded so far, without consuming it. Unlike
+    /// `len()` + indexed reads, the copy is internally consistent.
+    pub fn snapshot(&self) -> Vec<Record> {
+        self.records.lock().expect("sink poisoned").clone()
+    }
+
+    /// Number of buffered records. Advisory only: by the time the caller
+    /// acts on it, producers or another consumer may have changed the
+    /// buffer — pair producers/consumers through [`MemorySink::drain`]
+    /// instead of `len()`-guarded reads.
     pub fn len(&self) -> usize {
         self.records.lock().expect("sink poisoned").len()
     }
 
-    /// Is the buffer empty?
+    /// Is the buffer empty? Advisory, like [`MemorySink::len`].
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -592,6 +619,71 @@ mod tests {
         assert!(enabled(Level::Warn, "anything"));
         assert!(!enabled(Level::Info, "anything"));
         disable();
+    }
+
+    #[test]
+    fn drain_is_an_atomic_swap_every_record_observed_once() {
+        // Exercises the documented consumer contract directly against the
+        // Sink impl (no global subscriber): concurrent producers plus a
+        // concurrent drainer must neither lose nor duplicate records.
+        let sink = MemorySink::new();
+        let per_thread = 400usize;
+        let n_producers = 4usize;
+        let drained = std::thread::scope(|s| {
+            for t in 0..n_producers {
+                let sink = sink.clone();
+                s.spawn(move || {
+                    for k in 0..per_thread {
+                        sink.record(&Record {
+                            level: Level::Info,
+                            target: "contract".to_string(),
+                            name: format!("{t}:{k}"),
+                            fields: Vec::new(),
+                            kind: RecordKind::Event,
+                            depth: 0,
+                        });
+                    }
+                });
+            }
+            let sink = sink.clone();
+            s.spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..50 {
+                    got.extend(sink.drain());
+                    std::thread::yield_now();
+                }
+                got
+            })
+            .join()
+            .expect("drainer panicked")
+        });
+        let mut names: Vec<String> = drained
+            .into_iter()
+            .chain(sink.drain())
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(names.len(), n_producers * per_thread, "records lost");
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n_producers * per_thread, "records duplicated");
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let sink = MemorySink::new();
+        sink.record(&Record {
+            level: Level::Info,
+            target: "t".to_string(),
+            name: "a".to_string(),
+            fields: Vec::new(),
+            kind: RecordKind::Event,
+            depth: 0,
+        });
+        assert_eq!(sink.snapshot().len(), 1);
+        assert_eq!(sink.snapshot().len(), 1);
+        assert_eq!(sink.drain().len(), 1);
+        assert!(sink.snapshot().is_empty());
     }
 
     #[test]

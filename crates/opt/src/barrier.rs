@@ -295,6 +295,7 @@ pub fn solve_barrier(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResult {
         final_gap: gap,
         converged,
     };
+    telemetry.publish("barrier");
     event!(
         Level::Debug,
         "barrier done",

@@ -181,6 +181,7 @@ pub fn solve_block_descent(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResu
         final_gap: gap,
         converged,
     };
+    telemetry.publish("block_descent");
     event!(
         Level::Debug,
         "block descent done",

@@ -146,6 +146,7 @@ pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Sol
         final_gap: gap,
         converged,
     };
+    telemetry.publish("fista");
     event!(
         Level::Debug,
         "fista done",

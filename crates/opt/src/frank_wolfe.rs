@@ -99,6 +99,7 @@ pub fn solve_frank_wolfe(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) 
         final_gap: gap,
         converged,
     };
+    telemetry.publish("frank_wolfe");
     event!(
         Level::Debug,
         "frank-wolfe done",

@@ -142,6 +142,7 @@ pub fn solve_pgd(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Solve
         final_gap: gap,
         converged,
     };
+    telemetry.publish("pgd");
     event!(
         Level::Debug,
         "pgd done",

@@ -86,6 +86,37 @@ pub struct SolverTelemetry {
     pub converged: bool,
 }
 
+impl SolverTelemetry {
+    /// Mirror this solve's counters into the process-global metrics
+    /// registry (`esched_obs::metrics`).
+    ///
+    /// Every solver calls this once, right after constructing its
+    /// telemetry, so workspace-wide instruments accumulate across solves
+    /// without changing the per-solve [`SolveResult`] shape:
+    ///
+    /// - `esched.opt.solves` / `esched.opt.solves.<solver>` — solve counts,
+    /// - `esched.opt.iters`, `esched.opt.gap_evals`,
+    ///   `esched.opt.backtracks`, `esched.opt.stalls` — summed counters,
+    /// - `esched.opt.cap_hits` — solves that exhausted the iteration cap,
+    /// - `esched.opt.solve_wall_ns` — per-solve wall time histogram.
+    ///
+    /// `solver` is a short stable name (`"pgd"`, `"fista"`,
+    /// `"frank_wolfe"`, `"barrier"`, `"block_descent"`).
+    pub fn publish(&self, solver: &str) {
+        use esched_obs::{metric_counter, metric_histogram, metrics};
+        metric_counter!("esched.opt.solves").inc();
+        metrics::counter(&format!("esched.opt.solves.{solver}")).inc();
+        metric_counter!("esched.opt.iters").add(self.iters as u64);
+        metric_counter!("esched.opt.gap_evals").add(self.gap_evals as u64);
+        metric_counter!("esched.opt.backtracks").add(self.backtracks as u64);
+        metric_counter!("esched.opt.stalls").add(self.stalls as u64);
+        if !self.converged {
+            metric_counter!("esched.opt.cap_hits").inc();
+        }
+        metric_histogram!("esched.opt.solve_wall_ns").record((self.wall_s * 1e9) as u64);
+    }
+}
+
 /// Outcome of a solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveResult {

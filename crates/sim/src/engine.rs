@@ -193,6 +193,8 @@ fn run<P: PowerModel>(
                 break;
             }
         }
+        esched_obs::metric_counter!("esched.sim.event_batches").inc();
+        esched_obs::metric_counter!("esched.sim.events").add(batch.len() as u64);
         // Rank first: an end one ulp *after* a start at the "same" instant
         // must still be processed before it.
         batch.sort_by(|a, b| {
@@ -412,6 +414,10 @@ fn run<P: PowerModel>(
 
     misses.sort_unstable();
     misses.dedup();
+    esched_obs::metric_counter!("esched.sim.runs").inc();
+    esched_obs::metric_counter!("esched.sim.preemptions").add(preemptions as u64);
+    esched_obs::metric_counter!("esched.sim.migrations").add(migrations as u64);
+    esched_obs::metric_gauge!("esched.sim.queue_peak").set_max(queue_peak as f64);
     esched_obs::event!(
         esched_obs::Level::Debug,
         "simulation done",

@@ -35,4 +35,4 @@ pub use machine::{Core, CoreState};
 pub use metrics::{Conflict, SimReport};
 pub use online::{dispatch, dispatch_edf, DispatchPolicy, OnlineOutcome};
 pub use svg::{render_svg, save_svg, SvgOptions};
-pub use trace::{ascii_gantt, task_summary};
+pub use trace::{ascii_gantt, chrome_schedule_trace, save_chrome_trace, task_summary};

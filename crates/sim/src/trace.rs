@@ -1,9 +1,40 @@
-//! Execution traces and ASCII Gantt rendering.
+//! Execution traces, ASCII Gantt rendering, and Chrome-trace export.
 //!
 //! Turns a schedule into a human-readable per-core timeline — handy in
-//! examples and when debugging packing behaviour.
+//! examples and when debugging packing behaviour — or into Chrome
+//! trace-event JSON that loads in Perfetto / `chrome://tracing`.
 
+use esched_obs::chrome::{self, TraceSegment};
+use esched_obs::json::Value;
 use esched_types::Schedule;
+
+/// Render `schedule` as a Chrome trace-event document: one trace thread
+/// per core (duration events named `task <id>`), plus one counter track
+/// per core showing the running frequency.
+///
+/// Schedule times are seconds; they are scaled to trace microseconds.
+/// Write the result with [`save_chrome_trace`] or embed it alongside a
+/// [`esched_obs::chrome::ChromeTraceSink`] capture via
+/// [`esched_obs::chrome::merge`].
+pub fn chrome_schedule_trace(schedule: &Schedule) -> Value {
+    let segments: Vec<TraceSegment> = schedule
+        .segments()
+        .iter()
+        .map(|s| TraceSegment {
+            task: s.task,
+            core: s.core,
+            start: s.interval.start,
+            end: s.interval.end,
+            freq: s.freq,
+        })
+        .collect();
+    chrome::schedule_trace_seconds(schedule.cores, &segments)
+}
+
+/// Write [`chrome_schedule_trace`]`(schedule)` to `path` as JSON.
+pub fn save_chrome_trace(schedule: &Schedule, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, chrome_schedule_trace(schedule).to_string_pretty())
+}
 
 /// Render `schedule` as an ASCII Gantt chart with `width` columns spanning
 /// `[t0, t1]`. Each core is one row; each column shows the task id (mod 10)
@@ -134,6 +165,37 @@ mod tests {
         let g = ascii_gantt(&s, 0.0, 4.0, 4);
         // Tasks 13 and 27 render as their last digits.
         assert_eq!(g.trim_end(), "M0: 3377");
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_and_covers_every_core() {
+        let doc = chrome_schedule_trace(&fixture());
+        let evs = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let ph = |p: &str| {
+            evs.iter()
+                .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some(p))
+                .count()
+        };
+        // 3 segments → 3 B, 3 E, 6 counter samples; plus metadata events.
+        assert_eq!(ph("B"), 3);
+        assert_eq!(ph("E"), 3);
+        assert_eq!(ph("C"), 6);
+        // Thread-name metadata for both cores.
+        let names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert!(
+            names.contains(&"core 0") && names.contains(&"core 1"),
+            "{names:?}"
+        );
+        // Seconds scale to microseconds: task 0 runs [0, 4] s → E at 4e6 µs.
+        let max_ts = evs
+            .iter()
+            .filter_map(|e| e.get("ts")?.as_f64())
+            .fold(0.0_f64, f64::max);
+        assert_eq!(max_ts, 8.0e6);
     }
 
     #[test]

@@ -97,6 +97,9 @@ impl Timeline {
                 subintervals[j].overlapping.push(id);
             }
         }
+        esched_obs::metric_counter!("esched.subinterval.timeline_builds").inc();
+        esched_obs::metric_histogram!("esched.subinterval.subintervals_per_build")
+            .record(subintervals.len() as u64);
         Self {
             boundaries,
             subintervals,

@@ -5,10 +5,17 @@
 //! cargo run --example quickstart
 //! ```
 
+use esched::obs::chrome::{self, ChromeTraceSink};
+use esched::obs::trace;
 use esched::prelude::*;
 use esched::sim::ascii_gantt;
+use std::sync::Arc;
 
 fn main() {
+    // Capture the span hierarchy of everything below into a Chrome
+    // trace; merged with the schedule rendering and written at the end.
+    let sink = ChromeTraceSink::new();
+    trace::init_with(trace::Filter::parse("debug"), Arc::new(sink.clone()));
     // Six aperiodic tasks (release, deadline, work) — the paper's
     // Section V.D worked example.
     let tasks = TaskSet::from_triples(&[
@@ -76,4 +83,17 @@ fn main() {
     )
     .expect("write SVG");
     println!("SVG Gantt chart written to {}", svg_path.display());
+
+    // Export a Chrome trace: the captured solver/simulator spans as one
+    // process, the DER schedule (one thread per core, frequency counter
+    // tracks) as another. Open it at https://ui.perfetto.dev or
+    // chrome://tracing.
+    trace::disable();
+    let doc = chrome::merge(&[
+        sink.to_json(),
+        esched::sim::chrome_schedule_trace(&der.schedule),
+    ]);
+    let trace_path = std::env::temp_dir().join("esched-quickstart.trace.json");
+    std::fs::write(&trace_path, doc.to_string_pretty()).expect("write trace");
+    println!("Chrome trace written to {}", trace_path.display());
 }

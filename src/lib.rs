@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub use esched_core as core;
+pub use esched_obs as obs;
 pub use esched_opt as opt;
 pub use esched_sim as sim;
 pub use esched_subinterval as subinterval;
