@@ -18,10 +18,13 @@ use esched_core::{
     allocate_der, der_schedule, even_schedule, ideal_schedule, optimal_energy, pack_subinterval,
     PackItem,
 };
+use esched_engine::{Engine, EngineConfig, ScheduleRequest};
 use esched_obs::json::Value;
 use esched_obs::stats::Summary;
 use esched_obs::{metrics, report};
-use esched_opt::{solve_fista, solve_frank_wolfe, solve_pgd, EnergyProgram, SolveOptions};
+use esched_opt::{
+    solve_fista, solve_frank_wolfe, solve_pgd, EnergyProgram, SolveOptions, SolverKind,
+};
 use esched_subinterval::Timeline;
 use esched_types::{validate_schedule, PolynomialPower, Schedule};
 use std::hint::black_box;
@@ -174,6 +177,47 @@ pub fn curated_suite() -> Vec<CuratedBench> {
                     _ => solve_frank_wolfe(&ep, ep.initial_point(), &opts).objective,
                 };
                 black_box(obj);
+            }),
+        });
+    }
+
+    // --- engine batch execution ---
+    // 64 full-pipeline instances (DER + fast E^OPT solve) per iteration,
+    // serial vs. 8 workers. The speedup criterion compares these two
+    // entries' p50s; on a single-core runner they coincide.
+    {
+        let requests: Vec<ScheduleRequest> = (0..64)
+            .map(|k| {
+                ScheduleRequest::new(paper_tasks(20, 1000 + k as u64), 4, power).with_config(
+                    EngineConfig::new()
+                        .with_solver(SolverKind::ProjectedGradient)
+                        .with_solve_options(SolveOptions::fast()),
+                )
+            })
+            .collect();
+        for (name, threads) in [("engine/batch_64x/1t", 1usize), ("engine/batch_64x/8t", 8)] {
+            let reqs = requests.clone();
+            suite.push(CuratedBench {
+                name,
+                iters: 6,
+                run: Box::new(move || {
+                    black_box(Engine::with_threads(threads).run_batch(&reqs));
+                }),
+            });
+        }
+    }
+    // Pool scaling at 8 threads over a wide batch of cheap heuristic-only
+    // instances: dominated by queueing/stealing overhead, so it catches
+    // pool regressions the solver-heavy entry would mask.
+    {
+        let requests: Vec<ScheduleRequest> = (0..128)
+            .map(|k| ScheduleRequest::new(paper_tasks(40, 2000 + k as u64), 4, power))
+            .collect();
+        suite.push(CuratedBench {
+            name: "engine/scaling_8t/128",
+            iters: 6,
+            run: Box::new(move || {
+                black_box(Engine::with_threads(8).run_batch(&requests));
             }),
         });
     }

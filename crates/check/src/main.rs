@@ -16,11 +16,16 @@
 //! narrates the run through the standard `esched-obs` subscriber.
 
 use esched_check::oracles::violation_classes;
-use esched_check::{check_instance, gen_instance, shrink, write_corpus};
+use esched_check::{check_instance, gen_instance, shrink, write_corpus, Instance, OracleViolation};
+use esched_engine::Engine;
 use esched_obs::rng::ChaCha8;
 use esched_obs::{event, span, Level};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Iterations submitted to the engine per batch: large enough to keep
+/// every worker busy, small enough that violations surface promptly.
+const BATCH: u64 = 256;
 
 struct Args {
     iters: u64,
@@ -88,59 +93,96 @@ fn main() -> ExitCode {
         seed = args.seed as usize,
     );
 
+    // Instances are generated serially (the generator is cheap and the
+    // per-iteration seed must stay `seed + i`), then each batch is
+    // evaluated on the engine's work-stealing pool. Results come back in
+    // submission order, so violation reporting, shrinking, and corpus
+    // writes below are exactly as deterministic as the old serial loop.
+    let engine = Engine::new();
     let mut failing_iters = 0_u64;
     let mut written: Vec<PathBuf> = Vec::new();
     let mut deduped = 0_usize;
-    for i in 0..args.iters {
-        let mut rng = ChaCha8::seed_from_u64(args.seed.wrapping_add(i));
-        let inst = gen_instance(&mut rng);
-        let violations = check_instance(&inst);
-        if violations.is_empty() {
-            if !args.quiet && (i + 1) % 200 == 0 {
-                eprintln!("  ... {} iterations clean", i + 1);
-            }
-            continue;
-        }
-        failing_iters += 1;
-        eprintln!(
-            "iter {i} (seed {}): {} violation(s) on {}",
-            args.seed.wrapping_add(i),
-            violations.len(),
-            inst.summary()
-        );
-        for v in &violations {
-            eprintln!("    {v}");
-            event!(
-                Level::Warn,
-                "oracle_violation",
-                iter = i as usize,
-                class = v.class.name(),
-            );
-        }
-        // Shrink once per distinct failing class so each corpus entry is
-        // minimal *for its oracle*, then write the repro.
-        for class in violation_classes(&violations) {
-            let shrunk = shrink(&inst, &[class], args.max_shrink_evals);
-            let message = check_instance(&shrunk.instance)
-                .into_iter()
-                .find(|v| v.class == class)
-                .map(|v| v.message)
-                .unwrap_or_else(|| "violation vanished after shrink (flaky)".to_string());
-            let repro = esched_check::OracleViolation { class, message };
-            match write_corpus(&args.corpus, &shrunk.instance, &repro) {
-                Ok(Some(path)) => {
-                    eprintln!(
-                        "    shrunk to {} ({} evals) -> {}",
-                        shrunk.instance.summary(),
-                        shrunk.evals,
-                        path.display()
-                    );
-                    written.push(path);
+    let mut start = 0_u64;
+    while start < args.iters {
+        let count = BATCH.min(args.iters - start);
+        let instances: Vec<(u64, Instance)> = (0..count)
+            .map(|k| {
+                let i = start + k;
+                let mut rng = ChaCha8::seed_from_u64(args.seed.wrapping_add(i));
+                (i, gen_instance(&mut rng))
+            })
+            .collect();
+        let results = engine.batch_map(instances, |_scratch, (i, inst)| {
+            let violations = check_instance(&inst);
+            (i, inst, violations)
+        });
+        for result in results {
+            let (i, inst, violations) = match result {
+                Ok(triple) => triple,
+                Err(e) => {
+                    // The oracle battery already converts pipeline panics
+                    // into violations, so a job-level panic is a harness
+                    // bug; regenerate the instance from its seed (the
+                    // generator already ran cleanly on this thread) and
+                    // report it as a synthetic Panic violation.
+                    let i = start + e.index as u64;
+                    let mut rng = ChaCha8::seed_from_u64(args.seed.wrapping_add(i));
+                    let inst = gen_instance(&mut rng);
+                    let v = OracleViolation {
+                        class: esched_check::OracleClass::Panic,
+                        message: format!("oracle battery panicked: {}", e.message),
+                    };
+                    (i, inst, vec![v])
                 }
-                Ok(None) => deduped += 1,
-                Err(e) => eprintln!("    corpus write failed: {e}"),
+            };
+            if violations.is_empty() {
+                if !args.quiet && (i + 1) % 200 == 0 {
+                    eprintln!("  ... {} iterations clean", i + 1);
+                }
+                continue;
+            }
+            failing_iters += 1;
+            eprintln!(
+                "iter {i} (seed {}): {} violation(s) on {}",
+                args.seed.wrapping_add(i),
+                violations.len(),
+                inst.summary()
+            );
+            for v in &violations {
+                eprintln!("    {v}");
+                event!(
+                    Level::Warn,
+                    "oracle_violation",
+                    iter = i as usize,
+                    class = v.class.name(),
+                );
+            }
+            // Shrink once per distinct failing class so each corpus entry
+            // is minimal *for its oracle*, then write the repro.
+            for class in violation_classes(&violations) {
+                let shrunk = shrink(&inst, &[class], args.max_shrink_evals);
+                let message = check_instance(&shrunk.instance)
+                    .into_iter()
+                    .find(|v| v.class == class)
+                    .map(|v| v.message)
+                    .unwrap_or_else(|| "violation vanished after shrink (flaky)".to_string());
+                let repro = esched_check::OracleViolation { class, message };
+                match write_corpus(&args.corpus, &shrunk.instance, &repro) {
+                    Ok(Some(path)) => {
+                        eprintln!(
+                            "    shrunk to {} ({} evals) -> {}",
+                            shrunk.instance.summary(),
+                            shrunk.evals,
+                            path.display()
+                        );
+                        written.push(path);
+                    }
+                    Ok(None) => deduped += 1,
+                    Err(e) => eprintln!("    corpus write failed: {e}"),
+                }
             }
         }
+        start += count;
     }
 
     event!(

@@ -17,6 +17,7 @@
 //! [`crate::refine`].
 
 use crate::ideal::IdealSolution;
+use crate::scratch::Scratch;
 use esched_obs::{event, metric_counter, span, Level};
 use esched_subinterval::Timeline;
 use esched_types::time::EPS;
@@ -158,6 +159,18 @@ pub fn allocate_der(
     cores: usize,
     ideal: &IdealSolution,
 ) -> AvailMatrix {
+    allocate_der_with(tasks, timeline, cores, ideal, &mut Scratch::new())
+}
+
+/// [`allocate_der`] reusing the DER staging buffer in `scratch`, so batch
+/// drivers pay for the per-heavy-subinterval `(task, DER)` list once.
+pub fn allocate_der_with(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    ideal: &IdealSolution,
+    scratch: &mut Scratch,
+) -> AvailMatrix {
     let _span = span!(
         Level::Debug,
         "allocate_der",
@@ -178,11 +191,13 @@ pub fn allocate_der(
         let delta = sub.delta();
         // (task, DER), sorted by DER descending; ties broken by id so the
         // algorithm is deterministic.
-        let mut ders: Vec<(TaskId, f64)> = sub
-            .overlapping
-            .iter()
-            .map(|&i| (i, der(ideal, i, timeline, sub.index)))
-            .collect();
+        let ders = &mut scratch.ders;
+        ders.clear();
+        ders.extend(
+            sub.overlapping
+                .iter()
+                .map(|&i| (i, der(ideal, i, timeline, sub.index))),
+        );
         ders.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("finite DERs")
@@ -191,7 +206,7 @@ pub fn allocate_der(
         let mut pool = cores as f64 * delta;
         let mut ctot: f64 = ders.iter().map(|&(_, c)| c).sum();
         let mut remaining = ders.len();
-        for (i, c) in ders {
+        for &(i, c) in ders.iter() {
             let alloc = if pool <= EPS {
                 0.0
             } else if ctot > EPS && c > 0.0 {

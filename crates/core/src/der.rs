@@ -1,9 +1,10 @@
 //! The DER-based allocating method end-to-end (Section V.C): `S^I2` →
 //! `S^F2`. This is the paper's headline algorithm.
 
-use crate::allocation::allocate_der;
+use crate::allocation::allocate_der_with;
 use crate::ideal::ideal_schedule;
-use crate::refine::{build_outcome, HeuristicOutcome};
+use crate::refine::{build_outcome_with, HeuristicOutcome};
+use crate::scratch::Scratch;
 use esched_subinterval::Timeline;
 use esched_types::{PolynomialPower, TaskSet};
 
@@ -28,16 +29,32 @@ use esched_types::{PolynomialPower, TaskSet};
 /// validate_schedule(&out.schedule, &tasks).assert_legal();
 /// ```
 pub fn der_schedule(tasks: &TaskSet, cores: usize, power: &PolynomialPower) -> HeuristicOutcome {
+    der_schedule_with(tasks, cores, power, &mut Scratch::new())
+}
+
+/// [`der_schedule`] reusing the buffers in `scratch` — the timeline's
+/// boundary/subinterval vectors, Algorithm 2's DER staging list, and
+/// Algorithm 1's pack-item buffer all survive into the next call, so a
+/// batch driver touches the allocator only when an instance outgrows every
+/// previous one.
+pub fn der_schedule_with(
+    tasks: &TaskSet,
+    cores: usize,
+    power: &PolynomialPower,
+    scratch: &mut Scratch,
+) -> HeuristicOutcome {
     let _span = esched_obs::span!(
         esched_obs::Level::Info,
         "der_schedule",
         n_tasks = tasks.len(),
         cores = cores,
     );
-    let timeline = Timeline::build(tasks);
+    let timeline = Timeline::build_with(tasks, &mut scratch.timeline);
     let ideal = ideal_schedule(tasks, power);
-    let avail = allocate_der(tasks, &timeline, cores, &ideal);
-    build_outcome(tasks, &timeline, cores, power, &ideal, avail)
+    let avail = allocate_der_with(tasks, &timeline, cores, &ideal, scratch);
+    let out = build_outcome_with(tasks, &timeline, cores, power, &ideal, avail, scratch);
+    scratch.timeline.recycle(timeline);
+    out
 }
 
 #[cfg(test)]

@@ -46,28 +46,33 @@ pub mod quality;
 pub mod reclaim;
 pub mod refine;
 pub mod replan;
+pub mod scratch;
 pub mod yds;
 
 pub use allocation::{
-    allocate_der, allocate_der_no_redistribution, allocate_even, allocate_work_proportional,
-    AvailMatrix,
+    allocate_der, allocate_der_no_redistribution, allocate_der_with, allocate_even,
+    allocate_work_proportional, AvailMatrix,
 };
 pub use baselines::{partitioned_yds, uniform_frequency, BaselineOutcome};
 pub use core_count::{select_core_count, CoreCountChoice, Method};
-pub use der::der_schedule;
+pub use der::{der_schedule, der_schedule_with};
 pub use discrete::{
     best_discrete_split, quantize_schedule, requantize_schedule, two_level_assignment,
     two_level_split, DiscreteOutcome, QuantizePolicy, TwoLevelSplit,
 };
-pub use even::even_schedule;
+pub use even::{even_schedule, even_schedule_with};
 pub use ideal::{ideal_schedule, IdealSolution};
 pub use nec::{evaluate_nec, evaluate_nec_full, mean_nec, std_nec, NecEvaluation, NecPoint};
-pub use optimal::{optimal_energy, optimal_energy_with, OptimalSolution, Solver};
+pub use optimal::{
+    optimal_energy, optimal_energy_in, optimal_energy_with, OptimalSolution, Solver,
+};
 pub use packing::{pack_subinterval, PackError, PackItem};
 pub use quality::{analyze, ScheduleQuality, TaskQuality};
 pub use reclaim::{no_reclaim_energy, reclaim_der, ReclaimOutcome};
 pub use refine::{
-    build_outcome, final_assignment, final_schedule, intermediate_schedule, HeuristicOutcome,
+    build_outcome, build_outcome_with, final_assignment, final_schedule, final_schedule_with,
+    intermediate_schedule, intermediate_schedule_with, HeuristicOutcome,
 };
 pub use replan::{replan_der, ReplanOutcome};
+pub use scratch::Scratch;
 pub use yds::{yds_schedule, YdsSolution};

@@ -8,29 +8,17 @@
 //! into a collision-free schedule via Algorithm 1.
 
 use crate::packing::{pack_subinterval, PackItem};
-use esched_opt::{
-    solve_barrier, solve_block_descent, solve_fista, solve_frank_wolfe, solve_pgd, EnergyProgram,
-    SolveOptions, SolveResult, SolverTelemetry,
-};
+use esched_opt::{EnergyProgram, SolveOptions, SolveResult, SolverTelemetry};
 use esched_subinterval::Timeline;
 use esched_types::{PolynomialPower, Schedule, TaskSet};
 
-/// Which first-order method solves the convex program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Solver {
-    /// Projected gradient descent with backtracking (default).
-    #[default]
-    ProjectedGradient,
-    /// FISTA with adaptive restart.
-    Fista,
-    /// Frank–Wolfe with golden-section line search.
-    FrankWolfe,
-    /// Primal log-barrier interior point (the paper's named method).
-    InteriorPoint,
-    /// Gauss–Seidel block-coordinate descent with exact waterfilling
-    /// block solves.
-    BlockDescent,
-}
+/// Which method solves the convex program.
+///
+/// This is [`esched_opt::SolverKind`] re-exported under its historical
+/// name — existing `Solver::Fista`-style call sites keep compiling, while
+/// new code (the engine's `EngineConfig`, the solver study) can use the
+/// unified `SolverKind::solve` dispatch directly.
+pub use esched_opt::SolverKind as Solver;
 
 /// The optimal solution: energy, certificate, and a legal schedule.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,17 +80,24 @@ pub fn optimal_energy_with(
     solver: Solver,
 ) -> OptimalSolution {
     let timeline = Timeline::build(tasks);
-    let ep = EnergyProgram::new(tasks, &timeline, cores, *power);
-    let x0 = ep.initial_point();
-    let mut result: SolveResult = match solver {
-        Solver::ProjectedGradient => solve_pgd(&ep, x0, opts),
-        Solver::Fista => solve_fista(&ep, x0, opts),
-        Solver::FrankWolfe => solve_frank_wolfe(&ep, x0, opts),
-        Solver::InteriorPoint => solve_barrier(&ep, opts),
-        Solver::BlockDescent => solve_block_descent(&ep, opts),
-    };
-    clean_dust(&ep, tasks, &timeline, &mut result.x);
-    repair_starved(&ep, tasks, &timeline, cores, power, &mut result.x);
+    optimal_energy_in(tasks, &timeline, cores, power, opts, solver)
+}
+
+/// [`optimal_energy_with`] against a caller-built [`Timeline`], so batch
+/// pipelines that already decomposed the instance (the engine runs the
+/// heuristics and the optimum off one timeline) don't rebuild it.
+pub fn optimal_energy_in(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    power: &PolynomialPower,
+    opts: &SolveOptions,
+    solver: Solver,
+) -> OptimalSolution {
+    let ep = EnergyProgram::new(tasks, timeline, cores, *power);
+    let mut result: SolveResult = solver.solve(&ep, opts);
+    clean_dust(&ep, tasks, timeline, &mut result.x);
+    repair_starved(&ep, tasks, timeline, cores, power, &mut result.x);
     let total_times = ep.total_times(&result.x);
     // Frequency is the exact `C_i/X_i` whenever the solver allocated *any*
     // time, however small — flooring the denominator at EPS (as this once
@@ -115,7 +110,7 @@ pub fn optimal_energy_with(
         .iter()
         .map(|(i, t)| t.wcec / total_times[i].max(f64::MIN_POSITIVE))
         .collect();
-    let schedule = extract_schedule(&timeline, cores, &ep, &result.x, &freq);
+    let schedule = extract_schedule(timeline, cores, &ep, &result.x, &freq);
     OptimalSolution {
         energy: result.objective,
         gap: result.gap,

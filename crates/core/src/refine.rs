@@ -19,6 +19,7 @@
 use crate::allocation::AvailMatrix;
 use crate::ideal::IdealSolution;
 use crate::packing::{pack_subinterval, PackItem};
+use crate::scratch::Scratch;
 use esched_obs::{span, Level};
 use esched_subinterval::Timeline;
 use esched_types::time::EPS;
@@ -53,8 +54,18 @@ pub fn intermediate_schedule(
     ideal: &IdealSolution,
     avail: &AvailMatrix,
 ) -> Schedule {
+    intermediate_schedule_with(timeline, cores, ideal, avail, &mut Vec::new())
+}
+
+/// [`intermediate_schedule`] staging pack items in a caller-owned buffer.
+pub fn intermediate_schedule_with(
+    timeline: &Timeline,
+    cores: usize,
+    ideal: &IdealSolution,
+    avail: &AvailMatrix,
+    items: &mut Vec<PackItem>,
+) -> Schedule {
     let mut out = Schedule::new(cores);
-    let mut items: Vec<PackItem> = Vec::new();
     for sub in timeline.subintervals() {
         items.clear();
         for &i in &sub.overlapping {
@@ -87,14 +98,8 @@ pub fn intermediate_schedule(
                 freq,
             });
         }
-        pack_subinterval(
-            &items,
-            sub.interval.start,
-            sub.interval.end,
-            cores,
-            &mut out,
-        )
-        .expect("intermediate durations respect capacity by construction");
+        pack_subinterval(items, sub.interval.start, sub.interval.end, cores, &mut out)
+            .expect("intermediate durations respect capacity by construction");
     }
     out.coalesce();
     out
@@ -136,9 +141,32 @@ pub fn final_schedule(
     avail: &AvailMatrix,
     assignment: &FrequencyAssignment,
 ) -> Schedule {
+    final_schedule_with(
+        tasks,
+        timeline,
+        cores,
+        avail,
+        assignment,
+        &mut Vec::new(),
+        &mut Vec::new(),
+    )
+}
+
+/// [`final_schedule`] staging pack items and per-task scale factors in
+/// caller-owned buffers.
+pub fn final_schedule_with(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    avail: &AvailMatrix,
+    assignment: &FrequencyAssignment,
+    items: &mut Vec<PackItem>,
+    scale: &mut Vec<f64>,
+) -> Schedule {
     let n = tasks.len();
     // Per-task scale factor d_i / A_i ∈ (0, 1].
-    let mut scale = vec![0.0; n];
+    scale.clear();
+    scale.resize(n, 0.0);
     for (i, t) in tasks.iter() {
         let d = t.wcec / assignment.freq[i];
         let a = assignment.avail[i];
@@ -151,7 +179,6 @@ pub fn final_schedule(
         scale[i] = if a > 0.0 { (d / a).min(1.0) } else { 0.0 };
     }
     let mut out = Schedule::new(cores);
-    let mut items: Vec<PackItem> = Vec::new();
     for sub in timeline.subintervals() {
         items.clear();
         for &i in &sub.overlapping {
@@ -167,14 +194,8 @@ pub fn final_schedule(
                 freq: assignment.freq[i],
             });
         }
-        pack_subinterval(
-            &items,
-            sub.interval.start,
-            sub.interval.end,
-            cores,
-            &mut out,
-        )
-        .expect("scaled durations respect capacity by construction");
+        pack_subinterval(items, sub.interval.start, sub.interval.end, cores, &mut out)
+            .expect("scaled durations respect capacity by construction");
     }
     out.coalesce();
     out
@@ -190,6 +211,27 @@ pub fn build_outcome(
     ideal: &IdealSolution,
     avail: AvailMatrix,
 ) -> HeuristicOutcome {
+    build_outcome_with(
+        tasks,
+        timeline,
+        cores,
+        power,
+        ideal,
+        avail,
+        &mut Scratch::new(),
+    )
+}
+
+/// [`build_outcome`] staging pack items and scale factors in `scratch`.
+pub fn build_outcome_with(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    power: &PolynomialPower,
+    ideal: &IdealSolution,
+    avail: AvailMatrix,
+    scratch: &mut Scratch,
+) -> HeuristicOutcome {
     let _span = span!(
         Level::Debug,
         "refine_frequencies",
@@ -199,8 +241,17 @@ pub fn build_outcome(
     );
     let total_avail = avail.totals();
     let assignment = final_assignment(tasks, &total_avail, power);
-    let intermediate = intermediate_schedule(timeline, cores, ideal, &avail);
-    let schedule = final_schedule(tasks, timeline, cores, &avail, &assignment);
+    let intermediate =
+        intermediate_schedule_with(timeline, cores, ideal, &avail, &mut scratch.items);
+    let schedule = final_schedule_with(
+        tasks,
+        timeline,
+        cores,
+        &avail,
+        &assignment,
+        &mut scratch.items,
+        &mut scratch.scale,
+    );
     let works: Vec<f64> = tasks.tasks().iter().map(|t| t.wcec).collect();
     let final_energy = assignment.energy(&works, power);
     let intermediate_energy = intermediate.energy(power);

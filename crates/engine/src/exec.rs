@@ -1,0 +1,138 @@
+//! The per-instance pipeline: one [`ScheduleRequest`] in, one
+//! [`ScheduleOutcome`] out, all hot allocations drawn from a worker's
+//! [`Scratch`].
+
+use crate::config::{Algorithm, ScheduleRequest};
+use crate::outcome::{DiscreteSummary, OptSummary, ScheduleOutcome, SimVerdict};
+use esched_core::{
+    allocate_der_with, allocate_even, build_outcome_with, ideal_schedule, optimal_energy_in,
+    quantize_schedule, HeuristicOutcome, NecPoint, QuantizePolicy, Scratch,
+};
+use esched_sim::simulate;
+use esched_subinterval::Timeline;
+
+/// Run the full pipeline for one request.
+///
+/// Panics on a malformed request (`cores == 0`); the pool catches the
+/// unwind and reports the job as a failed outcome, so one bad instance
+/// never takes down a batch.
+pub fn execute(scratch: &mut Scratch, request: &ScheduleRequest) -> ScheduleOutcome {
+    assert!(
+        request.cores >= 1,
+        "ScheduleRequest requires at least one core"
+    );
+    let cfg = &request.config;
+    let _span = esched_obs::span!(
+        esched_obs::Level::Debug,
+        "engine_execute",
+        n_tasks = request.tasks.len(),
+        cores = request.cores,
+    );
+    // One timeline and one ideal solution feed every stage — the
+    // heuristics, the convex program, and the NEC normalization — instead
+    // of each rebuilding its own as the free functions do.
+    let timeline = Timeline::build_with(&request.tasks, &mut scratch.timeline);
+    let ideal = ideal_schedule(&request.tasks, &request.power);
+
+    let run_even = |scratch: &mut Scratch| -> HeuristicOutcome {
+        let avail = allocate_even(&request.tasks, &timeline, request.cores);
+        build_outcome_with(
+            &request.tasks,
+            &timeline,
+            request.cores,
+            &request.power,
+            &ideal,
+            avail,
+            scratch,
+        )
+    };
+    let run_der = |scratch: &mut Scratch| -> HeuristicOutcome {
+        let avail = allocate_der_with(&request.tasks, &timeline, request.cores, &ideal, scratch);
+        build_outcome_with(
+            &request.tasks,
+            &timeline,
+            request.cores,
+            &request.power,
+            &ideal,
+            avail,
+            scratch,
+        )
+    };
+
+    let chosen = match cfg.algorithm {
+        Algorithm::Der => run_der(scratch),
+        Algorithm::Even => run_even(scratch),
+    };
+
+    let (opt, nec) = match cfg.solver {
+        Some(kind) => {
+            // NEC normalizes *both* heuristics, so run the one not chosen
+            // above as well.
+            let other = match cfg.algorithm {
+                Algorithm::Der => run_even(scratch),
+                Algorithm::Even => run_der(scratch),
+            };
+            let (even, der) = match cfg.algorithm {
+                Algorithm::Der => (&other, &chosen),
+                Algorithm::Even => (&chosen, &other),
+            };
+            let sol = optimal_energy_in(
+                &request.tasks,
+                &timeline,
+                request.cores,
+                &request.power,
+                &cfg.solve_options,
+                kind,
+            );
+            let e = sol.energy;
+            let nec = NecPoint {
+                ideal: ideal.energy / e,
+                i1: even.intermediate_energy / e,
+                f1: even.final_energy / e,
+                i2: der.intermediate_energy / e,
+                f2: der.final_energy / e,
+                opt_energy: e,
+            };
+            let opt = OptSummary {
+                solver: kind.name(),
+                energy: sol.energy,
+                gap: sol.gap,
+                iters: sol.iters,
+                converged: sol.telemetry.converged,
+                telemetry: cfg.telemetry.then_some(sol.telemetry),
+            };
+            (Some(opt), Some(nec))
+        }
+        None => (None, None),
+    };
+    scratch.timeline.recycle(timeline);
+
+    let sim = cfg.sim_verify.then(|| {
+        let report = simulate(&chosen.schedule, &request.tasks, &request.power);
+        SimVerdict {
+            clean: report.is_clean(),
+            deadline_misses: report.deadline_misses.len(),
+            conflicts: report.conflicts.len(),
+            energy: report.energy,
+        }
+    });
+    let discrete = cfg.discrete.as_ref().map(|table| {
+        let out = quantize_schedule(&chosen.schedule, table, QuantizePolicy::NextUp);
+        DiscreteSummary {
+            energy: out.energy,
+            misses: out.misses.len(),
+            feasible: out.feasible,
+        }
+    });
+
+    ScheduleOutcome {
+        algorithm: cfg.algorithm,
+        energy: chosen.final_energy,
+        intermediate_energy: chosen.intermediate_energy,
+        schedule: chosen.schedule,
+        nec,
+        opt,
+        sim,
+        discrete,
+    }
+}

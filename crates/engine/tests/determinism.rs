@@ -1,0 +1,63 @@
+//! The engine's batch output is a pure function of the batch: byte-for-byte
+//! identical `ScheduleOutcome` JSON regardless of worker count or steal
+//! interleaving. CI re-runs this file under `ESCHED_ENGINE_THREADS=1,4,8`.
+
+use esched_engine::{Engine, EngineConfig, ScheduleRequest};
+use esched_obs::json::ToJson;
+use esched_opt::{SolveOptions, SolverKind};
+use esched_types::PolynomialPower;
+use esched_workload::{GeneratorConfig, WorkloadGenerator};
+
+/// A batch exercising the full pipeline: heuristics, E^OPT solve (NEC),
+/// and a simulator cross-check, over seeded paper-style workloads.
+fn requests() -> Vec<ScheduleRequest> {
+    let config = EngineConfig::new()
+        .with_solver(SolverKind::ProjectedGradient)
+        .with_solve_options(SolveOptions::fast())
+        .with_sim_verify(true);
+    (0..24)
+        .map(|k| {
+            let mut gen = WorkloadGenerator::new(
+                GeneratorConfig::paper_default().with_tasks(10),
+                9000 + k as u64,
+            );
+            ScheduleRequest::new(gen.generate(), 4, PolynomialPower::paper(3.0, 0.1))
+                .with_config(config.clone())
+        })
+        .collect()
+}
+
+fn batch_json(engine: &Engine) -> Vec<String> {
+    engine
+        .run_batch(&requests())
+        .into_iter()
+        .map(|r| r.expect("no job panicked").to_json().to_string())
+        .collect()
+}
+
+#[test]
+fn outcome_json_is_identical_across_worker_counts() {
+    let serial = batch_json(&Engine::with_threads(1));
+    assert_eq!(serial.len(), 24);
+    for threads in [4, 8] {
+        assert_eq!(
+            batch_json(&Engine::with_threads(threads)),
+            serial,
+            "outcome JSON diverged at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn env_sized_engine_matches_serial() {
+    // `Engine::new` honours ESCHED_ENGINE_THREADS; CI sets it to 1, 4,
+    // and 8 in turn, so this pins determinism at the env-selected size.
+    let serial = batch_json(&Engine::with_threads(1));
+    assert_eq!(batch_json(&Engine::new()), serial);
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    let engine = Engine::new();
+    assert_eq!(batch_json(&engine), batch_json(&engine));
+}

@@ -1,0 +1,79 @@
+//! Panic isolation: one poisoned job in a batch is reported as a failed
+//! outcome at its index without deadlocking the pool or losing the rest
+//! of the batch.
+
+use esched_engine::{Engine, ScheduleRequest};
+use esched_types::{PolynomialPower, TaskSet};
+use std::sync::Once;
+
+/// Silence the default panic hook once per test binary so the
+/// intentionally-poisoned jobs don't spray backtraces over the output.
+fn quiet_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| std::panic::set_hook(Box::new(|_| {})));
+}
+
+fn good_request() -> ScheduleRequest {
+    ScheduleRequest::new(
+        TaskSet::from_triples(&[(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)]),
+        2,
+        PolynomialPower::cubic(),
+    )
+}
+
+#[test]
+fn poisoned_request_fails_alone() {
+    quiet_panics();
+    let mut requests: Vec<ScheduleRequest> = (0..8).map(|_| good_request()).collect();
+    // cores == 0 trips the `execute` precondition assert → job panic.
+    requests[3].cores = 0;
+    for threads in [1, 4] {
+        let out = Engine::with_threads(threads).run_batch(&requests);
+        assert_eq!(out.len(), 8);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let e = r.as_ref().expect_err("poisoned job must fail");
+                assert_eq!(e.index, 3);
+                assert!(
+                    e.message.contains("at least one core"),
+                    "unexpected panic message: {}",
+                    e.message
+                );
+            } else {
+                let o = r.as_ref().unwrap_or_else(|e| panic!("job {i} failed: {e}"));
+                assert!(o.energy > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_map_keeps_draining_after_panics() {
+    quiet_panics();
+    let items: Vec<i64> = (0..32).collect();
+    let out = Engine::with_threads(4).batch_map(items, |_scratch, x| {
+        assert!(x % 5 != 3, "boom on {x}");
+        x * 2
+    });
+    assert_eq!(out.len(), 32);
+    for (i, r) in out.into_iter().enumerate() {
+        if i % 5 == 3 {
+            let e = r.expect_err("job should have panicked");
+            assert_eq!(e.index, i);
+            assert!(e.message.contains("boom"), "message: {}", e.message);
+        } else {
+            assert_eq!(r.expect("clean job"), 2 * i as i64);
+        }
+    }
+}
+
+#[test]
+fn single_run_reports_panic_as_error() {
+    quiet_panics();
+    let mut request = good_request();
+    request.cores = 0;
+    let err = Engine::with_threads(1)
+        .run(&request)
+        .expect_err("cores == 0 must fail");
+    assert_eq!(err.index, 0);
+}

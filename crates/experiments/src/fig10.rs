@@ -2,10 +2,9 @@
 //! 40}` (`α = 3`, `p₀ = 0.2`, `m = 4`, intensity uniform `[0.1, 1]`,
 //! 100 trials/point).
 
-use crate::harness::{nec_stats_reported, TrialSpec};
-use crate::report::{nec_csv_with_std, nec_table, write_artifact};
+use crate::harness::{ExperimentSpec, SweepPoint};
 use esched_core::NecPoint;
-use esched_obs::{RunReport, Value};
+use esched_obs::RunReport;
 use esched_types::PolynomialPower;
 use esched_workload::{GeneratorConfig, IntensityDist};
 use std::path::Path;
@@ -13,10 +12,31 @@ use std::path::Path;
 /// The swept task counts.
 pub const TASK_COUNTS: [usize; 8] = [5, 10, 15, 20, 25, 30, 35, 40];
 
+/// The sweep as a generic [`ExperimentSpec`].
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig10",
+        table_x: "tasks",
+        csv_x: "tasks",
+        title: "Figure 10 — NEC vs task count (alpha=3, p0=0.2, m=4",
+        points: TASK_COUNTS
+            .into_iter()
+            .map(|n| SweepPoint {
+                x: n.to_string(),
+                tag: format!("tasks={n}"),
+                cores: 4,
+                power: PolynomialPower::paper(3.0, 0.2),
+                config: GeneratorConfig::paper_default()
+                    .with_tasks(n)
+                    .with_intensity(IntensityDist::Uniform { lo: 0.1, hi: 1.0 }),
+            })
+            .collect(),
+    }
+}
+
 /// Run the sweep; returns `(x labels, NEC rows)`.
 pub fn run_stats(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
-    let (xs, rows, stds, _) = run_stats_reported(trials, base_seed);
-    (xs, rows, stds)
+    spec().run_stats(trials, base_seed)
 }
 
 /// [`run_stats`] that also assembles the per-trial [`RunReport`].
@@ -24,47 +44,17 @@ pub fn run_stats_reported(
     trials: usize,
     base_seed: u64,
 ) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>, RunReport) {
-    let mut report = RunReport::new("fig10")
-        .with_meta("trials_per_point", Value::Num(trials as f64))
-        .with_meta("base_seed", Value::Num(base_seed as f64));
-    let mut xs = Vec::new();
-    let mut rows = Vec::new();
-    let mut stds = Vec::new();
-    for n in TASK_COUNTS {
-        let spec = TrialSpec {
-            cores: 4,
-            power: PolynomialPower::paper(3.0, 0.2),
-            config: GeneratorConfig::paper_default()
-                .with_tasks(n)
-                .with_intensity(IntensityDist::Uniform { lo: 0.1, hi: 1.0 }),
-            trials,
-            base_seed,
-        };
-        xs.push(n.to_string());
-        let (mean, std) = nec_stats_reported(&spec, &format!("tasks={n}"), &mut report);
-        rows.push(mean);
-        stds.push(std);
-    }
-    (xs, rows, stds, report)
+    spec().run_stats_reported(trials, base_seed)
 }
 
 /// Run the sweep; returns `(x labels, mean NEC rows)`.
 pub fn run(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>) {
-    let (xs, rows, _) = run_stats(trials, base_seed);
-    (xs, rows)
+    spec().run(trials, base_seed)
 }
 
 /// Run, print, and write artifacts.
 pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
-    let (xs, rows, stds, report) = run_stats_reported(trials, base_seed);
-    let table = nec_table("tasks", &xs, &rows);
-    let _ = write_artifact(
-        outdir,
-        "fig10.csv",
-        &nec_csv_with_std("tasks", &xs, &rows, &stds),
-    );
-    let _ = report.write_to_dir(outdir);
-    format!("Figure 10 — NEC vs task count (alpha=3, p0=0.2, m=4, {trials} trials)\n{table}")
+    spec().run_and_report(trials, base_seed, outdir)
 }
 
 #[cfg(test)]
@@ -74,6 +64,7 @@ mod tests {
     #[test]
     fn eight_counts_are_swept() {
         assert_eq!(TASK_COUNTS.len(), 8);
+        assert_eq!(spec().points.len(), 8);
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Figure 6 — NEC vs. static power `p₀ ∈ {0, 0.02, …, 0.20}`
 //! (`α = 3`, `m = 4`, `n = 20`, intensity ladder, 100 trials/point).
 
-use crate::harness::{nec_stats_reported, TrialSpec};
-use crate::report::{nec_csv_with_std, nec_table, write_artifact};
+use crate::harness::{ExperimentSpec, SweepPoint};
 use esched_core::NecPoint;
-use esched_obs::{RunReport, Value};
+use esched_obs::RunReport;
 use esched_types::PolynomialPower;
 use esched_workload::GeneratorConfig;
 use std::path::Path;
@@ -14,10 +13,29 @@ pub fn p0_values() -> Vec<f64> {
     (0..=10).map(|k| 0.02 * k as f64).collect()
 }
 
+/// The sweep as a generic [`ExperimentSpec`].
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig6",
+        table_x: "p0",
+        csv_x: "p0",
+        title: "Figure 6 — NEC vs static power (alpha=3, m=4, n=20",
+        points: p0_values()
+            .into_iter()
+            .map(|p0| SweepPoint {
+                x: format!("{p0:.2}"),
+                tag: format!("p0={p0:.2}"),
+                cores: 4,
+                power: PolynomialPower::paper(3.0, p0),
+                config: GeneratorConfig::paper_default(),
+            })
+            .collect(),
+    }
+}
+
 /// Run the sweep; returns `(x labels, NEC rows)`.
 pub fn run_stats(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
-    let (xs, rows, stds, _) = run_stats_reported(trials, base_seed);
-    (xs, rows, stds)
+    spec().run_stats(trials, base_seed)
 }
 
 /// [`run_stats`] that also assembles the per-trial [`RunReport`].
@@ -25,45 +43,17 @@ pub fn run_stats_reported(
     trials: usize,
     base_seed: u64,
 ) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>, RunReport) {
-    let mut report = RunReport::new("fig6")
-        .with_meta("trials_per_point", Value::Num(trials as f64))
-        .with_meta("base_seed", Value::Num(base_seed as f64));
-    let mut xs = Vec::new();
-    let mut rows = Vec::new();
-    let mut stds = Vec::new();
-    for p0 in p0_values() {
-        let spec = TrialSpec {
-            cores: 4,
-            power: PolynomialPower::paper(3.0, p0),
-            config: GeneratorConfig::paper_default(),
-            trials,
-            base_seed,
-        };
-        xs.push(format!("{p0:.2}"));
-        let (mean, std) = nec_stats_reported(&spec, &format!("p0={p0:.2}"), &mut report);
-        rows.push(mean);
-        stds.push(std);
-    }
-    (xs, rows, stds, report)
+    spec().run_stats_reported(trials, base_seed)
 }
 
 /// Run the sweep; returns `(x labels, mean NEC rows)`.
 pub fn run(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>) {
-    let (xs, rows, _) = run_stats(trials, base_seed);
-    (xs, rows)
+    spec().run(trials, base_seed)
 }
 
 /// Run, print, and write artifacts.
 pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
-    let (xs, rows, stds, report) = run_stats_reported(trials, base_seed);
-    let table = nec_table("p0", &xs, &rows);
-    let _ = write_artifact(
-        outdir,
-        "fig6.csv",
-        &nec_csv_with_std("p0", &xs, &rows, &stds),
-    );
-    let _ = report.write_to_dir(outdir);
-    format!("Figure 6 — NEC vs static power (alpha=3, m=4, n=20, {trials} trials)\n{table}")
+    spec().run_and_report(trials, base_seed, outdir)
 }
 
 #[cfg(test)]
@@ -75,6 +65,7 @@ mod tests {
         assert_eq!(p0_values().len(), 11);
         assert_eq!(p0_values()[0], 0.0);
         assert!((p0_values()[10] - 0.2).abs() < 1e-12);
+        assert_eq!(spec().points.len(), 11);
     }
 
     #[test]

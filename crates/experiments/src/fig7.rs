@@ -1,10 +1,9 @@
 //! Figure 7 — NEC vs. dynamic exponent `α ∈ {2.0, 2.1, …, 3.0}`
 //! (`p₀ = 0`, `m = 4`, `n = 20`, intensity ladder, 100 trials/point).
 
-use crate::harness::{nec_stats_reported, TrialSpec};
-use crate::report::{nec_csv_with_std, nec_table, write_artifact};
+use crate::harness::{ExperimentSpec, SweepPoint};
 use esched_core::NecPoint;
-use esched_obs::{RunReport, Value};
+use esched_obs::RunReport;
 use esched_types::PolynomialPower;
 use esched_workload::GeneratorConfig;
 use std::path::Path;
@@ -14,10 +13,29 @@ pub fn alpha_values() -> Vec<f64> {
     (0..=10).map(|k| 2.0 + 0.1 * k as f64).collect()
 }
 
+/// The sweep as a generic [`ExperimentSpec`].
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig7",
+        table_x: "alpha",
+        csv_x: "alpha",
+        title: "Figure 7 — NEC vs alpha (p0=0, m=4, n=20",
+        points: alpha_values()
+            .into_iter()
+            .map(|alpha| SweepPoint {
+                x: format!("{alpha:.1}"),
+                tag: format!("alpha={alpha:.1}"),
+                cores: 4,
+                power: PolynomialPower::paper(alpha, 0.0),
+                config: GeneratorConfig::paper_default(),
+            })
+            .collect(),
+    }
+}
+
 /// Run the sweep; returns `(x labels, NEC rows)`.
 pub fn run_stats(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
-    let (xs, rows, stds, _) = run_stats_reported(trials, base_seed);
-    (xs, rows, stds)
+    spec().run_stats(trials, base_seed)
 }
 
 /// [`run_stats`] that also assembles the per-trial [`RunReport`].
@@ -25,45 +43,17 @@ pub fn run_stats_reported(
     trials: usize,
     base_seed: u64,
 ) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>, RunReport) {
-    let mut report = RunReport::new("fig7")
-        .with_meta("trials_per_point", Value::Num(trials as f64))
-        .with_meta("base_seed", Value::Num(base_seed as f64));
-    let mut xs = Vec::new();
-    let mut rows = Vec::new();
-    let mut stds = Vec::new();
-    for alpha in alpha_values() {
-        let spec = TrialSpec {
-            cores: 4,
-            power: PolynomialPower::paper(alpha, 0.0),
-            config: GeneratorConfig::paper_default(),
-            trials,
-            base_seed,
-        };
-        xs.push(format!("{alpha:.1}"));
-        let (mean, std) = nec_stats_reported(&spec, &format!("alpha={alpha:.1}"), &mut report);
-        rows.push(mean);
-        stds.push(std);
-    }
-    (xs, rows, stds, report)
+    spec().run_stats_reported(trials, base_seed)
 }
 
 /// Run the sweep; returns `(x labels, mean NEC rows)`.
 pub fn run(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>) {
-    let (xs, rows, _) = run_stats(trials, base_seed);
-    (xs, rows)
+    spec().run(trials, base_seed)
 }
 
 /// Run, print, and write artifacts.
 pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
-    let (xs, rows, stds, report) = run_stats_reported(trials, base_seed);
-    let table = nec_table("alpha", &xs, &rows);
-    let _ = write_artifact(
-        outdir,
-        "fig7.csv",
-        &nec_csv_with_std("alpha", &xs, &rows, &stds),
-    );
-    let _ = report.write_to_dir(outdir);
-    format!("Figure 7 — NEC vs alpha (p0=0, m=4, n=20, {trials} trials)\n{table}")
+    spec().run_and_report(trials, base_seed, outdir)
 }
 
 #[cfg(test)]

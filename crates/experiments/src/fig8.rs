@@ -1,10 +1,9 @@
 //! Figure 8 — NEC vs. number of cores `m ∈ {2, 4, 6, 8, 10, 12}`
 //! (`α = 3`, `p₀ = 0.2`, `n = 20`, intensity ladder, 100 trials/point).
 
-use crate::harness::{nec_stats_reported, TrialSpec};
-use crate::report::{nec_csv_with_std, nec_table, write_artifact};
+use crate::harness::{ExperimentSpec, SweepPoint};
 use esched_core::NecPoint;
-use esched_obs::{RunReport, Value};
+use esched_obs::RunReport;
 use esched_types::PolynomialPower;
 use esched_workload::GeneratorConfig;
 use std::path::Path;
@@ -12,10 +11,29 @@ use std::path::Path;
 /// The swept core counts.
 pub const CORE_COUNTS: [usize; 6] = [2, 4, 6, 8, 10, 12];
 
+/// The sweep as a generic [`ExperimentSpec`].
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig8",
+        table_x: "cores",
+        csv_x: "cores",
+        title: "Figure 8 — NEC vs cores (alpha=3, p0=0.2, n=20",
+        points: CORE_COUNTS
+            .into_iter()
+            .map(|m| SweepPoint {
+                x: m.to_string(),
+                tag: format!("cores={m}"),
+                cores: m,
+                power: PolynomialPower::paper(3.0, 0.2),
+                config: GeneratorConfig::paper_default(),
+            })
+            .collect(),
+    }
+}
+
 /// Run the sweep; returns `(x labels, NEC rows)`.
 pub fn run_stats(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
-    let (xs, rows, stds, _) = run_stats_reported(trials, base_seed);
-    (xs, rows, stds)
+    spec().run_stats(trials, base_seed)
 }
 
 /// [`run_stats`] that also assembles the per-trial [`RunReport`].
@@ -23,45 +41,17 @@ pub fn run_stats_reported(
     trials: usize,
     base_seed: u64,
 ) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>, RunReport) {
-    let mut report = RunReport::new("fig8")
-        .with_meta("trials_per_point", Value::Num(trials as f64))
-        .with_meta("base_seed", Value::Num(base_seed as f64));
-    let mut xs = Vec::new();
-    let mut rows = Vec::new();
-    let mut stds = Vec::new();
-    for m in CORE_COUNTS {
-        let spec = TrialSpec {
-            cores: m,
-            power: PolynomialPower::paper(3.0, 0.2),
-            config: GeneratorConfig::paper_default(),
-            trials,
-            base_seed,
-        };
-        xs.push(m.to_string());
-        let (mean, std) = nec_stats_reported(&spec, &format!("cores={m}"), &mut report);
-        rows.push(mean);
-        stds.push(std);
-    }
-    (xs, rows, stds, report)
+    spec().run_stats_reported(trials, base_seed)
 }
 
 /// Run the sweep; returns `(x labels, mean NEC rows)`.
 pub fn run(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>) {
-    let (xs, rows, _) = run_stats(trials, base_seed);
-    (xs, rows)
+    spec().run(trials, base_seed)
 }
 
 /// Run, print, and write artifacts.
 pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
-    let (xs, rows, stds, report) = run_stats_reported(trials, base_seed);
-    let table = nec_table("cores", &xs, &rows);
-    let _ = write_artifact(
-        outdir,
-        "fig8.csv",
-        &nec_csv_with_std("cores", &xs, &rows, &stds),
-    );
-    let _ = report.write_to_dir(outdir);
-    format!("Figure 8 — NEC vs cores (alpha=3, p0=0.2, n=20, {trials} trials)\n{table}")
+    spec().run_and_report(trials, base_seed, outdir)
 }
 
 #[cfg(test)]

@@ -2,10 +2,9 @@
 //! `[0.1,1], [0.2,1], …, [1.0,1.0]` (`α = 3`, `p₀ = 0.2`, `m = 4`,
 //! `n = 20`, 100 trials/point).
 
-use crate::harness::{nec_stats_reported, TrialSpec};
-use crate::report::{nec_csv_with_std, nec_table, write_artifact};
+use crate::harness::{ExperimentSpec, SweepPoint};
 use esched_core::NecPoint;
-use esched_obs::{RunReport, Value};
+use esched_obs::RunReport;
 use esched_types::PolynomialPower;
 use esched_workload::{GeneratorConfig, IntensityDist};
 use std::path::Path;
@@ -15,10 +14,30 @@ pub fn intensity_lows() -> Vec<f64> {
     (1..=10).map(|k| 0.1 * k as f64).collect()
 }
 
+/// The sweep as a generic [`ExperimentSpec`].
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig9",
+        table_x: "intensity",
+        csv_x: "intensity_lo",
+        title: "Figure 9 — NEC vs intensity range (alpha=3, p0=0.2, m=4, n=20",
+        points: intensity_lows()
+            .into_iter()
+            .map(|lo| SweepPoint {
+                x: format!("[{lo:.1},1]"),
+                tag: format!("intensity_lo={lo:.1}"),
+                cores: 4,
+                power: PolynomialPower::paper(3.0, 0.2),
+                config: GeneratorConfig::paper_default()
+                    .with_intensity(IntensityDist::Uniform { lo, hi: 1.0 }),
+            })
+            .collect(),
+    }
+}
+
 /// Run the sweep; returns `(x labels, NEC rows)`.
 pub fn run_stats(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
-    let (xs, rows, stds, _) = run_stats_reported(trials, base_seed);
-    (xs, rows, stds)
+    spec().run_stats(trials, base_seed)
 }
 
 /// [`run_stats`] that also assembles the per-trial [`RunReport`].
@@ -26,48 +45,17 @@ pub fn run_stats_reported(
     trials: usize,
     base_seed: u64,
 ) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>, RunReport) {
-    let mut report = RunReport::new("fig9")
-        .with_meta("trials_per_point", Value::Num(trials as f64))
-        .with_meta("base_seed", Value::Num(base_seed as f64));
-    let mut xs = Vec::new();
-    let mut rows = Vec::new();
-    let mut stds = Vec::new();
-    for lo in intensity_lows() {
-        let spec = TrialSpec {
-            cores: 4,
-            power: PolynomialPower::paper(3.0, 0.2),
-            config: GeneratorConfig::paper_default()
-                .with_intensity(IntensityDist::Uniform { lo, hi: 1.0 }),
-            trials,
-            base_seed,
-        };
-        xs.push(format!("[{lo:.1},1]"));
-        let (mean, std) = nec_stats_reported(&spec, &format!("intensity_lo={lo:.1}"), &mut report);
-        rows.push(mean);
-        stds.push(std);
-    }
-    (xs, rows, stds, report)
+    spec().run_stats_reported(trials, base_seed)
 }
 
 /// Run the sweep; returns `(x labels, mean NEC rows)`.
 pub fn run(trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>) {
-    let (xs, rows, _) = run_stats(trials, base_seed);
-    (xs, rows)
+    spec().run(trials, base_seed)
 }
 
 /// Run, print, and write artifacts.
 pub fn run_and_report(trials: usize, base_seed: u64, outdir: &Path) -> String {
-    let (xs, rows, stds, report) = run_stats_reported(trials, base_seed);
-    let table = nec_table("intensity", &xs, &rows);
-    let _ = write_artifact(
-        outdir,
-        "fig9.csv",
-        &nec_csv_with_std("intensity_lo", &xs, &rows, &stds),
-    );
-    let _ = report.write_to_dir(outdir);
-    format!(
-        "Figure 9 — NEC vs intensity range (alpha=3, p0=0.2, m=4, n=20, {trials} trials)\n{table}"
-    )
+    spec().run_and_report(trials, base_seed, outdir)
 }
 
 #[cfg(test)]
@@ -77,6 +65,7 @@ mod tests {
     #[test]
     fn ten_ranges_are_swept() {
         assert_eq!(intensity_lows().len(), 10);
+        assert_eq!(spec().points.len(), 10);
     }
 
     #[test]

@@ -1,16 +1,26 @@
 //! Monte-Carlo driver shared by every experiment.
 //!
 //! Each figure point is the mean of `trials` independent task sets
-//! (the paper uses 100). Trials are embarrassingly parallel and run on a
-//! scoped thread pool; the per-trial seed is `base_seed + trial_index`,
-//! so results are bit-identical regardless of thread count or
-//! interleaving.
+//! (the paper uses 100). Trials are submitted as one batch to the
+//! `esched-engine` work-stealing pool; the per-trial seed is
+//! `base_seed + trial_index` and the engine indexes results by
+//! submission order, so results are bit-identical regardless of worker
+//! count or interleaving.
+//!
+//! The NEC sweep experiments (fig6–fig10) are all instances of one
+//! generic [`ExperimentSpec`]: a list of [`SweepPoint`]s (platform +
+//! workload distribution per x value) plus presentation labels. Each fig
+//! module now only declares its spec; the run/report plumbing lives here
+//! once.
 
-use esched_core::{evaluate_nec, evaluate_nec_full, mean_nec, NecPoint};
+use crate::report::{nec_csv_with_std, nec_table, write_artifact};
+use esched_core::{mean_nec, NecPoint};
+use esched_engine::{Engine, EngineConfig, ScheduleRequest};
 use esched_obs::{RunReport, TrialRecord, Value};
-use esched_opt::SolveOptions;
+use esched_opt::{SolveOptions, SolverKind};
 use esched_types::PolynomialPower;
 use esched_workload::{GeneratorConfig, WorkloadGenerator};
+use std::path::Path;
 
 /// Order-preserving parallel map over `0..n` on scoped threads. Static
 /// chunking is fine here: trials within an experiment have near-uniform
@@ -57,19 +67,43 @@ pub struct TrialSpec {
     pub base_seed: u64,
 }
 
-/// Mean NEC over the spec's trials (parallel).
+/// Build the engine requests for a spec's trials: trial `k` gets the task
+/// set generated from `base_seed + k` and a full-battery pipeline (DER
+/// schedule, fast `E^OPT` solve for NEC, optional sim cross-check).
+fn trial_requests(spec: &TrialSpec, sim_verify: bool) -> Vec<ScheduleRequest> {
+    let config = EngineConfig::new()
+        .with_solver(SolverKind::ProjectedGradient)
+        .with_solve_options(SolveOptions::fast())
+        .with_sim_verify(sim_verify);
+    (0..spec.trials)
+        .map(|k| {
+            let mut gen = WorkloadGenerator::new(spec.config, spec.base_seed + k as u64);
+            ScheduleRequest {
+                tasks: gen.generate(),
+                cores: spec.cores,
+                power: spec.power,
+                config: config.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Mean NEC over the spec's trials (engine batch).
 pub fn mean_nec_for(spec: &TrialSpec) -> NecPoint {
     nec_stats_for(spec).0
 }
 
-/// `(mean, sample std)` of the NEC over the spec's trials (parallel).
+/// `(mean, sample std)` of the NEC over the spec's trials (engine batch).
 pub fn nec_stats_for(spec: &TrialSpec) -> (NecPoint, NecPoint) {
-    let opts = SolveOptions::fast();
-    let points: Vec<NecPoint> = parallel_map(spec.trials, |k| {
-        let mut gen = WorkloadGenerator::new(spec.config, spec.base_seed + k as u64);
-        let tasks = gen.generate();
-        evaluate_nec(&tasks, spec.cores, &spec.power, &opts)
-    });
+    let outcomes = Engine::new().run_batch(&trial_requests(spec, false));
+    let points: Vec<NecPoint> = outcomes
+        .into_iter()
+        .map(|r| {
+            r.expect("trial pipeline panicked")
+                .nec
+                .expect("solver configured")
+        })
+        .collect();
     (mean_nec(&points), esched_core::std_nec(&points))
 }
 
@@ -83,34 +117,123 @@ pub fn nec_stats_reported(
     point: &str,
     report: &mut RunReport,
 ) -> (NecPoint, NecPoint) {
-    let opts = SolveOptions::fast();
-    let results: Vec<(NecPoint, TrialRecord)> = parallel_map(spec.trials, |k| {
+    let outcomes = Engine::new().run_batch(&trial_requests(spec, true));
+    let mut points: Vec<NecPoint> = Vec::with_capacity(outcomes.len());
+    let base = report.trials.len() as u64;
+    for (k, result) in outcomes.into_iter().enumerate() {
+        let outcome = result.expect("trial pipeline panicked");
+        let nec = outcome.nec.expect("solver configured");
+        let opt = outcome.opt.as_ref().expect("solver configured");
+        let t = opt.telemetry.expect("telemetry enabled by default");
         let seed = spec.base_seed + k as u64;
-        let mut gen = WorkloadGenerator::new(spec.config, seed);
-        let tasks = gen.generate();
-        let eval = evaluate_nec_full(&tasks, spec.cores, &spec.power, &opts);
-        let sim = esched_sim::simulate(&eval.f2_schedule, &tasks, &spec.power);
-        let t = &eval.opt_telemetry;
-        let mut rec = TrialRecord::new(k as u64, seed);
+        let mut rec = TrialRecord::new(base + k as u64, seed);
         rec.solver_iters = t.iters as u64;
         rec.gap_evals = t.gap_evals as u64;
         rec.converged = t.converged;
         rec.final_gap = t.final_gap;
         rec.solve_wall_s = t.wall_s;
-        rec.sim_clean = Some(sim.is_clean());
+        rec.sim_clean = outcome.sim.map(|s| s.clean);
         rec.extra
             .push(("point".to_string(), Value::Str(point.to_string())));
-        rec.extra
-            .push(("nec_f2".to_string(), Value::Num(eval.nec.f2)));
-        (eval.nec, rec)
-    });
-    let points: Vec<NecPoint> = results.iter().map(|(p, _)| *p).collect();
-    let base = report.trials.len() as u64;
-    for (_, mut rec) in results {
-        rec.trial += base;
+        rec.extra.push(("nec_f2".to_string(), Value::Num(nec.f2)));
         report.push(rec);
+        points.push(nec);
     }
     (mean_nec(&points), esched_core::std_nec(&points))
+}
+
+/// One x value of a sweep experiment: its labels plus the platform and
+/// workload distribution to draw trials from.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// x-axis label in tables and CSVs (e.g. `"0.10"`, `"[0.3,1]"`).
+    pub x: String,
+    /// The `point` tag written into each trial record (e.g. `"p0=0.10"`).
+    pub tag: String,
+    /// Number of cores.
+    pub cores: usize,
+    /// Platform power model.
+    pub power: PolynomialPower,
+    /// Workload distribution.
+    pub config: GeneratorConfig,
+}
+
+/// A whole NEC sweep experiment (one figure): presentation labels plus
+/// the sweep points. The run/report driver shared by fig6–fig10.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Short name: the [`RunReport`] name and the CSV file stem
+    /// (e.g. `"fig6"`).
+    pub name: &'static str,
+    /// x column label in the printed table.
+    pub table_x: &'static str,
+    /// x column label in the CSV (usually equals `table_x`).
+    pub csv_x: &'static str,
+    /// Title up to (but excluding) the trailing `", {trials} trials)"`.
+    pub title: &'static str,
+    /// The swept settings, in x order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl ExperimentSpec {
+    /// Run every point's trials through the engine; returns
+    /// `(x labels, mean rows, std rows, per-trial report)`.
+    pub fn run_stats_reported(
+        &self,
+        trials: usize,
+        base_seed: u64,
+    ) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>, RunReport) {
+        let mut report = RunReport::new(self.name)
+            .with_meta("trials_per_point", Value::Num(trials as f64))
+            .with_meta("base_seed", Value::Num(base_seed as f64));
+        let mut xs = Vec::new();
+        let mut rows = Vec::new();
+        let mut stds = Vec::new();
+        for point in &self.points {
+            let spec = TrialSpec {
+                cores: point.cores,
+                power: point.power,
+                config: point.config,
+                trials,
+                base_seed,
+            };
+            xs.push(point.x.clone());
+            let (mean, std) = nec_stats_reported(&spec, &point.tag, &mut report);
+            rows.push(mean);
+            stds.push(std);
+        }
+        (xs, rows, stds, report)
+    }
+
+    /// Run the sweep; returns `(x labels, mean rows, std rows)`.
+    pub fn run_stats(
+        &self,
+        trials: usize,
+        base_seed: u64,
+    ) -> (Vec<String>, Vec<NecPoint>, Vec<NecPoint>) {
+        let (xs, rows, stds, _) = self.run_stats_reported(trials, base_seed);
+        (xs, rows, stds)
+    }
+
+    /// Run the sweep; returns `(x labels, mean rows)`.
+    pub fn run(&self, trials: usize, base_seed: u64) -> (Vec<String>, Vec<NecPoint>) {
+        let (xs, rows, _) = self.run_stats(trials, base_seed);
+        (xs, rows)
+    }
+
+    /// Run, render the table, and write `<name>.csv` plus the run report
+    /// to `outdir`.
+    pub fn run_and_report(&self, trials: usize, base_seed: u64, outdir: &Path) -> String {
+        let (xs, rows, stds, report) = self.run_stats_reported(trials, base_seed);
+        let table = nec_table(self.table_x, &xs, &rows);
+        let _ = write_artifact(
+            outdir,
+            &format!("{}.csv", self.name),
+            &nec_csv_with_std(self.csv_x, &xs, &rows, &stds),
+        );
+        let _ = report.write_to_dir(outdir);
+        format!("{}, {trials} trials)\n{table}", self.title)
+    }
 }
 
 /// Run a closure once per trial in parallel and collect the results —

@@ -10,10 +10,7 @@
 
 use crate::report::write_artifact;
 use esched_obs::{RunReport, TrialRecord, Value};
-use esched_opt::{
-    kkt_report, solve_barrier, solve_block_descent, solve_fista, solve_frank_wolfe, solve_pgd,
-    EnergyProgram, SolveOptions, SolverTelemetry,
-};
+use esched_opt::{kkt_report, EnergyProgram, SolveOptions, SolverKind, SolverTelemetry};
 use esched_subinterval::Timeline;
 use esched_types::PolynomialPower;
 use esched_workload::{GeneratorConfig, WorkloadGenerator};
@@ -51,35 +48,13 @@ pub fn run(sizes: &[usize], seed: u64) -> Vec<SolverRun> {
         let tl = Timeline::build(&tasks);
         let ep = EnergyProgram::new(&tasks, &tl, 4, PolynomialPower::paper(3.0, 0.1));
         let opts = SolveOptions::default();
-        type SolverFn = fn(&EnergyProgram, Vec<f64>, &SolveOptions) -> esched_opt::SolveResult;
-        fn barrier_adapter(
-            ep: &EnergyProgram,
-            _x0: Vec<f64>,
-            opts: &SolveOptions,
-        ) -> esched_opt::SolveResult {
-            solve_barrier(ep, opts)
-        }
-        fn block_adapter(
-            ep: &EnergyProgram,
-            _x0: Vec<f64>,
-            opts: &SolveOptions,
-        ) -> esched_opt::SolveResult {
-            solve_block_descent(ep, opts)
-        }
-        let solvers: [(&'static str, SolverFn); 5] = [
-            ("pgd", solve_pgd),
-            ("fista", solve_fista),
-            ("frank_wolfe", solve_frank_wolfe),
-            ("interior_point", barrier_adapter),
-            ("block_descent", block_adapter),
-        ];
-        for (name, solver) in solvers {
+        for kind in SolverKind::ALL {
             let t0 = Instant::now();
-            let r = solver(&ep, ep.initial_point(), &opts);
+            let r = kind.solve(&ep, &opts);
             let seconds = t0.elapsed().as_secs_f64();
             let kkt = kkt_report(&ep, &r.x);
             out.push(SolverRun {
-                name,
+                name: kind.name(),
                 tasks: n,
                 objective: r.objective,
                 gap: r.gap,

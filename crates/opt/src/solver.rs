@@ -1,4 +1,8 @@
-//! Shared solver options and result types for the energy-program solvers.
+//! Shared solver options and result types for the energy-program solvers,
+//! plus [`SolverKind`] — the by-value handle that dispatches to the five
+//! entry points so callers can pick a solver without function pointers.
+
+use crate::energy_program::EnergyProgram;
 
 /// Options shared by all first-order solvers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +57,74 @@ impl SolveOptions {
             stall_iters: 50,
             gap_check_every: 20,
         }
+    }
+}
+
+/// Which method solves the energy program.
+///
+/// The five free functions ([`crate::solve_pgd`], [`crate::solve_fista`],
+/// [`crate::solve_frank_wolfe`], [`crate::solve_barrier`],
+/// [`crate::solve_block_descent`]) remain the low-level entry points;
+/// [`SolverKind::solve`] dispatches to them so configuration surfaces
+/// (`EngineConfig`, the solver study, CLI flags) can select a solver by
+/// value instead of threading function pointers and adapters around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Projected gradient descent with backtracking (default).
+    #[default]
+    ProjectedGradient,
+    /// FISTA with adaptive restart.
+    Fista,
+    /// Frank–Wolfe with golden-section line search.
+    FrankWolfe,
+    /// Primal log-barrier interior point (the paper's named method).
+    InteriorPoint,
+    /// Gauss–Seidel block-coordinate descent with exact waterfilling
+    /// block solves.
+    BlockDescent,
+}
+
+impl SolverKind {
+    /// All five kinds, in study order.
+    pub const ALL: [SolverKind; 5] = [
+        SolverKind::ProjectedGradient,
+        SolverKind::Fista,
+        SolverKind::FrankWolfe,
+        SolverKind::InteriorPoint,
+        SolverKind::BlockDescent,
+    ];
+
+    /// Solve `ep` with this method. First-order methods start from
+    /// [`EnergyProgram::initial_point`]; the barrier and block-descent
+    /// solvers choose their own starting points.
+    pub fn solve(&self, ep: &EnergyProgram, opts: &SolveOptions) -> SolveResult {
+        match self {
+            SolverKind::ProjectedGradient => {
+                crate::gradient::solve_pgd(ep, ep.initial_point(), opts)
+            }
+            SolverKind::Fista => crate::fista::solve_fista(ep, ep.initial_point(), opts),
+            SolverKind::FrankWolfe => {
+                crate::frank_wolfe::solve_frank_wolfe(ep, ep.initial_point(), opts)
+            }
+            SolverKind::InteriorPoint => crate::barrier::solve_barrier(ep, opts),
+            SolverKind::BlockDescent => crate::block_descent::solve_block_descent(ep, opts),
+        }
+    }
+
+    /// Short stable name, matching the solver-study and report labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolverKind::ProjectedGradient => "pgd",
+            SolverKind::Fista => "fista",
+            SolverKind::FrankWolfe => "frank_wolfe",
+            SolverKind::InteriorPoint => "interior_point",
+            SolverKind::BlockDescent => "block_descent",
+        }
+    }
+
+    /// Inverse of [`SolverKind::name`] (`None` for unknown names).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
     }
 }
 

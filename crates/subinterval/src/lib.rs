@@ -19,4 +19,4 @@ pub use analysis::{
     feasibility_at, load_profile, min_feasible_frequency, Infeasibility, LoadProfile,
 };
 pub use boundaries::{boundary_points, covering_range, subintervals_of};
-pub use timeline::{Subinterval, Timeline};
+pub use timeline::{Subinterval, Timeline, TimelineScratch};

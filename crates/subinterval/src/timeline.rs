@@ -6,7 +6,7 @@
 //! variable layout — is indexed by `(task, subinterval)` pairs taken from a
 //! `Timeline`.
 
-use crate::boundaries::{boundary_points, covering_range, subintervals_of};
+use crate::boundaries::covering_range;
 use esched_types::task::{TaskId, TaskSet};
 use esched_types::time::Interval;
 
@@ -53,6 +53,36 @@ pub struct Timeline {
     spans: Vec<(usize, usize)>,
 }
 
+/// Reusable buffers for [`Timeline::build_with`].
+///
+/// A timeline build is the first allocation of every per-instance pipeline
+/// run: a boundary vector, a subinterval vector, and one overlap vector
+/// per subinterval. Batch executors (the `esched-engine` workers) keep one
+/// scratch per worker, build each instance's timeline out of it, and
+/// [`recycle`](TimelineScratch::recycle) the timeline when the instance is
+/// done — so after the first few instances the build allocates nothing.
+#[derive(Debug, Default)]
+pub struct TimelineScratch {
+    boundaries: Vec<f64>,
+    subintervals: Vec<Subinterval>,
+    spans: Vec<(usize, usize)>,
+}
+
+impl TimelineScratch {
+    /// Empty scratch (the first build through it allocates normally).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a finished [`Timeline`] apart and keep its buffers for the
+    /// next [`Timeline::build_with`] call.
+    pub fn recycle(&mut self, timeline: Timeline) {
+        self.boundaries = timeline.boundaries;
+        self.subintervals = timeline.subintervals;
+        self.spans = timeline.spans;
+    }
+}
+
 impl Timeline {
     /// Decompose `tasks` into subintervals and compute overlap sets.
     ///
@@ -73,23 +103,42 @@ impl Timeline {
     /// assert_eq!(tl.heavy_indices(2), vec![2]);
     /// ```
     pub fn build(tasks: &TaskSet) -> Self {
+        Self::build_with(tasks, &mut TimelineScratch::new())
+    }
+
+    /// [`Timeline::build`] reusing the buffers held by `scratch`.
+    ///
+    /// The returned timeline owns its storage as usual; hand it back via
+    /// [`TimelineScratch::recycle`] when the instance is finished to make
+    /// the next build through the same scratch allocation-free.
+    pub fn build_with(tasks: &TaskSet, scratch: &mut TimelineScratch) -> Self {
         let _span = esched_obs::span!(
             esched_obs::Level::Debug,
             "timeline_build",
             n_tasks = tasks.len()
         );
-        let boundaries = boundary_points(tasks);
-        let intervals = subintervals_of(&boundaries);
-        let mut subintervals: Vec<Subinterval> = intervals
-            .into_iter()
-            .enumerate()
-            .map(|(index, interval)| Subinterval {
+        let mut boundaries = std::mem::take(&mut scratch.boundaries);
+        tasks.event_points_into(&mut boundaries);
+        let n_subs = boundaries.len().saturating_sub(1);
+        let mut subintervals = std::mem::take(&mut scratch.subintervals);
+        // Reuse surviving subintervals (and their overlap vectors) in
+        // place; only the tail beyond the recycled length allocates.
+        subintervals.truncate(n_subs);
+        for (index, sub) in subintervals.iter_mut().enumerate() {
+            sub.index = index;
+            sub.interval = Interval::new(boundaries[index], boundaries[index + 1]);
+            sub.overlapping.clear();
+        }
+        for index in subintervals.len()..n_subs {
+            subintervals.push(Subinterval {
                 index,
-                interval,
+                interval: Interval::new(boundaries[index], boundaries[index + 1]),
                 overlapping: Vec::new(),
-            })
-            .collect();
-        let mut spans = Vec::with_capacity(tasks.len());
+            });
+        }
+        let mut spans = std::mem::take(&mut scratch.spans);
+        spans.clear();
+        spans.reserve(tasks.len());
         for (id, t) in tasks.iter() {
             let range = covering_range(&boundaries, t.release, t.deadline);
             spans.push((range.start, range.end));

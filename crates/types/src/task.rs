@@ -227,13 +227,21 @@ impl TaskSet {
     /// All distinct release/deadline event points, sorted ascending —
     /// the `t_1 < t_2 < … < t_N` boundary set of Section IV.
     pub fn event_points(&self) -> Vec<f64> {
-        let mut pts: Vec<f64> = self
-            .tasks
-            .iter()
-            .flat_map(|t| [t.release, t.deadline])
-            .collect();
-        sort_dedup_times(&mut pts);
+        let mut pts = Vec::new();
+        self.event_points_into(&mut pts);
         pts
+    }
+
+    /// [`Self::event_points`] into a caller-owned buffer (cleared first),
+    /// so batch pipelines can reuse one allocation across task sets.
+    pub fn event_points_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(2 * self.tasks.len());
+        for t in &self.tasks {
+            out.push(t.release);
+            out.push(t.deadline);
+        }
+        sort_dedup_times(out);
     }
 
     /// Work released in `[t1, t2]`: the paper's `C(t1, t2)` — total

@@ -1,5 +1,6 @@
 //! Quickstart: schedule a handful of aperiodic tasks on a multi-core
-//! processor and compare the heuristics against the optimum.
+//! processor through the execution engine and compare the heuristics
+//! against the optimum.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -30,52 +31,46 @@ fn main() {
     let cores = 4;
     let power = PolynomialPower::cubic();
 
-    // The paper's headline heuristic: DER-based allocation + final
-    // frequency refinement.
-    let der = der_schedule(&tasks, cores, &power);
-    println!(
-        "DER-based schedule (S^F2): energy = {:.4}",
-        der.final_energy
+    // One ScheduleRequest runs the whole pipeline: the paper's headline
+    // heuristic (DER-based allocation + final frequency refinement), the
+    // convex-programming optimum E^OPT as the yardstick, and a
+    // discrete-event simulation of the resulting schedule.
+    let request = ScheduleRequest::new(tasks.clone(), cores, power).with_config(
+        EngineConfig::new()
+            .with_solver(SolverKind::default())
+            .with_sim_verify(true),
     );
-    println!("{}", ascii_gantt(&der.schedule, 0.0, 22.0, 66));
+    let outcome = Engine::new().run(&request).expect("pipeline");
 
-    // The simpler evenly allocating method.
-    let even = even_schedule(&tasks, cores, &power);
+    println!("DER-based schedule (S^F2): energy = {:.4}", outcome.energy);
+    println!("{}", ascii_gantt(&outcome.schedule, 0.0, 22.0, 66));
+
+    // The engine normalizes both heuristics against E^OPT (the NEC).
+    let nec = outcome.nec.expect("solver was configured");
+    let opt = outcome.opt.as_ref().expect("solver was configured");
     println!(
-        "Even-allocation schedule (S^F1): energy = {:.4}",
-        even.final_energy
+        "Optimal energy (E^OPT):          energy = {:.4} (gap {:.2e}, {})",
+        opt.energy, opt.gap, opt.solver,
     );
+    println!("NEC: F2 = {:.4}, F1 = {:.4}", nec.f2, nec.f1);
 
-    // The convex-programming optimum (Theorem 1) as the yardstick.
-    let opt = optimal_energy(&tasks, cores, &power, &SolveOptions::default());
-    println!(
-        "Optimal energy (E^OPT):          energy = {:.4}",
-        opt.energy
-    );
-    println!(
-        "NEC: F2 = {:.4}, F1 = {:.4}",
-        der.final_energy / opt.energy,
-        even.final_energy / opt.energy
-    );
+    // The engine's schedule is legal…
+    validate_schedule(&outcome.schedule, &tasks).assert_legal();
 
-    // Both schedules are legal…
-    validate_schedule(&der.schedule, &tasks).assert_legal();
-    validate_schedule(&even.schedule, &tasks).assert_legal();
-
-    // …and the discrete-event simulator agrees with the analytic energy.
-    let sim = simulate(&der.schedule, &tasks, &power);
-    assert!(sim.is_clean());
+    // …and the simulator verdict rides along in the outcome.
+    let sim = outcome.sim.expect("sim_verify was enabled");
+    assert!(sim.clean);
     println!(
         "simulator cross-check: energy = {:.4} ({} segments, {} migrations)",
         sim.energy,
-        der.schedule.len(),
-        der.schedule.migrations()
+        outcome.schedule.len(),
+        outcome.schedule.migrations()
     );
 
     // Export an SVG Gantt chart for a closer look.
     let svg_path = std::env::temp_dir().join("esched-quickstart.svg");
     esched::sim::save_svg(
-        &der.schedule,
+        &outcome.schedule,
         0.0,
         22.0,
         &esched::sim::SvgOptions::default(),
@@ -84,14 +79,14 @@ fn main() {
     .expect("write SVG");
     println!("SVG Gantt chart written to {}", svg_path.display());
 
-    // Export a Chrome trace: the captured solver/simulator spans as one
-    // process, the DER schedule (one thread per core, frequency counter
-    // tracks) as another. Open it at https://ui.perfetto.dev or
+    // Export a Chrome trace: the captured engine/solver/simulator spans
+    // as one process, the DER schedule (one thread per core, frequency
+    // counter tracks) as another. Open it at https://ui.perfetto.dev or
     // chrome://tracing.
     trace::disable();
     let doc = chrome::merge(&[
         sink.to_json(),
-        esched::sim::chrome_schedule_trace(&der.schedule),
+        esched::sim::chrome_schedule_trace(&outcome.schedule),
     ]);
     let trace_path = std::env::temp_dir().join("esched-quickstart.trace.json");
     std::fs::write(&trace_path, doc.to_string_pretty()).expect("write trace");

@@ -16,7 +16,9 @@
 //! * [`sim`] — a discrete-event multicore simulator for executing and
 //!   cross-checking schedules,
 //! * [`workload`] — task-set generators and the Intel XScale processor
-//!   configuration.
+//!   configuration,
+//! * [`engine`] — the parallel batch execution engine behind the
+//!   [`prelude::ScheduleRequest`] → [`prelude::ScheduleOutcome`] API.
 //!
 //! ## Quickstart
 //!
@@ -32,20 +34,25 @@
 //! ]);
 //! let power = PolynomialPower::paper(3.0, 0.01);
 //!
-//! // Run the paper's headline heuristic (DER-based allocation, final
-//! // frequency refinement) and check the schedule is legal.
-//! let out = der_schedule(&tasks, 2, &power);
+//! // One request through the engine runs the paper's headline heuristic
+//! // (DER-based allocation, final frequency refinement), the convex
+//! // E^OPT baseline, and a simulator cross-check.
+//! let request = ScheduleRequest::new(tasks.clone(), 2, power).with_config(
+//!     EngineConfig::new()
+//!         .with_solver(SolverKind::default())
+//!         .with_sim_verify(true),
+//! );
+//! let out = Engine::new().run(&request).expect("pipeline");
 //! validate_schedule(&out.schedule, &tasks).assert_legal();
-//!
-//! // Compare against the convex-programming optimum.
-//! let opt = optimal_energy(&tasks, 2, &power, &SolveOptions::default());
-//! assert!(out.final_energy >= opt.energy - 1e-6);
+//! assert!(out.sim.unwrap().clean);
+//! assert!(out.energy >= out.nec.unwrap().opt_energy - 1e-6);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use esched_core as core;
+pub use esched_engine as engine;
 pub use esched_obs as obs;
 pub use esched_opt as opt;
 pub use esched_sim as sim;
@@ -59,7 +66,8 @@ pub mod prelude {
         der_schedule, even_schedule, ideal_schedule, optimal_energy, yds_schedule, DiscreteOutcome,
         HeuristicOutcome, IdealSolution, OptimalSolution,
     };
-    pub use esched_opt::{SolveOptions, SolveResult};
+    pub use esched_engine::{Algorithm, Engine, EngineConfig, ScheduleOutcome, ScheduleRequest};
+    pub use esched_opt::{SolveOptions, SolveResult, SolverKind};
     pub use esched_sim::{simulate, SimReport};
     pub use esched_subinterval::Timeline;
     pub use esched_types::{
