@@ -47,13 +47,32 @@ fn run_compare(baseline: &str, current: &str, threshold: f64) -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(regs) => {
+            // Gating classes (micro/*) fail the run; the noisier classes
+            // are reported but advisory.
+            let (gating, advisory): (Vec<_>, Vec<_>) =
+                regs.iter().partition(|r| harness::gating(&r.name));
+            for r in &advisory {
+                eprintln!(
+                    "benchjson: advisory: {}: {:.0} ns -> {:.0} ns ({:.2}x)",
+                    r.name, r.base_p50, r.cur_p50, r.ratio
+                );
+            }
+            if gating.is_empty() {
+                println!(
+                    "benchjson: {} advisory regression(s), none gating ({} vs {})",
+                    advisory.len(),
+                    current,
+                    baseline
+                );
+                return ExitCode::SUCCESS;
+            }
             eprintln!(
-                "benchjson: {} entr{} regressed more than {:.0}% in p50:",
-                regs.len(),
-                if regs.len() == 1 { "y" } else { "ies" },
+                "benchjson: {} gating entr{} regressed more than {:.0}% in p50:",
+                gating.len(),
+                if gating.len() == 1 { "y" } else { "ies" },
                 threshold * 100.0
             );
-            for r in &regs {
+            for r in &gating {
                 eprintln!(
                     "  {}: {:.0} ns -> {:.0} ns ({:.2}x)",
                     r.name, r.base_p50, r.cur_p50, r.ratio

@@ -38,6 +38,10 @@ pub enum OracleClass {
     WorkConservation,
     /// Discrete-mode feasibility verdicts disagree across code paths.
     Discrete,
+    /// The water-filling DER allocator and the round-based reference
+    /// implementation disagree beyond `WORK_TOL` on some
+    /// `(task, subinterval)` share.
+    Allocation,
 }
 
 impl OracleClass {
@@ -50,6 +54,7 @@ impl OracleClass {
             OracleClass::Packing => "packing",
             OracleClass::WorkConservation => "work-conservation",
             OracleClass::Discrete => "discrete",
+            OracleClass::Allocation => "allocation",
         }
     }
 
@@ -62,6 +67,7 @@ impl OracleClass {
             "packing" => OracleClass::Packing,
             "work-conservation" => OracleClass::WorkConservation,
             "discrete" => OracleClass::Discrete,
+            "allocation" => OracleClass::Allocation,
             _ => return None,
         })
     }
@@ -169,7 +175,49 @@ pub fn check_instance(inst: &Instance) -> Vec<OracleViolation> {
     if let Some(der) = &der {
         check_discrete(inst, der, &mut out);
     }
+    check_allocation(inst, &timeline, &mut out);
     out
+}
+
+/// Differential check of the water-filling DER allocator against the
+/// round-based reference: every `(task, subinterval)` share must agree to
+/// `WORK_TOL`. Note `allocate_der` itself dispatches on
+/// `ESCHED_DER_REFERENCE`, so under that flag this oracle degenerates to
+/// reference-vs-reference — the CI fuzz-smoke step uses exactly that to
+/// pin the rest of the battery onto the reference path.
+fn check_allocation(inst: &Instance, timeline: &Timeline, out: &mut Vec<OracleViolation>) {
+    use esched_core::{allocate_der, allocate_der_reference, ideal_schedule};
+    let Some(ideal) = run_caught("ideal_schedule", out, || {
+        ideal_schedule(&inst.tasks, &inst.power)
+    }) else {
+        return;
+    };
+    let Some(fast) = run_caught("allocate_der", out, || {
+        allocate_der(&inst.tasks, timeline, inst.cores, &ideal)
+    }) else {
+        return;
+    };
+    let Some(reference) = run_caught("allocate_der_reference", out, || {
+        allocate_der_reference(&inst.tasks, timeline, inst.cores, &ideal)
+    }) else {
+        return;
+    };
+    for (i, _) in inst.tasks.iter() {
+        for j in timeline.span(i) {
+            let a = fast.get(i, j);
+            let b = reference.get(i, j);
+            if (a - b).abs() > WORK_TOL {
+                out.push(OracleViolation {
+                    class: OracleClass::Allocation,
+                    message: format!(
+                        "allocate_der vs reference diverge on task {i}, subinterval {j}: \
+                         {a} vs {b} (|diff| = {:e})",
+                        (a - b).abs()
+                    ),
+                });
+            }
+        }
+    }
 }
 
 fn run_caught<T>(stage: &str, out: &mut Vec<OracleViolation>, f: impl FnOnce() -> T) -> Option<T> {
@@ -533,6 +581,7 @@ mod tests {
             OracleClass::Packing,
             OracleClass::WorkConservation,
             OracleClass::Discrete,
+            OracleClass::Allocation,
         ] {
             assert_eq!(OracleClass::from_name(c.name()), Some(c));
         }

@@ -126,6 +126,23 @@ fn work_conservation_near_duplicate_deadlines() {
     assert_clean(&inst, "near-duplicate deadline subinterval");
 }
 
+/// Class `allocation`: every DER in the heavy subinterval `[0, 1]`
+/// underflows EPS (three tasks with nano-scale requirements on one core),
+/// so proportional shares are undefined and both the water-filling fast
+/// path and the round-based reference must take the even-split fallback —
+/// and take it over the *same* task set, or their allocations diverge by
+/// a full `Δ_j/n_j` share. Guards the bit-identical tail-membership
+/// contract between `waterfill_fast` and `waterfill_reference`.
+#[test]
+fn allocation_all_ders_underflow_even_split() {
+    let inst = Instance::new(
+        TaskSet::from_triples(&[(0.0, 1.0, 1e-9), (0.0, 1.0, 2e-9), (0.0, 1.0, 1e-9)]),
+        1,
+        PolynomialPower::paper(3.0, 0.0),
+    );
+    assert_clean(&inst, "all-DERs-underflow even-split fallback");
+}
+
 /// Class `discrete`: abutting windows split at 6.133042/6.133043.
 /// `quantize_schedule` reported the instance feasible, but
 /// `requantize_schedule` stretched a segment past its slot because the

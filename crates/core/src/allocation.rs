@@ -11,6 +11,15 @@
 //!   proportion to each task's Desired Execution Requirement, greatest
 //!   first, capping shares at `Δ_j` and redistributing the remainder.
 //!
+//! Algorithm 2's cap-and-redistribute loop is a water-filling problem:
+//! the capped tasks form a prefix of the DER-descending order, and every
+//! uncapped task's share is its DER times one common multiplier λ. The
+//! production path ([`allocate_der`]) exploits that closed form — a
+//! bounded head scan plus one multiply pass — while the round-based loop
+//! survives as [`allocate_der_reference`], the ground truth the
+//! differential harness replays against (set `ESCHED_DER_REFERENCE=1` to
+//! route the whole battery through it).
+//!
 //! The result is an [`AvailMatrix`] of available times `a_{i,j}` — an
 //! upper bound on how long task `i` may occupy a core during subinterval
 //! `j`. Final frequencies and schedules are derived from it in
@@ -26,45 +35,68 @@ use esched_types::{TaskId, TaskSet};
 /// Number of heavy subintervals (`n_j > m`) — used for span fields only,
 /// so it is computed lazily inside the `span!` guard.
 fn heavy_count(timeline: &Timeline, cores: usize) -> usize {
-    timeline
-        .subintervals()
-        .iter()
-        .filter(|s| s.is_heavy(cores))
-        .count()
+    timeline.heavy_iter(cores).count()
 }
 
 /// Available execution time per (task, subinterval) pair.
+///
+/// Stored **subinterval-major** (CSR mirroring the timeline's overlap
+/// lists): column `j` is one contiguous run aligned with
+/// `timeline.get(j).overlapping`. The allocators fill whole columns and
+/// the refine loops read whole columns, so both walk the slab
+/// sequentially; the task-major layout this replaced made every one of
+/// those accesses a page-sized stride (one TLB entry per task touched
+/// per subinterval), which dominated `allocate_der`'s profile.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AvailMatrix {
-    /// Row `i` holds task `i`'s available times, aligned with
-    /// `timeline.span(i)`.
-    rows: Vec<Vec<f64>>,
-    /// `(start, end)` of each task's span, for index translation.
+    /// Cell values; column `j` is `data[col_offsets[j]..col_offsets[j+1]]`.
+    data: Vec<f64>,
+    /// Task id of each cell — a copy of the timeline's (id-sorted)
+    /// overlap lists, so by-id lookups don't need the timeline.
+    ids: Vec<TaskId>,
+    /// Slab offset of each column; `n_subintervals + 1` entries.
+    col_offsets: Vec<usize>,
+    /// `(start, end)` subinterval span of each task.
     spans: Vec<(usize, usize)>,
 }
 
 impl AvailMatrix {
     /// All-zero matrix shaped by `timeline`.
     pub fn zeros(timeline: &Timeline, n_tasks: usize) -> Self {
-        let mut rows = Vec::with_capacity(n_tasks);
-        let mut spans = Vec::with_capacity(n_tasks);
-        for i in 0..n_tasks {
-            let r = timeline.span(i);
-            spans.push((r.start, r.end));
-            rows.push(vec![0.0; r.len()]);
+        let mut col_offsets = Vec::with_capacity(timeline.len() + 1);
+        let mut ids = Vec::new();
+        col_offsets.push(0);
+        for sub in timeline.subintervals() {
+            ids.extend_from_slice(&sub.overlapping);
+            col_offsets.push(ids.len());
         }
-        Self { rows, spans }
+        let spans = (0..n_tasks)
+            .map(|i| {
+                let r = timeline.span(i);
+                (r.start, r.end)
+            })
+            .collect();
+        Self {
+            data: vec![0.0; ids.len()],
+            ids,
+            col_offsets,
+            spans,
+        }
+    }
+
+    /// Slab index of cell `(task, j)`, if the task overlaps `j`.
+    fn cell(&self, task: TaskId, j: usize) -> Option<usize> {
+        let col = self.col_offsets[j]..self.col_offsets[j + 1];
+        self.ids[col.clone()]
+            .binary_search(&task)
+            .ok()
+            .map(|pos| col.start + pos)
     }
 
     /// Available time of task `i` during subinterval `j` (0 when the
     /// window does not cover `j`).
     pub fn get(&self, task: TaskId, j: usize) -> f64 {
-        let (a, b) = self.spans[task];
-        if (a..b).contains(&j) {
-            self.rows[task][j - a]
-        } else {
-            0.0
-        }
+        self.cell(task, j).map_or(0.0, |c| self.data[c])
     }
 
     /// Set the available time of task `i` during subinterval `j`.
@@ -72,48 +104,72 @@ impl AvailMatrix {
     /// # Panics
     /// If the task's window does not cover `j`.
     pub fn set(&mut self, task: TaskId, j: usize, value: f64) {
-        let (a, b) = self.spans[task];
-        assert!(
-            (a..b).contains(&j),
-            "task {task} not available in subinterval {j}"
-        );
-        self.rows[task][j - a] = value;
+        match self.cell(task, j) {
+            Some(c) => self.data[c] = value,
+            None => panic!("task {task} not available in subinterval {j}"),
+        }
+    }
+
+    /// Column `j` as a mutable slice aligned with the timeline's overlap
+    /// list for `j` — the allocators' sequential write path.
+    fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        let col = self.col_offsets[j]..self.col_offsets[j + 1];
+        &mut self.data[col]
+    }
+
+    /// Column `j` aligned with the timeline's overlap list for `j`.
+    pub(crate) fn col(&self, j: usize) -> &[f64] {
+        &self.data[self.col_offsets[j]..self.col_offsets[j + 1]]
     }
 
     /// Total available time `A_i = Σ_j a_{i,j}` of task `i`.
     pub fn total(&self, task: TaskId) -> f64 {
-        esched_types::time::compensated_sum(self.rows[task].iter().copied())
+        esched_types::time::compensated_sum(self.row(task).map(|(_, v)| v))
     }
 
-    /// Totals for every task.
+    /// Totals for every task — one sequential pass over the slab, with
+    /// per-task Neumaier compensation (matching
+    /// [`esched_types::time::compensated_sum`]).
     pub fn totals(&self) -> Vec<f64> {
-        (0..self.rows.len()).map(|i| self.total(i)).collect()
+        let n = self.spans.len();
+        let mut sum = vec![0.0_f64; n];
+        let mut comp = vec![0.0_f64; n];
+        for (&i, &v) in self.ids.iter().zip(self.data.iter()) {
+            let s = sum[i];
+            let t = s + v;
+            if s.abs() >= v.abs() {
+                comp[i] += (s - t) + v;
+            } else {
+                comp[i] += (v - t) + s;
+            }
+            sum[i] = t;
+        }
+        sum.iter().zip(comp.iter()).map(|(s, c)| s + c).collect()
     }
 
     /// Number of tasks (rows).
     pub fn task_count(&self) -> usize {
-        self.rows.len()
+        self.spans.len()
     }
 
-    /// Iterate `(subinterval, avail)` pairs of one task's row.
+    /// Iterate `(subinterval, avail)` pairs of one task's row. A by-id
+    /// lookup per spanned subinterval — fine off the hot path; bulk
+    /// consumers should walk columns instead.
     pub fn row(&self, task: TaskId) -> impl Iterator<Item = (usize, f64)> + '_ {
-        let (a, _) = self.spans[task];
-        self.rows[task]
-            .iter()
-            .enumerate()
-            .map(move |(k, &v)| (a + k, v))
+        let (a, b) = self.spans[task];
+        (a..b).map(move |j| {
+            let c = self.cell(task, j).expect("span covers j");
+            (j, self.data[c])
+        })
     }
 }
 
 /// Fill every *light* subinterval of `avail`: each overlapping task gets
 /// the full `Δ_j` (Observation 2). Heavy subintervals are left untouched.
 fn allocate_light(timeline: &Timeline, cores: usize, avail: &mut AvailMatrix) {
-    for sub in timeline.subintervals() {
-        if !sub.is_heavy(cores) {
-            for &i in &sub.overlapping {
-                avail.set(i, sub.index, sub.delta());
-            }
-        }
+    for j in timeline.light_iter(cores) {
+        let delta = timeline.get(j).delta();
+        avail.col_mut(j).fill(delta);
     }
 }
 
@@ -129,13 +185,10 @@ pub fn allocate_even(tasks: &TaskSet, timeline: &Timeline, cores: usize) -> Avai
     );
     let mut avail = AvailMatrix::zeros(timeline, tasks.len());
     allocate_light(timeline, cores, &mut avail);
-    for sub in timeline.subintervals() {
-        if sub.is_heavy(cores) {
-            let share = cores as f64 * sub.delta() / sub.overlap_count() as f64;
-            for &i in &sub.overlapping {
-                avail.set(i, sub.index, share);
-            }
-        }
+    for j in timeline.heavy_iter(cores) {
+        let sub = timeline.get(j);
+        let share = cores as f64 * sub.delta() / sub.overlap_count() as f64;
+        avail.col_mut(j).fill(share);
     }
     avail
 }
@@ -146,13 +199,377 @@ pub fn der(ideal: &IdealSolution, task: TaskId, timeline: &Timeline, j: usize) -
     ideal.exec_overlap(task, &timeline.get(j).interval) * ideal.freq[task]
 }
 
+/// Canonical water-filling order: weight descending, task id ascending on
+/// ties — the deterministic order Algorithm 2 considers tasks in.
+fn by_weight_desc(a: &(TaskId, f64), b: &(TaskId, f64)) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1)
+        .expect("finite weights")
+        .then(a.0.cmp(&b.0))
+}
+
+/// Per-call counters shared by the water-filling implementations.
+#[derive(Debug, Default, Clone, Copy)]
+struct WaterfillStats {
+    /// Tasks whose proportional share exceeded `Δ_j` and was capped.
+    capped: u64,
+    /// Tasks served by the degenerate even-split fallback.
+    even: u64,
+}
+
+/// `true` when `ESCHED_DER_REFERENCE` (non-empty, not `"0"`) pins the
+/// process to the round-based reference allocator. Read once: the
+/// differential battery flips it to drive every downstream consumer —
+/// engine, experiments, fuzz — through the reference path.
+fn reference_forced() -> bool {
+    use std::sync::OnceLock;
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| {
+        std::env::var_os("ESCHED_DER_REFERENCE").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+/// Below this size the fast path delegates to the reference loop: the
+/// selection machinery only pays once the uncapped bulk dominates.
+const WATERFILL_FAST_CUTOFF: usize = 16;
+
+/// The even-split tail of a canonically sorted weight list: the maximal
+/// suffix whose weight sum is ≤ `EPS`. Proportional shares carry no
+/// signal there (the denominator would be ~zero), so both water-filling
+/// implementations switch to an even split of whatever pool remains — a
+/// starved task would otherwise end up with zero total availability and
+/// no finite final frequency. Returns `(start index, suffix sum)`. The
+/// backward accumulation order is part of the contract: the fast path
+/// reproduces it bit-for-bit on the same elements, so both
+/// implementations agree exactly on where the tail begins.
+fn even_split_tail<T>(sorted: &[T], weight: impl Fn(&T) -> f64) -> (usize, f64) {
+    let mut start = sorted.len();
+    let mut sum = 0.0;
+    while start > 0 {
+        let s = sum + weight(&sorted[start - 1]);
+        if s > EPS {
+            break;
+        }
+        sum = s;
+        start -= 1;
+    }
+    (start, sum)
+}
+
+/// Round-based Algorithm 2 inner loop (the reference implementation):
+/// walk the canonically sorted weights greatest-first, offer each task
+/// the fraction `w/W_rem` of the remaining pool, cap the share at
+/// `delta`, and let the shrinking pool and weight total redistribute
+/// each cap's surplus over the tasks that follow. Full `O(n log n)`
+/// sort plus a serial division chain. `suffix` is a scratch buffer for
+/// the remaining-weight sums.
+///
+/// `W_rem` is a backward-accumulated suffix sum, not `W_total − prefix`:
+/// subtracting a near-total prefix from the grand total cancels
+/// catastrophically once caps have consumed almost all weight, and the
+/// resulting noise in the share denominators is what would push the two
+/// implementations apart. Summing the (positive) remaining weights
+/// directly keeps every denominator accurate relative to itself, so the
+/// fast path's frozen λ agrees with the reference's rolling ratio to a
+/// few ULPs — far inside `WORK_TOL`.
+///
+/// On return `entries` is sorted canonically and each weight slot holds
+/// the task's allocation.
+fn waterfill_reference(
+    entries: &mut [(TaskId, f64)],
+    delta: f64,
+    cores: usize,
+    stats: &mut WaterfillStats,
+    suffix: &mut Vec<f64>,
+) {
+    let n = entries.len();
+    entries.sort_unstable_by(by_weight_desc);
+    suffix.clear();
+    suffix.resize(n + 1, 0.0);
+    for k in (0..n).rev() {
+        suffix[k] = suffix[k + 1] + entries[k].1;
+    }
+    // The even-split tail: suffix sums are non-increasing, so the tail is
+    // exactly the positions whose remaining-weight total is ≤ EPS.
+    let tail_start = suffix[..n].partition_point(|&s| s > EPS);
+    let mut pool = cores as f64 * delta;
+    for (k, e) in entries[..tail_start].iter_mut().enumerate() {
+        let w = e.1;
+        let alloc = if pool <= EPS {
+            0.0
+        } else {
+            let share = w * pool / suffix[k];
+            if share > delta {
+                stats.capped += 1;
+            }
+            share.min(delta)
+        };
+        pool -= alloc;
+        e.1 = alloc;
+    }
+    let mut remaining = n - tail_start;
+    for e in entries[tail_start..].iter_mut() {
+        let alloc = if pool <= EPS {
+            0.0
+        } else {
+            stats.even += 1;
+            (pool / remaining as f64).min(delta)
+        };
+        pool -= alloc;
+        remaining -= 1;
+        e.1 = alloc;
+    }
+}
+
+/// Sort-free water-filling: the same allocation as
+/// [`waterfill_reference`] in `O(n + m log m)`. Caps consume `Δ_j` each
+/// from an `m·Δ_j` pool, so the capped prefix and the crossover live in
+/// the `m + 2` largest weights — a bounded insertion scan pulls that
+/// head without permuting the buffer, a linear scan finds the crossover
+/// and freezes `λ = pool / W_rem`, and a single multiply-by-λ pass
+/// prices every remaining task at once, replacing the reference's full
+/// sort and serial division chain.
+///
+/// Cap and tail decisions reuse the reference's exact arithmetic (same
+/// weight total, same prefix sums, same pool updates, same backward tail
+/// accumulation), so the two implementations take identical branches;
+/// the λ freeze itself only moves shares at rounding scale, far inside
+/// `WORK_TOL`.
+///
+/// Production goes through [`waterfill_into`], which shares the
+/// [`waterfill_plan`] analysis but fuses emission with the write-back;
+/// this entries-rewriting form is the contract the differential property
+/// tests pin against the reference.
+#[cfg(test)]
+fn waterfill_fast(
+    entries: &mut [(TaskId, f64)],
+    delta: f64,
+    cores: usize,
+    stats: &mut WaterfillStats,
+    suffix: &mut Vec<f64>,
+) {
+    let n = entries.len();
+    if n <= WATERFILL_FAST_CUTOFF || cores + 1 >= n {
+        return waterfill_reference(entries, delta, cores, stats, suffix);
+    }
+    let plan = waterfill_plan(entries, delta, cores, stats, suffix);
+    // One branch-free multiply prices every task in place; the head
+    // (capped or λ-priced from its saved weight) and the even-split tail
+    // are overwritten below, in that order.
+    let lam = plan.lam;
+    for e in entries.iter_mut() {
+        e.1 = (e.1 * lam).min(delta);
+    }
+    for (k, &(p, _, w)) in plan.head.iter().enumerate() {
+        entries[p].1 = if k < plan.caps {
+            delta
+        } else {
+            (w * lam).min(delta)
+        };
+    }
+    let tail = &plan.tiny[plan.tiny_tail_start..];
+    let mut tpool = plan.tail_pool;
+    let mut remaining = tail.len();
+    for &(idx, _) in tail {
+        let alloc = if tpool <= EPS {
+            0.0
+        } else {
+            stats.even += 1;
+            (tpool / remaining as f64).min(delta)
+        };
+        tpool -= alloc;
+        remaining -= 1;
+        entries[idx].1 = alloc;
+    }
+}
+
+/// The analysis half of the fast path: head, crossover, λ, and tail,
+/// shared by [`waterfill_fast`] (which rewrites `entries`) and
+/// [`waterfill_into`] (which emits straight into the [`AvailMatrix`]).
+/// Callers have already checked the size cutoffs.
+struct WaterfillPlan {
+    /// `(position, task, weight)` — the canonically-first `m + 2`
+    /// entries, in canonical order.
+    head: Vec<(usize, TaskId, f64)>,
+    /// `(position, weight)` of the ≤ EPS candidates, canonical order.
+    tiny: Vec<(usize, f64)>,
+    /// Start of the even-split tail within `tiny`.
+    tiny_tail_start: usize,
+    /// Frozen multiplier `λ = pool / W_rem`; 0 when the pool died first.
+    lam: f64,
+    /// Capped head prefix length.
+    caps: usize,
+    /// Pool remaining at the tail boundary: λ·(tail weight), or whatever
+    /// was left when the scan stopped without a crossover. The
+    /// reference's sequential subtraction lands on the same value up to
+    /// rounding, far inside WORK_TOL either side of the EPS gate.
+    tail_pool: f64,
+}
+
+fn waterfill_plan(
+    entries: &[(TaskId, f64)],
+    delta: f64,
+    cores: usize,
+    stats: &mut WaterfillStats,
+    suffix: &mut Vec<f64>,
+) -> WaterfillPlan {
+    let n = entries.len();
+    let k_nth = cores + 1;
+    // One pass over the staged weights does three jobs: maintain the
+    // `m + 2` canonically-first entries (`head` — a bounded insertion
+    // scan, cheaper than `select_nth` and leaving `entries` in overlap
+    // order so emission walks task ids ascending), accumulate the
+    // weight staying outside the head (`rem_weight`: evicted or
+    // never-admitted elements — all positive adds, so the share
+    // denominators stay accurate relative to themselves, same as the
+    // reference's suffix accumulation), and collect the ≤ EPS
+    // even-split-tail candidates. The hot branch is one float compare
+    // against the current worst head weight; ids only break exact ties.
+    let mut head: Vec<(usize, TaskId, f64)> = Vec::with_capacity(k_nth + 2);
+    let mut rem_weight = 0.0;
+    let mut tiny: Vec<(usize, f64)> = Vec::new();
+    for (p, &(id, w)) in entries[..=k_nth].iter().enumerate() {
+        debug_assert!(w.is_finite(), "finite weights");
+        if w <= EPS {
+            tiny.push((p, w));
+        }
+        let at = head.partition_point(|h| h.2 > w || (h.2 == w && h.1 < id));
+        head.insert(at, (p, id, w));
+    }
+    // `worst` mirrors `head[k_nth]` in registers so the hot reject branch
+    // touches no memory beyond the entry itself.
+    let (mut worst_id, mut worst_w) = (head[k_nth].1, head[k_nth].2);
+    for (p, &(id, w)) in entries.iter().enumerate().skip(k_nth + 1) {
+        debug_assert!(w.is_finite(), "finite weights");
+        if w <= EPS {
+            tiny.push((p, w));
+        }
+        if !(w > worst_w || (w == worst_w && id < worst_id)) {
+            rem_weight += w;
+            continue;
+        }
+        head.pop();
+        rem_weight += worst_w;
+        let at = head.partition_point(|h| h.2 > w || (h.2 == w && h.1 < id));
+        head.insert(at, (p, id, w));
+        (worst_id, worst_w) = (head[k_nth].1, head[k_nth].2);
+    }
+    debug_assert_eq!(head.len(), k_nth + 1);
+    suffix.clear();
+    suffix.resize(k_nth + 2, 0.0);
+    suffix[k_nth + 1] = rem_weight;
+    for k in (0..=k_nth).rev() {
+        suffix[k] = suffix[k + 1] + head[k].2;
+    }
+    // Canonically order the tail candidates; all-positive workloads have
+    // none and skip this.
+    tiny.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite weights")
+            .then(entries[a.0].0.cmp(&entries[b.0].0))
+    });
+    let (tiny_tail_start, tail_sum) = even_split_tail(&tiny, |e| e.1);
+    let n_nontail = n - (tiny.len() - tiny_tail_start);
+
+    // Cap-crossover scan over the canonical head, with the reference's
+    // exact branch arithmetic.
+    let mut pool = cores as f64 * delta;
+    let mut caps = 0usize;
+    let mut lambda = None;
+    while caps < n_nontail.min(k_nth + 1) && pool > EPS {
+        let w = head[caps].2;
+        let rem = suffix[caps];
+        if w * pool / rem <= delta {
+            lambda = Some(pool / rem);
+            break;
+        }
+        stats.capped += 1;
+        pool -= delta;
+        caps += 1;
+    }
+    // At most m−1 caps fit before the crossover, so the scan always
+    // resolves within the head (or exhausts the pool / non-tail).
+    debug_assert!(
+        lambda.is_some() || pool <= EPS || caps == n_nontail,
+        "cap scan ran past the head"
+    );
+    WaterfillPlan {
+        tail_pool: match lambda {
+            Some(l) => l * tail_sum,
+            None => pool,
+        },
+        lam: lambda.unwrap_or(0.0),
+        caps,
+        head,
+        tiny,
+        tiny_tail_start,
+    }
+}
+
+/// Production emission: water-fill one heavy subinterval's staged
+/// weights and write the allocations straight into its `AvailMatrix`
+/// column, fusing the multiply pass with the write-back. `cells` is the
+/// column slice aligned with `entries` (both in overlap order), so
+/// emission is purely positional — sequential stores, no id lookups.
+/// Falls back to [`waterfill_reference`] below the cutoff or under
+/// `ESCHED_DER_REFERENCE`; the sort loses positions, so that path maps
+/// task ids back through `ids` (the subinterval's overlap list).
+fn waterfill_into(
+    entries: &mut [(TaskId, f64)],
+    delta: f64,
+    cores: usize,
+    stats: &mut WaterfillStats,
+    suffix: &mut Vec<f64>,
+    cells: &mut [f64],
+    ids: &[TaskId],
+) {
+    let n = entries.len();
+    debug_assert_eq!(cells.len(), n);
+    if reference_forced() || n <= WATERFILL_FAST_CUTOFF || cores + 1 >= n {
+        waterfill_reference(entries, delta, cores, stats, suffix);
+        for &(i, alloc) in entries.iter() {
+            let pos = ids
+                .binary_search(&i)
+                .expect("entry task is in the overlap list");
+            cells[pos] = alloc;
+        }
+        return;
+    }
+    let plan = waterfill_plan(entries, delta, cores, stats, suffix);
+    let lam = plan.lam;
+    for (p, &(_, w)) in entries.iter().enumerate() {
+        cells[p] = (w * lam).min(delta);
+    }
+    for (k, &(p, _, w)) in plan.head.iter().enumerate() {
+        cells[p] = if k < plan.caps {
+            delta
+        } else {
+            (w * lam).min(delta)
+        };
+    }
+    let tail = &plan.tiny[plan.tiny_tail_start..];
+    let mut tpool = plan.tail_pool;
+    let mut remaining = tail.len();
+    for &(idx, _) in tail {
+        let alloc = if tpool <= EPS {
+            0.0
+        } else {
+            stats.even += 1;
+            (tpool / remaining as f64).min(delta)
+        };
+        tpool -= alloc;
+        remaining -= 1;
+        cells[idx] = alloc;
+    }
+}
+
 /// The DER-based allocating method (Section V.C, Algorithm 2).
 ///
 /// In each heavy subinterval, tasks are considered in order of decreasing
 /// DER. Each is offered the fraction `c(τ)/C` of the remaining pool (where
 /// `C` is the remaining DER total); a share exceeding `Δ_j` is capped at
-/// `Δ_j`, and the pool and DER total shrink as tasks are processed — so a
-/// cap's surplus is redistributed over the tasks that follow.
+/// `Δ_j`, and the surplus is redistributed over the tasks that follow.
+/// Computed in water-filling closed form (see [`allocate_der_reference`]
+/// for the round-based original).
 pub fn allocate_der(
     tasks: &TaskSet,
     timeline: &Timeline,
@@ -181,63 +598,68 @@ pub fn allocate_der_with(
     metric_counter!("esched.core.der_alloc_calls").inc();
     let mut avail = AvailMatrix::zeros(timeline, tasks.len());
     allocate_light(timeline, cores, &mut avail);
-    // Shares capped at Δ_j, i.e. surplus-redistribution steps of Alg. 2.
-    let mut redistributions = 0usize;
-    for sub in timeline.subintervals() {
-        if !sub.is_heavy(cores) {
-            continue;
-        }
-        metric_counter!("esched.core.der_alloc_rounds").inc();
-        let delta = sub.delta();
-        // (task, DER), sorted by DER descending; ties broken by id so the
-        // algorithm is deterministic.
+    let mut stats = WaterfillStats::default();
+    for j in timeline.heavy_iter(cores) {
+        let sub = timeline.get(j);
+        // (task, DER) staging list in overlap order; the waterfill
+        // rewrites each DER slot into the task's allocation.
         let ders = &mut scratch.ders;
+        ders.clear();
+        let iv = sub.interval;
+        ders.extend(
+            sub.overlapping
+                .iter()
+                .map(|&i| (i, ideal.exec[i].overlap_len(&iv) * ideal.freq[i])),
+        );
+        waterfill_into(
+            ders,
+            sub.delta(),
+            cores,
+            &mut stats,
+            &mut scratch.suffix,
+            avail.col_mut(j),
+            &sub.overlapping,
+        );
+    }
+    metric_counter!("esched.core.der_waterfill_capped").add(stats.capped);
+    metric_counter!("esched.core.der_fallback_even").add(stats.even);
+    event!(
+        Level::Debug,
+        "der allocation done",
+        capped = stats.capped,
+        fallback_even = stats.even,
+    );
+    avail
+}
+
+/// [`allocate_der`] computed by the round-based reference loop
+/// unconditionally — the ground truth the differential harness compares
+/// the water-filling fast path against (shares agree to `WORK_TOL`).
+/// Publishes no metrics, so differential runs don't double-count.
+pub fn allocate_der_reference(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    ideal: &IdealSolution,
+) -> AvailMatrix {
+    let mut avail = AvailMatrix::zeros(timeline, tasks.len());
+    allocate_light(timeline, cores, &mut avail);
+    let mut stats = WaterfillStats::default();
+    let mut ders: Vec<(TaskId, f64)> = Vec::new();
+    let mut suffix = Vec::new();
+    for j in timeline.heavy_iter(cores) {
+        let sub = timeline.get(j);
         ders.clear();
         ders.extend(
             sub.overlapping
                 .iter()
-                .map(|&i| (i, der(ideal, i, timeline, sub.index))),
+                .map(|&i| (i, der(ideal, i, timeline, j))),
         );
-        ders.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite DERs")
-                .then(a.0.cmp(&b.0))
-        });
-        let mut pool = cores as f64 * delta;
-        let mut ctot: f64 = ders.iter().map(|&(_, c)| c).sum();
-        let mut remaining = ders.len();
-        for &(i, c) in ders.iter() {
-            let alloc = if pool <= EPS {
-                0.0
-            } else if ctot > EPS && c > 0.0 {
-                let share = c * pool / ctot;
-                if share > delta {
-                    redistributions += 1;
-                }
-                share.min(delta)
-            } else if ctot <= EPS {
-                // Degenerate pool: every remaining DER is ~zero (tiny-work
-                // tasks), so proportional shares carry no signal. Split the
-                // remaining pool evenly instead of starving everyone — a
-                // starved task ends up with zero total availability and no
-                // finite final frequency.
-                (pool / remaining as f64).min(delta)
-            } else {
-                // Zero-DER task among tasks with real DERs: no share.
-                0.0
-            };
-            avail.set(i, sub.index, alloc);
-            pool -= alloc;
-            ctot -= c;
-            remaining -= 1;
+        waterfill_reference(&mut ders, sub.delta(), cores, &mut stats, &mut suffix);
+        for &(i, alloc) in ders.iter() {
+            avail.set(i, j, alloc);
         }
     }
-    metric_counter!("esched.core.der_redistributions").add(redistributions as u64);
-    event!(
-        Level::Debug,
-        "der allocation done",
-        redistributions = redistributions,
-    );
     avail
 }
 
@@ -254,21 +676,20 @@ pub fn allocate_der_no_redistribution(
 ) -> AvailMatrix {
     let mut avail = AvailMatrix::zeros(timeline, tasks.len());
     allocate_light(timeline, cores, &mut avail);
-    for sub in timeline.subintervals() {
-        if !sub.is_heavy(cores) {
-            continue;
-        }
+    for j in timeline.heavy_iter(cores) {
+        let sub = timeline.get(j);
         let delta = sub.delta();
         let pool = cores as f64 * delta;
         let ctot: f64 = sub
             .overlapping
             .iter()
-            .map(|&i| der(ideal, i, timeline, sub.index))
+            .map(|&i| der(ideal, i, timeline, j))
             .sum();
-        for &i in &sub.overlapping {
-            let c = der(ideal, i, timeline, sub.index);
+        let cells = avail.col_mut(j);
+        for (pos, &i) in sub.overlapping.iter().enumerate() {
+            let c = der(ideal, i, timeline, j);
             let share = if ctot > EPS { c * pool / ctot } else { 0.0 };
-            avail.set(i, sub.index, share.min(delta));
+            cells[pos] = share.min(delta);
         }
     }
     avail
@@ -286,39 +707,27 @@ pub fn allocate_work_proportional(
 ) -> AvailMatrix {
     let mut avail = AvailMatrix::zeros(timeline, tasks.len());
     allocate_light(timeline, cores, &mut avail);
-    for sub in timeline.subintervals() {
-        if !sub.is_heavy(cores) {
-            continue;
-        }
-        let delta = sub.delta();
+    for j in timeline.heavy_iter(cores) {
+        let sub = timeline.get(j);
+        // Same water-filling core as `allocate_der` (including the
+        // degenerate even-split fallback), weighted by C_i instead of
+        // the DER.
         let mut weights: Vec<(TaskId, f64)> = sub
             .overlapping
             .iter()
             .map(|&i| (i, tasks.get(i).wcec))
             .collect();
-        weights.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite works")
-                .then(a.0.cmp(&b.0))
-        });
-        let mut pool = cores as f64 * delta;
-        let mut wtot: f64 = weights.iter().map(|&(_, w)| w).sum();
-        let mut remaining = weights.len();
-        for (i, w) in weights {
-            // Same degenerate-pool fallback as `allocate_der`: when every
-            // remaining weight is ~zero, split the pool evenly.
-            let alloc = if pool <= EPS {
-                0.0
-            } else if wtot > EPS {
-                (w * pool / wtot).min(delta)
-            } else {
-                (pool / remaining as f64).min(delta)
-            };
-            avail.set(i, sub.index, alloc);
-            pool -= alloc;
-            wtot -= w;
-            remaining -= 1;
-        }
+        let mut stats = WaterfillStats::default();
+        let mut suffix = Vec::new();
+        waterfill_into(
+            &mut weights,
+            sub.delta(),
+            cores,
+            &mut stats,
+            &mut suffix,
+            avail.col_mut(j),
+            &sub.overlapping,
+        );
     }
     avail
 }
@@ -564,6 +973,142 @@ mod tests {
         for alloc in [&der_alloc, &work_alloc] {
             let total: f64 = (0..3).map(|i| alloc.get(i, j)).sum();
             assert!(total <= cap + 1e-9);
+        }
+    }
+
+    /// Extract the capped-task id set from a waterfill result: tasks
+    /// whose allocation landed on the `Δ_j` cap (up to rounding).
+    fn capped_set(entries: &[(TaskId, f64)], delta: f64) -> Vec<TaskId> {
+        let mut ids: Vec<TaskId> = entries
+            .iter()
+            .filter(|&&(_, a)| a >= delta * (1.0 - 1e-9))
+            .map(|&(i, _)| i)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Property test: the sort-free water-filling equals the round-based
+    /// reference on 1k random heavy subintervals — same capped index
+    /// set, shares within `WORK_TOL` — across zero, tiny (≤ EPS), and
+    /// duplicated weights, including all-underflow instances.
+    #[test]
+    fn waterfill_fast_matches_reference_on_1k_random_heavy_subintervals() {
+        use esched_obs::ChaCha8;
+        use esched_types::validate::WORK_TOL;
+        let mut rng = ChaCha8::seed_from_u64(0x5eed);
+        for case in 0..1000u32 {
+            let n = rng.gen_range_usize(2, 200);
+            let cores = rng.gen_range_usize(1, n); // heavy: n > m
+            let delta = rng.gen_range_f64(0.05, 8.0);
+            // Every 25th case underflows all DERs to force the
+            // even-split fallback; otherwise mix regular, tiny, and
+            // zero weights with occasional exact duplicates.
+            let underflow = case % 25 == 0;
+            let mut entries: Vec<(TaskId, f64)> = (0..n)
+                .map(|i| {
+                    let w = if underflow {
+                        rng.gen_f64() * EPS / n as f64
+                    } else if rng.gen_bool(0.08) {
+                        0.0
+                    } else if rng.gen_bool(0.08) {
+                        rng.gen_f64() * EPS
+                    } else {
+                        rng.gen_range_f64(0.0, 5.0)
+                    };
+                    (i, w)
+                })
+                .collect();
+            if !underflow && n > 3 {
+                let w = entries[0].1;
+                entries[2].1 = w; // exact tie
+            }
+            let mut fast = entries.clone();
+            let mut stats = WaterfillStats::default();
+            let mut suffix = Vec::new();
+            waterfill_reference(&mut entries, delta, cores, &mut stats, &mut suffix);
+            waterfill_fast(&mut fast, delta, cores, &mut stats, &mut suffix);
+            assert_eq!(
+                capped_set(&entries, delta),
+                capped_set(&fast, delta),
+                "case {case}: capped sets diverge (n={n}, m={cores})"
+            );
+            fast.sort_unstable_by_key(|e| e.0);
+            entries.sort_unstable_by_key(|e| e.0);
+            for (r, f) in entries.iter().zip(fast.iter()) {
+                assert_eq!(r.0, f.0);
+                assert!(
+                    (r.1 - f.1).abs() <= WORK_TOL,
+                    "case {case}, task {}: reference {} vs fast {} (n={n}, m={cores}, Δ={delta})",
+                    r.0,
+                    r.1,
+                    f.1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_ders_underflow_takes_even_split_in_both_implementations() {
+        // Every DER ≤ EPS with total ≤ EPS: proportional shares carry no
+        // signal, so the whole pool is split evenly — nobody is starved.
+        let n = 40;
+        let cores = 3;
+        let delta = 2.0;
+        // Weight total ≈ 4.9e-9 ≤ EPS: the whole list underflows.
+        let entries: Vec<(TaskId, f64)> = (0..n).map(|i| (i, 1e-10 * (i % 7) as f64)).collect();
+        let expect = (cores as f64 * delta / n as f64).min(delta);
+        for fast in [false, true] {
+            let mut e = entries.clone();
+            let mut stats = WaterfillStats::default();
+            let mut suffix = Vec::new();
+            if fast {
+                waterfill_fast(&mut e, delta, cores, &mut stats, &mut suffix);
+            } else {
+                waterfill_reference(&mut e, delta, cores, &mut stats, &mut suffix);
+            }
+            assert_eq!(stats.even, n as u64, "fast={fast}");
+            assert_eq!(stats.capped, 0, "fast={fast}");
+            for &(i, a) in &e {
+                assert!(
+                    (a - expect).abs() < 1e-9,
+                    "fast={fast}, task {i}: {a} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allocate_der_matches_reference_end_to_end() {
+        use esched_obs::ChaCha8;
+        use esched_types::validate::WORK_TOL;
+        let mut rng = ChaCha8::seed_from_u64(99);
+        for case in 0..60 {
+            let n = rng.gen_range_usize(20, 48);
+            let cores = rng.gen_range_usize(1, 4);
+            let triples: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| {
+                    let release = rng.gen_range_f64(0.0, 10.0);
+                    let len = rng.gen_range_f64(0.5, 12.0);
+                    let wcec = rng.gen_range_f64(0.1, 8.0);
+                    (release, release + len, wcec)
+                })
+                .collect();
+            let ts = TaskSet::from_triples(&triples);
+            let tl = Timeline::build(&ts);
+            let ideal = ideal_schedule(&ts, &PolynomialPower::paper(3.0, 0.1));
+            let fast = allocate_der(&ts, &tl, cores, &ideal);
+            let reference = allocate_der_reference(&ts, &tl, cores, &ideal);
+            for sub in tl.subintervals() {
+                for &i in &sub.overlapping {
+                    let (a, b) = (fast.get(i, sub.index), reference.get(i, sub.index));
+                    assert!(
+                        (a - b).abs() <= WORK_TOL,
+                        "case {case}, task {i}, sub {}: fast {a} vs reference {b}",
+                        sub.index
+                    );
+                }
+            }
         }
     }
 

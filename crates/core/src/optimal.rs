@@ -39,6 +39,10 @@ pub struct OptimalSolution {
     pub freq: Vec<f64>,
     /// The materialized optimal schedule.
     pub schedule: Schedule,
+    /// The final flat iterate `x_{i,j}` (post dust-clean and repair) —
+    /// reusable as [`SolveOptions::warm_start`] for a nearby instance of
+    /// the same dimension.
+    pub x: Vec<f64>,
 }
 
 /// Solve the energy program for `tasks` on `cores` cores and extract a
@@ -119,6 +123,7 @@ pub fn optimal_energy_in(
         total_times,
         freq,
         schedule,
+        x: result.x,
     }
 }
 

@@ -68,12 +68,13 @@ pub fn intermediate_schedule_with(
     let mut out = Schedule::new(cores);
     for sub in timeline.subintervals() {
         items.clear();
-        for &i in &sub.overlapping {
+        let cells = avail.col(sub.index);
+        for (pos, &i) in sub.overlapping.iter().enumerate() {
             let u = ideal.exec_overlap(i, &sub.interval);
             if crate::packing::negligible(u, ideal.freq[i]) {
                 continue;
             }
-            let a = avail.get(i, sub.index);
+            let a = cells[pos];
             // Strict comparison: running for `u > a` — even by only EPS —
             // lets tasks collectively overshoot `m·Δ` when Δ is itself
             // near EPS. A dust-sized overshoot lands in the squeeze branch
@@ -181,8 +182,9 @@ pub fn final_schedule_with(
     let mut out = Schedule::new(cores);
     for sub in timeline.subintervals() {
         items.clear();
-        for &i in &sub.overlapping {
-            let used = avail.get(i, sub.index) * scale[i];
+        let cells = avail.col(sub.index);
+        for (pos, &i) in sub.overlapping.iter().enumerate() {
+            let used = cells[pos] * scale[i];
             // Work-aware dust filter: a sub-EPS slot still matters when the
             // task's frequency is high enough that it carries real work.
             if crate::packing::negligible(used, assignment.freq[i]) {

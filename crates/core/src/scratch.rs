@@ -30,6 +30,8 @@ pub struct Scratch {
     pub timeline: TimelineScratch,
     /// Per-heavy-subinterval `(task, DER)` list of Algorithm 2.
     pub ders: Vec<(TaskId, f64)>,
+    /// Remaining-weight suffix sums of the water-filling allocator.
+    pub suffix: Vec<f64>,
     /// Per-subinterval packing items of Algorithm 1.
     pub items: Vec<PackItem>,
     /// Per-task scale factors `d_i / A_i` of the final schedule.

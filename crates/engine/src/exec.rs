@@ -64,7 +64,7 @@ pub fn execute(scratch: &mut Scratch, request: &ScheduleRequest) -> ScheduleOutc
         Algorithm::Even => run_even(scratch),
     };
 
-    let (opt, nec) = match cfg.solver {
+    let (opt, nec, opt_x) = match cfg.solver {
         Some(kind) => {
             // NEC normalizes *both* heuristics, so run the one not chosen
             // above as well.
@@ -101,9 +101,9 @@ pub fn execute(scratch: &mut Scratch, request: &ScheduleRequest) -> ScheduleOutc
                 converged: sol.telemetry.converged,
                 telemetry: cfg.telemetry.then_some(sol.telemetry),
             };
-            (Some(opt), Some(nec))
+            (Some(opt), Some(nec), Some(sol.x))
         }
-        None => (None, None),
+        None => (None, None, None),
     };
     scratch.timeline.recycle(timeline);
 
@@ -132,6 +132,7 @@ pub fn execute(scratch: &mut Scratch, request: &ScheduleRequest) -> ScheduleOutc
         schedule: chosen.schedule,
         nec,
         opt,
+        opt_x,
         sim,
         discrete,
     }

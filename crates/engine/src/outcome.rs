@@ -71,6 +71,12 @@ pub struct ScheduleOutcome {
     pub nec: Option<NecPoint>,
     /// `E^OPT` stage summary — present iff the request enabled a solver.
     pub opt: Option<OptSummary>,
+    /// The solver's final flat iterate — present iff the request enabled a
+    /// solver. Batch drivers feed it back as
+    /// [`SolveOptions::warm_start`](esched_opt::SolveOptions) for
+    /// neighboring instances of the same dimension. Excluded from
+    /// `to_json()` (it is a solver internal, not a reportable result).
+    pub opt_x: Option<Vec<f64>>,
     /// Simulator verdict — present iff the request enabled `sim_verify`.
     pub sim: Option<SimVerdict>,
     /// Discrete-frequency execution — present iff the request supplied a

@@ -61,3 +61,46 @@ fn repeated_runs_are_identical() {
     let engine = Engine::new();
     assert_eq!(batch_json(&engine), batch_json(&engine));
 }
+
+/// Warm-start seeding happens at submission time (the driver copies the
+/// previous batch's solutions into the next batch's requests), so the
+/// two-phase sweep pattern must stay byte-identical across worker counts
+/// too — the acceptance gate for threading `warm_start` through the
+/// engine.
+#[test]
+fn warm_started_batches_are_identical_across_worker_counts() {
+    let run = |threads: usize| -> Vec<String> {
+        let engine = Engine::with_threads(threads);
+        // Phase 1: cold solves at p0 = 0.1.
+        let seeds: Vec<Option<Vec<f64>>> = engine
+            .run_batch(&requests())
+            .into_iter()
+            .map(|r| r.expect("no job panicked").opt_x)
+            .collect();
+        // Phase 2: the same task sets at p0 = 0.3, seeded from phase 1.
+        let warmed: Vec<ScheduleRequest> = requests()
+            .into_iter()
+            .zip(seeds)
+            .map(|(mut rq, seed)| {
+                assert!(seed.is_some(), "solver-enabled outcome carries its iterate");
+                rq.power = PolynomialPower::paper(3.0, 0.3);
+                rq.config.solve_options.warm_start = seed;
+                rq
+            })
+            .collect();
+        engine
+            .run_batch(&warmed)
+            .into_iter()
+            .map(|r| r.expect("no job panicked").to_json().to_string())
+            .collect()
+    };
+    let serial = run(1);
+    assert_eq!(serial.len(), 24);
+    for threads in [4, 8] {
+        assert_eq!(
+            run(threads),
+            serial,
+            "warm-started outcome JSON diverged at {threads} workers"
+        );
+    }
+}

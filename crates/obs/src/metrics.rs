@@ -12,7 +12,7 @@
 //!
 //! Names follow the `esched.<crate>.<quantity>[_<unit>]` convention
 //! documented in DESIGN.md §Observability, e.g.
-//! `esched.core.der_redistributions` or `esched.opt.solve_wall_ns`.
+//! `esched.core.der_waterfill_capped` or `esched.opt.solve_wall_ns`.
 //! Registration is keyed by name: the first call creates the instrument,
 //! later calls return the same one. Re-registering a name as a different
 //! instrument kind panics — that is a naming bug, not a runtime

@@ -87,6 +87,16 @@ fn solve_block(
 /// Run Gauss–Seidel block-coordinate descent from the canonical interior
 /// start.
 pub fn solve_block_descent(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResult {
+    solve_block_descent_from(ep, ep.initial_point(), opts)
+}
+
+/// [`solve_block_descent`] from a caller-supplied feasible starting point
+/// (the warm-start entry used by [`crate::SolverKind::solve`]).
+pub fn solve_block_descent_from(
+    ep: &EnergyProgram,
+    x0: Vec<f64>,
+    opts: &SolveOptions,
+) -> SolveResult {
     let (gamma, alpha, p0) = ep.power_parameters();
     let n = ep.task_count();
     let nsub = ep.subinterval_count();
@@ -98,7 +108,8 @@ pub fn solve_block_descent(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResu
     );
     let t_start = Instant::now();
 
-    let mut x = ep.initial_point();
+    let mut x = x0;
+    debug_assert_eq!(x.len(), ep.dim());
     let mut fx = ep.objective(&x);
     let mut iters = 0usize;
     let mut converged = false;

@@ -45,7 +45,7 @@ pub mod scalar;
 pub mod solver;
 
 pub use barrier::solve_barrier;
-pub use block_descent::solve_block_descent;
+pub use block_descent::{solve_block_descent, solve_block_descent_from};
 pub use energy_program::EnergyProgram;
 pub use fista::solve_fista;
 pub use flow::{feasible_at_frequency, min_frequency_by_flow, Dinic};

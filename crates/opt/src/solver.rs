@@ -5,7 +5,7 @@
 use crate::energy_program::EnergyProgram;
 
 /// Options shared by all first-order solvers.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolveOptions {
     /// Hard iteration cap.
     pub max_iters: usize,
@@ -21,6 +21,13 @@ pub struct SolveOptions {
     /// How often (in iterations) to evaluate the duality gap; the gap costs
     /// a gradient + LMO, so checking every iteration is wasteful.
     pub gap_check_every: usize,
+    /// Optional starting iterate for the warm-startable solvers (PGD,
+    /// FISTA, Frank–Wolfe, block descent). Validated against the program's
+    /// dimension and projected onto the feasible set before use; a
+    /// mismatched or absent warm start falls back to
+    /// [`EnergyProgram::initial_point`]. The barrier solver ignores it
+    /// (its central-path start must be strictly interior).
+    pub warm_start: Option<Vec<f64>>,
 }
 
 impl Default for SolveOptions {
@@ -31,6 +38,7 @@ impl Default for SolveOptions {
             rel_tol: 1e-12,
             stall_iters: 25,
             gap_check_every: 10,
+            warm_start: None,
         }
     }
 }
@@ -45,6 +53,7 @@ impl SolveOptions {
             rel_tol: 1e-10,
             stall_iters: 15,
             gap_check_every: 10,
+            warm_start: None,
         }
     }
 
@@ -56,7 +65,29 @@ impl SolveOptions {
             rel_tol: 1e-15,
             stall_iters: 50,
             gap_check_every: 20,
+            warm_start: None,
         }
+    }
+
+    /// Builder-style warm start.
+    pub fn with_warm_start(mut self, x0: Vec<f64>) -> Self {
+        self.warm_start = Some(x0);
+        self
+    }
+
+    /// The validated, projected warm-start point for `ep`, if one is set
+    /// and dimension-compatible. Projection makes any finite guess usable:
+    /// stale coordinates from a neighboring instance are clamped back into
+    /// `0 ≤ x ≤ Δ_j` and the per-subinterval capacity simplex.
+    pub fn warm_point(&self, ep: &EnergyProgram) -> Option<Vec<f64>> {
+        let guess = self.warm_start.as_ref()?;
+        if guess.len() != ep.dim() || guess.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let mut out = vec![0.0; ep.dim()];
+        ep.project(guess, &mut out);
+        debug_assert!(ep.is_feasible(&out, 1e-6));
+        Some(out)
     }
 }
 
@@ -94,20 +125,27 @@ impl SolverKind {
         SolverKind::BlockDescent,
     ];
 
-    /// Solve `ep` with this method. First-order methods start from
-    /// [`EnergyProgram::initial_point`]; the barrier and block-descent
-    /// solvers choose their own starting points.
+    /// Solve `ep` with this method. First-order methods and block descent
+    /// start from [`SolveOptions::warm_start`] when it is set (validated
+    /// and projected), otherwise from [`EnergyProgram::initial_point`];
+    /// the barrier solver always chooses its own interior starting point.
     pub fn solve(&self, ep: &EnergyProgram, opts: &SolveOptions) -> SolveResult {
+        let start = |ep: &EnergyProgram| {
+            if let Some(x0) = opts.warm_point(ep) {
+                esched_obs::metric_counter!("esched.opt.warm_starts").inc();
+                x0
+            } else {
+                ep.initial_point()
+            }
+        };
         match self {
-            SolverKind::ProjectedGradient => {
-                crate::gradient::solve_pgd(ep, ep.initial_point(), opts)
-            }
-            SolverKind::Fista => crate::fista::solve_fista(ep, ep.initial_point(), opts),
-            SolverKind::FrankWolfe => {
-                crate::frank_wolfe::solve_frank_wolfe(ep, ep.initial_point(), opts)
-            }
+            SolverKind::ProjectedGradient => crate::gradient::solve_pgd(ep, start(ep), opts),
+            SolverKind::Fista => crate::fista::solve_fista(ep, start(ep), opts),
+            SolverKind::FrankWolfe => crate::frank_wolfe::solve_frank_wolfe(ep, start(ep), opts),
             SolverKind::InteriorPoint => crate::barrier::solve_barrier(ep, opts),
-            SolverKind::BlockDescent => crate::block_descent::solve_block_descent(ep, opts),
+            SolverKind::BlockDescent => {
+                crate::block_descent::solve_block_descent_from(ep, start(ep), opts)
+            }
         }
     }
 

@@ -179,3 +179,53 @@ fn energy_program_objective_is_convex_along_segments() {
         );
     }
 }
+
+#[test]
+fn warm_start_matches_cold_solution_and_saves_iterations() {
+    use esched_opt::SolverKind;
+    let mut rng = ChaCha8::seed_from_u64(0x0b70_0007);
+    let mut warm_iters = 0usize;
+    let mut cold_iters = 0usize;
+    for _ in 0..12 {
+        let tasks = arb_task_set(&mut rng, 8);
+        let tl = Timeline::build(&tasks);
+        // The sweep pattern: solve at one static power, re-solve the same
+        // instance at a neighboring one seeded from the first optimum.
+        let ep_a = EnergyProgram::new(&tasks, &tl, 2, PolynomialPower::paper(3.0, 0.1));
+        let ep_b = EnergyProgram::new(&tasks, &tl, 2, PolynomialPower::paper(3.0, 0.15));
+        let opts = SolveOptions::fast();
+        let first = SolverKind::ProjectedGradient.solve(&ep_a, &opts);
+        let cold = SolverKind::ProjectedGradient.solve(&ep_b, &opts);
+        let warm_opts = opts.clone().with_warm_start(first.x);
+        let warm = SolverKind::ProjectedGradient.solve(&ep_b, &warm_opts);
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-4 * (1.0 + cold.objective),
+            "warm and cold optima diverged: {} vs {}",
+            warm.objective,
+            cold.objective
+        );
+        warm_iters += warm.iters;
+        cold_iters += cold.iters;
+    }
+    assert!(
+        warm_iters <= cold_iters,
+        "warm starts cost more iterations overall: {warm_iters} > {cold_iters}"
+    );
+}
+
+#[test]
+fn mismatched_warm_start_falls_back_to_cold_start() {
+    let tasks = TaskSet::from_triples(&[(0.0, 12.0, 4.0), (2.0, 10.0, 2.0), (4.0, 8.0, 4.0)]);
+    let tl = Timeline::build(&tasks);
+    let ep = EnergyProgram::new(&tasks, &tl, 2, PolynomialPower::paper(3.0, 0.1));
+    let opts = SolveOptions::fast();
+    // Wrong dimension and non-finite entries must both be rejected, not
+    // fed into the solver.
+    let wrong_dim = opts.clone().with_warm_start(vec![1.0; ep.dim() + 1]);
+    assert!(wrong_dim.warm_point(&ep).is_none());
+    let non_finite = opts.clone().with_warm_start(vec![f64::NAN; ep.dim()]);
+    assert!(non_finite.warm_point(&ep).is_none());
+    let cold = esched_opt::SolverKind::ProjectedGradient.solve(&ep, &opts);
+    let fallback = esched_opt::SolverKind::ProjectedGradient.solve(&ep, &wrong_dim);
+    assert_eq!(cold.x, fallback.x, "fallback must reproduce the cold solve");
+}

@@ -33,16 +33,24 @@ pub fn subintervals_of(points: &[f64]) -> Vec<Interval> {
 /// If `start`/`end` are not boundary points (they always are for task
 /// windows, by construction).
 pub fn covering_range(points: &[f64], start: f64, end: f64) -> std::ops::Range<usize> {
-    let first = points
-        .iter()
-        .position(|&p| esched_types::time::approx_eq(p, start))
-        .expect("window start must be a boundary point");
-    let last = points
-        .iter()
-        .position(|&p| esched_types::time::approx_eq(p, end))
-        .expect("window end must be a boundary point");
+    let first = locate_boundary(points, start).expect("window start must be a boundary point");
+    let last = locate_boundary(points, end).expect("window end must be a boundary point");
     debug_assert!(approx_le(points[first], points[last]));
     first..last
+}
+
+/// Binary-search the sorted, deduplicated boundary list for the index of
+/// the point approx-equal to `t`.
+///
+/// Deduplication guarantees consecutive boundaries are *not* approx-equal
+/// to each other, so at most a couple of neighbors around the insertion
+/// index can match `t`; the lowest matching index wins, preserving the
+/// semantics of the linear scan this replaces.
+pub fn locate_boundary(points: &[f64], t: f64) -> Option<usize> {
+    let idx = points.partition_point(|&p| p < t);
+    let lo = idx.saturating_sub(2);
+    let hi = (idx + 2).min(points.len());
+    (lo..hi).find(|&k| esched_types::time::approx_eq(points[k], t))
 }
 
 #[cfg(test)]

@@ -18,5 +18,5 @@ pub mod timeline;
 pub use analysis::{
     feasibility_at, load_profile, min_feasible_frequency, Infeasibility, LoadProfile,
 };
-pub use boundaries::{boundary_points, covering_range, subintervals_of};
+pub use boundaries::{boundary_points, covering_range, locate_boundary, subintervals_of};
 pub use timeline::{Subinterval, Timeline, TimelineScratch};

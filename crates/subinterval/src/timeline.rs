@@ -66,6 +66,17 @@ pub struct TimelineScratch {
     boundaries: Vec<f64>,
     subintervals: Vec<Subinterval>,
     spans: Vec<(usize, usize)>,
+    /// Sweep-line state: the tasks active in the current subinterval,
+    /// id-ascending.
+    active: Vec<TaskId>,
+    /// Double buffer for the per-boundary active-set merge.
+    active_next: Vec<TaskId>,
+    /// CSR offsets of the per-boundary release buckets
+    /// (`add_ids[add_offsets[j]..add_offsets[j+1]]` = tasks whose span
+    /// starts at subinterval `j`).
+    add_offsets: Vec<usize>,
+    /// CSR payload of the release buckets, id-ascending per bucket.
+    add_ids: Vec<TaskId>,
 }
 
 impl TimelineScratch {
@@ -139,12 +150,59 @@ impl Timeline {
         let mut spans = std::mem::take(&mut scratch.spans);
         spans.clear();
         spans.reserve(tasks.len());
-        for (id, t) in tasks.iter() {
+        for (_, t) in tasks.iter() {
             let range = covering_range(&boundaries, t.release, t.deadline);
             spans.push((range.start, range.end));
-            for j in range {
-                subintervals[j].overlapping.push(id);
+        }
+        // Sweep the boundaries left to right, maintaining the id-sorted
+        // active set by delta encoding: at subinterval `j`, drop the tasks
+        // whose span ends at `j` and merge in those whose span starts
+        // there. Each subinterval's overlap list is then one bulk copy, so
+        // the build is output-sized (`O(n log n + Σ_j n_j)`) instead of
+        // re-scanning the boundary list per task.
+        let add_offsets = &mut scratch.add_offsets;
+        add_offsets.clear();
+        add_offsets.resize(n_subs + 2, 0);
+        for &(a, _) in spans.iter() {
+            add_offsets[a + 2] += 1;
+        }
+        for k in 2..add_offsets.len() {
+            add_offsets[k] += add_offsets[k - 1];
+        }
+        // `add_offsets[j+1]` now starts bucket `j`; the fill below advances
+        // it to the bucket's end, restoring the canonical CSR offsets
+        // shifted once — tasks arrive in id order, so buckets stay sorted.
+        let add_ids = &mut scratch.add_ids;
+        add_ids.clear();
+        add_ids.resize(tasks.len(), 0);
+        for (id, &(a, _)) in spans.iter().enumerate() {
+            add_ids[add_offsets[a + 1]] = id;
+            add_offsets[a + 1] += 1;
+        }
+        let active = &mut scratch.active;
+        let next = &mut scratch.active_next;
+        active.clear();
+        for (j, sub) in subintervals.iter_mut().enumerate() {
+            let adds = &add_ids[add_offsets[j]..add_offsets[j + 1]];
+            next.clear();
+            let mut add_it = adds.iter().peekable();
+            for &id in active.iter() {
+                if spans[id].1 == j {
+                    continue; // window ended at this boundary
+                }
+                while let Some(&&a) = add_it.peek() {
+                    if a < id {
+                        next.push(a);
+                        add_it.next();
+                    } else {
+                        break;
+                    }
+                }
+                next.push(id);
             }
+            next.extend(add_it);
+            std::mem::swap(active, next);
+            sub.overlapping.extend_from_slice(active);
         }
         esched_obs::metric_counter!("esched.subinterval.timeline_builds").inc();
         esched_obs::metric_histogram!("esched.subinterval.subintervals_per_build")
@@ -154,6 +212,62 @@ impl Timeline {
             subintervals,
             spans,
         }
+    }
+
+    /// Update this timeline after a single task's window was shifted,
+    /// reusing the existing decomposition when possible.
+    ///
+    /// `tasks` must be the *updated* task set (same length, same ids) in
+    /// which only `task`'s release/deadline differ from the set this
+    /// timeline was built from. When the new window endpoints land on
+    /// existing boundary points and the old endpoints are still event
+    /// points of some task, the boundary set is unchanged and only the
+    /// overlap sets over the symmetric difference of the old and new spans
+    /// need touching — `O(n + k log n_j)` instead of a full rebuild.
+    /// Otherwise this falls back to [`Timeline::build`].
+    pub fn rebuild_shifted(&mut self, tasks: &TaskSet, task: TaskId) {
+        let t = tasks.get(task);
+        let (new_a, new_b) = match (
+            crate::boundaries::locate_boundary(&self.boundaries, t.release),
+            crate::boundaries::locate_boundary(&self.boundaries, t.deadline),
+        ) {
+            (Some(a), Some(b)) if a < b => (a, b),
+            _ => {
+                *self = Timeline::build(tasks);
+                return;
+            }
+        };
+        let (old_a, old_b) = self.spans[task];
+        // The old endpoints stay boundaries only if some task in the
+        // updated set still has an event point there; otherwise the
+        // decomposition itself changes and we rebuild.
+        let anchored = |val: f64| {
+            tasks.iter().any(|(_, other)| {
+                esched_types::time::approx_eq(other.release, val)
+                    || esched_types::time::approx_eq(other.deadline, val)
+            })
+        };
+        if !(anchored(self.boundaries[old_a]) && anchored(self.boundaries[old_b])) {
+            *self = Timeline::build(tasks);
+            return;
+        }
+        for j in old_a..old_b {
+            if !(new_a..new_b).contains(&j) {
+                let ov = &mut self.subintervals[j].overlapping;
+                if let Ok(pos) = ov.binary_search(&task) {
+                    ov.remove(pos);
+                }
+            }
+        }
+        for j in new_a..new_b {
+            if !(old_a..old_b).contains(&j) {
+                let ov = &mut self.subintervals[j].overlapping;
+                if let Err(pos) = ov.binary_search(&task) {
+                    ov.insert(pos, task);
+                }
+            }
+        }
+        self.spans[task] = (new_a, new_b);
     }
 
     /// The boundary points `t_1 … t_N`.
@@ -201,21 +315,35 @@ impl Timeline {
     }
 
     /// Indices of heavily overlapped subintervals for `m` cores.
+    ///
+    /// Allocates; hot paths should use [`Timeline::heavy_iter`].
     pub fn heavy_indices(&self, cores: usize) -> Vec<usize> {
-        self.subintervals
-            .iter()
-            .filter(|s| s.is_heavy(cores))
-            .map(|s| s.index)
-            .collect()
+        self.heavy_iter(cores).collect()
     }
 
     /// Indices of lightly overlapped subintervals for `m` cores.
+    ///
+    /// Allocates; hot paths should use [`Timeline::light_iter`].
     pub fn light_indices(&self, cores: usize) -> Vec<usize> {
+        self.light_iter(cores).collect()
+    }
+
+    /// Iterate the indices of heavily overlapped subintervals for `m`
+    /// cores, without allocating.
+    pub fn heavy_iter(&self, cores: usize) -> impl Iterator<Item = usize> + '_ {
         self.subintervals
             .iter()
-            .filter(|s| !s.is_heavy(cores))
+            .filter(move |s| s.is_heavy(cores))
             .map(|s| s.index)
-            .collect()
+    }
+
+    /// Iterate the indices of lightly overlapped subintervals for `m`
+    /// cores, without allocating.
+    pub fn light_iter(&self, cores: usize) -> impl Iterator<Item = usize> + '_ {
+        self.subintervals
+            .iter()
+            .filter(move |s| !s.is_heavy(cores))
+            .map(|s| s.index)
     }
 
     /// Maximum overlap count over all subintervals (`max_j n_j`) — bounds
@@ -327,6 +455,113 @@ mod tests {
             assert_eq!(tl.get(j).overlapping, vec![j]);
         }
         assert_eq!(tl.peak_overlap(), 1);
+    }
+
+    /// The pre-sweep-line builder: push each task onto every subinterval
+    /// in its span. Kept as the oracle for the sweep-line equivalence test.
+    fn build_naive(tasks: &TaskSet) -> Timeline {
+        let boundaries = tasks.event_points();
+        let n_subs = boundaries.len().saturating_sub(1);
+        let mut subintervals: Vec<Subinterval> = (0..n_subs)
+            .map(|index| Subinterval {
+                index,
+                interval: Interval::new(boundaries[index], boundaries[index + 1]),
+                overlapping: Vec::new(),
+            })
+            .collect();
+        let mut spans = Vec::with_capacity(tasks.len());
+        for (id, t) in tasks.iter() {
+            let range = covering_range(&boundaries, t.release, t.deadline);
+            for sub in &mut subintervals[range.clone()] {
+                sub.overlapping.push(id);
+            }
+            spans.push((range.start, range.end));
+        }
+        Timeline {
+            boundaries,
+            subintervals,
+            spans,
+        }
+    }
+
+    fn random_tasks(rng: &mut esched_obs::ChaCha8, n: usize) -> TaskSet {
+        let triples: Vec<(f64, f64, f64)> = (0..n)
+            .map(|_| {
+                // Quantize to a coarse grid so boundary collisions (shared
+                // event points) are common, exercising the dedup path.
+                let r = (rng.gen_range_f64(0.0, 40.0) * 2.0).round() / 2.0;
+                let d = r + (rng.gen_range_f64(0.5, 20.0) * 2.0).round().max(1.0) / 2.0;
+                let c = rng.gen_range_f64(0.1, (d - r).max(0.2));
+                (r, d, c)
+            })
+            .collect();
+        TaskSet::from_triples(&triples)
+    }
+
+    #[test]
+    fn sweep_line_matches_naive_builder_on_random_sets() {
+        let mut rng = esched_obs::ChaCha8::seed_from_u64(0x7133_11ae);
+        let mut scratch = TimelineScratch::new();
+        for case in 0..300 {
+            let n = 1 + (case % 60);
+            let ts = random_tasks(&mut rng, n);
+            let swept = Timeline::build_with(&ts, &mut scratch);
+            let naive = build_naive(&ts);
+            assert_eq!(swept, naive, "case {case} (n = {n})");
+            scratch.recycle(swept);
+        }
+    }
+
+    #[test]
+    fn rebuild_shifted_on_existing_boundaries_matches_full_rebuild() {
+        let mut rng = esched_obs::ChaCha8::seed_from_u64(0xbead);
+        for case in 0..200 {
+            let n = 3 + (case % 40);
+            let ts = random_tasks(&mut rng, n);
+            let mut tl = Timeline::build(&ts);
+            let victim = rng.gen_range_usize(0, n);
+            // Shift the victim's window onto two other boundary points so
+            // the incremental path is exercised (it still may fall back
+            // when the victim's old endpoints lose their anchor).
+            let pts = tl.boundaries().to_vec();
+            let a = rng.gen_range_usize(0, pts.len() - 1);
+            let b = rng.gen_range_usize(a + 1, pts.len());
+            let mut triples: Vec<(f64, f64, f64)> = ts
+                .iter()
+                .map(|(_, t)| (t.release, t.deadline, t.wcec))
+                .collect();
+            let span = pts[b] - pts[a];
+            triples[victim] = (pts[a], pts[b], triples[victim].2.min(span * 0.9));
+            let shifted = TaskSet::from_triples(&triples);
+            tl.rebuild_shifted(&shifted, victim);
+            assert_eq!(tl, Timeline::build(&shifted), "case {case}");
+        }
+    }
+
+    #[test]
+    fn rebuild_shifted_off_grid_falls_back_to_full_rebuild() {
+        let ts = vd_example();
+        let mut tl = Timeline::build(&ts);
+        // Move τ3 to an off-boundary window: the decomposition changes.
+        let mut triples: Vec<(f64, f64, f64)> = ts
+            .iter()
+            .map(|(_, t)| (t.release, t.deadline, t.wcec))
+            .collect();
+        triples[3] = (5.0, 13.0, 3.0);
+        let shifted = TaskSet::from_triples(&triples);
+        tl.rebuild_shifted(&shifted, 3);
+        assert_eq!(tl, Timeline::build(&shifted));
+        assert!(tl.boundaries().contains(&5.0));
+        assert!(tl.boundaries().contains(&13.0));
+    }
+
+    #[test]
+    fn heavy_and_light_iters_match_indices() {
+        let tl = Timeline::build(&vd_example());
+        for m in 1..=6 {
+            assert_eq!(tl.heavy_iter(m).collect::<Vec<_>>(), tl.heavy_indices(m));
+            assert_eq!(tl.light_iter(m).collect::<Vec<_>>(), tl.light_indices(m));
+        }
     }
 
     #[test]
