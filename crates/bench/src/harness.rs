@@ -146,6 +146,32 @@ pub fn curated_suite() -> Vec<CuratedBench> {
             });
         }
     }
+    // Flight-recorder overhead on the 1024-task DER allocation, which
+    // carries a `flight_span!` on its hot entry point. The on/off pair is
+    // measured in the same run; the acceptance target is <3% p50 overhead
+    // when recording and ~0 when disabled.
+    {
+        let tasks = paper_tasks(1024, 3);
+        let tl = Timeline::build(&tasks);
+        let ideal = ideal_schedule(&tasks, &power);
+        for on in [true, false] {
+            let (tasks, tl, ideal) = (tasks.clone(), tl.clone(), ideal.clone());
+            suite.push(CuratedBench {
+                name: if on {
+                    "micro/obs_overhead/recorder_on"
+                } else {
+                    "micro/obs_overhead/recorder_off"
+                },
+                iters: 12,
+                run: Box::new(move || {
+                    let was = esched_obs::recorder::is_enabled();
+                    esched_obs::recorder::set_enabled(on);
+                    black_box(allocate_der(&tasks, &tl, 4, &ideal));
+                    esched_obs::recorder::set_enabled(was);
+                }),
+            });
+        }
+    }
     {
         let items: Vec<PackItem> = (0..24)
             .map(|i| PackItem {

@@ -142,6 +142,9 @@ fn main() -> ExitCode {
                 continue;
             }
             failing_iters += 1;
+            // Flight dump of the moments before the violation — a no-op
+            // unless ESCHED_FLIGHT_DIR is set.
+            let _ = esched_obs::recorder::dump_post_mortem("fuzz oracle violation");
             eprintln!(
                 "iter {i} (seed {}): {} violation(s) on {}",
                 args.seed.wrapping_add(i),
@@ -200,6 +203,9 @@ fn main() -> ExitCode {
     );
     for p in &written {
         println!("  new repro: {}", p.display());
+    }
+    if let Some(path) = esched_obs::recorder::dump_at_exit_if_requested() {
+        eprintln!("flight recorder dumped to {}", path.display());
     }
     if failing_iters == 0 {
         ExitCode::SUCCESS

@@ -596,6 +596,7 @@ pub fn allocate_der_with(
         n_heavy = heavy_count(timeline, cores),
     );
     metric_counter!("esched.core.der_alloc_calls").inc();
+    let _flight = esched_obs::flight_span!("allocate_der");
     let mut avail = AvailMatrix::zeros(timeline, tasks.len());
     allocate_light(timeline, cores, &mut avail);
     let mut stats = WaterfillStats::default();

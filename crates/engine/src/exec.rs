@@ -8,15 +8,25 @@ use esched_core::{
     allocate_der_with, allocate_even, build_outcome_with, ideal_schedule, optimal_energy_in,
     quantize_schedule, HeuristicOutcome, NecPoint, QuantizePolicy, Scratch,
 };
+use esched_obs::{RequestId, RequestScope, TraceCtx};
 use esched_sim::simulate;
 use esched_subinterval::Timeline;
+use std::time::Instant;
 
 /// Run the full pipeline for one request.
 ///
 /// Panics on a malformed request (`cores == 0`); the pool catches the
 /// unwind and reports the job as a failed outcome, so one bad instance
-/// never takes down a batch.
+/// never takes down a batch. Each call allocates a fresh [`RequestId`] and
+/// holds a [`RequestScope`] for the whole pipeline, so spans, flight
+/// records, and metric events emitted anywhere below carry the request —
+/// including the panic stamp a malformed request leaves in the flight
+/// recorder on its way out.
 pub fn execute(scratch: &mut Scratch, request: &ScheduleRequest) -> ScheduleOutcome {
+    let request_id = RequestId::next();
+    let _req_scope = RequestScope::enter(request_id);
+    let _flight = esched_obs::flight_span!("engine_execute");
+    let mut trace = TraceCtx::new(request_id);
     assert!(
         request.cores >= 1,
         "ScheduleRequest requires at least one core"
@@ -31,8 +41,10 @@ pub fn execute(scratch: &mut Scratch, request: &ScheduleRequest) -> ScheduleOutc
     // One timeline and one ideal solution feed every stage — the
     // heuristics, the convex program, and the NEC normalization — instead
     // of each rebuilding its own as the free functions do.
+    let t_phase = Instant::now();
     let timeline = Timeline::build_with(&request.tasks, &mut scratch.timeline);
     let ideal = ideal_schedule(&request.tasks, &request.power);
+    trace.record_phase("timeline", t_phase.elapsed());
 
     let run_even = |scratch: &mut Scratch| -> HeuristicOutcome {
         let avail = allocate_even(&request.tasks, &timeline, request.cores);
@@ -59,11 +71,14 @@ pub fn execute(scratch: &mut Scratch, request: &ScheduleRequest) -> ScheduleOutc
         )
     };
 
+    let t_phase = Instant::now();
     let chosen = match cfg.algorithm {
         Algorithm::Der => run_der(scratch),
         Algorithm::Even => run_even(scratch),
     };
+    trace.record_phase("der_alloc", t_phase.elapsed());
 
+    let t_phase = Instant::now();
     let (opt, nec, opt_x) = match cfg.solver {
         Some(kind) => {
             // NEC normalizes *both* heuristics, so run the one not chosen
@@ -105,8 +120,10 @@ pub fn execute(scratch: &mut Scratch, request: &ScheduleRequest) -> ScheduleOutc
         }
         None => (None, None, None),
     };
+    trace.record_phase("solve", t_phase.elapsed());
     scratch.timeline.recycle(timeline);
 
+    let t_phase = Instant::now();
     let sim = cfg.sim_verify.then(|| {
         let report = simulate(&chosen.schedule, &request.tasks, &request.power);
         SimVerdict {
@@ -116,6 +133,8 @@ pub fn execute(scratch: &mut Scratch, request: &ScheduleRequest) -> ScheduleOutc
             energy: report.energy,
         }
     });
+    trace.record_phase("sim_verify", t_phase.elapsed());
+    let t_phase = Instant::now();
     let discrete = cfg.discrete.as_ref().map(|table| {
         let out = quantize_schedule(&chosen.schedule, table, QuantizePolicy::NextUp);
         DiscreteSummary {
@@ -124,6 +143,7 @@ pub fn execute(scratch: &mut Scratch, request: &ScheduleRequest) -> ScheduleOutc
             feasible: out.feasible,
         }
     });
+    trace.record_phase("discrete", t_phase.elapsed());
 
     ScheduleOutcome {
         algorithm: cfg.algorithm,
@@ -135,5 +155,6 @@ pub fn execute(scratch: &mut Scratch, request: &ScheduleRequest) -> ScheduleOutc
         opt_x,
         sim,
         discrete,
+        trace: cfg.telemetry.then_some(trace),
     }
 }

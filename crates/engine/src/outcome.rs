@@ -55,7 +55,7 @@ pub struct DiscreteSummary {
 /// `to_json()` is deterministic — a pure function of the request — so
 /// batch outputs can be compared byte-for-byte across worker counts
 /// (wall-clock telemetry is deliberately excluded from the encoding).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ScheduleOutcome {
     /// Which heuristic produced `schedule`.
     pub algorithm: Algorithm,
@@ -82,6 +82,29 @@ pub struct ScheduleOutcome {
     /// Discrete-frequency execution — present iff the request supplied a
     /// frequency table.
     pub discrete: Option<DiscreteSummary>,
+    /// Request-scoped trace context: the request id the engine assigned to
+    /// this job plus the per-phase latency breakdown (timeline build, DER
+    /// allocation, solve, sim-verify, discrete). Present iff the request
+    /// enabled telemetry. Like wall-clock telemetry, excluded from
+    /// `to_json()` and from equality so outcomes stay comparable across
+    /// worker counts.
+    pub trace: Option<esched_obs::TraceCtx>,
+}
+
+/// Equality ignores `trace` (ids and timings vary run to run); everything
+/// the deterministic JSON encoding covers is compared.
+impl PartialEq for ScheduleOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.algorithm == other.algorithm
+            && self.energy == other.energy
+            && self.intermediate_energy == other.intermediate_energy
+            && self.schedule == other.schedule
+            && self.nec == other.nec
+            && self.opt == other.opt
+            && self.opt_x == other.opt_x
+            && self.sim == other.sim
+            && self.discrete == other.discrete
+    }
 }
 
 impl ToJson for ScheduleOutcome {

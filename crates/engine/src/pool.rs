@@ -161,6 +161,8 @@ impl Engine {
                 scope.spawn(move || {
                     let mut scratch = Scratch::new();
                     let mut local: Vec<(usize, Result<T, EngineError>)> = Vec::new();
+                    let worker_start = Instant::now();
+                    let mut busy_ns = 0u64;
                     loop {
                         // Own deque first (front), then steal from the
                         // back of the neighbours'. Nothing is ever
@@ -172,13 +174,23 @@ impl Engine {
                                 job = deques[victim].lock().expect("victim deque").pop_back();
                                 if job.is_some() {
                                     steals.fetch_add(1, Ordering::Relaxed);
+                                    esched_obs::flight_event!("engine_steal", victim as u64);
                                     break;
                                 }
                             }
                         }
                         let Some((index, item)) = job else { break };
+                        let t_job = Instant::now();
                         local.push((index, run_job(&mut scratch, f, index, item)));
+                        busy_ns += t_job.elapsed().as_nanos() as u64;
                     }
+                    // Fraction of this worker's lifetime spent inside jobs
+                    // (the rest is deque contention and steal probing).
+                    // Dynamic name → cold registry path; once per worker
+                    // per batch, not per job.
+                    let wall_ns = worker_start.elapsed().as_nanos().max(1) as u64;
+                    esched_obs::metrics::gauge(&format!("esched.engine.worker_util.w{w}"))
+                        .set(busy_ns as f64 / wall_ns as f64);
                     let mut slots = results.lock().expect("results vector");
                     for (index, result) in local {
                         slots[index] = Some(result);
@@ -187,7 +199,9 @@ impl Engine {
             }
         });
 
-        metric_counter!("esched.engine.steals").add(steals.load(Ordering::Relaxed));
+        let stolen = steals.load(Ordering::Relaxed);
+        metric_counter!("esched.engine.steals").add(stolen);
+        metric_gauge!("esched.engine.steal_rate").set(stolen as f64 / n as f64);
         results
             .into_inner()
             .expect("pool threads joined")
@@ -210,6 +224,10 @@ where
         Ok(value) => Ok(value),
         Err(payload) => {
             metric_counter!("esched.engine.panics").inc();
+            esched_obs::flight_event!("engine_job_panic", index as u64);
+            // Post-mortem flight dump: a no-op unless ESCHED_FLIGHT_DIR
+            // is set, so tests that expect panics don't spray files.
+            let _ = esched_obs::recorder::dump_post_mortem("engine job panic");
             // The panic may have left half-taken buffers behind; drop
             // them rather than reason about their state.
             *scratch = Scratch::new();

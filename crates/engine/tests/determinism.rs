@@ -3,10 +3,11 @@
 //! interleaving. CI re-runs this file under `ESCHED_ENGINE_THREADS=1,4,8`.
 
 use esched_engine::{Engine, EngineConfig, ScheduleRequest};
-use esched_obs::json::ToJson;
+use esched_obs::json::{ToJson, Value};
 use esched_opt::{SolveOptions, SolverKind};
 use esched_types::PolynomialPower;
 use esched_workload::{GeneratorConfig, WorkloadGenerator};
+use std::sync::Arc;
 
 /// A batch exercising the full pipeline: heuristics, E^OPT solve (NEC),
 /// and a simulator cross-check, over seeded paper-style workloads.
@@ -60,6 +61,48 @@ fn env_sized_engine_matches_serial() {
 fn repeated_runs_are_identical() {
     let engine = Engine::new();
     assert_eq!(batch_json(&engine), batch_json(&engine));
+}
+
+/// Request-scoped tracing and the flight recorder are observability-only:
+/// with a request-scoped Chrome sink installed and the recorder on, the
+/// outcome JSON must stay byte-identical across worker counts (request
+/// ids and timings live in `ScheduleOutcome::trace`, which the canonical
+/// encoding excludes).
+#[test]
+fn outcomes_identical_with_request_scoped_observability_on() {
+    let sink = Arc::new(esched_obs::chrome::ChromeTraceSink::request_scoped());
+    esched_obs::trace::init_with(esched_obs::trace::Filter::parse("debug"), sink.clone());
+    esched_obs::recorder::set_enabled(true);
+    let serial = batch_json(&Engine::with_threads(1));
+    for threads in [4, 8] {
+        assert_eq!(
+            batch_json(&Engine::with_threads(threads)),
+            serial,
+            "outcome JSON diverged at {threads} workers with observability on"
+        );
+    }
+    esched_obs::trace::disable();
+
+    // The sink really was in request-scoped mode: engine spans landed on
+    // per-request tracks, and the flight ring holds request-tagged spans.
+    let doc = sink.to_json();
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents");
+    assert!(
+        events.iter().any(|e| {
+            e.get("pid").and_then(Value::as_u64) == Some(esched_obs::chrome::REQUESTS_PID)
+                && e.get("name").and_then(Value::as_str) == Some("engine_execute")
+        }),
+        "no request-track engine spans captured"
+    );
+    assert!(
+        esched_obs::recorder::snapshot()
+            .iter()
+            .any(|r| r.name == "engine_execute" && r.request != 0),
+        "no request-tagged flight spans recorded"
+    );
 }
 
 /// Warm-start seeding happens at submission time (the driver copies the

@@ -1,0 +1,124 @@
+//! A forced worker panic in a batch must leave a Perfetto-loadable
+//! post-mortem flight dump containing the failing request's spans and the
+//! engine events leading up to the crash (the PR's acceptance test for
+//! the always-on flight recorder).
+
+use esched_engine::{Engine, EngineConfig, ScheduleRequest};
+use esched_obs::json::{parse, Value};
+use esched_opt::{SolveOptions, SolverKind};
+use esched_types::PolynomialPower;
+use esched_workload::{GeneratorConfig, WorkloadGenerator};
+use std::path::PathBuf;
+
+fn events(doc: &Value) -> &[Value] {
+    doc.get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array")
+}
+
+fn field<'a>(ev: &'a Value, key: &str) -> Option<&'a Value> {
+    ev.get(key)
+}
+
+fn num(ev: &Value, key: &str) -> f64 {
+    field(ev, key).and_then(Value::as_f64).expect(key)
+}
+
+fn is(ev: &Value, ph: &str, name: &str) -> bool {
+    field(ev, "ph").and_then(Value::as_str) == Some(ph)
+        && field(ev, "name").and_then(Value::as_str) == Some(name)
+}
+
+#[test]
+fn poisoned_batch_leaves_a_postmortem_dump_with_the_failing_request() {
+    // Route dumps into a fresh per-process temp dir. This is the only
+    // test in this binary, so mutating process env is race-free.
+    let dir = std::env::temp_dir().join(format!("esched-flight-pm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    std::env::set_var("ESCHED_FLIGHT_DIR", &dir);
+    esched_obs::recorder::set_enabled(true);
+    // The poisoned job's panic is intentional; keep the output clean.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let config = EngineConfig::new()
+        .with_solver(SolverKind::ProjectedGradient)
+        .with_solve_options(SolveOptions::fast());
+    let mut requests: Vec<ScheduleRequest> = (0..64)
+        .map(|k| {
+            let tasks = WorkloadGenerator::new(
+                GeneratorConfig::paper_default().with_tasks(12),
+                7000 + k as u64,
+            )
+            .generate();
+            ScheduleRequest::new(tasks, 4, PolynomialPower::paper(3.0, 0.1))
+                .with_config(config.clone())
+        })
+        .collect();
+    requests[40].cores = 0;
+
+    let out = Engine::with_threads(4).run_batch(&requests);
+    assert_eq!(out.len(), 64);
+    for (i, r) in out.iter().enumerate() {
+        if i == 40 {
+            assert!(r.is_err(), "poisoned job must fail");
+        } else {
+            assert!(r.is_ok(), "job {i} failed unexpectedly");
+        }
+    }
+
+    // Exactly one panic → exactly one dump.
+    let dumps: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("read temp dir")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            let name = p.file_name()?.to_str()?;
+            (name.starts_with("flight-postmortem-") && name.ends_with(".json")).then_some(p)
+        })
+        .collect();
+    assert_eq!(dumps.len(), 1, "expected one dump, found {dumps:?}");
+
+    let text = std::fs::read_to_string(&dumps[0]).expect("read dump");
+    let doc = parse(&text).expect("dump parses as JSON");
+    assert_eq!(
+        doc.get("otherData")
+            .and_then(|o| o.get("reason"))
+            .and_then(Value::as_str),
+        Some("engine job panic")
+    );
+    let evs = events(&doc);
+
+    // The failing request signed its own crash: exactly one panic
+    // instant, globally scoped, on some request track R.
+    let panics: Vec<&Value> = evs.iter().filter(|e| is(e, "i", "panic")).collect();
+    assert_eq!(panics.len(), 1, "expected one panic instant");
+    let failing_request = num(panics[0], "tid");
+    assert!(failing_request >= 1.0, "panic not tied to a request");
+    assert_eq!(
+        field(panics[0], "s").and_then(Value::as_str),
+        Some("g"),
+        "panic instants are globally scoped"
+    );
+
+    // Its pipeline span is on the same track (the span guard drops during
+    // unwind, inside the request scope).
+    assert!(
+        evs.iter()
+            .any(|e| is(e, "X", "engine_execute") && num(e, "tid") == failing_request),
+        "no engine_execute span for the failing request {failing_request}"
+    );
+
+    // The dump also holds the surrounding engine activity: spans from
+    // other (healthy) requests and the pool's own panic event.
+    assert!(
+        evs.iter()
+            .any(|e| is(e, "X", "engine_execute") && num(e, "tid") != failing_request),
+        "no spans from other requests in the dump"
+    );
+    assert!(
+        evs.iter().any(|e| is(e, "i", "engine_job_panic")),
+        "pool panic event missing"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

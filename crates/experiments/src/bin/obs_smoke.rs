@@ -1,0 +1,222 @@
+//! Observability smoke test: run a batch through the engine with the
+//! continuous exporter sampling, then assert every emitted artifact is
+//! well-formed. CI runs this twice — once clean, once with `--panic` to
+//! poison one job and check the post-mortem flight dump appears.
+//!
+//! ```text
+//! obs_smoke [--out DIR] [--jobs N] [--panic]
+//! ```
+//!
+//! Exit code is non-zero when any assertion fails, so the CI job is just
+//! an invocation.
+
+use esched_engine::{Engine, EngineConfig, ScheduleRequest};
+use esched_obs::json::{parse, Value};
+use esched_obs::{Exporter, ExporterConfig};
+use esched_opt::{SolveOptions, SolverKind};
+use esched_types::PolynomialPower;
+use esched_workload::{GeneratorConfig, WorkloadGenerator};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    out: PathBuf,
+    jobs: usize,
+    poison: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        out: PathBuf::from("obs-smoke"),
+        jobs: 256,
+        poison: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--panic" => parsed.poison = true,
+            "--out" => {
+                parsed.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--jobs" => {
+                parsed.jobs = args
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag {other}\nusage: obs_smoke [--out DIR] [--jobs N] [--panic]"
+                ))
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("obs_smoke: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn check_jsonl(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut lines = 0usize;
+    for (k, line) in text.lines().enumerate() {
+        let v = parse(line).map_err(|e| format!("{} line {}: {e:?}", path.display(), k + 1))?;
+        for key in ["seq", "unix_ms", "elapsed_s", "metrics"] {
+            if v.get(key).is_none() {
+                return Err(format!(
+                    "{} line {}: missing {key:?}",
+                    path.display(),
+                    k + 1
+                ));
+            }
+        }
+        lines += 1;
+    }
+    Ok(lines)
+}
+
+fn check_prom(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if !text.contains("# TYPE") {
+        return Err(format!("{}: no # TYPE lines", path.display()));
+    }
+    if !text.contains("esched_engine_jobs") {
+        return Err(format!("{}: missing esched_engine_jobs", path.display()));
+    }
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((_, num)) = line.rsplit_once(' ') else {
+            return Err(format!(
+                "{}: malformed sample line {line:?}",
+                path.display()
+            ));
+        };
+        if num.parse::<f64>().is_err() {
+            return Err(format!("{}: non-numeric sample {line:?}", path.display()));
+        }
+    }
+    Ok(())
+}
+
+fn find_postmortem(dir: &Path) -> Option<PathBuf> {
+    std::fs::read_dir(dir).ok()?.find_map(|entry| {
+        let path = entry.ok()?.path();
+        let name = path.file_name()?.to_str()?;
+        (name.starts_with("flight-postmortem-") && name.ends_with(".json")).then_some(path)
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        return fail(&format!("create {}: {e}", args.out.display()));
+    }
+    if args.poison {
+        // Route the engine's panic-path dump into the smoke directory.
+        std::env::set_var("ESCHED_FLIGHT_DIR", &args.out);
+    }
+
+    let power = PolynomialPower::paper(3.0, 0.1);
+    let mut requests: Vec<ScheduleRequest> = (0..args.jobs)
+        .map(|k| {
+            let tasks = WorkloadGenerator::new(
+                GeneratorConfig::paper_default().with_tasks(16),
+                9000 + k as u64,
+            )
+            .generate();
+            ScheduleRequest::new(tasks, 4, power).with_config(
+                EngineConfig::new()
+                    .with_solver(SolverKind::ProjectedGradient)
+                    .with_solve_options(SolveOptions::fast())
+                    .with_sim_verify(true),
+            )
+        })
+        .collect();
+    if args.poison {
+        // `cores == 0` trips the execute() assert inside the pool: the
+        // job fails, the batch survives, and the flight recorder dumps.
+        requests[args.jobs / 2].cores = 0;
+    }
+
+    let exporter = match Exporter::start(ExporterConfig::into_dir(
+        &args.out,
+        Duration::from_millis(50),
+    )) {
+        Ok(e) => e,
+        Err(e) => return fail(&format!("exporter start: {e}")),
+    };
+    let engine = Engine::new();
+    let results = engine.run_batch(&requests);
+    // Let the sampler take at least one mid-run snapshot before stopping.
+    std::thread::sleep(Duration::from_millis(120));
+    let lines = match exporter.stop() {
+        Ok(n) => n,
+        Err(e) => return fail(&format!("exporter stop: {e}")),
+    };
+
+    let failures = results.iter().filter(|r| r.is_err()).count();
+    let expected_failures = usize::from(args.poison);
+    if failures != expected_failures {
+        return fail(&format!(
+            "{failures} failed jobs, expected {expected_failures}"
+        ));
+    }
+    if lines < 2 {
+        return fail(&format!("exporter wrote only {lines} samples"));
+    }
+    let jsonl = args.out.join("metrics.jsonl");
+    match check_jsonl(&jsonl) {
+        Ok(n) if n as u64 == lines => {}
+        Ok(n) => {
+            return fail(&format!(
+                "{n} JSONL lines on disk, exporter reported {lines}"
+            ))
+        }
+        Err(e) => return fail(&e),
+    }
+    if let Err(e) = check_prom(&args.out.join("metrics.prom")) {
+        return fail(&e);
+    }
+    if args.poison {
+        let Some(path) = find_postmortem(&args.out) else {
+            return fail("no flight-postmortem-*.json after poisoned job");
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("{}: {e}", path.display())),
+        };
+        let doc = match parse(&text) {
+            Ok(d) => d,
+            Err(e) => return fail(&format!("{}: {e:?}", path.display())),
+        };
+        let n_events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .map(<[Value]>::len)
+            .unwrap_or(0);
+        if n_events == 0 {
+            return fail(&format!("{}: empty traceEvents", path.display()));
+        }
+        println!(
+            "obs_smoke: post-mortem {} ({n_events} events)",
+            path.display()
+        );
+    }
+    println!(
+        "obs_smoke: OK — {} jobs, {lines} exporter samples, artifacts in {}",
+        args.jobs,
+        args.out.display()
+    );
+    let _ = esched_obs::recorder::dump_at_exit_if_requested();
+    ExitCode::SUCCESS
+}

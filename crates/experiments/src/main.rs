@@ -106,7 +106,7 @@ fn main() -> ExitCode {
             _ => None,
         }
     };
-    match args.command.as_str() {
+    let code = match args.command.as_str() {
         "all" => {
             for cmd in [
                 "fig2",
@@ -137,5 +137,11 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+    };
+    // Flight-recorder exit dump, a no-op unless ESCHED_FLIGHT_EXIT names
+    // a path (std has no atexit, so binaries call this explicitly).
+    if let Some(path) = esched_obs::recorder::dump_at_exit_if_requested() {
+        eprintln!("flight recorder dumped to {}", path.display());
     }
+    code
 }

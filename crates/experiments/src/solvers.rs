@@ -9,6 +9,7 @@
 //! certified duality gaps.
 
 use crate::report::write_artifact;
+use esched_obs::chrome::{convergence_trace, ConvergencePoint};
 use esched_obs::{RunReport, TrialRecord, Value};
 use esched_opt::{kkt_report, EnergyProgram, SolveOptions, SolverKind, SolverTelemetry};
 use esched_subinterval::Timeline;
@@ -131,6 +132,34 @@ pub fn run_and_report(seed: u64, outdir: &Path) -> String {
         report.push(rec);
     }
     let _ = report.write_to_dir(outdir);
+
+    // Convergence traces: re-run every solver on the n=20 instance with
+    // per-iteration tracing on and render each run as Chrome counter
+    // tracks (objective / gap / step over iterations), loadable in
+    // Perfetto alongside a span capture.
+    let tasks =
+        WorkloadGenerator::new(GeneratorConfig::paper_default().with_tasks(20), seed).generate();
+    let tl = Timeline::build(&tasks);
+    let ep = EnergyProgram::new(&tasks, &tl, 4, PolynomialPower::paper(3.0, 0.1));
+    let opts = SolveOptions::default().with_trace_iters(true);
+    for kind in SolverKind::ALL {
+        let r = kind.solve(&ep, &opts);
+        let points: Vec<ConvergencePoint> = r
+            .iter_trace
+            .unwrap_or_default()
+            .iter()
+            .map(|s| ConvergencePoint {
+                iter: s.iter,
+                objective: s.objective,
+                gap: s.gap,
+                step: s.step,
+            })
+            .collect();
+        let doc = convergence_trace(kind.name(), &points);
+        let file = format!("convergence_{}.trace.json", kind.name());
+        let _ = write_artifact(outdir, &file, &doc.to_string_pretty());
+        let _ = writeln!(out, "convergence trace: {file} ({} samples)", points.len());
+    }
     out
 }
 
@@ -154,6 +183,44 @@ mod tests {
         for r in &runs {
             assert!(r.gap >= -1e-9, "{}: negative gap {}", r.name, r.gap);
             assert!(r.seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn every_solver_yields_an_iteration_trace_when_asked() {
+        let tasks =
+            WorkloadGenerator::new(GeneratorConfig::paper_default().with_tasks(10), 7).generate();
+        let tl = Timeline::build(&tasks);
+        let ep = EnergyProgram::new(&tasks, &tl, 4, PolynomialPower::paper(3.0, 0.1));
+        let opts = SolveOptions::fast().with_trace_iters(true);
+        for kind in SolverKind::ALL {
+            let r = kind.solve(&ep, &opts);
+            let trace = r.iter_trace.unwrap_or_default();
+            assert!(!trace.is_empty(), "{}: empty iteration trace", kind.name());
+            // Iteration numbers are positive and non-decreasing.
+            let mut prev = 0usize;
+            for s in &trace {
+                assert!(s.iter >= prev.max(1), "{}: iter order", kind.name());
+                assert!(s.objective.is_finite());
+                prev = s.iter;
+            }
+            let doc = convergence_trace(
+                kind.name(),
+                &trace
+                    .iter()
+                    .map(|s| ConvergencePoint {
+                        iter: s.iter,
+                        objective: s.objective,
+                        gap: s.gap,
+                        step: s.step,
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            assert!(!doc
+                .get("traceEvents")
+                .and_then(Value::as_array)
+                .unwrap()
+                .is_empty());
         }
     }
 }

@@ -32,6 +32,15 @@ use std::time::Instant;
 pub const SPANS_PID: u64 = 1;
 /// `pid` used for schedule renderings from [`schedule_trace`].
 pub const SCHEDULE_PID: u64 = 2;
+/// `pid` used for flight-recorder dumps ([`crate::recorder::to_chrome`]).
+pub const FLIGHT_PID: u64 = 3;
+/// `pid` used for per-request tracks when a [`ChromeTraceSink`] runs in
+/// request-scoped mode ([`ChromeTraceSink::request_scoped`]); separate
+/// from [`SPANS_PID`] so request ids never collide with thread indices.
+pub const REQUESTS_PID: u64 = 4;
+/// `pid` used for solver convergence counter tracks
+/// ([`convergence_trace`]).
+pub const CONVERGENCE_PID: u64 = 5;
 
 /// One segment of a schedule, decoupled from `esched-types` (which
 /// depends on this crate): the caller maps its own segment type into
@@ -55,6 +64,10 @@ struct ChromeInner {
     start: Instant,
     /// Known OS threads, in first-seen order; index = trace `tid`.
     threads: Vec<ThreadId>,
+    /// Request ids seen while in request-scoped mode, first-seen order.
+    requests: Vec<u64>,
+    /// Group events by originating request instead of OS thread.
+    request_scoped: bool,
     events: Vec<Value>,
 }
 
@@ -82,9 +95,28 @@ impl ChromeTraceSink {
             inner: Arc::new(Mutex::new(ChromeInner {
                 start: Instant::now(),
                 threads: Vec::new(),
+                requests: Vec::new(),
+                request_scoped: false,
                 events: Vec::new(),
             })),
         }
+    }
+
+    /// New empty sink in **request-scoped mode**: records produced while
+    /// the emitting thread is inside a `RequestScope` land on a
+    /// per-request track (`pid` [`REQUESTS_PID`], `tid` = request id)
+    /// instead of the emitting OS thread's track. This is what keeps a
+    /// stolen job's spans grouped with its originating request — under
+    /// the work-stealing pool, the OS thread that *finishes* a request is
+    /// not always the one that represents it. Records emitted outside
+    /// any request scope fall back to thread tracks as in [`Self::new`].
+    pub fn request_scoped() -> Self {
+        let sink = Self::new();
+        sink.inner
+            .lock()
+            .expect("chrome sink poisoned")
+            .request_scoped = true;
+        sink
     }
 
     /// Number of buffered trace events.
@@ -112,6 +144,16 @@ impl ChromeTraceSink {
                 &format!("thread {tid}"),
             ));
         }
+        if !inner.requests.is_empty() {
+            events.push(process_name_event(REQUESTS_PID, "esched requests"));
+            for &req in &inner.requests {
+                events.push(thread_name_event(
+                    REQUESTS_PID,
+                    req,
+                    &format!("request {req}"),
+                ));
+            }
+        }
         events.extend(inner.events.iter().cloned());
         trace_document(events)
     }
@@ -128,32 +170,53 @@ impl ChromeTraceSink {
 impl Sink for ChromeTraceSink {
     fn record(&self, rec: &Record) {
         let thread = std::thread::current().id();
+        let request = crate::ctx::current_request_raw();
         let mut inner = self.inner.lock().expect("chrome sink poisoned");
         let ts = inner.start.elapsed().as_nanos() as f64 / 1_000.0;
-        let tid = match inner.threads.iter().position(|&t| t == thread) {
-            Some(i) => i,
-            None => {
-                inner.threads.push(thread);
-                inner.threads.len() - 1
+        // In request-scoped mode, records emitted inside a RequestScope
+        // land on the request's own track — tid = request id under
+        // REQUESTS_PID — so a job finished by a *stealing* worker still
+        // groups with its originating request. Everything else (and every
+        // record in plain mode) uses the emitting OS thread's track.
+        let (pid, tid) = if inner.request_scoped && request != 0 {
+            if !inner.requests.contains(&request) {
+                inner.requests.push(request);
             }
-        } as u64;
-        let ev = match &rec.kind {
+            (REQUESTS_PID, request)
+        } else {
+            let tid = match inner.threads.iter().position(|&t| t == thread) {
+                Some(i) => i,
+                None => {
+                    inner.threads.push(thread);
+                    inner.threads.len() - 1
+                }
+            } as u64;
+            (SPANS_PID, tid)
+        };
+        let mut ev = match &rec.kind {
             RecordKind::SpanEnter => {
-                duration_event("B", &rec.name, &rec.target, ts, tid, &rec.fields)
+                duration_event("B", &rec.name, &rec.target, ts, pid, tid, &rec.fields)
             }
             RecordKind::SpanExit { .. } => {
-                duration_event("E", &rec.name, &rec.target, ts, tid, &rec.fields)
+                duration_event("E", &rec.name, &rec.target, ts, pid, tid, &rec.fields)
             }
             RecordKind::Event => {
                 let numeric = !rec.fields.is_empty()
                     && rec.fields.iter().all(|(_, v)| field_num(v).is_some());
                 if numeric {
-                    counter_event(SPANS_PID, &rec.name, ts, tid, &rec.fields)
+                    counter_event(pid, &rec.name, ts, tid, &rec.fields)
                 } else {
-                    instant_event(&rec.name, &rec.target, ts, tid, &rec.fields)
+                    instant_event(&rec.name, &rec.target, ts, pid, tid, &rec.fields)
                 }
             }
         };
+        // Tag with the originating request so downstream tooling (and
+        // `merge`d documents) can regroup events regardless of mode.
+        if request != 0 {
+            if let Value::Obj(pairs) = &mut ev {
+                pairs.push(("req".to_string(), Value::Num(request as f64)));
+            }
+        }
         inner.events.push(ev);
     }
 }
@@ -253,6 +316,55 @@ pub fn schedule_trace_seconds(cores: usize, segments: &[TraceSegment]) -> Value 
     schedule_trace(cores, segments, 1e6)
 }
 
+/// One per-iteration sample of a solver run, decoupled from `esched-opt`
+/// (which depends on this crate): the caller maps its own iteration-trace
+/// type into this plain record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergencePoint {
+    /// Iteration number (sweeps for block descent, Newton steps for the
+    /// barrier method).
+    pub iter: usize,
+    /// Objective value at this iterate.
+    pub objective: f64,
+    /// Last known certified duality gap (may be `inf` before the first
+    /// gap check; non-finite values are skipped in the rendering).
+    pub gap: f64,
+    /// Step size / step-quality scalar (solver-specific: step length for
+    /// the gradient methods, `γ` for Frank–Wolfe, objective decrease for
+    /// block descent, barrier `μ` progress for interior point).
+    pub step: f64,
+}
+
+/// Render a solver's per-iteration trace as Chrome **counter tracks**
+/// (`"C"` events under [`CONVERGENCE_PID`], one track each for objective,
+/// gap, and step, named `<solver> <quantity>`), with the iteration number
+/// as the time axis (1 iteration = 1 µs). Merge with a span capture via
+/// [`merge`] to inspect convergence next to the run that produced it.
+pub fn convergence_trace(solver: &str, points: &[ConvergencePoint]) -> Value {
+    let mut events: Vec<Value> = vec![process_name_event(
+        CONVERGENCE_PID,
+        &format!("esched solver convergence: {solver}"),
+    )];
+    for p in points {
+        let ts = p.iter as f64;
+        for (quantity, v) in [("objective", p.objective), ("gap", p.gap), ("step", p.step)] {
+            if !v.is_finite() {
+                continue;
+            }
+            events.push(event_obj(
+                "C",
+                &format!("{solver} {quantity}"),
+                "convergence",
+                ts,
+                CONVERGENCE_PID,
+                0,
+                vec![(quantity.to_string(), Value::Num(v))],
+            ));
+        }
+    }
+    trace_document(events)
+}
+
 /// Concatenate several Trace Event Format documents into one (e.g. a
 /// [`ChromeTraceSink`] capture plus a [`schedule_trace`] rendering).
 /// Inputs that are not documents produced by this module contribute no
@@ -267,7 +379,7 @@ pub fn merge(traces: &[Value]) -> Value {
     trace_document(events)
 }
 
-fn trace_document(events: Vec<Value>) -> Value {
+pub(crate) fn trace_document(events: Vec<Value>) -> Value {
     Value::obj(vec![
         ("traceEvents", Value::Arr(events)),
         ("displayTimeUnit", Value::Str("ms".to_string())),
@@ -299,7 +411,7 @@ fn field_args(fields: &[(&'static str, FieldValue)]) -> Vec<(String, Value)> {
         .collect()
 }
 
-fn event_obj(
+pub(crate) fn event_obj(
     ph: &str,
     name: &str,
     cat: &str,
@@ -327,20 +439,22 @@ fn duration_event(
     name: &str,
     target: &str,
     ts: f64,
+    pid: u64,
     tid: u64,
     fields: &[(&'static str, FieldValue)],
 ) -> Value {
-    event_obj(ph, name, target, ts, SPANS_PID, tid, field_args(fields))
+    event_obj(ph, name, target, ts, pid, tid, field_args(fields))
 }
 
 fn instant_event(
     name: &str,
     target: &str,
     ts: f64,
+    pid: u64,
     tid: u64,
     fields: &[(&'static str, FieldValue)],
 ) -> Value {
-    let mut ev = event_obj("i", name, target, ts, SPANS_PID, tid, field_args(fields));
+    let mut ev = event_obj("i", name, target, ts, pid, tid, field_args(fields));
     if let Value::Obj(pairs) = &mut ev {
         // Instant scope: thread.
         pairs.push(("s".to_string(), Value::Str("t".to_string())));
@@ -362,7 +476,7 @@ fn counter_event(
     event_obj("C", name, "counter", ts, pid, tid, args)
 }
 
-fn process_name_event(pid: u64, name: &str) -> Value {
+pub(crate) fn process_name_event(pid: u64, name: &str) -> Value {
     event_obj(
         "M",
         "process_name",
@@ -374,7 +488,7 @@ fn process_name_event(pid: u64, name: &str) -> Value {
     )
 }
 
-fn thread_name_event(pid: u64, tid: u64, name: &str) -> Value {
+pub(crate) fn thread_name_event(pid: u64, tid: u64, name: &str) -> Value {
     event_obj(
         "M",
         "thread_name",
@@ -484,6 +598,108 @@ mod tests {
             c0.get("args").unwrap().get("f").unwrap().as_f64(),
             Some(0.8)
         );
+    }
+
+    #[test]
+    fn request_scoped_sink_groups_by_request_not_thread() {
+        let _g = serial();
+        let sink = ChromeTraceSink::request_scoped();
+        init_with(Filter::parse("trace"), Arc::new(sink.clone()));
+        let req_a = crate::ctx::RequestId::next();
+        let req_b = crate::ctx::RequestId::next();
+        // Two requests on two different OS threads (as under a
+        // work-stealing pool), plus one record outside any scope.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _scope = crate::ctx::RequestScope::enter(req_a);
+                let _span = crate::span!(Level::Info, "job");
+            });
+            s.spawn(|| {
+                let _scope = crate::ctx::RequestScope::enter(req_b);
+                let _span = crate::span!(Level::Info, "job");
+            });
+        });
+        crate::event!(Level::Info, "outside", msg = "no scope");
+        disable();
+        let doc = sink.to_json();
+        let parsed = parse(&doc.to_string_pretty()).unwrap();
+        let evs = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        // Each request's B/E pair sits on tid = request id under the
+        // requests pid, tagged with its req.
+        for req in [req_a, req_b] {
+            let mine: Vec<_> = evs
+                .iter()
+                .filter(|e| {
+                    e.get("ph").unwrap().as_str() != Some("M")
+                        && e.get("tid").unwrap().as_u64() == Some(req.as_u64())
+                })
+                .collect();
+            assert_eq!(mine.len(), 2, "one B and one E for {req}");
+            for e in mine {
+                assert_eq!(e.get("pid").unwrap().as_u64(), Some(REQUESTS_PID));
+                assert_eq!(e.get("req").unwrap().as_u64(), Some(req.as_u64()));
+            }
+        }
+        // The out-of-scope event stays on a thread track with no req tag.
+        let outside = evs
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("outside"))
+            .unwrap();
+        assert_eq!(outside.get("pid").unwrap().as_u64(), Some(SPANS_PID));
+        assert!(outside.get("req").is_none());
+        // Track metadata names both requests.
+        let tracks: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert!(tracks.contains(&format!("request {}", req_a.as_u64()).as_str()));
+    }
+
+    #[test]
+    fn convergence_trace_renders_counter_tracks() {
+        let points = [
+            ConvergencePoint {
+                iter: 1,
+                objective: 10.0,
+                gap: f64::INFINITY,
+                step: 1.0,
+            },
+            ConvergencePoint {
+                iter: 2,
+                objective: 8.0,
+                gap: 0.5,
+                step: 0.5,
+            },
+        ];
+        let doc = convergence_trace("pgd", &points);
+        let parsed = parse(&doc.to_string_pretty()).unwrap();
+        let evs = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        let counters: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        // Point 1 skips its non-finite gap: 3 + 2 counter samples.
+        assert_eq!(counters.len(), 5);
+        let gap = counters
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("pgd gap"))
+            .unwrap();
+        assert_eq!(gap.get("ts").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            gap.get("args").unwrap().get("gap").unwrap().as_f64(),
+            Some(0.5)
+        );
+        assert!(counters
+            .iter()
+            .all(|e| e.get("pid").unwrap().as_u64() == Some(CONVERGENCE_PID)));
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Continuous metrics export: a background sampler thread that turns the
+//! process-global [`crate::metrics`] registry into two on-disk artifacts
+//! a service operator can tail while the engine runs:
+//!
+//! * **JSONL time series** — one line per sampling tick holding the
+//!   [`crate::metrics::Snapshot::delta_since`] the previous tick
+//!   (counters and histograms as deltas, gauges as current values),
+//!   stamped with a sequence number, wall-clock unix milliseconds, and
+//!   seconds since the exporter started;
+//! * **Prometheus-style text exposition** — the full current snapshot
+//!   rewritten every tick in the text format scrapers understand
+//!   (`# TYPE` lines, `_bucket{le="…"}`/`_sum`/`_count` for histograms,
+//!   metric names with `.` mapped to `_`).
+//!
+//! The sampler wakes on an interval, never blocks recorders (snapshots
+//! are relaxed atomic reads), and takes one final sample on
+//! [`Exporter::stop`] so short runs still produce at least one line.
+
+use crate::json::Value;
+use crate::metrics::{self, Metric, Snapshot};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime};
+
+/// Where and how often the exporter samples.
+#[derive(Debug, Clone)]
+pub struct ExporterConfig {
+    /// Sampling interval.
+    pub interval: Duration,
+    /// Path of the JSONL time-series file (appended, one line per tick).
+    pub jsonl_path: PathBuf,
+    /// Path of the Prometheus exposition file (rewritten every tick);
+    /// `None` skips the exposition.
+    pub prom_path: Option<PathBuf>,
+}
+
+impl ExporterConfig {
+    /// Sample every `interval` into `<dir>/metrics.jsonl` and
+    /// `<dir>/metrics.prom`.
+    pub fn into_dir(dir: &std::path::Path, interval: Duration) -> Self {
+        Self {
+            interval,
+            jsonl_path: dir.join("metrics.jsonl"),
+            prom_path: Some(dir.join("metrics.prom")),
+        }
+    }
+}
+
+/// Handle to a running background sampler. Dropping without calling
+/// [`Exporter::stop`] also shuts the thread down, but discards the final
+/// sample's I/O result.
+#[derive(Debug)]
+pub struct Exporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<std::io::Result<u64>>>,
+}
+
+impl Exporter {
+    /// Start sampling per `cfg`. Creates the output directory as needed
+    /// and truncates a pre-existing JSONL file so every run's series
+    /// starts at sequence 0.
+    ///
+    /// # Errors
+    /// Fails if the JSONL file cannot be created.
+    pub fn start(cfg: ExporterConfig) -> std::io::Result<Self> {
+        if let Some(parent) = cfg.jsonl_path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut jsonl = std::fs::File::create(&cfg.jsonl_path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        // Baseline taken synchronously: the series' deltas are "since
+        // start() returned", not "since the thread got scheduled".
+        let baseline = metrics::snapshot();
+        let handle = std::thread::Builder::new()
+            .name("esched-exporter".to_string())
+            .spawn(move || -> std::io::Result<u64> {
+                let t0 = Instant::now();
+                let mut prev = baseline;
+                let mut seq = 0u64;
+                loop {
+                    let stopping = stop_flag.load(Ordering::Relaxed);
+                    if !stopping {
+                        // Sleep in small slices so stop() is prompt even
+                        // with second-scale intervals.
+                        let deadline = Instant::now() + cfg.interval;
+                        while Instant::now() < deadline && !stop_flag.load(Ordering::Relaxed) {
+                            std::thread::sleep(cfg.interval.min(Duration::from_millis(20)));
+                        }
+                    }
+                    let snap = metrics::snapshot();
+                    let delta = snap.delta_since(&prev);
+                    let unix_ms = SystemTime::now()
+                        .duration_since(SystemTime::UNIX_EPOCH)
+                        .map(|d| d.as_millis() as f64)
+                        .unwrap_or(0.0);
+                    let line = Value::obj(vec![
+                        ("seq", Value::Num(seq as f64)),
+                        ("unix_ms", Value::Num(unix_ms)),
+                        ("elapsed_s", Value::Num(t0.elapsed().as_secs_f64())),
+                        ("metrics", delta.to_json()),
+                    ]);
+                    writeln!(jsonl, "{line}")?;
+                    if let Some(prom) = &cfg.prom_path {
+                        std::fs::write(prom, prometheus_exposition(&snap))?;
+                    }
+                    prev = snap;
+                    seq += 1;
+                    if stopping {
+                        jsonl.flush()?;
+                        return Ok(seq);
+                    }
+                }
+            })?;
+        Ok(Self {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Stop the sampler, take one final sample, and return the number of
+    /// JSONL lines written.
+    ///
+    /// # Errors
+    /// Propagates the sampler thread's I/O errors.
+    pub fn stop(mut self) -> std::io::Result<u64> {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.handle.take().expect("stop runs once").join() {
+            Ok(result) => result,
+            Err(_) => Err(std::io::Error::other("exporter thread panicked")),
+        }
+    }
+}
+
+impl Drop for Exporter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Map an `esched.<crate>.<quantity>` metric name onto the Prometheus
+/// charset (`[a-zA-Z0-9_:]`, no leading digit).
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn prom_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format. Counters
+/// and gauges are single samples; histograms become cumulative
+/// `_bucket{le="…"}` samples (log2 upper edges, then `+Inf`) plus `_sum`
+/// and `_count`, matching the registry's bucket layout.
+pub fn prometheus_exposition(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, metric) in &snap.entries {
+        let pname = prom_name(name);
+        match metric {
+            Metric::Counter(v) => {
+                out.push_str(&format!("# TYPE {pname} counter\n"));
+                out.push_str(&format!("{pname} {v}\n"));
+            }
+            Metric::Gauge(v) => {
+                out.push_str(&format!("# TYPE {pname} gauge\n"));
+                out.push_str(&format!("{pname} {}\n", prom_num(*v)));
+            }
+            Metric::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                out.push_str(&format!("# TYPE {pname} histogram\n"));
+                let mut cumulative = 0u64;
+                for (k, &c) in buckets.iter().enumerate() {
+                    cumulative += c;
+                    out.push_str(&format!(
+                        "{pname}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        1u64 << k
+                    ));
+                }
+                out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {count}\n"));
+                out.push_str(&format!("{pname}_sum {sum}\n"));
+                out.push_str(&format!("{pname}_count {count}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn exposition_renders_all_three_kinds() {
+        metrics::counter("esched.test.export_counter").add(3);
+        metrics::gauge("esched.test.export_gauge").set(1.5);
+        let h = metrics::histogram("esched.test.export_hist");
+        h.record(1);
+        h.record(3);
+        let text = prometheus_exposition(&metrics::snapshot());
+        assert!(text.contains("# TYPE esched_test_export_counter counter"));
+        assert!(text.contains("esched_test_export_counter 3"));
+        assert!(text.contains("esched_test_export_gauge 1.5"));
+        assert!(text.contains("# TYPE esched_test_export_hist histogram"));
+        // Cumulative buckets: le=1 has 1 sample, le=4 both, +Inf = count.
+        assert!(text.contains("esched_test_export_hist_bucket{le=\"1\"} 1"));
+        assert!(text.contains("esched_test_export_hist_bucket{le=\"4\"} 2"));
+        assert!(text.contains("esched_test_export_hist_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("esched_test_export_hist_sum 4"));
+        assert!(text.contains("esched_test_export_hist_count 2"));
+    }
+
+    #[test]
+    fn exporter_writes_parseable_jsonl_and_prom() {
+        let dir = std::env::temp_dir().join(format!("esched-export-test-{}", std::process::id()));
+        let cfg = ExporterConfig::into_dir(&dir, Duration::from_millis(10));
+        let jsonl_path = cfg.jsonl_path.clone();
+        let prom_path = cfg.prom_path.clone().unwrap();
+        let exporter = Exporter::start(cfg).unwrap();
+        metrics::counter("esched.test.export_live").add(5);
+        std::thread::sleep(Duration::from_millis(40));
+        let lines = exporter.stop().unwrap();
+        assert!(lines >= 1);
+        let text = std::fs::read_to_string(&jsonl_path).unwrap();
+        let parsed: Vec<Value> = text
+            .lines()
+            .map(|l| parse(l).expect("each line is standalone JSON"))
+            .collect();
+        assert_eq!(parsed.len() as u64, lines);
+        // Sequence numbers are dense from 0 and the delta carries the
+        // counter bump in exactly one line.
+        for (k, v) in parsed.iter().enumerate() {
+            assert_eq!(v.get("seq").unwrap().as_u64(), Some(k as u64));
+            assert!(v.get("elapsed_s").unwrap().as_f64().is_some());
+            assert!(v.get("metrics").is_some());
+        }
+        let bumps: f64 = parsed
+            .iter()
+            .filter_map(|v| v.get("metrics").unwrap().get("esched.test.export_live"))
+            .filter_map(|v| v.as_f64())
+            .sum();
+        assert!(bumps >= 5.0, "counter delta lost: {bumps}");
+        assert!(std::fs::read_to_string(&prom_path)
+            .unwrap()
+            .contains("esched_test_export_live"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

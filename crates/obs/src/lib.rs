@@ -22,6 +22,19 @@
 //!   `trace_event` JSON, and [`chrome::schedule_trace`] which renders a
 //!   finished schedule as one trace thread per core with a frequency
 //!   counter track.
+//! * [`ctx`] — request-scoped trace context: process-unique
+//!   [`ctx::RequestId`]s, a thread-local [`ctx::RequestScope`], and the
+//!   per-phase [`ctx::TraceCtx`] latency breakdown the engine attaches to
+//!   outcomes (excluded from canonical JSON, so determinism comparisons
+//!   never see it).
+//! * [`recorder`] — the always-on **flight recorder**: a fixed-size,
+//!   lock-free (seqlock-sharded, zero-allocation) ring of recent
+//!   span/event records that dumps a Perfetto-loadable post-mortem on a
+//!   job panic (`ESCHED_FLIGHT_DIR`), on demand ([`recorder::dump`]), or
+//!   at exit (`ESCHED_FLIGHT_EXIT`). Disable with `ESCHED_FLIGHT=0`.
+//! * [`export`] — the continuous exporter: a background sampler thread
+//!   emitting [`metrics::snapshot`] deltas as a JSONL time series plus a
+//!   Prometheus-style text exposition file.
 //! * [`json`] — an insertion-order-preserving JSON value, emitter, and
 //!   parser plus the [`json::ToJson`]/[`json::FromJson`] traits used for
 //!   machine-readable artifacts (task sets, run reports).
@@ -54,14 +67,20 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod ctx;
+pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod trace;
 
+pub use ctx::{RequestId, RequestScope, TraceCtx};
+pub use export::{Exporter, ExporterConfig};
 pub use json::{FromJson, JsonError, ToJson, Value};
+pub use recorder::{FlightKind, FlightRecord, FlightSpan};
 pub use report::{RunReport, TrialRecord};
 pub use rng::ChaCha8;
 pub use trace::Level;

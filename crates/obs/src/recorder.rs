@@ -1,0 +1,685 @@
+//! Always-on flight recorder: a fixed-size, lock-free ring of the most
+//! recent span/event/counter records, dumped as a Perfetto-loadable JSON
+//! post-mortem when something goes wrong.
+//!
+//! ## Memory model
+//!
+//! The ring is [`SHARDS`] shards of [`SLOTS_PER_SHARD`] slots; every slot
+//! field is an `AtomicU64`, so the whole structure is safe Rust (this
+//! crate forbids `unsafe`). Each thread is assigned one shard at first
+//! write (round-robin over a global counter), making the common case a
+//! **single-writer** shard; a per-slot seqlock makes reads safe anyway:
+//!
+//! * writer: store `seq = 0` (invalid), `fence(Release)`, store the
+//!   payload fields relaxed, then store `seq = epoch` with `Release`;
+//! * reader: load `seq` with `Acquire`, read the payload relaxed,
+//!   `fence(Acquire)`, re-load `seq` relaxed — the record is accepted only
+//!   if both loads agree, are non-zero, and match the payload's own epoch
+//!   stamp (the cross-writer tear check for the >-[`SHARDS`]-threads case).
+//!
+//! Epochs come from one global `fetch_add`, so accepted records have
+//! process-wide unique, monotonically increasing epochs — [`snapshot`]
+//! sorts by epoch and that *is* the causal order of recording.
+//!
+//! ## Hot path
+//!
+//! One relaxed enabled-check, two `fetch_add`s, seven atomic stores, and a
+//! monotonic-clock read; no allocation, no locks. Names are `&'static str`
+//! interned once per call site ([`crate::flight_span!`] /
+//! [`crate::flight_event!`] cache the [`NameId`] in a `OnceLock`). Total
+//! footprint is `SHARDS × SLOTS_PER_SHARD × 48 B` (1.5 MiB), allocated
+//! lazily on first use.
+//!
+//! ## Dumps
+//!
+//! [`dump`] renders the ring as a Chrome Trace Event document (spans as
+//! complete `"X"` events on one track per request, instants and counters
+//! alongside) that loads directly in Perfetto. The engine calls
+//! [`dump_post_mortem`] when a job panics — gated on `ESCHED_FLIGHT_DIR`
+//! so tests that *expect* panics don't spray files — and binaries call
+//! [`dump_at_exit_if_requested`] (gated on `ESCHED_FLIGHT_EXIT`) before
+//! returning from `main`. The recorder itself is on by default; set
+//! `ESCHED_FLIGHT=0` (or call [`set_enabled`]) to make every record call a
+//! single relaxed load.
+
+use crate::json::Value;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{fence, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of ring shards; threads are assigned round-robin, so up to this
+/// many concurrently-recording threads never share a shard.
+pub const SHARDS: usize = 64;
+/// Slots per shard.
+pub const SLOTS_PER_SHARD: usize = 512;
+
+/// Total ring capacity in records.
+pub fn capacity() -> usize {
+    SHARDS * SLOTS_PER_SHARD
+}
+
+/// What one flight record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A completed span; `value` is the elapsed nanoseconds and `t_ns` the
+    /// end time (start = `t_ns - value`).
+    Span,
+    /// A point event; `value` is free-form.
+    Event,
+    /// A sampled quantity rendered as a counter track.
+    Counter,
+    /// A panic stamp written by `RequestScope::drop` during unwinding.
+    Panic,
+}
+
+impl FlightKind {
+    fn to_u64(self) -> u64 {
+        match self {
+            FlightKind::Span => 0,
+            FlightKind::Event => 1,
+            FlightKind::Counter => 2,
+            FlightKind::Panic => 3,
+        }
+    }
+
+    fn from_u64(v: u64) -> Option<Self> {
+        match v {
+            0 => Some(FlightKind::Span),
+            1 => Some(FlightKind::Event),
+            2 => Some(FlightKind::Counter),
+            3 => Some(FlightKind::Panic),
+            _ => None,
+        }
+    }
+}
+
+/// An interned record name. Obtain via [`name_id`]; the
+/// [`crate::flight_span!`] / [`crate::flight_event!`] macros cache one per
+/// call site so the steady-state cost is a single atomic load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NameId(pub(crate) u32);
+
+fn names() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Intern `name`, returning its stable id. Idempotent; intended to run
+/// once per call site, not on the hot path.
+pub fn name_id(name: &'static str) -> NameId {
+    let mut reg = names().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(i) = reg.iter().position(|&n| n == name) {
+        return NameId(i as u32);
+    }
+    reg.push(name);
+    NameId((reg.len() - 1) as u32)
+}
+
+fn name_of(id: NameId) -> Option<&'static str> {
+    names()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(id.0 as usize)
+        .copied()
+}
+
+// Enabled flag: 0 = read ESCHED_FLIGHT on first use, 1 = on, 2 = off.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Is the recorder currently recording? On by default; `ESCHED_FLIGHT=0`
+/// (also `off` / `false`) disables it at first use.
+#[inline]
+pub fn is_enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => init_enabled(),
+    }
+}
+
+#[cold]
+fn init_enabled() -> bool {
+    let off = matches!(
+        std::env::var("ESCHED_FLIGHT").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    );
+    ENABLED.store(if off { 2 } else { 1 }, Ordering::Relaxed);
+    !off
+}
+
+/// Turn recording on or off at runtime (overrides the env default).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+struct Slot {
+    seq: AtomicU64,
+    epoch: AtomicU64,
+    meta: AtomicU64,
+    request: AtomicU64,
+    t_ns: AtomicU64,
+    value: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            request: AtomicU64::new(0),
+            t_ns: AtomicU64::new(0),
+            value: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Shard {
+    head: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+fn shards() -> &'static [Shard] {
+    static RING: OnceLock<Vec<Shard>> = OnceLock::new();
+    RING.get_or_init(|| {
+        (0..SHARDS)
+            .map(|_| Shard {
+                head: AtomicU64::new(0),
+                slots: (0..SLOTS_PER_SHARD).map(|_| Slot::empty()).collect(),
+            })
+            .collect()
+    })
+}
+
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+#[inline]
+fn shard_index() -> usize {
+    MY_SHARD.with(|c| {
+        let v = c.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            c.set(v);
+            v
+        }
+    })
+}
+
+fn clock_origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+#[inline]
+fn now_ns() -> u64 {
+    clock_origin().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Write one record tagged with the calling thread's current request
+/// (see [`crate::ctx::current_request_raw`]).
+#[inline]
+pub fn record(kind: FlightKind, name: NameId, value: u64) {
+    record_for(kind, name, crate::ctx::current_request_raw(), value);
+}
+
+/// Write one record with an explicit request id (0 = none).
+pub fn record_for(kind: FlightKind, name: NameId, request: u64, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let shard = &shards()[shard_index()];
+    // Epochs start at 1 so a committed seq is always non-zero.
+    let epoch = EPOCH.fetch_add(1, Ordering::Relaxed) + 1;
+    let i = (shard.head.fetch_add(1, Ordering::Relaxed) as usize) % SLOTS_PER_SHARD;
+    let slot = &shard.slots[i];
+    // Seqlock write: invalidate, payload, commit (see module docs).
+    slot.seq.store(0, Ordering::Relaxed);
+    fence(Ordering::Release);
+    slot.epoch.store(epoch, Ordering::Relaxed);
+    slot.meta
+        .store((kind.to_u64() << 32) | name.0 as u64, Ordering::Relaxed);
+    slot.request.store(request, Ordering::Relaxed);
+    slot.t_ns.store(now_ns(), Ordering::Relaxed);
+    slot.value.store(value, Ordering::Relaxed);
+    slot.seq.store(epoch, Ordering::Release);
+}
+
+/// Stamp a panic record for the current request. Called from
+/// `RequestScope::drop` while the thread is unwinding.
+pub fn record_panic() {
+    static NAME: OnceLock<NameId> = OnceLock::new();
+    record(FlightKind::Panic, *NAME.get_or_init(|| name_id("panic")), 1);
+}
+
+/// RAII span: records one [`FlightKind::Span`] with the elapsed
+/// nanoseconds when dropped. When the recorder is disabled at `begin`,
+/// the guard is fully inert (no clock read, nothing on drop).
+#[derive(Debug)]
+pub struct FlightSpan {
+    name: NameId,
+    start_ns: u64,
+    armed: bool,
+}
+
+impl FlightSpan {
+    /// Start a span named by `name`.
+    pub fn begin(name: NameId) -> Self {
+        let armed = is_enabled();
+        Self {
+            name,
+            start_ns: if armed { now_ns() } else { 0 },
+            armed,
+        }
+    }
+}
+
+impl Drop for FlightSpan {
+    fn drop(&mut self) {
+        if self.armed {
+            record(
+                FlightKind::Span,
+                self.name,
+                now_ns().saturating_sub(self.start_ns),
+            );
+        }
+    }
+}
+
+/// Flight span with the name-id lookup cached at the call site. Bind the
+/// result: `let _fs = flight_span!("der_alloc");`.
+#[macro_export]
+macro_rules! flight_span {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<$crate::recorder::NameId> = ::std::sync::OnceLock::new();
+        $crate::recorder::FlightSpan::begin(*SLOT.get_or_init(|| $crate::recorder::name_id($name)))
+    }};
+}
+
+/// Flight event with the name-id lookup cached at the call site.
+#[macro_export]
+macro_rules! flight_event {
+    ($name:expr, $value:expr) => {{
+        static SLOT: ::std::sync::OnceLock<$crate::recorder::NameId> = ::std::sync::OnceLock::new();
+        $crate::recorder::record(
+            $crate::recorder::FlightKind::Event,
+            *SLOT.get_or_init(|| $crate::recorder::name_id($name)),
+            $value as u64,
+        );
+    }};
+}
+
+/// Flight counter sample with the name-id lookup cached at the call site.
+#[macro_export]
+macro_rules! flight_counter {
+    ($name:expr, $value:expr) => {{
+        static SLOT: ::std::sync::OnceLock<$crate::recorder::NameId> = ::std::sync::OnceLock::new();
+        $crate::recorder::record(
+            $crate::recorder::FlightKind::Counter,
+            *SLOT.get_or_init(|| $crate::recorder::name_id($name)),
+            $value as u64,
+        );
+    }};
+}
+
+/// One decoded, tear-checked record read back from the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Process-wide unique, monotonically increasing record number.
+    pub epoch: u64,
+    /// Nanoseconds since the recorder's clock origin. For spans this is
+    /// the *end* time; start is `t_ns - value`.
+    pub t_ns: u64,
+    /// Record kind.
+    pub kind: FlightKind,
+    /// Interned record name.
+    pub name: &'static str,
+    /// Originating request id (0 = outside any request scope).
+    pub request: u64,
+    /// Kind-specific payload (elapsed ns for spans).
+    pub value: u64,
+}
+
+/// Read every currently valid record, tear-checked, sorted by epoch
+/// (recording order). Safe to call while writers are active: a slot being
+/// rewritten mid-read fails its seqlock check and is skipped; everything
+/// accepted is internally consistent.
+pub fn snapshot() -> Vec<FlightRecord> {
+    let mut out = Vec::new();
+    for shard in shards() {
+        for slot in &shard.slots {
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 {
+                continue;
+            }
+            let epoch = slot.epoch.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let request = slot.request.load(Ordering::Relaxed);
+            let t_ns = slot.t_ns.load(Ordering::Relaxed);
+            let value = slot.value.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            let s2 = slot.seq.load(Ordering::Relaxed);
+            if s1 != s2 || epoch != s1 {
+                continue; // torn: a writer got in between.
+            }
+            let Some(kind) = FlightKind::from_u64(meta >> 32) else {
+                continue;
+            };
+            let Some(name) = name_of(NameId((meta & 0xffff_ffff) as u32)) else {
+                continue;
+            };
+            out.push(FlightRecord {
+                epoch,
+                t_ns,
+                kind,
+                name,
+                request,
+                value,
+            });
+        }
+    }
+    out.sort_by_key(|r| r.epoch);
+    out
+}
+
+/// Invalidate every slot (test scaffolding; epochs keep increasing, so
+/// monotonicity holds across clears). Records committed concurrently with
+/// the clear may survive it.
+pub fn clear() {
+    for shard in shards() {
+        for slot in &shard.slots {
+            slot.seq.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Render records as a Chrome Trace Event document: one track per
+/// originating request (plus an `engine` track for request-less records)
+/// under [`crate::chrome::FLIGHT_PID`]; spans become complete `"X"`
+/// events, events/panics instants, counters counter tracks. Loads
+/// directly in Perfetto.
+pub fn to_chrome(records: &[FlightRecord]) -> Value {
+    use crate::chrome::{event_obj, process_name_event, thread_name_event, trace_document};
+    const PID: u64 = crate::chrome::FLIGHT_PID;
+
+    let mut requests: Vec<u64> = records.iter().map(|r| r.request).collect();
+    requests.sort_unstable();
+    requests.dedup();
+
+    let mut events: Vec<Value> = vec![process_name_event(PID, "esched flight recorder")];
+    for &req in &requests {
+        let label = if req == 0 {
+            "engine".to_string()
+        } else {
+            format!("request {req}")
+        };
+        events.push(thread_name_event(PID, req, &label));
+    }
+
+    // (start ts µs, epoch) orders the payload events.
+    let mut keyed: Vec<(f64, u64, Value)> = Vec::with_capacity(records.len());
+    for r in records {
+        let ts_end = r.t_ns as f64 / 1_000.0;
+        let epoch_arg = ("epoch".to_string(), Value::Num(r.epoch as f64));
+        let ev = match r.kind {
+            FlightKind::Span => {
+                let start = r.t_ns.saturating_sub(r.value) as f64 / 1_000.0;
+                let mut ev = event_obj(
+                    "X",
+                    r.name,
+                    "flight",
+                    start,
+                    PID,
+                    r.request,
+                    vec![epoch_arg],
+                );
+                if let Value::Obj(pairs) = &mut ev {
+                    pairs.push(("dur".to_string(), Value::Num(r.value as f64 / 1_000.0)));
+                }
+                (start, r.epoch, ev)
+            }
+            FlightKind::Event | FlightKind::Panic => {
+                let mut ev = event_obj(
+                    "i",
+                    r.name,
+                    "flight",
+                    ts_end,
+                    PID,
+                    r.request,
+                    vec![("value".to_string(), Value::Num(r.value as f64)), epoch_arg],
+                );
+                if let Value::Obj(pairs) = &mut ev {
+                    // Panics get global scope so they are visible at any zoom.
+                    let scope = if r.kind == FlightKind::Panic {
+                        "g"
+                    } else {
+                        "t"
+                    };
+                    pairs.push(("s".to_string(), Value::Str(scope.to_string())));
+                }
+                (ts_end, r.epoch, ev)
+            }
+            FlightKind::Counter => (
+                ts_end,
+                r.epoch,
+                event_obj(
+                    "C",
+                    r.name,
+                    "counter",
+                    ts_end,
+                    PID,
+                    r.request,
+                    vec![("value".to_string(), Value::Num(r.value as f64))],
+                ),
+            ),
+        };
+        keyed.push(ev);
+    }
+    keyed.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite timestamps")
+            .then(a.1.cmp(&b.1))
+    });
+    events.extend(keyed.into_iter().map(|(_, _, e)| e));
+    trace_document(events)
+}
+
+/// [`to_chrome`] of a fresh [`snapshot`].
+pub fn dump() -> Value {
+    to_chrome(&snapshot())
+}
+
+/// Write [`dump`] to `path` as pretty JSON.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn dump_to(path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, dump().to_string_pretty())
+}
+
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Post-mortem dump, gated on the `ESCHED_FLIGHT_DIR` environment
+/// variable: when set, writes the current ring as
+/// `<dir>/flight-postmortem-<pid>-<n>.json` (annotated with `reason`) and
+/// returns the path. When unset — the default, so panic-expecting tests
+/// don't spray files — this is a no-op returning `None`.
+pub fn dump_post_mortem(reason: &str) -> Option<PathBuf> {
+    let dir = PathBuf::from(std::env::var_os("ESCHED_FLIGHT_DIR")?);
+    let seq = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!(
+        "flight-postmortem-{}-{seq}.json",
+        std::process::id()
+    ));
+    let mut doc = dump();
+    if let Value::Obj(pairs) = &mut doc {
+        pairs.push((
+            "otherData".to_string(),
+            Value::obj(vec![("reason", Value::Str(reason.to_string()))]),
+        ));
+    }
+    std::fs::create_dir_all(&dir).ok()?;
+    std::fs::write(&path, doc.to_string_pretty()).ok()?;
+    Some(path)
+}
+
+/// Exit-hook dump, gated on `ESCHED_FLIGHT_EXIT`: when set to a path,
+/// writes the ring there and returns the path. Binaries call this once at
+/// the end of `main` (std has no portable atexit surface, and the dump
+/// must run before the process tears the ring down anyway).
+pub fn dump_at_exit_if_requested() -> Option<PathBuf> {
+    let path = std::env::var_os("ESCHED_FLIGHT_EXIT")?;
+    if path.is_empty() || path == "0" {
+        return None;
+    }
+    let path = PathBuf::from(path);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok()?;
+    }
+    dump_to(&path).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    // The ring is process-global and other obs tests record into it
+    // concurrently; every assertion here filters by names unique to the
+    // test, so the tests are order- and concurrency-independent.
+
+    fn mine<'a>(records: &'a [FlightRecord], prefix: &str) -> Vec<&'a FlightRecord> {
+        records
+            .iter()
+            .filter(|r| r.name.starts_with(prefix))
+            .collect()
+    }
+
+    #[test]
+    fn record_roundtrip_and_epoch_order() {
+        set_enabled(true);
+        let a = name_id("test.rec.alpha");
+        let b = name_id("test.rec.beta");
+        record_for(FlightKind::Event, a, 7, 11);
+        record_for(FlightKind::Counter, b, 7, 22);
+        let snap = snapshot();
+        let got = mine(&snap, "test.rec.");
+        assert!(got.len() >= 2);
+        let alpha = got.iter().find(|r| r.name == "test.rec.alpha").unwrap();
+        assert_eq!(alpha.kind, FlightKind::Event);
+        assert_eq!(alpha.request, 7);
+        assert_eq!(alpha.value, 11);
+        let beta = got.iter().find(|r| r.name == "test.rec.beta").unwrap();
+        assert!(beta.epoch > alpha.epoch, "snapshot must sort by epoch");
+        // Same name interns to the same id.
+        assert_eq!(name_id("test.rec.alpha"), a);
+    }
+
+    #[test]
+    fn span_macro_records_elapsed() {
+        set_enabled(true);
+        {
+            let _s = crate::flight_span!("test.span.timed");
+            std::hint::black_box(0);
+        }
+        let snap = snapshot();
+        let spans = mine(&snap, "test.span.timed");
+        assert!(!spans.is_empty());
+        assert!(spans.iter().all(|r| r.kind == FlightKind::Span));
+        // End time is at or after the elapsed duration.
+        assert!(spans.iter().all(|r| r.t_ns >= r.value));
+    }
+
+    #[test]
+    fn disabled_recorder_writes_nothing() {
+        set_enabled(false);
+        crate::flight_event!("test.disabled.event", 1);
+        {
+            let _s = crate::flight_span!("test.disabled.span");
+        }
+        set_enabled(true);
+        let snap = snapshot();
+        assert!(mine(&snap, "test.disabled.").is_empty());
+    }
+
+    #[test]
+    fn wraparound_keeps_the_most_recent_records() {
+        set_enabled(true);
+        let name = name_id("test.wrap.burst");
+        let total = SLOTS_PER_SHARD * 2 + 17;
+        for k in 0..total {
+            record_for(FlightKind::Event, name, 1, k as u64);
+        }
+        let snap = snapshot();
+        let got = mine(&snap, "test.wrap.burst");
+        // One thread writes one shard: at most a shard's worth survives,
+        // and they are exactly the most recent values written.
+        assert!(got.len() <= SLOTS_PER_SHARD);
+        assert!(!got.is_empty());
+        let min_kept = got.iter().map(|r| r.value).min().unwrap();
+        assert!(
+            min_kept >= (total - SLOTS_PER_SHARD) as u64,
+            "old records must be overwritten (min kept {min_kept})"
+        );
+        // Bounded memory: a snapshot can never exceed ring capacity.
+        assert!(snap.len() <= capacity());
+        // Epochs are strictly increasing after the sort.
+        assert!(snap.windows(2).all(|w| w[0].epoch < w[1].epoch));
+    }
+
+    #[test]
+    fn chrome_dump_parses_and_groups_by_request() {
+        set_enabled(true);
+        let ev = name_id("test.chrome.event");
+        let sp = name_id("test.chrome.span");
+        record_for(FlightKind::Event, ev, 41, 5);
+        record_for(FlightKind::Span, sp, 42, 1_000);
+        let snap = snapshot();
+        let picked: Vec<FlightRecord> = snap
+            .iter()
+            .filter(|r| r.name.starts_with("test.chrome."))
+            .copied()
+            .collect();
+        let doc = to_chrome(&picked);
+        let parsed = parse(&doc.to_string_pretty()).unwrap();
+        let evs = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        // Track names for both requests plus the process name.
+        let tracks: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert!(tracks.contains(&"request 41") && tracks.contains(&"request 42"));
+        // The span renders as a complete event with a duration.
+        let x = evs
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .expect("span renders as X");
+        assert_eq!(x.get("dur").unwrap().as_f64(), Some(1.0));
+        assert_eq!(x.get("tid").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn post_mortem_is_gated_on_env() {
+        // The test env does not set ESCHED_FLIGHT_DIR, so this must be a
+        // no-op (the engine's poisoned-job tests rely on that).
+        if std::env::var_os("ESCHED_FLIGHT_DIR").is_none() {
+            assert_eq!(dump_post_mortem("test"), None);
+        }
+    }
+}

@@ -38,6 +38,36 @@ pub fn esched_version() -> &'static str {
     env!("CARGO_PKG_VERSION")
 }
 
+/// The worker count engine batches in this process will use: the
+/// `ESCHED_ENGINE_THREADS` override when set (and ≥ 1), else available
+/// parallelism. Mirrors the engine's own sizing rule (this crate sits
+/// below `esched-engine`, so the logic is duplicated rather than
+/// imported); stamped into report headers so reports from different pool
+/// sizes are distinguishable when diffing.
+pub fn engine_workers() -> usize {
+    std::env::var("ESCHED_ENGINE_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Every `ESCHED_*` environment variable currently set, sorted by name.
+/// Captured into report headers: the workspace's env knobs (threads, log
+/// filter, flight recorder, reference-path toggles) all change what a run
+/// measures, so two reports should never be compared without them.
+pub fn esched_env() -> Vec<(String, String)> {
+    let mut vars: Vec<(String, String)> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("ESCHED_"))
+        .collect();
+    vars.sort();
+    vars
+}
+
 /// Telemetry of one Monte-Carlo trial.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrialRecord {
@@ -185,6 +215,16 @@ impl RunReport {
                 "esched_version".to_string(),
                 Value::Str(esched_version().to_string()),
             ),
+            ("workers".to_string(), Value::Num(engine_workers() as f64)),
+            (
+                "env".to_string(),
+                Value::Obj(
+                    esched_env()
+                        .into_iter()
+                        .map(|(k, v)| (k, Value::Str(v)))
+                        .collect(),
+                ),
+            ),
         ];
         if !self.meta.is_empty() {
             pairs.push(("meta".to_string(), Value::Obj(self.meta.clone())));
@@ -256,6 +296,15 @@ mod tests {
             v.get("esched_version").unwrap().as_str(),
             Some(esched_version())
         );
+        // Pool-size and env capture: workers ≥ 1 always; the env object
+        // exists and holds only ESCHED_* keys.
+        assert!(v.get("workers").unwrap().as_u64().unwrap() >= 1);
+        let env = v.get("env").unwrap();
+        if let Value::Obj(pairs) = env {
+            assert!(pairs.iter().all(|(k, _)| k.starts_with("ESCHED_")));
+        } else {
+            panic!("env header must be an object");
+        }
         assert_eq!(
             v.get("meta").unwrap().get("cores").unwrap().as_u64(),
             Some(4)

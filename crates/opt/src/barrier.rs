@@ -231,6 +231,7 @@ pub fn solve_barrier(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResult {
     let mut mu = (ep.objective(&x).abs() / n_constraints).max(1e-6);
     let mut iters = 0usize;
     let mut converged = false;
+    let mut iter_trace = opts.trace_iters.then(Vec::new);
 
     'outer: for _ in 0..60 {
         // Inner Newton loop for the current μ.
@@ -266,6 +267,16 @@ pub fn solve_barrier(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResult {
             }
             if !accepted {
                 break; // Newton converged for this μ
+            }
+            if let Some(trace) = iter_trace.as_mut() {
+                // The barrier's certifiable bound at this point is the
+                // duality bound m·μ, which is what the outer loop tests.
+                trace.push(crate::solver::IterSample {
+                    iter: iters,
+                    objective: ep.objective(&x),
+                    gap: n_constraints * mu,
+                    step,
+                });
             }
         }
         // Outer stopping: the barrier duality bound m_constraints·μ.
@@ -311,6 +322,7 @@ pub fn solve_barrier(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResult {
         iters,
         converged,
         telemetry,
+        iter_trace,
     }
 }
 

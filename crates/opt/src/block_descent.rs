@@ -117,6 +117,7 @@ pub fn solve_block_descent_from(
     let mut stalled = 0usize;
     let mut stalls = 0usize;
     let mut gap_evals = 0usize;
+    let mut iter_trace = opts.trace_iters.then(Vec::new);
 
     // Per-block member lists (task, flat index).
     let members: Vec<Vec<(usize, usize)>> = (0..nsub)
@@ -151,6 +152,14 @@ pub fn solve_block_descent_from(
         let f_new = ep.objective(&x);
         let decrease = fx - f_new;
         fx = f_new;
+        if let Some(trace) = iter_trace.as_mut() {
+            trace.push(crate::solver::IterSample {
+                iter: iters,
+                objective: fx,
+                gap,
+                step: decrease,
+            });
+        }
         if decrease.abs() <= opts.rel_tol * (1.0 + fx.abs()) {
             stalled += 1;
             stalls += 1;
@@ -208,6 +217,7 @@ pub fn solve_block_descent_from(
         iters,
         converged,
         telemetry,
+        iter_trace,
     }
 }
 

@@ -7,7 +7,7 @@
 //! & Candès) guards against the oscillation momentum can introduce.
 
 use crate::energy_program::EnergyProgram;
-use crate::solver::{SolveOptions, SolveResult, SolverTelemetry};
+use crate::solver::{IterSample, SolveOptions, SolveResult, SolverTelemetry};
 use esched_obs::{event, span, Level};
 use std::time::Instant;
 
@@ -40,6 +40,7 @@ pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Sol
     let mut gap_evals = 0usize;
     let mut backtracks = 0usize;
     let mut restarts = 0usize;
+    let mut iter_trace = opts.trace_iters.then(Vec::new);
 
     for it in 0..opts.max_iters {
         iters = it + 1;
@@ -93,6 +94,14 @@ pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Sol
         x.copy_from_slice(&cand);
         let decrease = fx - f_new;
         fx = f_new;
+        if let Some(trace) = iter_trace.as_mut() {
+            trace.push(IterSample {
+                iter: iters,
+                objective: fx,
+                gap,
+                step,
+            });
+        }
 
         // Momentum update.
         let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
@@ -167,6 +176,7 @@ pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Sol
         iters,
         converged,
         telemetry,
+        iter_trace,
     }
 }
 

@@ -10,7 +10,7 @@
 
 use crate::energy_program::EnergyProgram;
 use crate::scalar::golden_min;
-use crate::solver::{SolveOptions, SolveResult, SolverTelemetry};
+use crate::solver::{IterSample, SolveOptions, SolveResult, SolverTelemetry};
 use esched_obs::{event, span, Level};
 use std::time::Instant;
 
@@ -36,6 +36,7 @@ pub fn solve_frank_wolfe(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) 
     let mut gap = f64::INFINITY;
     let mut stalled = 0usize;
     let mut stalls = 0usize;
+    let mut iter_trace = opts.trace_iters.then(Vec::new);
 
     for it in 0..opts.max_iters {
         iters = it + 1;
@@ -68,6 +69,14 @@ pub fn solve_frank_wolfe(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) 
         let f_new = ep.objective(&x);
         let decrease = fx - f_new;
         fx = f_new;
+        if let Some(trace) = iter_trace.as_mut() {
+            trace.push(IterSample {
+                iter: iters,
+                objective: fx,
+                gap,
+                step: gamma,
+            });
+        }
 
         if decrease.abs() <= opts.rel_tol * (1.0 + fx.abs()) {
             stalled += 1;
@@ -114,6 +123,7 @@ pub fn solve_frank_wolfe(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) 
         iters,
         converged,
         telemetry,
+        iter_trace,
     }
 }
 

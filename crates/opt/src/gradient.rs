@@ -16,7 +16,7 @@
 //! the Frank–Wolfe duality gap, not just objective stalling.
 
 use crate::energy_program::EnergyProgram;
-use crate::solver::{SolveOptions, SolveResult, SolverTelemetry};
+use crate::solver::{IterSample, SolveOptions, SolveResult, SolverTelemetry};
 use esched_obs::{event, span, Level};
 use std::time::Instant;
 
@@ -47,6 +47,7 @@ pub fn solve_pgd(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Solve
     let mut stalls = 0usize;
     let mut gap_evals = 0usize;
     let mut backtracks = 0usize;
+    let mut iter_trace = opts.trace_iters.then(Vec::new);
 
     for it in 0..opts.max_iters {
         iters = it + 1;
@@ -93,6 +94,14 @@ pub fn solve_pgd(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Solve
         let decrease = fx - f_new;
         x.copy_from_slice(&cand);
         fx = f_new;
+        if let Some(trace) = iter_trace.as_mut() {
+            trace.push(IterSample {
+                iter: iters,
+                objective: fx,
+                gap,
+                step,
+            });
+        }
         // Gentle step growth: recover from over-conservative backtracking.
         step *= 1.3;
 
@@ -159,6 +168,7 @@ pub fn solve_pgd(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Solve
         iters,
         converged,
         telemetry,
+        iter_trace,
     }
 }
 

@@ -54,4 +54,4 @@ pub use gradient::solve_pgd;
 pub use kkt::{kkt_report, KktReport};
 pub use least_squares::{fit_power_curve, PowerFit};
 pub use projection::{lmo_capped_simplex, project_capped_simplex};
-pub use solver::{SolveOptions, SolveResult, SolverKind, SolverTelemetry};
+pub use solver::{IterSample, SolveOptions, SolveResult, SolverKind, SolverTelemetry};

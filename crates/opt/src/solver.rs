@@ -28,6 +28,12 @@ pub struct SolveOptions {
     /// [`EnergyProgram::initial_point`]. The barrier solver ignores it
     /// (its central-path start must be strictly interior).
     pub warm_start: Option<Vec<f64>>,
+    /// Record one [`IterSample`] per iteration into
+    /// [`SolveResult::iter_trace`]. Off by default: the trace allocates
+    /// (one small struct per iteration), so it is an opt-in diagnostic
+    /// for convergence studies, not hot-path telemetry. Rendered as
+    /// Chrome counter tracks by `esched_obs::chrome::convergence_trace`.
+    pub trace_iters: bool,
 }
 
 impl Default for SolveOptions {
@@ -39,6 +45,7 @@ impl Default for SolveOptions {
             stall_iters: 25,
             gap_check_every: 10,
             warm_start: None,
+            trace_iters: false,
         }
     }
 }
@@ -54,6 +61,7 @@ impl SolveOptions {
             stall_iters: 15,
             gap_check_every: 10,
             warm_start: None,
+            trace_iters: false,
         }
     }
 
@@ -66,12 +74,19 @@ impl SolveOptions {
             stall_iters: 50,
             gap_check_every: 20,
             warm_start: None,
+            trace_iters: false,
         }
     }
 
     /// Builder-style warm start.
     pub fn with_warm_start(mut self, x0: Vec<f64>) -> Self {
         self.warm_start = Some(x0);
+        self
+    }
+
+    /// Builder-style per-iteration trace toggle.
+    pub fn with_trace_iters(mut self, on: bool) -> Self {
+        self.trace_iters = on;
         self
     }
 
@@ -227,6 +242,27 @@ impl SolverTelemetry {
     }
 }
 
+/// One per-iteration convergence sample, recorded when
+/// [`SolveOptions::trace_iters`] is on.
+///
+/// All five solvers emit the same shape; `step` is the solver's own
+/// step-quality scalar — accepted step size for PGD/FISTA, the line-search
+/// `γ` for Frank–Wolfe, the Armijo step for the barrier's Newton steps,
+/// and the per-sweep objective decrease for block descent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterSample {
+    /// 1-based iteration number (sweep / Newton step for the non-first-
+    /// order methods).
+    pub iter: usize,
+    /// Objective value after the iteration.
+    pub objective: f64,
+    /// Last known certified duality gap (`inf` until the first gap check;
+    /// Frank–Wolfe updates it every iteration for free).
+    pub gap: f64,
+    /// Solver-specific step scalar (see type docs).
+    pub step: f64,
+}
+
 /// Outcome of a solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveResult {
@@ -242,4 +278,7 @@ pub struct SolveResult {
     pub converged: bool,
     /// Counters and wall time collected during the solve.
     pub telemetry: SolverTelemetry,
+    /// Per-iteration convergence samples — present iff
+    /// [`SolveOptions::trace_iters`] was set.
+    pub iter_trace: Option<Vec<IterSample>>,
 }
