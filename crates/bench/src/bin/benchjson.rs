@@ -7,6 +7,12 @@
 //! benchjson --compare BASE CURRENT --threshold 0.5
 //! ```
 //!
+//! Compare mode also exits nonzero (status 2) when the two documents
+//! cover different entry sets — a new bench with no baseline entry, or a
+//! baseline entry the current run no longer measures — so a stale
+//! `BENCH_baseline.json` fails loudly instead of silently skipping the
+//! gate.
+//!
 //! Run mode writes to `--out` if given, otherwise `BENCH_<git-short-sha>.json`
 //! (`BENCH_nogit.json` outside a git checkout) in the current directory —
 //! CI invokes it from the repo root. Designed for release builds:

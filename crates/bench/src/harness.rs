@@ -18,7 +18,7 @@ use esched_core::{
     allocate_der, der_schedule, even_schedule, ideal_schedule, optimal_energy, pack_subinterval,
     PackItem,
 };
-use esched_engine::{Engine, EngineConfig, ScheduleRequest};
+use esched_engine::{Engine, EngineConfig, OnlineEngine, OnlineEvent, ScheduleRequest};
 use esched_obs::json::Value;
 use esched_obs::stats::Summary;
 use esched_obs::{metrics, report};
@@ -40,12 +40,13 @@ pub const DEFAULT_THRESHOLD: f64 = 0.25;
 /// Whether a regression on `name` fails the gate (vs. advisory only).
 ///
 /// `micro/*` entries time single deterministic primitives with fixed
-/// inputs, so their p50s are stable enough to fail CI on. Everything else
-/// (`opt/*` solver sweeps, `engine/*` pool timings, `scaling/*`,
-/// `ablation/*`) is iteration-count- and scheduler-noise-prone and stays
-/// advisory.
+/// inputs, so their p50s are stable enough to fail CI on; `online/*`
+/// entries are equally deterministic single-threaded work and guard the
+/// incremental-replan latency claim. Everything else (`opt/*` solver
+/// sweeps, `engine/*` pool timings, `scaling/*`, `ablation/*`) is
+/// iteration-count- and scheduler-noise-prone and stays advisory.
 pub fn gating(name: &str) -> bool {
-    name.starts_with("micro/")
+    name.starts_with("micro/") || name.starts_with("online/")
 }
 
 /// One curated benchmark: a name, a fixed iteration count, and the
@@ -72,8 +73,9 @@ pub struct BenchResult {
 }
 
 /// The curated suite: a fast-running subset of the criterion benches
-/// (micro-primitives, runtime scaling, solver ablation) with fixed seeds
-/// and iteration counts. Ten entries, a few seconds total in release.
+/// (micro-primitives, runtime scaling, solver ablation, online replan)
+/// with fixed seeds and iteration counts. A couple dozen entries, a few
+/// seconds total in release.
 pub fn curated_suite() -> Vec<CuratedBench> {
     let power = PolynomialPower::paper(3.0, 0.1);
     let mut suite: Vec<CuratedBench> = Vec::new();
@@ -339,6 +341,62 @@ pub fn curated_suite() -> Vec<CuratedBench> {
         });
     }
 
+    // --- online incremental replanning ---
+    // One event applied per timed iteration against a persistent
+    // 1024-task online engine, paired with a from-scratch execute of the
+    // same mutated instance: the two p50s in one run give the
+    // incremental-replan speedup (the acceptance bar is ≥5×, asserted by
+    // the `online_smoke` binary). Events slide task windows by ±0.25 with
+    // a stride coprime to n, so the engine keeps replanning fresh
+    // subintervals without the task set drifting unboundedly.
+    {
+        let tasks = paper_tasks(1024, 3);
+        {
+            let mut engine = OnlineEngine::new(tasks.clone(), 8, power);
+            let n = tasks.len();
+            let mut i = 0usize;
+            suite.push(CuratedBench {
+                name: "online/replan_p99",
+                iters: 120,
+                run: Box::new(move || {
+                    let id = (i * 193) % n;
+                    let t = *engine.tasks().get(id);
+                    let delta = if i.is_multiple_of(2) { 0.25 } else { -0.25 };
+                    let event = OnlineEvent::Shift {
+                        task: id,
+                        release: t.release + delta,
+                        deadline: t.deadline + delta,
+                    };
+                    black_box(engine.apply(&event).expect("replan event rejected"));
+                    i += 1;
+                }),
+            });
+        }
+        {
+            let mut engine = OnlineEngine::new(tasks, 8, power);
+            let t = *engine.tasks().get(0);
+            engine
+                .apply(&OnlineEvent::Shift {
+                    task: 0,
+                    release: t.release + 0.25,
+                    deadline: t.deadline + 0.25,
+                })
+                .expect("mutation rejected");
+            let request = engine.as_request();
+            suite.push(CuratedBench {
+                name: "online/offline_execute",
+                iters: 6,
+                run: Box::new(move || {
+                    black_box(
+                        Engine::with_threads(1)
+                            .run(&request)
+                            .expect("offline run failed"),
+                    );
+                }),
+            });
+        }
+    }
+
     suite
 }
 
@@ -445,10 +503,15 @@ fn entry_p50s(doc: &Value) -> Result<Vec<(String, f64)>, String> {
         .collect()
 }
 
-/// Compare two `BENCH_*.json` documents. Returns the entries present in
-/// both whose current p50 regressed by more than `threshold` (0.25 =
-/// 25%). Entries only in one document are ignored — the suite is allowed
-/// to grow. Errors on malformed documents.
+/// Compare two `BENCH_*.json` documents. Returns the entries whose
+/// current p50 regressed by more than `threshold` (0.25 = 25%).
+///
+/// The two documents must cover the same entry set: an entry present in
+/// only one of them is an error, not a silent pass — a current entry with
+/// no baseline would otherwise never be gated (the baseline must be
+/// refreshed in the same change that adds a bench), and a baseline entry
+/// with no current measurement means the gate silently narrowed. Also
+/// errors on malformed documents.
 pub fn compare(
     baseline: &Value,
     current: &Value,
@@ -456,10 +519,36 @@ pub fn compare(
 ) -> Result<Vec<Regression>, String> {
     let base = entry_p50s(baseline)?;
     let cur = entry_p50s(current)?;
+    let missing_in_baseline: Vec<&str> = cur
+        .iter()
+        .filter(|(n, _)| !base.iter().any(|(b, _)| b == n))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    let missing_in_current: Vec<&str> = base
+        .iter()
+        .filter(|(n, _)| !cur.iter().any(|(c, _)| c == n))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    if !missing_in_baseline.is_empty() || !missing_in_current.is_empty() {
+        let mut parts = Vec::new();
+        if !missing_in_baseline.is_empty() {
+            parts.push(format!(
+                "missing from baseline (refresh it): {}",
+                missing_in_baseline.join(", ")
+            ));
+        }
+        if !missing_in_current.is_empty() {
+            parts.push(format!(
+                "missing from current run: {}",
+                missing_in_current.join(", ")
+            ));
+        }
+        return Err(format!("entry sets differ: {}", parts.join("; ")));
+    }
     let mut regressions = Vec::new();
     for (name, cur_p50) in &cur {
         let Some((_, base_p50)) = base.iter().find(|(n, _)| n == name) else {
-            continue;
+            unreachable!("entry sets verified equal above");
         };
         if *base_p50 > 0.0 && *cur_p50 > base_p50 * (1.0 + threshold) {
             regressions.push(Regression {
@@ -522,10 +611,37 @@ mod tests {
     }
 
     #[test]
-    fn compare_tolerates_below_threshold_noise_and_new_entries() {
+    fn compare_tolerates_below_threshold_noise() {
         let base = doc(&[("a", 100.0)]);
-        let cur = doc(&[("a", 124.0), ("brand_new", 9999.0)]);
+        let cur = doc(&[("a", 124.0)]);
         assert!(compare(&base, &cur, DEFAULT_THRESHOLD).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compare_errors_on_missing_baseline_entry() {
+        let base = doc(&[("a", 100.0)]);
+        let cur = doc(&[("a", 100.0), ("brand_new", 9999.0)]);
+        let err = compare(&base, &cur, DEFAULT_THRESHOLD).unwrap_err();
+        assert!(err.contains("brand_new"), "unhelpful error: {err}");
+        assert!(err.contains("missing from baseline"), "{err}");
+    }
+
+    #[test]
+    fn compare_errors_on_missing_current_entry() {
+        let base = doc(&[("a", 100.0), ("dropped", 50.0)]);
+        let cur = doc(&[("a", 100.0)]);
+        let err = compare(&base, &cur, DEFAULT_THRESHOLD).unwrap_err();
+        assert!(err.contains("dropped"), "unhelpful error: {err}");
+        assert!(err.contains("missing from current"), "{err}");
+    }
+
+    #[test]
+    fn online_entries_are_present_and_gating() {
+        let suite = curated_suite();
+        assert!(suite.iter().any(|b| b.name == "online/replan_p99"));
+        assert!(suite.iter().any(|b| b.name == "online/offline_execute"));
+        assert!(gating("online/replan_p99"));
+        assert!(!gating("engine/batch_64x/1t"));
     }
 
     #[test]

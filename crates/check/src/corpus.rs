@@ -17,7 +17,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// 64-bit FNV-1a — a dependency-free stable content hash for filenames.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

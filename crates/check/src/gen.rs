@@ -25,7 +25,7 @@ use esched_types::{PolynomialPower, Task, TaskSet};
 
 /// Tiny offsets around the comparison tolerance: below it (must merge),
 /// at it, and just above it (must survive as a near-degenerate gap).
-const JITTERS: [f64; 7] = [-1e-6, -2e-7, -1e-8, 0.0, 1e-8, 2e-7, 1e-6];
+pub(crate) const JITTERS: [f64; 7] = [-1e-6, -2e-7, -1e-8, 0.0, 1e-8, 2e-7, 1e-6];
 
 fn gen_power(rng: &mut ChaCha8) -> PolynomialPower {
     let alpha = if rng.gen_bool(0.5) { 3.0 } else { 2.0 };
@@ -66,7 +66,7 @@ fn gen_grid(rng: &mut ChaCha8) -> Vec<f64> {
     grid
 }
 
-fn jitter(rng: &mut ChaCha8, t: f64) -> f64 {
+pub(crate) fn jitter(rng: &mut ChaCha8, t: f64) -> f64 {
     if rng.gen_bool(0.25) {
         t + JITTERS[rng.gen_range_usize(0, JITTERS.len())]
     } else {

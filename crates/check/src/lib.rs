@@ -24,7 +24,13 @@
 //! * [`shrink`] — an **auto-shrinker** that minimizes a failing instance
 //!   (drop tasks, reduce cores, simplify the power model, round times,
 //!   shrink requirements) while preserving the failing oracle class, so
-//!   the repro committed to `corpus/` is a minimal one.
+//!   the repro committed to `corpus/` is a minimal one;
+//! * [`online`] — an **online-vs-offline differential oracle**
+//!   (`--online` mode): random arrival/completion/shift streams replayed
+//!   through the incremental `OnlineEngine`, every repaired plan
+//!   re-verified against the validator⟺simulator battery, and the final
+//!   online outcome required to be byte-identical to a from-scratch
+//!   offline run; shrunk scripts commit under `corpus/online/`.
 //!
 //! The binary (`cargo run -p esched-check -- --iters 1000 --seed 42`)
 //! drives the loop, writes shrunk repros to [`corpus`] as JSON, and exits
@@ -37,11 +43,16 @@
 pub mod corpus;
 pub mod gen;
 pub mod instance;
+pub mod online;
 pub mod oracles;
 pub mod shrink;
 
 pub use corpus::{load_corpus_dir, write_corpus};
 pub use gen::gen_instance;
 pub use instance::Instance;
+pub use online::{
+    check_online, gen_online, load_online_corpus_dir, shrink_online, write_online_corpus,
+    OnlineScript,
+};
 pub use oracles::{check_instance, OracleClass, OracleViolation};
 pub use shrink::shrink;

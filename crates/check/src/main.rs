@@ -16,7 +16,10 @@
 //! narrates the run through the standard `esched-obs` subscriber.
 
 use esched_check::oracles::violation_classes;
-use esched_check::{check_instance, gen_instance, shrink, write_corpus, Instance, OracleViolation};
+use esched_check::{
+    check_instance, check_online, gen_instance, gen_online, shrink, shrink_online, write_corpus,
+    write_online_corpus, Instance, OracleViolation,
+};
 use esched_engine::Engine;
 use esched_obs::rng::ChaCha8;
 use esched_obs::{event, span, Level};
@@ -33,10 +36,11 @@ struct Args {
     corpus: PathBuf,
     max_shrink_evals: usize,
     quiet: bool,
+    online: bool,
 }
 
 const USAGE: &str = "usage: esched-check [--iters N] [--seed N] [--corpus DIR] \
-                     [--max-shrink-evals N] [--quiet]";
+                     [--max-shrink-evals N] [--quiet] [--online]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -45,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         corpus: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus")),
         max_shrink_evals: 400,
         quiet: false,
+        online: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -60,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
                 args.max_shrink_evals = parse_num(&grab("--max-shrink-evals")?)? as usize;
             }
             "--quiet" => args.quiet = true,
+            "--online" => args.online = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -69,6 +75,91 @@ fn parse_args() -> Result<Args, String> {
 
 fn parse_num(s: &str) -> Result<u64, String> {
     s.parse().map_err(|_| format!("not a number: {s}\n{USAGE}"))
+}
+
+/// The `--online` mode: replay random event streams through the
+/// incremental engine and demand byte-identity with the offline pipeline.
+/// Scripts run serially — each replay already spins up its own
+/// single-threaded offline engine for the differential check.
+fn run_online(args: &Args) -> ExitCode {
+    let corpus = args.corpus.join("online");
+    let mut failing_iters = 0_u64;
+    let mut written: Vec<PathBuf> = Vec::new();
+    let mut deduped = 0_usize;
+    for i in 0..args.iters {
+        let mut rng = ChaCha8::seed_from_u64(args.seed.wrapping_add(i));
+        let script = gen_online(&mut rng);
+        let violations = check_online(&script);
+        if violations.is_empty() {
+            if !args.quiet && (i + 1) % 200 == 0 {
+                eprintln!("  ... {} online iterations clean", i + 1);
+            }
+            continue;
+        }
+        failing_iters += 1;
+        let _ = esched_obs::recorder::dump_post_mortem("online oracle violation");
+        eprintln!(
+            "iter {i} (seed {}): {} violation(s) on {}",
+            args.seed.wrapping_add(i),
+            violations.len(),
+            script.summary()
+        );
+        for v in &violations {
+            eprintln!("    {v}");
+            event!(
+                Level::Warn,
+                "oracle_violation",
+                iter = i as usize,
+                class = v.class.name(),
+            );
+        }
+        for class in violation_classes(&violations) {
+            let shrunk = shrink_online(&script, class, args.max_shrink_evals);
+            let message = check_online(&shrunk.script)
+                .into_iter()
+                .find(|v| v.class == class)
+                .map(|v| v.message)
+                .unwrap_or_else(|| "violation vanished after shrink (flaky)".to_string());
+            let repro = OracleViolation { class, message };
+            match write_online_corpus(&corpus, &shrunk.script, &repro) {
+                Ok(Some(path)) => {
+                    eprintln!(
+                        "    shrunk to {} ({} evals) -> {}",
+                        shrunk.script.summary(),
+                        shrunk.evals,
+                        path.display()
+                    );
+                    written.push(path);
+                }
+                Ok(None) => deduped += 1,
+                Err(e) => eprintln!("    corpus write failed: {e}"),
+            }
+        }
+    }
+    event!(
+        Level::Info,
+        "check_fuzz_done",
+        failing_iters = failing_iters as usize,
+        new_repros = written.len(),
+    );
+    println!(
+        "esched-check --online: {} iterations, {} failing, {} new corpus repro(s), {} deduped",
+        args.iters,
+        failing_iters,
+        written.len(),
+        deduped
+    );
+    for p in &written {
+        println!("  new repro: {}", p.display());
+    }
+    if let Some(path) = esched_obs::recorder::dump_at_exit_if_requested() {
+        eprintln!("flight recorder dumped to {}", path.display());
+    }
+    if failing_iters == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -92,6 +183,10 @@ fn main() -> ExitCode {
         iters = args.iters as usize,
         seed = args.seed as usize,
     );
+
+    if args.online {
+        return run_online(&args);
+    }
 
     // Instances are generated serially (the generator is cheap and the
     // per-iteration seed must stay `seed + i`), then each batch is

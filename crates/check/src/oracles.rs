@@ -42,6 +42,11 @@ pub enum OracleClass {
     /// implementation disagree beyond `WORK_TOL` on some
     /// `(task, subinterval)` share.
     Allocation,
+    /// The online engine diverged from the offline pipeline: an event was
+    /// wrongly rejected, an incrementally repaired plan failed the
+    /// validator⟺simulator oracle, or the final online outcome is not
+    /// byte-identical to a from-scratch run on the same task set.
+    Online,
 }
 
 impl OracleClass {
@@ -55,6 +60,7 @@ impl OracleClass {
             OracleClass::WorkConservation => "work-conservation",
             OracleClass::Discrete => "discrete",
             OracleClass::Allocation => "allocation",
+            OracleClass::Online => "online",
         }
     }
 
@@ -68,6 +74,7 @@ impl OracleClass {
             "work-conservation" => OracleClass::WorkConservation,
             "discrete" => OracleClass::Discrete,
             "allocation" => OracleClass::Allocation,
+            "online" => OracleClass::Online,
             _ => return None,
         })
     }
@@ -93,7 +100,7 @@ impl std::fmt::Display for OracleViolation {
 /// solver objective are computed by different summation orders.
 pub const ORDER_REL_TOL: f64 = 1e-6;
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -582,6 +589,7 @@ mod tests {
             OracleClass::WorkConservation,
             OracleClass::Discrete,
             OracleClass::Allocation,
+            OracleClass::Online,
         ] {
             assert_eq!(OracleClass::from_name(c.name()), Some(c));
         }

@@ -10,7 +10,10 @@
 
 use std::path::Path;
 
-use esched_check::{check_instance, load_corpus_dir, Instance};
+use esched_check::{
+    check_instance, check_online, load_corpus_dir, load_online_corpus_dir, Instance, OnlineScript,
+};
+use esched_engine::OnlineEvent;
 use esched_types::{PolynomialPower, TaskSet};
 
 fn assert_clean(inst: &Instance, context: &str) {
@@ -40,6 +43,64 @@ fn corpus_replays_clean() {
     for (path, inst) in &corpus {
         assert_clean(inst, &path.display().to_string());
     }
+}
+
+fn assert_online_clean(script: &OnlineScript, context: &str) {
+    let violations = check_online(script);
+    assert!(
+        violations.is_empty(),
+        "{context}: {} oracle violation(s): {}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+/// Every committed online script must replay clean: the incremental
+/// replan path must stay byte-identical to the offline pipeline.
+#[test]
+fn online_corpus_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("corpus")
+        .join("online");
+    let corpus = load_online_corpus_dir(&dir).expect("online corpus directory is readable");
+    assert!(
+        !corpus.is_empty(),
+        "committed online corpus at {} is missing or empty",
+        dir.display()
+    );
+    for (path, script) in &corpus {
+        assert_online_clean(script, &path.display().to_string());
+    }
+}
+
+/// Class `online`: shifting a deadline to within the dedup tolerance of
+/// an existing boundary (100 − 5e-6 vs 100). Before the boundary-bug
+/// sweep, `Timeline::rebuild_shifted` snapped the approx-but-not-bitwise
+/// endpoint onto the existing boundary, while `Timeline::build` merges
+/// the pair keeping the *first* representative — so the patched timeline
+/// and the from-scratch timeline disagreed on the boundary value and the
+/// online outcome was no longer byte-identical to the offline one. Fixed
+/// by restricting the in-place patch to bitwise-equal endpoints and
+/// falling back to a full rebuild otherwise.
+#[test]
+fn online_shift_within_tolerance_of_existing_boundary() {
+    let script = OnlineScript {
+        instance: Instance::new(
+            TaskSet::from_triples(&[(0.0, 100.0, 40.0), (20.0, 60.0, 10.0)]),
+            2,
+            PolynomialPower::paper(3.0, 0.1),
+        ),
+        events: vec![OnlineEvent::Shift {
+            task: 1,
+            release: 20.0,
+            deadline: 100.0 - 5e-6,
+        }],
+    };
+    assert_online_clean(&script, "within-tolerance shifted deadline");
 }
 
 /// Class `panic`: two tasks whose subnormal-scale requirements round the

@@ -58,17 +58,23 @@ pub struct AvailMatrix {
     col_offsets: Vec<usize>,
     /// `(start, end)` subinterval span of each task.
     spans: Vec<(usize, usize)>,
+    /// `(start, end)` time bounds of each column — lets the online repair
+    /// path match columns of an old allocation against a patched timeline
+    /// without keeping the old timeline alive.
+    col_bounds: Vec<(f64, f64)>,
 }
 
 impl AvailMatrix {
     /// All-zero matrix shaped by `timeline`.
     pub fn zeros(timeline: &Timeline, n_tasks: usize) -> Self {
         let mut col_offsets = Vec::with_capacity(timeline.len() + 1);
+        let mut col_bounds = Vec::with_capacity(timeline.len());
         let mut ids = Vec::new();
         col_offsets.push(0);
         for sub in timeline.subintervals() {
             ids.extend_from_slice(&sub.overlapping);
             col_offsets.push(ids.len());
+            col_bounds.push((sub.interval.start, sub.interval.end));
         }
         let spans = (0..n_tasks)
             .map(|i| {
@@ -81,6 +87,7 @@ impl AvailMatrix {
             ids,
             col_offsets,
             spans,
+            col_bounds,
         }
     }
 
@@ -150,6 +157,17 @@ impl AvailMatrix {
     /// Number of tasks (rows).
     pub fn task_count(&self) -> usize {
         self.spans.len()
+    }
+
+    /// Number of columns (subintervals).
+    pub fn column_count(&self) -> usize {
+        self.col_bounds.len()
+    }
+
+    /// Task ids of column `j`, ascending (the overlap list it was shaped
+    /// from).
+    fn col_ids(&self, j: usize) -> &[TaskId] {
+        &self.ids[self.col_offsets[j]..self.col_offsets[j + 1]]
     }
 
     /// Iterate `(subinterval, avail)` pairs of one task's row. A by-id
@@ -631,6 +649,160 @@ pub fn allocate_der_with(
         fallback_even = stats.even,
     );
     avail
+}
+
+/// Outcome counters of one [`reallocate_der_patched`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DerRepairStats {
+    /// Columns whose allocation had to be recomputed.
+    pub dirty_columns: usize,
+    /// Total columns of the patched timeline.
+    pub total_columns: usize,
+    /// Whether the dirty fraction exceeded the threshold and the whole
+    /// allocation was recomputed by [`allocate_der_with`] instead.
+    pub fell_back: bool,
+}
+
+/// Recompute the listed columns of `avail` in place, exactly as
+/// [`allocate_der_with`] would fill them for the same `(timeline, cores,
+/// ideal)` — the local-repair half of the online engine. Each column's
+/// allocation is a pure function of `(overlap ids, staged DERs, Δ_j,
+/// cores)`, so recomputing only the columns whose inputs changed
+/// reproduces the full allocator's output bit-for-bit.
+///
+/// `avail` must be shaped by `timeline` (same CSR layout).
+pub fn repair_der_columns(
+    timeline: &Timeline,
+    cores: usize,
+    ideal: &IdealSolution,
+    avail: &mut AvailMatrix,
+    columns: impl IntoIterator<Item = usize>,
+    scratch: &mut Scratch,
+) {
+    let mut stats = WaterfillStats::default();
+    let mut repaired = 0u64;
+    for j in columns {
+        repaired += 1;
+        let sub = timeline.get(j);
+        if !sub.is_heavy(cores) {
+            let delta = sub.delta();
+            avail.col_mut(j).fill(delta);
+            continue;
+        }
+        let ders = &mut scratch.ders;
+        ders.clear();
+        let iv = sub.interval;
+        ders.extend(
+            sub.overlapping
+                .iter()
+                .map(|&i| (i, ideal.exec[i].overlap_len(&iv) * ideal.freq[i])),
+        );
+        waterfill_into(
+            ders,
+            sub.delta(),
+            cores,
+            &mut stats,
+            &mut scratch.suffix,
+            avail.col_mut(j),
+            &sub.overlapping,
+        );
+    }
+    metric_counter!("esched.core.der_repair_columns").add(repaired);
+}
+
+/// Build the DER allocation for a *patched* timeline by copying every
+/// column whose inputs are unchanged from `old` and recomputing the rest.
+///
+/// A column of the new timeline is **clean** when some column of `old`
+/// has bitwise-identical time bounds and overlap ids, and none of
+/// `dirty_tasks` (tasks whose ideal-schedule DER changed: arrived,
+/// completed early, or had their window shifted) overlaps it. Clean
+/// columns are bulk-copied; everything else is re-waterfilled. Because
+/// the per-column waterfill is a pure function of its inputs, the result
+/// is bit-identical to `allocate_der_with(tasks, timeline, ...)` from
+/// scratch — regardless of *how* the timeline was patched (including a
+/// full rebuild fallback).
+///
+/// When more than `fallback_fraction` of the columns are dirty the
+/// copy-and-match bookkeeping stops paying for itself and the whole
+/// allocation is recomputed via [`allocate_der_with`] (same result, one
+/// fused pass). Light columns only depend on membership and `Δ_j`, so a
+/// dirty task alone never dirties a light column.
+#[allow(clippy::too_many_arguments)] // mirrors allocate_der_with plus the patch inputs
+pub fn reallocate_der_patched(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    ideal: &IdealSolution,
+    old: &AvailMatrix,
+    dirty_tasks: &[TaskId],
+    fallback_fraction: f64,
+    scratch: &mut Scratch,
+) -> (AvailMatrix, DerRepairStats) {
+    let _span = span!(
+        Level::Debug,
+        "reallocate_der_patched",
+        n_tasks = tasks.len(),
+        n_subintervals = timeline.len(),
+    );
+    let mut avail = AvailMatrix::zeros(timeline, tasks.len());
+    // Match old and new columns with a two-pointer walk over the
+    // time-sorted column bounds; lexicographic order on (start, end)
+    // keeps the walk linear through splits and insertions.
+    let mut dirty: Vec<usize> = Vec::new();
+    let touches_dirty_task =
+        |ids: &[TaskId]| dirty_tasks.iter().any(|t| ids.binary_search(t).is_ok());
+    let (mut i, mut j) = (0usize, 0usize);
+    let (old_n, new_n) = (old.column_count(), avail.column_count());
+    while i < old_n && j < new_n {
+        let ob = old.col_bounds[i];
+        let nb = avail.col_bounds[j];
+        if ob == nb {
+            let heavy = avail.col_ids(j).len() > cores;
+            let clean = old.col_ids(i) == avail.col_ids(j)
+                && !(heavy && touches_dirty_task(avail.col_ids(j)));
+            if clean {
+                let src = old.col_offsets[i]..old.col_offsets[i + 1];
+                avail.col_mut(j).copy_from_slice(&old.data[src]);
+            } else {
+                dirty.push(j);
+            }
+            i += 1;
+            j += 1;
+        } else if ob < nb {
+            i += 1;
+        } else {
+            dirty.push(j);
+            j += 1;
+        }
+    }
+    dirty.extend(j..new_n);
+    let stats = DerRepairStats {
+        dirty_columns: dirty.len(),
+        total_columns: new_n,
+        fell_back: dirty.len() as f64 > fallback_fraction * new_n as f64,
+    };
+    if stats.fell_back {
+        return (
+            allocate_der_with(tasks, timeline, cores, ideal, scratch),
+            stats,
+        );
+    }
+    repair_der_columns(
+        timeline,
+        cores,
+        ideal,
+        &mut avail,
+        dirty.iter().copied(),
+        scratch,
+    );
+    event!(
+        Level::Debug,
+        "der allocation patched",
+        dirty = stats.dirty_columns as u64,
+        total = stats.total_columns as u64,
+    );
+    (avail, stats)
 }
 
 /// [`allocate_der`] computed by the round-based reference loop
@@ -1120,5 +1292,105 @@ mod tests {
         let tl = Timeline::build(&ts);
         let mut m = AvailMatrix::zeros(&tl, ts.len());
         m.set(5, 0, 1.0); // τ5 starts at subinterval 6
+    }
+
+    #[test]
+    fn patched_reallocation_is_bit_identical_to_scratch() {
+        use esched_obs::ChaCha8;
+        let mut rng = ChaCha8::seed_from_u64(0x9a7c_4ed1);
+        let power = PolynomialPower::paper(3.0, 0.1);
+        let mut scratch = Scratch::new();
+        for case in 0..120 {
+            let n = rng.gen_range_usize(8, 40);
+            let cores = rng.gen_range_usize(1, 5);
+            let mut triples: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| {
+                    let release = (rng.gen_range_f64(0.0, 20.0) * 2.0).round() / 2.0;
+                    let len = (rng.gen_range_f64(0.5, 12.0) * 2.0).round().max(1.0) / 2.0;
+                    let wcec = rng.gen_range_f64(0.1, len.min(6.0));
+                    (release, release + len, wcec)
+                })
+                .collect();
+            let ts = TaskSet::from_triples(&triples);
+            let mut tl = Timeline::build(&ts);
+            let ideal = ideal_schedule(&ts, &power);
+            let old = allocate_der_with(&ts, &tl, cores, &ideal, &mut scratch);
+            // Mutate the set the three ways the online engine does:
+            // early completion (wcec shrink), arrival, window shift.
+            let victim = rng.gen_range_usize(0, n);
+            let dirty = match case % 3 {
+                0 => {
+                    triples[victim].2 *= rng.gen_range_f64(0.1, 0.9);
+                    victim
+                }
+                1 => {
+                    let r = (rng.gen_range_f64(0.0, 25.0) * 2.0).round() / 2.0;
+                    let len = (rng.gen_range_f64(0.5, 10.0) * 2.0).round().max(1.0) / 2.0;
+                    triples.push((r, r + len, rng.gen_range_f64(0.1, len)));
+                    n
+                }
+                _ => {
+                    let pts = tl.boundaries().to_vec();
+                    let a = rng.gen_range_usize(0, pts.len() - 1);
+                    let b = rng.gen_range_usize(a + 1, pts.len());
+                    let span = pts[b] - pts[a];
+                    triples[victim] = (pts[a], pts[b], triples[victim].2.min(span * 0.9));
+                    victim
+                }
+            };
+            let mutated = TaskSet::from_triples(&triples);
+            match case % 3 {
+                0 => {} // windows unchanged: same decomposition
+                1 => {
+                    tl.rebuild_inserted(&mutated, dirty);
+                }
+                _ => {
+                    tl.rebuild_shifted(&mutated, dirty);
+                }
+            }
+            let ideal2 = ideal_schedule(&mutated, &power);
+            let fresh = allocate_der_with(&mutated, &tl, cores, &ideal2, &mut scratch);
+            let (patched, stats) = reallocate_der_patched(
+                &mutated,
+                &tl,
+                cores,
+                &ideal2,
+                &old,
+                &[dirty],
+                0.25,
+                &mut scratch,
+            );
+            assert_eq!(patched, fresh, "case {case} (n = {n}, m = {cores})");
+            assert_eq!(stats.total_columns, tl.len());
+            // Forcing the global-recompute fallback must not change the
+            // result either.
+            let (forced, fstats) = reallocate_der_patched(
+                &mutated,
+                &tl,
+                cores,
+                &ideal2,
+                &old,
+                &[dirty],
+                0.0,
+                &mut scratch,
+            );
+            assert!(fstats.fell_back || fstats.dirty_columns == 0, "case {case}");
+            assert_eq!(forced, fresh, "case {case} forced fallback");
+        }
+    }
+
+    #[test]
+    fn repair_der_columns_reproduces_full_allocation() {
+        // Repairing *every* column of a zeroed matrix must reproduce the
+        // full allocator output exactly — the bit-identity contract the
+        // online engine relies on.
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        let ideal = ideal_schedule(&ts, &PolynomialPower::cubic());
+        let mut scratch = Scratch::new();
+        let full = allocate_der_with(&ts, &tl, 4, &ideal, &mut scratch);
+        let mut repaired = AvailMatrix::zeros(&tl, ts.len());
+        repair_der_columns(&tl, 4, &ideal, &mut repaired, 0..tl.len(), &mut scratch);
+        assert_eq!(repaired, full);
     }
 }

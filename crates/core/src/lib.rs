@@ -51,7 +51,8 @@ pub mod yds;
 
 pub use allocation::{
     allocate_der, allocate_der_no_redistribution, allocate_der_reference, allocate_der_with,
-    allocate_even, allocate_work_proportional, AvailMatrix,
+    allocate_even, allocate_work_proportional, reallocate_der_patched, repair_der_columns,
+    AvailMatrix, DerRepairStats,
 };
 pub use baselines::{partitioned_yds, uniform_frequency, BaselineOutcome};
 pub use core_count::{select_core_count, CoreCountChoice, Method};

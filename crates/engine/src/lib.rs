@@ -43,9 +43,11 @@
 
 pub mod config;
 mod exec;
+pub mod online;
 pub mod outcome;
 pub mod pool;
 
 pub use config::{Algorithm, EngineConfig, ScheduleRequest};
+pub use online::{OnlineEngine, OnlineError, OnlineEvent, ReplanReport};
 pub use outcome::{DiscreteSummary, EngineError, OptSummary, ScheduleOutcome, SimVerdict};
 pub use pool::Engine;

@@ -41,6 +41,16 @@ fn poisoned_batch_leaves_a_postmortem_dump_with_the_failing_request() {
     // The poisoned job's panic is intentional; keep the output clean.
     std::panic::set_hook(Box::new(|_| {}));
 
+    // Before any panic, the exit hook fires normally (generation 0).
+    let exit_path = dir.join("exit-early.json");
+    std::env::set_var("ESCHED_FLIGHT_EXIT", &exit_path);
+    assert_eq!(esched_obs::recorder::post_mortem_generation(), 0);
+    assert_eq!(
+        esched_obs::recorder::dump_at_exit_if_requested().as_deref(),
+        Some(exit_path.as_path()),
+        "exit hook must dump when no post-mortem has fired"
+    );
+
     let config = EngineConfig::new()
         .with_solver(SolverKind::ProjectedGradient)
         .with_solve_options(SolveOptions::fast());
@@ -66,6 +76,19 @@ fn poisoned_batch_leaves_a_postmortem_dump_with_the_failing_request() {
             assert!(r.is_ok(), "job {i} failed unexpectedly");
         }
     }
+
+    // The panic-path dump bumped the generation: the exit hook must now
+    // be a no-op instead of double-dumping the same incident, and the
+    // dedupe must hold on repeated calls.
+    assert_eq!(esched_obs::recorder::post_mortem_generation(), 1);
+    for _ in 0..2 {
+        assert_eq!(
+            esched_obs::recorder::dump_at_exit_if_requested(),
+            None,
+            "exit hook must dedupe after a panic-path post-mortem"
+        );
+    }
+    std::env::remove_var("ESCHED_FLIGHT_EXIT");
 
     // Exactly one panic → exactly one dump.
     let dumps: Vec<PathBuf> = std::fs::read_dir(&dir)

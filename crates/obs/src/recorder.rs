@@ -506,6 +506,17 @@ pub fn dump_to(path: &Path) -> std::io::Result<()> {
 
 static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Post-mortem dumps that actually reached the filesystem in this process
+/// — the exit hook's dedupe generation. Distinct from [`DUMP_SEQ`], which
+/// reserves unique filenames *before* writing and therefore also counts
+/// dumps whose write failed.
+static DUMPS_WRITTEN: AtomicU64 = AtomicU64::new(0);
+
+/// How many post-mortem dumps this process has successfully written.
+pub fn post_mortem_generation() -> u64 {
+    DUMPS_WRITTEN.load(Ordering::Relaxed)
+}
+
 /// Post-mortem dump, gated on the `ESCHED_FLIGHT_DIR` environment
 /// variable: when set, writes the current ring as
 /// `<dir>/flight-postmortem-<pid>-<n>.json` (annotated with `reason`) and
@@ -527,6 +538,7 @@ pub fn dump_post_mortem(reason: &str) -> Option<PathBuf> {
     }
     std::fs::create_dir_all(&dir).ok()?;
     std::fs::write(&path, doc.to_string_pretty()).ok()?;
+    DUMPS_WRITTEN.fetch_add(1, Ordering::Relaxed);
     Some(path)
 }
 
@@ -534,9 +546,18 @@ pub fn dump_post_mortem(reason: &str) -> Option<PathBuf> {
 /// writes the ring there and returns the path. Binaries call this once at
 /// the end of `main` (std has no portable atexit surface, and the dump
 /// must run before the process tears the ring down anyway).
+///
+/// Deduped against the panic path: when a post-mortem dump already
+/// reached the filesystem in this process ([`post_mortem_generation`]
+/// `> 0`), the exit hook is a no-op — the ring was already captured with
+/// the panic reason attached, and a second dump at exit would
+/// double-report the same incident with *less* context.
 pub fn dump_at_exit_if_requested() -> Option<PathBuf> {
     let path = std::env::var_os("ESCHED_FLIGHT_EXIT")?;
     if path.is_empty() || path == "0" {
+        return None;
+    }
+    if DUMPS_WRITTEN.load(Ordering::Relaxed) > 0 {
         return None;
     }
     let path = PathBuf::from(path);

@@ -108,8 +108,7 @@ pub fn solve_block_descent_from(
     );
     let t_start = Instant::now();
 
-    let mut x = x0;
-    debug_assert_eq!(x.len(), ep.dim());
+    let mut x = crate::solver::sanitize_start(ep, x0);
     let mut fx = ep.objective(&x);
     let mut iters = 0usize;
     let mut converged = false;

@@ -269,6 +269,43 @@ impl EnergyProgram {
         x
     }
 
+    /// Build a feasible warm-start point whose per-task totals track a
+    /// previous optimum's `X_i` — the remap used when the task set
+    /// mutated between solves (online arrivals, completions, window
+    /// shifts change both `dim` and the subinterval layout, so the raw
+    /// `x` vector cannot carry over). The objective depends on `x` only
+    /// through the totals `X_i`, so any point reproducing the old totals
+    /// re-enters the new program at (nearly) the old objective value.
+    ///
+    /// `totals[i]` is the target total of task `i`; tasks beyond
+    /// `totals.len()` (arrivals) keep the evenly-allocating share, and
+    /// non-finite or non-positive targets are ignored. Each target is
+    /// spread uniformly over the task's span, clamped to the box, and
+    /// the result is projected onto the block constraints.
+    pub fn warm_start_from_totals(&self, totals: &[f64]) -> Vec<f64> {
+        let mut x = self.initial_point();
+        for i in 0..self.task_count() {
+            let Some(&target) = totals.get(i) else {
+                continue;
+            };
+            if !target.is_finite() || target <= 0.0 {
+                continue;
+            }
+            let (a, b) = self.spans[i];
+            if a == b {
+                continue;
+            }
+            let per = target / (b - a) as f64;
+            let o = self.offsets[i];
+            for (k, j) in (a..b).enumerate() {
+                x[o + k] = per.min(self.deltas[j]);
+            }
+        }
+        let mut out = vec![0.0; self.dim];
+        self.project(&x, &mut out);
+        out
+    }
+
     /// Is `x` feasible (within `tol`)?
     pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
         for (j, vars) in self.block_vars.iter().enumerate() {

@@ -14,7 +14,7 @@ use std::time::Instant;
 /// Run FISTA from `x0` (must be feasible).
 pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> SolveResult {
     let dim = ep.dim();
-    assert_eq!(x0.len(), dim);
+    let x0 = crate::solver::sanitize_start(ep, x0);
     let _span = span!(
         Level::Debug,
         "solve_fista",

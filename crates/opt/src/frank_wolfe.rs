@@ -17,7 +17,7 @@ use std::time::Instant;
 /// Run Frank–Wolfe from `x0` (must be feasible).
 pub fn solve_frank_wolfe(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> SolveResult {
     let dim = ep.dim();
-    assert_eq!(x0.len(), dim);
+    let x0 = crate::solver::sanitize_start(ep, x0);
     let _span = span!(
         Level::Debug,
         "solve_frank_wolfe",

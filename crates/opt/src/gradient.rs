@@ -24,8 +24,7 @@ use std::time::Instant;
 /// use [`EnergyProgram::initial_point`]).
 pub fn solve_pgd(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> SolveResult {
     let dim = ep.dim();
-    assert_eq!(x0.len(), dim);
-    debug_assert!(ep.is_feasible(&x0, 1e-6));
+    let x0 = crate::solver::sanitize_start(ep, x0);
     let _span = span!(
         Level::Debug,
         "solve_pgd",

@@ -106,6 +106,25 @@ impl SolveOptions {
     }
 }
 
+/// Guard a caller-supplied starting point for the direct solver entry
+/// points. A resized vector (the task set mutated between solves — online
+/// arrivals change `dim`), a non-finite coordinate, or an infeasible
+/// point is replaced by [`EnergyProgram::initial_point`] or re-projected
+/// instead of tripping the solvers' internal asserts. A valid feasible
+/// point passes through untouched, keeping cold-start paths bit-identical
+/// to before.
+pub(crate) fn sanitize_start(ep: &EnergyProgram, x0: Vec<f64>) -> Vec<f64> {
+    if x0.len() != ep.dim() || x0.iter().any(|v| !v.is_finite()) {
+        return ep.initial_point();
+    }
+    if ep.is_feasible(&x0, 1e-6) {
+        return x0;
+    }
+    let mut out = vec![0.0; x0.len()];
+    ep.project(&x0, &mut out);
+    out
+}
+
 /// Which method solves the energy program.
 ///
 /// The five free functions ([`crate::solve_pgd`], [`crate::solve_fista`],

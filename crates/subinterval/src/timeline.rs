@@ -163,8 +163,15 @@ impl Timeline {
         let add_offsets = &mut scratch.add_offsets;
         add_offsets.clear();
         add_offsets.resize(n_subs + 2, 0);
-        for &(a, _) in spans.iter() {
-            add_offsets[a + 2] += 1;
+        // Tasks with an empty span (both endpoints collapsed onto one
+        // boundary) cover no subinterval and must stay out of the add
+        // buckets: the removal test below only fires for tasks that were
+        // active in a *previous* subinterval, so an empty-span task merged
+        // in at `a` would never be dropped again.
+        for &(a, b) in spans.iter() {
+            if a < b {
+                add_offsets[a + 2] += 1;
+            }
         }
         for k in 2..add_offsets.len() {
             add_offsets[k] += add_offsets[k - 1];
@@ -175,9 +182,11 @@ impl Timeline {
         let add_ids = &mut scratch.add_ids;
         add_ids.clear();
         add_ids.resize(tasks.len(), 0);
-        for (id, &(a, _)) in spans.iter().enumerate() {
-            add_ids[add_offsets[a + 1]] = id;
-            add_offsets[a + 1] += 1;
+        for (id, &(a, b)) in spans.iter().enumerate() {
+            if a < b {
+                add_ids[add_offsets[a + 1]] = id;
+                add_offsets[a + 1] += 1;
+            }
         }
         let active = &mut scratch.active;
         let next = &mut scratch.active_next;
@@ -219,37 +228,53 @@ impl Timeline {
     ///
     /// `tasks` must be the *updated* task set (same length, same ids) in
     /// which only `task`'s release/deadline differ from the set this
-    /// timeline was built from. When the new window endpoints land on
-    /// existing boundary points and the old endpoints are still event
-    /// points of some task, the boundary set is unchanged and only the
-    /// overlap sets over the symmetric difference of the old and new spans
-    /// need touching — `O(n + k log n_j)` instead of a full rebuild.
-    /// Otherwise this falls back to [`Timeline::build`].
-    pub fn rebuild_shifted(&mut self, tasks: &TaskSet, task: TaskId) {
+    /// timeline was built from. When the new window endpoints are
+    /// *bitwise* equal to existing boundary points and the old endpoints
+    /// are still bitwise event points of some task, the boundary set is
+    /// provably unchanged and only the overlap sets over the symmetric
+    /// difference of the old and new spans need touching —
+    /// `O(n + k log n_j)` instead of a full rebuild. Otherwise this falls
+    /// back to [`Timeline::build`].
+    ///
+    /// Bitwise (not tolerant) equality is load-bearing: an endpoint that
+    /// is merely approx-equal to a boundary can change which
+    /// representative value the full build's dedup keeps, so patching in
+    /// place would diverge from [`Timeline::build`] by up to the
+    /// comparison tolerance. Near-collapsed windows whose endpoints both
+    /// land on the same boundary (`a == b`) also fall back.
+    ///
+    /// Returns `true` when the timeline was patched in place, `false` when
+    /// it fell back to a full rebuild (the result is correct either way).
+    pub fn rebuild_shifted(&mut self, tasks: &TaskSet, task: TaskId) -> bool {
         let t = tasks.get(task);
         let (new_a, new_b) = match (
             crate::boundaries::locate_boundary(&self.boundaries, t.release),
             crate::boundaries::locate_boundary(&self.boundaries, t.deadline),
         ) {
-            (Some(a), Some(b)) if a < b => (a, b),
+            (Some(a), Some(b))
+                if a < b && self.boundaries[a] == t.release && self.boundaries[b] == t.deadline =>
+            {
+                (a, b)
+            }
             _ => {
                 *self = Timeline::build(tasks);
-                return;
+                return false;
             }
         };
         let (old_a, old_b) = self.spans[task];
         // The old endpoints stay boundaries only if some task in the
-        // updated set still has an event point there; otherwise the
-        // decomposition itself changes and we rebuild.
+        // updated set still has an event point with exactly that value;
+        // otherwise the decomposition itself changes and we rebuild. An
+        // approx-equal survivor is not enough: the full build would keep
+        // the survivor's value as the representative, not ours.
         let anchored = |val: f64| {
-            tasks.iter().any(|(_, other)| {
-                esched_types::time::approx_eq(other.release, val)
-                    || esched_types::time::approx_eq(other.deadline, val)
-            })
+            tasks
+                .iter()
+                .any(|(_, other)| other.release == val || other.deadline == val)
         };
         if !(anchored(self.boundaries[old_a]) && anchored(self.boundaries[old_b])) {
             *self = Timeline::build(tasks);
-            return;
+            return false;
         }
         for j in old_a..old_b {
             if !(new_a..new_b).contains(&j) {
@@ -268,6 +293,137 @@ impl Timeline {
             }
         }
         self.spans[task] = (new_a, new_b);
+        true
+    }
+
+    /// Update this timeline after a new task arrived, reusing the existing
+    /// decomposition when possible.
+    ///
+    /// `tasks` must be the updated task set in which `task` is the *last*
+    /// id and every other task is unchanged from the set this timeline was
+    /// built from. Each new endpoint is handled in one of three ways:
+    ///
+    /// * bitwise equal to an existing boundary — nothing to do;
+    /// * farther than the comparison tolerance from both neighboring
+    ///   boundaries — a *clean insert*: the enclosing subinterval is split
+    ///   (or a gap subinterval is prepended/appended beyond the current
+    ///   horizon) and every span index above the split shifts by one;
+    /// * approx- but not bitwise-equal to a boundary — the full build's
+    ///   dedup could pick a different representative or cascade, so we
+    ///   fall back to [`Timeline::build`].
+    ///
+    /// In the first two cases the result is bitwise identical to a full
+    /// rebuild: an exact duplicate never changes the dedup's kept set, and
+    /// a clean insert adds exactly one kept value without re-deciding any
+    /// neighbor (dedup keeps a value iff it is non-approx to the previous
+    /// *kept* value, which the tolerance check on both neighbors
+    /// preserves).
+    ///
+    /// Returns `true` when the timeline was patched in place, `false` when
+    /// it fell back to a full rebuild (the result is correct either way).
+    pub fn rebuild_inserted(&mut self, tasks: &TaskSet, task: TaskId) -> bool {
+        assert_eq!(
+            task + 1,
+            tasks.len(),
+            "rebuild_inserted expects the arriving task to be the last id"
+        );
+        assert_eq!(
+            self.spans.len() + 1,
+            tasks.len(),
+            "rebuild_inserted expects exactly one new task"
+        );
+        let t = tasks.get(task);
+        for val in [t.release, t.deadline] {
+            if !self.insert_boundary(val) {
+                *self = Timeline::build(tasks);
+                return false;
+            }
+        }
+        let locate = |points: &[f64], v: f64| {
+            points
+                .binary_search_by(|p| p.partial_cmp(&v).expect("boundaries are finite"))
+                .expect("endpoint was just inserted or matched bitwise")
+        };
+        let a = locate(&self.boundaries, t.release);
+        let b = locate(&self.boundaries, t.deadline);
+        debug_assert!(a < b, "validated window spans at least one subinterval");
+        for sub in &mut self.subintervals[a..b] {
+            // The arriving task has the largest id, so it always lands at
+            // the tail of the id-ascending overlap lists.
+            debug_assert!(sub.overlapping.last().is_none_or(|&last| last < task));
+            sub.overlapping.push(task);
+        }
+        self.spans.push((a, b));
+        true
+    }
+
+    /// Splice boundary value `x` into the decomposition. Returns `false`
+    /// when `x` is approx- but not bitwise-equal to an existing boundary,
+    /// i.e. when only a full rebuild reproduces [`Timeline::build`].
+    fn insert_boundary(&mut self, x: f64) -> bool {
+        let idx = match self
+            .boundaries
+            .binary_search_by(|p| p.partial_cmp(&x).expect("boundaries are finite"))
+        {
+            Ok(_) => return true,
+            Err(idx) => idx,
+        };
+        let near = |k: usize| esched_types::time::approx_eq(self.boundaries[k], x);
+        if (idx > 0 && near(idx - 1)) || (idx < self.boundaries.len() && near(idx)) {
+            return false;
+        }
+        self.boundaries.insert(idx, x);
+        if idx == 0 {
+            // New earliest event point: a gap subinterval covered by no
+            // existing task precedes the old horizon.
+            self.subintervals.insert(
+                0,
+                Subinterval {
+                    index: 0,
+                    interval: Interval::new(x, self.boundaries[1]),
+                    overlapping: Vec::new(),
+                },
+            );
+            for (a, b) in self.spans.iter_mut() {
+                *a += 1;
+                *b += 1;
+            }
+        } else if idx == self.boundaries.len() - 1 {
+            // New latest event point: append a gap subinterval.
+            self.subintervals.push(Subinterval {
+                index: idx - 1,
+                interval: Interval::new(self.boundaries[idx - 1], x),
+                overlapping: Vec::new(),
+            });
+        } else {
+            // Split subinterval `idx - 1` at `x`; both halves keep the
+            // overlap set of the original (no window starts or ends at a
+            // non-boundary point).
+            let k = idx - 1;
+            let right_end = self.subintervals[k].interval.end;
+            let overlapping = self.subintervals[k].overlapping.clone();
+            self.subintervals[k].interval = Interval::new(self.subintervals[k].interval.start, x);
+            self.subintervals.insert(
+                k + 1,
+                Subinterval {
+                    index: k + 1,
+                    interval: Interval::new(x, right_end),
+                    overlapping,
+                },
+            );
+            for (a, b) in self.spans.iter_mut() {
+                if *a > k {
+                    *a += 1;
+                }
+                if *b > k {
+                    *b += 1;
+                }
+            }
+        }
+        for (index, sub) in self.subintervals.iter_mut().enumerate() {
+            sub.index = index;
+        }
+        true
     }
 
     /// The boundary points `t_1 … t_N`.
@@ -530,12 +686,153 @@ mod tests {
                 .iter()
                 .map(|(_, t)| (t.release, t.deadline, t.wcec))
                 .collect();
-            let span = pts[b] - pts[a];
-            triples[victim] = (pts[a], pts[b], triples[victim].2.min(span * 0.9));
+            let (mut lo, mut hi) = (pts[a], pts[b]);
+            // Every third case, nudge one endpoint off the exact boundary
+            // value: within the comparison tolerance (the patch must spot
+            // the non-bitwise match and fall back) or just outside it (a
+            // genuinely new boundary).
+            if case % 3 == 0 {
+                let nudge = if case % 2 == 0 { 5e-8 } else { 3e-7 } * 1.0_f64.max(hi.abs());
+                if case % 4 == 0 {
+                    lo += nudge;
+                } else {
+                    hi -= nudge;
+                }
+            }
+            let span = hi - lo;
+            triples[victim] = (lo, hi, triples[victim].2.min(span * 0.9));
             let shifted = TaskSet::from_triples(&triples);
             tl.rebuild_shifted(&shifted, victim);
             assert_eq!(tl, Timeline::build(&shifted), "case {case}");
         }
+    }
+
+    #[test]
+    fn rebuild_shifted_falls_back_when_endpoint_only_approx_matches_a_boundary() {
+        // Another task anchors a boundary at exactly 100.0; the victim
+        // moves its release to a value approx- but not bitwise-equal to
+        // it. The full build keeps the smaller value as the dedup
+        // representative, so patching in place would keep a stale
+        // boundary value.
+        let ts = TaskSet::from_triples(&[(0.0, 100.0, 5.0), (20.0, 120.0, 5.0), (40.0, 60.0, 2.0)]);
+        let mut tl = Timeline::build(&ts);
+        let mut triples: Vec<(f64, f64, f64)> = ts
+            .iter()
+            .map(|(_, t)| (t.release, t.deadline, t.wcec))
+            .collect();
+        triples[2] = (100.0 - 5e-6, 120.0, 2.0);
+        let shifted = TaskSet::from_triples(&triples);
+        tl.rebuild_shifted(&shifted, 2);
+        assert_eq!(tl, Timeline::build(&shifted));
+        assert!(tl.boundaries().contains(&(100.0 - 5e-6)));
+        assert!(!tl.boundaries().contains(&100.0));
+    }
+
+    #[test]
+    fn rebuild_shifted_falls_back_when_vacated_boundary_survives_only_approximately() {
+        // The victim's old deadline 30.0 is the dedup representative;
+        // another task's endpoint sits within tolerance at 30.0 + 2e-6.
+        // Once the victim leaves, the full build keeps 30.0 + 2e-6 — an
+        // approx-equal anchor must not be treated as keeping 30.0 alive.
+        let ts =
+            TaskSet::from_triples(&[(0.0, 50.0, 5.0), (10.0, 30.0 + 2e-6, 5.0), (0.0, 30.0, 2.0)]);
+        let mut tl = Timeline::build(&ts);
+        assert!(tl.boundaries().contains(&30.0));
+        let mut triples: Vec<(f64, f64, f64)> = ts
+            .iter()
+            .map(|(_, t)| (t.release, t.deadline, t.wcec))
+            .collect();
+        triples[2] = (0.0, 50.0, 2.0);
+        let shifted = TaskSet::from_triples(&triples);
+        tl.rebuild_shifted(&shifted, 2);
+        assert_eq!(tl, Timeline::build(&shifted));
+        assert!(tl.boundaries().contains(&(30.0 + 2e-6)));
+        assert!(!tl.boundaries().contains(&30.0));
+    }
+
+    #[test]
+    fn rebuild_shifted_near_collapsed_window_falls_back() {
+        // A valid window so narrow that both endpoints locate to the same
+        // boundary index (a == b): the guard must reject the degenerate
+        // empty span and rebuild.
+        let ts = TaskSet::from_triples(&[(0.0, 30.0, 5.0), (5.0, 25.0, 3.0), (2.0, 20.0, 1.0)]);
+        let mut tl = Timeline::build(&ts);
+        let mut triples: Vec<(f64, f64, f64)> = ts
+            .iter()
+            .map(|(_, t)| (t.release, t.deadline, t.wcec))
+            .collect();
+        triples[2] = (20.0 - 2e-6, 20.0 + 2e-6, 1e-7);
+        let shifted = TaskSet::from_triples(&triples);
+        tl.rebuild_shifted(&shifted, 2);
+        assert_eq!(tl, Timeline::build(&shifted));
+    }
+
+    #[test]
+    fn rebuild_inserted_matches_full_rebuild_on_random_arrivals() {
+        let mut rng = esched_obs::ChaCha8::seed_from_u64(0x0a11_5eed);
+        for case in 0..300 {
+            let n = 2 + (case % 40);
+            let ts = random_tasks(&mut rng, n);
+            let mut tl = Timeline::build(&ts);
+            let pts = tl.boundaries().to_vec();
+            let last = *pts.last().unwrap();
+            // Mix of arrival shapes: on existing boundaries, off-grid,
+            // beyond the horizon, before the first release, and within
+            // tolerance of a boundary (which must fall back).
+            let (r, d) = match case % 5 {
+                0 => {
+                    let a = rng.gen_range_usize(0, pts.len() - 1);
+                    let b = rng.gen_range_usize(a + 1, pts.len());
+                    (pts[a], pts[b])
+                }
+                1 => {
+                    let r = rng.gen_range_f64(0.0, 40.0);
+                    (r, r + rng.gen_range_f64(0.5, 20.0))
+                }
+                2 => {
+                    let r = last + rng.gen_range_f64(0.5, 5.0);
+                    (r, r + rng.gen_range_f64(0.5, 5.0))
+                }
+                3 => (
+                    pts[0] - rng.gen_range_f64(0.5, 5.0),
+                    pts[rng.gen_range_usize(0, pts.len())],
+                ),
+                _ => {
+                    let k = rng.gen_range_usize(0, pts.len());
+                    let r = pts[k] + 3e-8 * 1.0_f64.max(pts[k].abs());
+                    (r, r + rng.gen_range_f64(0.5, 10.0))
+                }
+            };
+            let c = rng.gen_range_f64(0.1, (d - r).max(0.2));
+            let mut triples: Vec<(f64, f64, f64)> = ts
+                .iter()
+                .map(|(_, t)| (t.release, t.deadline, t.wcec))
+                .collect();
+            triples.push((r, d, c));
+            let grown = TaskSet::from_triples(&triples);
+            tl.rebuild_inserted(&grown, n);
+            assert_eq!(tl, Timeline::build(&grown), "case {case} (n = {n})");
+        }
+    }
+
+    #[test]
+    fn rebuild_inserted_splits_subintervals_and_appends_gap() {
+        let ts = vd_example();
+        let mut tl = Timeline::build(&ts);
+        // (5, 27): release splits [4, 6] in two, deadline extends the
+        // horizon past 22 with a gap subinterval [22, 27].
+        let mut triples: Vec<(f64, f64, f64)> = ts
+            .iter()
+            .map(|(_, t)| (t.release, t.deadline, t.wcec))
+            .collect();
+        triples.push((5.0, 27.0, 3.0));
+        let grown = TaskSet::from_triples(&triples);
+        tl.rebuild_inserted(&grown, 6);
+        assert_eq!(tl, Timeline::build(&grown));
+        assert!(tl.boundaries().contains(&5.0));
+        assert!(tl.boundaries().contains(&27.0));
+        assert_eq!(tl.len(), 13);
+        assert_eq!(tl.span(6), 3..13);
     }
 
     #[test]

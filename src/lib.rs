@@ -18,7 +18,9 @@
 //! * [`workload`] — task-set generators and the Intel XScale processor
 //!   configuration,
 //! * [`engine`] — the parallel batch execution engine behind the
-//!   [`prelude::ScheduleRequest`] → [`prelude::ScheduleOutcome`] API.
+//!   [`prelude::ScheduleRequest`] → [`prelude::ScheduleOutcome`] API, plus
+//!   [`prelude::OnlineEngine`] for streaming arrivals with incremental
+//!   replanning.
 //!
 //! ## Quickstart
 //!
@@ -66,7 +68,10 @@ pub mod prelude {
         der_schedule, even_schedule, ideal_schedule, optimal_energy, yds_schedule, DiscreteOutcome,
         HeuristicOutcome, IdealSolution, OptimalSolution,
     };
-    pub use esched_engine::{Algorithm, Engine, EngineConfig, ScheduleOutcome, ScheduleRequest};
+    pub use esched_engine::{
+        Algorithm, Engine, EngineConfig, OnlineEngine, OnlineError, OnlineEvent, ReplanReport,
+        ScheduleOutcome, ScheduleRequest,
+    };
     pub use esched_opt::{SolveOptions, SolveResult, SolverKind};
     pub use esched_sim::{simulate, SimReport};
     pub use esched_subinterval::Timeline;
