@@ -1,0 +1,219 @@
+//! `health_smoke` — the CI gate for the online health & SLO subsystem.
+//!
+//! Four checks, all fatal on failure:
+//!
+//! 1. **Exact alarm discipline**: a 512-event online stream with the full
+//!    health stack (windowed sketches, SLO evaluation, synchronous shadow
+//!    audits) raises *zero* events on the clean prefix; an injected stall
+//!    (6 virtual seconds of silence) and an injected quality regression
+//!    (audited energy inflated 40%) then fire *exactly* one
+//!    `heartbeat_stale` and one `energy_regret` event, in that order.
+//! 2. **Byte-identity with health enabled**: after the full stream plus
+//!    fault injection, the online outcome is still byte-identical to the
+//!    offline pipeline at 1, 4, and 8 workers — recording and auditing
+//!    never touch plan state.
+//! 3. **Hot-path overhead**: the curated `online/health_overhead_on`
+//!    entry's p50 is within [`MAX_OVERHEAD`] of `_off` (best of
+//!    [`OVERHEAD_RETRIES`] timing runs, to shed CI noise).
+//! 4. **Benchjson coverage**: both overhead entries land in the emitted
+//!    document, so the perf gate tracks them.
+//!
+//! CI runs this with `ESCHED_ENGINE_THREADS=4`.
+
+use esched_bench::harness;
+use esched_bench::paper_tasks;
+use esched_engine::{AuditConfig, Engine, OnlineEngine, OnlineEvent};
+use esched_obs::health::{now_ns, HealthEventKind, HealthState, SloPolicy};
+use esched_obs::json::Value;
+use esched_types::{PolynomialPower, Task};
+use std::time::Duration;
+
+const EVENTS: usize = 512;
+/// Healthy shadow audits sprinkled through the clean prefix.
+const AUDIT_EVERY: usize = 128;
+/// Acceptance bar: health-on p50 ≤ 2% over health-off.
+const MAX_OVERHEAD: f64 = 1.02;
+/// Timing runs to shed scheduler noise before failing the overhead bar.
+const OVERHEAD_RETRIES: usize = 3;
+
+/// Deterministic stream: arrivals (half off-grid), completions at 80%,
+/// and ±0.3 window slides — the `online_smoke` mix.
+fn event_for(i: usize, engine: &OnlineEngine) -> OnlineEvent {
+    let n = engine.len();
+    match i % 4 {
+        0 | 3 => {
+            let release = if i % 8 == 3 {
+                engine.tasks().get((i * 13) % n).deadline
+            } else {
+                (i as f64 * 0.381) % 45.0
+            };
+            let window = 2.0 + ((i * 7) % 13) as f64 * 0.5;
+            OnlineEvent::Arrive(Task::of(release, release + window, 0.3 + 0.4 * window))
+        }
+        1 => {
+            let task = (i * 31) % n;
+            OnlineEvent::Complete {
+                task,
+                actual_work: engine.tasks().get(task).wcec * 0.8,
+            }
+        }
+        _ => {
+            let task = (i * 17) % n;
+            let t = *engine.tasks().get(task);
+            let delta = if i % 8 < 4 { 0.3 } else { -0.3 };
+            OnlineEvent::Shift {
+                task,
+                release: t.release + delta,
+                deadline: t.deadline + delta,
+            }
+        }
+    }
+}
+
+fn main() {
+    let power = PolynomialPower::paper(3.0, 0.1);
+    const S: u64 = 1_000_000_000;
+
+    // --- 1. exact alarm discipline over a 512-event stream ---
+    // Budgets generous enough that a loaded CI runner can't trip them by
+    // being slow; the *injected* faults use the virtual clock, so they
+    // fire regardless of real latency.
+    let policy = SloPolicy::new(Duration::from_secs(30))
+        .with_replan_p99(Duration::from_secs(5))
+        // The DER heuristic's true regret sits near +0.21 on this stream;
+        // the ceiling leaves headroom for solver noise while the injected
+        // 40% inflation (regret 0.4 + 1.4·r) clears it by a wide margin.
+        .with_regret_ceiling(0.30)
+        .with_fallback_rate_ceiling(1.0)
+        .with_heartbeat_timeout(Duration::from_secs(10));
+    let mut engine = OnlineEngine::new(paper_tasks(64, 9), 8, power)
+        .with_health(policy)
+        .with_audit(AuditConfig::default().with_every(0).with_synchronous(true));
+    for i in 0..EVENTS {
+        let event = event_for(i, &engine);
+        engine.apply(&event).expect("stream event rejected");
+        if (i + 1) % AUDIT_EVERY == 0 {
+            let regret = engine.force_audit().expect("audit configured");
+            // The smoke runs audits synchronously for determinism, so the
+            // E^OPT solve stalls the stream clock — something the async
+            // production path never does. Re-stamp liveness so the stall
+            // check measures the stream, not the inline solver.
+            engine.health().expect("health enabled").heartbeat();
+            println!(
+                "health_smoke: {} events, audit regret {regret:+.4} (n={})",
+                i + 1,
+                engine.len()
+            );
+        }
+    }
+    let monitor = std::sync::Arc::clone(engine.health().expect("health enabled"));
+    let fired = monitor.evaluate_at(now_ns());
+    assert!(
+        fired.is_empty() && monitor.state() == HealthState::Healthy,
+        "false alarm on the clean prefix: {fired:?}"
+    );
+    println!("health_smoke: clean prefix of {EVENTS} events raised zero alarms");
+
+    // Injected stall: 15 virtual seconds of silence vs the 10 s budget.
+    let stall_t = now_ns() + 15 * S;
+    let fired = monitor.evaluate_at(stall_t);
+    assert!(
+        fired.len() == 1 && fired[0].kind == HealthEventKind::HeartbeatStale,
+        "injected stall not detected exactly once: {fired:?}"
+    );
+    println!("health_smoke: injected stall detected ({})", fired[0]);
+
+    // Injected quality regression: audited live energy inflated 40%.
+    engine.set_audit_energy_inflation(0.40);
+    let regret = engine.force_audit().expect("audit configured");
+    let fired = monitor.evaluate_at(stall_t + 1);
+    assert!(
+        fired.len() == 1 && fired[0].kind == HealthEventKind::EnergyRegret,
+        "injected regression (regret {regret:+.3}) not detected exactly once: {fired:?}"
+    );
+    println!("health_smoke: injected regression detected ({})", fired[0]);
+
+    let kinds: Vec<HealthEventKind> = monitor.events().iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            HealthEventKind::HeartbeatStale,
+            HealthEventKind::EnergyRegret
+        ],
+        "stream must produce exactly the two injected events"
+    );
+    let report = monitor.report();
+    assert_eq!(report.breaches, 2);
+    assert_eq!(report.divergences, 0, "live plan diverged from offline");
+
+    // --- 2. byte-identity with the full health stack enabled ---
+    engine.set_audit_energy_inflation(0.0);
+    let request = engine.as_request();
+    let got = engine.outcome();
+    for workers in [1usize, 4, 8] {
+        let want = Engine::with_threads(workers)
+            .run(&request)
+            .expect("offline run failed");
+        use esched_obs::json::ToJson;
+        assert!(
+            got == want && got.to_json().to_string() == want.to_json().to_string(),
+            "health-enabled outcome diverged from offline at {workers} workers"
+        );
+    }
+    println!(
+        "health_smoke: {EVENTS}-event stream byte-identical to offline at 1/4/8 workers (final n={})",
+        engine.len()
+    );
+
+    // --- 3 & 4. hot-path overhead + benchjson coverage ---
+    let mut ratio = f64::INFINITY;
+    let mut last_results = Vec::new();
+    for attempt in 1..=OVERHEAD_RETRIES {
+        let mut results = Vec::new();
+        for mut bench in harness::curated_suite() {
+            if bench.name.starts_with("online/health_overhead_") {
+                results.push(harness::run_entry(&mut bench));
+            }
+        }
+        let p50 = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| r.wall_ns.p50)
+                .expect("overhead entry missing")
+        };
+        ratio = p50("online/health_overhead_on") / p50("online/health_overhead_off");
+        println!(
+            "health_smoke: attempt {attempt}: health on/off p50 ratio {ratio:.4} \
+             (on {:.3} ms, off {:.3} ms)",
+            p50("online/health_overhead_on") / 1e6,
+            p50("online/health_overhead_off") / 1e6,
+        );
+        last_results = results;
+        if ratio <= MAX_OVERHEAD {
+            break;
+        }
+    }
+    assert!(
+        ratio <= MAX_OVERHEAD,
+        "health layer costs {:.2}% on the replan hot path (budget {:.0}%)",
+        (ratio - 1.0) * 100.0,
+        (MAX_OVERHEAD - 1.0) * 100.0
+    );
+
+    let doc = harness::results_to_json(&last_results);
+    let names: Vec<&str> = doc
+        .get("entries")
+        .and_then(Value::as_array)
+        .expect("entries array")
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .collect();
+    for want in ["online/health_overhead_on", "online/health_overhead_off"] {
+        assert!(
+            names.contains(&want),
+            "{want} missing from benchjson entries: {names:?}"
+        );
+    }
+    println!("health_smoke: OK");
+}

@@ -19,6 +19,7 @@ use esched_core::{
     PackItem,
 };
 use esched_engine::{Engine, EngineConfig, OnlineEngine, OnlineEvent, ScheduleRequest};
+use esched_obs::health::SloPolicy;
 use esched_obs::json::Value;
 use esched_obs::stats::Summary;
 use esched_obs::{metrics, report};
@@ -28,7 +29,7 @@ use esched_opt::{
 use esched_subinterval::Timeline;
 use esched_types::{validate_schedule, PolynomialPower, Schedule};
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Version of the `BENCH_*.json` schema this harness writes.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -397,6 +398,49 @@ pub fn curated_suite() -> Vec<CuratedBench> {
         }
     }
 
+    // --- health-layer overhead on the replan hot path ---
+    // The same sliding-shift stream as online/replan_p99, once bare and
+    // once with the full health stack recording every event (windowed
+    // sketches + rate-limited SLO evaluation; the audit sampler is off —
+    // it runs on a background worker and never blocks the hot path).
+    // The acceptance bar — on/off ≤ 1.02 — is asserted by the
+    // `health_smoke` binary; here both p50s are compare-gated so either
+    // side regressing trips CI.
+    for (name, with_health) in [
+        ("online/health_overhead_off", false),
+        ("online/health_overhead_on", true),
+    ] {
+        let tasks = paper_tasks(1024, 3);
+        let n = tasks.len();
+        let mut engine = OnlineEngine::new(tasks, 8, power);
+        if with_health {
+            engine = engine.with_health(
+                SloPolicy::new(Duration::from_secs(10))
+                    .with_replan_p99(Duration::from_secs(1))
+                    .with_regret_ceiling(0.5)
+                    .with_fallback_rate_ceiling(1.0)
+                    .with_heartbeat_timeout(Duration::from_secs(60)),
+            );
+        }
+        let mut i = 0usize;
+        suite.push(CuratedBench {
+            name,
+            iters: 120,
+            run: Box::new(move || {
+                let id = (i * 193) % n;
+                let t = *engine.tasks().get(id);
+                let delta = if i.is_multiple_of(2) { 0.25 } else { -0.25 };
+                let event = OnlineEvent::Shift {
+                    task: id,
+                    release: t.release + delta,
+                    deadline: t.deadline + delta,
+                };
+                black_box(engine.apply(&event).expect("replan event rejected"));
+                i += 1;
+            }),
+        });
+    }
+
     suite
 }
 
@@ -640,7 +684,10 @@ mod tests {
         let suite = curated_suite();
         assert!(suite.iter().any(|b| b.name == "online/replan_p99"));
         assert!(suite.iter().any(|b| b.name == "online/offline_execute"));
+        assert!(suite.iter().any(|b| b.name == "online/health_overhead_on"));
+        assert!(suite.iter().any(|b| b.name == "online/health_overhead_off"));
         assert!(gating("online/replan_p99"));
+        assert!(gating("online/health_overhead_on"));
         assert!(!gating("engine/batch_64x/1t"));
     }
 

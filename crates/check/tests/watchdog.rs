@@ -1,0 +1,222 @@
+//! Watchdog oracle: the health layer's one correctness contract is
+//! *no false alarms, no missed alarms*. Injected stalls and injected
+//! quality regressions must each fire exactly their own `HealthEvent`;
+//! clean streams — however long — must never alert.
+//!
+//! Every test drives the monitor through the deterministic `_at(t_ns)`
+//! clock (no sleeps, no wall-clock flakiness); fault injection uses the
+//! auditor's energy-inflation knob, which perturbs only the *reported*
+//! energy — the plan itself stays byte-identical throughout, which the
+//! final oracle re-checks.
+
+use esched_engine::online::{OnlineEngine, OnlineEvent};
+use esched_engine::{AuditConfig, Engine};
+use esched_obs::health::{now_ns, HealthEventKind, HealthMonitor, HealthState, SloPolicy};
+use esched_types::{PolynomialPower, Task, TaskSet};
+use std::time::Duration;
+
+const S: u64 = 1_000_000_000;
+
+fn seed_set() -> TaskSet {
+    TaskSet::from_triples(&[
+        (0.0, 10.0, 8.0),
+        (2.0, 18.0, 14.0),
+        (4.0, 16.0, 8.0),
+        (6.0, 14.0, 4.0),
+    ])
+}
+
+fn strict_policy() -> SloPolicy {
+    SloPolicy::new(Duration::from_secs(8))
+        .with_replan_p99(Duration::from_millis(2))
+        .with_regret_ceiling(0.25)
+        .with_fallback_rate_ceiling(0.5)
+        .with_heartbeat_timeout(Duration::from_secs(4))
+        .with_recover_after(2)
+}
+
+/// A long, clean, well-behaved stream: thousands of replans under
+/// budget, heartbeats on time, healthy regret — evaluated every window.
+/// Zero events of any kind may fire.
+#[test]
+fn healthy_streams_never_alert() {
+    let mon = HealthMonitor::new(strict_policy());
+    let mut t = S;
+    for step in 0..4_000u64 {
+        // 150 µs replans, 2 of 40 columns repaired, no fallback.
+        mon.observe_replan_at(t, 150_000, 2, 40, false);
+        if step % 100 == 0 {
+            mon.observe_audit(0.03, false);
+        }
+        if step % 10 == 0 {
+            let fired = mon.evaluate_at(t + 1);
+            assert!(fired.is_empty(), "false alarm at step {step}: {fired:?}");
+        }
+        t += S / 10; // 10 events per second
+    }
+    assert_eq!(mon.state(), HealthState::Healthy);
+    let report = mon.report_at(t);
+    assert_eq!(report.breaches, 0, "clean stream raised breaches");
+    assert_eq!(report.recoveries, 0);
+    assert!(report.events.is_empty());
+}
+
+/// An injected stall — heartbeats stop for longer than the timeout —
+/// fires exactly one `HeartbeatStale`, latched until traffic resumes;
+/// sustained clean windows then fire exactly one `Recovered`.
+#[test]
+fn injected_stall_is_detected_once_and_recovers() {
+    let mon = HealthMonitor::new(strict_policy());
+    let mut t = S;
+    for _ in 0..200 {
+        mon.observe_replan_at(t, 150_000, 2, 40, false);
+        t += S / 10;
+    }
+    assert!(mon.evaluate_at(t).is_empty(), "clean prefix alerted");
+
+    // Stall: 6 s of silence against a 4 s heartbeat budget.
+    let stalled = t + 6 * S;
+    let fired = mon.evaluate_at(stalled);
+    assert_eq!(fired.len(), 1, "stall must fire exactly once: {fired:?}");
+    assert_eq!(fired[0].kind, HealthEventKind::HeartbeatStale);
+    assert_eq!(fired[0].state_after, HealthState::Degraded);
+    // Still stalled: latched, no repeat alarm.
+    assert!(mon.evaluate_at(stalled + S).is_empty());
+
+    // Traffic resumes; recover_after = 2 clean windows flips back.
+    let mut t = stalled + 2 * S;
+    mon.observe_replan_at(t, 150_000, 2, 40, false);
+    assert!(
+        mon.evaluate_at(t).is_empty(),
+        "first clean window is silent"
+    );
+    t += S;
+    mon.observe_replan_at(t, 150_000, 2, 40, false);
+    let fired = mon.evaluate_at(t);
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].kind, HealthEventKind::Recovered);
+    assert_eq!(mon.state(), HealthState::Healthy);
+}
+
+/// An injected quality regression — the audited energy drifting above
+/// the regret ceiling — fires exactly one `EnergyRegret`.
+#[test]
+fn injected_regret_regression_is_detected() {
+    let mon = HealthMonitor::new(strict_policy());
+    let mut t = S;
+    for _ in 0..100 {
+        mon.observe_replan_at(t, 150_000, 2, 40, false);
+        t += S / 10;
+    }
+    mon.observe_audit(0.05, false);
+    assert!(mon.evaluate_at(t).is_empty(), "healthy regret alerted");
+
+    mon.observe_audit(0.40, false); // above the 0.25 ceiling
+    mon.observe_replan_at(t + 1, 150_000, 2, 40, false);
+    let fired = mon.evaluate_at(t + 2);
+    assert_eq!(
+        fired.len(),
+        1,
+        "regression must fire exactly once: {fired:?}"
+    );
+    assert_eq!(fired[0].kind, HealthEventKind::EnergyRegret);
+    assert!((fired[0].measured - 0.40).abs() < 1e-12);
+    assert!((fired[0].budget - 0.25).abs() < 1e-12);
+}
+
+/// Latency and fallback breaches through the windowed sketches: a burst
+/// of slow, falling-back replans trips both checks; each latches once.
+#[test]
+fn latency_and_fallback_breaches_latch_once() {
+    let mon = HealthMonitor::new(strict_policy());
+    let mut t = S;
+    for _ in 0..100 {
+        // 8 ms replans (budget 2 ms), every one a full-recompute fallback.
+        mon.observe_replan_at(t, 8_000_000, 40, 40, true);
+        t += S / 100;
+    }
+    let fired = mon.evaluate_at(t);
+    let kinds: Vec<HealthEventKind> = fired.iter().map(|e| e.kind).collect();
+    assert!(
+        kinds.contains(&HealthEventKind::ReplanLatency),
+        "slow burst missed: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&HealthEventKind::FallbackRate),
+        "fallback storm missed: {kinds:?}"
+    );
+    assert_eq!(fired.len(), 2, "only those two: {fired:?}");
+    assert!(mon.evaluate_at(t + 1).is_empty(), "breaches must latch");
+}
+
+/// End-to-end through the engine: a live stream with an injected stall
+/// and an injected audit regression produces exactly those two events —
+/// in order — with a clean prefix and zero false alarms, and the plan
+/// stays byte-identical to the offline pipeline throughout.
+#[test]
+fn engine_stream_detects_stall_and_regression_exactly() {
+    let policy = SloPolicy::new(Duration::from_secs(8))
+        .with_replan_p99(Duration::from_secs(2)) // generous: debug builds
+        .with_regret_ceiling(0.25)
+        .with_fallback_rate_ceiling(1.0)
+        .with_heartbeat_timeout(Duration::from_secs(4));
+    let mut engine = OnlineEngine::new(seed_set(), 2, PolynomialPower::cubic())
+        .with_health(policy)
+        .with_audit(AuditConfig::default().with_every(0).with_synchronous(true));
+
+    // Clean prefix: a burst of arrivals plus periodic healthy audits.
+    for k in 0..24u64 {
+        let r = 0.5 * k as f64;
+        engine
+            .apply(&OnlineEvent::Arrive(Task::of(r, r + 6.0, 1.0)))
+            .expect("arrival rejected");
+        if k % 8 == 0 {
+            engine.force_audit().expect("audit configured");
+        }
+    }
+    let monitor = std::sync::Arc::clone(engine.health().expect("health on"));
+    assert!(
+        monitor.evaluate_at(now_ns()).is_empty(),
+        "clean prefix alerted"
+    );
+    assert_eq!(monitor.state(), HealthState::Healthy);
+
+    // Injected stall: no traffic for 6 virtual seconds.
+    let fired = monitor.evaluate_at(now_ns() + 6 * S);
+    assert_eq!(fired.len(), 1, "stall: {fired:?}");
+    assert_eq!(fired[0].kind, HealthEventKind::HeartbeatStale);
+
+    // Injected quality regression: inflate the audited live energy 40%.
+    engine.set_audit_energy_inflation(0.40);
+    let regret = engine.force_audit().expect("audit ran");
+    assert!(regret > 0.25, "inflation did not move regret: {regret}");
+    let fired = monitor.evaluate_at(now_ns() + 6 * S + 1);
+    assert_eq!(fired.len(), 1, "regression: {fired:?}");
+    assert_eq!(fired[0].kind, HealthEventKind::EnergyRegret);
+
+    // Exactly those two events, in order, and the injection never touched
+    // the plan: byte-identity with the offline pipeline still holds.
+    let kinds: Vec<HealthEventKind> = monitor.events().iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            HealthEventKind::HeartbeatStale,
+            HealthEventKind::EnergyRegret
+        ]
+    );
+    engine.set_audit_energy_inflation(0.0);
+    let request = engine.as_request();
+    let got = engine.outcome();
+    let want = Engine::with_threads(2).run(&request).expect("offline run");
+    assert_eq!(got, want, "fault injection perturbed the plan");
+
+    // The health report is a machine-readable artifact of the episode.
+    let report = monitor.report();
+    assert_eq!(report.state, HealthState::Degraded);
+    assert_eq!(report.breaches, 2);
+    assert_eq!(report.divergences, 0);
+    let json = report.to_json().to_string();
+    assert!(
+        json.contains("\"kind\": \"health_report\"") || json.contains("\"kind\":\"health_report\"")
+    );
+}

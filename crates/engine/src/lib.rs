@@ -41,12 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 mod exec;
 pub mod online;
 pub mod outcome;
 pub mod pool;
 
+pub use audit::{AuditConfig, ShadowAuditor};
 pub use config::{Algorithm, EngineConfig, ScheduleRequest};
 pub use online::{OnlineEngine, OnlineError, OnlineEvent, ReplanReport};
 pub use outcome::{DiscreteSummary, EngineError, OptSummary, ScheduleOutcome, SimVerdict};

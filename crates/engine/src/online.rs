@@ -39,6 +39,7 @@
 //! (and JSON-encodes) byte-for-byte equal to [`Engine::run`] on the
 //! equivalent request, at any worker count.
 
+use crate::audit::{AuditConfig, ShadowAuditor};
 use crate::config::{Algorithm, EngineConfig, ScheduleRequest};
 use crate::outcome::{DiscreteSummary, OptSummary, ScheduleOutcome, SimVerdict};
 use esched_core::{
@@ -46,6 +47,7 @@ use esched_core::{
     optimal_energy_in, quantize_schedule, reallocate_der_patched, AvailMatrix, DerRepairStats,
     IdealSolution, NecPoint, QuantizePolicy, Scratch,
 };
+use esched_obs::health::{HealthMonitor, SloPolicy};
 use esched_obs::{RequestId, RequestScope, TraceCtx};
 use esched_opt::{kkt_report, EnergyProgram, KktReport};
 use esched_sim::simulate;
@@ -53,6 +55,7 @@ use esched_subinterval::Timeline;
 use esched_types::{
     validate_schedule, FrequencyAssignment, PolynomialPower, Task, TaskId, TaskSet,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default dirty-column fraction above which a patch recomputes the whole
@@ -178,6 +181,14 @@ pub struct OnlineEngine {
     // Per-task totals X_i of the last certified optimum, if any — the
     // warm-start carrier across task-set mutations.
     last_opt_totals: Option<Vec<f64>>,
+    // Streaming SLO/health layer (obs::health), when enabled. Strictly
+    // observational: recording never touches plan state, so byte-identity
+    // with the offline pipeline is unaffected.
+    health: Option<Arc<HealthMonitor>>,
+    // Sampled energy-regret shadow auditor, when enabled.
+    auditor: Option<ShadowAuditor>,
+    // Successfully applied events, for audit sampling.
+    events_seen: u64,
 }
 
 impl OnlineEngine {
@@ -212,6 +223,9 @@ impl OnlineEngine {
             final_energy,
             scratch,
             last_opt_totals: None,
+            health: None,
+            auditor: None,
+            events_seen: 0,
         }
     }
 
@@ -252,6 +266,62 @@ impl OnlineEngine {
     pub fn with_recertify(mut self, on: bool) -> Self {
         self.recertify = on;
         self
+    }
+
+    /// Attach a fresh [`HealthMonitor`] evaluating `policy` over the
+    /// stream: every applied event records its latency, repair fraction,
+    /// and fallback into the monitor's sliding windows, heartbeats it,
+    /// and rate-limited SLO evaluation runs once per sub-window tick.
+    /// Recording is strictly observational — plan state (and therefore
+    /// online↔offline byte-identity) is untouched.
+    pub fn with_health(self, policy: SloPolicy) -> Self {
+        self.with_health_monitor(Arc::new(HealthMonitor::new(policy)))
+    }
+
+    /// Attach an existing (possibly shared) [`HealthMonitor`] — e.g. one
+    /// a status exporter or daemon also holds.
+    pub fn with_health_monitor(mut self, monitor: Arc<HealthMonitor>) -> Self {
+        self.health = Some(monitor);
+        self
+    }
+
+    /// Enable the sampled energy-regret shadow audit (see
+    /// [`crate::audit`]): every [`AuditConfig::every`] applied events, a
+    /// background worker replays the offline pipeline on a snapshot of
+    /// the live task set (bitwise divergence check) and recomputes E^OPT
+    /// warm-started, publishing `esched.online.energy_regret` into the
+    /// health monitor. Attaches a default-policy [`HealthMonitor`] if
+    /// none was configured.
+    pub fn with_audit(mut self, cfg: AuditConfig) -> Self {
+        if self.health.is_none() {
+            self.health = Some(Arc::new(HealthMonitor::new(SloPolicy::default())));
+        }
+        let monitor = Arc::clone(self.health.as_ref().expect("just ensured"));
+        self.auditor = Some(ShadowAuditor::new(&cfg, monitor));
+        self
+    }
+
+    /// The attached health monitor, if any.
+    pub fn health(&self) -> Option<&Arc<HealthMonitor>> {
+        self.health.as_ref()
+    }
+
+    /// Run one shadow audit inline on the calling thread (blocking,
+    /// deterministic — bypasses the sampler). Returns the published
+    /// regret, or `None` when no auditor is configured.
+    pub fn force_audit(&self) -> Option<f64> {
+        let auditor = self.auditor.as_ref()?;
+        auditor.force(&self.task_set, self.cores, self.power, self.final_energy);
+        self.health.as_ref().and_then(|h| h.regret())
+    }
+
+    /// Set the audit fault-injection multiplier: regret is computed from
+    /// `live_energy * (1 + inflation)`. No-op without an auditor; `0.0`
+    /// restores production behaviour.
+    pub fn set_audit_energy_inflation(&self, inflation: f64) {
+        if let Some(a) = &self.auditor {
+            a.set_energy_inflation(inflation);
+        }
     }
 
     /// The live task set.
@@ -363,9 +433,27 @@ impl OnlineEngine {
         self.final_energy = self.assignment.energy(&works, &self.power);
 
         let recertified = self.recertify.then(|| self.recertify_now());
-        esched_obs::metric_histogram!("esched.engine.online_replan_ns")
-            .record(t_start.elapsed().as_nanos() as u64);
+        let elapsed_ns = t_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        esched_obs::metric_histogram!("esched.engine.online_replan_ns").record(elapsed_ns);
         esched_obs::metric_counter!("esched.engine.online_events").inc();
+        self.events_seen += 1;
+        if let Some(h) = &self.health {
+            h.observe_replan(
+                elapsed_ns,
+                der.dirty_columns,
+                der.total_columns,
+                timeline_rebuilt || der.fell_back,
+            );
+            // Breaches latch inside the monitor and are published to the
+            // metrics registry + flight recorder by `evaluate`; the
+            // replan path only pays the rate-limited trigger.
+            let _ = h.maybe_evaluate();
+        }
+        if let Some(a) = &self.auditor {
+            if a.due(self.events_seen) {
+                a.offer_snapshot(&self.task_set, self.cores, self.power, self.final_energy);
+            }
+        }
 
         if self.verify {
             if let Err(msg) = self.verify_current() {

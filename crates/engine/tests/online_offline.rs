@@ -3,10 +3,12 @@
 //! pipeline on the same final task set — across worker counts.
 
 use esched_engine::online::{OnlineEngine, OnlineEvent};
-use esched_engine::{Engine, EngineConfig};
+use esched_engine::{AuditConfig, Engine, EngineConfig};
+use esched_obs::health::{HealthState, SloPolicy};
 use esched_obs::json::ToJson;
 use esched_types::{PolynomialPower, Task, TaskSet};
 use esched_workload::{GeneratorConfig, WorkloadGenerator};
+use std::time::Duration;
 
 fn seed_set() -> TaskSet {
     TaskSet::from_triples(&[
@@ -163,6 +165,40 @@ fn verify_and_recertify_accept_repaired_plans() {
     engine
         .verify_current()
         .expect("final plan fails the oracle");
+}
+
+#[test]
+fn health_and_audit_preserve_byte_identity_across_worker_counts() {
+    // The full observability stack on: sliding-window health recording,
+    // per-event SLO evaluation, and a synchronous shadow audit on every
+    // event. None of it may perturb the plan — the outcome must stay
+    // byte-identical to the offline pipeline at 1, 4, and 8 workers.
+    let policy = SloPolicy::new(Duration::from_secs(10))
+        .with_replan_p99(Duration::from_secs(5))
+        .with_regret_ceiling(10.0)
+        .with_fallback_rate_ceiling(1.0);
+    let mut engine = OnlineEngine::new(seed_set(), 4, PolynomialPower::paper(3.0, 0.1))
+        .with_health(policy)
+        .with_audit(AuditConfig::default().with_every(1).with_synchronous(true));
+    for event in mixed_events() {
+        engine.apply(&event).expect("event rejected");
+    }
+    assert_byte_identical(&mut engine, &[1, 4, 8]);
+
+    let monitor = engine.health().expect("health enabled");
+    assert_eq!(monitor.state(), HealthState::Healthy);
+    assert_eq!(
+        monitor.audits(),
+        mixed_events().len() as u64,
+        "every event audited"
+    );
+    let regret = monitor.regret().expect("audit published a regret");
+    assert!(
+        regret > -1e-6 && regret < 10.0,
+        "heuristic regret out of range: {regret}"
+    );
+    let report = monitor.report();
+    assert_eq!(report.divergences, 0, "live plan diverged from offline");
 }
 
 #[test]

@@ -1,0 +1,219 @@
+//! `esched-top` — a live one-screen health view of a running engine,
+//! rendered from the exporter's JSONL metrics stream.
+//!
+//! The [`Exporter`](esched_obs::Exporter) appends one JSONL line per
+//! sampling tick (counters/histograms as deltas, gauges as current
+//! values). This bin tails that file, folds the series back into
+//! cumulative state, and renders the health surface the online engine
+//! publishes: SLO state, windowed replan quantiles, fallback/repair
+//! rates, energy regret, and the cumulative replan-latency histogram.
+//!
+//! ```text
+//! esched-top [--once] [--interval <secs>] [<metrics.jsonl>]
+//! ```
+//!
+//! `--once` renders a single frame and exits (CI and smoke tests);
+//! otherwise the screen refreshes every `--interval` seconds (default 2).
+
+use esched_obs::json::{parse, Value};
+use std::collections::BTreeMap;
+
+/// Folded view of one metric across the JSONL series.
+#[derive(Default, Clone)]
+struct Fold {
+    /// Sum of per-tick values — the cumulative total for counters and
+    /// histogram scalars (which the exporter emits as deltas).
+    sum: f64,
+    /// Last-seen value — the current reading for gauges.
+    last: f64,
+    /// Cumulative histogram buckets, keyed by `le` upper edge.
+    buckets: BTreeMap<u64, f64>,
+}
+
+#[derive(Default)]
+struct Frame {
+    seq: f64,
+    elapsed_s: f64,
+    lines: usize,
+    metrics: BTreeMap<String, Fold>,
+}
+
+fn fold_file(path: &str) -> Result<Frame, String> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| format!("esched-top: cannot read {path}: {e}"))?;
+    let mut frame = Frame::default();
+    for line in raw.lines() {
+        let Ok(v) = parse(line) else {
+            continue; // torn tail line mid-write: skip, next frame gets it
+        };
+        frame.lines += 1;
+        frame.seq = v.get("seq").and_then(Value::as_f64).unwrap_or(frame.seq);
+        frame.elapsed_s = v
+            .get("elapsed_s")
+            .and_then(Value::as_f64)
+            .unwrap_or(frame.elapsed_s);
+        let Some(Value::Obj(pairs)) = v.get("metrics") else {
+            continue;
+        };
+        for (name, val) in pairs {
+            let fold = frame.metrics.entry(name.clone()).or_default();
+            match val {
+                Value::Num(n) => {
+                    fold.sum += n;
+                    fold.last = *n;
+                }
+                Value::Obj(fields) => {
+                    for (k, fv) in fields {
+                        let Some(n) = fv.as_f64() else { continue };
+                        if k == "count" {
+                            fold.sum += n;
+                        } else if let Some(le) = k.strip_prefix("le_") {
+                            if let Ok(le) = le.parse::<u64>() {
+                                *fold.buckets.entry(le).or_default() += n;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(frame)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns <= 0.0 {
+        "-".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.1} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn fmt_pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+impl Frame {
+    fn gauge(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).map(|f| f.last)
+    }
+
+    fn total(&self, name: &str) -> f64 {
+        self.metrics.get(name).map(|f| f.sum).unwrap_or(0.0)
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        let state = match self.gauge("esched.online.health_state") {
+            Some(s) if s >= 1.0 => "DEGRADED",
+            Some(_) => "HEALTHY",
+            None => "UNKNOWN",
+        };
+        out.push_str(&format!(
+            "esched-top · state {state} · tick {} · up {:.1}s · {} samples\n",
+            self.seq, self.elapsed_s, self.lines
+        ));
+        out.push_str("─────────────────────────────────────────────────────\n");
+        out.push_str(&format!(
+            "replan window   p50 {:>10}  p99 {:>10}  p999 {:>10}\n",
+            fmt_ns(self.gauge("esched.online.replan_p50_ns").unwrap_or(0.0)),
+            fmt_ns(self.gauge("esched.online.replan_p99_ns").unwrap_or(0.0)),
+            fmt_ns(self.gauge("esched.online.replan_p999_ns").unwrap_or(0.0)),
+        ));
+        out.push_str(&format!(
+            "repair          fallback rate {:>6}   repair fraction {:>6}\n",
+            fmt_pct(self.gauge("esched.online.fallback_rate").unwrap_or(0.0)),
+            fmt_pct(self.gauge("esched.online.repair_fraction").unwrap_or(0.0)),
+        ));
+        let regret = self
+            .gauge("esched.online.energy_regret")
+            .map(|r| format!("{:+.3}%", r * 100.0))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "energy audit    regret {regret:>9}   audits {}   diverged {}   skipped {}\n",
+            self.total("esched.online.audits"),
+            self.total("esched.online.audit_divergences"),
+            self.total("esched.online.audits_skipped"),
+        ));
+        out.push_str(&format!(
+            "liveness        heartbeat age {:>10}   breaches {}   recoveries {}\n",
+            fmt_ns(self.gauge("esched.online.heartbeat_age_ns").unwrap_or(0.0)),
+            self.total("esched.online.health_breaches"),
+            self.total("esched.online.health_recoveries"),
+        ));
+        out.push_str(&format!(
+            "engine totals   events {}   replans (window) {}\n",
+            self.total("esched.engine.online_events"),
+            self.gauge("esched.online.window_replans").unwrap_or(0.0),
+        ));
+        if let Some(hist) = self.metrics.get("esched.engine.online_replan_ns") {
+            if !hist.buckets.is_empty() {
+                out.push_str("replan latency (cumulative)\n");
+                let max = hist.buckets.values().cloned().fold(0.0f64, f64::max);
+                for (&le, &c) in &hist.buckets {
+                    if c <= 0.0 {
+                        continue;
+                    }
+                    let width = ((c / max) * 40.0).ceil() as usize;
+                    out.push_str(&format!(
+                        "  ≤{:>9} {:>8} {}\n",
+                        fmt_ns(le as f64),
+                        c,
+                        "█".repeat(width.max(1))
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn main() {
+    let mut once = false;
+    let mut interval = 2.0f64;
+    let mut path = "metrics.jsonl".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--interval" => {
+                interval = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("esched-top: --interval needs a number of seconds");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: esched-top [--once] [--interval <secs>] [<metrics.jsonl>]");
+                return;
+            }
+            other => path = other.to_string(),
+        }
+    }
+    loop {
+        match fold_file(&path) {
+            Ok(frame) => {
+                if once {
+                    print!("{}", frame.render());
+                    return;
+                }
+                // Clear screen + home, then the frame.
+                print!("\x1b[2J\x1b[H{}", frame.render());
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                if once {
+                    std::process::exit(2);
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval.max(0.1)));
+    }
+}

@@ -156,6 +156,12 @@ fn prom_name(name: &str) -> String {
     out
 }
 
+/// Escape a `# HELP` docstring per the text-format rules: backslash and
+/// newline must be escaped; everything else passes through.
+fn prom_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 fn prom_num(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{}", v as i64)
@@ -172,6 +178,9 @@ pub fn prometheus_exposition(snap: &Snapshot) -> String {
     let mut out = String::new();
     for (name, metric) in &snap.entries {
         let pname = prom_name(name);
+        if let Some(help) = metrics::help_text(name) {
+            out.push_str(&format!("# HELP {pname} {}\n", prom_help(&help)));
+        }
         match metric {
             Metric::Counter(v) => {
                 out.push_str(&format!("# TYPE {pname} counter\n"));

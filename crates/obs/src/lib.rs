@@ -35,6 +35,12 @@
 //! * [`export`] — the continuous exporter: a background sampler thread
 //!   emitting [`metrics::snapshot`] deltas as a JSONL time series plus a
 //!   Prometheus-style text exposition file.
+//! * [`health`] — the streaming SLO/health layer: lock-free sliding-window
+//!   log2 quantile sketches ([`health::WindowedSketch`]), a declarative
+//!   [`health::SloPolicy`], and the [`health::HealthMonitor`] anomaly
+//!   watchdog (latched breach events, degraded/healthy state machine,
+//!   energy-regret audit intake) the online engine threads through its
+//!   replan path.
 //! * [`json`] — an insertion-order-preserving JSON value, emitter, and
 //!   parser plus the [`json::ToJson`]/[`json::FromJson`] traits used for
 //!   machine-readable artifacts (task sets, run reports).
@@ -69,6 +75,7 @@
 pub mod chrome;
 pub mod ctx;
 pub mod export;
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
@@ -79,6 +86,10 @@ pub mod trace;
 
 pub use ctx::{RequestId, RequestScope, TraceCtx};
 pub use export::{Exporter, ExporterConfig};
+pub use health::{
+    HealthEvent, HealthEventKind, HealthMonitor, HealthReport, HealthState, SloPolicy, WindowStats,
+    WindowedCounter, WindowedSketch,
+};
 pub use json::{FromJson, JsonError, ToJson, Value};
 pub use recorder::{FlightKind, FlightRecord, FlightSpan};
 pub use report::{RunReport, TrialRecord};

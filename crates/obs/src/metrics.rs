@@ -226,6 +226,30 @@ fn registry() -> &'static Mutex<BTreeMap<String, Instrument>> {
     REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+fn help_registry() -> &'static Mutex<BTreeMap<String, String>> {
+    static HELP: OnceLock<Mutex<BTreeMap<String, String>>> = OnceLock::new();
+    HELP.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Attach a human-readable `# HELP` description to the metric named
+/// `name`. Idempotent (the first description wins); safe to call before
+/// or after the instrument itself is registered. The Prometheus
+/// exposition renders it as a `# HELP` line.
+pub fn describe(name: &str, help: &str) {
+    let mut reg = help_registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.entry(name.to_string())
+        .or_insert_with(|| help.to_string());
+}
+
+/// The registered `# HELP` text for `name`, if any.
+pub fn help_text(name: &str) -> Option<String> {
+    help_registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(name)
+        .cloned()
+}
+
 /// Lock the registry, recovering from poisoning: the map is structurally
 /// consistent at every point a holder can panic (the kind-mismatch panic
 /// fires after the entry lookup completes), so the poison flag carries no

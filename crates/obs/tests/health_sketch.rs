@@ -1,0 +1,260 @@
+//! Windowed quantile-sketch battery: randomized streams cross-checked
+//! against exact sorted quantiles (rank-error bound), a window-rotation
+//! expiry proof, and an 8-writer concurrent stress test in the style of
+//! `flight_recorder.rs`.
+//!
+//! The sketch's accuracy contract: the log-linear layout (16 linear
+//! sub-buckets per power-of-two octave) puts the nearest-rank value and
+//! the reported bucket midpoint in the *same* bucket, so every quantile
+//! estimate is within one sub-bucket width — a relative error of at most
+//! `1/16 = 6.25%` for values ≥ 16 (exact below 16).
+
+use esched_obs::health::{WindowedCounter, WindowedSketch};
+use esched_obs::rng::ChaCha8;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Relative rank-error bound guaranteed by the bucket layout, padded for
+/// the midpoint-vs-edge placement within the shared bucket.
+const REL_ERR: f64 = 1.0 / 16.0;
+
+/// Exact nearest-rank quantile of a sorted slice (the definition the
+/// sketch's `quantile` mirrors bucket-wise).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The estimate must land within one sub-bucket of the exact value:
+/// `|est - exact| <= exact / 16` (plus the integer-midpoint slack of 1
+/// for tiny values).
+fn assert_within_bound(est: u64, exact: u64, q: f64, dist: &str) {
+    let tol = (exact as f64 * REL_ERR).max(1.0);
+    assert!(
+        (est as f64 - exact as f64).abs() <= tol,
+        "{dist}: q={q}: estimate {est} vs exact {exact} (tol {tol:.1})"
+    );
+}
+
+#[test]
+fn randomized_streams_match_exact_quantiles() {
+    const N: usize = 20_000;
+    let quantiles = [0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999];
+    // Three shapes: uniform, heavy-tailed (squared uniform), and
+    // bimodal — the shapes replan latency actually takes.
+    for (seed, dist) in [(1u64, "uniform"), (2, "heavy_tail"), (3, "bimodal")] {
+        let mut rng = ChaCha8::seed_from_u64(0x5EED_0000 + seed);
+        let sketch = WindowedSketch::new(Duration::from_secs(60), 6);
+        let t = 30_000_000_000u64; // mid-window, fixed: accuracy test only
+        let mut values = Vec::with_capacity(N);
+        for k in 0..N {
+            let u = rng.next_u64() % 1_000_000;
+            let v = match dist {
+                "uniform" => u + 1,
+                "heavy_tail" => (u * u) / 1_000_000 + 1,
+                _ => {
+                    if k % 10 == 0 {
+                        800_000 + u % 200_000
+                    } else {
+                        1_000 + u % 500
+                    }
+                }
+            };
+            values.push(v);
+            sketch.record_at(t, v);
+        }
+        values.sort_unstable();
+        let merged = sketch.merged_at(t);
+        assert_eq!(merged.count(), N as u64);
+        assert_eq!(merged.sum(), values.iter().sum::<u64>());
+        for q in quantiles {
+            let est = merged.quantile(q).expect("non-empty sketch");
+            assert_within_bound(est, exact_quantile(&values, q), q, dist);
+        }
+    }
+}
+
+#[test]
+fn empty_sketch_has_no_quantiles() {
+    let sketch = WindowedSketch::new(Duration::from_secs(10), 8);
+    let m = sketch.merged_at(5_000_000_000);
+    assert_eq!(m.count(), 0);
+    assert_eq!(m.quantile(0.5), None);
+    assert_eq!(m.mean(), 0.0);
+}
+
+/// Expiry proof: walk a long stream of sub-window ticks and check, at
+/// every step, that the merged window contains exactly the samples from
+/// the last `window` — never fewer, never stale ones — by tagging each
+/// sub-window's samples with a distinct value.
+#[test]
+fn rotation_expires_exactly_the_window() {
+    let sub = Duration::from_secs(1);
+    let subs = 8usize;
+    let sketch = WindowedSketch::new(Duration::from_secs(8), subs);
+    let sub_ns = sketch.sub_window_ns();
+    assert_eq!(sub_ns, sub.as_nanos() as u64);
+
+    // Tick k writes exactly k+1 samples at time k·sub (sub-window k).
+    for k in 0u64..64 {
+        let t = k * sub_ns;
+        for _ in 0..=k {
+            sketch.record_at(t, 100 + k);
+        }
+        let merged = sketch.merged_at(t);
+        // Live range at t: sub-windows max(0, k-subs)..=k (ring capacity
+        // is subs+1, so the merge may span one extra sub-window beyond
+        // the nominal window — "at least the window" is the contract).
+        let oldest = k.saturating_sub(subs as u64);
+        let want: u64 = (oldest..=k).map(|j| j + 1).sum();
+        assert_eq!(
+            merged.count(),
+            want,
+            "tick {k}: merged window holds the wrong sample set"
+        );
+        // No stale tag survives: the minimum observed value must come
+        // from the oldest live sub-window. The quantile reports a bucket
+        // midpoint, so allow one sub-bucket width (4 at these
+        // magnitudes) of quantization slack.
+        if let Some(p0) = merged.quantile(0.0) {
+            assert!(
+                p0 + 4 >= 100 + oldest,
+                "tick {k}: stale sample {p0} survived rotation"
+            );
+        }
+    }
+    // Jump far ahead: everything expires.
+    assert_eq!(sketch.merged_at(1_000 * sub_ns).count(), 0);
+}
+
+#[test]
+fn counter_rotation_expires_exactly_the_window() {
+    let c = WindowedCounter::new(Duration::from_secs(8), 8);
+    let sub_ns = 1_000_000_000u64;
+    for k in 0u64..64 {
+        c.add_at(k * sub_ns, 1);
+        let oldest = k.saturating_sub(8);
+        assert_eq!(c.sum_at(k * sub_ns), k - oldest + 1, "tick {k}");
+    }
+    assert_eq!(c.sum_at(1_000 * sub_ns), 0);
+}
+
+/// 8 writers hammering one sketch while a reader merges mid-flight, with
+/// the clock advancing across sub-window rotations throughout. Merged
+/// views must never tear: the count can lag writers mid-stream, but
+/// every merge must be internally consistent (count equals the bucket
+/// total — `MergedWindow` computes count *from* buckets, so the final
+/// settled view proves no increment was lost or double-merged).
+#[test]
+fn concurrent_writers_with_mid_flight_reader() {
+    const WRITERS: usize = 8;
+    const RECORDS_PER_WRITER: u64 = 100_000;
+    let sketch = Arc::new(WindowedSketch::new(Duration::from_secs(3600), 4));
+    let sub_ns = sketch.sub_window_ns();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Writers spread records across the first two sub-windows of the
+    // hour-long window; every sample stays live at read time t_end.
+    let t_end = sub_ns + sub_ns / 2;
+    let reader_sketch = Arc::clone(&sketch);
+    let reader_done = Arc::clone(&done);
+    let reader = std::thread::spawn(move || {
+        let mut merges = 0u64;
+        let mut last_count = 0u64;
+        while !reader_done.load(Ordering::Relaxed) {
+            let m = reader_sketch.merged_at(t_end);
+            let total = WRITERS as u64 * RECORDS_PER_WRITER;
+            assert!(
+                m.count() <= total,
+                "merged count {} exceeds records written {total}",
+                m.count()
+            );
+            // Within one sub-window (no rotation can drop these samples),
+            // the visible count is monotone across merges.
+            assert!(
+                m.count() >= last_count,
+                "merged count went backwards: {} after {last_count}",
+                m.count()
+            );
+            last_count = m.count();
+            merges += 1;
+        }
+        merges
+    });
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS as u64 {
+            let sketch = Arc::clone(&sketch);
+            scope.spawn(move || {
+                for k in 0..RECORDS_PER_WRITER {
+                    // Alternate sub-windows 0 and 1; value tags the writer.
+                    let t = (k % 2) * sub_ns;
+                    sketch.record_at(t, (w + 1) * 1_000 + (k % 7));
+                }
+            });
+        }
+    });
+    done.store(true, Ordering::Relaxed);
+    let merges = reader.join().expect("reader panicked");
+    assert!(merges > 0, "reader never ran");
+
+    // Settled view: nothing lost, nothing duplicated.
+    let m = sketch.merged_at(t_end);
+    assert_eq!(m.count(), WRITERS as u64 * RECORDS_PER_WRITER);
+    let p0 = m.quantile(0.0).unwrap();
+    let p100 = m.quantile(1.0).unwrap();
+    assert!((900..=1_200).contains(&p0), "min tag out of range: {p0}");
+    assert!(
+        (7_500..=8_500).contains(&p100),
+        "max tag out of range: {p100}"
+    );
+}
+
+/// Writers racing *across* a rotation boundary: half the records go to a
+/// sub-window the ring is about to lap. The merge must only ever see
+/// whole sub-windows — a torn view would break count-vs-bucket agreement
+/// inside `MergedWindow` (checked internally) or resurrect expired data.
+#[test]
+fn concurrent_rotation_stress_never_resurrects_expired_data() {
+    const WRITERS: usize = 8;
+    const TICKS: u64 = 2_000;
+    let sketch = Arc::new(WindowedSketch::new(Duration::from_secs(4), 4));
+    let sub_ns = sketch.sub_window_ns();
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS as u64 {
+            let sketch = Arc::clone(&sketch);
+            scope.spawn(move || {
+                for k in 0..TICKS {
+                    // Every writer walks the same clock; the ring rotates
+                    // TICKS times under concurrent load.
+                    sketch.record_at(k * sub_ns, 10 + w);
+                }
+            });
+        }
+        let sketch = Arc::clone(&sketch);
+        scope.spawn(move || {
+            for k in 0..TICKS {
+                let m = sketch.merged_at(k * sub_ns);
+                // At most WRITERS records per sub-window per tick, over at
+                // most 5 live sub-windows (ring capacity).
+                assert!(
+                    m.count() <= WRITERS as u64 * 5 * 2,
+                    "tick {k}: impossible merged count {}",
+                    m.count()
+                );
+            }
+        });
+    });
+
+    // After the dust settles the final window holds at most the last
+    // 5 sub-windows' worth of records.
+    let m = sketch.merged_at((TICKS - 1) * sub_ns);
+    assert!(m.count() >= WRITERS as u64, "newest tick lost");
+    assert!(
+        m.count() <= WRITERS as u64 * 5 * 2,
+        "expired sub-windows resurrected: {}",
+        m.count()
+    );
+}

@@ -1,0 +1,203 @@
+//! Prometheus text-exposition conformance: a golden-file test over a
+//! hand-built snapshot, a structural parse of the output under the text
+//! format's rules, and the `Exporter::stop` tail-flush regression test
+//! (the final partial interval must land as one last contiguous JSONL
+//! line).
+
+use esched_obs::export::{prometheus_exposition, Exporter, ExporterConfig};
+use esched_obs::json::parse;
+use esched_obs::metrics::{self, Metric, Snapshot};
+use std::time::Duration;
+
+fn golden_snapshot() -> Snapshot {
+    metrics::describe("esched.golden.jobs", "Jobs executed by the golden pipeline");
+    metrics::describe(
+        "esched.golden.queue_depth",
+        "Live queue depth (may be fractional\nacross workers)",
+    );
+    metrics::describe(
+        "esched.golden.replan_ns",
+        "Replan latency in nanoseconds; backslash \\ escapes intact",
+    );
+    Snapshot {
+        entries: vec![
+            ("esched.golden.jobs".to_string(), Metric::Counter(42)),
+            ("esched.golden.queue_depth".to_string(), Metric::Gauge(2.5)),
+            (
+                "esched.golden.replan_ns".to_string(),
+                Metric::Histogram {
+                    count: 10,
+                    sum: 31,
+                    buckets: vec![1, 4, 3, 2],
+                },
+            ),
+            // No describe() call for this one: no # HELP line.
+            ("esched.golden.undocumented".to_string(), Metric::Counter(1)),
+        ],
+    }
+}
+
+#[test]
+fn exposition_matches_golden_file() {
+    let got = prometheus_exposition(&golden_snapshot());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/exposition.prom");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("update golden file");
+        return;
+    }
+    let want = include_str!("golden/exposition.prom");
+    assert_eq!(
+        got, want,
+        "exposition drifted from tests/golden/exposition.prom \
+         (UPDATE_GOLDEN=1 to regenerate)"
+    );
+}
+
+/// Structural validation under the Prometheus text-format rules:
+/// comment lines are `# HELP <name> <docstring>` or `# TYPE <name>
+/// <counter|gauge|histogram>`, sample lines are `<name>[{labels}]
+/// <value>`, metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`, `# TYPE`
+/// precedes its samples, histogram buckets are cumulative and end at
+/// `+Inf == _count`.
+#[test]
+fn exposition_parses_under_text_format_rules() {
+    let text = prometheus_exposition(&golden_snapshot());
+    let name_ok = |n: &str| {
+        !n.is_empty()
+            && n.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && n.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let mut typed: Vec<(String, String)> = Vec::new();
+    let mut bucket_last: Option<u64> = None;
+    for line in text.lines() {
+        assert!(!line.is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap();
+            let name = parts.next().expect("comment missing metric name");
+            let payload = parts.next().expect("comment missing payload");
+            assert!(name_ok(name), "bad metric name {name:?}");
+            match keyword {
+                "HELP" => assert!(!payload.contains('\n'), "unescaped newline in HELP payload"),
+                "TYPE" => {
+                    assert!(
+                        matches!(payload, "counter" | "gauge" | "histogram"),
+                        "unknown TYPE {payload:?}"
+                    );
+                    typed.push((name.to_string(), payload.to_string()));
+                }
+                other => panic!("unknown comment keyword {other:?}"),
+            }
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample missing value");
+        let value: f64 = value.parse().expect("unparsable sample value");
+        let (name, labels) = match series.split_once('{') {
+            Some((n, l)) => (n, Some(l.strip_suffix('}').expect("unclosed label set"))),
+            None => (series, None),
+        };
+        assert!(name_ok(name), "bad metric name {name:?}");
+        let (base, kind) = typed
+            .iter()
+            .find(|(t, _)| {
+                name == t
+                    || name == format!("{t}_bucket")
+                    || name == format!("{t}_sum")
+                    || name == format!("{t}_count")
+            })
+            .unwrap_or_else(|| panic!("sample {name} has no preceding # TYPE"));
+        if kind == "histogram" && name == format!("{base}_bucket") {
+            let labels = labels.expect("_bucket without le label");
+            let le = labels
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix('"'))
+                .expect("bucket label must be le=\"…\"");
+            let cumulative = value as u64;
+            if let Some(prev) = bucket_last {
+                assert!(cumulative >= prev, "bucket series not cumulative");
+            }
+            bucket_last = Some(cumulative);
+            if le == "+Inf" {
+                bucket_last = None;
+            } else {
+                le.parse::<f64>().expect("non-numeric le");
+            }
+        } else {
+            assert!(labels.is_none(), "unexpected labels on {name}");
+        }
+    }
+    assert!(
+        bucket_last.is_none(),
+        "bucket series missing +Inf terminator"
+    );
+    assert_eq!(typed.len(), 4, "all four metrics typed");
+}
+
+#[test]
+fn histogram_count_equals_inf_bucket() {
+    let text = prometheus_exposition(&golden_snapshot());
+    let inf: f64 = text
+        .lines()
+        .find(|l| l.contains("le=\"+Inf\""))
+        .and_then(|l| l.rsplit_once(' '))
+        .map(|(_, v)| v.parse().unwrap())
+        .expect("+Inf bucket present");
+    let count: f64 = text
+        .lines()
+        .find(|l| l.starts_with("esched_golden_replan_ns_count"))
+        .and_then(|l| l.rsplit_once(' '))
+        .map(|(_, v)| v.parse().unwrap())
+        .expect("_count present");
+    assert_eq!(inf, count);
+}
+
+/// `Exporter::stop` regression: work recorded *after* the last periodic
+/// tick must still land — stop takes one final sample — and the JSONL
+/// `seq` numbering stays contiguous across the shutdown edge.
+#[test]
+fn exporter_stop_flushes_the_tail_sample() {
+    let dir = std::env::temp_dir().join(format!("esched-export-stop-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Interval far longer than the test: no periodic tick ever fires, so
+    // the only line carrying the counter is the stop-time tail sample.
+    let cfg = ExporterConfig {
+        interval: Duration::from_secs(3600),
+        jsonl_path: dir.join("metrics.jsonl"),
+        prom_path: Some(dir.join("metrics.prom")),
+    };
+    let exporter = Exporter::start(cfg).expect("exporter start");
+    metrics::counter("esched.test.stop_tail_counter").add(7);
+    let lines_written = exporter.stop().expect("exporter stop");
+    assert!(lines_written >= 1, "stop wrote no final sample");
+
+    let raw = std::fs::read_to_string(dir.join("metrics.jsonl")).expect("read jsonl");
+    let lines: Vec<&str> = raw.lines().collect();
+    assert_eq!(lines.len() as u64, lines_written, "seq vs line count");
+    // The series encodes counters as per-tick deltas: the increment must
+    // be recoverable by folding the whole file, including the stop-time
+    // tail line — a dropped tail loses it.
+    let mut seen = false;
+    let mut folded = 0.0;
+    for (i, line) in lines.iter().enumerate() {
+        let v = parse(line).expect("jsonl line parses");
+        let seq = v.get("seq").and_then(|s| s.as_f64()).expect("seq field");
+        assert_eq!(seq as usize, i, "seq must be contiguous from 0");
+        if let Some(metrics) = v.get("metrics") {
+            if let Some(c) = metrics.get("esched.test.stop_tail_counter") {
+                seen = true;
+                folded += c.as_f64().expect("counter delta is a number");
+            }
+        }
+    }
+    assert!(seen, "tail sample dropped: counter never exported");
+    assert_eq!(folded as u64, 7);
+    let prom = std::fs::read_to_string(dir.join("metrics.prom")).expect("prom written");
+    assert!(
+        prom.contains("esched_test_stop_tail_counter 7"),
+        "final exposition missing tail counter:\n{prom}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
