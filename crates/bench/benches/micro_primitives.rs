@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use esched_bench::paper_tasks;
-use esched_core::{allocate_der, ideal_schedule, pack_subinterval, PackItem};
+use esched_core::{allocate, ideal_schedule, pack_subinterval, AllocRequest, PackItem};
 use esched_opt::{lmo_capped_simplex, project_capped_simplex};
 use esched_subinterval::Timeline;
 use esched_types::{validate_schedule, PolynomialPower, Schedule};
@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
         let tl = Timeline::build(&tasks);
         let ideal = ideal_schedule(&tasks, &PolynomialPower::paper(3.0, 0.1));
         g.bench_with_input(BenchmarkId::new("algorithm2_der_alloc", n), &n, |b, _| {
-            b.iter(|| black_box(allocate_der(&tasks, &tl, 4, &ideal)))
+            b.iter(|| black_box(allocate(AllocRequest::new(&tasks, &tl, 4, &ideal))))
         });
     }
 

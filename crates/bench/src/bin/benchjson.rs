@@ -3,9 +3,14 @@
 //!
 //! ```text
 //! benchjson [--out PATH]            run the suite; write BENCH_<sha>.json
+//! benchjson --filter SUBSTR         run only entries whose name contains SUBSTR
 //! benchjson --compare BASE CURRENT  exit 1 if CURRENT regressed >25% p50
 //! benchjson --compare BASE CURRENT --threshold 0.5
 //! ```
+//!
+//! `--filter` runs are for ad-hoc measurement (e.g. the CI scale-smoke
+//! job timing only the large-n entries): the resulting document covers a
+//! subset of the suite, so it cannot be used as a `--compare` baseline.
 //!
 //! Compare mode also exits nonzero (status 2) when the two documents
 //! cover different entry sets — a new bench with no baseline entry, or a
@@ -24,7 +29,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: benchjson [--out PATH]\n       benchjson --compare BASELINE CURRENT [--threshold FRACTION]"
+        "usage: benchjson [--out PATH] [--filter SUBSTR]\n       benchjson --compare BASELINE CURRENT [--threshold FRACTION]"
     );
     std::process::exit(2);
 }
@@ -113,11 +118,16 @@ fn main() -> ExitCode {
 
     // Run mode.
     let mut out: Option<String> = None;
+    let mut filter: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => match it.next() {
                 Some(p) => out = Some(p.clone()),
+                None => usage(),
+            },
+            "--filter" => match it.next() {
+                Some(f) => filter = Some(f.clone()),
                 None => usage(),
             },
             _ => usage(),
@@ -126,7 +136,21 @@ fn main() -> ExitCode {
     let out =
         out.unwrap_or_else(|| format!("BENCH_{}.json", report::git_short_sha().unwrap_or("nogit")));
 
-    let results = harness::run_suite(|name| eprintln!("benchjson: running {name}"));
+    let mut suite = harness::curated_suite();
+    if let Some(f) = &filter {
+        suite.retain(|b| b.name.contains(f.as_str()));
+        if suite.is_empty() {
+            eprintln!("benchjson: --filter {f:?} matches no entries");
+            return ExitCode::from(2);
+        }
+    }
+    let results: Vec<harness::BenchResult> = suite
+        .iter_mut()
+        .map(|b| {
+            eprintln!("benchjson: running {}", b.name);
+            harness::run_entry(b)
+        })
+        .collect();
     let doc = harness::results_to_json(&results);
     if let Err(e) = std::fs::write(&out, doc.to_string_pretty()) {
         eprintln!("benchjson: write {out}: {e}");

@@ -15,8 +15,8 @@
 
 use crate::paper_tasks;
 use esched_core::{
-    allocate_der, der_schedule, even_schedule, ideal_schedule, optimal_energy, pack_subinterval,
-    PackItem,
+    allocate, der_schedule, even_schedule, ideal_schedule, optimal_energy, pack_subinterval,
+    AllocRequest, DerStrategy, PackItem, Pool, DEFAULT_PARALLEL_THRESHOLD,
 };
 use esched_engine::{Engine, EngineConfig, OnlineEngine, OnlineEvent, ScheduleRequest};
 use esched_obs::health::SloPolicy;
@@ -28,6 +28,7 @@ use esched_opt::{
 };
 use esched_subinterval::Timeline;
 use esched_types::{validate_schedule, PolynomialPower, Schedule};
+use esched_workload::WorkloadSpec;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -45,9 +46,12 @@ pub const DEFAULT_THRESHOLD: f64 = 0.25;
 /// entries are equally deterministic single-threaded work and guard the
 /// incremental-replan latency claim. Everything else (`opt/*` solver
 /// sweeps, `engine/*` pool timings, `scaling/*`, `ablation/*`) is
-/// iteration-count- and scheduler-noise-prone and stays advisory.
+/// iteration-count- and scheduler-noise-prone and stays advisory — as
+/// are the large-n scaling entries (`…/16k`, `…/65k`, `…/262k`), whose
+/// few-iteration runs on shared CI hardware are too noisy to fail on.
 pub fn gating(name: &str) -> bool {
-    name.starts_with("micro/") || name.starts_with("online/")
+    let large_n = name.ends_with("/16k") || name.ends_with("/65k") || name.ends_with("/262k");
+    (name.starts_with("micro/") || name.starts_with("online/")) && !large_n
 }
 
 /// One curated benchmark: a name, a fixed iteration count, and the
@@ -101,7 +105,7 @@ pub fn curated_suite() -> Vec<CuratedBench> {
             name: "micro/der_alloc/80",
             iters: 200,
             run: Box::new(move || {
-                black_box(allocate_der(&tasks, &tl, 4, &ideal));
+                black_box(allocate(AllocRequest::new(&tasks, &tl, 4, &ideal)));
             }),
         });
     }
@@ -124,7 +128,7 @@ pub fn curated_suite() -> Vec<CuratedBench> {
                 },
                 iters,
                 run: Box::new(move || {
-                    black_box(allocate_der(&tasks, &tl, 4, &ideal));
+                    black_box(allocate(AllocRequest::new(&tasks, &tl, 4, &ideal)));
                 }),
             });
         }
@@ -135,7 +139,10 @@ pub fn curated_suite() -> Vec<CuratedBench> {
                     name: "micro/der_alloc_reference/1024",
                     iters,
                     run: Box::new(move || {
-                        black_box(esched_core::allocate_der_reference(&tasks, &tl, 4, &ideal));
+                        black_box(allocate(
+                            AllocRequest::new(&tasks, &tl, 4, &ideal)
+                                .strategy(DerStrategy::Reference),
+                        ));
                     }),
                 });
             }
@@ -169,12 +176,86 @@ pub fn curated_suite() -> Vec<CuratedBench> {
                 run: Box::new(move || {
                     let was = esched_obs::recorder::is_enabled();
                     esched_obs::recorder::set_enabled(on);
-                    black_box(allocate_der(&tasks, &tl, 4, &ideal));
+                    black_box(allocate(AllocRequest::new(&tasks, &tl, 4, &ideal)));
                     esched_obs::recorder::set_enabled(was);
                 }),
             });
         }
     }
+    // --- large-n scaling entries (grid-snapped WorkloadSpec::large_n
+    // instances, so CSR cells stay O(n) and a 262 144-task timeline fits
+    // comfortably in memory). der_alloc entries run the vectorized
+    // water-fill with intra-instance fan-out across an 8-worker pool;
+    // der_alloc_serial/65k is the round-based serial scalar path measured
+    // in the same run, so the p50 ratio of the 65k pair is a same-machine
+    // speedup figure. All large-n names are advisory (`gating` excludes
+    // them): a handful of iterations on shared CI hardware is too noisy
+    // to fail the build on.
+    // Fixtures are built lazily on the first (warmup) call — `run_entry`
+    // always warms up at least once before the timed bracket — so merely
+    // constructing the suite (as the unit tests do, in debug) never pays
+    // for a 262 144-task timeline.
+    {
+        struct LargeFixture {
+            tasks: esched_types::TaskSet,
+            tl: Timeline,
+            ideal: esched_core::IdealSolution,
+        }
+        let build = move |n: usize| {
+            let tasks = WorkloadSpec::large_n(n).instantiate(3);
+            let tl = Timeline::build(&tasks);
+            let ideal = ideal_schedule(&tasks, &power);
+            LargeFixture { tasks, tl, ideal }
+        };
+        let pool = Pool::with_threads(8);
+        for (name, n, iters) in [
+            ("micro/der_alloc/16k", 16_384usize, 16usize),
+            ("micro/der_alloc/65k", 65_536, 8),
+            ("micro/der_alloc/262k", 262_144, 3),
+        ] {
+            let pool = pool.clone();
+            let mut fixture: Option<LargeFixture> = None;
+            suite.push(CuratedBench {
+                name,
+                iters,
+                run: Box::new(move || {
+                    let fx = fixture.get_or_insert_with(|| build(n));
+                    black_box(allocate(
+                        AllocRequest::new(&fx.tasks, &fx.tl, 4, &fx.ideal)
+                            .with_pool(&pool)
+                            .with_parallel_threshold(DEFAULT_PARALLEL_THRESHOLD),
+                    ));
+                }),
+            });
+        }
+        {
+            let mut fixture: Option<LargeFixture> = None;
+            suite.push(CuratedBench {
+                name: "micro/der_alloc_serial/65k",
+                iters: 4,
+                run: Box::new(move || {
+                    let fx = fixture.get_or_insert_with(|| build(65_536));
+                    black_box(allocate(
+                        AllocRequest::new(&fx.tasks, &fx.tl, 4, &fx.ideal)
+                            .strategy(DerStrategy::Reference),
+                    ));
+                }),
+            });
+        }
+        {
+            let mut tasks: Option<esched_types::TaskSet> = None;
+            suite.push(CuratedBench {
+                name: "micro/timeline_build/65k",
+                iters: 8,
+                run: Box::new(move || {
+                    let ts =
+                        tasks.get_or_insert_with(|| WorkloadSpec::large_n(65_536).instantiate(3));
+                    black_box(Timeline::build(ts));
+                }),
+            });
+        }
+    }
+
     {
         let items: Vec<PackItem> = (0..24)
             .map(|i| PackItem {
@@ -689,6 +770,24 @@ mod tests {
         assert!(gating("online/replan_p99"));
         assert!(gating("online/health_overhead_on"));
         assert!(!gating("engine/batch_64x/1t"));
+    }
+
+    #[test]
+    fn large_n_entries_are_present_but_advisory() {
+        let suite = curated_suite();
+        for name in [
+            "micro/der_alloc/16k",
+            "micro/der_alloc/65k",
+            "micro/der_alloc/262k",
+            "micro/der_alloc_serial/65k",
+            "micro/timeline_build/65k",
+        ] {
+            assert!(suite.iter().any(|b| b.name == name), "{name} missing");
+            assert!(!gating(name), "{name} must stay advisory");
+        }
+        // The small-n micro entries still gate.
+        assert!(gating("micro/der_alloc/1024"));
+        assert!(gating("micro/timeline_build/80"));
     }
 
     #[test]

@@ -31,6 +31,11 @@
 //!   re-verified against the validator⟺simulator battery, and the final
 //!   online outcome required to be byte-identical to a from-scratch
 //!   offline run; shrunk scripts commit under `corpus/online/`.
+//! * [`scale`] — a **large-n allocator battery** (`--scale N` mode):
+//!   grid-snapped `WorkloadSpec::large_n` instances up to `N` tasks run
+//!   through the vectorized, pool-parallel allocator and compared
+//!   cell-by-cell against the round-based reference strategy, plus
+//!   reference-free capacity invariants.
 //!
 //! The binary (`cargo run -p esched-check -- --iters 1000 --seed 42`)
 //! drives the loop, writes shrunk repros to [`corpus`] as JSON, and exits
@@ -45,6 +50,7 @@ pub mod gen;
 pub mod instance;
 pub mod online;
 pub mod oracles;
+pub mod scale;
 pub mod shrink;
 
 pub use corpus::{load_corpus_dir, write_corpus};
@@ -55,4 +61,5 @@ pub use online::{
     OnlineScript,
 };
 pub use oracles::{check_instance, OracleClass, OracleViolation};
+pub use scale::{run_scale, ScaleReport};
 pub use shrink::shrink;

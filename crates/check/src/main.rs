@@ -37,10 +37,11 @@ struct Args {
     max_shrink_evals: usize,
     quiet: bool,
     online: bool,
+    scale: Option<usize>,
 }
 
 const USAGE: &str = "usage: esched-check [--iters N] [--seed N] [--corpus DIR] \
-                     [--max-shrink-evals N] [--quiet] [--online]";
+                     [--max-shrink-evals N] [--quiet] [--online] [--scale N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -50,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
         max_shrink_evals: 400,
         quiet: false,
         online: false,
+        scale: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--quiet" => args.quiet = true,
             "--online" => args.online = true,
+            "--scale" => args.scale = Some(parse_num(&grab("--scale")?)? as usize),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -162,6 +165,36 @@ fn run_online(args: &Args) -> ExitCode {
     }
 }
 
+/// The `--scale N` mode: the large-n allocator battery. No shrinking or
+/// corpus here — instances are fully determined by `(seed, iteration)`,
+/// so a failure message already names its repro.
+fn run_scale(args: &Args, scale: usize) -> ExitCode {
+    let workers = 8;
+    println!(
+        "esched-check --scale {scale}: {} iteration(s), seed {}, {workers} pool workers",
+        args.iters, args.seed
+    );
+    let report = esched_check::run_scale(scale, args.iters, args.seed, 4, workers);
+    if !args.quiet {
+        let max = report.sizes.iter().copied().max().unwrap_or(0);
+        let min = report.sizes.iter().copied().min().unwrap_or(0);
+        println!(
+            "  sizes {min}..={max}, {} cells checked, {} violation(s)",
+            report.cells_checked,
+            report.violations.len()
+        );
+    }
+    for v in &report.violations {
+        eprintln!("  {v}");
+        event!(Level::Warn, "scale_violation");
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -184,6 +217,9 @@ fn main() -> ExitCode {
         seed = args.seed as usize,
     );
 
+    if let Some(scale) = args.scale {
+        return run_scale(&args, scale);
+    }
     if args.online {
         return run_online(&args);
     }

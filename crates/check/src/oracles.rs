@@ -188,24 +188,27 @@ pub fn check_instance(inst: &Instance) -> Vec<OracleViolation> {
 
 /// Differential check of the water-filling DER allocator against the
 /// round-based reference: every `(task, subinterval)` share must agree to
-/// `WORK_TOL`. Note `allocate_der` itself dispatches on
+/// `WORK_TOL`. Note the `Waterfill` strategy itself dispatches on
 /// `ESCHED_DER_REFERENCE`, so under that flag this oracle degenerates to
 /// reference-vs-reference — the CI fuzz-smoke step uses exactly that to
 /// pin the rest of the battery onto the reference path.
 fn check_allocation(inst: &Instance, timeline: &Timeline, out: &mut Vec<OracleViolation>) {
-    use esched_core::{allocate_der, allocate_der_reference, ideal_schedule};
+    use esched_core::{allocate, ideal_schedule, AllocRequest, DerStrategy};
     let Some(ideal) = run_caught("ideal_schedule", out, || {
         ideal_schedule(&inst.tasks, &inst.power)
     }) else {
         return;
     };
     let Some(fast) = run_caught("allocate_der", out, || {
-        allocate_der(&inst.tasks, timeline, inst.cores, &ideal)
+        allocate(AllocRequest::new(&inst.tasks, timeline, inst.cores, &ideal))
     }) else {
         return;
     };
     let Some(reference) = run_caught("allocate_der_reference", out, || {
-        allocate_der_reference(&inst.tasks, timeline, inst.cores, &ideal)
+        allocate(
+            AllocRequest::new(&inst.tasks, timeline, inst.cores, &ideal)
+                .strategy(DerStrategy::Reference),
+        )
     }) else {
         return;
     };

@@ -1,0 +1,146 @@
+//! Large-n allocator battery behind `esched-check --scale N`.
+//!
+//! The adversarial fuzz loop stresses small, nasty geometry; this mode
+//! stresses *size*. Each iteration instantiates a grid-snapped
+//! [`WorkloadSpec::large_n`] workload (iteration 0 at exactly `N` tasks,
+//! the rest log-spread over `[1024, N]` so one run covers the whole size
+//! ladder), runs the vectorized water-filling allocator with
+//! intra-instance pool fan-out, and checks it two ways:
+//!
+//! * **differential** — every `(task, subinterval)` share must agree
+//!   with the round-based [`DerStrategy::Reference`] ground truth to
+//!   `WORK_TOL`;
+//! * **invariants** — every cell in `[0, Δ_j]` and every heavy column's
+//!   total at most `m·Δ_j`, independently of the reference.
+//!
+//! The full pipeline (refinement, packing, validation) is deliberately
+//! out of scope: at 262 144 tasks the materialized schedule dwarfs the
+//! allocation itself, and the small-instance fuzz loop already covers
+//! those stages differentially.
+
+use esched_core::{allocate, ideal_schedule, AllocRequest, DerStrategy, Pool};
+use esched_obs::rng::ChaCha8;
+use esched_subinterval::Timeline;
+use esched_types::validate::WORK_TOL;
+use esched_workload::WorkloadSpec;
+
+/// Upper bound on reported violation strings per iteration, so a
+/// systematically wrong allocator doesn't print 1.8M lines.
+const MAX_REPORTED: usize = 8;
+
+/// Smallest instance the size ladder draws.
+const MIN_SCALE: usize = 1024;
+
+/// Outcome of one `--scale` battery run.
+#[derive(Debug)]
+pub struct ScaleReport {
+    /// Task counts actually exercised, one per iteration.
+    pub sizes: Vec<usize>,
+    /// Total CSR cells checked across all iterations.
+    pub cells_checked: u64,
+    /// Violation descriptions (capped per iteration).
+    pub violations: Vec<String>,
+}
+
+/// Run `iters` iterations of the large-n battery at ladder top `scale`.
+/// `cores` is the platform core count `m`; `workers` sizes the
+/// intra-instance pool.
+pub fn run_scale(scale: usize, iters: u64, seed: u64, cores: usize, workers: usize) -> ScaleReport {
+    assert!(scale >= MIN_SCALE, "--scale must be at least {MIN_SCALE}");
+    let pool = Pool::with_threads(workers);
+    let log_span = (scale as f64 / MIN_SCALE as f64).ln();
+    let mut report = ScaleReport {
+        sizes: Vec::with_capacity(iters as usize),
+        cells_checked: 0,
+        violations: Vec::new(),
+    };
+    for i in 0..iters {
+        let mut rng = ChaCha8::seed_from_u64(seed.wrapping_add(i));
+        // Iteration 0 always runs the full ladder top; later iterations
+        // spread log-uniformly so small-n structure is covered too.
+        let n = if i == 0 {
+            scale
+        } else {
+            let u = rng.gen_range_f64(0.0, 1.0);
+            ((MIN_SCALE as f64 * (u * log_span).exp()).round() as usize).clamp(MIN_SCALE, scale)
+        };
+        report.sizes.push(n);
+        let tasks = WorkloadSpec::large_n(n).instantiate(seed.wrapping_add(i));
+        let timeline = Timeline::build(&tasks);
+        let ideal = ideal_schedule(&tasks, &esched_types::PolynomialPower::paper(3.0, 0.1));
+        let fast = allocate(
+            AllocRequest::new(&tasks, &timeline, cores, &ideal)
+                .with_pool(&pool)
+                .with_parallel_threshold(esched_core::DEFAULT_PARALLEL_THRESHOLD),
+        );
+        let reference = allocate(
+            AllocRequest::new(&tasks, &timeline, cores, &ideal).strategy(DerStrategy::Reference),
+        );
+
+        let mut reported = 0usize;
+        let mut report_violation = |msg: String, out: &mut Vec<String>| {
+            if reported < MAX_REPORTED {
+                out.push(format!("iter {i} (n = {n}): {msg}"));
+            }
+            reported += 1;
+        };
+        for sub in timeline.subintervals() {
+            let j = sub.index;
+            let delta = sub.delta();
+            let mut sum = 0.0;
+            for &t in &sub.overlapping {
+                let a = fast.get(t, j);
+                let b = reference.get(t, j);
+                report.cells_checked += 1;
+                if (a - b).abs() > WORK_TOL {
+                    report_violation(
+                        format!(
+                            "fast vs reference diverge on task {t}, subinterval {j}: \
+                             {a} vs {b} (|diff| = {:e})",
+                            (a - b).abs()
+                        ),
+                        &mut report.violations,
+                    );
+                }
+                if !(-WORK_TOL..=delta + WORK_TOL).contains(&a) {
+                    report_violation(
+                        format!("cell ({t}, {j}) = {a} outside [0, Δ = {delta}]"),
+                        &mut report.violations,
+                    );
+                }
+                sum += a;
+            }
+            if sub.is_heavy(cores) && sum > cores as f64 * delta * (1.0 + 1e-9) + WORK_TOL {
+                report_violation(
+                    format!(
+                        "heavy subinterval {j} overcommitted: {sum} > m·Δ = {}",
+                        cores as f64 * delta
+                    ),
+                    &mut report.violations,
+                );
+            }
+        }
+        if reported > MAX_REPORTED {
+            report.violations.push(format!(
+                "iter {i} (n = {n}): ... and {} more violation(s)",
+                reported - MAX_REPORTED
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_ladder_run_is_clean() {
+        // Debug-time bounded: ladder top 2048, three iterations.
+        let r = run_scale(2048, 3, 7, 4, 4);
+        assert_eq!(r.sizes.len(), 3);
+        assert_eq!(r.sizes[0], 2048, "iteration 0 must run the ladder top");
+        assert!(r.cells_checked > 0);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+}

@@ -14,22 +14,34 @@
 //! Algorithm 2's cap-and-redistribute loop is a water-filling problem:
 //! the capped tasks form a prefix of the DER-descending order, and every
 //! uncapped task's share is its DER times one common multiplier λ. The
-//! production path ([`allocate_der`]) exploits that closed form — a
-//! bounded head scan plus one multiply pass — while the round-based loop
-//! survives as [`allocate_der_reference`], the ground truth the
-//! differential harness replays against (set `ESCHED_DER_REFERENCE=1` to
-//! route the whole battery through it).
+//! production path exploits that closed form — a bounded head scan plus
+//! one multiply pass — while the round-based loop survives as
+//! [`DerStrategy::Reference`], the ground truth the differential harness
+//! replays against (set `ESCHED_DER_REFERENCE=1` to route the whole
+//! battery through it).
+//!
+//! All strategies enter through one door: [`allocate`] with an
+//! [`AllocRequest`], which carries the strategy, an optional [`Scratch`]
+//! arena, and an optional [`Pool`] for fanning heavy column ranges of
+//! *one* instance across workers. The hot loops are written as flat-slice
+//! passes over the subinterval-major CSR so the autovectorizer can chew
+//! on them; the parallel path partitions columns into cell-balanced
+//! chunks whose boundaries depend only on the CSR shape, so the output is
+//! byte-identical at any worker count.
 //!
 //! The result is an [`AvailMatrix`] of available times `a_{i,j}` — an
 //! upper bound on how long task `i` may occupy a core during subinterval
 //! `j`. Final frequencies and schedules are derived from it in
 //! [`crate::refine`].
 
+use std::ops::Range;
+
 use crate::ideal::IdealSolution;
+use crate::pool::Pool;
 use crate::scratch::Scratch;
 use esched_obs::{event, metric_counter, span, Level};
 use esched_subinterval::Timeline;
-use esched_types::time::EPS;
+use esched_types::time::{Interval, EPS};
 use esched_types::{TaskId, TaskSet};
 
 /// Number of heavy subintervals (`n_j > m`) — used for span fields only,
@@ -46,7 +58,7 @@ fn heavy_count(timeline: &Timeline, cores: usize) -> usize {
 /// the refine loops read whole columns, so both walk the slab
 /// sequentially; the task-major layout this replaced made every one of
 /// those accesses a page-sized stride (one TLB entry per task touched
-/// per subinterval), which dominated `allocate_der`'s profile.
+/// per subinterval), which dominated the DER allocator's profile.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AvailMatrix {
     /// Cell values; column `j` is `data[col_offsets[j]..col_offsets[j+1]]`.
@@ -137,6 +149,13 @@ impl AvailMatrix {
     /// Totals for every task — one sequential pass over the slab, with
     /// per-task Neumaier compensation (matching
     /// [`esched_types::time::compensated_sum`]).
+    ///
+    /// The running sums and corrections live in two parallel arrays (the
+    /// two-accumulator split), and the correction term is a select over
+    /// two precomputed candidates rather than a branch: `|s| ≥ |v|` is
+    /// data-dependent and near-random across cells, so a branch here
+    /// mispredicts constantly on large slabs while the select form costs
+    /// one cmov.
     pub fn totals(&self) -> Vec<f64> {
         let n = self.spans.len();
         let mut sum = vec![0.0_f64; n];
@@ -144,11 +163,9 @@ impl AvailMatrix {
         for (&i, &v) in self.ids.iter().zip(self.data.iter()) {
             let s = sum[i];
             let t = s + v;
-            if s.abs() >= v.abs() {
-                comp[i] += (s - t) + v;
-            } else {
-                comp[i] += (v - t) + s;
-            }
+            let big = (s - t) + v;
+            let small = (v - t) + s;
+            comp[i] += if s.abs() >= v.abs() { big } else { small };
             sum[i] = t;
         }
         sum.iter().zip(comp.iter()).map(|(s, c)| s + c).collect()
@@ -250,6 +267,17 @@ fn reference_forced() -> bool {
 /// selection machinery only pays once the uncapped bulk dominates.
 const WATERFILL_FAST_CUTOFF: usize = 16;
 
+/// Default [`AllocRequest::with_parallel_threshold`]: instances with
+/// fewer subintervals than this stay serial even when a pool is attached.
+/// At paper scale (tens of columns) the fan-out's chunk bookkeeping and
+/// thread spawns cost more than the columns themselves.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 256;
+
+/// Target cell count per parallel chunk. Chunk boundaries are a pure
+/// function of the CSR shape (never of the worker count), which is what
+/// keeps pooled outputs byte-identical at 1/4/8 workers.
+const PAR_CHUNK_CELLS: usize = 16_384;
+
 /// The even-split tail of a canonically sorted weight list: the maximal
 /// suffix whose weight sum is ≤ `EPS`. Proportional shares carry no
 /// signal there (the denominator would be ~zero), so both water-filling
@@ -338,14 +366,14 @@ fn waterfill_reference(
     }
 }
 
-/// Sort-free water-filling: the same allocation as
-/// [`waterfill_reference`] in `O(n + m log m)`. Caps consume `Δ_j` each
-/// from an `m·Δ_j` pool, so the capped prefix and the crossover live in
-/// the `m + 2` largest weights — a bounded insertion scan pulls that
-/// head without permuting the buffer, a linear scan finds the crossover
-/// and freezes `λ = pool / W_rem`, and a single multiply-by-λ pass
-/// prices every remaining task at once, replacing the reference's full
-/// sort and serial division chain.
+/// Sort-free water-filling over flat parallel slices: the same
+/// allocation as [`waterfill_reference`] in `O(n + m log m)`. Caps
+/// consume `Δ_j` each from an `m·Δ_j` pool, so the capped prefix and the
+/// crossover live in the `m + 2` largest weights — a bounded insertion
+/// scan pulls that head without permuting the input, a linear scan finds
+/// the crossover and freezes `λ = pool / W_rem`, and a single
+/// multiply-by-λ pass prices every remaining task at once, replacing the
+/// reference's full sort and serial division chain.
 ///
 /// Cap and tail decisions reuse the reference's exact arithmetic (same
 /// weight total, same prefix sums, same pool updates, same backward tail
@@ -353,64 +381,10 @@ fn waterfill_reference(
 /// the λ freeze itself only moves shares at rounding scale, far inside
 /// `WORK_TOL`.
 ///
-/// Production goes through [`waterfill_into`], which shares the
-/// [`waterfill_plan`] analysis but fuses emission with the write-back;
-/// this entries-rewriting form is the contract the differential property
-/// tests pin against the reference.
-#[cfg(test)]
-fn waterfill_fast(
-    entries: &mut [(TaskId, f64)],
-    delta: f64,
-    cores: usize,
-    stats: &mut WaterfillStats,
-    suffix: &mut Vec<f64>,
-) {
-    let n = entries.len();
-    if n <= WATERFILL_FAST_CUTOFF || cores + 1 >= n {
-        return waterfill_reference(entries, delta, cores, stats, suffix);
-    }
-    let plan = waterfill_plan(entries, delta, cores, stats, suffix);
-    // One branch-free multiply prices every task in place; the head
-    // (capped or λ-priced from its saved weight) and the even-split tail
-    // are overwritten below, in that order.
-    let lam = plan.lam;
-    for e in entries.iter_mut() {
-        e.1 = (e.1 * lam).min(delta);
-    }
-    for (k, &(p, _, w)) in plan.head.iter().enumerate() {
-        entries[p].1 = if k < plan.caps {
-            delta
-        } else {
-            (w * lam).min(delta)
-        };
-    }
-    let tail = &plan.tiny[plan.tiny_tail_start..];
-    let mut tpool = plan.tail_pool;
-    let mut remaining = tail.len();
-    for &(idx, _) in tail {
-        let alloc = if tpool <= EPS {
-            0.0
-        } else {
-            stats.even += 1;
-            (tpool / remaining as f64).min(delta)
-        };
-        tpool -= alloc;
-        remaining -= 1;
-        entries[idx].1 = alloc;
-    }
-}
-
-/// The analysis half of the fast path: head, crossover, λ, and tail,
-/// shared by [`waterfill_fast`] (which rewrites `entries`) and
-/// [`waterfill_into`] (which emits straight into the [`AvailMatrix`]).
-/// Callers have already checked the size cutoffs.
+/// The scalar outputs; the head and tiny buffers (canonically ordered)
+/// are left in the caller-provided vectors for the emission pass.
 struct WaterfillPlan {
-    /// `(position, task, weight)` — the canonically-first `m + 2`
-    /// entries, in canonical order.
-    head: Vec<(usize, TaskId, f64)>,
-    /// `(position, weight)` of the ≤ EPS candidates, canonical order.
-    tiny: Vec<(usize, f64)>,
-    /// Start of the even-split tail within `tiny`.
+    /// Start of the even-split tail within the tiny buffer.
     tiny_tail_start: usize,
     /// Frozen multiplier `λ = pool / W_rem`; 0 when the pool died first.
     lam: f64,
@@ -423,55 +397,183 @@ struct WaterfillPlan {
     tail_pool: f64,
 }
 
+/// `overlap_len(e, iv) * freq` with plain compare-selects instead of the
+/// NaN-propagating `f64::max`/`f64::min` — identical for the finite
+/// intervals the planner stages (a debug assertion downstream enforces
+/// finiteness), and free of the unordered-compare fixup chains IEEE
+/// max/min lowers to, which dominate the staging gather otherwise.
+#[inline(always)]
+fn staged_weight(e: &Interval, iv: &Interval, freq: f64) -> f64 {
+    let lo = if e.start > iv.start {
+        e.start
+    } else {
+        iv.start
+    };
+    let hi = if e.end < iv.end { e.end } else { iv.end };
+    let len = hi - lo;
+    (if len > 0.0 { len } else { 0.0 }) * freq
+}
+
+/// [`staged_weight`] over a packed `[exec.start, exec.end, freq]` record
+/// (see [`Scratch::packed`]) — the bulk gather's form.
+#[inline(always)]
+fn packed_weight(e: &[f64; 3], iv: &Interval) -> f64 {
+    let lo = if e[0] > iv.start { e[0] } else { iv.start };
+    let hi = if e[1] < iv.end { e[1] } else { iv.end };
+    let len = hi - lo;
+    (if len > 0.0 { len } else { 0.0 }) * e[2]
+}
+
+/// Index of the canonically-last (smallest weight, greatest id) entry of
+/// an unsorted head — the eviction candidate. `m + 2` entries, so a
+/// plain linear scan.
+#[inline]
+fn head_worst(head: &[(usize, TaskId, f64)]) -> usize {
+    let mut at = 0usize;
+    for (k, h) in head.iter().enumerate().skip(1) {
+        let w = head[at];
+        if h.2 < w.2 || (h.2 == w.2 && h.1 > w.1) {
+            at = k;
+        }
+    }
+    at
+}
+
+#[allow(clippy::too_many_arguments)] // flat hot-path plumbing; the public surface is `allocate`
 fn waterfill_plan(
-    entries: &[(TaskId, f64)],
+    ids: &[TaskId],
+    w: &[f64],
     delta: f64,
     cores: usize,
     stats: &mut WaterfillStats,
     suffix: &mut Vec<f64>,
+    head: &mut Vec<(usize, TaskId, f64)>,
+    tiny: &mut [(usize, f64)],
 ) -> WaterfillPlan {
-    let n = entries.len();
+    let n = w.len();
     let k_nth = cores + 1;
-    // One pass over the staged weights does three jobs: maintain the
-    // `m + 2` canonically-first entries (`head` — a bounded insertion
-    // scan, cheaper than `select_nth` and leaving `entries` in overlap
-    // order so emission walks task ids ascending), accumulate the
-    // weight staying outside the head (`rem_weight`: evicted or
-    // never-admitted elements — all positive adds, so the share
-    // denominators stay accurate relative to themselves, same as the
-    // reference's suffix accumulation), and collect the ≤ EPS
-    // even-split-tail candidates. The hot branch is one float compare
-    // against the current worst head weight; ids only break exact ties.
-    let mut head: Vec<(usize, TaskId, f64)> = Vec::with_capacity(k_nth + 2);
-    let mut rem_weight = 0.0;
-    let mut tiny: Vec<(usize, f64)> = Vec::new();
-    for (p, &(id, w)) in entries[..=k_nth].iter().enumerate() {
-        debug_assert!(w.is_finite(), "finite weights");
-        if w <= EPS {
-            tiny.push((p, w));
-        }
-        let at = head.partition_point(|h| h.2 > w || (h.2 == w && h.1 < id));
-        head.insert(at, (p, id, w));
+    // Fast path first: one branch-free four-lane pass computes the column
+    // total and maximum (lane assignment is a pure function of cell
+    // position, so the folded bits are identical wherever this plan
+    // runs). If even the heaviest task's proportional share stays within
+    // `Δ_j` — the overwhelmingly common case on large instances — the cap
+    // scan is a no-op, λ is just `pool / total`, and the top-`(m + 2)`
+    // head is never needed: emission reduces to the bulk multiply-min
+    // plus the even-split tail.
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut m0, mut m1, mut m2, mut m3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut quads = w.chunks_exact(4);
+    for q in &mut quads {
+        s0 += q[0];
+        s1 += q[1];
+        s2 += q[2];
+        s3 += q[3];
+        m0 = if q[0] > m0 { q[0] } else { m0 };
+        m1 = if q[1] > m1 { q[1] } else { m1 };
+        m2 = if q[2] > m2 { q[2] } else { m2 };
+        m3 = if q[3] > m3 { q[3] } else { m3 };
     }
-    // `worst` mirrors `head[k_nth]` in registers so the hot reject branch
-    // touches no memory beyond the entry itself.
-    let (mut worst_id, mut worst_w) = (head[k_nth].1, head[k_nth].2);
-    for (p, &(id, w)) in entries.iter().enumerate().skip(k_nth + 1) {
-        debug_assert!(w.is_finite(), "finite weights");
-        if w <= EPS {
-            tiny.push((p, w));
-        }
-        if !(w > worst_w || (w == worst_w && id < worst_id)) {
-            rem_weight += w;
+    for &v in quads.remainder() {
+        s0 += v;
+        m0 = if v > m0 { v } else { m0 };
+    }
+    let total = (s0 + s1) + (s2 + s3);
+    let m01 = if m0 > m1 { m0 } else { m1 };
+    let m23 = if m2 > m3 { m2 } else { m3 };
+    let wmax = if m01 > m23 { m01 } else { m23 };
+    debug_assert!(total.is_finite(), "finite weights");
+    // Canonically order the tail candidates; all-positive workloads have
+    // none and skip this.
+    tiny.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite weights")
+            .then(ids[a.0].cmp(&ids[b.0]))
+    });
+    let (tiny_tail_start, tail_sum) = even_split_tail(tiny, |e| e.1);
+    let n_nontail = n - (tiny.len() - tiny_tail_start);
+    let pool = cores as f64 * delta;
+    if n_nontail == 0 || pool <= EPS {
+        // Degenerate column (everything is tail, or no capacity): the cap
+        // scan would resolve to λ = 0 with the whole pool left for the
+        // even split.
+        head.clear();
+        return WaterfillPlan {
+            tail_pool: pool,
+            lam: 0.0,
+            caps: 0,
+            tiny_tail_start,
+        };
+    }
+    if wmax * pool / total <= delta {
+        head.clear();
+        let lam = pool / total;
+        return WaterfillPlan {
+            tail_pool: lam * tail_sum,
+            lam,
+            caps: 0,
+            tiny_tail_start,
+        };
+    }
+    // Some share crosses `Δ_j`, so the capped prefix matters: one pass
+    // over the staged weights does two jobs — track the `m + 2`
+    // canonically-first entries (`head`, kept UNSORTED: an admitted
+    // element overwrites the worst slot in place and a bounded rescan
+    // refreshes the worst, so no insertion shifts the others) and
+    // accumulate the weight staying outside the head (`rem_weight`:
+    // evicted or never-admitted elements — all positive adds, so the
+    // share denominators stay accurate relative to themselves, same as
+    // the reference's suffix accumulation). Ids only break exact ties,
+    // and the admit/evict sequence — hence the `rem_weight` summation
+    // order — is identical to a sorted head's.
+    head.clear();
+    for p in 0..=k_nth {
+        debug_assert!(w[p].is_finite(), "finite weights");
+        head.push((p, ids[p], w[p]));
+    }
+    let mut worst_at = head_worst(head);
+    let (mut worst_id, mut worst_w) = (head[worst_at].1, head[worst_at].2);
+    let mut rem_weight = 0.0;
+    for p in k_nth + 1..n {
+        let (id, wv) = (ids[p], w[p]);
+        debug_assert!(wv.is_finite(), "finite weights");
+        if !(wv > worst_w || (wv == worst_w && id < worst_id)) {
+            rem_weight += wv;
             continue;
         }
-        head.pop();
         rem_weight += worst_w;
-        let at = head.partition_point(|h| h.2 > w || (h.2 == w && h.1 < id));
-        head.insert(at, (p, id, w));
-        (worst_id, worst_w) = (head[k_nth].1, head[k_nth].2);
+        head[worst_at] = (p, id, wv);
+        worst_at = head_worst(head);
+        (worst_id, worst_w) = (head[worst_at].1, head[worst_at].2);
     }
+    waterfill_plan_finish(ids, n, rem_weight, delta, cores, stats, suffix, head, tiny)
+}
+
+/// Turn a completed head scan into a [`WaterfillPlan`]: canonicalize the
+/// head, build its suffix sums, order the ≤ EPS tail, and run the
+/// cap-crossover scan. Only the capping branch of the planner above ends
+/// up here — the no-cap fast path never materializes a head.
+#[allow(clippy::too_many_arguments)] // flat hot-path plumbing; the public surface is `allocate`
+fn waterfill_plan_finish(
+    ids: &[TaskId],
+    n: usize,
+    rem_weight: f64,
+    delta: f64,
+    cores: usize,
+    stats: &mut WaterfillStats,
+    suffix: &mut Vec<f64>,
+    head: &mut [(usize, TaskId, f64)],
+    tiny: &mut [(usize, f64)],
+) -> WaterfillPlan {
+    let k_nth = cores + 1;
     debug_assert_eq!(head.len(), k_nth + 1);
+    // Suffix sums, the cap scan, and emission all expect the canonical
+    // (weight descending, id ascending) order, so sort the bounded head
+    // once; overlap ids are unique, making the order total.
+    head.sort_unstable_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .expect("finite weights")
+            .then(a.1.cmp(&b.1))
+    });
     suffix.clear();
     suffix.resize(k_nth + 2, 0.0);
     suffix[k_nth + 1] = rem_weight;
@@ -483,9 +585,9 @@ fn waterfill_plan(
     tiny.sort_unstable_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .expect("finite weights")
-            .then(entries[a.0].0.cmp(&entries[b.0].0))
+            .then(ids[a.0].cmp(&ids[b.0]))
     });
-    let (tiny_tail_start, tail_sum) = even_split_tail(&tiny, |e| e.1);
+    let (tiny_tail_start, tail_sum) = even_split_tail(tiny, |e| e.1);
     let n_nontail = n - (tiny.len() - tiny_tail_start);
 
     // Cap-crossover scan over the canonical head, with the reference's
@@ -494,9 +596,9 @@ fn waterfill_plan(
     let mut caps = 0usize;
     let mut lambda = None;
     while caps < n_nontail.min(k_nth + 1) && pool > EPS {
-        let w = head[caps].2;
+        let wv = head[caps].2;
         let rem = suffix[caps];
-        if w * pool / rem <= delta {
+        if wv * pool / rem <= delta {
             lambda = Some(pool / rem);
             break;
         }
@@ -517,34 +619,50 @@ fn waterfill_plan(
         },
         lam: lambda.unwrap_or(0.0),
         caps,
-        head,
-        tiny,
         tiny_tail_start,
     }
 }
 
-/// Production emission: water-fill one heavy subinterval's staged
+/// Production emission: water-fill one heavy subinterval's staged flat
 /// weights and write the allocations straight into its `AvailMatrix`
-/// column, fusing the multiply pass with the write-back. `cells` is the
-/// column slice aligned with `entries` (both in overlap order), so
-/// emission is purely positional — sequential stores, no id lookups.
-/// Falls back to [`waterfill_reference`] below the cutoff or under
-/// `ESCHED_DER_REFERENCE`; the sort loses positions, so that path maps
-/// task ids back through `ids` (the subinterval's overlap list).
-fn waterfill_into(
-    entries: &mut [(TaskId, f64)],
+/// column. `ids`/`w`/`cells` are parallel slices in overlap order, so
+/// the bulk pass is one branch-free fused multiply-min per cell —
+/// sequential loads and stores the autovectorizer turns into packed
+/// `mul`/`min`; the bounded head and the even-split tail are overwritten
+/// after it, in that order. Falls back to [`waterfill_reference`] below
+/// the cutoff or under `ESCHED_DER_REFERENCE`; the sort loses positions,
+/// so that path maps task ids back through `ids`.
+///
+/// Precondition: `scratch.wf_tiny` holds the `(position, weight)` pairs
+/// with weight ≤ `EPS`, ascending by position — the staging loop collects
+/// them while its gather loads are in flight, which keeps the near-zero
+/// check out of the planner's hot scan.
+fn waterfill_into_flat(
+    ids: &[TaskId],
+    w: &[f64],
     delta: f64,
     cores: usize,
     stats: &mut WaterfillStats,
-    suffix: &mut Vec<f64>,
+    scratch: &mut Scratch,
     cells: &mut [f64],
-    ids: &[TaskId],
 ) {
-    let n = entries.len();
+    let n = w.len();
     debug_assert_eq!(cells.len(), n);
+    debug_assert_eq!(ids.len(), n);
+    debug_assert!(
+        scratch.wf_tiny.iter().map(|e| e.0).eq(w
+            .iter()
+            .enumerate()
+            .filter(|&(_, &wv)| wv <= EPS)
+            .map(|(p, _)| p)),
+        "staged tiny candidates out of sync with the weight slice"
+    );
     if reference_forced() || n <= WATERFILL_FAST_CUTOFF || cores + 1 >= n {
-        waterfill_reference(entries, delta, cores, stats, suffix);
-        for &(i, alloc) in entries.iter() {
+        let pairs = &mut scratch.ders;
+        pairs.clear();
+        pairs.extend(ids.iter().copied().zip(w.iter().copied()));
+        waterfill_reference(pairs, delta, cores, stats, &mut scratch.suffix);
+        for &(i, alloc) in pairs.iter() {
             let pos = ids
                 .binary_search(&i)
                 .expect("entry task is in the overlap list");
@@ -552,19 +670,56 @@ fn waterfill_into(
         }
         return;
     }
-    let plan = waterfill_plan(entries, delta, cores, stats, suffix);
+    let plan = waterfill_plan(
+        ids,
+        w,
+        delta,
+        cores,
+        stats,
+        &mut scratch.suffix,
+        &mut scratch.wf_head,
+        &mut scratch.wf_tiny,
+    );
+    waterfill_emit(
+        &plan,
+        w,
+        delta,
+        &scratch.wf_head,
+        &scratch.wf_tiny,
+        stats,
+        cells,
+    );
+}
+
+/// Write one planned column into its value slab: the branch-free bulk
+/// multiply-min pass, then the bounded head (caps first), then the
+/// even-split tail, in that order.
+fn waterfill_emit(
+    plan: &WaterfillPlan,
+    w: &[f64],
+    delta: f64,
+    head: &[(usize, TaskId, f64)],
+    tiny: &[(usize, f64)],
+    stats: &mut WaterfillStats,
+    cells: &mut [f64],
+) {
     let lam = plan.lam;
-    for (p, &(_, w)) in entries.iter().enumerate() {
-        cells[p] = (w * lam).min(delta);
+    // Compare-select rather than `f64::min`: same value for the finite
+    // products here, but it lowers to a bare packed `min` without the
+    // NaN fixup blend.
+    for (c, &wv) in cells.iter_mut().zip(w.iter()) {
+        let v = wv * lam;
+        *c = if v < delta { v } else { delta };
     }
-    for (k, &(p, _, w)) in plan.head.iter().enumerate() {
-        cells[p] = if k < plan.caps {
+    for (k, &(p, _, wv)) in head.iter().enumerate() {
+        let v = wv * lam;
+        cells[p] = if k < plan.caps || v >= delta {
             delta
         } else {
-            (w * lam).min(delta)
+            v
         };
     }
-    let tail = &plan.tiny[plan.tiny_tail_start..];
+    let tail = &tiny[plan.tiny_tail_start..];
     let mut tpool = plan.tail_pool;
     let mut remaining = tail.len();
     for &(idx, _) in tail {
@@ -580,25 +735,421 @@ fn waterfill_into(
     }
 }
 
-/// The DER-based allocating method (Section V.C, Algorithm 2).
+/// One heavy column, end to end: gather the column's DER weights from the
+/// packed per-task records, stage the ≤ EPS tail candidates, and
+/// water-fill into the value slab. Every rounding step goes through
+/// [`waterfill_into_flat`], the same routine the staged callers
+/// (`repair_der_columns`, work-proportional refinement) use — the bulk
+/// path and a single-column repair are bit-identical by construction.
+#[allow(clippy::too_many_arguments)] // flat hot-path plumbing; the public surface is `allocate`
+fn waterfill_gather_column(
+    ids: &[TaskId],
+    packed: &[[f64; 3]],
+    iv: &Interval,
+    delta: f64,
+    cores: usize,
+    stats: &mut WaterfillStats,
+    scratch: &mut Scratch,
+    cells: &mut [f64],
+) {
+    let n = ids.len();
+    debug_assert_eq!(cells.len(), n);
+    let mut der_w = std::mem::take(&mut scratch.der_w);
+    // The gather is the only random-access pass per column, so keep its
+    // loop minimal: a trusted-len extend (no per-cell capacity check)
+    // reading one packed record per cell. The ≤ EPS tail candidates are
+    // then collected from the staged weights while they are still in L1.
+    der_w.clear();
+    der_w.extend(ids.iter().map(|&i| packed_weight(&packed[i], iv)));
+    scratch.wf_tiny.clear();
+    scratch.wf_tiny.extend(
+        der_w
+            .iter()
+            .enumerate()
+            .filter(|&(_, &wv)| wv <= EPS)
+            .map(|(p, &wv)| (p, wv)),
+    );
+    waterfill_into_flat(ids, &der_w, delta, cores, stats, scratch, cells);
+    scratch.der_w = der_w;
+}
+
+/// Fill columns `cols` of a zeroed slab: light columns get `Δ_j`
+/// outright, heavy columns stage their DER weights flat and water-fill.
+/// `slab` is `data[col_offsets[cols.start]..col_offsets[cols.end]]` and
+/// `slab_base = col_offsets[cols.start]`, so the same body serves the
+/// serial whole-matrix pass and one parallel chunk. Fusing light and
+/// heavy into a single ascending walk (instead of the old two-iterator
+/// split) keeps the slab writes sequential.
+#[allow(clippy::too_many_arguments)] // flat hot-path plumbing; the public surface is `allocate`
+fn fill_columns(
+    timeline: &Timeline,
+    cores: usize,
+    packed: &[[f64; 3]],
+    cols: Range<usize>,
+    slab: &mut [f64],
+    slab_base: usize,
+    col_offsets: &[usize],
+    scratch: &mut Scratch,
+    stats: &mut WaterfillStats,
+) {
+    for j in cols {
+        let cells = &mut slab[col_offsets[j] - slab_base..col_offsets[j + 1] - slab_base];
+        let sub = timeline.get(j);
+        if !sub.is_heavy(cores) {
+            cells.fill(sub.delta());
+            continue;
+        }
+        waterfill_gather_column(
+            &sub.overlapping,
+            packed,
+            &sub.interval,
+            sub.delta(),
+            cores,
+            stats,
+            scratch,
+            cells,
+        );
+    }
+}
+
+/// Fan one instance's columns across the pool: partition into chunks of
+/// ~[`PAR_CHUNK_CELLS`] cells (boundaries depend only on the CSR shape),
+/// split the value slab at the chunk boundaries, and fill each chunk as
+/// an independent job. Every column's allocation is a pure function of
+/// `(overlap ids, staged DERs, Δ_j, cores)` and every job writes a
+/// disjoint slab, so the matrix is bitwise identical to the serial pass
+/// at any worker count; stats are summed in submission order.
+fn fill_columns_parallel(
+    timeline: &Timeline,
+    cores: usize,
+    packed: &[[f64; 3]],
+    avail: &mut AvailMatrix,
+    pool: &Pool,
+    stats: &mut WaterfillStats,
+) {
+    let n_cols = timeline.len();
+    let col_offsets = &avail.col_offsets;
+    let mut chunks: Vec<Range<usize>> = Vec::new();
+    let mut start = 0usize;
+    for j in 0..n_cols {
+        if col_offsets[j + 1] - col_offsets[start] >= PAR_CHUNK_CELLS {
+            chunks.push(start..j + 1);
+            start = j + 1;
+        }
+    }
+    if start < n_cols {
+        chunks.push(start..n_cols);
+    }
+    metric_counter!("esched.core.der_parallel_chunks").add(chunks.len() as u64);
+
+    let mut jobs = Vec::with_capacity(chunks.len());
+    let mut rest: &mut [f64] = &mut avail.data;
+    let mut cut = 0usize;
+    for range in chunks {
+        let end = col_offsets[range.end];
+        let (slab, tail) = rest.split_at_mut(end - cut);
+        rest = tail;
+        jobs.push((range, cut, slab));
+        cut = end;
+    }
+    let results = pool.batch_map(jobs, |scratch, (range, base, slab)| {
+        let mut local = WaterfillStats::default();
+        fill_columns(
+            timeline,
+            cores,
+            packed,
+            range,
+            slab,
+            base,
+            col_offsets,
+            scratch,
+            &mut local,
+        );
+        local
+    });
+    for r in results {
+        match r {
+            Ok(s) => {
+                stats.capped += s.capped;
+                stats.even += s.even;
+            }
+            // Serial allocation lets panics unwind to the caller; keep
+            // the same contract when the work went through the pool.
+            Err(e) => panic!("intra-instance allocation chunk failed: {e}"),
+        }
+    }
+}
+
+/// Which implementation of the heavy-subinterval division [`allocate`]
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DerStrategy {
+    /// The production closed-form water-fill (bounded head scan + one
+    /// multiply pass), vectorized and pool-parallelizable.
+    #[default]
+    Waterfill,
+    /// The round-based Algorithm 2 loop, unconditionally — the ground
+    /// truth the differential harness compares against (shares agree to
+    /// `WORK_TOL`), and the serial scalar baseline of the large-n
+    /// benchmarks. Publishes no metrics, so differential runs don't
+    /// double-count.
+    Reference,
+    /// Ablation: proportional shares against the original DER totals,
+    /// capped at `Δ_j`, with **no redistribution** of a cap's surplus.
+    /// Shows the cap-and-redistribute loop is load-bearing.
+    NoRedistribution,
+}
+
+/// One request to the unified DER allocation entry point, [`allocate`].
 ///
-/// In each heavy subinterval, tasks are considered in order of decreasing
-/// DER. Each is offered the fraction `c(τ)/C` of the remaining pool (where
-/// `C` is the remaining DER total); a share exceeding `Δ_j` is capped at
-/// `Δ_j`, and the surplus is redistributed over the tasks that follow.
-/// Computed in water-filling closed form (see [`allocate_der_reference`]
-/// for the round-based original).
+/// Replaces the former four-function surface (`allocate_der`,
+/// `allocate_der_with`, `allocate_der_reference`,
+/// `allocate_der_no_redistribution`): strategy, scratch reuse, and
+/// intra-instance parallelism are orthogonal knobs on one request.
+///
+/// ```
+/// # use esched_core::{allocate, AllocRequest, DerStrategy, ideal_schedule};
+/// # use esched_subinterval::Timeline;
+/// # use esched_types::{PolynomialPower, TaskSet};
+/// # let tasks = TaskSet::from_triples(&[(0.0, 4.0, 2.0), (1.0, 5.0, 2.0)]);
+/// # let timeline = Timeline::build(&tasks);
+/// # let ideal = ideal_schedule(&tasks, &PolynomialPower::cubic());
+/// let avail = allocate(AllocRequest::new(&tasks, &timeline, 2, &ideal));
+/// let ground_truth = allocate(
+///     AllocRequest::new(&tasks, &timeline, 2, &ideal).strategy(DerStrategy::Reference),
+/// );
+/// # assert_eq!(avail.task_count(), ground_truth.task_count());
+/// ```
+#[derive(Debug)]
+pub struct AllocRequest<'a> {
+    tasks: &'a TaskSet,
+    timeline: &'a Timeline,
+    cores: usize,
+    ideal: &'a IdealSolution,
+    strategy: DerStrategy,
+    scratch: Option<&'a mut Scratch>,
+    pool: Option<&'a Pool>,
+    parallel_threshold: usize,
+}
+
+impl<'a> AllocRequest<'a> {
+    /// A request with the production defaults: [`DerStrategy::Waterfill`],
+    /// a fresh scratch, no pool.
+    pub fn new(
+        tasks: &'a TaskSet,
+        timeline: &'a Timeline,
+        cores: usize,
+        ideal: &'a IdealSolution,
+    ) -> Self {
+        Self {
+            tasks,
+            timeline,
+            cores,
+            ideal,
+            strategy: DerStrategy::default(),
+            scratch: None,
+            pool: None,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// Select the division implementation.
+    pub fn strategy(mut self, strategy: DerStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Reuse a caller-owned [`Scratch`] so batch drivers pay for the
+    /// staging buffers once. Only the serial [`DerStrategy::Waterfill`]
+    /// path reads it (pool workers own their arenas).
+    pub fn with_scratch(mut self, scratch: &'a mut Scratch) -> Self {
+        self.scratch = Some(scratch);
+        self
+    }
+
+    /// Fan heavy column ranges across `pool` when the instance has at
+    /// least the threshold's worth of subintervals (see
+    /// [`AllocRequest::with_parallel_threshold`]). Output is byte-identical
+    /// to the serial pass at any worker count.
+    pub fn with_pool(mut self, pool: &'a Pool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Minimum subinterval count before an attached pool is used
+    /// (default [`DEFAULT_PARALLEL_THRESHOLD`]).
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold;
+        self
+    }
+}
+
+/// The DER-based allocating method (Section V.C, Algorithm 2) — the one
+/// entry point for every strategy, scratch, and parallelism combination.
+///
+/// In each heavy subinterval, tasks are considered in order of
+/// decreasing DER. Each is offered the fraction `c(τ)/C` of the
+/// remaining pool (where `C` is the remaining DER total); a share
+/// exceeding `Δ_j` is capped at `Δ_j`, and the surplus is redistributed
+/// over the tasks that follow. [`DerStrategy::Waterfill`] computes that
+/// in closed form; see [`DerStrategy`] for the alternatives.
+pub fn allocate(req: AllocRequest<'_>) -> AvailMatrix {
+    let AllocRequest {
+        tasks,
+        timeline,
+        cores,
+        ideal,
+        strategy,
+        scratch,
+        pool,
+        parallel_threshold,
+    } = req;
+    match strategy {
+        DerStrategy::Reference => allocate_reference_impl(tasks, timeline, cores, ideal),
+        DerStrategy::NoRedistribution => {
+            allocate_no_redistribution_impl(tasks, timeline, cores, ideal)
+        }
+        DerStrategy::Waterfill => {
+            let _span = span!(
+                Level::Debug,
+                "allocate_der",
+                n_tasks = tasks.len(),
+                n_subintervals = timeline.len(),
+                n_heavy = heavy_count(timeline, cores),
+            );
+            metric_counter!("esched.core.der_alloc_calls").inc();
+            let _flight = esched_obs::flight_span!("allocate_der");
+            let mut avail = AvailMatrix::zeros(timeline, tasks.len());
+            let mut stats = WaterfillStats::default();
+            let n_cols = timeline.len();
+            let mut local;
+            let scratch = match scratch {
+                Some(s) => s,
+                None => {
+                    local = Scratch::new();
+                    &mut local
+                }
+            };
+            // One sequential pass packs the ideal solution into the
+            // gather records every column's staging loop reads
+            // (`Scratch::packed` keeps the buffer across calls); the
+            // parallel path shares the same slice read-only.
+            let mut packed = std::mem::take(&mut scratch.packed);
+            packed.clear();
+            packed.extend(
+                ideal
+                    .exec
+                    .iter()
+                    .zip(ideal.freq.iter())
+                    .map(|(e, &f)| [e.start, e.end, f]),
+            );
+            let fan_out = pool.filter(|p| p.threads() > 1 && n_cols >= parallel_threshold);
+            if let Some(p) = fan_out {
+                fill_columns_parallel(timeline, cores, &packed, &mut avail, p, &mut stats);
+            } else {
+                let AvailMatrix {
+                    data, col_offsets, ..
+                } = &mut avail;
+                fill_columns(
+                    timeline,
+                    cores,
+                    &packed,
+                    0..n_cols,
+                    data,
+                    0,
+                    col_offsets,
+                    scratch,
+                    &mut stats,
+                );
+            }
+            scratch.packed = packed;
+            metric_counter!("esched.core.der_waterfill_capped").add(stats.capped);
+            metric_counter!("esched.core.der_fallback_even").add(stats.even);
+            event!(
+                Level::Debug,
+                "der allocation done",
+                capped = stats.capped,
+                fallback_even = stats.even,
+            );
+            avail
+        }
+    }
+}
+
+/// See [`DerStrategy::Reference`].
+fn allocate_reference_impl(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    ideal: &IdealSolution,
+) -> AvailMatrix {
+    let mut avail = AvailMatrix::zeros(timeline, tasks.len());
+    allocate_light(timeline, cores, &mut avail);
+    let mut stats = WaterfillStats::default();
+    let mut ders: Vec<(TaskId, f64)> = Vec::new();
+    let mut suffix = Vec::new();
+    for j in timeline.heavy_iter(cores) {
+        let sub = timeline.get(j);
+        ders.clear();
+        ders.extend(
+            sub.overlapping
+                .iter()
+                .map(|&i| (i, der(ideal, i, timeline, j))),
+        );
+        waterfill_reference(&mut ders, sub.delta(), cores, &mut stats, &mut suffix);
+        for &(i, alloc) in ders.iter() {
+            avail.set(i, j, alloc);
+        }
+    }
+    avail
+}
+
+/// See [`DerStrategy::NoRedistribution`]. Used by the `ablate`
+/// experiment to show that the cap-and-redistribute loop is load-bearing:
+/// without it, capped subintervals strand core time and the final
+/// frequencies rise.
+fn allocate_no_redistribution_impl(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    ideal: &IdealSolution,
+) -> AvailMatrix {
+    let mut avail = AvailMatrix::zeros(timeline, tasks.len());
+    allocate_light(timeline, cores, &mut avail);
+    for j in timeline.heavy_iter(cores) {
+        let sub = timeline.get(j);
+        let delta = sub.delta();
+        let pool = cores as f64 * delta;
+        let ctot: f64 = sub
+            .overlapping
+            .iter()
+            .map(|&i| der(ideal, i, timeline, j))
+            .sum();
+        let cells = avail.col_mut(j);
+        for (pos, &i) in sub.overlapping.iter().enumerate() {
+            let c = der(ideal, i, timeline, j);
+            let share = if ctot > EPS { c * pool / ctot } else { 0.0 };
+            cells[pos] = share.min(delta);
+        }
+    }
+    avail
+}
+
+/// Former entry point; the water-fill strategy with owned buffers.
+#[deprecated(note = "use `allocate(AllocRequest::new(tasks, timeline, cores, ideal))`")]
 pub fn allocate_der(
     tasks: &TaskSet,
     timeline: &Timeline,
     cores: usize,
     ideal: &IdealSolution,
 ) -> AvailMatrix {
-    allocate_der_with(tasks, timeline, cores, ideal, &mut Scratch::new())
+    allocate(AllocRequest::new(tasks, timeline, cores, ideal))
 }
 
-/// [`allocate_der`] reusing the DER staging buffer in `scratch`, so batch
-/// drivers pay for the per-heavy-subinterval `(task, DER)` list once.
+/// Former entry point; the water-fill strategy reusing `scratch`.
+#[deprecated(
+    note = "use `allocate(AllocRequest::new(tasks, timeline, cores, ideal).with_scratch(scratch))`"
+)]
 pub fn allocate_der_with(
     tasks: &TaskSet,
     timeline: &Timeline,
@@ -606,49 +1157,33 @@ pub fn allocate_der_with(
     ideal: &IdealSolution,
     scratch: &mut Scratch,
 ) -> AvailMatrix {
-    let _span = span!(
-        Level::Debug,
-        "allocate_der",
-        n_tasks = tasks.len(),
-        n_subintervals = timeline.len(),
-        n_heavy = heavy_count(timeline, cores),
-    );
-    metric_counter!("esched.core.der_alloc_calls").inc();
-    let _flight = esched_obs::flight_span!("allocate_der");
-    let mut avail = AvailMatrix::zeros(timeline, tasks.len());
-    allocate_light(timeline, cores, &mut avail);
-    let mut stats = WaterfillStats::default();
-    for j in timeline.heavy_iter(cores) {
-        let sub = timeline.get(j);
-        // (task, DER) staging list in overlap order; the waterfill
-        // rewrites each DER slot into the task's allocation.
-        let ders = &mut scratch.ders;
-        ders.clear();
-        let iv = sub.interval;
-        ders.extend(
-            sub.overlapping
-                .iter()
-                .map(|&i| (i, ideal.exec[i].overlap_len(&iv) * ideal.freq[i])),
-        );
-        waterfill_into(
-            ders,
-            sub.delta(),
-            cores,
-            &mut stats,
-            &mut scratch.suffix,
-            avail.col_mut(j),
-            &sub.overlapping,
-        );
-    }
-    metric_counter!("esched.core.der_waterfill_capped").add(stats.capped);
-    metric_counter!("esched.core.der_fallback_even").add(stats.even);
-    event!(
-        Level::Debug,
-        "der allocation done",
-        capped = stats.capped,
-        fallback_even = stats.even,
-    );
-    avail
+    allocate(AllocRequest::new(tasks, timeline, cores, ideal).with_scratch(scratch))
+}
+
+/// Former entry point; the round-based ground truth.
+#[deprecated(note = "use `allocate(AllocRequest::new(..).strategy(DerStrategy::Reference))`")]
+pub fn allocate_der_reference(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    ideal: &IdealSolution,
+) -> AvailMatrix {
+    allocate(AllocRequest::new(tasks, timeline, cores, ideal).strategy(DerStrategy::Reference))
+}
+
+/// Former entry point; the no-redistribution ablation.
+#[deprecated(
+    note = "use `allocate(AllocRequest::new(..).strategy(DerStrategy::NoRedistribution))`"
+)]
+pub fn allocate_der_no_redistribution(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    ideal: &IdealSolution,
+) -> AvailMatrix {
+    allocate(
+        AllocRequest::new(tasks, timeline, cores, ideal).strategy(DerStrategy::NoRedistribution),
+    )
 }
 
 /// Outcome counters of one [`reallocate_der_patched`] call.
@@ -659,13 +1194,13 @@ pub struct DerRepairStats {
     /// Total columns of the patched timeline.
     pub total_columns: usize,
     /// Whether the dirty fraction exceeded the threshold and the whole
-    /// allocation was recomputed by [`allocate_der_with`] instead.
+    /// allocation was recomputed by [`allocate`] instead.
     pub fell_back: bool,
 }
 
 /// Recompute the listed columns of `avail` in place, exactly as
-/// [`allocate_der_with`] would fill them for the same `(timeline, cores,
-/// ideal)` — the local-repair half of the online engine. Each column's
+/// [`allocate`] would fill them for the same `(timeline, cores, ideal)`
+/// — the local-repair half of the online engine. Each column's
 /// allocation is a pure function of `(overlap ids, staged DERs, Δ_j,
 /// cores)`, so recomputing only the columns whose inputs changed
 /// reproduces the full allocator's output bit-for-bit.
@@ -681,6 +1216,7 @@ pub fn repair_der_columns(
 ) {
     let mut stats = WaterfillStats::default();
     let mut repaired = 0u64;
+    let mut der_w = std::mem::take(&mut scratch.der_w);
     for j in columns {
         repaired += 1;
         let sub = timeline.get(j);
@@ -689,24 +1225,28 @@ pub fn repair_der_columns(
             avail.col_mut(j).fill(delta);
             continue;
         }
-        let ders = &mut scratch.ders;
-        ders.clear();
         let iv = sub.interval;
-        ders.extend(
-            sub.overlapping
-                .iter()
-                .map(|&i| (i, ideal.exec[i].overlap_len(&iv) * ideal.freq[i])),
-        );
-        waterfill_into(
-            ders,
+        der_w.clear();
+        der_w.reserve(sub.overlapping.len());
+        scratch.wf_tiny.clear();
+        for (p, &i) in sub.overlapping.iter().enumerate() {
+            let wv = staged_weight(&ideal.exec[i], &iv, ideal.freq[i]);
+            der_w.push(wv);
+            if wv <= EPS {
+                scratch.wf_tiny.push((p, wv));
+            }
+        }
+        waterfill_into_flat(
+            &sub.overlapping,
+            &der_w,
             sub.delta(),
             cores,
             &mut stats,
-            &mut scratch.suffix,
+            scratch,
             avail.col_mut(j),
-            &sub.overlapping,
         );
     }
+    scratch.der_w = der_w;
     metric_counter!("esched.core.der_repair_columns").add(repaired);
 }
 
@@ -719,16 +1259,17 @@ pub fn repair_der_columns(
 /// completed early, or had their window shifted) overlaps it. Clean
 /// columns are bulk-copied; everything else is re-waterfilled. Because
 /// the per-column waterfill is a pure function of its inputs, the result
-/// is bit-identical to `allocate_der_with(tasks, timeline, ...)` from
-/// scratch — regardless of *how* the timeline was patched (including a
-/// full rebuild fallback).
+/// is bit-identical to [`allocate`] from scratch — regardless of *how*
+/// the timeline was patched (including a full rebuild fallback).
 ///
 /// When more than `fallback_fraction` of the columns are dirty the
 /// copy-and-match bookkeeping stops paying for itself and the whole
-/// allocation is recomputed via [`allocate_der_with`] (same result, one
-/// fused pass). Light columns only depend on membership and `Δ_j`, so a
-/// dirty task alone never dirties a light column.
-#[allow(clippy::too_many_arguments)] // mirrors allocate_der_with plus the patch inputs
+/// allocation is recomputed via [`allocate`] (same result, one fused
+/// pass) — that full pass fans out across `pool` when one is attached
+/// and the instance clears `parallel_threshold` subintervals. Light
+/// columns only depend on membership and `Δ_j`, so a dirty task alone
+/// never dirties a light column.
+#[allow(clippy::too_many_arguments)] // mirrors the allocate inputs plus the patch inputs
 pub fn reallocate_der_patched(
     tasks: &TaskSet,
     timeline: &Timeline,
@@ -737,6 +1278,8 @@ pub fn reallocate_der_patched(
     old: &AvailMatrix,
     dirty_tasks: &[TaskId],
     fallback_fraction: f64,
+    pool: Option<&Pool>,
+    parallel_threshold: usize,
     scratch: &mut Scratch,
 ) -> (AvailMatrix, DerRepairStats) {
     let _span = span!(
@@ -783,10 +1326,13 @@ pub fn reallocate_der_patched(
         fell_back: dirty.len() as f64 > fallback_fraction * new_n as f64,
     };
     if stats.fell_back {
-        return (
-            allocate_der_with(tasks, timeline, cores, ideal, scratch),
-            stats,
-        );
+        let mut req = AllocRequest::new(tasks, timeline, cores, ideal)
+            .with_scratch(scratch)
+            .with_parallel_threshold(parallel_threshold);
+        if let Some(p) = pool {
+            req = req.with_pool(p);
+        }
+        return (allocate(req), stats);
     }
     repair_der_columns(
         timeline,
@@ -805,69 +1351,6 @@ pub fn reallocate_der_patched(
     (avail, stats)
 }
 
-/// [`allocate_der`] computed by the round-based reference loop
-/// unconditionally — the ground truth the differential harness compares
-/// the water-filling fast path against (shares agree to `WORK_TOL`).
-/// Publishes no metrics, so differential runs don't double-count.
-pub fn allocate_der_reference(
-    tasks: &TaskSet,
-    timeline: &Timeline,
-    cores: usize,
-    ideal: &IdealSolution,
-) -> AvailMatrix {
-    let mut avail = AvailMatrix::zeros(timeline, tasks.len());
-    allocate_light(timeline, cores, &mut avail);
-    let mut stats = WaterfillStats::default();
-    let mut ders: Vec<(TaskId, f64)> = Vec::new();
-    let mut suffix = Vec::new();
-    for j in timeline.heavy_iter(cores) {
-        let sub = timeline.get(j);
-        ders.clear();
-        ders.extend(
-            sub.overlapping
-                .iter()
-                .map(|&i| (i, der(ideal, i, timeline, j))),
-        );
-        waterfill_reference(&mut ders, sub.delta(), cores, &mut stats, &mut suffix);
-        for &(i, alloc) in ders.iter() {
-            avail.set(i, j, alloc);
-        }
-    }
-    avail
-}
-
-/// Ablation variant of Algorithm 2: shares are proportional to DERs
-/// against the *original* totals, capped at `Δ_j`, with **no
-/// redistribution** of a cap's surplus. Used by the `ablate` experiment to
-/// show that the cap-and-redistribute loop is load-bearing: without it,
-/// capped subintervals strand core time and the final frequencies rise.
-pub fn allocate_der_no_redistribution(
-    tasks: &TaskSet,
-    timeline: &Timeline,
-    cores: usize,
-    ideal: &IdealSolution,
-) -> AvailMatrix {
-    let mut avail = AvailMatrix::zeros(timeline, tasks.len());
-    allocate_light(timeline, cores, &mut avail);
-    for j in timeline.heavy_iter(cores) {
-        let sub = timeline.get(j);
-        let delta = sub.delta();
-        let pool = cores as f64 * delta;
-        let ctot: f64 = sub
-            .overlapping
-            .iter()
-            .map(|&i| der(ideal, i, timeline, j))
-            .sum();
-        let cells = avail.col_mut(j);
-        for (pos, &i) in sub.overlapping.iter().enumerate() {
-            let c = der(ideal, i, timeline, j);
-            let share = if ctot > EPS { c * pool / ctot } else { 0.0 };
-            cells[pos] = share.min(delta);
-        }
-    }
-    avail
-}
-
 /// Ablation variant: shares proportional to the *total execution
 /// requirement* `C_i` instead of the DER (cap-and-redistribute retained).
 /// This is the naive "bigger task, bigger share" rule; the DER weights it
@@ -880,26 +1363,31 @@ pub fn allocate_work_proportional(
 ) -> AvailMatrix {
     let mut avail = AvailMatrix::zeros(timeline, tasks.len());
     allocate_light(timeline, cores, &mut avail);
+    let mut scratch = Scratch::new();
+    let mut stats = WaterfillStats::default();
+    let mut weights: Vec<f64> = Vec::new();
     for j in timeline.heavy_iter(cores) {
         let sub = timeline.get(j);
-        // Same water-filling core as `allocate_der` (including the
+        // Same water-filling core as the DER strategy (including the
         // degenerate even-split fallback), weighted by C_i instead of
         // the DER.
-        let mut weights: Vec<(TaskId, f64)> = sub
-            .overlapping
-            .iter()
-            .map(|&i| (i, tasks.get(i).wcec))
-            .collect();
-        let mut stats = WaterfillStats::default();
-        let mut suffix = Vec::new();
-        waterfill_into(
-            &mut weights,
+        weights.clear();
+        scratch.wf_tiny.clear();
+        for (p, &i) in sub.overlapping.iter().enumerate() {
+            let wv = tasks.get(i).wcec;
+            weights.push(wv);
+            if wv <= EPS {
+                scratch.wf_tiny.push((p, wv));
+            }
+        }
+        waterfill_into_flat(
+            &sub.overlapping,
+            &weights,
             sub.delta(),
             cores,
             &mut stats,
-            &mut suffix,
+            &mut scratch,
             avail.col_mut(j),
-            &sub.overlapping,
         );
     }
     avail
@@ -911,6 +1399,38 @@ mod tests {
     use crate::ideal::ideal_schedule;
     use esched_types::PolynomialPower;
 
+    /// Test-only twin of the production emission that rewrites an
+    /// `entries` buffer in place — the contract the differential
+    /// property tests pin against [`waterfill_reference`].
+    fn waterfill_fast(
+        entries: &mut [(TaskId, f64)],
+        delta: f64,
+        cores: usize,
+        stats: &mut WaterfillStats,
+        suffix: &mut Vec<f64>,
+    ) {
+        let n = entries.len();
+        if n <= WATERFILL_FAST_CUTOFF || cores + 1 >= n {
+            return waterfill_reference(entries, delta, cores, stats, suffix);
+        }
+        let ids: Vec<TaskId> = entries.iter().map(|e| e.0).collect();
+        let w: Vec<f64> = entries.iter().map(|e| e.1).collect();
+        let mut cells = vec![0.0; n];
+        let mut scratch = Scratch::new();
+        scratch.wf_tiny.extend(
+            w.iter()
+                .enumerate()
+                .filter(|&(_, &wv)| wv <= EPS)
+                .map(|(p, &wv)| (p, wv)),
+        );
+        std::mem::swap(&mut scratch.suffix, suffix);
+        waterfill_into_flat(&ids, &w, delta, cores, stats, &mut scratch, &mut cells);
+        std::mem::swap(&mut scratch.suffix, suffix);
+        for (e, &c) in entries.iter_mut().zip(cells.iter()) {
+            e.1 = c;
+        }
+    }
+
     fn vd_tasks() -> TaskSet {
         TaskSet::from_triples(&[
             (0.0, 10.0, 8.0),
@@ -920,6 +1440,15 @@ mod tests {
             (8.0, 20.0, 10.0),
             (12.0, 22.0, 6.0),
         ])
+    }
+
+    fn alloc_der(
+        tasks: &TaskSet,
+        tl: &Timeline,
+        cores: usize,
+        ideal: &IdealSolution,
+    ) -> AvailMatrix {
+        allocate(AllocRequest::new(tasks, tl, cores, ideal))
     }
 
     #[test]
@@ -979,7 +1508,7 @@ mod tests {
         let ts = vd_tasks();
         let tl = Timeline::build(&ts);
         let ideal = ideal_schedule(&ts, &PolynomialPower::cubic());
-        let avail = allocate_der(&ts, &tl, 4, &ideal);
+        let avail = alloc_der(&ts, &tl, 4, &ideal);
         // Paper, interval [8,10]: τ1..τ5 get
         // 1.7415, 1.9048, 1.4512, 1.0884, 1.8141 (4 decimals).
         let expect4 = [1.7415, 1.9048, 1.4512, 1.0884, 1.8141];
@@ -1009,10 +1538,7 @@ mod tests {
         let ts = vd_tasks();
         let tl = Timeline::build(&ts);
         let ideal = ideal_schedule(&ts, &PolynomialPower::paper(3.0, 0.2));
-        for avail in [
-            allocate_even(&ts, &tl, 4),
-            allocate_der(&ts, &tl, 4, &ideal),
-        ] {
+        for avail in [allocate_even(&ts, &tl, 4), alloc_der(&ts, &tl, 4, &ideal)] {
             for sub in tl.subintervals() {
                 let total: f64 = sub
                     .overlapping
@@ -1048,7 +1574,7 @@ mod tests {
         ]);
         let tl = Timeline::build(&ts);
         let ideal = ideal_schedule(&ts, &PolynomialPower::cubic());
-        let avail = allocate_der(&ts, &tl, 2, &ideal);
+        let avail = alloc_der(&ts, &tl, 2, &ideal);
         for i in 0..4 {
             assert!(avail.get(i, 0) > 0.0, "task {i} starved");
         }
@@ -1074,7 +1600,7 @@ mod tests {
             .unwrap()
             .index;
         assert_eq!(der(&ideal, 0, &tl, j), 0.0);
-        let avail = allocate_der(&ts, &tl, 2, &ideal);
+        let avail = alloc_der(&ts, &tl, 2, &ideal);
         assert_eq!(avail.get(0, j), 0.0);
         // But τ0 still has available time elsewhere (its light span).
         assert!(avail.total(0) > 0.0);
@@ -1105,8 +1631,10 @@ mod tests {
         let ts = vd_tasks();
         let tl = Timeline::build(&ts);
         let ideal = ideal_schedule(&ts, &PolynomialPower::cubic());
-        let with = allocate_der(&ts, &tl, 4, &ideal);
-        let without = allocate_der_no_redistribution(&ts, &tl, 4, &ideal);
+        let with = alloc_der(&ts, &tl, 4, &ideal);
+        let without = allocate(
+            AllocRequest::new(&ts, &tl, 4, &ideal).strategy(DerStrategy::NoRedistribution),
+        );
         let sum_with: f64 = (1..=5).map(|i| with.get(i, 6)).sum();
         let sum_without: f64 = (1..=5).map(|i| without.get(i, 6)).sum();
         assert!((sum_with - 8.0).abs() < 1e-9, "with = {sum_with}");
@@ -1131,7 +1659,7 @@ mod tests {
         let ts = TaskSet::from_triples(&[(0.0, 4.0, 3.0), (0.0, 12.0, 3.0), (0.0, 4.0, 1.0)]);
         let tl = Timeline::build(&ts);
         let ideal = ideal_schedule(&ts, &PolynomialPower::cubic());
-        let der_alloc = allocate_der(&ts, &tl, 1, &ideal);
+        let der_alloc = alloc_der(&ts, &tl, 1, &ideal);
         let work_alloc = allocate_work_proportional(&ts, &tl, 1);
         // Subinterval [0,4] is heavy on one core.
         let j = 0;
@@ -1252,7 +1780,7 @@ mod tests {
     }
 
     #[test]
-    fn allocate_der_matches_reference_end_to_end() {
+    fn allocate_matches_reference_end_to_end() {
         use esched_obs::ChaCha8;
         use esched_types::validate::WORK_TOL;
         let mut rng = ChaCha8::seed_from_u64(99);
@@ -1270,8 +1798,10 @@ mod tests {
             let ts = TaskSet::from_triples(&triples);
             let tl = Timeline::build(&ts);
             let ideal = ideal_schedule(&ts, &PolynomialPower::paper(3.0, 0.1));
-            let fast = allocate_der(&ts, &tl, cores, &ideal);
-            let reference = allocate_der_reference(&ts, &tl, cores, &ideal);
+            let fast = alloc_der(&ts, &tl, cores, &ideal);
+            let reference = allocate(
+                AllocRequest::new(&ts, &tl, cores, &ideal).strategy(DerStrategy::Reference),
+            );
             for sub in tl.subintervals() {
                 for &i in &sub.overlapping {
                     let (a, b) = (fast.get(i, sub.index), reference.get(i, sub.index));
@@ -1283,6 +1813,60 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pooled_allocation_is_bit_identical_across_worker_counts() {
+        // The fan-out's chunk boundaries depend only on the CSR shape and
+        // each column is a pure function of its inputs, so any worker
+        // count must produce the serial matrix bit-for-bit.
+        use esched_obs::ChaCha8;
+        let mut rng = ChaCha8::seed_from_u64(0xbeef);
+        let n = 300;
+        let triples: Vec<(f64, f64, f64)> = (0..n)
+            .map(|_| {
+                let release = rng.gen_range_f64(0.0, 60.0);
+                let len = rng.gen_range_f64(0.5, 10.0);
+                (release, release + len, rng.gen_range_f64(0.1, 5.0))
+            })
+            .collect();
+        let ts = TaskSet::from_triples(&triples);
+        let tl = Timeline::build(&ts);
+        let ideal = ideal_schedule(&ts, &PolynomialPower::paper(3.0, 0.1));
+        let serial = alloc_der(&ts, &tl, 2, &ideal);
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::with_threads(threads);
+            let pooled = allocate(
+                AllocRequest::new(&ts, &tl, 2, &ideal)
+                    .with_pool(&pool)
+                    .with_parallel_threshold(1),
+            );
+            assert_eq!(pooled, serial, "{threads} workers");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_forwarders_match_the_unified_entry_point() {
+        let ts = vd_tasks();
+        let tl = Timeline::build(&ts);
+        let ideal = ideal_schedule(&ts, &PolynomialPower::cubic());
+        let unified = alloc_der(&ts, &tl, 4, &ideal);
+        assert_eq!(allocate_der(&ts, &tl, 4, &ideal), unified);
+        assert_eq!(
+            allocate_der_with(&ts, &tl, 4, &ideal, &mut Scratch::new()),
+            unified
+        );
+        assert_eq!(
+            allocate_der_reference(&ts, &tl, 4, &ideal),
+            allocate(AllocRequest::new(&ts, &tl, 4, &ideal).strategy(DerStrategy::Reference))
+        );
+        assert_eq!(
+            allocate_der_no_redistribution(&ts, &tl, 4, &ideal),
+            allocate(
+                AllocRequest::new(&ts, &tl, 4, &ideal).strategy(DerStrategy::NoRedistribution)
+            )
+        );
     }
 
     #[test]
@@ -1314,7 +1898,8 @@ mod tests {
             let ts = TaskSet::from_triples(&triples);
             let mut tl = Timeline::build(&ts);
             let ideal = ideal_schedule(&ts, &power);
-            let old = allocate_der_with(&ts, &tl, cores, &ideal, &mut scratch);
+            let old =
+                allocate(AllocRequest::new(&ts, &tl, cores, &ideal).with_scratch(&mut scratch));
             // Mutate the set the three ways the online engine does:
             // early completion (wcec shrink), arrival, window shift.
             let victim = rng.gen_range_usize(0, n);
@@ -1349,7 +1934,9 @@ mod tests {
                 }
             }
             let ideal2 = ideal_schedule(&mutated, &power);
-            let fresh = allocate_der_with(&mutated, &tl, cores, &ideal2, &mut scratch);
+            let fresh = allocate(
+                AllocRequest::new(&mutated, &tl, cores, &ideal2).with_scratch(&mut scratch),
+            );
             let (patched, stats) = reallocate_der_patched(
                 &mutated,
                 &tl,
@@ -1358,6 +1945,8 @@ mod tests {
                 &old,
                 &[dirty],
                 0.25,
+                None,
+                DEFAULT_PARALLEL_THRESHOLD,
                 &mut scratch,
             );
             assert_eq!(patched, fresh, "case {case} (n = {n}, m = {cores})");
@@ -1372,6 +1961,8 @@ mod tests {
                 &old,
                 &[dirty],
                 0.0,
+                None,
+                DEFAULT_PARALLEL_THRESHOLD,
                 &mut scratch,
             );
             assert!(fstats.fell_back || fstats.dirty_columns == 0, "case {case}");
@@ -1388,7 +1979,7 @@ mod tests {
         let tl = Timeline::build(&ts);
         let ideal = ideal_schedule(&ts, &PolynomialPower::cubic());
         let mut scratch = Scratch::new();
-        let full = allocate_der_with(&ts, &tl, 4, &ideal, &mut scratch);
+        let full = allocate(AllocRequest::new(&ts, &tl, 4, &ideal).with_scratch(&mut scratch));
         let mut repaired = AvailMatrix::zeros(&tl, ts.len());
         repair_der_columns(&tl, 4, &ideal, &mut repaired, 0..tl.len(), &mut scratch);
         assert_eq!(repaired, full);

@@ -1,7 +1,7 @@
 //! The DER-based allocating method end-to-end (Section V.C): `S^I2` →
 //! `S^F2`. This is the paper's headline algorithm.
 
-use crate::allocation::allocate_der_with;
+use crate::allocation::{allocate, AllocRequest};
 use crate::ideal::ideal_schedule;
 use crate::refine::{build_outcome_with, HeuristicOutcome};
 use crate::scratch::Scratch;
@@ -51,7 +51,7 @@ pub fn der_schedule_with(
     );
     let timeline = Timeline::build_with(tasks, &mut scratch.timeline);
     let ideal = ideal_schedule(tasks, power);
-    let avail = allocate_der_with(tasks, &timeline, cores, &ideal, scratch);
+    let avail = allocate(AllocRequest::new(tasks, &timeline, cores, &ideal).with_scratch(scratch));
     let out = build_outcome_with(tasks, &timeline, cores, power, &ideal, avail, scratch);
     scratch.timeline.recycle(timeline);
     out

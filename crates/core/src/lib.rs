@@ -19,7 +19,9 @@
 //! * [`replan`] — non-clairvoyant event-driven replanning (aperiodic
 //!   arrivals not known in advance),
 //! * [`nec`] — Normalized Energy Consumption evaluation used by every
-//!   experiment.
+//!   experiment,
+//! * [`pool`] — the std-only work-stealing pool used for batch jobs and
+//!   for intra-instance fan-out of the DER allocator.
 //!
 //! The pipeline is instrumented with `esched-obs` tracing spans:
 //! `der_schedule`/`even_schedule` at INFO, and `timeline_build`,
@@ -42,6 +44,7 @@ pub mod ideal;
 pub mod nec;
 pub mod optimal;
 pub mod packing;
+pub mod pool;
 pub mod quality;
 pub mod reclaim;
 pub mod refine;
@@ -50,9 +53,13 @@ pub mod scratch;
 pub mod yds;
 
 pub use allocation::{
+    allocate, allocate_even, allocate_work_proportional, reallocate_der_patched,
+    repair_der_columns, AllocRequest, AvailMatrix, DerRepairStats, DerStrategy,
+    DEFAULT_PARALLEL_THRESHOLD,
+};
+#[allow(deprecated)] // the forwarders stay exported for downstream migration
+pub use allocation::{
     allocate_der, allocate_der_no_redistribution, allocate_der_reference, allocate_der_with,
-    allocate_even, allocate_work_proportional, reallocate_der_patched, repair_der_columns,
-    AvailMatrix, DerRepairStats,
 };
 pub use baselines::{partitioned_yds, uniform_frequency, BaselineOutcome};
 pub use core_count::{select_core_count, CoreCountChoice, Method};
@@ -68,6 +75,7 @@ pub use optimal::{
     optimal_energy, optimal_energy_in, optimal_energy_with, OptimalSolution, Solver,
 };
 pub use packing::{pack_subinterval, PackError, PackItem};
+pub use pool::{Pool, PoolError};
 pub use quality::{analyze, ScheduleQuality, TaskQuality};
 pub use reclaim::{no_reclaim_energy, reclaim_der, ReclaimOutcome};
 pub use refine::{

@@ -66,11 +66,21 @@ pub fn intermediate_schedule_with(
     items: &mut Vec<PackItem>,
 ) -> Schedule {
     let mut out = Schedule::new(cores);
+    // Ideal-overlap staging: computed for the whole column in one tight
+    // pass before the branchy item-selection loop, so the hot part of the
+    // column walk is a flat sequential fill.
+    let mut overlaps: Vec<f64> = Vec::new();
     for sub in timeline.subintervals() {
         items.clear();
         let cells = avail.col(sub.index);
+        overlaps.clear();
+        overlaps.extend(
+            sub.overlapping
+                .iter()
+                .map(|&i| ideal.exec_overlap(i, &sub.interval)),
+        );
         for (pos, &i) in sub.overlapping.iter().enumerate() {
-            let u = ideal.exec_overlap(i, &sub.interval);
+            let u = overlaps[pos];
             if crate::packing::negligible(u, ideal.freq[i]) {
                 continue;
             }
@@ -180,11 +190,22 @@ pub fn final_schedule_with(
         scale[i] = if a > 0.0 { (d / a).min(1.0) } else { 0.0 };
     }
     let mut out = Schedule::new(cores);
+    // Scaled-usage staging: one flat gather-multiply over the column's
+    // cells before the branchy item-selection loop — the multiply runs
+    // over sequential slab loads, which is what the autovectorizer needs.
+    let mut used_buf: Vec<f64> = Vec::new();
     for sub in timeline.subintervals() {
         items.clear();
         let cells = avail.col(sub.index);
+        used_buf.clear();
+        used_buf.extend(
+            sub.overlapping
+                .iter()
+                .zip(cells.iter())
+                .map(|(&i, &a)| a * scale[i]),
+        );
         for (pos, &i) in sub.overlapping.iter().enumerate() {
-            let used = cells[pos] * scale[i];
+            let used = used_buf[pos];
             // Work-aware dust filter: a sub-EPS slot still matters when the
             // task's frequency is high enough that it carries real work.
             if crate::packing::negligible(used, assignment.freq[i]) {
@@ -271,9 +292,18 @@ pub fn build_outcome_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::allocation::{allocate_der, allocate_even};
+    use crate::allocation::{allocate, allocate_even, AllocRequest};
     use crate::ideal::ideal_schedule;
     use esched_types::validate_schedule;
+
+    fn allocate_der(
+        tasks: &TaskSet,
+        tl: &Timeline,
+        cores: usize,
+        ideal: &IdealSolution,
+    ) -> AvailMatrix {
+        allocate(AllocRequest::new(tasks, tl, cores, ideal))
+    }
 
     fn vd_tasks() -> TaskSet {
         TaskSet::from_triples(&[

@@ -30,8 +30,22 @@ pub struct Scratch {
     pub timeline: TimelineScratch,
     /// Per-heavy-subinterval `(task, DER)` list of Algorithm 2.
     pub ders: Vec<(TaskId, f64)>,
+    /// Flat per-column DER weights, aligned with the column's CSR cells.
+    /// The vectorized emit multiplies this slice straight into the
+    /// column's value slab.
+    pub der_w: Vec<f64>,
     /// Remaining-weight suffix sums of the water-filling allocator.
     pub suffix: Vec<f64>,
+    /// Bounded top-`(m+2)` head of the water-fill planner:
+    /// `(cell offset, task, weight)` in canonical order.
+    pub wf_head: Vec<(usize, TaskId, f64)>,
+    /// Near-zero-weight tail of the water-fill planner:
+    /// `(cell offset, weight)` in canonical order.
+    pub wf_tiny: Vec<(usize, f64)>,
+    /// Per-task `[exec.start, exec.end, freq]` records the staging gather
+    /// reads — one packed load per cell instead of straddling the ideal
+    /// solution's separate interval and frequency arrays.
+    pub packed: Vec<[f64; 3]>,
     /// Per-subinterval packing items of Algorithm 1.
     pub items: Vec<PackItem>,
     /// Per-task scale factors `d_i / A_i` of the final schedule.

@@ -1,0 +1,107 @@
+//! Large-n property tests for the unified allocation API: the vectorized
+//! water-filling fast path, with and without intra-instance pool fan-out,
+//! must agree cell-for-cell with the round-based `Reference` strategy at
+//! sizes the adversarial fuzz loop never reaches.
+//!
+//! Sizes are tuned so the whole file stays debug-time bounded (~10 s):
+//! the grid-snapped `WorkloadSpec::large_n` generator keeps timeline
+//! cells O(n), so even n = 65 536 is a few million cells, not n².
+
+use esched_core::{
+    allocate, ideal_schedule, AllocRequest, AvailMatrix, DerStrategy, Pool, Scratch,
+    DEFAULT_PARALLEL_THRESHOLD,
+};
+use esched_subinterval::Timeline;
+use esched_types::validate::WORK_TOL;
+use esched_types::{PolynomialPower, TaskSet};
+use esched_workload::WorkloadSpec;
+
+const CORES: usize = 4;
+
+fn fixture(n: usize, seed: u64) -> (TaskSet, Timeline) {
+    let tasks = WorkloadSpec::large_n(n).instantiate(seed);
+    let tl = Timeline::build(&tasks);
+    (tasks, tl)
+}
+
+/// Max |fast − reference| over every CSR cell, plus the cell count.
+fn max_divergence(tasks: &TaskSet, tl: &Timeline, fast: &AvailMatrix, refr: &AvailMatrix) -> f64 {
+    let _ = tasks;
+    let mut worst = 0.0f64;
+    for sub in tl.subintervals() {
+        for &t in &sub.overlapping {
+            let d = (fast.get(t, sub.index) - refr.get(t, sub.index)).abs();
+            worst = worst.max(d);
+        }
+    }
+    worst
+}
+
+#[test]
+fn vectorized_alloc_matches_reference_across_sizes_and_seeds() {
+    let power = PolynomialPower::paper(3.0, 0.1);
+    let pool = Pool::with_threads(8);
+    let mut scratch = Scratch::new();
+    let plan: &[(usize, &[u64])] = &[
+        (1_024, &[1, 2, 3]),
+        (16_384, &[1, 2, 3]),
+        (65_536, &[1, 2, 3]),
+    ];
+    for &(n, seeds) in plan {
+        for &seed in seeds {
+            let (tasks, tl) = fixture(n, seed);
+            let ideal = ideal_schedule(&tasks, &power);
+            let reference = allocate(
+                AllocRequest::new(&tasks, &tl, CORES, &ideal).strategy(DerStrategy::Reference),
+            );
+            // Serial vectorized path.
+            let serial =
+                allocate(AllocRequest::new(&tasks, &tl, CORES, &ideal).with_scratch(&mut scratch));
+            let d = max_divergence(&tasks, &tl, &serial, &reference);
+            assert!(
+                d <= WORK_TOL,
+                "serial fast path diverges at n={n} seed={seed}: |diff|={d:e}"
+            );
+            // Pool-parallel path, aggressive threshold so fan-out actually
+            // triggers even at the small sizes.
+            let parallel = allocate(
+                AllocRequest::new(&tasks, &tl, CORES, &ideal)
+                    .with_pool(&pool)
+                    .with_parallel_threshold(64),
+            );
+            let d = max_divergence(&tasks, &tl, &parallel, &reference);
+            assert!(
+                d <= WORK_TOL,
+                "parallel fast path diverges at n={n} seed={seed}: |diff|={d:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_alloc_is_byte_identical_across_worker_counts() {
+    let power = PolynomialPower::paper(3.0, 0.1);
+    let (tasks, tl) = fixture(8_192, 42);
+    let ideal = ideal_schedule(&tasks, &power);
+    let run = |workers: usize| -> Vec<u64> {
+        let pool = Pool::with_threads(workers);
+        let avail = allocate(
+            AllocRequest::new(&tasks, &tl, CORES, &ideal)
+                .with_pool(&pool)
+                .with_parallel_threshold(DEFAULT_PARALLEL_THRESHOLD),
+        );
+        tl.subintervals()
+            .iter()
+            .flat_map(|s| {
+                s.overlapping
+                    .iter()
+                    .map(|&t| avail.get(t, s.index).to_bits())
+            })
+            .collect()
+    };
+    let one = run(1);
+    let four = run(4);
+    let eight = run(8);
+    assert_eq!(one, four, "1-worker and 4-worker allocations differ");
+    assert_eq!(four, eight, "4-worker and 8-worker allocations differ");
+}

@@ -1,8 +1,8 @@
 //! Seeded randomized tests for the core scheduling algorithms.
 
 use esched_core::{
-    allocate_der, allocate_der_no_redistribution, allocate_even, allocate_work_proportional,
-    der_schedule, even_schedule, ideal_schedule, partitioned_yds, select_core_count, yds_schedule,
+    allocate, allocate_even, allocate_work_proportional, der_schedule, even_schedule,
+    ideal_schedule, partitioned_yds, select_core_count, yds_schedule, AllocRequest, DerStrategy,
     Method,
 };
 use esched_obs::rng::ChaCha8;
@@ -71,8 +71,11 @@ fn every_allocation_rule_respects_capacity() {
         let ideal = ideal_schedule(&tasks, &power);
         let mats = [
             allocate_even(&tasks, &tl, cores),
-            allocate_der(&tasks, &tl, cores, &ideal),
-            allocate_der_no_redistribution(&tasks, &tl, cores, &ideal),
+            allocate(AllocRequest::new(&tasks, &tl, cores, &ideal)),
+            allocate(
+                AllocRequest::new(&tasks, &tl, cores, &ideal)
+                    .strategy(DerStrategy::NoRedistribution),
+            ),
             allocate_work_proportional(&tasks, &tl, cores),
         ];
         for (mk, m) in mats.iter().enumerate() {

@@ -32,7 +32,7 @@
 //! non-blocking). [`AuditConfig::synchronous`] runs jobs inline on the
 //! caller instead, which tests use for determinism.
 
-use esched_core::{allocate_der_with, final_assignment, ideal_schedule, Scratch};
+use esched_core::{allocate, final_assignment, ideal_schedule, AllocRequest, Scratch};
 use esched_obs::health::HealthMonitor;
 use esched_opt::{EnergyProgram, SolveOptions, SolverKind};
 use esched_subinterval::Timeline;
@@ -138,7 +138,9 @@ impl AuditShared {
         let timeline = Timeline::build(&job.tasks);
         let ideal = ideal_schedule(&job.tasks, &job.power);
         let mut scratch = Scratch::new();
-        let avail = allocate_der_with(&job.tasks, &timeline, job.cores, &ideal, &mut scratch);
+        let avail = allocate(
+            AllocRequest::new(&job.tasks, &timeline, job.cores, &ideal).with_scratch(&mut scratch),
+        );
         let totals = avail.totals();
         let assignment = final_assignment(&job.tasks, &totals, &job.power);
         let works: Vec<f64> = job.tasks.tasks().iter().map(|t| t.wcec).collect();

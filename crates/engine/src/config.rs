@@ -60,6 +60,15 @@ pub struct EngineConfig {
     /// outcome. Off drops the wall-clock numbers, leaving the outcome a
     /// pure function of the request.
     pub telemetry: bool,
+    /// When set, the DER allocation stage fans heavy subinterval ranges
+    /// of *this one instance* across the work-stealing pool once the
+    /// timeline has at least this many subintervals. Chunk boundaries
+    /// are a pure function of the instance, so the outcome stays
+    /// byte-identical at any worker count. `None` (the default) keeps
+    /// allocation on the calling thread — the right choice for batch
+    /// workloads where parallelism across instances already saturates
+    /// the pool.
+    pub intra_parallelism: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +80,7 @@ impl Default for EngineConfig {
             discrete: None,
             sim_verify: false,
             telemetry: true,
+            intra_parallelism: None,
         }
     }
 }
@@ -115,6 +125,16 @@ impl EngineConfig {
     /// Enable or disable telemetry attachment.
     pub fn with_telemetry(mut self, on: bool) -> Self {
         self.telemetry = on;
+        self
+    }
+
+    /// Fan the DER allocation of a single instance across the pool once
+    /// its timeline reaches `threshold_subintervals` subintervals. Use
+    /// [`esched_core::DEFAULT_PARALLEL_THRESHOLD`] unless you have
+    /// measured otherwise; small instances only lose to fan-out
+    /// overhead.
+    pub fn with_intra_parallelism(mut self, threshold_subintervals: usize) -> Self {
+        self.intra_parallelism = Some(threshold_subintervals);
         self
     }
 }

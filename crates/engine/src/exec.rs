@@ -5,8 +5,8 @@
 use crate::config::{Algorithm, ScheduleRequest};
 use crate::outcome::{DiscreteSummary, OptSummary, ScheduleOutcome, SimVerdict};
 use esched_core::{
-    allocate_der_with, allocate_even, build_outcome_with, ideal_schedule, optimal_energy_in,
-    quantize_schedule, HeuristicOutcome, NecPoint, QuantizePolicy, Scratch,
+    allocate, allocate_even, build_outcome_with, ideal_schedule, optimal_energy_in,
+    quantize_schedule, AllocRequest, HeuristicOutcome, NecPoint, Pool, QuantizePolicy, Scratch,
 };
 use esched_obs::{RequestId, RequestScope, TraceCtx};
 use esched_sim::simulate;
@@ -58,8 +58,17 @@ pub fn execute(scratch: &mut Scratch, request: &ScheduleRequest) -> ScheduleOutc
             scratch,
         )
     };
+    // The intra-instance pool is only materialized when the knob is set;
+    // it shares sizing rules (`ESCHED_ENGINE_THREADS`) with the batch
+    // pool, and chunking keeps the outcome byte-identical either way.
+    let intra_pool = cfg.intra_parallelism.map(|_| Pool::new());
     let run_der = |scratch: &mut Scratch| -> HeuristicOutcome {
-        let avail = allocate_der_with(&request.tasks, &timeline, request.cores, &ideal, scratch);
+        let mut alloc_req = AllocRequest::new(&request.tasks, &timeline, request.cores, &ideal)
+            .with_scratch(&mut *scratch);
+        if let (Some(threshold), Some(pool)) = (cfg.intra_parallelism, intra_pool.as_ref()) {
+            alloc_req = alloc_req.with_pool(pool).with_parallel_threshold(threshold);
+        }
+        let avail = allocate(alloc_req);
         build_outcome_with(
             &request.tasks,
             &timeline,

@@ -32,6 +32,13 @@
 //! interleaving — because results are indexed by submission order and
 //! every pipeline stage is deterministic.
 //!
+//! The pool machinery itself lives in [`esched_core::Pool`]; [`Engine`]
+//! wraps it with request/outcome plumbing. For very large single
+//! instances, [`EngineConfig::with_intra_parallelism`] additionally fans
+//! the DER allocation of *one* request across the pool — chunk
+//! boundaries are a pure function of the instance, so outcomes stay
+//! byte-identical at any worker count.
+//!
 //! Metrics (`esched_obs::metrics`): `esched.engine.batches`,
 //! `esched.engine.jobs`, `esched.engine.steals`, `esched.engine.panics`
 //! counters; `esched.engine.workers` and `esched.engine.queue_depth`

@@ -43,9 +43,10 @@ use crate::audit::{AuditConfig, ShadowAuditor};
 use crate::config::{Algorithm, EngineConfig, ScheduleRequest};
 use crate::outcome::{DiscreteSummary, OptSummary, ScheduleOutcome, SimVerdict};
 use esched_core::{
-    allocate_even, build_outcome_with, final_assignment, final_schedule_with, ideal_schedule,
-    optimal_energy_in, quantize_schedule, reallocate_der_patched, AvailMatrix, DerRepairStats,
-    IdealSolution, NecPoint, QuantizePolicy, Scratch,
+    allocate, allocate_even, build_outcome_with, final_assignment, final_schedule_with,
+    ideal_schedule, optimal_energy_in, quantize_schedule, reallocate_der_patched, AllocRequest,
+    AvailMatrix, DerRepairStats, IdealSolution, NecPoint, Pool, QuantizePolicy, Scratch,
+    DEFAULT_PARALLEL_THRESHOLD,
 };
 use esched_obs::health::{HealthMonitor, SloPolicy};
 use esched_obs::{RequestId, RequestScope, TraceCtx};
@@ -178,6 +179,10 @@ pub struct OnlineEngine {
     assignment: FrequencyAssignment,
     final_energy: f64,
     scratch: Scratch,
+    // Intra-instance allocation pool, materialized by `with_config` when
+    // the `intra_parallelism` knob is set. Chunking keeps repairs
+    // byte-identical to the serial path at any worker count.
+    intra_pool: Option<Pool>,
     // Per-task totals X_i of the last certified optimum, if any — the
     // warm-start carrier across task-set mutations.
     last_opt_totals: Option<Vec<f64>>,
@@ -201,7 +206,9 @@ impl OnlineEngine {
         let timeline = Timeline::build(&tasks);
         let ideal = ideal_schedule(&tasks, &power);
         let mut scratch = Scratch::new();
-        let avail = esched_core::allocate_der_with(&tasks, &timeline, cores, &ideal, &mut scratch);
+        let avail = allocate(
+            AllocRequest::new(&tasks, &timeline, cores, &ideal).with_scratch(&mut scratch),
+        );
         let total_avail = avail.totals();
         let assignment = final_assignment(&tasks, &total_avail, &power);
         let works: Vec<f64> = tasks.tasks().iter().map(|t| t.wcec).collect();
@@ -222,6 +229,7 @@ impl OnlineEngine {
             assignment,
             final_energy,
             scratch,
+            intra_pool: None,
             last_opt_totals: None,
             health: None,
             auditor: None,
@@ -241,6 +249,7 @@ impl OnlineEngine {
             Algorithm::Der,
             "OnlineEngine is incremental over the DER pipeline only"
         );
+        self.intra_pool = config.intra_parallelism.map(|_| Pool::new());
         self.config = config;
         self
     }
@@ -421,6 +430,10 @@ impl OnlineEngine {
             &self.avail,
             dirty,
             self.fallback_fraction,
+            self.intra_pool.as_ref(),
+            self.config
+                .intra_parallelism
+                .unwrap_or(DEFAULT_PARALLEL_THRESHOLD),
             &mut self.scratch,
         );
         self.avail = avail;

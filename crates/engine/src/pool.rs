@@ -1,20 +1,15 @@
-//! The std-only work-stealing thread pool behind [`Engine`].
+//! Batch execution on the shared work-stealing pool.
 //!
-//! No third-party dependencies: per-worker `Mutex<VecDeque>` deques on
-//! `std::thread::scope` scoped threads. Jobs are distributed round-robin;
-//! a worker drains its own deque from the front and, when empty, steals
-//! from the *back* of its neighbours' deques. Results are indexed by
-//! submission order, so the output is identical regardless of worker
-//! count or steal interleaving — the property the determinism test pins.
+//! The pool machinery itself (per-worker deques, steal-from-back,
+//! submission-order results, per-worker [`Scratch`] arenas, panic
+//! isolation) lives in [`esched_core::pool`] so the allocator can also
+//! fan one instance's columns across it; [`Engine`] is the
+//! request/outcome wrapper the service layer uses: same sizing rules,
+//! same determinism contract (results indexed by submission order, so
+//! the output is identical regardless of worker count or steal
+//! interleaving — the property the determinism test pins).
 
-use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
-
-use esched_core::Scratch;
-use esched_obs::{metric_counter, metric_gauge, metric_histogram};
+use esched_core::{Pool, PoolError, Scratch};
 
 use crate::config::ScheduleRequest;
 use crate::exec::execute;
@@ -27,7 +22,7 @@ use crate::outcome::{EngineError, ScheduleOutcome};
 /// call), so it is cheap to construct and freely shareable.
 #[derive(Debug, Clone)]
 pub struct Engine {
-    threads: usize,
+    pool: Pool,
 }
 
 impl Default for Engine {
@@ -36,44 +31,48 @@ impl Default for Engine {
     }
 }
 
+impl From<PoolError> for EngineError {
+    fn from(e: PoolError) -> Self {
+        EngineError {
+            index: e.index,
+            message: e.message,
+        }
+    }
+}
+
 impl Engine {
     /// An engine sized by the `ESCHED_ENGINE_THREADS` environment
     /// variable when set (and ≥ 1), else by the machine's available
     /// parallelism.
     pub fn new() -> Self {
-        let threads = std::env::var("ESCHED_ENGINE_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        Self { threads }
+        Self { pool: Pool::new() }
     }
 
     /// An engine with exactly `threads` workers (clamped to ≥ 1).
     pub fn with_threads(threads: usize) -> Self {
         Self {
-            threads: threads.max(1),
+            pool: Pool::with_threads(threads),
         }
     }
 
     /// The worker count batches will use.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pool.threads()
+    }
+
+    /// The underlying [`Pool`] — hand this to
+    /// [`esched_core::AllocRequest::with_pool`] to reuse the engine's
+    /// sizing for intra-instance fan-out.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
     }
 
     /// Execute one request on the calling thread (no pool), with the same
     /// panic isolation as a batch.
     pub fn run(&self, request: &ScheduleRequest) -> Result<ScheduleOutcome, EngineError> {
-        run_job(
-            &mut Scratch::new(),
-            &|s, r: &ScheduleRequest| execute(s, r),
-            0,
-            request,
-        )
+        self.pool
+            .run_one(|scratch| execute(scratch, request))
+            .map_err(EngineError::from)
     }
 
     /// Execute a batch of requests across the pool. The output is indexed
@@ -101,150 +100,10 @@ impl Engine {
         T: Send,
         F: Fn(&mut Scratch, I) -> T + Sync,
     {
-        let n = items.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let workers = self.threads.min(n).max(1);
-        let _span = esched_obs::span!(
-            esched_obs::Level::Debug,
-            "engine_batch",
-            jobs = n,
-            workers = workers,
-        );
-        metric_counter!("esched.engine.batches").inc();
-        metric_counter!("esched.engine.jobs").add(n as u64);
-        metric_gauge!("esched.engine.workers").set(workers as f64);
-        metric_gauge!("esched.engine.queue_depth").set_max(n as f64);
-        let t0 = Instant::now();
-
-        let out = if workers == 1 {
-            // Serial fast path: same semantics, no pool overhead.
-            let mut scratch = Scratch::new();
-            items
-                .into_iter()
-                .enumerate()
-                .map(|(i, item)| run_job(&mut scratch, &f, i, item))
-                .collect()
-        } else {
-            self.run_pool(items, workers, &f)
-        };
-
-        metric_histogram!("esched.engine.batch_wall_ns").record_duration(t0.elapsed());
-        out
-    }
-
-    fn run_pool<I, T, F>(&self, items: Vec<I>, workers: usize, f: &F) -> Vec<Result<T, EngineError>>
-    where
-        I: Send,
-        T: Send,
-        F: Fn(&mut Scratch, I) -> T + Sync,
-    {
-        let n = items.len();
-        let deques: Vec<Mutex<VecDeque<(usize, I)>>> =
-            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-        for (i, item) in items.into_iter().enumerate() {
-            deques[i % workers]
-                .lock()
-                .expect("fresh deque")
-                .push_back((i, item));
-        }
-        let results: Mutex<Vec<Option<Result<T, EngineError>>>> =
-            Mutex::new((0..n).map(|_| None).collect());
-        let steals = AtomicU64::new(0);
-
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let deques = &deques;
-                let results = &results;
-                let steals = &steals;
-                scope.spawn(move || {
-                    let mut scratch = Scratch::new();
-                    let mut local: Vec<(usize, Result<T, EngineError>)> = Vec::new();
-                    let worker_start = Instant::now();
-                    let mut busy_ns = 0u64;
-                    loop {
-                        // Own deque first (front), then steal from the
-                        // back of the neighbours'. Nothing is ever
-                        // re-queued, so "every deque empty" terminates.
-                        let mut job = deques[w].lock().expect("worker deque").pop_front();
-                        if job.is_none() {
-                            for off in 1..workers {
-                                let victim = (w + off) % workers;
-                                job = deques[victim].lock().expect("victim deque").pop_back();
-                                if job.is_some() {
-                                    steals.fetch_add(1, Ordering::Relaxed);
-                                    esched_obs::flight_event!("engine_steal", victim as u64);
-                                    break;
-                                }
-                            }
-                        }
-                        let Some((index, item)) = job else { break };
-                        let t_job = Instant::now();
-                        local.push((index, run_job(&mut scratch, f, index, item)));
-                        busy_ns += t_job.elapsed().as_nanos() as u64;
-                    }
-                    // Fraction of this worker's lifetime spent inside jobs
-                    // (the rest is deque contention and steal probing).
-                    // Dynamic name → cold registry path; once per worker
-                    // per batch, not per job.
-                    let wall_ns = worker_start.elapsed().as_nanos().max(1) as u64;
-                    esched_obs::metrics::gauge(&format!("esched.engine.worker_util.w{w}"))
-                        .set(busy_ns as f64 / wall_ns as f64);
-                    let mut slots = results.lock().expect("results vector");
-                    for (index, result) in local {
-                        slots[index] = Some(result);
-                    }
-                });
-            }
-        });
-
-        let stolen = steals.load(Ordering::Relaxed);
-        metric_counter!("esched.engine.steals").add(stolen);
-        metric_gauge!("esched.engine.steal_rate").set(stolen as f64 / n as f64);
-        results
-            .into_inner()
-            .expect("pool threads joined")
+        self.pool
+            .batch_map(items, f)
             .into_iter()
-            .map(|slot| slot.expect("every job index is filled exactly once"))
+            .map(|r| r.map_err(EngineError::from))
             .collect()
-    }
-}
-
-/// Run one job with panic isolation; used by both the serial path and the
-/// pool workers.
-fn run_job<I, T, F>(scratch: &mut Scratch, f: &F, index: usize, item: I) -> Result<T, EngineError>
-where
-    F: Fn(&mut Scratch, I) -> T,
-{
-    let t0 = Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| f(scratch, item)));
-    metric_histogram!("esched.engine.job_wall_ns").record_duration(t0.elapsed());
-    match result {
-        Ok(value) => Ok(value),
-        Err(payload) => {
-            metric_counter!("esched.engine.panics").inc();
-            esched_obs::flight_event!("engine_job_panic", index as u64);
-            // Post-mortem flight dump: a no-op unless ESCHED_FLIGHT_DIR
-            // is set, so tests that expect panics don't spray files.
-            let _ = esched_obs::recorder::dump_post_mortem("engine job panic");
-            // The panic may have left half-taken buffers behind; drop
-            // them rather than reason about their state.
-            *scratch = Scratch::new();
-            Err(EngineError {
-                index,
-                message: panic_message(payload),
-            })
-        }
-    }
-}
-
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
     }
 }

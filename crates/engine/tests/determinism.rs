@@ -105,6 +105,45 @@ fn outcomes_identical_with_request_scoped_observability_on() {
     );
 }
 
+/// Intra-instance fan-out must not break determinism: with
+/// `with_intra_parallelism(1)` every request's DER allocation is split
+/// across the worker pool (threshold 1 forces the parallel path even on
+/// these small instances), and the outcome JSON must still be
+/// byte-identical at 1, 4, and 8 workers — chunk boundaries and the
+/// reduction order are a pure function of the CSR shape, never of the
+/// worker count or steal interleaving.
+#[test]
+fn intra_parallel_outcomes_identical_across_worker_counts() {
+    let fan_out = |threads: usize| -> Vec<String> {
+        let engine = Engine::with_threads(threads);
+        let reqs: Vec<ScheduleRequest> = requests()
+            .into_iter()
+            .map(|rq| {
+                let cfg = rq.config.clone().with_intra_parallelism(1);
+                rq.with_config(cfg)
+            })
+            .collect();
+        engine
+            .run_batch(&reqs)
+            .into_iter()
+            .map(|r| r.expect("no job panicked").to_json().to_string())
+            .collect()
+    };
+    let serial = batch_json(&Engine::with_threads(1));
+    let fanned_serial = fan_out(1);
+    assert_eq!(
+        fanned_serial, serial,
+        "intra-parallel fan-out changed the outcome vs the plain path"
+    );
+    for threads in [4, 8] {
+        assert_eq!(
+            fan_out(threads),
+            fanned_serial,
+            "intra-parallel outcome JSON diverged at {threads} workers"
+        );
+    }
+}
+
 /// Warm-start seeding happens at submission time (the driver copies the
 /// previous batch's solutions into the next batch's requests), so the
 /// two-phase sweep pattern must stay byte-identical across worker counts

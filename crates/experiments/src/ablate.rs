@@ -17,9 +17,9 @@
 use crate::harness::per_trial;
 use crate::report::write_artifact;
 use esched_core::{
-    allocate_der, allocate_der_no_redistribution, allocate_work_proportional, build_outcome,
-    der_schedule, even_schedule, ideal_schedule, no_reclaim_energy, optimal_energy,
-    partitioned_yds, quantize_schedule, reclaim_der, replan_der, uniform_frequency, QuantizePolicy,
+    allocate, allocate_work_proportional, build_outcome, der_schedule, even_schedule,
+    ideal_schedule, no_reclaim_energy, optimal_energy, partitioned_yds, quantize_schedule,
+    reclaim_der, replan_der, uniform_frequency, AllocRequest, DerStrategy, QuantizePolicy,
 };
 use esched_opt::SolveOptions;
 use esched_subinterval::Timeline;
@@ -59,7 +59,7 @@ pub fn allocation_ablation(trials: usize, base_seed: u64) -> AllocationAblation 
                 cores,
                 &power,
                 &ideal,
-                allocate_der(&tasks, &tl, cores, &ideal),
+                allocate(AllocRequest::new(&tasks, &tl, cores, &ideal)),
             )
             .final_energy;
             let nr = build_outcome(
@@ -68,7 +68,10 @@ pub fn allocation_ablation(trials: usize, base_seed: u64) -> AllocationAblation 
                 cores,
                 &power,
                 &ideal,
-                allocate_der_no_redistribution(&tasks, &tl, cores, &ideal),
+                allocate(
+                    AllocRequest::new(&tasks, &tl, cores, &ideal)
+                        .strategy(DerStrategy::NoRedistribution),
+                ),
             )
             .final_energy;
             let wp = build_outcome(

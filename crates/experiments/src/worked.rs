@@ -7,8 +7,8 @@
 //! * Section VI.D — core-count selection.
 
 use esched_core::{
-    allocate_der, der_schedule, even_schedule, ideal_schedule, optimal_energy, select_core_count,
-    yds_schedule, Method,
+    allocate, der_schedule, even_schedule, ideal_schedule, optimal_energy, select_core_count,
+    yds_schedule, AllocRequest, Method,
 };
 use esched_opt::SolveOptions;
 use esched_sim::{ascii_gantt, simulate, task_summary};
@@ -89,7 +89,7 @@ pub fn example_vd_report() -> String {
             .collect::<Vec<_>>()
     );
 
-    let avail = allocate_der(&tasks, &timeline, 4, &ideal);
+    let avail = allocate(AllocRequest::new(&tasks, &timeline, 4, &ideal));
     for &j in &heavy {
         let iv = &timeline.get(j).interval;
         let _ = writeln!(out, "  DER allocations in [{}, {}]:", iv.start, iv.end);

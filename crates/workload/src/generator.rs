@@ -35,7 +35,7 @@ pub enum IntensityDist {
 }
 
 impl IntensityDist {
-    fn sample(&self, rng: &mut ChaCha8) -> f64 {
+    pub(crate) fn sample(&self, rng: &mut ChaCha8) -> f64 {
         match *self {
             IntensityDist::Ladder { lo, hi, step } => {
                 let rungs = ((hi - lo) / step).round() as usize + 1;

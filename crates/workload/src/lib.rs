@@ -7,6 +7,9 @@
 //!   deterministic per seed,
 //! * [`periodic`] — periodic and frame-based task systems expanded into
 //!   aperiodic job sets (the classical special cases),
+//! * [`spec`] — the unified [`WorkloadSpec`] builder over every
+//!   generator family (continuous paper/XScale instances, grid-snapped
+//!   large-n scaling workloads),
 //! * [`scenarios`] — the paper's worked examples and domain-flavoured
 //!   fixed workloads,
 //! * [`xscale`] — the Intel XScale frequency/power table and its fitted
@@ -20,6 +23,7 @@ pub mod generator;
 pub mod io;
 pub mod periodic;
 pub mod scenarios;
+pub mod spec;
 pub mod xscale;
 
 pub use generator::{GeneratorConfig, IntensityDist, WorkloadGenerator};
@@ -31,4 +35,5 @@ pub use periodic::{expand_periodic, frame_based, hyperperiod, PeriodicTask};
 pub use scenarios::{
     intro_three_tasks, media_server_burst, mixed_criticality, section_vd_six_tasks,
 };
+pub use spec::{ArrivalLaw, WorkloadSpec};
 pub use xscale::{xscale_discrete, xscale_fitted, xscale_paper_fit, XSCALE_F2, XSCALE_TABLE};

@@ -1,0 +1,244 @@
+//! The unified workload builder: one [`WorkloadSpec`] covering every
+//! scale the repo generates, from the paper's 20-task analytic instances
+//! to the 262 144-task scaling workloads.
+//!
+//! Two arrival laws:
+//!
+//! * [`ArrivalLaw::Continuous`] — releases uniform on `[0, span]`, the
+//!   paper's Section VI design. Instantiation delegates verbatim to
+//!   [`WorkloadGenerator`], so a spec-built set is bit-identical to the
+//!   historical fixtures for the same seed.
+//! * [`ArrivalLaw::Slotted`] — releases and deadlines snapped to a
+//!   quantum grid. Continuous instances put almost every boundary pair in
+//!   overlap, so CSR cell count grows as `O(n²)` and a 262k-task timeline
+//!   would not fit in memory; on the grid each task overlaps only the
+//!   `O(window/quantum)` subintervals its window spans, keeping cells
+//!   `O(n)` while preserving the heavy/light structure the allocator's
+//!   hot paths exercise.
+
+use crate::generator::{GeneratorConfig, IntensityDist, WorkloadGenerator};
+use esched_obs::rng::ChaCha8;
+use esched_types::{Task, TaskSet};
+
+/// How release times (and, for the grid law, deadlines) are placed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalLaw {
+    /// Releases uniform on `[0, span]`, deadlines derived from the
+    /// intensity draw — the paper's generator, verbatim.
+    Continuous {
+        /// Upper end of the release interval (paper: 200).
+        span: f64,
+    },
+    /// Releases on a `quantum`-spaced grid of `span_slots` slots;
+    /// windows are 2–12 quanta long, so every subinterval boundary is a
+    /// grid point and the timeline stays `O(n)` cells.
+    Slotted {
+        /// Number of release slots.
+        span_slots: usize,
+        /// Grid spacing in time units.
+        quantum: f64,
+    },
+}
+
+/// Builder describing one family of random workloads: scale, arrival
+/// law, intensity distribution, and requirement range.
+///
+/// ```
+/// use esched_workload::WorkloadSpec;
+///
+/// // The paper's analytic-model instances, bit-identical to the
+/// // historical `WorkloadGenerator` output for the same seed.
+/// let tasks = WorkloadSpec::paper().with_scale(40).instantiate(2014);
+/// assert_eq!(tasks.len(), 40);
+///
+/// // A grid-snapped scaling instance: timeline cells stay O(n).
+/// let big = WorkloadSpec::large_n(4096).instantiate(7);
+/// assert_eq!(big.len(), 4096);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    scale: usize,
+    arrival: ArrivalLaw,
+    wcec_lo: f64,
+    wcec_hi: f64,
+    intensity: IntensityDist,
+    freq_scale: f64,
+}
+
+impl WorkloadSpec {
+    /// The paper's default analytic configuration (`n = 20`, releases on
+    /// `[0, 200]`, work on `[10, 30]`, intensity ladder `{0.1, …, 1.0}`).
+    pub fn paper() -> Self {
+        Self::from_config(GeneratorConfig::paper_default())
+    }
+
+    /// Section VI.C's XScale configuration (megacycle requirements,
+    /// deadlines scaled by the 400 MHz level).
+    pub fn xscale() -> Self {
+        Self::from_config(GeneratorConfig::xscale_default())
+    }
+
+    /// The Fig. 9 intensity-range sweep: paper configuration with
+    /// intensities continuous-uniform on `[lo, 1.0]`.
+    pub fn intensity_sweep(lo: f64) -> Self {
+        Self::from_config(
+            GeneratorConfig::paper_default().with_intensity(IntensityDist::Uniform { lo, hi: 1.0 }),
+        )
+    }
+
+    /// A grid-snapped scaling workload with `n` tasks: quantum 1.0,
+    /// `max(32, n/8)` release slots (≈ 8 tasks per slot at any scale),
+    /// windows 2–12 quanta. Designed so the subinterval-major CSR holds
+    /// roughly `7n` cells instead of the `O(n²)` a continuous instance
+    /// of this size would need.
+    pub fn large_n(n: usize) -> Self {
+        Self {
+            scale: n,
+            arrival: ArrivalLaw::Slotted {
+                span_slots: (n / 8).max(32),
+                quantum: 1.0,
+            },
+            // Unused by the slotted law (work derives from the intensity
+            // draw); kept sane for anyone switching the law afterwards.
+            wcec_lo: 10.0,
+            wcec_hi: 30.0,
+            intensity: IntensityDist::Uniform { lo: 0.05, hi: 1.0 },
+            freq_scale: 1.0,
+        }
+    }
+
+    /// Wrap an existing [`GeneratorConfig`] (continuous law).
+    pub fn from_config(c: GeneratorConfig) -> Self {
+        Self {
+            scale: c.tasks,
+            arrival: ArrivalLaw::Continuous {
+                span: c.release_span,
+            },
+            wcec_lo: c.wcec_lo,
+            wcec_hi: c.wcec_hi,
+            intensity: c.intensity,
+            freq_scale: c.freq_scale,
+        }
+    }
+
+    /// Set the number of tasks.
+    pub fn with_scale(mut self, n: usize) -> Self {
+        self.scale = n;
+        self
+    }
+
+    /// Replace the arrival law.
+    pub fn with_arrival(mut self, law: ArrivalLaw) -> Self {
+        self.arrival = law;
+        self
+    }
+
+    /// Replace the intensity distribution.
+    pub fn with_intensity(mut self, d: IntensityDist) -> Self {
+        self.intensity = d;
+        self
+    }
+
+    /// The number of tasks this spec instantiates.
+    pub fn scale(&self) -> usize {
+        self.scale
+    }
+
+    /// The arrival law.
+    pub fn arrival(&self) -> ArrivalLaw {
+        self.arrival
+    }
+
+    /// Draw one task set, deterministically per `seed`.
+    pub fn instantiate(&self, seed: u64) -> TaskSet {
+        match self.arrival {
+            ArrivalLaw::Continuous { span } => {
+                // Delegate to the historical generator so continuous
+                // specs reproduce existing fixtures bit-for-bit.
+                let cfg = GeneratorConfig {
+                    tasks: self.scale,
+                    release_span: span,
+                    wcec_lo: self.wcec_lo,
+                    wcec_hi: self.wcec_hi,
+                    intensity: self.intensity,
+                    freq_scale: self.freq_scale,
+                };
+                WorkloadGenerator::new(cfg, seed).generate()
+            }
+            ArrivalLaw::Slotted {
+                span_slots,
+                quantum,
+            } => self.instantiate_slotted(span_slots, quantum, seed),
+        }
+    }
+
+    fn instantiate_slotted(&self, span_slots: usize, quantum: f64, seed: u64) -> TaskSet {
+        assert!(self.scale > 0, "cannot generate an empty task set");
+        assert!(span_slots > 0 && quantum > 0.0);
+        let mut rng = ChaCha8::seed_from_u64(seed);
+        let mut tasks = Vec::with_capacity(self.scale);
+        for _ in 0..self.scale {
+            let slot = rng.gen_range_usize(0, span_slots);
+            let release = slot as f64 * quantum;
+            // Window of 2–12 quanta: boundaries stay on the grid and the
+            // per-task overlap count is bounded by a constant.
+            let k = rng.gen_range_usize(2, 13);
+            let window = k as f64 * quantum;
+            let intensity = self.intensity.sample(&mut rng);
+            // C = intensity · freq_scale · (D − R), exactly the paper's
+            // deadline formula inverted — so the intensity distribution
+            // carries over from the continuous law unchanged.
+            let wcec = (intensity * self.freq_scale * window).max(1e-6);
+            tasks.push(Task::of(release, release + window, wcec));
+        }
+        TaskSet::new(tasks).expect("slotted tasks are valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_spec_matches_legacy_generator_bitwise() {
+        let spec = WorkloadSpec::paper().with_scale(50);
+        let legacy =
+            WorkloadGenerator::new(GeneratorConfig::paper_default().with_tasks(50), 99).generate();
+        assert_eq!(spec.instantiate(99), legacy);
+
+        let xs = WorkloadSpec::xscale().with_scale(25);
+        let legacy_xs =
+            WorkloadGenerator::new(GeneratorConfig::xscale_default().with_tasks(25), 4).generate();
+        assert_eq!(xs.instantiate(4), legacy_xs);
+    }
+
+    #[test]
+    fn slotted_instances_are_grid_snapped_and_deterministic() {
+        let spec = WorkloadSpec::large_n(2048);
+        let a = spec.instantiate(1);
+        let b = spec.instantiate(1);
+        assert_eq!(a, b);
+        assert_ne!(a, spec.instantiate(2));
+        for (_, t) in a.iter() {
+            assert_eq!(t.release, t.release.round(), "release off-grid");
+            assert_eq!(t.deadline, t.deadline.round(), "deadline off-grid");
+            let w = t.window_len();
+            assert!((2.0..=12.0).contains(&w), "window {w} outside 2–12 quanta");
+            assert!(t.wcec > 0.0 && t.wcec <= w + 1e-9);
+        }
+    }
+
+    #[test]
+    fn slotted_timeline_cells_stay_linear() {
+        let n = 4096;
+        let tasks = WorkloadSpec::large_n(n).instantiate(3);
+        let tl = esched_subinterval::Timeline::build(&tasks);
+        let cells: usize = tl.subintervals().iter().map(|s| s.overlapping.len()).sum();
+        // ~7n by design; the assert leaves generous headroom while still
+        // ruling out the O(n²) blow-up a continuous law would produce.
+        assert!(
+            cells <= 16 * n,
+            "slotted CSR has {cells} cells for n = {n} — super-linear growth"
+        );
+    }
+}

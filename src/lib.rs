@@ -65,8 +65,9 @@ pub use esched_workload as workload;
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use esched_core::{
-        der_schedule, even_schedule, ideal_schedule, optimal_energy, yds_schedule, DiscreteOutcome,
-        HeuristicOutcome, IdealSolution, OptimalSolution,
+        allocate, der_schedule, even_schedule, ideal_schedule, optimal_energy, yds_schedule,
+        AllocRequest, DerStrategy, DiscreteOutcome, HeuristicOutcome, IdealSolution,
+        OptimalSolution, Pool,
     };
     pub use esched_engine::{
         Algorithm, Engine, EngineConfig, OnlineEngine, OnlineError, OnlineEvent, ReplanReport,
@@ -79,5 +80,5 @@ pub mod prelude {
         validate_schedule, DiscretePower, PolynomialPower, PowerModel, Schedule, Segment, Task,
         TaskSet,
     };
-    pub use esched_workload::{GeneratorConfig, WorkloadGenerator};
+    pub use esched_workload::{ArrivalLaw, GeneratorConfig, WorkloadGenerator, WorkloadSpec};
 }
