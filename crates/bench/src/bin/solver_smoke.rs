@@ -1,0 +1,142 @@
+//! `solver_smoke` — the CI gate for the decomposed ADMM E^OPT solver.
+//!
+//! Three checks at n = 4096 (grid-snapped `WorkloadSpec::large_n`, the
+//! scale where a full interior-point solve takes minutes), all fatal on
+//! failure:
+//!
+//! 1. **Fig8-style cores sweep certifies**: every point of the
+//!    `m ∈ {2, 4, 6, 8, 10, 12}` sweep (`α = 3`, `p₀ = 0.2`), solved by
+//!    [`solve_admm_in`] with the primal *and dual* point warm-chained
+//!    between sweep positions, must converge AND pass the independent
+//!    KKT certificate at 1e-5 — the same bar every serial solver is held
+//!    to.
+//! 2. **≥5× vs interior point**: the best-of-3 cold ADMM solve at
+//!    `m = 4` must beat the best-of-3 interior-point time by at least
+//!    5×. The interior-point runs are iteration-capped to keep the job
+//!    bounded: a capped run that is *still* slower than 5× ADMM without
+//!    having converged lower-bounds the full solve, so the comparison
+//!    stays honest while CI stays minutes, not hours.
+//! 3. **Byte-identity across worker counts**: the cold `m = 4` solve
+//!    repeated on explicit 1-, 4-, and 8-worker pools must agree
+//!    bit-for-bit in primal, dual, objective, gap, and iteration count.
+//!    CI additionally launches this binary under
+//!    `ESCHED_ENGINE_THREADS=4`, which sizes every pool the harness
+//!    creates implicitly; the explicit pools cover 1 and 8 regardless.
+
+use esched_core::Pool;
+use esched_opt::{kkt_report, solve_admm_in, EnergyProgram, SolveOptions, SolverKind};
+use esched_subinterval::Timeline;
+use esched_types::PolynomialPower;
+use esched_workload::WorkloadSpec;
+use std::time::Instant;
+
+const N: usize = 4096;
+const SWEEP_CORES: [usize; 6] = [2, 4, 6, 8, 10, 12];
+const KKT_TOL: f64 = 1e-5;
+const MIN_SPEEDUP: f64 = 5.0;
+/// Iteration cap for the interior-point reference runs (check 2): enough
+/// Newton steps to prove the 5× bound one way or the other at this size,
+/// small enough to keep the job bounded.
+const IP_ITER_CAP: usize = 10;
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn main() {
+    let tasks = WorkloadSpec::large_n(N).instantiate(3);
+    let tl = Timeline::build(&tasks);
+    let power = PolynomialPower::paper(3.0, 0.2);
+    let pool = Pool::with_threads(8);
+
+    // --- 1. fig8-style cores sweep, every point KKT-certified ---
+    let mut warm: Option<(Vec<f64>, Vec<f64>)> = None;
+    for cores in SWEEP_CORES {
+        let ep = EnergyProgram::new(&tasks, &tl, cores, power);
+        let mut opts = SolveOptions::fast();
+        if let Some((x, y)) = warm.take() {
+            opts = opts.with_warm_start(x).with_warm_start_dual(y);
+        }
+        let t0 = Instant::now();
+        let r = solve_admm_in(&ep, &opts, &pool);
+        let wall = t0.elapsed().as_secs_f64();
+        assert!(
+            r.converged,
+            "cores={cores}: admm did not converge (gap {:e})",
+            r.gap
+        );
+        let kkt = kkt_report(&ep, &r.x);
+        assert!(
+            kkt.is_optimal(KKT_TOL),
+            "cores={cores}: KKT certificate failed (residual {:e}, gap {:e})",
+            kkt.projected_gradient_residual,
+            kkt.duality_gap
+        );
+        println!(
+            "solver_smoke: cores={cores} certified in {wall:.2}s ({} iters, obj {:.6e})",
+            r.iters, r.objective
+        );
+        let dual = r.dual.clone().expect("admm returns its dual point");
+        warm = Some((r.x, dual));
+    }
+
+    // --- 2. >=5x vs interior point, best of 3, m = 4 ---
+    let ep = EnergyProgram::new(&tasks, &tl, 4, power);
+    let mut admm_best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = solve_admm_in(&ep, &SolveOptions::fast(), &pool);
+        let wall = t0.elapsed().as_secs_f64();
+        assert!(r.converged, "cold admm at m=4 did not converge");
+        admm_best = admm_best.min(wall);
+    }
+    let mut ip_best = f64::INFINITY;
+    let mut ip_converged = false;
+    for _ in 0..3 {
+        let mut opts = SolveOptions::fast();
+        opts.max_iters = IP_ITER_CAP;
+        let t0 = Instant::now();
+        let r = SolverKind::InteriorPoint.solve(&ep, &opts);
+        let wall = t0.elapsed().as_secs_f64();
+        ip_best = ip_best.min(wall);
+        ip_converged |= r.converged;
+    }
+    let speedup = ip_best / admm_best;
+    // A capped, non-converged interior-point run lower-bounds the full
+    // solve; if even that is 5x slower the claim holds with margin.
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "admm best {admm_best:.2}s vs interior-point best {ip_best:.2}s \
+         (capped at {IP_ITER_CAP} iters, converged: {ip_converged}): \
+         speedup {speedup:.1}x < {MIN_SPEEDUP}x"
+    );
+    println!(
+        "solver_smoke: admm {admm_best:.2}s vs interior-point {ip_best:.2}s \
+         ({}) -> {speedup:.1}x (>= {MIN_SPEEDUP}x required)",
+        if ip_converged {
+            "full solve"
+        } else {
+            "lower bound, iteration-capped"
+        }
+    );
+
+    // --- 3. byte-identity at 1, 4, 8 workers ---
+    let reference = solve_admm_in(&ep, &SolveOptions::fast(), &Pool::with_threads(1));
+    for workers in [4usize, 8] {
+        let r = solve_admm_in(&ep, &SolveOptions::fast(), &Pool::with_threads(workers));
+        assert_eq!(
+            bits(&r.x),
+            bits(&reference.x),
+            "{workers} workers: primal diverged from serial"
+        );
+        assert_eq!(
+            r.dual.as_deref().map(bits),
+            reference.dual.as_deref().map(bits),
+            "{workers} workers: dual diverged from serial"
+        );
+        assert_eq!(r.objective.to_bits(), reference.objective.to_bits());
+        assert_eq!(r.gap.to_bits(), reference.gap.to_bits());
+        assert_eq!(r.iters, reference.iters);
+    }
+    println!("solver_smoke: n={N} m=4 solve byte-identical at 1/4/8 workers");
+}

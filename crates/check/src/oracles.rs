@@ -47,6 +47,10 @@ pub enum OracleClass {
     /// validator⟺simulator oracle, or the final online outcome is not
     /// byte-identical to a from-scratch run on the same task set.
     Online,
+    /// The decomposed ADMM solver disagrees with a serial solver beyond
+    /// the agreement band, or its solution fails the independent KKT
+    /// certificate.
+    SolverAgreement,
 }
 
 impl OracleClass {
@@ -61,6 +65,7 @@ impl OracleClass {
             OracleClass::Discrete => "discrete",
             OracleClass::Allocation => "allocation",
             OracleClass::Online => "online",
+            OracleClass::SolverAgreement => "solver-agreement",
         }
     }
 
@@ -75,6 +80,7 @@ impl OracleClass {
             "discrete" => OracleClass::Discrete,
             "allocation" => OracleClass::Allocation,
             "online" => OracleClass::Online,
+            "solver-agreement" => OracleClass::SolverAgreement,
             _ => return None,
         })
     }
@@ -183,7 +189,72 @@ pub fn check_instance(inst: &Instance) -> Vec<OracleViolation> {
         check_discrete(inst, der, &mut out);
     }
     check_allocation(inst, &timeline, &mut out);
+    if let Some(opt) = &opt {
+        check_admm_agreement(inst, &timeline, opt, &mut out);
+    }
     out
+}
+
+/// Relative band for the decomposed-vs-serial solver agreement oracle.
+pub const ADMM_AGREE_TOL: f64 = 2e-5;
+
+/// Differential check of the decomposed parallel solver: ADMM must land
+/// within [`ADMM_AGREE_TOL`] (relative) of the serial projected-gradient
+/// objective, and its solution must pass the solver-independent KKT
+/// certificate. Exercised on every fuzz instance, so the 3-seed × 2000-
+/// iteration CI battery covers the decomposition across the whole
+/// instance distribution.
+fn check_admm_agreement(
+    inst: &Instance,
+    timeline: &Timeline,
+    opt: &OptimalSolution,
+    out: &mut Vec<OracleViolation>,
+) {
+    use esched_opt::{kkt_report, EnergyProgram, SolverKind};
+    let ep = EnergyProgram::new(&inst.tasks, timeline, inst.cores, inst.power);
+    let Some(sol) = run_caught("solve_admm", out, || {
+        SolverKind::Admm.solve(&ep, &SolveOptions::default())
+    }) else {
+        return;
+    };
+    // Differential, like every oracle here: the checks are anchored to
+    // instances where the serial reference point itself certifies. On
+    // degenerate fuzz instances (near-zero work, extreme scale ratios)
+    // the X_FLOOR regularization leaves the floored objective flat while
+    // the gradient still points inward, so *no* solver's point can pass
+    // KKT and uncertified objectives say nothing about each other — the
+    // meaningful contract is "wherever PGD certifies, ADMM certifies and
+    // agrees".
+    let reference = kkt_report(&ep, &opt.x);
+    if !reference.is_optimal(1e-5) {
+        return;
+    }
+    // Compare program objectives at the two points — NOT `opt.energy`,
+    // which is the post-processed *schedule* energy and legitimately
+    // differs from the convex objective (dust-cleaning rounds tiny
+    // shares).
+    let scale = 1.0 + reference.objective.abs();
+    if (sol.objective - reference.objective).abs() > ADMM_AGREE_TOL * scale {
+        out.push(OracleViolation {
+            class: OracleClass::SolverAgreement,
+            message: format!(
+                "admm objective {} vs pgd {} (|diff| = {:e} > {ADMM_AGREE_TOL:e} relative)",
+                sol.objective,
+                reference.objective,
+                (sol.objective - reference.objective).abs() / scale
+            ),
+        });
+    }
+    let report = kkt_report(&ep, &sol.x);
+    if !report.is_optimal(1e-5) {
+        out.push(OracleViolation {
+            class: OracleClass::SolverAgreement,
+            message: format!(
+                "admm solution fails KKT where the reference certifies: residual {:e}, gap {:e}, feasibility {:e}",
+                report.projected_gradient_residual, report.duality_gap, report.feasibility_violation
+            ),
+        });
+    }
 }
 
 /// Differential check of the water-filling DER allocator against the

@@ -37,7 +37,7 @@
 use std::ops::Range;
 
 use crate::ideal::IdealSolution;
-use crate::pool::Pool;
+use crate::pool::{Pool, ScratchPool};
 use crate::scratch::Scratch;
 use esched_obs::{event, metric_counter, span, Level};
 use esched_subinterval::Timeline;

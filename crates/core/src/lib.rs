@@ -72,10 +72,11 @@ pub use even::{even_schedule, even_schedule_with};
 pub use ideal::{ideal_schedule, IdealSolution};
 pub use nec::{evaluate_nec, evaluate_nec_full, mean_nec, std_nec, NecEvaluation, NecPoint};
 pub use optimal::{
-    optimal_energy, optimal_energy_in, optimal_energy_with, OptimalSolution, Solver,
+    optimal_energy, optimal_energy_in, optimal_energy_in_pool, optimal_energy_with,
+    OptimalSolution, Solver,
 };
 pub use packing::{pack_subinterval, PackError, PackItem};
-pub use pool::{Pool, PoolError};
+pub use pool::{Pool, PoolError, ScratchPool};
 pub use quality::{analyze, ScheduleQuality, TaskQuality};
 pub use reclaim::{no_reclaim_energy, reclaim_der, ReclaimOutcome};
 pub use refine::{

@@ -98,8 +98,30 @@ pub fn optimal_energy_in(
     opts: &SolveOptions,
     solver: Solver,
 ) -> OptimalSolution {
+    optimal_energy_in_pool(tasks, timeline, cores, power, opts, solver, None)
+}
+
+/// [`optimal_energy_in`] with an optional shared worker [`Pool`] for the
+/// decomposed solver ([`Solver::Admm`]) to fan its per-task subproblems
+/// across — the engine threads its intra-instance pool through here so
+/// one warm set of workers serves allocation *and* certification. `None`
+/// falls back to an env-sized pool; serial solvers ignore it either way,
+/// and results are byte-identical at any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn optimal_energy_in_pool(
+    tasks: &TaskSet,
+    timeline: &Timeline,
+    cores: usize,
+    power: &PolynomialPower,
+    opts: &SolveOptions,
+    solver: Solver,
+    pool: Option<&crate::pool::Pool>,
+) -> OptimalSolution {
     let ep = EnergyProgram::new(tasks, timeline, cores, *power);
-    let mut result: SolveResult = solver.solve(&ep, opts);
+    let mut result: SolveResult = match pool {
+        Some(pool) => solver.solve_in(&ep, opts, pool),
+        None => solver.solve(&ep, opts),
+    };
     clean_dust(&ep, tasks, timeline, &mut result.x);
     repair_starved(&ep, tasks, timeline, cores, power, &mut result.x);
     let total_times = ep.total_times(&result.x);
@@ -336,13 +358,17 @@ mod tests {
         let c = optimal_energy_with(&ts, 2, &p, &SolveOptions::default(), Solver::FrankWolfe);
         let d = optimal_energy_with(&ts, 2, &p, &SolveOptions::default(), Solver::InteriorPoint);
         let e = optimal_energy_with(&ts, 2, &p, &SolveOptions::default(), Solver::BlockDescent);
+        let f = optimal_energy_with(&ts, 2, &p, &SolveOptions::default(), Solver::Admm);
         assert!((a.energy - b.energy).abs() < 1e-3 * (1.0 + a.energy));
         assert!((a.energy - c.energy).abs() < 1e-3 * (1.0 + a.energy));
         assert!((a.energy - d.energy).abs() < 2e-3 * (1.0 + a.energy));
         assert!((a.energy - e.energy).abs() < 2e-3 * (1.0 + a.energy));
-        // The IP and block-descent solutions extract legal schedules too.
+        assert!((a.energy - f.energy).abs() < 2e-3 * (1.0 + a.energy));
+        // The IP, block-descent, and ADMM solutions extract legal
+        // schedules too.
         esched_types::validate_schedule(&d.schedule, &ts).assert_legal();
         esched_types::validate_schedule(&e.schedule, &ts).assert_legal();
+        esched_types::validate_schedule(&f.schedule, &ts).assert_legal();
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! the output is identical regardless of worker count or steal
 //! interleaving — the property the determinism test pins).
 
-use esched_core::{Pool, PoolError, Scratch};
+use esched_core::{Pool, PoolError, Scratch, ScratchPool};
 
 use crate::config::ScheduleRequest;
 use crate::exec::execute;

@@ -1,10 +1,11 @@
-//! Solver study: convergence and agreement of the five solvers on the
+//! Solver study: convergence and agreement of the six solvers on the
 //! energy program, at several instance sizes — three first-order methods
 //! (projected gradient, FISTA, Frank–Wolfe), the structure-exploiting
-//! interior point, and exact block-coordinate descent.
+//! interior point, exact block-coordinate descent, and the decomposed
+//! parallel consensus ADMM.
 //!
 //! This is the evidence behind choosing projected gradient as the default
-//! `E^OPT` solver and behind trusting the NEC normalizations: all five
+//! `E^OPT` solver and behind trusting the NEC normalizations: all six
 //! methods must agree to well below the margins the figures report, with
 //! certified duality gaps.
 
@@ -40,7 +41,7 @@ pub struct SolverRun {
     pub telemetry: SolverTelemetry,
 }
 
-/// Run all five solvers on instances of each size.
+/// Run all six solvers on instances of each size.
 pub fn run(sizes: &[usize], seed: u64) -> Vec<SolverRun> {
     let mut out = Vec::new();
     for &n in sizes {
@@ -170,7 +171,8 @@ mod tests {
     #[test]
     fn all_solvers_agree_within_tolerance() {
         let runs = run(&[10], 77);
-        assert_eq!(runs.len(), 5);
+        assert_eq!(runs.len(), SolverKind::ALL.len());
+        assert_eq!(runs.len(), 6);
         let lo = runs
             .iter()
             .map(|r| r.objective)

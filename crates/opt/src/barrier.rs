@@ -323,6 +323,7 @@ pub fn solve_barrier(ep: &EnergyProgram, opts: &SolveOptions) -> SolveResult {
         converged,
         telemetry,
         iter_trace,
+        dual: None,
     }
 }
 

@@ -217,6 +217,7 @@ pub fn solve_block_descent_from(
         converged,
         telemetry,
         iter_trace,
+        dual: None,
     }
 }
 

@@ -134,6 +134,26 @@ impl EnergyProgram {
         self.works[task]
     }
 
+    /// The contiguous subinterval range `[a, b)` task `i`'s window covers.
+    pub fn span_of_task(&self, task: usize) -> (usize, usize) {
+        self.spans[task]
+    }
+
+    /// Flat-variable offset of task `i`'s block; its variables are
+    /// `flat[offset .. offset + (b − a)]` for `(a, b) =`
+    /// [`EnergyProgram::span_of_task`], ordered by subinterval. The
+    /// decomposed ADMM solver leans on this contiguity to hand disjoint
+    /// `&mut` task blocks to pool workers.
+    pub fn offset_of_task(&self, task: usize) -> usize {
+        self.offsets[task]
+    }
+
+    /// Flat indices of the variables participating in subinterval `j`'s
+    /// capacity constraint (ascending).
+    pub fn vars_of_sub(&self, sub: usize) -> &[usize] {
+        &self.block_vars[sub]
+    }
+
     /// Flat index of `x_{i,j}`, if task `i` is available in subinterval
     /// `j`.
     pub fn flat_index(&self, task: usize, sub: usize) -> Option<usize> {

@@ -177,6 +177,7 @@ pub fn solve_fista(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Sol
         converged,
         telemetry,
         iter_trace,
+        dual: None,
     }
 }
 

@@ -124,6 +124,7 @@ pub fn solve_frank_wolfe(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) 
         converged,
         telemetry,
         iter_trace,
+        dual: None,
     }
 }
 

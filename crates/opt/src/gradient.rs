@@ -168,6 +168,7 @@ pub fn solve_pgd(ep: &EnergyProgram, x0: Vec<f64>, opts: &SolveOptions) -> Solve
         converged,
         telemetry,
         iter_trace,
+        dual: None,
     }
 }
 

@@ -20,6 +20,9 @@
 //!   dense-solve substrate,
 //! * [`block_descent`] — Gauss–Seidel over subintervals with exact
 //!   closed-form waterfilling block solves,
+//! * [`admm`] — consensus ADMM with exact per-task proximal solves fanned
+//!   across the shared worker pool: the decomposed, parallel solver for
+//!   large instances, and the only one with dual (price) state,
 //! * [`kkt`] — solver-independent optimality certification,
 //! * [`scalar`] — bisection / safeguarded Newton / golden section,
 //! * [`least_squares`] — the `p(f) = γf^α + p₀` power-curve fit
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admm;
 pub mod barrier;
 pub mod block_descent;
 pub mod energy_program;
@@ -44,6 +48,7 @@ pub mod projection;
 pub mod scalar;
 pub mod solver;
 
+pub use admm::{solve_admm, solve_admm_in};
 pub use barrier::solve_barrier;
 pub use block_descent::{solve_block_descent, solve_block_descent_from};
 pub use energy_program::EnergyProgram;
@@ -51,7 +56,7 @@ pub use fista::solve_fista;
 pub use flow::{feasible_at_frequency, min_frequency_by_flow, Dinic};
 pub use frank_wolfe::solve_frank_wolfe;
 pub use gradient::solve_pgd;
-pub use kkt::{kkt_report, KktReport};
+pub use kkt::{kkt_report, price_certificate, subinterval_prices, KktReport};
 pub use least_squares::{fit_power_curve, PowerFit};
 pub use projection::{lmo_capped_simplex, project_capped_simplex};
 pub use solver::{IterSample, SolveOptions, SolveResult, SolverKind, SolverTelemetry};

@@ -1,8 +1,9 @@
 //! Shared solver options and result types for the energy-program solvers,
-//! plus [`SolverKind`] — the by-value handle that dispatches to the five
+//! plus [`SolverKind`] — the by-value handle that dispatches to the six
 //! entry points so callers can pick a solver without function pointers.
 
 use crate::energy_program::EnergyProgram;
+use esched_obs::pool::Pool;
 
 /// Options shared by all first-order solvers.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +29,14 @@ pub struct SolveOptions {
     /// [`EnergyProgram::initial_point`]. The barrier solver ignores it
     /// (its central-path start must be strictly interior).
     pub warm_start: Option<Vec<f64>>,
+    /// Optional starting dual point (per-variable multipliers, length
+    /// [`EnergyProgram::dim`]) for solvers that maintain one — currently
+    /// only ADMM, whose consensus prices converge along with the primal
+    /// iterate. Validated for dimension and finiteness; ignored (never an
+    /// error) by solvers without dual state or on mismatch, so it is safe
+    /// to carry a stale dual across online replans. Filled from
+    /// [`SolveResult::dual`] of the previous solve.
+    pub warm_start_dual: Option<Vec<f64>>,
     /// Record one [`IterSample`] per iteration into
     /// [`SolveResult::iter_trace`]. Off by default: the trace allocates
     /// (one small struct per iteration), so it is an opt-in diagnostic
@@ -45,6 +54,7 @@ impl Default for SolveOptions {
             stall_iters: 25,
             gap_check_every: 10,
             warm_start: None,
+            warm_start_dual: None,
             trace_iters: false,
         }
     }
@@ -61,6 +71,7 @@ impl SolveOptions {
             stall_iters: 15,
             gap_check_every: 10,
             warm_start: None,
+            warm_start_dual: None,
             trace_iters: false,
         }
     }
@@ -74,6 +85,7 @@ impl SolveOptions {
             stall_iters: 50,
             gap_check_every: 20,
             warm_start: None,
+            warm_start_dual: None,
             trace_iters: false,
         }
     }
@@ -81,6 +93,13 @@ impl SolveOptions {
     /// Builder-style warm start.
     pub fn with_warm_start(mut self, x0: Vec<f64>) -> Self {
         self.warm_start = Some(x0);
+        self
+    }
+
+    /// Builder-style dual warm start (see
+    /// [`SolveOptions::warm_start_dual`]).
+    pub fn with_warm_start_dual(mut self, y0: Vec<f64>) -> Self {
+        self.warm_start_dual = Some(y0);
         self
     }
 
@@ -103,6 +122,19 @@ impl SolveOptions {
         ep.project(guess, &mut out);
         debug_assert!(ep.is_feasible(&out, 1e-6));
         Some(out)
+    }
+
+    /// The validated dual warm start for `ep`, if one is set and
+    /// dimension-compatible with all-finite entries. Unlike
+    /// [`SolveOptions::warm_point`] there is no projection — duals are
+    /// unconstrained — but a mismatched or non-finite vector is silently
+    /// dropped so stale duals can never poison a solve.
+    pub fn warm_duals(&self, ep: &EnergyProgram) -> Option<&[f64]> {
+        let duals = self.warm_start_dual.as_ref()?;
+        if duals.len() != ep.dim() || duals.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        Some(duals)
     }
 }
 
@@ -127,12 +159,13 @@ pub(crate) fn sanitize_start(ep: &EnergyProgram, x0: Vec<f64>) -> Vec<f64> {
 
 /// Which method solves the energy program.
 ///
-/// The five free functions ([`crate::solve_pgd`], [`crate::solve_fista`],
+/// The six free functions ([`crate::solve_pgd`], [`crate::solve_fista`],
 /// [`crate::solve_frank_wolfe`], [`crate::solve_barrier`],
-/// [`crate::solve_block_descent`]) remain the low-level entry points;
-/// [`SolverKind::solve`] dispatches to them so configuration surfaces
-/// (`EngineConfig`, the solver study, CLI flags) can select a solver by
-/// value instead of threading function pointers and adapters around.
+/// [`crate::solve_block_descent`], [`crate::solve_admm`]) remain the
+/// low-level entry points; [`SolverKind::solve`] dispatches to them so
+/// configuration surfaces (`EngineConfig`, the solver study, CLI flags)
+/// can select a solver by value instead of threading function pointers
+/// and adapters around.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SolverKind {
     /// Projected gradient descent with backtracking (default).
@@ -147,16 +180,24 @@ pub enum SolverKind {
     /// Gauss–Seidel block-coordinate descent with exact waterfilling
     /// block solves.
     BlockDescent,
+    /// Consensus ADMM: per-task subproblems solved exactly (bisection on
+    /// the task's share total) and fanned across the shared worker pool,
+    /// coordinated by per-subinterval prices with an over-relaxed update.
+    /// The only parallel solver, and the only one with dual state —
+    /// [`SolveResult::dual`] is `Some` and
+    /// [`SolveOptions::warm_start_dual`] is honored.
+    Admm,
 }
 
 impl SolverKind {
-    /// All five kinds, in study order.
-    pub const ALL: [SolverKind; 5] = [
+    /// All six kinds, in study order.
+    pub const ALL: [SolverKind; 6] = [
         SolverKind::ProjectedGradient,
         SolverKind::Fista,
         SolverKind::FrankWolfe,
         SolverKind::InteriorPoint,
         SolverKind::BlockDescent,
+        SolverKind::Admm,
     ];
 
     /// Solve `ep` with this method. First-order methods and block descent
@@ -164,6 +205,17 @@ impl SolverKind {
     /// and projected), otherwise from [`EnergyProgram::initial_point`];
     /// the barrier solver always chooses its own interior starting point.
     pub fn solve(&self, ep: &EnergyProgram, opts: &SolveOptions) -> SolveResult {
+        // A fresh env-sized pool per solve: the pool struct is one usize
+        // (threads spawn per batch call), so this is free, and it keeps
+        // `ESCHED_ENGINE_THREADS` live-reconfigurable between solves.
+        self.solve_in(ep, opts, &Pool::new())
+    }
+
+    /// Like [`SolverKind::solve`], but ADMM fans its per-task subproblems
+    /// across the supplied `pool` instead of an env-sized one. The serial
+    /// solvers ignore `pool`. Results are byte-identical at any worker
+    /// count, so pool choice is purely a throughput knob.
+    pub fn solve_in(&self, ep: &EnergyProgram, opts: &SolveOptions, pool: &Pool) -> SolveResult {
         let start = |ep: &EnergyProgram| {
             if let Some(x0) = opts.warm_point(ep) {
                 esched_obs::metric_counter!("esched.opt.warm_starts").inc();
@@ -180,6 +232,7 @@ impl SolverKind {
             SolverKind::BlockDescent => {
                 crate::block_descent::solve_block_descent_from(ep, start(ep), opts)
             }
+            SolverKind::Admm => crate::admm::solve_admm_in(ep, opts, pool),
         }
     }
 
@@ -191,6 +244,7 @@ impl SolverKind {
             SolverKind::FrankWolfe => "frank_wolfe",
             SolverKind::InteriorPoint => "interior_point",
             SolverKind::BlockDescent => "block_descent",
+            SolverKind::Admm => "admm",
         }
     }
 
@@ -264,10 +318,11 @@ impl SolverTelemetry {
 /// One per-iteration convergence sample, recorded when
 /// [`SolveOptions::trace_iters`] is on.
 ///
-/// All five solvers emit the same shape; `step` is the solver's own
+/// All six solvers emit the same shape; `step` is the solver's own
 /// step-quality scalar — accepted step size for PGD/FISTA, the line-search
 /// `γ` for Frank–Wolfe, the Armijo step for the barrier's Newton steps,
-/// and the per-sweep objective decrease for block descent.
+/// the per-sweep objective decrease for block descent, and the primal
+/// residual norm for ADMM.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterSample {
     /// 1-based iteration number (sweep / Newton step for the non-first-
@@ -300,4 +355,10 @@ pub struct SolveResult {
     /// Per-iteration convergence samples — present iff
     /// [`SolveOptions::trace_iters`] was set.
     pub iter_trace: Option<Vec<IterSample>>,
+    /// Final dual point (per-variable consensus multipliers, unscaled by
+    /// the penalty so a future solve can adopt them under any `ρ`). `Some`
+    /// only for solvers with dual state — currently ADMM. Feed it back via
+    /// [`SolveOptions::with_warm_start_dual`] to warm-start the prices on
+    /// a re-solve.
+    pub dual: Option<Vec<f64>>,
 }
